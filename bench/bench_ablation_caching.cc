@@ -1,0 +1,50 @@
+// Ablation of the rating-group cache (DESIGN.md; in the spirit of the
+// caching / repeated-data-access-avoidance systems the paper cites, [18]
+// and [57]): the Recommendation Builder materializes hundreds of candidate
+// target groups per step; candidates pointing back toward previously
+// evaluated selections (roll-ups, sideways changes, revisited regions) hit
+// the cache. The bench measures per-step latency and the hit rate along a
+// Fully-Automated path, with the cache disabled and at several capacities.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "engine/exploration_session.h"
+
+using namespace subdex;
+using namespace subdex::bench;
+
+int main() {
+  PrintBanner("Rating-group cache ablation",
+              "DESIGN.md (repeated-access avoidance, cf. paper refs [18][57])");
+  double scale = EnvDouble("SUBDEX_SCALE", 0.2);
+  size_t steps = static_cast<size_t>(EnvInt("SUBDEX_STEPS", 5));
+  BenchDataset yelp = MakeYelp(scale, 151);
+  std::printf("%s: %zu records; %zu-step FA path with recommendations\n\n",
+              yelp.name.c_str(), yelp.db->num_records(), steps);
+
+  std::printf("%-14s %14s %12s %12s\n", "cache entries", "avg step ms",
+              "hit rate", "evictions");
+  for (size_t capacity : {0u, 64u, 256u, 1024u}) {
+    EngineConfig config = QualityConfig();
+    config.group_cache_capacity = capacity;
+    config.operations.max_candidates = 80;
+    ExplorationSession session(yelp.db.get(), config,
+                               ExplorationMode::kFullyAutomated);
+    session.Start(GroupSelection{});
+    session.RunAutomated(steps - 1);
+    double total_ms = 0.0;
+    for (const StepResult& step : session.path()) total_ms += step.elapsed_ms;
+    RatingGroupCache::Stats stats =
+        session.engine().group_cache().stats();
+    std::printf("%-14zu %14.1f %11.0f%% %12zu\n", capacity,
+                total_ms / static_cast<double>(session.path().size()),
+                100.0 * stats.HitRate(), stats.evictions);
+  }
+  std::printf(
+      "\nexpected shape: identical exploration results (unit-tested); a "
+      "single-digit hit rate from roll-up/revisit candidates that shaves a "
+      "comparable slice off the per-step latency; undersized capacities "
+      "evict entries before they can hit.\n");
+  return 0;
+}

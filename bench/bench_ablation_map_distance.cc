@@ -1,0 +1,74 @@
+// Ablation of the rating-map distance driving GMM diversification
+// (DESIGN.md, Section 3): the paper uses EMD between rating distributions
+// and observes that this "increases the probability of choosing rating
+// maps aggregated by different attributes". Our default subgroup-signature
+// EMD distinguishes groupings of the same record set, which the plain
+// overall-distribution EMD cannot (maps of the same group and dimension
+// always compare as identical under it). This bench measures the
+// consequence: the attribute and dimension variety of Fully-Automated
+// exploration paths under each distance.
+
+#include <cstdio>
+#include <set>
+
+#include "bench/bench_common.h"
+#include "engine/exploration_session.h"
+
+using namespace subdex;
+using namespace subdex::bench;
+
+namespace {
+
+struct Variety {
+  size_t attributes = 0;
+  size_t dimensions = 0;
+};
+
+Variety RunPath(const SubjectiveDatabase& db, MapDistanceKind kind,
+                size_t steps) {
+  EngineConfig config = QualityConfig();
+  config.map_distance = kind;
+  ExplorationSession session(&db, config, ExplorationMode::kFullyAutomated);
+  session.Start(GroupSelection{});
+  session.RunAutomated(steps - 1);
+  std::set<std::pair<int, size_t>> attrs;
+  std::set<size_t> dims;
+  for (const StepResult& step : session.path()) {
+    for (const ScoredRatingMap& m : step.maps) {
+      attrs.insert({m.map.key().side == Side::kReviewer ? 0 : 1,
+                    m.map.key().attribute});
+      dims.insert(m.map.key().dimension);
+    }
+  }
+  return {attrs.size(), dims.size()};
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Map-distance ablation: overall vs. subgroup-signature EMD",
+              "Section 3.2.4 (diversity of rating maps)");
+  size_t steps = static_cast<size_t>(EnvInt("SUBDEX_STEPS", 8));
+  std::printf("%zu-step Fully-Automated paths, k=3 maps per step\n\n", steps);
+  std::printf("%-12s %-18s %-18s %s\n", "dataset", "distance",
+              "#attributes shown", "#dimensions shown");
+  for (int ds = 0; ds < 2; ++ds) {
+    BenchDataset data = ds == 0
+                            ? MakeMovielens(EnvDouble("SUBDEX_SCALE", 0.15), 141)
+                            : MakeYelp(EnvDouble("SUBDEX_SCALE", 0.05), 143);
+    for (MapDistanceKind kind :
+         {MapDistanceKind::kOverallEmd, MapDistanceKind::kSignatureEmd}) {
+      Variety v = RunPath(*data.db, kind, steps);
+      std::printf("%-12s %-18s %-18zu %zu\n", ds == 0 ? "Movielens" : "Yelp",
+                  kind == MapDistanceKind::kOverallEmd ? "overall-EMD"
+                                                       : "signature-EMD",
+                  v.attributes, v.dimensions);
+    }
+  }
+  std::printf(
+      "\nexpected shape: signature-EMD shows at least as many distinct "
+      "aggregation attributes — overall-EMD cannot tell apart maps of the "
+      "same group and dimension, so GMM's picks collapse onto fewer "
+      "attributes.\n");
+  return 0;
+}

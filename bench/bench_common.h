@@ -1,0 +1,86 @@
+#ifndef SUBDEX_BENCH_BENCH_COMMON_H_
+#define SUBDEX_BENCH_BENCH_COMMON_H_
+
+// Shared setup for the experiment harness. Every binary under bench/
+// regenerates one table or figure of the paper's evaluation (Section 5).
+// Quality experiments run on proportionally scaled synthetic datasets and
+// with fewer simulated subjects than the paper's 30-per-cell Mechanical
+// Turk sample; each binary prints its actual scale so runs are
+// self-describing, and the environment variables SUBDEX_SUBJECTS /
+// SUBDEX_SCALE raise the fidelity when more time is available.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/irregular.h"
+#include "datagen/specs.h"
+#include "datagen/synthetic.h"
+#include "engine/config.h"
+#include "subjective/subjective_db.h"
+
+namespace subdex::bench {
+
+struct BenchDataset {
+  std::string name;
+  std::unique_ptr<SubjectiveDatabase> db;
+};
+
+/// MovieLens-shaped dataset at `scale` of the published size.
+BenchDataset MakeMovielens(double scale, uint64_t seed);
+
+/// Yelp-shaped dataset at `scale` of the published size; the 93-item table
+/// is kept at full size (proportional scaling would destroy it).
+BenchDataset MakeYelp(double scale, uint64_t seed);
+
+/// Hotel-shaped dataset at `scale` of the published size.
+BenchDataset MakeHotel(double scale, uint64_t seed);
+
+/// Engine configuration for the quality experiments: paper defaults
+/// (Table 3) with a bounded candidate-operation budget so sessions finish
+/// in benchmark time.
+EngineConfig QualityConfig();
+
+/// Scenario-I planting options preserving the paper's signal-to-noise on
+/// scaled-down data: the member floor is a fraction of the table (a
+/// fixed-count group's signal dilutes as the dataset shrinks), and
+/// Yelp-shaped data — where every attribute has only 2-13 values — uses
+/// two-attribute descriptions so a group of restaurants out of 93 remains
+/// discoverable within a 7-step budget.
+IrregularPlantingOptions BenchIrregularOptions(bool yelp_shaped);
+
+/// Integer environment override with default.
+int EnvInt(const char* name, int fallback);
+
+/// Double environment override with default.
+double EnvDouble(const char* name, double fallback);
+
+/// Prints a banner for one experiment binary.
+void PrintBanner(const std::string& title, const std::string& paper_ref);
+
+/// One algorithm configuration of the scalability study (Section 5.1):
+/// SubDEx plus the five restricted variants.
+struct AlgorithmVariant {
+  const char* name;
+  PruningScheme pruning;
+  bool parallel;
+};
+
+/// SubDEx, No-Pruning, CI-Pruning, MAB-Pruning, No-Parallelism, Naive.
+const std::vector<AlgorithmVariant>& ScalabilityVariants();
+
+/// Measured cost of a short Fully-Automated path: per-step wall time (the
+/// paper's measure — operation picked to maps + recommendations displayed)
+/// and per-step histogram-update work (hardware-independent; exposes the
+/// pruning effect even on machines where wall time is noisy).
+struct StepCost {
+  double avg_ms = 0.0;
+  double avg_record_updates = 0.0;
+};
+
+StepCost MeasureSteps(const SubjectiveDatabase& db, EngineConfig config,
+                      size_t steps);
+
+}  // namespace subdex::bench
+
+#endif  // SUBDEX_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,95 @@
+// Figure 10: running times as a function of data properties, for SubDEx and
+// the five restricted variants of Section 5.1. Panel (a) varies the
+// database size by randomly sampling reviewers (keeping their rating
+// records); panel (b) varies the number of attributes (akin to the number
+// of GroupBys / candidate rating maps); panel (c) varies the number of
+// attribute-values (akin to the number of candidate operations). Following
+// the paper, paths are Fully-Automated on the Yelp-shaped dataset and the
+// reported time is the average per-step latency from picking an operation
+// to having maps and recommendations displayed. The per-step histogram
+// update count is reported alongside as a hardware-independent work
+// measure (wall-time parallelism effects require multiple physical cores).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "datagen/transforms.h"
+
+using namespace subdex;
+using namespace subdex::bench;
+
+namespace {
+
+EngineConfig ScalabilityConfig(const AlgorithmVariant& variant) {
+  EngineConfig config = QualityConfig();
+  config.pruning = variant.pruning;
+  config.parallel_recommendations = variant.parallel;
+  config.operations.max_candidates = 80;
+  return config;
+}
+
+void PrintHeaderRow() {
+  std::printf("%-16s", "variant");
+  std::printf(" %14s %18s\n", "avg step ms", "avg updates/step");
+}
+
+void MeasureAllVariants(const SubjectiveDatabase& db, size_t steps) {
+  for (const AlgorithmVariant& v : ScalabilityVariants()) {
+    StepCost cost = MeasureSteps(db, ScalabilityConfig(v), steps);
+    std::printf("%-16s %14.1f %18.0f\n", v.name, cost.avg_ms,
+                cost.avg_record_updates);
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Running times vs. data properties", "Figure 10 (a, b, c)");
+  double scale = EnvDouble("SUBDEX_SCALE", 0.2);
+  size_t steps = static_cast<size_t>(EnvInt("SUBDEX_STEPS", 3));
+  BenchDataset yelp = MakeYelp(scale, 81);
+  std::printf("%s: %zu records, %zu reviewers; %zu-step FA paths\n",
+              yelp.name.c_str(), yelp.db->num_records(),
+              yelp.db->num_reviewers(), steps);
+
+  std::printf("\n--- (a) database size (reviewer sampling) ---\n");
+  for (double fraction : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    auto sampled = SampleReviewers(*yelp.db, fraction, 811);
+    std::printf("\nfraction %.1f (%zu records):\n", fraction,
+                sampled->num_records());
+    PrintHeaderRow();
+    MeasureAllVariants(*sampled, steps);
+  }
+
+  std::printf("\n--- (b) number of attributes ---\n");
+  for (size_t keep : {6u, 12u, 18u, 24u}) {
+    auto dropped = DropAttributes(*yelp.db, keep, 813);
+    std::printf("\n%zu attributes:\n", keep);
+    PrintHeaderRow();
+    MeasureAllVariants(*dropped, steps);
+  }
+
+  std::printf("\n--- (c) number of attribute-values ---\n");
+  // The candidate-operation space grows with the number of values, so this
+  // panel must not cap it; the enumeration budget is lifted here.
+  for (size_t max_values : {3u, 6u, 9u, 13u}) {
+    auto limited = LimitAttributeValues(*yelp.db, max_values, 815);
+    std::printf("\n<=%zu values per attribute:\n", max_values);
+    PrintHeaderRow();
+    for (const AlgorithmVariant& v : ScalabilityVariants()) {
+      EngineConfig config = ScalabilityConfig(v);
+      config.operations.max_candidates = 400;
+      StepCost cost = MeasureSteps(*limited, config, steps);
+      std::printf("%-16s %14.1f %18.0f\n", v.name, cost.avg_ms,
+                  cost.avg_record_updates);
+    }
+  }
+
+  std::printf(
+      "\nexpected shape (paper Fig. 10): (a) run time nearly flat in the "
+      "database size — the candidate map/operation space depends on the "
+      "attribute structure, not the record count; (b, c) near-linear growth "
+      "with #attributes and #attribute-values; pruning variants below "
+      "No-Pruning, Naive slowest.\n");
+  return 0;
+}

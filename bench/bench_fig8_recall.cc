@@ -1,0 +1,79 @@
+// Figure 8: recall as a function of exploration steps. Subjects use SubDEx
+// for both scenarios without a step limit cap (we sweep to 12 steps);
+// reported is the average fraction of planted findings identified after
+// each step, per exploration mode, on the Movielens-shaped dataset (the
+// paper omits Yelp as similar).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "datagen/insights.h"
+#include "datagen/irregular.h"
+#include "study/experiment.h"
+
+using namespace subdex;
+using namespace subdex::bench;
+
+namespace {
+
+void PrintCurve(const char* label, const std::vector<double>& curve) {
+  std::printf("  %-24s", label);
+  for (double v : curve) std::printf(" %.2f", v);
+  std::printf("\n");
+}
+
+void RunScenario(SubjectiveDatabase* db, ScenarioKind kind, size_t subjects,
+                 size_t max_steps, uint64_t seed) {
+  ScenarioTask task;
+  task.kind = kind;
+  if (kind == ScenarioKind::kIrregularGroups) {
+    IrregularPlantingOptions plant =
+        BenchIrregularOptions(/*yelp_shaped=*/false);
+    task.irregulars = PlantIrregularGroups(db, plant, seed);
+  } else {
+    InsightPlantingOptions plant;
+    plant.count = 5;
+    plant.min_records = std::max<size_t>(20, db->num_records() / 50);
+    task.insights = PlantInsights(db, plant, seed);
+  }
+  std::printf("\nScenario %s (%zu planted), recall after steps 1..%zu:\n",
+              kind == ScenarioKind::kIrregularGroups ? "I" : "II",
+              task.total(), max_steps);
+  EngineConfig config = QualityConfig();
+  PrintCurve("user-driven",
+             AverageRecallCurve(*db, task, ExplorationMode::kUserDriven,
+                                /*high_cs=*/true, subjects, max_steps, config,
+                                seed + 1));
+  PrintCurve("recommendation-powered",
+             AverageRecallCurve(*db, task,
+                                ExplorationMode::kRecommendationPowered,
+                                /*high_cs=*/true, subjects, max_steps, config,
+                                seed + 2));
+  PrintCurve("fully-automated",
+             AverageRecallCurve(*db, task, ExplorationMode::kFullyAutomated,
+                                /*high_cs=*/true, subjects, max_steps, config,
+                                seed + 3));
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Recall vs. number of exploration steps", "Figure 8");
+  size_t subjects = static_cast<size_t>(EnvInt("SUBDEX_SUBJECTS", 5));
+  size_t max_steps = static_cast<size_t>(EnvInt("SUBDEX_STEPS", 12));
+  double scale = EnvDouble("SUBDEX_SCALE", 0.15);
+  std::printf("subjects per mode: %zu (paper: 30); dataset Movielens x%.2f\n",
+              subjects, scale);
+
+  BenchDataset ml = MakeMovielens(scale, 21);
+  RunScenario(ml.db.get(), ScenarioKind::kIrregularGroups, subjects,
+              max_steps, 301);
+  ml = MakeMovielens(scale, 21);
+  RunScenario(ml.db.get(), ScenarioKind::kInsightExtraction, subjects,
+              max_steps, 303);
+
+  std::printf(
+      "\nexpected shape (paper Fig. 8): recall grows with steps in every "
+      "mode and the recommendation-powered curve dominates throughout.\n");
+  return 0;
+}

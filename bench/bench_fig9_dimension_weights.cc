@@ -1,0 +1,75 @@
+// Figure 9: the effect of dimension-weighted (DW) utility scores. On the
+// Yelp-shaped dataset (4 rating dimensions; Movielens is omitted as it has
+// only one), Fully-Automated paths are generated with and without the
+// weights of Eq. 1, and the number of displayed rating maps per rating
+// dimension is counted. With weights, dimensions balance; without, one or
+// two dimensions dominate the display.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "engine/exploration_session.h"
+
+using namespace subdex;
+using namespace subdex::bench;
+
+namespace {
+
+std::vector<size_t> CountDimensionMaps(const SubjectiveDatabase& db,
+                                       bool use_weights, size_t steps) {
+  EngineConfig config = QualityConfig();
+  config.use_dimension_weights = use_weights;
+  ExplorationSession session(&db, config, ExplorationMode::kFullyAutomated);
+  session.Start(GroupSelection{});
+  session.RunAutomated(steps - 1);
+  std::vector<size_t> counts(db.num_dimensions(), 0);
+  for (const StepResult& step : session.path()) {
+    for (const ScoredRatingMap& m : step.maps) {
+      ++counts[m.map.key().dimension];
+    }
+  }
+  return counts;
+}
+
+double Spread(const std::vector<size_t>& counts) {
+  size_t lo = counts[0], hi = counts[0];
+  for (size_t c : counts) {
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  return static_cast<double>(hi) - static_cast<double>(lo);
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Rating maps per dimension, with vs. without DW weights",
+              "Figure 9");
+  size_t steps = static_cast<size_t>(EnvInt("SUBDEX_STEPS", 10));
+  BenchDataset yelp = MakeYelp(EnvDouble("SUBDEX_SCALE", 0.05), 61);
+  std::printf("%s, %zu-step Fully-Automated path, k=3 maps per step\n\n",
+              yelp.name.c_str(), steps);
+
+  std::printf("%-16s", "dimension");
+  for (size_t d = 0; d < yelp.db->num_dimensions(); ++d) {
+    std::printf(" %-10s", yelp.db->dimension_name(d).c_str());
+  }
+  std::printf(" max-min\n");
+
+  std::vector<size_t> with = CountDimensionMaps(*yelp.db, true, steps);
+  std::printf("%-16s", "with DW");
+  for (size_t c : with) std::printf(" %-10zu", c);
+  std::printf(" %.0f\n", Spread(with));
+
+  std::vector<size_t> without = CountDimensionMaps(*yelp.db, false, steps);
+  std::printf("%-16s", "without DW");
+  for (size_t c : without) std::printf(" %-10zu", c);
+  std::printf(" %.0f\n", Spread(without));
+
+  std::printf(
+      "\nexpected shape (paper Fig. 9): with DW weights the per-dimension "
+      "counts are balanced; without them a single dimension dominates at "
+      "the cost of the others (larger max-min spread).\n");
+  return 0;
+}

@@ -1,0 +1,163 @@
+// Micro-benchmarks (google-benchmark) for the primitives every experiment
+// rests on: distribution distances, rating-map construction, shared
+// multi-aggregate scans, GMM diversification, group materialization and
+// candidate-operation enumeration.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/distance.h"
+#include "core/gmm.h"
+#include "core/interestingness.h"
+#include "core/rating_map.h"
+#include "pruning/multi_aggregate_scan.h"
+#include "subjective/operation.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace subdex;
+using namespace subdex::bench;
+
+RatingDistribution RandomDistribution(Rng* rng, int scale, int total) {
+  RatingDistribution d(scale);
+  for (int i = 0; i < total; ++i) d.Add(rng->UniformInt(1, scale));
+  return d;
+}
+
+const SubjectiveDatabase& SharedDb() {
+  static BenchDataset data = MakeYelp(0.05, 71);
+  return *data.db;
+}
+
+void BM_TotalVariation(benchmark::State& state) {
+  Rng rng(1);
+  RatingDistribution a = RandomDistribution(&rng, 5, 1000);
+  RatingDistribution b = RandomDistribution(&rng, 5, 1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.TotalVariationDistance(b));
+  }
+}
+BENCHMARK(BM_TotalVariation);
+
+void BM_SmoothedTotalVariation(benchmark::State& state) {
+  Rng rng(2);
+  RatingDistribution a = RandomDistribution(&rng, 5, 1000);
+  RatingDistribution b = RandomDistribution(&rng, 5, 1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SmoothedTotalVariation(a, b, 4.0));
+  }
+}
+BENCHMARK(BM_SmoothedTotalVariation);
+
+void BM_Emd(benchmark::State& state) {
+  Rng rng(3);
+  RatingDistribution a = RandomDistribution(&rng, 5, 1000);
+  RatingDistribution b = RandomDistribution(&rng, 5, 1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Emd(b));
+  }
+}
+BENCHMARK(BM_Emd);
+
+void BM_HoeffdingSerfling(benchmark::State& state) {
+  size_t sampled = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HoeffdingSerflingEpsilon(sampled, 10000, 0.05));
+    sampled = sampled % 9000 + 100;
+  }
+}
+BENCHMARK(BM_HoeffdingSerfling);
+
+void BM_MaterializeGroup(benchmark::State& state) {
+  const SubjectiveDatabase& db = SharedDb();
+  GroupSelection sel;
+  sel.reviewer_pred = Predicate({{0, 0}});
+  for (auto _ : state) {
+    RatingGroup g = RatingGroup::Materialize(db, sel);
+    benchmark::DoNotOptimize(g.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(db.num_records()));
+}
+BENCHMARK(BM_MaterializeGroup);
+
+void BM_BuildRatingMap(benchmark::State& state) {
+  const SubjectiveDatabase& db = SharedDb();
+  RatingGroup all = RatingGroup::Materialize(db, GroupSelection{});
+  RatingMapKey key{Side::kItem, static_cast<size_t>(state.range(0)), 0};
+  for (auto _ : state) {
+    RatingMap map = RatingMap::Build(all, key);
+    benchmark::DoNotOptimize(map.num_subgroups());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(all.size()));
+}
+BENCHMARK(BM_BuildRatingMap)->Arg(0)->Arg(1);
+
+void BM_MultiAggregateScan(benchmark::State& state) {
+  const SubjectiveDatabase& db = SharedDb();
+  RatingGroup all = RatingGroup::Materialize(db, GroupSelection{});
+  for (auto _ : state) {
+    MultiAggregateScan scan(&all, Side::kItem, 1);
+    benchmark::DoNotOptimize(scan.Update(0, all.size()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(all.size()) *
+                          static_cast<int64_t>(db.num_dimensions()));
+}
+BENCHMARK(BM_MultiAggregateScan);
+
+void BM_InterestingnessScores(benchmark::State& state) {
+  const SubjectiveDatabase& db = SharedDb();
+  RatingGroup all = RatingGroup::Materialize(db, GroupSelection{});
+  RatingMap map = RatingMap::Build(all, {Side::kItem, 1, 0});
+  std::vector<RatingDistribution> seen = {map.overall(), map.overall()};
+  UtilityConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeScores(map, seen, config));
+  }
+}
+BENCHMARK(BM_InterestingnessScores);
+
+void BM_GmmSelect(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<double> pos(n);
+  for (double& p : pos) p = rng.UniformDouble();
+  auto dist = [&pos](size_t a, size_t b) { return std::abs(pos[a] - pos[b]); };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GmmSelect(n, 3, dist, 0));
+  }
+}
+BENCHMARK(BM_GmmSelect)->Arg(9)->Arg(32)->Arg(128);
+
+void BM_EnumerateOperations(benchmark::State& state) {
+  const SubjectiveDatabase& db = SharedDb();
+  GroupSelection current;
+  current.reviewer_pred = Predicate({{0, 0}});
+  OperationEnumerationOptions options;
+  options.max_candidates = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EnumerateCandidateOperations(db, current, options));
+  }
+}
+BENCHMARK(BM_EnumerateOperations)->Arg(100)->Arg(400);
+
+void BM_SignatureEmdDistance(benchmark::State& state) {
+  const SubjectiveDatabase& db = SharedDb();
+  RatingGroup all = RatingGroup::Materialize(db, GroupSelection{});
+  RatingMap a = RatingMap::Build(all, {Side::kItem, 0, 0});
+  RatingMap b = RatingMap::Build(all, {Side::kItem, 1, 0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RatingMapDistance(a, b, MapDistanceKind::kSignatureEmd));
+  }
+}
+BENCHMARK(BM_SignatureEmdDistance);
+
+}  // namespace
+
+BENCHMARK_MAIN();

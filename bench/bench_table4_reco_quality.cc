@@ -1,0 +1,97 @@
+// Table 4: quality of next-action recommendations. Exploration paths are
+// generated Fully-Automated; the displayed rating maps are fixed (always
+// SubDEx's RM-set pipeline) while the next-action recommender varies:
+// SubDEx's Recommendation Builder vs. Smart Drill-Down (SDD) vs. Qagview.
+// Reports the average number of correctly identified irregular groups.
+
+#include <cstdio>
+
+#include "baselines/qagview.h"
+#include "baselines/smart_drilldown.h"
+#include "bench/bench_common.h"
+#include "datagen/irregular.h"
+#include "study/experiment.h"
+
+using namespace subdex;
+using namespace subdex::bench;
+
+namespace {
+
+struct Row {
+  const char* name;
+  double movielens = 0.0;
+  double yelp = 0.0;
+};
+
+double RunOne(SubjectiveDatabase* db, bool yelp_shaped,
+              const NextActionBaseline* baseline, size_t subjects,
+              uint64_t seed) {
+  IrregularPlantingOptions plant = BenchIrregularOptions(yelp_shaped);
+  ScenarioTask task;
+  task.kind = ScenarioKind::kIrregularGroups;
+  task.irregulars = PlantIrregularGroups(db, plant, seed);
+  EngineConfig config = QualityConfig();
+  const size_t steps = 7;
+  TreatmentOutcome outcome;
+  if (baseline == nullptr) {
+    outcome = RunTreatmentGroup(*db, task, ExplorationMode::kFullyAutomated,
+                                /*high_cs=*/true, /*high_domain=*/false,
+                                subjects, steps, config, seed + 5);
+  } else {
+    outcome = RunBaselineTreatment(*db, task, *baseline, subjects, steps,
+                                   config, seed + 5);
+  }
+  return outcome.mean_found;
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Quality of next-action recommendations", "Table 4");
+  size_t subjects = static_cast<size_t>(EnvInt("SUBDEX_SUBJECTS", 8));
+  std::printf("subjects per recommender: %zu (Fully-Automated paths, "
+              "Scenario I, displayed maps fixed to SubDEx's)\n\n",
+              subjects);
+
+  SmartDrillDown sdd;
+  Qagview qagview;
+  Row rows[] = {{"SubDEx"}, {"SDD"}, {"Qagview"}};
+
+  for (int ds = 0; ds < 2; ++ds) {
+    BenchDataset data = ds == 0
+                            ? MakeMovielens(EnvDouble("SUBDEX_SCALE", 0.15), 31)
+                            : MakeYelp(EnvDouble("SUBDEX_SCALE", 0.05), 33);
+    std::printf("running %s...\n", data.name.c_str());
+    const int plantings = EnvInt("SUBDEX_PLANTINGS", 3);
+    for (int r = 0; r < 3; ++r) {
+      const NextActionBaseline* baseline =
+          r == 0 ? nullptr
+                 : (r == 1 ? static_cast<const NextActionBaseline*>(&sdd)
+                           : static_cast<const NextActionBaseline*>(&qagview));
+      // Average over several independently planted ground truths; every
+      // recommender sees the same plantings (fresh dataset per run so the
+      // floored scores never leak across runs).
+      double mean = 0.0;
+      for (int p = 0; p < plantings; ++p) {
+        BenchDataset fresh =
+            ds == 0 ? MakeMovielens(EnvDouble("SUBDEX_SCALE", 0.15), 31)
+                    : MakeYelp(EnvDouble("SUBDEX_SCALE", 0.05), 33);
+        mean += RunOne(fresh.db.get(), ds == 1, baseline, subjects,
+                       401 + static_cast<uint64_t>(ds) * 10 +
+                           static_cast<uint64_t>(p));
+      }
+      (ds == 0 ? rows[r].movielens : rows[r].yelp) = mean / plantings;
+    }
+  }
+
+  std::printf("\n%-10s %-12s %s\n", "Baseline", "Movielens", "Yelp");
+  for (const Row& row : rows) {
+    std::printf("%-10s %-12.2f %.2f\n", row.name, row.movielens, row.yelp);
+  }
+  std::printf(
+      "\npaper (Table 4): SubDEx 0.9/0.8, SDD 0.6/0.4, Qagview 0.7/0.5.\n"
+      "expected shape: SubDEx first — finding the second irregular group "
+      "requires a roll-up, which the drill-down-only baselines never "
+      "recommend.\n");
+  return 0;
+}

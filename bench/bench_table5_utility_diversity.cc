@@ -1,0 +1,97 @@
+// Table 5: the utility/diversity trade-off of the pruning-diversity factor
+// l. Exploration paths are generated Fully-Automated (fixing next-action
+// operations); per configuration we report the number of distinct
+// aggregation attributes displayed along the path, the summed utility of
+// the displayed maps, and the average per-step diversity (minimum pairwise
+// EMD of the displayed set), for utility-only (l=1), l=2, l=3 and
+// diversity-only selection.
+
+#include <cstdio>
+#include <set>
+
+#include "bench/bench_common.h"
+#include "core/distance.h"
+#include "engine/exploration_session.h"
+
+using namespace subdex;
+using namespace subdex::bench;
+
+namespace {
+
+struct PathMetrics {
+  size_t distinct_attributes = 0;
+  double total_utility = 0.0;
+  double avg_diversity = 0.0;
+};
+
+PathMetrics RunPath(const SubjectiveDatabase& db, SelectionMode mode,
+                    size_t l, size_t steps) {
+  EngineConfig config = QualityConfig();
+  config.selection = mode;
+  config.l = l;
+  ExplorationSession session(&db, config, ExplorationMode::kFullyAutomated);
+  session.Start(GroupSelection{});
+  session.RunAutomated(steps - 1);
+
+  PathMetrics metrics;
+  std::set<std::pair<int, size_t>> attrs;
+  double diversity_sum = 0.0;
+  size_t diversity_steps = 0;
+  for (const StepResult& step : session.path()) {
+    std::vector<RatingMap> maps;
+    for (const ScoredRatingMap& m : step.maps) {
+      metrics.total_utility += m.utility;
+      attrs.insert({m.map.key().side == Side::kReviewer ? 0 : 1,
+                    m.map.key().attribute});
+      maps.push_back(m.map);
+    }
+    if (maps.size() >= 2) {
+      diversity_sum += SetDiversity(maps, config.map_distance);
+      ++diversity_steps;
+    }
+  }
+  metrics.distinct_attributes = attrs.size();
+  metrics.avg_diversity =
+      diversity_steps > 0 ? diversity_sum / diversity_steps : 0.0;
+  return metrics;
+}
+
+void RunDataset(const BenchDataset& data) {
+  const size_t steps = 7;  // Scenario I path length (Table 3)
+  std::printf("\n=== %s (%zu records; %zu-step Fully-Automated path, k=3) ===\n",
+              data.name.c_str(), data.db->num_records(), steps);
+  std::printf("%-16s %-12s %-10s %s\n", "Selection", "#attributes",
+              "utility", "diversity");
+  struct Config {
+    const char* label;
+    SelectionMode mode;
+    size_t l;
+  };
+  const Config configs[] = {
+      {"Utility-Only", SelectionMode::kUtilityOnly, 1},
+      {"l = 2", SelectionMode::kUtilityAndDiversity, 2},
+      {"l = 3", SelectionMode::kUtilityAndDiversity, 3},
+      {"Diversity-Only", SelectionMode::kDiversityOnly, 3},
+  };
+  for (const Config& c : configs) {
+    PathMetrics m = RunPath(*data.db, c.mode, c.l, steps);
+    std::printf("%-16s %-12zu %-10.1f %.3f\n", c.label,
+                m.distinct_attributes, m.total_utility, m.avg_diversity);
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Utility vs. diversity across the pruning-diversity factor l",
+              "Table 5");
+  RunDataset(MakeMovielens(EnvDouble("SUBDEX_SCALE", 0.15), 41));
+  RunDataset(MakeYelp(EnvDouble("SUBDEX_SCALE", 0.05), 43));
+  std::printf(
+      "\npaper (Table 5): attributes grow 4->12 (Movielens) / 6->19 (Yelp) "
+      "from utility-only to diversity-only; utility decreases (25.2->14.8 / "
+      "26.1->15.5); diversity increases (0.02->0.11 / 0.03->0.11).\n"
+      "expected shape: #attributes and diversity increase with l while "
+      "summed utility decreases.\n");
+  return 0;
+}

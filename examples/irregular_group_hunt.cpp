@@ -1,0 +1,53 @@
+// Scenario I end to end: plant irregular groups (2-3 shared attribute
+// values, every score of one dimension forced to 1) into a Hotel-shaped
+// database, explore in all three modes, and report which groups each mode's
+// displayed maps exposed. Mirrors the guidance experiment of Figure 7.
+
+#include <cstdio>
+
+#include "datagen/irregular.h"
+#include "datagen/specs.h"
+#include "datagen/synthetic.h"
+#include "study/scenario_runner.h"
+
+int main() {
+  using namespace subdex;
+  std::printf("Irregular-group hunt on a Hotel-Reviews-shaped database\n");
+  std::printf("=======================================================\n\n");
+
+  DatasetSpec spec = HotelSpec().Scaled(0.2);
+  auto db = GenerateDataset(spec, 555);
+  std::printf("dataset: %zu reviewers, %zu hotels, %zu rating records\n",
+              db->num_reviewers(), db->num_items(), db->num_records());
+
+  IrregularPlantingOptions plant;
+  plant.count = 2;  // one reviewer group + one item group, as in the study
+  ScenarioTask task;
+  task.kind = ScenarioKind::kIrregularGroups;
+  task.irregulars = PlantIrregularGroups(db.get(), plant, 31337);
+  std::printf("planted %zu irregular groups:\n", task.irregulars.size());
+  for (const IrregularGroup& g : task.irregulars) {
+    std::printf("  * %s\n", g.Describe(*db).c_str());
+  }
+
+  EngineConfig config;
+  config.operations.max_candidates = 120;
+
+  std::printf("\n%-28s %-10s %s\n", "mode", "found", "per-step cumulative");
+  for (ExplorationMode mode :
+       {ExplorationMode::kUserDriven, ExplorationMode::kRecommendationPowered,
+        ExplorationMode::kFullyAutomated}) {
+    UserProfile subject;
+    subject.high_cs_expertise = true;
+    subject.seed = 77;
+    ScenarioRunResult run = RunScenario(*db, task, mode, subject, 7, config);
+    std::printf("%-28s %zu/%-8zu ", ExplorationModeName(mode), run.found(),
+                task.total());
+    for (size_t f : run.cumulative_found) std::printf("%zu ", f);
+    std::printf("\n");
+  }
+  std::printf(
+      "\n(the Recommendation-Powered row is the paper's winning "
+      "configuration)\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// The subjective-attribute ingestion path (Section 5.1's Yelp pipeline):
+// synthesize review text for known per-dimension opinions, then extract
+// the rating dimensions back with the VADER-style phrase-window scorer.
+// Shows the sentiment rules (negation, boosters, exclamation) at work.
+
+#include <cstdio>
+
+#include "text/review_extraction.h"
+#include "text/review_generator.h"
+#include "text/sentiment.h"
+#include "util/random.h"
+
+int main() {
+  using namespace subdex;
+  std::printf("Review-text rating extraction (mini-VADER pipeline)\n");
+  std::printf("====================================================\n\n");
+
+  SentimentAnalyzer analyzer;
+  const char* phrases[] = {
+      "the food was delicious",
+      "the food was not delicious",
+      "the food was absolutely delicious !",
+      "slightly tasty food",
+      "utterly horrible service",
+      "okay service , nothing more",
+  };
+  std::printf("compound sentiment scores:\n");
+  for (const char* p : phrases) {
+    std::printf("  %-42s -> %+0.3f\n", p, analyzer.ScoreText(p));
+  }
+
+  std::printf("\nround trip: target scores -> review text -> extracted scores\n");
+  ReviewGenerator generator({"food", "service", "ambiance"});
+  ReviewExtractor extractor({{"food"}, {"service"}, {"ambiance"}}, 5);
+  Rng rng(2021);
+  const int cases[][3] = {{5, 3, 1}, {1, 5, 4}, {2, 2, 5}, {4, 1, 3}};
+  for (const auto& target : cases) {
+    std::string review =
+        generator.Generate({target[0], target[1], target[2]}, &rng);
+    std::vector<double> extracted = extractor.ExtractScores(review, 3.0);
+    std::printf("\n  targets  food=%d service=%d ambiance=%d\n", target[0],
+                target[1], target[2]);
+    std::printf("  review   \"%s\"\n", review.c_str());
+    std::printf("  extract  food=%.0f service=%.0f ambiance=%.0f\n",
+                extracted[0], extracted[1], extracted[2]);
+  }
+  std::printf("\nthe synthetic Yelp/Hotel datasets run every rating record "
+              "through this loop.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Insight extraction (the paper's Scenario II) end to end: plant five
+// strong group-level insights into a Yelp-shaped database, then let a
+// simulated analyst explore in Recommendation-Powered mode and report
+// which insights the displayed rating maps surfaced.
+
+#include <cstdio>
+
+#include "datagen/insights.h"
+#include "datagen/specs.h"
+#include "datagen/synthetic.h"
+#include "study/scenario_runner.h"
+
+int main() {
+  using namespace subdex;
+  std::printf("Insight extraction on a Yelp-shaped database\n");
+  std::printf("============================================\n\n");
+
+  DatasetSpec spec = YelpSpec().Scaled(0.05);
+  spec.num_items = 93;
+  auto db = GenerateDataset(spec, 99);
+  std::printf("dataset: %zu reviewers, %zu restaurants, %zu rating records\n",
+              db->num_reviewers(), db->num_items(), db->num_records());
+
+  InsightPlantingOptions plant;
+  plant.count = 5;
+  plant.min_records = db->num_records() / 50;
+  ScenarioTask task;
+  task.kind = ScenarioKind::kInsightExtraction;
+  task.insights = PlantInsights(db.get(), plant, 4242);
+  std::printf("planted %zu insights:\n", task.insights.size());
+  for (const PlantedInsight& ins : task.insights) {
+    std::printf("  * %s\n", ins.Describe(*db).c_str());
+  }
+
+  EngineConfig config;
+  config.operations.max_candidates = 150;
+  UserProfile analyst;
+  analyst.high_cs_expertise = true;
+  analyst.seed = 11;
+
+  std::printf("\nrunning a 10-step Recommendation-Powered session...\n");
+  ScenarioRunResult run =
+      RunScenario(*db, task, ExplorationMode::kRecommendationPowered, analyst,
+                  10, config);
+  std::printf("cumulative insights found per step: ");
+  for (size_t found : run.cumulative_found) std::printf("%zu ", found);
+  std::printf("\n=> %zu of %zu insights extracted (%.0f ms engine time)\n",
+              run.found(), task.total(), run.total_elapsed_ms);
+
+  std::printf("\nfor comparison, a User-Driven (unguided) session:\n");
+  ScenarioRunResult unguided = RunScenario(
+      *db, task, ExplorationMode::kUserDriven, analyst, 10, config);
+  std::printf("=> %zu of %zu insights extracted\n", unguided.found(),
+              task.total());
+  return 0;
+}

@@ -1,0 +1,29 @@
+#ifndef SUBDEX_BASELINES_NEXT_ACTION_BASELINE_H_
+#define SUBDEX_BASELINES_NEXT_ACTION_BASELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "subjective/operation.h"
+#include "subjective/rating_group.h"
+
+namespace subdex {
+
+/// Interface of the state-of-the-art next-action recommenders SubDEx is
+/// compared against in Table 4. Both published baselines only produce
+/// drill-down operations — the property the experiment exposes, since
+/// finding a second irregular group requires rolling up first.
+class NextActionBaseline {
+ public:
+  virtual ~NextActionBaseline() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Up to `count` next-action operations for the group, best first.
+  virtual std::vector<Operation> Recommend(const RatingGroup& group,
+                                           size_t count) const = 0;
+};
+
+}  // namespace subdex
+
+#endif  // SUBDEX_BASELINES_NEXT_ACTION_BASELINE_H_

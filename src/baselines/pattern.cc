@@ -1,0 +1,95 @@
+#include "baselines/pattern.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+
+namespace subdex {
+
+size_t Pattern::Difference(const Pattern& other) const {
+  size_t diff = 0;
+  auto contains = [](const Pattern& p,
+                     const std::pair<Side, AttributeValue>& c) {
+    return std::find(p.conditions.begin(), p.conditions.end(), c) !=
+           p.conditions.end();
+  };
+  for (const auto& c : conditions) {
+    if (!contains(other, c)) ++diff;
+  }
+  for (const auto& c : other.conditions) {
+    if (!contains(*this, c)) ++diff;
+  }
+  return diff;
+}
+
+Operation Pattern::ToOperation(const GroupSelection& current) const {
+  GroupSelection target = current;
+  for (const auto& [side, av] : conditions) {
+    Predicate& pred =
+        side == Side::kReviewer ? target.reviewer_pred : target.item_pred;
+    pred = pred.With(av);
+  }
+  Operation op;
+  op.target = std::move(target);
+  op.kind =
+      conditions.size() <= 1 ? OperationKind::kFilter : OperationKind::kComposite;
+  op.num_edits = conditions.size();
+  return op;
+}
+
+std::vector<Pattern> EnumerateSingleConditionPatterns(
+    const RatingGroup& group) {
+  const SubjectiveDatabase& db = group.db();
+  std::vector<Pattern> patterns;
+  for (Side side : {Side::kReviewer, Side::kItem}) {
+    const Table& table = db.table(side);
+    const Predicate& pred = group.selection().pred(side);
+    for (size_t a = 0; a < table.num_attributes(); ++a) {
+      if (table.schema().attribute(a).type == AttributeType::kNumeric) {
+        continue;
+      }
+      if (pred.ConstrainsAttribute(a)) continue;
+      AttributeType type = table.schema().attribute(a).type;
+      std::map<ValueCode, Bitmap> coverage;
+      for (size_t pos = 0; pos < group.size(); ++pos) {
+        RecordId rec = group.records()[pos];
+        RowId row =
+            side == Side::kReviewer ? db.reviewer_of(rec) : db.item_of(rec);
+        auto mark = [&](ValueCode c) {
+          auto it = coverage.find(c);
+          if (it == coverage.end()) {
+            it = coverage.emplace(c, Bitmap(group.size())).first;
+          }
+          it->second.Set(pos);
+        };
+        if (type == AttributeType::kCategorical) {
+          ValueCode c = table.CodeAt(a, row);
+          if (c != kNullCode) mark(c);
+        } else {
+          for (ValueCode c : table.MultiCodesAt(a, row)) mark(c);
+        }
+      }
+      for (auto& [code, bits] : coverage) {
+        Pattern p;
+        p.conditions = {{side, AttributeValue{a, code}}};
+        p.coverage = std::move(bits);
+        patterns.push_back(std::move(p));
+      }
+    }
+  }
+  return patterns;
+}
+
+Pattern CombinePatterns(const Pattern& a, const Pattern& b) {
+  SUBDEX_CHECK(a.coverage.size() == b.coverage.size());
+  Pattern out;
+  out.conditions = a.conditions;
+  out.conditions.insert(out.conditions.end(), b.conditions.begin(),
+                        b.conditions.end());
+  out.coverage = a.coverage;
+  out.coverage.And(b.coverage);
+  return out;
+}
+
+}  // namespace subdex

@@ -1,0 +1,46 @@
+#ifndef SUBDEX_BASELINES_PATTERN_H_
+#define SUBDEX_BASELINES_PATTERN_H_
+
+#include <utility>
+#include <vector>
+
+#include "subjective/operation.h"
+#include "subjective/rating_group.h"
+#include "util/bitmap.h"
+
+namespace subdex {
+
+/// A drill-down pattern over the joined (reviewer x item x rating) view of
+/// a rating group: attribute-value conditions added on top of the current
+/// selection, with the bitmap of group records it covers. Both baseline
+/// recommenders (Smart Drill-Down and Qagview) search this pattern space —
+/// the paper joins the three tables for them so each recommendation is a
+/// simultaneous selection over the reviewer and item groups.
+struct Pattern {
+  std::vector<std::pair<Side, AttributeValue>> conditions;
+  /// Coverage over positions of group.records().
+  Bitmap coverage;
+
+  size_t specificity() const { return conditions.size(); }
+  size_t count() const { return coverage.Count(); }
+
+  /// Number of conditions present in exactly one of the two patterns
+  /// (Qagview's cluster-distance D).
+  size_t Difference(const Pattern& other) const;
+
+  /// The next-step operation this pattern denotes: the current selection
+  /// plus the pattern's conditions (a pure drill-down).
+  Operation ToOperation(const GroupSelection& current) const;
+};
+
+/// All single-condition patterns of `group`: every (side, attribute, value)
+/// appearing in the group's records for attributes not already constrained
+/// by the group's selection, with exact coverage bitmaps.
+std::vector<Pattern> EnumerateSingleConditionPatterns(const RatingGroup& group);
+
+/// Conjunction of two patterns (conditions on distinct attributes).
+Pattern CombinePatterns(const Pattern& a, const Pattern& b);
+
+}  // namespace subdex
+
+#endif  // SUBDEX_BASELINES_PATTERN_H_

@@ -1,0 +1,80 @@
+#include "baselines/qagview.h"
+
+#include <algorithm>
+
+#include "baselines/pattern.h"
+
+namespace subdex {
+
+std::vector<Operation> Qagview::Recommend(const RatingGroup& group,
+                                          size_t count) const {
+  if (group.empty() || count == 0) return {};
+  std::vector<Pattern> singles = EnumerateSingleConditionPatterns(group);
+
+  std::vector<Pattern> candidates;
+  for (Pattern& p : singles) {
+    if (p.count() >= options_.min_cover) candidates.push_back(p);
+  }
+  std::vector<size_t> by_cover(candidates.size());
+  for (size_t i = 0; i < by_cover.size(); ++i) by_cover[i] = i;
+  std::sort(by_cover.begin(), by_cover.end(), [&](size_t a, size_t b) {
+    return candidates[a].count() > candidates[b].count();
+  });
+  size_t base = std::min(options_.max_pair_base, by_cover.size());
+  for (size_t i = 0; i < base; ++i) {
+    for (size_t j = i + 1; j < base; ++j) {
+      const Pattern& a = candidates[by_cover[i]];
+      const Pattern& b = candidates[by_cover[j]];
+      if (a.conditions[0].first == b.conditions[0].first &&
+          a.conditions[0].second.attribute ==
+              b.conditions[0].second.attribute) {
+        continue;
+      }
+      Pattern pair = CombinePatterns(a, b);
+      if (pair.count() >= options_.min_cover) {
+        candidates.push_back(std::move(pair));
+      }
+    }
+  }
+
+  // Greedy max-coverage under the pairwise distance constraint, until both
+  // the cluster budget and the coverage threshold are satisfied.
+  size_t needed = static_cast<size_t>(options_.coverage_threshold *
+                                      static_cast<double>(group.size()));
+  Bitmap covered(group.size());
+  std::vector<Pattern> chosen;
+  std::vector<bool> used(candidates.size(), false);
+  std::vector<Operation> out;
+  while (out.size() < count) {
+    double best_gain = 0.0;
+    size_t best = candidates.size();
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (used[i]) continue;
+      bool far_enough = true;
+      for (const Pattern& c : chosen) {
+        if (candidates[i].Difference(c) < options_.min_distance) {
+          far_enough = false;
+          break;
+        }
+      }
+      if (!far_enough) continue;
+      size_t fresh = 0;
+      for (uint32_t pos : candidates[i].coverage.ToIndices()) {
+        if (!covered.Test(pos)) ++fresh;
+      }
+      if (static_cast<double>(fresh) > best_gain) {
+        best_gain = static_cast<double>(fresh);
+        best = i;
+      }
+    }
+    if (best == candidates.size()) break;
+    used[best] = true;
+    covered.Or(candidates[best].coverage);
+    chosen.push_back(candidates[best]);
+    out.push_back(candidates[best].ToOperation(group.selection()));
+    if (covered.Count() >= needed && out.size() >= count) break;
+  }
+  return out;
+}
+
+}  // namespace subdex

@@ -1,0 +1,43 @@
+#ifndef SUBDEX_BASELINES_QAGVIEW_H_
+#define SUBDEX_BASELINES_QAGVIEW_H_
+
+#include "baselines/next_action_baseline.h"
+
+namespace subdex {
+
+/// Qagview (Wen, Zhu, Roy & Yang, 2018), the result-summarization baseline
+/// of Section 5.1: summarizes a query result (the rating group) with k
+/// diverse clusters, each a pattern over the joined table. Following the
+/// paper's configuration: all records weigh 1, the summary must cover at
+/// least |g_R| / 2 records, and selected clusters must differ pairwise in
+/// at least D = 2 attribute-values. Implemented as greedy weighted
+/// max-coverage over 1- and 2-condition patterns subject to the pairwise
+/// distance constraint; each cluster doubles as a drill-down operation.
+class Qagview : public NextActionBaseline {
+ public:
+  struct Options {
+    /// Pairwise cluster distance requirement D.
+    size_t min_distance = 2;
+    /// Required covered fraction of the group.
+    double coverage_threshold = 0.5;
+    /// 2-condition patterns are formed from the top singles by coverage.
+    size_t max_pair_base = 24;
+    /// Patterns covering fewer records are ignored.
+    size_t min_cover = 5;
+  };
+
+  Qagview() : Qagview(Options()) {}
+  explicit Qagview(Options options) : options_(options) {}
+
+  std::string name() const override { return "Qagview"; }
+
+  std::vector<Operation> Recommend(const RatingGroup& group,
+                                   size_t count) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace subdex
+
+#endif  // SUBDEX_BASELINES_QAGVIEW_H_

@@ -1,0 +1,75 @@
+#include "baselines/smart_drilldown.h"
+
+#include <algorithm>
+
+#include "baselines/pattern.h"
+
+namespace subdex {
+
+std::vector<Operation> SmartDrillDown::Recommend(const RatingGroup& group,
+                                                 size_t count) const {
+  if (group.empty() || count == 0) return {};
+  std::vector<Pattern> singles = EnumerateSingleConditionPatterns(group);
+
+  // Candidate rules: all singles plus pairs built from the highest-coverage
+  // singles (the published system explores rule refinements best-first; the
+  // top-coverage frontier is where refinements with meaningful support
+  // live).
+  std::vector<Pattern> candidates;
+  for (Pattern& p : singles) {
+    if (p.count() >= options_.min_cover) candidates.push_back(p);
+  }
+  std::vector<size_t> by_cover(candidates.size());
+  for (size_t i = 0; i < by_cover.size(); ++i) by_cover[i] = i;
+  std::sort(by_cover.begin(), by_cover.end(), [&](size_t a, size_t b) {
+    return candidates[a].count() > candidates[b].count();
+  });
+  size_t base = std::min(options_.max_pair_base, by_cover.size());
+  size_t num_singles = candidates.size();
+  for (size_t i = 0; i < base; ++i) {
+    for (size_t j = i + 1; j < base; ++j) {
+      const Pattern& a = candidates[by_cover[i]];
+      const Pattern& b = candidates[by_cover[j]];
+      if (a.conditions[0].first == b.conditions[0].first &&
+          a.conditions[0].second.attribute == b.conditions[0].second.attribute) {
+        continue;  // same attribute: conjunction is empty or redundant
+      }
+      Pattern pair = CombinePatterns(a, b);
+      if (pair.count() >= options_.min_cover) {
+        candidates.push_back(std::move(pair));
+      }
+    }
+  }
+  (void)num_singles;
+
+  // Greedy rule-list construction on marginal coverage x specificity.
+  Bitmap covered(group.size());
+  std::vector<bool> used(candidates.size(), false);
+  std::vector<Operation> out;
+  while (out.size() < count) {
+    double best_score = 0.0;
+    size_t best = candidates.size();
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (used[i]) continue;
+      size_t fresh = 0;
+      for (uint32_t pos : candidates[i].coverage.ToIndices()) {
+        if (!covered.Test(pos)) ++fresh;
+      }
+      double score =
+          static_cast<double>(fresh) *
+          (1.0 + options_.specificity_weight *
+                     static_cast<double>(candidates[i].specificity()));
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    if (best == candidates.size() || best_score <= 0.0) break;
+    used[best] = true;
+    covered.Or(candidates[best].coverage);
+    out.push_back(candidates[best].ToOperation(group.selection()));
+  }
+  return out;
+}
+
+}  // namespace subdex

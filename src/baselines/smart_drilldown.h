@@ -1,0 +1,45 @@
+#ifndef SUBDEX_BASELINES_SMART_DRILLDOWN_H_
+#define SUBDEX_BASELINES_SMART_DRILLDOWN_H_
+
+#include "baselines/next_action_baseline.h"
+
+namespace subdex {
+
+/// Smart Drill-Down (Joglekar, Garcia-Molina & Parameswaran, 2017), the
+/// drill-down view-exploration baseline of Section 5.1: finds a k-size
+/// rule list of "interesting" parts of the rating group. A rule is a
+/// conjunction of attribute-value conditions; a rule list is interesting
+/// when its rules (1) cover many records, (2) are specific (more non-star
+/// conditions score higher) and (3) are diverse (each rule is scored by the
+/// records it covers that no earlier rule covers). We implement the
+/// marginal-coverage greedy over 1- and 2-condition rules:
+///
+///   score(rule | chosen) = |newly covered records| * (1 + w * specificity)
+///
+/// Every emitted operation drills into the current rating group.
+class SmartDrillDown : public NextActionBaseline {
+ public:
+  struct Options {
+    /// Specificity weight w.
+    double specificity_weight = 0.3;
+    /// 2-condition rules are formed from the top singles by coverage.
+    size_t max_pair_base = 24;
+    /// Rules covering fewer records are ignored.
+    size_t min_cover = 5;
+  };
+
+  SmartDrillDown() : SmartDrillDown(Options()) {}
+  explicit SmartDrillDown(Options options) : options_(options) {}
+
+  std::string name() const override { return "SDD"; }
+
+  std::vector<Operation> Recommend(const RatingGroup& group,
+                                   size_t count) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace subdex
+
+#endif  // SUBDEX_BASELINES_SMART_DRILLDOWN_H_

@@ -1,0 +1,87 @@
+#include "core/distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace subdex {
+
+double Emd1D(const std::vector<double>& p, const std::vector<double>& q) {
+  SUBDEX_CHECK(p.size() == q.size());
+  SUBDEX_CHECK(p.size() >= 2);
+  auto normalize = [](const std::vector<double>& v) {
+    double total = 0.0;
+    for (double x : v) {
+      SUBDEX_CHECK(x >= 0.0);
+      total += x;
+    }
+    std::vector<double> out(v.size());
+    if (total <= 0.0) {
+      double u = 1.0 / static_cast<double>(v.size());
+      for (double& x : out) x = u;
+    } else {
+      for (size_t i = 0; i < v.size(); ++i) out[i] = v[i] / total;
+    }
+    return out;
+  };
+  std::vector<double> pn = normalize(p);
+  std::vector<double> qn = normalize(q);
+  double cdf_diff = 0.0;
+  double work = 0.0;
+  for (size_t i = 0; i + 1 < pn.size(); ++i) {
+    cdf_diff += pn[i] - qn[i];
+    work += std::fabs(cdf_diff);
+  }
+  return work / static_cast<double>(p.size() - 1);
+}
+
+namespace {
+
+// Places each record of the map at its subgroup's average score on an axis
+// of `kBinsPerPoint` bins per scale point. Multi-valued groupings may count
+// a record once per subgroup; the histogram is normalized, so only the
+// relative structure matters.
+constexpr int kBinsPerPoint = 4;
+
+std::vector<double> SubgroupSignature(const RatingMap& map, int scale) {
+  size_t bins = static_cast<size_t>((scale - 1) * kBinsPerPoint + 1);
+  std::vector<double> sig(bins, 0.0);
+  for (const Subgroup& sg : map.subgroups()) {
+    if (sg.count() == 0) continue;
+    double avg = sg.average();  // in [1, scale]
+    double pos = (avg - 1.0) * kBinsPerPoint;
+    size_t bin = static_cast<size_t>(std::lround(pos));
+    bin = std::min(bin, bins - 1);
+    sig[bin] += static_cast<double>(sg.count());
+  }
+  return sig;
+}
+
+}  // namespace
+
+double RatingMapDistance(const RatingMap& a, const RatingMap& b,
+                         MapDistanceKind kind) {
+  int scale = a.overall().scale();
+  SUBDEX_CHECK(scale == b.overall().scale());
+  switch (kind) {
+    case MapDistanceKind::kOverallEmd:
+      return a.overall().Emd(b.overall());
+    case MapDistanceKind::kSignatureEmd:
+      return Emd1D(SubgroupSignature(a, scale), SubgroupSignature(b, scale));
+  }
+  return 0.0;
+}
+
+double SetDiversity(const std::vector<RatingMap>& maps, MapDistanceKind kind) {
+  if (maps.size() < 2) return 0.0;
+  double best = 1.0;
+  for (size_t i = 0; i < maps.size(); ++i) {
+    for (size_t j = i + 1; j < maps.size(); ++j) {
+      best = std::min(best, RatingMapDistance(maps[i], maps[j], kind));
+    }
+  }
+  return best;
+}
+
+}  // namespace subdex

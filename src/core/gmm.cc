@@ -1,0 +1,93 @@
+#include "core/gmm.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace subdex {
+
+std::vector<size_t> GmmSelect(size_t n, size_t k, const DistanceFn& dist,
+                              size_t start) {
+  if (n == 0 || k == 0) return {};
+  SUBDEX_CHECK(start < n);
+  if (k >= n) {
+    std::vector<size_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  std::vector<size_t> chosen = {start};
+  // min_dist[i]: distance from i to the closest chosen element.
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < n; ++i) {
+    if (i != start) min_dist[i] = dist(i, start);
+  }
+  min_dist[start] = -1.0;  // never re-chosen
+  while (chosen.size() < k) {
+    size_t best = 0;
+    double best_dist = -1.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (min_dist[i] > best_dist) {
+        best_dist = min_dist[i];
+        best = i;
+      }
+    }
+    chosen.push_back(best);
+    min_dist[best] = -1.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (min_dist[i] >= 0.0) {
+        min_dist[i] = std::min(min_dist[i], dist(i, best));
+      }
+    }
+  }
+  return chosen;
+}
+
+double MinPairwiseDistance(const std::vector<size_t>& indices,
+                           const DistanceFn& dist) {
+  if (indices.size() < 2) return 1e300;
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    for (size_t j = i + 1; j < indices.size(); ++j) {
+      best = std::min(best, dist(indices[i], indices[j]));
+    }
+  }
+  return best;
+}
+
+namespace {
+void BruteForceRec(size_t n, size_t k, size_t next, const DistanceFn& dist,
+                   std::vector<size_t>* current, std::vector<size_t>* best,
+                   double* best_score) {
+  if (current->size() == k) {
+    double score = MinPairwiseDistance(*current, dist);
+    if (score > *best_score) {
+      *best_score = score;
+      *best = *current;
+    }
+    return;
+  }
+  if (n - next < k - current->size()) return;
+  for (size_t i = next; i < n; ++i) {
+    current->push_back(i);
+    BruteForceRec(n, k, i + 1, dist, current, best, best_score);
+    current->pop_back();
+  }
+}
+}  // namespace
+
+std::vector<size_t> BruteForceMaxMinSelect(size_t n, size_t k,
+                                           const DistanceFn& dist) {
+  if (k >= n) {
+    std::vector<size_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  std::vector<size_t> current;
+  std::vector<size_t> best;
+  double best_score = -1.0;
+  BruteForceRec(n, k, 0, dist, &current, &best, &best_score);
+  return best;
+}
+
+}  // namespace subdex

@@ -1,0 +1,35 @@
+#ifndef SUBDEX_CORE_GMM_H_
+#define SUBDEX_CORE_GMM_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace subdex {
+
+/// Pairwise distance oracle over elements indexed 0..n-1. Must be symmetric
+/// and non-negative.
+using DistanceFn = std::function<double(size_t, size_t)>;
+
+/// The GMM algorithm of Gonzalez (1985), as used by the RM-Selector
+/// (Section 4.2.2): starts from `start` and greedily adds, k-1 times, the
+/// element whose minimum distance to the chosen set is maximal. Returns the
+/// chosen indices (all of them when k >= n). A 2-approximation for the
+/// max-min diversity objective; O(k * n) distance evaluations.
+std::vector<size_t> GmmSelect(size_t n, size_t k, const DistanceFn& dist,
+                              size_t start = 0);
+
+/// min over pairs of `indices` of dist — the objective GMM approximates.
+/// Returns +infinity-like 1e300 for fewer than 2 indices so callers can
+/// treat singletons as maximally diverse.
+double MinPairwiseDistance(const std::vector<size_t>& indices,
+                           const DistanceFn& dist);
+
+/// Exact max-min diversity selection by exhaustive search; exponential,
+/// intended for validating GMM's approximation factor on small inputs.
+std::vector<size_t> BruteForceMaxMinSelect(size_t n, size_t k,
+                                           const DistanceFn& dist);
+
+}  // namespace subdex
+
+#endif  // SUBDEX_CORE_GMM_H_

@@ -1,0 +1,137 @@
+#include "core/rating_distribution.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace subdex {
+
+RatingDistribution::RatingDistribution(int scale) {
+  SUBDEX_CHECK(scale >= 2);
+  counts_.assign(static_cast<size_t>(scale), 0);
+}
+
+void RatingDistribution::Add(int score) { AddCount(score, 1); }
+
+void RatingDistribution::AddCount(int score, uint64_t n) {
+  SUBDEX_CHECK(score >= 1 && score <= scale());
+  counts_[static_cast<size_t>(score - 1)] += n;
+  total_ += n;
+}
+
+void RatingDistribution::Merge(const RatingDistribution& other) {
+  SUBDEX_CHECK(scale() == other.scale());
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+uint64_t RatingDistribution::count(int score) const {
+  SUBDEX_CHECK(score >= 1 && score <= scale());
+  return counts_[static_cast<size_t>(score - 1)];
+}
+
+double RatingDistribution::Probability(int score) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(score)) / static_cast<double>(total_);
+}
+
+std::vector<double> RatingDistribution::Probabilities() const {
+  std::vector<double> p(counts_.size(), 0.0);
+  if (total_ == 0) return p;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    p[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return p;
+}
+
+double RatingDistribution::Mean() const {
+  if (total_ == 0) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    sum += static_cast<double>(counts_[i]) * static_cast<double>(i + 1);
+  }
+  return sum / static_cast<double>(total_);
+}
+
+int RatingDistribution::Mode() const {
+  if (total_ == 0) return 0;
+  size_t best = 0;
+  for (size_t i = 1; i < counts_.size(); ++i) {
+    if (counts_[i] > counts_[best]) best = i;
+  }
+  return static_cast<int>(best + 1);
+}
+
+double RatingDistribution::StdDev() const {
+  if (total_ == 0) return 0.0;
+  double mean = Mean();
+  double sq = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    double v = static_cast<double>(i + 1) - mean;
+    sq += static_cast<double>(counts_[i]) * v * v;
+  }
+  return std::sqrt(sq / static_cast<double>(total_));
+}
+
+namespace {
+// Probability view that falls back to uniform for empty histograms, so the
+// distance measures stay total functions.
+std::vector<double> ProbsOrUniform(const RatingDistribution& d) {
+  std::vector<double> p = d.Probabilities();
+  if (d.total() == 0) {
+    double u = 1.0 / static_cast<double>(p.size());
+    for (double& x : p) x = u;
+  }
+  return p;
+}
+}  // namespace
+
+double RatingDistribution::TotalVariationDistance(
+    const RatingDistribution& other) const {
+  SUBDEX_CHECK(scale() == other.scale());
+  std::vector<double> p = ProbsOrUniform(*this);
+  std::vector<double> q = ProbsOrUniform(other);
+  double sum = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) sum += std::fabs(p[i] - q[i]);
+  return 0.5 * sum;
+}
+
+double RatingDistribution::KlDivergence(const RatingDistribution& other) const {
+  SUBDEX_CHECK(scale() == other.scale());
+  // Add-one (Laplace) smoothing on counts keeps the divergence finite.
+  double p_total = static_cast<double>(total_ + counts_.size());
+  double q_total = static_cast<double>(other.total_ + other.counts_.size());
+  double kl = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    double p = static_cast<double>(counts_[i] + 1) / p_total;
+    double q = static_cast<double>(other.counts_[i] + 1) / q_total;
+    kl += p * std::log(p / q);
+  }
+  return kl;
+}
+
+double RatingDistribution::Emd(const RatingDistribution& other) const {
+  SUBDEX_CHECK(scale() == other.scale());
+  SUBDEX_CHECK(scale() >= 2);
+  std::vector<double> p = ProbsOrUniform(*this);
+  std::vector<double> q = ProbsOrUniform(other);
+  double cdf_diff = 0.0;
+  double work = 0.0;
+  for (size_t i = 0; i + 1 < p.size(); ++i) {
+    cdf_diff += p[i] - q[i];
+    work += std::fabs(cdf_diff);
+  }
+  return work / static_cast<double>(scale() - 1);
+}
+
+std::string RatingDistribution::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(i + 1) + ":" + std::to_string(counts_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace subdex

@@ -1,0 +1,122 @@
+#include "core/rating_map.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace subdex {
+
+std::string RatingMapKey::ToString(const SubjectiveDatabase& db) const {
+  return "GroupBy " + std::string(SideName(side)) + "." +
+         db.table(side).schema().attribute(attribute).name +
+         ", aggregated by " + db.dimension_name(dimension);
+}
+
+RatingMap::RatingMap(RatingMapKey key, std::vector<Subgroup> subgroups,
+                     RatingDistribution overall)
+    : key_(key), subgroups_(std::move(subgroups)), overall_(std::move(overall)) {
+  std::sort(subgroups_.begin(), subgroups_.end(),
+            [](const Subgroup& a, const Subgroup& b) {
+              if (a.average() != b.average()) return a.average() > b.average();
+              return a.value < b.value;
+            });
+}
+
+RatingMap RatingMap::Build(const RatingGroup& group, const RatingMapKey& key) {
+  RatingMapAccumulator acc(&group, key);
+  acc.Update(0, group.size());
+  return acc.Snapshot();
+}
+
+std::string RatingMap::ToString(const SubjectiveDatabase& db) const {
+  const Table& table = db.table(key_.side);
+  std::string out = key_.ToString(db) + "\n";
+  for (const Subgroup& sg : subgroups_) {
+    std::string name = sg.value == kNullCode
+                           ? "unspecified"
+                           : table.dictionary(key_.attribute).ValueOf(sg.value);
+    out += "  " + name + ": n=" + std::to_string(sg.count()) + " " +
+           sg.dist.ToString() + " avg=" + FormatDouble(sg.average(), 2) + "\n";
+  }
+  return out;
+}
+
+RatingMapAccumulator::RatingMapAccumulator(const RatingGroup* group,
+                                           RatingMapKey key)
+    : group_(group),
+      key_(key),
+      overall_(group->db().scale()) {
+  SUBDEX_CHECK(group_ != nullptr);
+  SUBDEX_CHECK(key_.dimension < group_->db().num_dimensions());
+  const Table& table = group_->db().table(key_.side);
+  SUBDEX_CHECK(key_.attribute < table.num_attributes());
+  SUBDEX_CHECK(table.schema().attribute(key_.attribute).type !=
+               AttributeType::kNumeric);
+}
+
+void RatingMapAccumulator::Update(size_t begin, size_t end) {
+  SUBDEX_CHECK(begin <= end && end <= group_->size());
+  const SubjectiveDatabase& db = group_->db();
+  const Table& table = db.table(key_.side);
+  AttributeType type = table.schema().attribute(key_.attribute).type;
+  int scale = db.scale();
+  auto& parts = partitions_;
+  auto bucket = [&](ValueCode code) -> RatingDistribution& {
+    auto it = parts.find(code);
+    if (it == parts.end()) {
+      it = parts.emplace(code, RatingDistribution(scale)).first;
+    }
+    return it->second;
+  };
+
+  for (size_t i = begin; i < end; ++i) {
+    RecordId rec = group_->records()[i];
+    RowId row = key_.side == Side::kReviewer ? db.reviewer_of(rec)
+                                             : db.item_of(rec);
+    int score = db.score(key_.dimension, rec);
+    overall_.Add(score);
+    if (type == AttributeType::kCategorical) {
+      bucket(table.CodeAt(key_.attribute, row)).Add(score);
+    } else {
+      const auto& codes = table.MultiCodesAt(key_.attribute, row);
+      if (codes.empty()) {
+        bucket(kNullCode).Add(score);
+      } else {
+        for (ValueCode c : codes) bucket(c).Add(score);
+      }
+    }
+  }
+  processed_ += end - begin;
+}
+
+RatingMap RatingMapAccumulator::Snapshot() const {
+  std::vector<Subgroup> subgroups;
+  subgroups.reserve(partitions_.size());
+  for (const auto& [code, dist] : partitions_) {
+    subgroups.push_back({code, dist});
+  }
+  RatingMap map(key_, std::move(subgroups), overall_);
+  map.set_full_group_size(group_->size());
+  return map;
+}
+
+std::vector<RatingMapKey> AllRatingMapKeys(const SubjectiveDatabase& db,
+                                           const GroupSelection& selection) {
+  std::vector<RatingMapKey> keys;
+  for (Side side : {Side::kReviewer, Side::kItem}) {
+    const Table& table = db.table(side);
+    for (size_t a = 0; a < table.num_attributes(); ++a) {
+      if (table.schema().attribute(a).type == AttributeType::kNumeric) {
+        continue;
+      }
+      if (selection.pred(side).ConstrainsAttribute(a)) continue;
+      for (size_t d = 0; d < db.num_dimensions(); ++d) {
+        keys.push_back({side, a, d});
+      }
+    }
+  }
+  return keys;
+}
+
+}  // namespace subdex

@@ -1,0 +1,125 @@
+#ifndef SUBDEX_CORE_RATING_MAP_H_
+#define SUBDEX_CORE_RATING_MAP_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rating_distribution.h"
+#include "subjective/rating_group.h"
+
+namespace subdex {
+
+/// Identity of a candidate rating map for a given rating group: which
+/// attribute partitions the group (GroupBy) and which rating dimension is
+/// aggregated. W.l.o.g. (as in the paper) maps group by a single reviewer or
+/// item attribute.
+struct RatingMapKey {
+  Side side = Side::kReviewer;
+  size_t attribute = 0;
+  size_t dimension = 0;
+
+  friend bool operator==(const RatingMapKey&, const RatingMapKey&) = default;
+
+  std::string ToString(const SubjectiveDatabase& db) const;
+};
+
+struct RatingMapKeyHash {
+  size_t operator()(const RatingMapKey& k) const {
+    size_t h = k.side == Side::kReviewer ? 0x9e3779b9u : 0x85ebca6bu;
+    h = h * 1315423911u + k.attribute;
+    h = h * 1315423911u + k.dimension;
+    return h;
+  }
+};
+
+/// One (subgroup, rating distribution) pair of a rating map (Definition 2).
+struct Subgroup {
+  ValueCode value = kNullCode;  // kNullCode = records without a value
+  RatingDistribution dist;
+
+  uint64_t count() const { return dist.total(); }
+  double average() const { return dist.Mean(); }
+};
+
+/// A rating map (Definition 2): the partition of a rating group by one
+/// attribute, each part carrying its rating distribution for one dimension,
+/// plus the group-level distribution. Subgroups are ordered by descending
+/// average score, matching the paper's presentation (Figure 3).
+///
+/// For multi-valued grouping attributes (e.g. cuisine) a record contributes
+/// to every subgroup it belongs to; the overall distribution still counts
+/// each record once.
+class RatingMap {
+ public:
+  RatingMap() = default;
+  RatingMap(RatingMapKey key, std::vector<Subgroup> subgroups,
+            RatingDistribution overall);
+
+  /// Builds the complete rating map of `group` for `key`.
+  static RatingMap Build(const RatingGroup& group, const RatingMapKey& key);
+
+  const RatingMapKey& key() const { return key_; }
+  const std::vector<Subgroup>& subgroups() const { return subgroups_; }
+  size_t num_subgroups() const { return subgroups_.size(); }
+  const RatingDistribution& overall() const { return overall_; }
+  /// Number of records aggregated (|g_R| restricted to processed data).
+  uint64_t group_size() const { return overall_.total(); }
+
+  /// Size of the full rating group this map summarizes. Equals
+  /// group_size() for completely built maps; snapshots taken mid-way
+  /// through phased execution carry the full size so size-dependent
+  /// measures (conciseness) estimate the final value instead of the
+  /// prefix's.
+  uint64_t full_group_size() const {
+    return full_group_size_ > 0 ? full_group_size_ : overall_.total();
+  }
+  void set_full_group_size(uint64_t n) { full_group_size_ = n; }
+
+  /// Multi-line display form mirroring Figure 3.
+  std::string ToString(const SubjectiveDatabase& db) const;
+
+ private:
+  RatingMapKey key_;
+  std::vector<Subgroup> subgroups_;
+  RatingDistribution overall_;
+  uint64_t full_group_size_ = 0;
+};
+
+/// Incremental builder used by the phased execution framework: feed it
+/// slices of a rating group's records across phases and snapshot/finalize a
+/// RatingMap from whatever has been processed so far.
+class RatingMapAccumulator {
+ public:
+  RatingMapAccumulator(const RatingGroup* group, RatingMapKey key);
+
+  /// Processes records [begin, end) of the group's record list.
+  void Update(size_t begin, size_t end);
+
+  /// Number of group records processed so far.
+  size_t processed() const { return processed_; }
+
+  const RatingMapKey& key() const { return key_; }
+
+  /// Rating map over the records processed so far.
+  RatingMap Snapshot() const;
+
+ private:
+  const RatingGroup* group_;
+  RatingMapKey key_;
+  std::unordered_map<ValueCode, RatingDistribution> partitions_;
+  RatingDistribution overall_;
+  size_t processed_ = 0;
+};
+
+/// Enumerates all candidate rating map keys for a group with selection
+/// `selection`: every (multi-)categorical attribute of both tables crossed
+/// with every rating dimension. Attributes pinned to a single value by the
+/// selection are skipped — grouping by them yields one subgroup and carries
+/// no information.
+std::vector<RatingMapKey> AllRatingMapKeys(const SubjectiveDatabase& db,
+                                           const GroupSelection& selection);
+
+}  // namespace subdex
+
+#endif  // SUBDEX_CORE_RATING_MAP_H_

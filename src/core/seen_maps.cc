@@ -1,0 +1,39 @@
+#include "core/seen_maps.h"
+
+#include "util/check.h"
+
+namespace subdex {
+
+void SeenMapsTracker::Record(const RatingMap& map) {
+  SUBDEX_CHECK(map.key().dimension < dimension_counts_.size());
+  ++dimension_counts_[map.key().dimension];
+  ++total_;
+  seen_distributions_.push_back(map.overall());
+}
+
+size_t SeenMapsTracker::dimension_count(size_t d) const {
+  SUBDEX_CHECK(d < dimension_counts_.size());
+  return dimension_counts_[d];
+}
+
+std::vector<double> SeenMapsTracker::GetWeights() const {
+  std::vector<double> w(dimension_counts_.size(), 0.0);
+  if (total_ == 0) return w;
+  for (size_t i = 0; i < w.size(); ++i) {
+    w[i] = static_cast<double>(dimension_counts_[i]) /
+           static_cast<double>(total_);
+  }
+  return w;
+}
+
+double SeenMapsTracker::DimensionWeight(size_t d) const {
+  SUBDEX_CHECK(d < dimension_counts_.size());
+  if (total_ == 0) return 1.0;
+  // With a single rating dimension there is nothing to balance — Eq. 1
+  // would zero every utility after the first step.
+  if (dimension_counts_.size() == 1) return 1.0;
+  return 1.0 - static_cast<double>(dimension_counts_[d]) /
+                   static_cast<double>(total_);
+}
+
+}  // namespace subdex

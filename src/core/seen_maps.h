@@ -1,0 +1,58 @@
+#ifndef SUBDEX_CORE_SEEN_MAPS_H_
+#define SUBDEX_CORE_SEEN_MAPS_H_
+
+#include <vector>
+
+#include "core/interestingness.h"
+#include "core/rating_map.h"
+
+namespace subdex {
+
+/// Exploration history: the rating maps the user has seen so far (RM in the
+/// paper). Drives the two multi-step aspects of diversity — global
+/// peculiarity (distance to previously displayed distributions) and the
+/// dimension-weighted utility of Eq. 1 (rarely shown rating dimensions are
+/// promoted).
+class SeenMapsTracker {
+ public:
+  explicit SeenMapsTracker(size_t num_dimensions)
+      : dimension_counts_(num_dimensions, 0) {}
+
+  /// Records a displayed map.
+  void Record(const RatingMap& map);
+
+  /// Total number of displayed maps (m in the paper).
+  size_t total() const { return total_; }
+
+  /// Times dimension `d` was displayed (m_{r_d}).
+  size_t dimension_count(size_t d) const;
+
+  /// Algorithm 2 (getWeights): w[j] = m_{r_j} / m; all zeros when no map
+  /// has been displayed.
+  std::vector<double> GetWeights() const;
+
+  /// The DW multiplier (1 - m_{r_d}/m) of Eq. 1; 1.0 before anything has
+  /// been displayed.
+  double DimensionWeight(size_t d) const;
+
+  /// Overall distributions of displayed maps — the references for global
+  /// peculiarity.
+  const std::vector<RatingDistribution>& seen_distributions() const {
+    return seen_distributions_;
+  }
+
+  /// DW utility (Eq. 1) of `map` given its plain utility.
+  double DimensionWeightedUtility(const RatingMapKey& key,
+                                  double utility) const {
+    return DimensionWeight(key.dimension) * utility;
+  }
+
+ private:
+  std::vector<size_t> dimension_counts_;
+  size_t total_ = 0;
+  std::vector<RatingDistribution> seen_distributions_;
+};
+
+}  // namespace subdex
+
+#endif  // SUBDEX_CORE_SEEN_MAPS_H_

@@ -1,0 +1,62 @@
+#ifndef SUBDEX_DATAGEN_DATASET_SPEC_H_
+#define SUBDEX_DATAGEN_DATASET_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace subdex {
+
+/// Shape of one synthetic (multi-)categorical attribute.
+struct AttributeSpec {
+  std::string name;
+  /// Number of distinct values; value popularity follows Zipf(zipf_s).
+  size_t num_values = 2;
+  bool multi_valued = false;
+  /// Values per cell for multi-valued attributes (1..max_multi, uniform).
+  size_t max_multi = 3;
+  double zipf_s = 1.0;
+  /// Optional human-readable value names; generated names
+  /// ("<attr>_v<i>") fill the remainder.
+  std::vector<std::string> value_names;
+};
+
+/// Full description of a synthetic subjective database. The built-in specs
+/// (specs.h) reproduce the published shape of the paper's datasets
+/// (Table 2): attribute counts, value cardinalities, rating dimensions and
+/// relation sizes.
+struct DatasetSpec {
+  std::string name;
+  std::vector<AttributeSpec> reviewer_attributes;
+  std::vector<AttributeSpec> item_attributes;
+  std::vector<std::string> dimensions;
+  size_t num_reviewers = 100;
+  size_t num_items = 50;
+  size_t num_ratings = 1000;
+  /// Every reviewer receives at least this many ratings before the rest are
+  /// assigned by popularity (MovieLens guarantees 20 per reviewer).
+  size_t min_ratings_per_reviewer = 1;
+  int scale = 5;
+
+  // --- ground-truth rating model -----------------------------------------
+  /// Probability that an (attribute value, dimension) pair carries a
+  /// latent rating bias.
+  double bias_probability = 0.35;
+  /// Std-dev of the latent biases.
+  double bias_stddev = 0.55;
+  /// Per-record observation noise.
+  double noise_stddev = 0.9;
+  /// When true, dimensions beyond the first ("overall") are not stored
+  /// directly: review text is synthesized from the model's target scores
+  /// and the dimensions are extracted back from the text with the
+  /// VADER-style pipeline — the paper's Yelp/Hotel ingestion path.
+  bool extract_dimensions_from_text = false;
+
+  /// Returns a proportionally shrunken copy (for fast unit tests):
+  /// relation sizes scaled by `factor`, attribute shapes untouched.
+  DatasetSpec Scaled(double factor) const;
+};
+
+}  // namespace subdex
+
+#endif  // SUBDEX_DATAGEN_DATASET_SPEC_H_

@@ -1,0 +1,124 @@
+#include "datagen/insights.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/rating_map.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace subdex {
+
+std::string PlantedInsight::Describe(const SubjectiveDatabase& db) const {
+  const Table& table = db.table(side);
+  return std::string(SideName(side)) + "s with " +
+         table.schema().attribute(attribute).name + "=" +
+         table.dictionary(attribute).ValueOf(value) + " have the " +
+         (is_highest ? "highest" : "lowest") + " average '" +
+         db.dimension_name(dimension) + "' rating";
+}
+
+namespace {
+
+// True iff `value`'s subgroup is the strict extreme of the whole-database
+// rating map grouped by (side, attribute) on `dimension`.
+bool IsExtreme(const SubjectiveDatabase& db, Side side, size_t attribute,
+               ValueCode value, size_t dimension, bool highest,
+               double margin) {
+  RatingGroup all = RatingGroup::Materialize(db, GroupSelection{});
+  RatingMap map = RatingMap::Build(all, {side, attribute, dimension});
+  double target_avg = 0.0;
+  bool found = false;
+  for (const Subgroup& sg : map.subgroups()) {
+    if (sg.value == value) {
+      target_avg = sg.average();
+      found = true;
+      break;
+    }
+  }
+  if (!found) return false;
+  for (const Subgroup& sg : map.subgroups()) {
+    if (sg.value == value || sg.count() == 0) continue;
+    if (highest && sg.average() > target_avg - margin) return false;
+    if (!highest && sg.average() < target_avg + margin) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<PlantedInsight> PlantInsights(SubjectiveDatabase* db,
+                                          const InsightPlantingOptions& options,
+                                          uint64_t seed) {
+  SUBDEX_CHECK(db != nullptr && db->finalized());
+  Rng rng(seed);
+  std::vector<PlantedInsight> planted;
+  std::set<std::pair<int, size_t>> used_attrs;  // (side, attribute)
+
+  const size_t max_attempts = 400 * std::max<size_t>(1, options.count);
+  size_t attempts = 0;
+  while (planted.size() < options.count && attempts < max_attempts) {
+    ++attempts;
+    Side side = rng.Bernoulli(0.5) ? Side::kReviewer : Side::kItem;
+    const Table& table = db->table(side);
+    if (table.num_attributes() == 0) continue;
+    size_t attribute =
+        rng.UniformU32(static_cast<uint32_t>(table.num_attributes()));
+    if (table.schema().attribute(attribute).type == AttributeType::kNumeric) {
+      continue;
+    }
+    if (used_attrs.count({side == Side::kReviewer ? 0 : 1, attribute}) > 0) {
+      continue;
+    }
+    size_t num_values = table.DistinctValueCount(attribute);
+    if (num_values < 2) continue;
+    ValueCode value =
+        static_cast<ValueCode>(rng.UniformU32(static_cast<uint32_t>(num_values)));
+    size_t dimension =
+        rng.UniformU32(static_cast<uint32_t>(db->num_dimensions()));
+    bool highest = rng.Bernoulli(0.5);
+
+    // Collect the subgroup's rating records.
+    std::vector<RowId> rows =
+        db->MatchRows(side, Predicate({{attribute, value}})).ToIndices();
+    std::vector<RecordId> affected;
+    for (RowId row : rows) {
+      const std::vector<RecordId>& records =
+          side == Side::kReviewer ? db->RecordsOfReviewer(row)
+                                  : db->RecordsOfItem(row);
+      affected.insert(affected.end(), records.begin(), records.end());
+    }
+    if (affected.size() < options.min_records) continue;
+
+    // Shift the subgroup's scores, then verify the extreme really holds
+    // (records belonging to other subgroups too — via multi-valued
+    // attributes — can dampen the separation). Roll back on failure.
+    std::vector<int> previous(affected.size());
+    for (size_t i = 0; i < affected.size(); ++i) {
+      previous[i] = db->score(dimension, affected[i]);
+      int shifted =
+          previous[i] + (highest ? options.shift : -options.shift);
+      db->SetScore(dimension, affected[i], shifted);
+    }
+    if (!IsExtreme(*db, side, attribute, value, dimension, highest,
+                   /*margin=*/0.25)) {
+      for (size_t i = 0; i < affected.size(); ++i) {
+        db->SetScore(dimension, affected[i], previous[i]);
+      }
+      continue;
+    }
+
+    PlantedInsight insight;
+    insight.side = side;
+    insight.attribute = attribute;
+    insight.value = value;
+    insight.dimension = dimension;
+    insight.is_highest = highest;
+    insight.affected_records = std::move(affected);
+    used_attrs.insert({side == Side::kReviewer ? 0 : 1, attribute});
+    planted.push_back(std::move(insight));
+  }
+  return planted;
+}
+
+}  // namespace subdex

@@ -1,0 +1,48 @@
+#ifndef SUBDEX_DATAGEN_INSIGHTS_H_
+#define SUBDEX_DATAGEN_INSIGHTS_H_
+
+#include <string>
+#include <vector>
+
+#include "subjective/subjective_db.h"
+
+namespace subdex {
+
+/// A planted Scenario-II insight (Section 5.2): one attribute's subgroup is
+/// the extreme (highest or lowest average) of the rating map grouping the
+/// whole database by that attribute on one dimension — the kind of
+/// statement the paper's Kaggle EDA notebooks surface ("young adults gave
+/// the highest food ratings to Williamsburg restaurants").
+struct PlantedInsight {
+  Side side = Side::kReviewer;
+  size_t attribute = 0;
+  ValueCode value = kNullCode;
+  size_t dimension = 0;
+  bool is_highest = true;
+  /// Rating records shifted to create the insight.
+  std::vector<RecordId> affected_records;
+
+  std::string Describe(const SubjectiveDatabase& db) const;
+};
+
+struct InsightPlantingOptions {
+  /// The paper extracts 5 insights per dataset.
+  size_t count = 5;
+  /// Minimum rating records behind the extreme subgroup.
+  size_t min_records = 20;
+  /// Score shift applied to the subgroup's records (+ for highest,
+  /// - for lowest).
+  int shift = 3;
+};
+
+/// Plants insights into a finalized database by shifting the chosen
+/// subgroup's scores and verifying the subgroup really becomes the map's
+/// extreme. Each insight uses a distinct (side, attribute) so insights do
+/// not mask one another.
+std::vector<PlantedInsight> PlantInsights(SubjectiveDatabase* db,
+                                          const InsightPlantingOptions& options,
+                                          uint64_t seed);
+
+}  // namespace subdex
+
+#endif  // SUBDEX_DATAGEN_INSIGHTS_H_

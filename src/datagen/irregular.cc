@@ -1,0 +1,122 @@
+#include "datagen/irregular.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace subdex {
+
+std::string IrregularGroup::Describe(const SubjectiveDatabase& db) const {
+  return std::string(SideName(side)) + " group " +
+         description.ToString(db.table(side)) + ", dimension '" +
+         db.dimension_name(dimension) + "', " +
+         std::to_string(members.size()) + " members";
+}
+
+namespace {
+
+// Picks a 2-3 attribute description anchored at a random row so the group
+// is guaranteed non-empty.
+bool TryBuildDescription(const SubjectiveDatabase& db, Side side,
+                         size_t num_attrs, Rng* rng, Predicate* out) {
+  const Table& table = db.table(side);
+  if (table.num_rows() == 0) return false;
+  RowId anchor = rng->UniformU32(static_cast<uint32_t>(table.num_rows()));
+
+  std::vector<size_t> usable;
+  for (size_t a = 0; a < table.num_attributes(); ++a) {
+    if (table.schema().attribute(a).type == AttributeType::kNumeric) continue;
+    usable.push_back(a);
+  }
+  if (usable.size() < num_attrs) return false;
+  rng->Shuffle(&usable);
+
+  std::vector<AttributeValue> conjuncts;
+  for (size_t a : usable) {
+    if (conjuncts.size() == num_attrs) break;
+    AttributeType type = table.schema().attribute(a).type;
+    ValueCode code = kNullCode;
+    if (type == AttributeType::kCategorical) {
+      code = table.CodeAt(a, anchor);
+    } else {
+      const auto& codes = table.MultiCodesAt(a, anchor);
+      if (!codes.empty()) {
+        code = codes[rng->UniformU32(static_cast<uint32_t>(codes.size()))];
+      }
+    }
+    if (code == kNullCode) continue;
+    conjuncts.push_back({a, code});
+  }
+  if (conjuncts.size() != num_attrs) return false;
+  *out = Predicate(std::move(conjuncts));
+  return true;
+}
+
+}  // namespace
+
+std::vector<IrregularGroup> PlantIrregularGroups(
+    SubjectiveDatabase* db, const IrregularPlantingOptions& options,
+    uint64_t seed) {
+  SUBDEX_CHECK(db != nullptr && db->finalized());
+  SUBDEX_CHECK(options.min_description >= 1 &&
+               options.min_description <= options.max_description);
+  Rng rng(seed);
+  std::vector<IrregularGroup> planted;
+  std::set<std::string> used_descriptions;
+
+  const size_t max_attempts = 500 * std::max<size_t>(1, options.count);
+  size_t attempts = 0;
+  while (planted.size() < options.count && attempts < max_attempts) {
+    ++attempts;
+    Side side = planted.size() % 2 == 0 ? Side::kReviewer : Side::kItem;
+    const Table& table = db->table(side);
+    size_t num_attrs =
+        options.min_description +
+        rng.UniformU32(static_cast<uint32_t>(options.max_description -
+                                             options.min_description + 1));
+    Predicate description;
+    if (!TryBuildDescription(*db, side, num_attrs, &rng, &description)) {
+      continue;
+    }
+    std::string key = std::string(SideName(side)) + "|" +
+                      description.ToString(table);
+    if (used_descriptions.count(key) > 0) continue;
+
+    std::vector<RowId> members =
+        db->MatchRows(side, description).ToIndices();
+    size_t min_members = std::max<size_t>(
+        options.min_members,
+        static_cast<size_t>(options.min_member_fraction *
+                            static_cast<double>(table.num_rows())));
+    size_t max_members = std::max<size_t>(
+        min_members, static_cast<size_t>(options.max_member_fraction *
+                                         static_cast<double>(table.num_rows())));
+    if (members.size() < min_members || members.size() > max_members) {
+      continue;
+    }
+
+    IrregularGroup group;
+    group.side = side;
+    group.description = description;
+    group.dimension = rng.UniformU32(
+        static_cast<uint32_t>(db->num_dimensions()));
+    group.members = std::move(members);
+    for (RowId row : group.members) {
+      const std::vector<RecordId>& records =
+          side == Side::kReviewer ? db->RecordsOfReviewer(row)
+                                  : db->RecordsOfItem(row);
+      for (RecordId rec : records) {
+        db->SetScore(group.dimension, rec, 1);
+        group.affected_records.push_back(rec);
+      }
+    }
+    if (group.affected_records.empty()) continue;  // memberless in R
+    used_descriptions.insert(key);
+    planted.push_back(std::move(group));
+  }
+  return planted;
+}
+
+}  // namespace subdex

@@ -1,0 +1,54 @@
+#ifndef SUBDEX_DATAGEN_IRREGULAR_H_
+#define SUBDEX_DATAGEN_IRREGULAR_H_
+
+#include <string>
+#include <vector>
+
+#include "subjective/subjective_db.h"
+
+namespace subdex {
+
+/// An irregular group planted for Scenario I (Section 5.2): a reviewer or
+/// item group described by 2-3 shared attribute-values whose rating scores
+/// for one dimension have all been forced to the minimal value 1.
+struct IrregularGroup {
+  Side side = Side::kReviewer;
+  Predicate description;
+  size_t dimension = 0;
+  std::vector<RowId> members;
+  /// Rating records whose scores were forced to 1.
+  std::vector<RecordId> affected_records;
+
+  std::string Describe(const SubjectiveDatabase& db) const;
+};
+
+struct IrregularPlantingOptions {
+  size_t count = 2;
+  /// The paper creates each irregular group with at least five members.
+  size_t min_members = 5;
+  /// Additionally, members must make up at least this fraction of their
+  /// table, so the group leaves a signal the interestingness measures can
+  /// pick up at realistic database sizes (5 members of MovieLens's 943
+  /// reviewers is ~0.5%).
+  double min_member_fraction = 0.005;
+  /// Groups larger than this fraction of their table are rejected — an
+  /// "irregular" group must stay special.
+  double max_member_fraction = 0.05;
+  /// Attribute-value pairs per description (2 or 3, chosen per group).
+  size_t min_description = 2;
+  size_t max_description = 3;
+};
+
+/// Plants irregular groups into a finalized database by selecting random
+/// descriptions (sampling a seed row and copying 2-3 of its values, as the
+/// paper selects attribute-value pairs uniformly at random) and forcing the
+/// chosen dimension's score of every rating record of every member to 1.
+/// Sides alternate reviewer/item so a pair of groups matches the paper's
+/// task (one reviewer group + one item group). Descriptions never repeat.
+std::vector<IrregularGroup> PlantIrregularGroups(
+    SubjectiveDatabase* db, const IrregularPlantingOptions& options,
+    uint64_t seed);
+
+}  // namespace subdex
+
+#endif  // SUBDEX_DATAGEN_IRREGULAR_H_

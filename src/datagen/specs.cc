@@ -1,0 +1,157 @@
+#include "datagen/specs.h"
+
+namespace subdex {
+
+namespace {
+
+AttributeSpec Categorical(std::string name, size_t num_values,
+                          std::vector<std::string> value_names = {},
+                          double zipf_s = 1.0) {
+  AttributeSpec a;
+  a.name = std::move(name);
+  a.num_values = num_values;
+  a.value_names = std::move(value_names);
+  a.zipf_s = zipf_s;
+  return a;
+}
+
+AttributeSpec Multi(std::string name, size_t num_values, size_t max_multi,
+                    std::vector<std::string> value_names = {}) {
+  AttributeSpec a = Categorical(std::move(name), num_values,
+                                std::move(value_names));
+  a.multi_valued = true;
+  a.max_multi = max_multi;
+  return a;
+}
+
+}  // namespace
+
+DatasetSpec MovielensSpec() {
+  DatasetSpec spec;
+  spec.name = "movielens";
+  // 7 reviewer attributes + 5 item attributes = 12 (Table 2), max 29 values.
+  spec.reviewer_attributes = {
+      Categorical("gender", 2, {"F", "M"}),
+      Categorical("age_group", 7,
+                  {"under18", "18-24", "25-34", "35-44", "45-49", "50-55",
+                   "56+"}),
+      Categorical("occupation", 21,
+                  {"student", "engineer", "programmer", "educator", "artist",
+                   "administrator", "writer", "librarian", "scientist",
+                   "lawyer", "doctor", "healthcare", "executive", "marketing",
+                   "technician", "retired", "salesman", "entertainment",
+                   "homemaker", "none", "other"}),
+      Categorical("state", 29),
+      Categorical("city", 25),
+      Categorical("zip_region", 10),
+      Categorical("activity_level", 3, {"light", "regular", "heavy"}),
+  };
+  spec.item_attributes = {
+      Multi("genre", 18, 3,
+            {"action", "adventure", "animation", "children", "comedy",
+             "crime", "documentary", "drama", "fantasy", "film-noir",
+             "horror", "musical", "mystery", "romance", "sci-fi", "thriller",
+             "war", "western"}),
+      Categorical("release_decade", 8,
+                  {"1920s", "1930s", "1940s", "1950s", "1960s", "1970s",
+                   "1980s", "1990s"}),
+      Categorical("release_year", 29),
+      Categorical("language", 5,
+                  {"english", "french", "spanish", "german", "japanese"}),
+      Categorical("length_class", 3, {"short", "standard", "long"}),
+  };
+  spec.dimensions = {"overall"};
+  spec.num_reviewers = 943;
+  spec.num_items = 1682;
+  spec.num_ratings = 100000;
+  spec.min_ratings_per_reviewer = 20;
+  return spec;
+}
+
+DatasetSpec YelpSpec() {
+  DatasetSpec spec;
+  spec.name = "yelp";
+  // 12 reviewer + 12 item attributes = 24 (Table 2), max 13 values.
+  spec.reviewer_attributes = {
+      Categorical("gender", 3, {"F", "M", "unspecified"}),
+      Categorical("age_group", 6,
+                  {"young", "adult", "middle_aged", "senior", "teen",
+                   "unknown"}),
+      Categorical("occupation", 13,
+                  {"student", "programmer", "teacher", "artist", "lawyer",
+                   "nurse", "chef", "manager", "driver", "designer",
+                   "retired", "writer", "other"}),
+      Categorical("state", 10),
+      Categorical("city", 13),
+      Categorical("zip_region", 13),
+      Categorical("member_since", 8),
+      Categorical("elite_status", 2, {"elite", "regular"}),
+      Categorical("fans_level", 4, {"none", "few", "many", "influencer"}),
+      Categorical("review_count_level", 5,
+                  {"first-timer", "casual", "active", "frequent", "power"}),
+      Categorical("avg_stars_level", 5,
+                  {"harsh", "critical", "balanced", "generous", "gushing"}),
+      Categorical("platform", 3, {"web", "ios", "android"}),
+  };
+  spec.item_attributes = {
+      Multi("cuisine", 13, 3,
+            {"american", "italian", "japanese", "mexican", "chinese", "thai",
+             "indian", "french", "mediterranean", "korean", "vietnamese",
+             "burgers", "pizza"}),
+      Categorical("neighborhood", 13,
+                  {"williamsburg", "soho", "kips_bay", "tribeca", "chelsea",
+                   "midtown", "harlem", "astoria", "bushwick", "flatiron",
+                   "east_village", "west_village", "financial_district"}),
+      Categorical("price_range", 4, {"$", "$$", "$$$", "$$$$"}),
+      Categorical("noise_level", 3, {"quiet", "average", "loud"}),
+      Multi("ambience", 7, 2,
+            {"casual", "romantic", "trendy", "classy", "intimate", "touristy",
+             "hipster"}),
+      Categorical("parking", 3, {"street", "lot", "valet"}),
+      Categorical("wifi", 2, {"free", "no"}),
+      Categorical("alcohol", 3, {"full_bar", "beer_and_wine", "none"}),
+      Categorical("reservations", 2, {"yes", "no"}),
+      Categorical("outdoor_seating", 2, {"yes", "no"}),
+      Categorical("good_for_groups", 2, {"yes", "no"}),
+      Categorical("delivery", 2, {"yes", "no"}),
+  };
+  spec.dimensions = {"overall", "food", "service", "ambiance"};
+  spec.num_reviewers = 150318;
+  spec.num_items = 93;
+  spec.num_ratings = 200500;
+  spec.min_ratings_per_reviewer = 1;
+  spec.extract_dimensions_from_text = true;
+  return spec;
+}
+
+DatasetSpec HotelSpec() {
+  DatasetSpec spec;
+  spec.name = "hotel";
+  // 4 reviewer + 4 item attributes = 8 (Table 2), max 62 values.
+  spec.reviewer_attributes = {
+      Categorical("traveler_type", 5,
+                  {"business", "couple", "family", "solo", "friends"}),
+      Categorical("country", 62),
+      Categorical("age_group", 6,
+                  {"young", "adult", "middle_aged", "senior", "teen",
+                   "unknown"}),
+      Categorical("membership", 3, {"none", "silver", "gold"}),
+  };
+  spec.item_attributes = {
+      Categorical("city", 40),
+      Categorical("star_class", 5, {"1-star", "2-star", "3-star", "4-star",
+                                    "5-star"}),
+      Categorical("chain", 12),
+      Categorical("property_type", 6,
+                  {"hotel", "resort", "motel", "inn", "b&b", "hostel"}),
+  };
+  spec.dimensions = {"overall", "cleanliness", "food", "comfort"};
+  spec.num_reviewers = 15493;
+  spec.num_items = 879;
+  spec.num_ratings = 35912;
+  spec.min_ratings_per_reviewer = 1;
+  spec.extract_dimensions_from_text = true;
+  return spec;
+}
+
+}  // namespace subdex

@@ -1,0 +1,28 @@
+#ifndef SUBDEX_DATAGEN_SPECS_H_
+#define SUBDEX_DATAGEN_SPECS_H_
+
+#include "datagen/dataset_spec.h"
+
+namespace subdex {
+
+/// MovieLens-100K-shaped spec (Table 2): 12 attributes across both tables,
+/// max 29 values per attribute, 1 rating dimension, |R|=100K, |U|=943,
+/// |I|=1682, with the paper's enrichments (age group / state / city from
+/// demographics, release year and decade on movies) and >=20 ratings per
+/// reviewer.
+DatasetSpec MovielensSpec();
+
+/// Yelp-restaurants-shaped spec (Table 2): 24 attributes, max 13 values,
+/// 4 rating dimensions (overall + food/service/ambiance extracted from
+/// synthesized review text through the VADER-style pipeline), |R|=200500,
+/// |U|=150318, |I|=93.
+DatasetSpec YelpSpec();
+
+/// Hotel-Reviews-shaped spec (Table 2): 8 attributes, max 62 values,
+/// 4 rating dimensions (overall + cleanliness/food/comfort via the text
+/// pipeline), |R|=35912, |U|=15493, |I|=879.
+DatasetSpec HotelSpec();
+
+}  // namespace subdex
+
+#endif  // SUBDEX_DATAGEN_SPECS_H_

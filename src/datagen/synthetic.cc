@@ -1,0 +1,235 @@
+#include "datagen/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/review_extraction.h"
+#include "text/review_generator.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace subdex {
+
+DatasetSpec DatasetSpec::Scaled(double factor) const {
+  SUBDEX_CHECK(factor > 0.0);
+  DatasetSpec out = *this;
+  auto scale_count = [factor](size_t n) {
+    return std::max<size_t>(1, static_cast<size_t>(
+                                   std::lround(static_cast<double>(n) * factor)));
+  };
+  out.num_reviewers = scale_count(num_reviewers);
+  out.num_items = scale_count(num_items);
+  out.num_ratings = scale_count(num_ratings);
+  return out;
+}
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Schema BuildSchema(const std::vector<AttributeSpec>& attrs) {
+  std::vector<AttributeDef> defs;
+  defs.reserve(attrs.size());
+  for (const AttributeSpec& a : attrs) {
+    defs.push_back({a.name, a.multi_valued ? AttributeType::kMultiCategorical
+                                           : AttributeType::kCategorical});
+  }
+  return Schema(defs);
+}
+
+std::string ValueName(const AttributeSpec& attr, size_t v) {
+  if (v < attr.value_names.size()) return attr.value_names[v];
+  return attr.name + "_v" + std::to_string(v);
+}
+
+// Fills one entity table with `rows` rows whose attribute values follow
+// each attribute's Zipf popularity.
+void FillTable(Table* table, const std::vector<AttributeSpec>& attrs,
+               size_t rows, Rng* rng) {
+  std::vector<ZipfSampler> samplers;
+  samplers.reserve(attrs.size());
+  for (const AttributeSpec& a : attrs) {
+    SUBDEX_CHECK(a.num_values >= 1);
+    samplers.emplace_back(a.num_values, a.zipf_s);
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<Value> cells;
+    cells.reserve(attrs.size());
+    for (size_t a = 0; a < attrs.size(); ++a) {
+      const AttributeSpec& spec = attrs[a];
+      if (spec.multi_valued) {
+        size_t n = 1 + rng->UniformU32(static_cast<uint32_t>(
+                           std::max<size_t>(1, spec.max_multi)));
+        std::vector<std::string> values;
+        for (size_t i = 0; i < n; ++i) {
+          values.push_back(ValueName(spec, samplers[a].Sample(rng)));
+        }
+        cells.emplace_back(std::move(values));
+      } else {
+        cells.emplace_back(ValueName(spec, samplers[a].Sample(rng)));
+      }
+    }
+    Status st = table->AppendRow(cells);
+    SUBDEX_CHECK_MSG(st.ok(), st.ToString().c_str());
+  }
+}
+
+// Pre-interns every spec value so LatentBias can be computed from stable
+// codes even for values that no row happens to use.
+void InternAllValues(Table* table, const std::vector<AttributeSpec>& attrs) {
+  for (size_t a = 0; a < attrs.size(); ++a) {
+    for (size_t v = 0; v < attrs[a].num_values; ++v) {
+      table->InternValue(a, ValueName(attrs[a], v));
+    }
+  }
+}
+
+double BiasFromHash(uint64_t h, double probability, double stddev) {
+  Rng rng(h, /*stream=*/7);
+  if (!rng.Bernoulli(probability)) return 0.0;
+  return rng.Normal(0.0, stddev);
+}
+
+double SideBias(const DatasetSpec& spec, uint64_t seed, Side side,
+                const Table& table, RowId row, size_t dimension) {
+  double sum = 0.0;
+  size_t terms = 0;
+  uint64_t side_tag = side == Side::kReviewer ? 0x52 : 0x49;
+  for (size_t a = 0; a < table.num_attributes(); ++a) {
+    AttributeType type = table.schema().attribute(a).type;
+    if (type == AttributeType::kCategorical) {
+      ValueCode c = table.CodeAt(a, row);
+      if (c == kNullCode) continue;
+      uint64_t h = SplitMix64(seed ^ SplitMix64(side_tag) ^
+                              SplitMix64((a << 24) ^ (static_cast<uint64_t>(c) << 8) ^
+                                         dimension));
+      sum += BiasFromHash(h, spec.bias_probability, spec.bias_stddev);
+      ++terms;
+    } else if (type == AttributeType::kMultiCategorical) {
+      const auto& codes = table.MultiCodesAt(a, row);
+      if (codes.empty()) continue;
+      double local = 0.0;
+      for (ValueCode c : codes) {
+        uint64_t h = SplitMix64(seed ^ SplitMix64(side_tag) ^
+                                SplitMix64((a << 24) ^ (static_cast<uint64_t>(c) << 8) ^
+                                           dimension));
+        local += BiasFromHash(h, spec.bias_probability, spec.bias_stddev);
+      }
+      sum += local / static_cast<double>(codes.size());
+      ++terms;
+    }
+  }
+  if (terms == 0) return 0.0;
+  // Average over attributes keeps the aggregate bias on the same magnitude
+  // regardless of how many attributes a dataset has, then rescale so that
+  // single strong value biases remain visible in rating maps.
+  return 3.0 * sum / static_cast<double>(terms);
+}
+
+}  // namespace
+
+double LatentBias(const DatasetSpec& spec, uint64_t seed, Side side,
+                  size_t attribute, ValueCode value, size_t dimension) {
+  uint64_t side_tag = side == Side::kReviewer ? 0x52 : 0x49;
+  uint64_t h = SplitMix64(seed ^ SplitMix64(side_tag) ^
+                          SplitMix64((attribute << 24) ^
+                                     (static_cast<uint64_t>(value) << 8) ^
+                                     dimension));
+  return BiasFromHash(h, spec.bias_probability, spec.bias_stddev);
+}
+
+std::unique_ptr<SubjectiveDatabase> GenerateDataset(const DatasetSpec& spec,
+                                                    uint64_t seed) {
+  SUBDEX_CHECK(!spec.dimensions.empty());
+  SUBDEX_CHECK(spec.num_reviewers > 0 && spec.num_items > 0);
+  auto db = std::make_unique<SubjectiveDatabase>(
+      BuildSchema(spec.reviewer_attributes), BuildSchema(spec.item_attributes),
+      spec.dimensions, spec.scale);
+
+  Rng rng(seed);
+  FillTable(&db->reviewers(), spec.reviewer_attributes, spec.num_reviewers,
+            &rng);
+  FillTable(&db->items(), spec.item_attributes, spec.num_items, &rng);
+  InternAllValues(&db->reviewers(), spec.reviewer_attributes);
+  InternAllValues(&db->items(), spec.item_attributes);
+
+  // Per-dimension base level around the familiar ~3.5-star average.
+  std::vector<double> base(spec.dimensions.size());
+  for (size_t d = 0; d < base.size(); ++d) {
+    Rng base_rng(SplitMix64(seed ^ (0xBA5Eu + d)));
+    base[d] = 3.5 + base_rng.Normal(0.0, 0.25);
+  }
+
+  // Rating assignment: a guaranteed quota per reviewer, then the remainder
+  // by Zipf popularity over reviewers; items always drawn by popularity.
+  size_t quota_total = spec.min_ratings_per_reviewer * spec.num_reviewers;
+  SUBDEX_CHECK_MSG(quota_total <= spec.num_ratings,
+                   "num_ratings below the per-reviewer quota");
+  ZipfSampler reviewer_sampler(spec.num_reviewers, 1.0);
+  ZipfSampler item_sampler(spec.num_items, 1.0);
+
+  std::vector<std::pair<RowId, RowId>> pairs;
+  pairs.reserve(spec.num_ratings);
+  for (size_t u = 0; u < spec.num_reviewers; ++u) {
+    for (size_t q = 0; q < spec.min_ratings_per_reviewer; ++q) {
+      pairs.emplace_back(static_cast<RowId>(u),
+                         static_cast<RowId>(item_sampler.Sample(&rng)));
+    }
+  }
+  while (pairs.size() < spec.num_ratings) {
+    pairs.emplace_back(static_cast<RowId>(reviewer_sampler.Sample(&rng)),
+                       static_cast<RowId>(item_sampler.Sample(&rng)));
+  }
+  rng.Shuffle(&pairs);
+
+  // Optional text round-trip machinery for the non-overall dimensions.
+  std::unique_ptr<ReviewGenerator> review_gen;
+  std::unique_ptr<ReviewExtractor> extractor;
+  if (spec.extract_dimensions_from_text && spec.dimensions.size() > 1) {
+    std::vector<std::string> keywords(spec.dimensions.begin() + 1,
+                                      spec.dimensions.end());
+    review_gen = std::make_unique<ReviewGenerator>(keywords);
+    std::vector<std::vector<std::string>> kw_sets;
+    for (const std::string& k : keywords) kw_sets.push_back({k});
+    extractor = std::make_unique<ReviewExtractor>(kw_sets, spec.scale);
+  }
+
+  std::vector<double> scores(spec.dimensions.size());
+  std::vector<int> targets(spec.dimensions.size() > 1
+                               ? spec.dimensions.size() - 1
+                               : 0);
+  for (const auto& [reviewer, item] : pairs) {
+    for (size_t d = 0; d < spec.dimensions.size(); ++d) {
+      double mu = base[d] +
+                  SideBias(spec, seed, Side::kReviewer, db->reviewers(),
+                           reviewer, d) +
+                  SideBias(spec, seed, Side::kItem, db->items(), item, d);
+      double raw = mu + rng.Normal(0.0, spec.noise_stddev);
+      scores[d] = std::min(static_cast<double>(spec.scale),
+                           std::max(1.0, std::round(raw)));
+    }
+    if (review_gen != nullptr) {
+      for (size_t d = 1; d < spec.dimensions.size(); ++d) {
+        targets[d - 1] = static_cast<int>(scores[d]);
+      }
+      std::string review = review_gen->Generate(targets, &rng);
+      std::vector<double> extracted =
+          extractor->ExtractScores(review, /*fallback=*/scores[0]);
+      for (size_t d = 1; d < spec.dimensions.size(); ++d) {
+        scores[d] = extracted[d - 1];
+      }
+    }
+    Status st = db->AddRating(reviewer, item, scores);
+    SUBDEX_CHECK_MSG(st.ok(), st.ToString().c_str());
+  }
+
+  db->FinalizeIndexes();
+  return db;
+}
+
+}  // namespace subdex

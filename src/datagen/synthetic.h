@@ -1,0 +1,38 @@
+#ifndef SUBDEX_DATAGEN_SYNTHETIC_H_
+#define SUBDEX_DATAGEN_SYNTHETIC_H_
+
+#include <memory>
+
+#include "datagen/dataset_spec.h"
+#include "subjective/subjective_db.h"
+
+namespace subdex {
+
+/// Generates a finalized synthetic subjective database from `spec`,
+/// deterministically from `seed`.
+///
+/// Ground-truth model: every (side, attribute, value, dimension) tuple
+/// carries a latent bias (0 with probability 1 - bias_probability, else
+/// N(0, bias_stddev)), derived from the seed by hashing so no bias table is
+/// materialized. A rating record's score for dimension d is
+///   round(base_d + avg reviewer-value biases + avg item-value biases +
+///         N(0, noise_stddev))
+/// clamped into [1, scale], where base_d ~ N(3.5, 0.25) per dimension.
+/// This produces the group-level rating structure (subgroups with genuinely
+/// different distributions) that SubDEx's interestingness measures are
+/// designed to surface.
+///
+/// With spec.extract_dimensions_from_text, each record's non-overall
+/// dimensions go through the text round-trip: target scores -> synthetic
+/// review -> VADER-style window extraction (Section 5.1's Yelp pipeline).
+std::unique_ptr<SubjectiveDatabase> GenerateDataset(const DatasetSpec& spec,
+                                                    uint64_t seed);
+
+/// The latent bias of one (side, attribute, value, dimension) tuple —
+/// exposed for tests that validate the generator against its model.
+double LatentBias(const DatasetSpec& spec, uint64_t seed, Side side,
+                  size_t attribute, ValueCode value, size_t dimension);
+
+}  // namespace subdex
+
+#endif  // SUBDEX_DATAGEN_SYNTHETIC_H_

@@ -1,0 +1,212 @@
+#include "datagen/transforms.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace subdex {
+
+namespace {
+
+// Rebuilds one entity table keeping `attrs` (indices into src's schema) and
+// `rows` (old row ids, ascending). Values are folded modulo `max_values`
+// when max_values > 0.
+Table RebuildTable(const Table& src, const std::vector<size_t>& attrs,
+                   const std::vector<RowId>& rows, size_t max_values) {
+  std::vector<AttributeDef> defs;
+  for (size_t a : attrs) defs.push_back(src.schema().attribute(a));
+  Table out{Schema(defs)};
+
+  auto fold = [&](size_t attr, ValueCode code) -> std::string {
+    const Dictionary& dict = src.dictionary(attr);
+    size_t folded = static_cast<size_t>(code);
+    if (max_values > 0 && dict.size() > max_values) {
+      folded %= max_values;
+    }
+    return dict.ValueOf(static_cast<ValueCode>(folded));
+  };
+
+  for (RowId row : rows) {
+    std::vector<Value> cells;
+    cells.reserve(attrs.size());
+    for (size_t a : attrs) {
+      switch (src.schema().attribute(a).type) {
+        case AttributeType::kCategorical: {
+          ValueCode c = src.CodeAt(a, row);
+          if (c == kNullCode) {
+            cells.emplace_back(std::monostate{});
+          } else {
+            cells.emplace_back(fold(a, c));
+          }
+          break;
+        }
+        case AttributeType::kMultiCategorical: {
+          std::vector<std::string> values;
+          for (ValueCode c : src.MultiCodesAt(a, row)) {
+            values.push_back(fold(a, c));
+          }
+          if (values.empty()) {
+            cells.emplace_back(std::monostate{});
+          } else {
+            cells.emplace_back(std::move(values));
+          }
+          break;
+        }
+        case AttributeType::kNumeric:
+          cells.emplace_back(src.NumericAt(a, row));
+          break;
+      }
+    }
+    Status st = out.AppendRow(cells);
+    SUBDEX_CHECK_MSG(st.ok(), st.ToString().c_str());
+  }
+  return out;
+}
+
+std::vector<size_t> AllAttributes(const Table& t) {
+  std::vector<size_t> v(t.num_attributes());
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+std::vector<RowId> AllRows(const Table& t) {
+  std::vector<RowId> v(t.num_rows());
+  std::iota(v.begin(), v.end(), 0u);
+  return v;
+}
+
+std::vector<std::string> Dimensions(const SubjectiveDatabase& db) {
+  std::vector<std::string> dims;
+  for (size_t d = 0; d < db.num_dimensions(); ++d) {
+    dims.push_back(db.dimension_name(d));
+  }
+  return dims;
+}
+
+// Copies rating records into `dst`, remapping reviewer rows through
+// `reviewer_map` (old -> new; kNullCode-like -1 means dropped).
+void CopyRatings(const SubjectiveDatabase& src, SubjectiveDatabase* dst,
+                 const std::vector<int64_t>& reviewer_map) {
+  std::vector<double> scores(src.num_dimensions());
+  for (RecordId r = 0; r < src.num_records(); ++r) {
+    int64_t new_reviewer = reviewer_map[src.reviewer_of(r)];
+    if (new_reviewer < 0) continue;
+    for (size_t d = 0; d < src.num_dimensions(); ++d) {
+      scores[d] = src.score(d, r);
+    }
+    Status st = dst->AddRating(static_cast<RowId>(new_reviewer),
+                               src.item_of(r), scores);
+    SUBDEX_CHECK_MSG(st.ok(), st.ToString().c_str());
+  }
+}
+
+std::vector<int64_t> IdentityMap(size_t n) {
+  std::vector<int64_t> m(n);
+  std::iota(m.begin(), m.end(), int64_t{0});
+  return m;
+}
+
+}  // namespace
+
+std::unique_ptr<SubjectiveDatabase> SampleReviewers(
+    const SubjectiveDatabase& src, double fraction, uint64_t seed) {
+  SUBDEX_CHECK(fraction > 0.0 && fraction <= 1.0);
+  Rng rng(seed);
+  std::vector<RowId> kept;
+  std::vector<int64_t> reviewer_map(src.num_reviewers(), -1);
+  for (RowId u = 0; u < src.num_reviewers(); ++u) {
+    if (rng.UniformDouble() < fraction) {
+      reviewer_map[u] = static_cast<int64_t>(kept.size());
+      kept.push_back(u);
+    }
+  }
+  if (kept.empty()) {  // keep at least one reviewer
+    kept.push_back(0);
+    reviewer_map[0] = 0;
+  }
+
+  auto out = std::make_unique<SubjectiveDatabase>(
+      src.reviewers().schema(), src.items().schema(), Dimensions(src),
+      src.scale());
+  out->reviewers() = RebuildTable(src.reviewers(),
+                                  AllAttributes(src.reviewers()), kept, 0);
+  out->items() = RebuildTable(src.items(), AllAttributes(src.items()),
+                              AllRows(src.items()), 0);
+  CopyRatings(src, out.get(), reviewer_map);
+  out->FinalizeIndexes();
+  return out;
+}
+
+std::unique_ptr<SubjectiveDatabase> DropAttributes(
+    const SubjectiveDatabase& src, size_t keep_total, uint64_t seed) {
+  size_t total =
+      src.reviewers().num_attributes() + src.items().num_attributes();
+  SUBDEX_CHECK(keep_total >= 2 && keep_total <= total);
+  Rng rng(seed);
+
+  // Pick one attribute per side first so both tables stay explorable, then
+  // fill the remainder uniformly.
+  std::vector<std::pair<int, size_t>> pool;  // (side, attr)
+  for (size_t a = 0; a < src.reviewers().num_attributes(); ++a) {
+    pool.push_back({0, a});
+  }
+  for (size_t a = 0; a < src.items().num_attributes(); ++a) {
+    pool.push_back({1, a});
+  }
+  rng.Shuffle(&pool);
+  std::vector<size_t> keep_reviewer;
+  std::vector<size_t> keep_item;
+  for (const auto& [side, attr] : pool) {
+    bool need_reviewer = keep_reviewer.empty();
+    bool need_item = keep_item.empty();
+    size_t chosen = keep_reviewer.size() + keep_item.size();
+    size_t remaining = keep_total - chosen;
+    if (remaining == 0) break;
+    // Reserve slots for the still-missing sides.
+    size_t reserved = (need_reviewer ? 1 : 0) + (need_item ? 1 : 0);
+    if (side == 0) {
+      if (need_reviewer || remaining > reserved) keep_reviewer.push_back(attr);
+    } else {
+      if (need_item || remaining > reserved) keep_item.push_back(attr);
+    }
+  }
+  std::sort(keep_reviewer.begin(), keep_reviewer.end());
+  std::sort(keep_item.begin(), keep_item.end());
+
+  auto build_schema = [](const Table& t, const std::vector<size_t>& attrs) {
+    std::vector<AttributeDef> defs;
+    for (size_t a : attrs) defs.push_back(t.schema().attribute(a));
+    return Schema(defs);
+  };
+  auto out = std::make_unique<SubjectiveDatabase>(
+      build_schema(src.reviewers(), keep_reviewer),
+      build_schema(src.items(), keep_item), Dimensions(src), src.scale());
+  out->reviewers() = RebuildTable(src.reviewers(), keep_reviewer,
+                                  AllRows(src.reviewers()), 0);
+  out->items() =
+      RebuildTable(src.items(), keep_item, AllRows(src.items()), 0);
+  CopyRatings(src, out.get(), IdentityMap(src.num_reviewers()));
+  out->FinalizeIndexes();
+  return out;
+}
+
+std::unique_ptr<SubjectiveDatabase> LimitAttributeValues(
+    const SubjectiveDatabase& src, size_t max_values, uint64_t seed) {
+  SUBDEX_CHECK(max_values >= 1);
+  (void)seed;  // folding is deterministic; kept for interface symmetry
+  auto out = std::make_unique<SubjectiveDatabase>(
+      src.reviewers().schema(), src.items().schema(), Dimensions(src),
+      src.scale());
+  out->reviewers() =
+      RebuildTable(src.reviewers(), AllAttributes(src.reviewers()),
+                   AllRows(src.reviewers()), max_values);
+  out->items() = RebuildTable(src.items(), AllAttributes(src.items()),
+                              AllRows(src.items()), max_values);
+  CopyRatings(src, out.get(), IdentityMap(src.num_reviewers()));
+  out->FinalizeIndexes();
+  return out;
+}
+
+}  // namespace subdex

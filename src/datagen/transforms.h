@@ -1,0 +1,33 @@
+#ifndef SUBDEX_DATAGEN_TRANSFORMS_H_
+#define SUBDEX_DATAGEN_TRANSFORMS_H_
+
+#include <memory>
+
+#include "subjective/subjective_db.h"
+
+namespace subdex {
+
+/// Workload transforms for the scalability study (Figure 10). Each returns
+/// a fresh, finalized database derived from `src`.
+
+/// Keeps a random `fraction` of reviewers and only their rating records —
+/// the paper's database-size knob (Fig. 10a).
+std::unique_ptr<SubjectiveDatabase> SampleReviewers(
+    const SubjectiveDatabase& src, double fraction, uint64_t seed);
+
+/// Keeps `keep_total` randomly chosen attributes across both tables (at
+/// least one per side) — the #attributes knob, akin to the number of
+/// GroupBys / candidate rating maps (Fig. 10b).
+std::unique_ptr<SubjectiveDatabase> DropAttributes(
+    const SubjectiveDatabase& src, size_t keep_total, uint64_t seed);
+
+/// Folds every attribute's values so at most `max_values` distinct values
+/// remain (surplus codes remapped onto the retained ones) — the
+/// #attribute-values knob, akin to the number of candidate operations
+/// (Fig. 10c).
+std::unique_ptr<SubjectiveDatabase> LimitAttributeValues(
+    const SubjectiveDatabase& src, size_t max_values, uint64_t seed);
+
+}  // namespace subdex
+
+#endif  // SUBDEX_DATAGEN_TRANSFORMS_H_

@@ -1,0 +1,67 @@
+#include "engine/exploration_session.h"
+
+#include "util/check.h"
+
+namespace subdex {
+
+const char* ExplorationModeName(ExplorationMode mode) {
+  switch (mode) {
+    case ExplorationMode::kUserDriven:
+      return "user-driven";
+    case ExplorationMode::kRecommendationPowered:
+      return "recommendation-powered";
+    case ExplorationMode::kFullyAutomated:
+      return "fully-automated";
+  }
+  return "unknown";
+}
+
+ExplorationSession::ExplorationSession(const SubjectiveDatabase* db,
+                                       EngineConfig config,
+                                       ExplorationMode mode)
+    : engine_(db, config), mode_(mode) {}
+
+const StepResult& ExplorationSession::Execute(const GroupSelection& selection) {
+  bool with_recs = mode_ != ExplorationMode::kUserDriven;
+  path_.push_back(engine_.ExecuteStep(selection, with_recs));
+  return path_.back();
+}
+
+const StepResult& ExplorationSession::Start(const GroupSelection& initial) {
+  SUBDEX_CHECK_MSG(path_.empty(), "session already started");
+  return Execute(initial);
+}
+
+const StepResult& ExplorationSession::ApplyOperation(
+    const GroupSelection& next) {
+  SUBDEX_CHECK_MSG(!path_.empty(), "call Start() first");
+  SUBDEX_CHECK_MSG(mode_ != ExplorationMode::kFullyAutomated,
+                   "fully-automated sessions accept no user operations");
+  return Execute(next);
+}
+
+bool ExplorationSession::ApplyRecommendation(size_t index) {
+  SUBDEX_CHECK_MSG(!path_.empty(), "call Start() first");
+  SUBDEX_CHECK_MSG(mode_ != ExplorationMode::kUserDriven,
+                   "user-driven sessions have no recommendations");
+  const StepResult& prev = path_.back();
+  if (index >= prev.recommendations.size()) return false;
+  Execute(prev.recommendations[index].operation.target);
+  return true;
+}
+
+size_t ExplorationSession::RunAutomated(size_t steps) {
+  SUBDEX_CHECK_MSG(!path_.empty(), "call Start() first");
+  size_t done = 0;
+  for (; done < steps; ++done) {
+    if (!ApplyRecommendation(0)) break;
+  }
+  return done;
+}
+
+const StepResult& ExplorationSession::last() const {
+  SUBDEX_CHECK(!path_.empty());
+  return path_.back();
+}
+
+}  // namespace subdex

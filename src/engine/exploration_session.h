@@ -1,0 +1,64 @@
+#ifndef SUBDEX_ENGINE_EXPLORATION_SESSION_H_
+#define SUBDEX_ENGINE_EXPLORATION_SESSION_H_
+
+#include <vector>
+
+#include "engine/sde_engine.h"
+
+namespace subdex {
+
+/// The three exploration modes of Section 3.3.
+enum class ExplorationMode {
+  /// The system shows k maps; the user chooses every operation herself.
+  kUserDriven,
+  /// The system shows k maps and the top-o recommendations; the user picks
+  /// a recommendation or her own operation.
+  kRecommendationPowered,
+  /// The system applies the top-1 recommendation at every step.
+  kFullyAutomated,
+};
+
+const char* ExplorationModeName(ExplorationMode mode);
+
+/// A multi-step SDE process: wraps an SdeEngine, records the exploration
+/// path, and exposes the operations each mode allows. Recommendations are
+/// computed for every step except in User-Driven mode.
+class ExplorationSession {
+ public:
+  ExplorationSession(const SubjectiveDatabase* db, EngineConfig config,
+                     ExplorationMode mode);
+
+  /// Executes the first step on `initial` (typically the empty selection —
+  /// the whole database).
+  const StepResult& Start(const GroupSelection& initial);
+
+  /// Applies a user-provided operation (User-Driven and
+  /// Recommendation-Powered modes).
+  const StepResult& ApplyOperation(const GroupSelection& next);
+
+  /// Applies the index-th recommendation of the last step; returns false
+  /// when no such recommendation exists. Index 0 realizes Fully-Automated
+  /// exploration.
+  bool ApplyRecommendation(size_t index = 0);
+
+  /// Runs `steps` Fully-Automated steps after Start; stops early when no
+  /// recommendation is available. Returns the number of steps executed.
+  size_t RunAutomated(size_t steps);
+
+  ExplorationMode mode() const { return mode_; }
+  const std::vector<StepResult>& path() const { return path_; }
+  const StepResult& last() const;
+  SdeEngine& engine() { return engine_; }
+  const SdeEngine& engine() const { return engine_; }
+
+ private:
+  const StepResult& Execute(const GroupSelection& selection);
+
+  SdeEngine engine_;
+  ExplorationMode mode_;
+  std::vector<StepResult> path_;
+};
+
+}  // namespace subdex
+
+#endif  // SUBDEX_ENGINE_EXPLORATION_SESSION_H_

@@ -1,0 +1,79 @@
+#include "engine/fallacy.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace subdex {
+
+std::string FallacyWarning::Describe(const SubjectiveDatabase& db) const {
+  const Dictionary& dict = db.table(key.side).dictionary(key.attribute);
+  auto name = [&](ValueCode code) {
+    return code == kNullCode ? std::string("unspecified") : dict.ValueOf(code);
+  };
+  return "drill-down fallacy on " + key.ToString(db) + ": '" +
+         name(subgroup_a) + "' vs '" + name(subgroup_b) +
+         "' reverses (parent gap " + FormatDouble(parent_gap, 2) +
+         ", child gap " + FormatDouble(child_gap, 2) + ")";
+}
+
+std::vector<FallacyWarning> DetectDrillDownFallacies(
+    const RatingGroup& parent, const RatingGroup& child,
+    const FallacyDetectionOptions& options) {
+  SUBDEX_CHECK(&parent.db() == &child.db());
+  const SubjectiveDatabase& db = parent.db();
+  std::vector<FallacyWarning> warnings;
+
+  for (const RatingMapKey& key : AllRatingMapKeys(db, child.selection())) {
+    RatingMap parent_map = RatingMap::Build(parent, key);
+    RatingMap child_map = RatingMap::Build(child, key);
+
+    // Index the parent's qualifying subgroups by value code.
+    struct Entry {
+      double avg;
+      uint64_t count;
+    };
+    std::vector<std::pair<ValueCode, Entry>> parent_groups;
+    for (const Subgroup& sg : parent_map.subgroups()) {
+      if (sg.count() >= options.min_count) {
+        parent_groups.push_back({sg.value, {sg.average(), sg.count()}});
+      }
+    }
+    auto parent_of = [&](ValueCode code) -> const Entry* {
+      for (const auto& [value, entry] : parent_groups) {
+        if (value == code) return &entry;
+      }
+      return nullptr;
+    };
+
+    const auto& child_groups = child_map.subgroups();
+    for (size_t i = 0; i < child_groups.size(); ++i) {
+      if (child_groups[i].count() < options.min_count) continue;
+      const Entry* pa = parent_of(child_groups[i].value);
+      if (pa == nullptr) continue;
+      for (size_t j = i + 1; j < child_groups.size(); ++j) {
+        if (child_groups[j].count() < options.min_count) continue;
+        const Entry* pb = parent_of(child_groups[j].value);
+        if (pb == nullptr) continue;
+        double parent_gap = pa->avg - pb->avg;
+        double child_gap =
+            child_groups[i].average() - child_groups[j].average();
+        if (std::fabs(parent_gap) >= options.min_gap &&
+            std::fabs(child_gap) >= options.min_gap &&
+            parent_gap * child_gap < 0.0) {
+          FallacyWarning warning;
+          warning.key = key;
+          warning.subgroup_a = child_groups[i].value;
+          warning.subgroup_b = child_groups[j].value;
+          warning.parent_gap = parent_gap;
+          warning.child_gap = child_gap;
+          warnings.push_back(warning);
+        }
+      }
+    }
+  }
+  return warnings;
+}
+
+}  // namespace subdex

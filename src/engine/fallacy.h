@@ -1,0 +1,45 @@
+#ifndef SUBDEX_ENGINE_FALLACY_H_
+#define SUBDEX_ENGINE_FALLACY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/rating_map.h"
+
+namespace subdex {
+
+/// A potential drill-down fallacy (Lee et al. 2019, the paper's ref [38]):
+/// two subgroups of the same rating map swap their relative average
+/// ratings between a parent group and a group drilled down from it — the
+/// Simpson's-paradox situation where an insight read off the child view
+/// alone ("A is rated above B") contradicts the parent view.
+struct FallacyWarning {
+  RatingMapKey key;
+  ValueCode subgroup_a = kNullCode;
+  ValueCode subgroup_b = kNullCode;
+  /// Average of subgroup_a minus subgroup_b in each view; opposite signs.
+  double parent_gap = 0.0;
+  double child_gap = 0.0;
+
+  std::string Describe(const SubjectiveDatabase& db) const;
+};
+
+struct FallacyDetectionOptions {
+  /// Subgroups with fewer records (in either view) are ignored.
+  size_t min_count = 10;
+  /// Both gaps must be at least this large (in score points) for the
+  /// reversal to count — tiny flips are noise, not fallacies.
+  double min_gap = 0.3;
+};
+
+/// Checks every candidate rating map of the child's selection for subgroup
+/// reversals between `parent` and `child` (the child's selection should
+/// extend the parent's; callers typically pass consecutive exploration
+/// steps). Returns one warning per reversed subgroup pair.
+std::vector<FallacyWarning> DetectDrillDownFallacies(
+    const RatingGroup& parent, const RatingGroup& child,
+    const FallacyDetectionOptions& options = {});
+
+}  // namespace subdex
+
+#endif  // SUBDEX_ENGINE_FALLACY_H_

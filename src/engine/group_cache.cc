@@ -1,0 +1,76 @@
+#include "engine/group_cache.h"
+
+#include "util/check.h"
+
+namespace subdex {
+
+RatingGroupCache::RatingGroupCache(const SubjectiveDatabase* db,
+                                   size_t capacity)
+    : db_(db), capacity_(capacity) {
+  SUBDEX_CHECK(db_ != nullptr && db_->finalized());
+}
+
+std::string RatingGroupCache::KeyOf(const GroupSelection& selection) {
+  std::string key;
+  for (const AttributeValue& av : selection.reviewer_pred.conjuncts()) {
+    key += "r" + std::to_string(av.attribute) + "=" +
+           std::to_string(av.code) + ";";
+  }
+  for (const AttributeValue& av : selection.item_pred.conjuncts()) {
+    key += "i" + std::to_string(av.attribute) + "=" +
+           std::to_string(av.code) + ";";
+  }
+  return key;
+}
+
+RatingGroup RatingGroupCache::Get(const GroupSelection& selection) {
+  if (capacity_ == 0) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.misses;
+    }
+    return RatingGroup::Materialize(*db_, selection);
+  }
+  std::string key = KeyOf(selection);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // move to MRU position
+      ++stats_.hits;
+      return RatingGroup(db_, selection, it->second->second);
+    }
+    ++stats_.misses;
+  }
+  // Materialize outside the lock: concurrent misses may duplicate work for
+  // the same key, but never block each other on an O(|R|) scan.
+  RatingGroup group = RatingGroup::Materialize(*db_, selection);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (index_.find(key) == index_.end()) {
+      lru_.emplace_front(key, group.records());
+      index_[key] = lru_.begin();
+      if (lru_.size() > capacity_) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++stats_.evictions;
+      }
+    }
+    stats_.entries = lru_.size();
+  }
+  return group;
+}
+
+RatingGroupCache::Stats RatingGroupCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void RatingGroupCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  stats_.entries = 0;
+}
+
+}  // namespace subdex

@@ -1,0 +1,73 @@
+#ifndef SUBDEX_ENGINE_GROUP_CACHE_H_
+#define SUBDEX_ENGINE_GROUP_CACHE_H_
+
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "subjective/rating_group.h"
+
+namespace subdex {
+
+/// Thread-safe LRU cache of materialized rating groups, keyed by the joint
+/// selection. The in-memory counterpart of the repeated-data-access
+/// avoidance systems the paper builds on (in-memory caching/prefetching
+/// [18], Data Canopy [57]). Hits come from candidate operations that lead
+/// back toward previously evaluated selections — roll-ups, sideways
+/// changes, and a user revisiting a region — so the benefit is modest for
+/// a path that keeps moving into fresh territory (a few percent of
+/// materializations) and grows for interactive sessions that hop around
+/// explored areas.
+///
+/// Groups are pure functions of the (immutable, finalized) database and
+/// the selection, so cached entries never go stale. Capacity is bounded;
+/// eviction is least-recently-used.
+class RatingGroupCache {
+ public:
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t evictions = 0;
+    size_t entries = 0;
+
+    double HitRate() const {
+      size_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+
+  /// `capacity` = maximum number of cached groups; 0 disables caching
+  /// (every call materializes).
+  RatingGroupCache(const SubjectiveDatabase* db, size_t capacity);
+
+  RatingGroupCache(const RatingGroupCache&) = delete;
+  RatingGroupCache& operator=(const RatingGroupCache&) = delete;
+
+  /// The rating group of `selection`, from cache or freshly materialized.
+  RatingGroup Get(const GroupSelection& selection);
+
+  Stats stats() const;
+  size_t capacity() const { return capacity_; }
+  void Clear();
+
+ private:
+  // Canonical cache key: conjuncts are kept sorted by Predicate, so the
+  // rendered form is unique per selection.
+  static std::string KeyOf(const GroupSelection& selection);
+
+  const SubjectiveDatabase* db_;
+  size_t capacity_;
+
+  mutable std::mutex mu_;
+  // MRU-first list of (key, records); map points into the list.
+  using Entry = std::pair<std::string, std::vector<RecordId>>;
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace subdex
+
+#endif  // SUBDEX_ENGINE_GROUP_CACHE_H_

@@ -1,0 +1,82 @@
+#include "engine/recommendation_builder.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "util/thread_pool.h"
+
+namespace subdex {
+
+std::vector<Recommendation> RecommendationBuilder::TopRecommendations(
+    const GroupSelection& current, const SeenMapsTracker& seen,
+    const std::vector<GroupSelection>& explored,
+    RmGeneratorStats* stats) const {
+  std::vector<Operation> candidates =
+      EnumerateCandidateOperations(*db_, current, config_->operations);
+  if (!explored.empty()) {
+    std::erase_if(candidates, [&](const Operation& op) {
+      for (const GroupSelection& sel : explored) {
+        if (op.target == sel) return true;
+      }
+      return false;
+    });
+  }
+
+  if (config_->max_operation_evaluations > 0 &&
+      candidates.size() > config_->max_operation_evaluations) {
+    // Evaluation budget (paper cost model, Fig. 11b): keep single-edit
+    // operations first — the "small adjustment" candidates users expect —
+    // then composites, in enumeration order.
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Operation& a, const Operation& b) {
+                       return a.num_edits < b.num_edits;
+                     });
+    candidates.resize(config_->max_operation_evaluations);
+  }
+
+  std::vector<std::optional<Recommendation>> results(candidates.size());
+  std::vector<RmGeneratorStats> per_candidate_stats(candidates.size());
+
+  auto evaluate = [&](size_t i) {
+    RatingGroup group = cache_ != nullptr
+                            ? cache_->Get(candidates[i].target)
+                            : RatingGroup::Materialize(*db_, candidates[i].target);
+    if (group.size() < config_->min_group_size) return;
+    std::vector<ScoredRatingMap> maps =
+        pipeline_->SelectForDisplay(group, seen, &per_candidate_stats[i]);
+    if (maps.empty()) return;
+    Recommendation rec;
+    rec.operation = candidates[i];
+    rec.maps = std::move(maps);
+    rec.utility = RmPipeline::OperationUtility(rec.maps);
+    rec.group_size = group.size();
+    results[i] = std::move(rec);
+  };
+
+  if (config_->parallel_recommendations && config_->num_threads > 1 &&
+      candidates.size() > 1) {
+    ThreadPool pool(config_->num_threads);
+    pool.ParallelFor(candidates.size(), evaluate);
+  } else {
+    for (size_t i = 0; i < candidates.size(); ++i) evaluate(i);
+  }
+
+  if (stats != nullptr) {
+    for (const RmGeneratorStats& s : per_candidate_stats) stats->Merge(s);
+  }
+
+  std::vector<Recommendation> recs;
+  for (auto& r : results) {
+    if (r.has_value()) recs.push_back(std::move(*r));
+  }
+  // Candidates are enumerated deterministically; stable sort keeps the
+  // outcome reproducible under utility ties.
+  std::stable_sort(recs.begin(), recs.end(),
+                   [](const Recommendation& a, const Recommendation& b) {
+                     return a.utility > b.utility;
+                   });
+  if (recs.size() > config_->o) recs.resize(config_->o);
+  return recs;
+}
+
+}  // namespace subdex

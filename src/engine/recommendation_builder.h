@@ -1,0 +1,61 @@
+#ifndef SUBDEX_ENGINE_RECOMMENDATION_BUILDER_H_
+#define SUBDEX_ENGINE_RECOMMENDATION_BUILDER_H_
+
+#include <vector>
+
+#include "engine/group_cache.h"
+#include "engine/rm_pipeline.h"
+#include "subjective/operation.h"
+
+namespace subdex {
+
+/// A scored next-step recommendation: the operation, the k rating maps its
+/// target group would display, and the operation utility of Eq. 2.
+struct Recommendation {
+  Operation operation;
+  double utility = 0.0;
+  std::vector<ScoredRatingMap> maps;
+  size_t group_size = 0;
+};
+
+/// The Recommendation Builder of Figure 4 (Section 4.3): enumerates
+/// candidate operations within 2 attribute-value edits of the current
+/// selection, evaluates each by running the full RM-set pipeline on its
+/// target rating group, and returns the top-o by utility. Candidates are
+/// evaluated concurrently on a pool of `config->num_threads` workers (the
+/// paper's parallel query execution — the number of simultaneous
+/// evaluations is the number of available cores); the No-Parallelism and
+/// Naive baselines evaluate sequentially.
+///
+/// Note: the paper partitions this work per displayed rating map purely to
+/// parallelize it; an operation's utility does not depend on which map it
+/// is shown next to, so evaluating the candidate pool directly is
+/// equivalent.
+class RecommendationBuilder {
+ public:
+  /// `cache` may be null (every candidate group is materialized afresh).
+  RecommendationBuilder(const SubjectiveDatabase* db,
+                        const EngineConfig* config, const RmPipeline* pipeline,
+                        RatingGroupCache* cache = nullptr)
+      : db_(db), config_(config), pipeline_(pipeline), cache_(cache) {}
+
+  /// Top-o recommendations from `current` given history `seen` (Problem 2).
+  /// Candidates whose target selection appears in `explored` (the
+  /// selections whose maps the user has already been shown) are skipped —
+  /// re-recommending an already-displayed view shows nothing new, the same
+  /// rationale as global peculiarity's multi-step diversity.
+  std::vector<Recommendation> TopRecommendations(
+      const GroupSelection& current, const SeenMapsTracker& seen,
+      const std::vector<GroupSelection>& explored = {},
+      RmGeneratorStats* stats = nullptr) const;
+
+ private:
+  const SubjectiveDatabase* db_;
+  const EngineConfig* config_;
+  const RmPipeline* pipeline_;
+  RatingGroupCache* cache_;
+};
+
+}  // namespace subdex
+
+#endif  // SUBDEX_ENGINE_RECOMMENDATION_BUILDER_H_

@@ -1,0 +1,287 @@
+#include "engine/rm_generator.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "pruning/ci_pruner.h"
+#include "pruning/mab_pruner.h"
+#include "pruning/multi_aggregate_scan.h"
+#include "util/check.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace subdex {
+
+const char* PruningSchemeName(PruningScheme scheme) {
+  switch (scheme) {
+    case PruningScheme::kNone:
+      return "no-pruning";
+    case PruningScheme::kConfidenceInterval:
+      return "ci-pruning";
+    case PruningScheme::kMab:
+      return "mab-pruning";
+    case PruningScheme::kHybrid:
+      return "hybrid";
+  }
+  return "unknown";
+}
+
+const char* SelectionModeName(SelectionMode mode) {
+  switch (mode) {
+    case SelectionMode::kUtilityAndDiversity:
+      return "utility+diversity";
+    case SelectionMode::kUtilityOnly:
+      return "utility-only";
+    case SelectionMode::kDiversityOnly:
+      return "diversity-only";
+  }
+  return "unknown";
+}
+
+void RmGeneratorStats::Merge(const RmGeneratorStats& other) {
+  num_candidates += other.num_candidates;
+  pruned_ci += other.pruned_ci;
+  pruned_mab += other.pruned_mab;
+  mab_accepted += other.mab_accepted;
+  record_updates += other.record_updates;
+  phases_run += other.phases_run;
+}
+
+namespace {
+
+struct Candidate {
+  RatingMapKey key;
+  size_t scan_index = 0;
+  bool pruned = false;
+  bool accepted = false;
+  InterestingnessScores scores;
+  CandidateIntervals intervals;
+  double dw_mean = 0.0;
+};
+
+// Recomputes the still-active criteria of `cand` from its current snapshot
+// and refreshes the confidence intervals. Under the default max-aggregation,
+// criteria deactivated by interval domination (Algorithm 3) are skipped —
+// they can no longer define the utility. Other aggregations keep a single
+// interval around the aggregated utility.
+void EstimateCandidate(Candidate* cand, const RatingMap& snapshot,
+                       const std::vector<RatingDistribution>& seen_dists,
+                       const UtilityConfig& utility_config, double eps) {
+  auto clip = [](double x) { return std::min(1.0, std::max(0.0, x)); };
+  if (utility_config.aggregation == UtilityAggregation::kMax) {
+    auto& crit = cand->intervals.criteria;
+    if (crit[0].active) {
+      cand->scores.conciseness = Conciseness(snapshot, utility_config);
+      crit[0].lb = clip(cand->scores.conciseness - eps);
+      crit[0].ub = clip(cand->scores.conciseness + eps);
+    }
+    if (crit[1].active) {
+      cand->scores.agreement = Agreement(snapshot, utility_config);
+      crit[1].lb = clip(cand->scores.agreement - eps);
+      crit[1].ub = clip(cand->scores.agreement + eps);
+    }
+    if (crit[2].active) {
+      cand->scores.self_peculiarity = SelfPeculiarity(snapshot, utility_config);
+      crit[2].lb = clip(cand->scores.self_peculiarity - eps);
+      crit[2].ub = clip(cand->scores.self_peculiarity + eps);
+    }
+    if (crit[3].active) {
+      cand->scores.global_peculiarity =
+          GlobalPeculiarity(snapshot, seen_dists, utility_config);
+      crit[3].lb = clip(cand->scores.global_peculiarity - eps);
+      crit[3].ub = clip(cand->scores.global_peculiarity + eps);
+    }
+    ComputeEnvelope(&cand->intervals);
+  } else {
+    cand->scores = ComputeScores(snapshot, seen_dists, utility_config);
+    double u = Utility(cand->scores, utility_config);
+    // Collapse to one interval on the aggregated utility: domination-based
+    // criterion deactivation is only sound for the max aggregation.
+    cand->intervals.criteria[0] = {clip(u - eps), clip(u + eps), true};
+    for (size_t c = 1; c < cand->intervals.criteria.size(); ++c) {
+      cand->intervals.criteria[c].active = false;
+    }
+    cand->intervals.lb = cand->intervals.weight * clip(u - eps);
+    cand->intervals.ub = cand->intervals.weight * clip(u + eps);
+  }
+  cand->dw_mean =
+      cand->intervals.weight * Utility(cand->scores, utility_config);
+}
+
+}  // namespace
+
+std::vector<ScoredRatingMap> RmGenerator::Generate(
+    const RatingGroup& group, const SeenMapsTracker& seen, size_t k_prime,
+    RmGeneratorStats* stats) const {
+  RmGeneratorStats local_stats;
+  RmGeneratorStats* st = stats != nullptr ? stats : &local_stats;
+  if (group.empty() || k_prime == 0) return {};
+  const SubjectiveDatabase& db = group.db();
+
+  // Algorithm 1, line 1: all possible rating maps of the group.
+  std::vector<RatingMapKey> keys = AllRatingMapKeys(db, group.selection());
+  if (keys.empty()) return {};
+
+  // Line 2: dimension weights from the displayed-maps history.
+  std::vector<double> dim_weight(db.num_dimensions());
+  for (size_t d = 0; d < db.num_dimensions(); ++d) {
+    dim_weight[d] =
+        config_->use_dimension_weights ? seen.DimensionWeight(d) : 1.0;
+  }
+
+  // Phases consume the group in random order (sampling without
+  // replacement), which is what the Hoeffding-Serfling intervals assume.
+  std::vector<RecordId> records = group.records();
+  Rng rng(config_->seed);
+  rng.Shuffle(&records);
+  RatingGroup shuffled(&db, group.selection(), std::move(records));
+
+  // Shared scans: one per (side, grouping attribute).
+  std::vector<std::unique_ptr<MultiAggregateScan>> scans;
+  std::vector<Candidate> cands;
+  cands.reserve(keys.size());
+  for (const RatingMapKey& key : keys) {
+    size_t scan_index = scans.size();
+    if (config_->share_scans) {
+      for (size_t s = 0; s < scans.size(); ++s) {
+        if (scans[s]->side() == key.side &&
+            scans[s]->attribute() == key.attribute) {
+          scan_index = s;
+          break;
+        }
+      }
+    }
+    if (scan_index == scans.size()) {
+      scans.push_back(std::make_unique<MultiAggregateScan>(
+          &shuffled, key.side, key.attribute));
+      if (!config_->share_scans) {
+        // Sharing ablation: one scan per candidate, aggregating only its
+        // own dimension (each candidate re-reads the grouping codes).
+        for (size_t d = 0; d < db.num_dimensions(); ++d) {
+          if (d != key.dimension) scans.back()->DeactivateDimension(d);
+        }
+      }
+    }
+    Candidate cand;
+    cand.key = key;
+    cand.scan_index = scan_index;
+    cand.intervals.weight = dim_weight[key.dimension];
+    cands.push_back(std::move(cand));
+  }
+  st->num_candidates += cands.size();
+
+  const bool use_ci = config_->pruning == PruningScheme::kConfidenceInterval ||
+                      config_->pruning == PruningScheme::kHybrid;
+  const bool use_mab = config_->pruning == PruningScheme::kMab ||
+                       config_->pruning == PruningScheme::kHybrid;
+  const size_t num_phases = std::max<size_t>(1, config_->num_phases);
+  const size_t total = shuffled.size();
+  // SAR decides (at most) one arm per step; spreading the arm budget across
+  // phases decides every arm by the end of the framework.
+  const size_t sar_steps_per_phase =
+      use_mab ? (cands.size() + num_phases - 1) / num_phases : 0;
+  size_t accepted_count = 0;
+
+  auto prune_candidate = [&](Candidate* cand) {
+    cand->pruned = true;
+    scans[cand->scan_index]->DeactivateDimension(cand->key.dimension);
+  };
+
+  for (size_t phase = 0; phase < num_phases; ++phase) {
+    size_t begin = total * phase / num_phases;
+    size_t end = total * (phase + 1) / num_phases;
+    for (auto& scan : scans) {
+      st->record_updates += scan->Update(begin, end);
+    }
+    ++st->phases_run;
+    if (config_->pruning == PruningScheme::kNone) continue;
+    if (phase + 1 == num_phases) break;  // full data processed; no estimate needed
+
+    // Refresh estimates of all undecided candidates.
+    for (Candidate& cand : cands) {
+      if (cand.pruned) continue;
+      const MultiAggregateScan& scan = *scans[cand.scan_index];
+      size_t processed = scan.processed(cand.key.dimension);
+      if (processed == 0) continue;
+      double eps =
+          HoeffdingSerflingEpsilon(processed, total, config_->ci_delta);
+      RatingMap snapshot = scan.SnapshotMap(cand.key.dimension);
+      EstimateCandidate(&cand, snapshot, seen.seen_distributions(),
+                        config_->utility, eps);
+    }
+
+    if (use_ci) {
+      std::vector<size_t> live;
+      std::vector<CandidateIntervals> intervals;
+      for (size_t i = 0; i < cands.size(); ++i) {
+        if (cands[i].pruned) continue;
+        live.push_back(i);
+        intervals.push_back(cands[i].intervals);
+      }
+      std::vector<bool> prune = CiPrune(intervals, k_prime);
+      for (size_t j = 0; j < live.size(); ++j) {
+        Candidate& cand = cands[live[j]];
+        if (prune[j] && !cand.accepted) {
+          prune_candidate(&cand);
+          ++st->pruned_ci;
+        }
+      }
+    }
+
+    if (use_mab) {
+      for (size_t step = 0; step < sar_steps_per_phase; ++step) {
+        std::vector<size_t> open;
+        std::vector<double> means;
+        for (size_t i = 0; i < cands.size(); ++i) {
+          if (cands[i].pruned || cands[i].accepted) continue;
+          open.push_back(i);
+          means.push_back(cands[i].dw_mean);
+        }
+        size_t k_remaining =
+            k_prime > accepted_count ? k_prime - accepted_count : 0;
+        SarDecision decision = SarStep(means, k_remaining);
+        if (decision.action == SarAction::kNone) break;
+        Candidate& cand = cands[open[decision.index]];
+        if (decision.action == SarAction::kAcceptTop) {
+          cand.accepted = true;
+          ++accepted_count;
+          ++st->mab_accepted;
+        } else {
+          prune_candidate(&cand);
+          ++st->pruned_mab;
+        }
+      }
+    }
+  }
+
+  // Survivors were updated through every phase, so their snapshots cover the
+  // whole group; score them exactly and keep the top k_prime by DW utility.
+  std::vector<ScoredRatingMap> out;
+  for (const Candidate& cand : cands) {
+    if (cand.pruned) continue;
+    ScoredRatingMap scored;
+    scored.map = scans[cand.scan_index]->SnapshotMap(cand.key.dimension);
+    scored.scores = ComputeScores(scored.map, seen.seen_distributions(),
+                                  config_->utility);
+    scored.utility = Utility(scored.scores, config_->utility);
+    scored.dw_utility = dim_weight[cand.key.dimension] * scored.utility;
+    out.push_back(std::move(scored));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ScoredRatingMap& a, const ScoredRatingMap& b) {
+              if (a.dw_utility != b.dw_utility) {
+                return a.dw_utility > b.dw_utility;
+              }
+              const RatingMapKey& ka = a.map.key();
+              const RatingMapKey& kb = b.map.key();
+              if (ka.side != kb.side) return ka.side == Side::kReviewer;
+              if (ka.attribute != kb.attribute) {
+                return ka.attribute < kb.attribute;
+              }
+              return ka.dimension < kb.dimension;
+            });
+  if (out.size() > k_prime) out.resize(k_prime);
+  return out;
+}
+
+}  // namespace subdex

@@ -1,0 +1,37 @@
+#include "engine/rm_pipeline.h"
+
+#include <limits>
+
+namespace subdex {
+
+std::vector<ScoredRatingMap> RmPipeline::SelectForDisplay(
+    const RatingGroup& group, const SeenMapsTracker& seen,
+    RmGeneratorStats* stats) const {
+  size_t k = config_->k;
+  switch (config_->selection) {
+    case SelectionMode::kUtilityAndDiversity: {
+      std::vector<ScoredRatingMap> top =
+          generator_.Generate(group, seen, k * config_->l, stats);
+      return selector_.SelectDiverse(std::move(top), k);
+    }
+    case SelectionMode::kUtilityOnly:
+      // Equivalent to l = 1: the k highest-DW-utility maps, no GMM pass.
+      return generator_.Generate(group, seen, k, stats);
+    case SelectionMode::kDiversityOnly: {
+      // Keep every candidate map (pruning is vacuous with an unbounded
+      // budget) and let GMM pick the k most diverse.
+      std::vector<ScoredRatingMap> all = generator_.Generate(
+          group, seen, std::numeric_limits<size_t>::max(), stats);
+      return selector_.SelectDiverse(std::move(all), k);
+    }
+  }
+  return {};
+}
+
+double RmPipeline::OperationUtility(const std::vector<ScoredRatingMap>& maps) {
+  double sum = 0.0;
+  for (const ScoredRatingMap& m : maps) sum += m.dw_utility;
+  return sum;
+}
+
+}  // namespace subdex

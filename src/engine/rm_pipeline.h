@@ -1,0 +1,38 @@
+#ifndef SUBDEX_ENGINE_RM_PIPELINE_H_
+#define SUBDEX_ENGINE_RM_PIPELINE_H_
+
+#include <vector>
+
+#include "engine/rm_generator.h"
+#include "engine/rm_selector.h"
+
+namespace subdex {
+
+/// The RM-Set generator of Figure 4: composes the RM-Generator (top k*l
+/// maps by DW utility, with pruning) and the RM-Selector (GMM diversity)
+/// to solve the Diverse Rating Map Set Selection problem (Problem 1) for a
+/// rating group, honoring the configured SelectionMode.
+class RmPipeline {
+ public:
+  explicit RmPipeline(const EngineConfig* config)
+      : config_(config), generator_(config), selector_(config) {}
+
+  /// The k-size display set for `group` given history `seen`. Does not
+  /// mutate the history.
+  std::vector<ScoredRatingMap> SelectForDisplay(
+      const RatingGroup& group, const SeenMapsTracker& seen,
+      RmGeneratorStats* stats = nullptr) const;
+
+  /// Utility of an exploration operation (Eq. 2): the sum of DW utilities
+  /// of the maps the operation would display.
+  static double OperationUtility(const std::vector<ScoredRatingMap>& maps);
+
+ private:
+  const EngineConfig* config_;
+  RmGenerator generator_;
+  RmSelector selector_;
+};
+
+}  // namespace subdex
+
+#endif  // SUBDEX_ENGINE_RM_PIPELINE_H_

@@ -1,0 +1,27 @@
+#include "engine/rm_selector.h"
+
+#include <algorithm>
+
+#include "core/gmm.h"
+
+namespace subdex {
+
+std::vector<ScoredRatingMap> RmSelector::SelectDiverse(
+    std::vector<ScoredRatingMap> candidates, size_t k) const {
+  if (candidates.size() <= k) return candidates;
+  // Candidates arrive sorted by DW utility; index 0 seeds GMM so the single
+  // guaranteed pick is the most useful map.
+  MapDistanceKind kind = config_->map_distance;
+  auto dist = [&](size_t a, size_t b) {
+    return RatingMapDistance(candidates[a].map, candidates[b].map, kind);
+  };
+  std::vector<size_t> chosen = GmmSelect(candidates.size(), k, dist, 0);
+  std::sort(chosen.begin(), chosen.end());
+  std::vector<ScoredRatingMap> out;
+  out.reserve(chosen.size());
+  for (size_t idx : chosen) out.push_back(std::move(candidates[idx]));
+  // Ascending index order == descending DW utility (input ordering).
+  return out;
+}
+
+}  // namespace subdex

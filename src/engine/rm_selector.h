@@ -1,0 +1,27 @@
+#ifndef SUBDEX_ENGINE_RM_SELECTOR_H_
+#define SUBDEX_ENGINE_RM_SELECTOR_H_
+
+#include <vector>
+
+#include "engine/rm_generator.h"
+
+namespace subdex {
+
+/// The RM-Selector (Section 4.2.2): picks the most diverse k-size subset of
+/// the generator's top-(k*l) maps with the GMM algorithm, seeded at the
+/// highest-DW-utility map. The returned maps keep their scores and are
+/// ordered by descending DW utility.
+class RmSelector {
+ public:
+  explicit RmSelector(const EngineConfig* config) : config_(config) {}
+
+  std::vector<ScoredRatingMap> SelectDiverse(
+      std::vector<ScoredRatingMap> candidates, size_t k) const;
+
+ private:
+  const EngineConfig* config_;
+};
+
+}  // namespace subdex
+
+#endif  // SUBDEX_ENGINE_RM_SELECTOR_H_

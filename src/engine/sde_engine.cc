@@ -1,0 +1,56 @@
+#include "engine/sde_engine.h"
+
+#include <chrono>
+
+namespace subdex {
+
+namespace {
+EngineConfig WithDatabaseSize(EngineConfig config,
+                              const SubjectiveDatabase& db) {
+  if (config.utility.database_size == 0) {
+    config.utility.database_size = db.num_records();
+  }
+  return config;
+}
+}  // namespace
+
+SdeEngine::SdeEngine(const SubjectiveDatabase* db, EngineConfig config)
+    : db_(db),
+      config_(WithDatabaseSize(config, *db)),
+      pipeline_(&config_),
+      cache_(std::make_unique<RatingGroupCache>(
+          db, config_.group_cache_capacity)),
+      builder_(db, &config_, &pipeline_, cache_.get()),
+      seen_(db->num_dimensions()) {}
+
+StepResult SdeEngine::ExecuteStep(const GroupSelection& selection,
+                                  bool with_recommendations) {
+  auto start = std::chrono::steady_clock::now();
+  StepResult result;
+  result.selection = selection;
+
+  RatingGroup group = cache_->Get(selection);
+  result.group_size = group.size();
+  result.maps = pipeline_.SelectForDisplay(group, seen_, &result.stats);
+  // The user sees these maps now; recommendations are ranked against the
+  // updated history, and later steps' global peculiarity refers to them.
+  for (const ScoredRatingMap& m : result.maps) seen_.Record(m.map);
+  explored_.push_back(selection);
+
+  if (with_recommendations) {
+    result.recommendations = builder_.TopRecommendations(
+        selection, seen_, explored_, &result.stats);
+  }
+
+  auto end = std::chrono::steady_clock::now();
+  result.elapsed_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  return result;
+}
+
+void SdeEngine::ResetHistory() {
+  seen_ = SeenMapsTracker(db_->num_dimensions());
+  explored_.clear();
+}
+
+}  // namespace subdex

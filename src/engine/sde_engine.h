@@ -1,0 +1,71 @@
+#ifndef SUBDEX_ENGINE_SDE_ENGINE_H_
+#define SUBDEX_ENGINE_SDE_ENGINE_H_
+
+#include <vector>
+
+#include <memory>
+
+#include "engine/group_cache.h"
+#include "engine/recommendation_builder.h"
+#include "engine/rm_pipeline.h"
+
+namespace subdex {
+
+/// Everything the engine produced for one exploration step.
+struct StepResult {
+  GroupSelection selection;
+  size_t group_size = 0;
+  /// The k displayed rating maps (Problem 1).
+  std::vector<ScoredRatingMap> maps;
+  /// The top-o next-step recommendations (Problem 2); empty when the step
+  /// was executed without recommendations (User-Driven mode).
+  std::vector<Recommendation> recommendations;
+  /// Aggregated generator work counters (display + recommendations).
+  RmGeneratorStats stats;
+  /// Wall-clock time between picking the operation and having maps +
+  /// recommendations ready — the paper's per-step running time measure.
+  double elapsed_ms = 0.0;
+};
+
+/// The SDE Engine of Figure 4: orchestrates group materialization, the
+/// RM-set pipeline and the recommendation builder, and maintains the
+/// history of displayed maps (RM) across steps.
+class SdeEngine {
+ public:
+  SdeEngine(const SubjectiveDatabase* db, EngineConfig config);
+
+  const SubjectiveDatabase& db() const { return *db_; }
+  const EngineConfig& config() const { return config_; }
+  const SeenMapsTracker& seen() const { return seen_; }
+
+  /// Executes one exploration step: materializes the selection's rating
+  /// group, selects the k display maps, records them as seen, and — when
+  /// `with_recommendations` — ranks next-step operations against the
+  /// updated history.
+  StepResult ExecuteStep(const GroupSelection& selection,
+                         bool with_recommendations);
+
+  /// Forgets all displayed maps (fresh exploration).
+  void ResetHistory();
+
+  /// Selections whose maps have been displayed this exploration.
+  const std::vector<GroupSelection>& explored_selections() const {
+    return explored_;
+  }
+
+  /// The shared rating-group cache (hit statistics for benchmarks).
+  const RatingGroupCache& group_cache() const { return *cache_; }
+
+ private:
+  const SubjectiveDatabase* db_;
+  EngineConfig config_;
+  RmPipeline pipeline_;
+  std::unique_ptr<RatingGroupCache> cache_;
+  RecommendationBuilder builder_;
+  SeenMapsTracker seen_;
+  std::vector<GroupSelection> explored_;
+};
+
+}  // namespace subdex
+
+#endif  // SUBDEX_ENGINE_SDE_ENGINE_H_

@@ -1,0 +1,125 @@
+#include "engine/session_log.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "storage/query_parser.h"
+#include "util/string_util.h"
+
+namespace subdex {
+
+void SessionLog::Append(const StepResult& step) {
+  LoggedStep logged;
+  logged.selection = step.selection;
+  for (const ScoredRatingMap& m : step.maps) {
+    logged.displayed.push_back(m.map.key());
+  }
+  logged.group_size = step.group_size;
+  logged.elapsed_ms = step.elapsed_ms;
+  steps_.push_back(std::move(logged));
+}
+
+std::string SessionLog::Serialize(const SubjectiveDatabase& db) const {
+  std::ostringstream out;
+  for (const LoggedStep& step : steps_) {
+    out << "step " << step.group_size << ' '
+        << FormatDouble(step.elapsed_ms, 3) << '\n';
+    std::string reviewers =
+        PredicateToQuery(db.reviewers(), step.selection.reviewer_pred);
+    std::string items = PredicateToQuery(db.items(), step.selection.item_pred);
+    out << "reviewers: " << (reviewers.empty() ? "-" : reviewers) << '\n';
+    out << "items: " << (items.empty() ? "-" : items) << '\n';
+    for (const RatingMapKey& key : step.displayed) {
+      out << "map " << SideName(key.side) << ' '
+          << db.table(key.side).schema().attribute(key.attribute).name << ' '
+          << db.dimension_name(key.dimension) << '\n';
+    }
+  }
+  return out.str();
+}
+
+Result<SessionLog> SessionLog::Deserialize(SubjectiveDatabase* db,
+                                           const std::string& text) {
+  SessionLog log;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  auto error = [&line_no](const std::string& message) {
+    return Status::InvalidArgument("session log line " +
+                                   std::to_string(line_no) + ": " + message);
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string trimmed(Trim(line));
+    if (trimmed.empty()) continue;
+    if (trimmed.rfind("step ", 0) == 0) {
+      std::vector<std::string> fields = Split(trimmed, ' ');
+      if (fields.size() != 3) return error("malformed step header");
+      LoggedStep step;
+      int group_size = 0;
+      double elapsed = 0.0;
+      if (!ParseInt(fields[1], &group_size) || group_size < 0 ||
+          !ParseDouble(fields[2], &elapsed)) {
+        return error("bad step header values");
+      }
+      step.group_size = static_cast<size_t>(group_size);
+      step.elapsed_ms = elapsed;
+      log.steps_.push_back(std::move(step));
+    } else if (trimmed.rfind("reviewers:", 0) == 0 ||
+               trimmed.rfind("items:", 0) == 0) {
+      if (log.steps_.empty()) return error("selection before any step");
+      bool is_reviewers = trimmed.rfind("reviewers:", 0) == 0;
+      std::string query(
+          Trim(trimmed.substr(is_reviewers ? 10 : 6)));
+      if (query == "-") query.clear();
+      Table* table = is_reviewers ? &db->reviewers() : &db->items();
+      Result<Predicate> pred = ParsePredicate(table, query);
+      if (!pred.ok()) return pred.status();
+      GroupSelection& sel = log.steps_.back().selection;
+      (is_reviewers ? sel.reviewer_pred : sel.item_pred) =
+          std::move(pred).value();
+    } else if (trimmed.rfind("map ", 0) == 0) {
+      if (log.steps_.empty()) return error("map before any step");
+      std::vector<std::string> fields = Split(trimmed, ' ');
+      if (fields.size() != 4) return error("malformed map line");
+      RatingMapKey key;
+      if (fields[1] == "reviewer") {
+        key.side = Side::kReviewer;
+      } else if (fields[1] == "item") {
+        key.side = Side::kItem;
+      } else {
+        return error("unknown side '" + fields[1] + "'");
+      }
+      int attr = db->table(key.side).schema().IndexOf(fields[2]);
+      if (attr < 0) return error("unknown attribute '" + fields[2] + "'");
+      key.attribute = static_cast<size_t>(attr);
+      int dim = db->DimensionIndexOf(fields[3]);
+      if (dim < 0) return error("unknown dimension '" + fields[3] + "'");
+      key.dimension = static_cast<size_t>(dim);
+      log.steps_.back().displayed.push_back(key);
+    } else {
+      return error("unrecognized line '" + trimmed + "'");
+    }
+  }
+  return log;
+}
+
+Status SessionLog::SaveToFile(const SubjectiveDatabase& db,
+                              const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot create '" + path + "'");
+  out << Serialize(db);
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+Result<SessionLog> SessionLog::LoadFromFile(SubjectiveDatabase* db,
+                                            const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return Deserialize(db, text.str());
+}
+
+}  // namespace subdex

@@ -1,0 +1,56 @@
+#ifndef SUBDEX_ENGINE_SESSION_LOG_H_
+#define SUBDEX_ENGINE_SESSION_LOG_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/sde_engine.h"
+#include "util/status.h"
+
+namespace subdex {
+
+/// One logged exploration step: the selection examined and the rating maps
+/// displayed for it.
+struct LoggedStep {
+  GroupSelection selection;
+  std::vector<RatingMapKey> displayed;
+  size_t group_size = 0;
+  double elapsed_ms = 0.0;
+};
+
+/// A persistent record of an exploration session. The paper points at
+/// operation logs as the fuel for personalized recommendations ([23, 42]);
+/// SessionLog captures them in a plain-text format:
+///
+///   step <group_size> <elapsed_ms>
+///   reviewers: <query or ->
+///   items: <query or ->
+///   map <reviewer|item> <attribute> <dimension>     (one per displayed map)
+///
+/// Selections serialize through the SQL-style query syntax
+/// (storage/query_parser.h), so logs are human-readable and replayable.
+class SessionLog {
+ public:
+  SessionLog() = default;
+
+  void Append(const StepResult& step);
+  size_t size() const { return steps_.size(); }
+  bool empty() const { return steps_.empty(); }
+  const std::vector<LoggedStep>& steps() const { return steps_; }
+
+  std::string Serialize(const SubjectiveDatabase& db) const;
+  static Result<SessionLog> Deserialize(SubjectiveDatabase* db,
+                                        const std::string& text);
+
+  Status SaveToFile(const SubjectiveDatabase& db,
+                    const std::string& path) const;
+  static Result<SessionLog> LoadFromFile(SubjectiveDatabase* db,
+                                         const std::string& path);
+
+ private:
+  std::vector<LoggedStep> steps_;
+};
+
+}  // namespace subdex
+
+#endif  // SUBDEX_ENGINE_SESSION_LOG_H_

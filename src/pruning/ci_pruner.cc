@@ -1,0 +1,58 @@
+#include "pruning/ci_pruner.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace subdex {
+
+void ComputeEnvelope(CandidateIntervals* cand) {
+  // Deactivate every criterion interval lying entirely below some other
+  // active interval (it can never realize the max).
+  for (size_t i = 0; i < cand->criteria.size(); ++i) {
+    if (!cand->criteria[i].active) continue;
+    for (size_t j = 0; j < cand->criteria.size(); ++j) {
+      if (i == j || !cand->criteria[j].active) continue;
+      if (cand->criteria[i].ub < cand->criteria[j].lb) {
+        cand->criteria[i].active = false;
+        break;
+      }
+    }
+  }
+  double lb = 0.0;
+  double ub = 0.0;
+  bool any = false;
+  for (const CriterionInterval& ci : cand->criteria) {
+    if (!ci.active) continue;
+    lb = any ? std::max(lb, ci.lb) : ci.lb;
+    ub = any ? std::max(ub, ci.ub) : ci.ub;
+    any = true;
+  }
+  SUBDEX_CHECK_MSG(any, "all criterion intervals deactivated");
+  cand->lb = cand->weight * lb;
+  cand->ub = cand->weight * ub;
+}
+
+std::vector<bool> CiPrune(const std::vector<CandidateIntervals>& candidates,
+                          size_t k_prime) {
+  std::vector<bool> prune(candidates.size(), false);
+  if (candidates.size() <= k_prime || k_prime == 0) return prune;
+
+  std::vector<size_t> order(candidates.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return candidates[a].ub > candidates[b].ub;
+  });
+
+  double lowest_lb = std::numeric_limits<double>::infinity();
+  for (size_t r = 0; r < k_prime; ++r) {
+    lowest_lb = std::min(lowest_lb, candidates[order[r]].lb);
+  }
+  for (size_t r = k_prime; r < order.size(); ++r) {
+    if (candidates[order[r]].ub < lowest_lb) prune[order[r]] = true;
+  }
+  return prune;
+}
+
+}  // namespace subdex

@@ -1,0 +1,47 @@
+#ifndef SUBDEX_PRUNING_CI_PRUNER_H_
+#define SUBDEX_PRUNING_CI_PRUNER_H_
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace subdex {
+
+/// Confidence interval of one (normalized, [0,1]-valued) utility criterion.
+struct CriterionInterval {
+  double lb = 0.0;
+  double ub = 1.0;
+  /// Cleared when the interval is dominated by another criterion's interval
+  /// (Algorithm 3): since the utility is the max over criteria, a criterion
+  /// whose interval lies entirely below another's can never define the
+  /// utility and need not be estimated in later phases.
+  bool active = true;
+};
+
+/// Per-candidate interval state for confidence-interval pruning.
+struct CandidateIntervals {
+  std::array<CriterionInterval, 4> criteria;
+  /// Dimension weight (1 - m_{r_i}/m) multiplying both bounds (Eq. 1).
+  double weight = 1.0;
+  /// Envelope of the DW utility, filled by ComputeEnvelope.
+  double lb = 0.0;
+  double ub = 1.0;
+};
+
+/// Algorithm 3, lines 1-11: deactivates dominated criterion intervals and
+/// computes the candidate's DW-utility envelope. Because the utility is the
+/// maximum of the criteria, the envelope is
+///   [weight * max_i lb_i, weight * max_i ub_i]
+/// over the still-active criteria.
+void ComputeEnvelope(CandidateIntervals* cand);
+
+/// Algorithm 3, lines 12-17: given the envelopes of all still-active
+/// candidates, returns prune flags. A candidate is pruned when its upper
+/// bound is below the smallest lower bound of the top-k' candidates (by
+/// upper bound) — w.h.p. it cannot belong to the top-k'.
+std::vector<bool> CiPrune(const std::vector<CandidateIntervals>& candidates,
+                          size_t k_prime);
+
+}  // namespace subdex
+
+#endif  // SUBDEX_PRUNING_CI_PRUNER_H_

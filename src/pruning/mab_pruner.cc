@@ -1,0 +1,29 @@
+#include "pruning/mab_pruner.h"
+
+#include <algorithm>
+
+namespace subdex {
+
+SarDecision SarStep(const std::vector<double>& means, size_t k_remaining) {
+  if (means.empty() || means.size() <= k_remaining) return {SarAction::kNone, 0};
+
+  std::vector<size_t> order(means.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return means[a] > means[b]; });
+
+  if (k_remaining == 0) {
+    return {SarAction::kRejectBottom, order.back()};
+  }
+
+  // Delta1: gap between the best arm and the first excluded rank.
+  // Delta2: gap between the last included rank and the worst arm.
+  double delta1 = means[order[0]] - means[order[k_remaining]];
+  double delta2 = means[order[k_remaining - 1]] - means[order.back()];
+  if (delta1 > delta2) {
+    return {SarAction::kAcceptTop, order[0]};
+  }
+  return {SarAction::kRejectBottom, order.back()};
+}
+
+}  // namespace subdex

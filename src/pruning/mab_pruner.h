@@ -1,0 +1,37 @@
+#ifndef SUBDEX_PRUNING_MAB_PRUNER_H_
+#define SUBDEX_PRUNING_MAB_PRUNER_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace subdex {
+
+/// Outcome of one Successive-Accepts-and-Rejects step (Bubeck et al. 2013),
+/// used as the MAB-based pruning scheme (Section 4.2.1): rating maps are
+/// arms, their running DW-utility means are rewards.
+enum class SarAction {
+  /// Fewer candidates than open slots — nothing to decide.
+  kNone,
+  /// The top arm's lead over the (k'+1)-th is larger than the bottom arm's
+  /// deficit: accept the top arm into the top-k'.
+  kAcceptTop,
+  /// Otherwise: discard the bottom arm.
+  kRejectBottom,
+};
+
+struct SarDecision {
+  SarAction action = SarAction::kNone;
+  /// Index (into the `means` vector passed to SarStep) of the arm acted on.
+  size_t index = 0;
+};
+
+/// One SAR step over the still-undecided arms. `k_remaining` is the number
+/// of top slots not yet filled by accepted arms. Returns kNone when
+/// means.size() <= k_remaining (every remaining arm fits) or k_remaining is
+/// 0 with no arms. When k_remaining == 0 and arms remain, rejects the bottom
+/// arm (all slots are taken).
+SarDecision SarStep(const std::vector<double>& means, size_t k_remaining);
+
+}  // namespace subdex
+
+#endif  // SUBDEX_PRUNING_MAB_PRUNER_H_

@@ -1,0 +1,109 @@
+#include "pruning/multi_aggregate_scan.h"
+
+#include "util/check.h"
+
+namespace subdex {
+
+MultiAggregateScan::MultiAggregateScan(const RatingGroup* group, Side side,
+                                       size_t attribute)
+    : group_(group), side_(side), attribute_(attribute) {
+  SUBDEX_CHECK(group_ != nullptr);
+  const SubjectiveDatabase& db = group_->db();
+  const Table& table = db.table(side_);
+  SUBDEX_CHECK(attribute_ < table.num_attributes());
+  attribute_type_ = table.schema().attribute(attribute_).type;
+  SUBDEX_CHECK(attribute_type_ != AttributeType::kNumeric);
+  dims_.resize(db.num_dimensions());
+  for (auto& d : dims_) {
+    d.overall = RatingDistribution(db.scale());
+  }
+  num_active_ = dims_.size();
+}
+
+void MultiAggregateScan::DeactivateDimension(size_t dim) {
+  SUBDEX_CHECK(dim < dims_.size());
+  if (dims_[dim].active) {
+    dims_[dim].active = false;
+    --num_active_;
+  }
+}
+
+bool MultiAggregateScan::IsActive(size_t dim) const {
+  SUBDEX_CHECK(dim < dims_.size());
+  return dims_[dim].active;
+}
+
+size_t MultiAggregateScan::Update(size_t begin, size_t end) {
+  SUBDEX_CHECK(begin <= end && end <= group_->size());
+  if (num_active_ == 0) return 0;
+  const SubjectiveDatabase& db = group_->db();
+  const Table& table = db.table(side_);
+  int scale = db.scale();
+  size_t updates = 0;
+
+  // Active dimension list resolved once per slice.
+  std::vector<size_t> active;
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    if (dims_[d].active) active.push_back(d);
+  }
+
+  auto bucket = [&](PerDimension& pd, ValueCode code) -> RatingDistribution& {
+    auto it = pd.partitions.find(code);
+    if (it == pd.partitions.end()) {
+      it = pd.partitions.emplace(code, RatingDistribution(scale)).first;
+    }
+    return it->second;
+  };
+
+  for (size_t i = begin; i < end; ++i) {
+    RecordId rec = group_->records()[i];
+    RowId row =
+        side_ == Side::kReviewer ? db.reviewer_of(rec) : db.item_of(rec);
+    if (attribute_type_ == AttributeType::kCategorical) {
+      ValueCode code = table.CodeAt(attribute_, row);
+      for (size_t d : active) {
+        int score = db.score(d, rec);
+        PerDimension& pd = dims_[d];
+        pd.overall.Add(score);
+        bucket(pd, code).Add(score);
+        ++pd.processed;
+        ++updates;
+      }
+    } else {
+      const auto& codes = table.MultiCodesAt(attribute_, row);
+      for (size_t d : active) {
+        int score = db.score(d, rec);
+        PerDimension& pd = dims_[d];
+        pd.overall.Add(score);
+        if (codes.empty()) {
+          bucket(pd, kNullCode).Add(score);
+        } else {
+          for (ValueCode c : codes) bucket(pd, c).Add(score);
+        }
+        ++pd.processed;
+        ++updates;
+      }
+    }
+  }
+  return updates;
+}
+
+size_t MultiAggregateScan::processed(size_t dim) const {
+  SUBDEX_CHECK(dim < dims_.size());
+  return dims_[dim].processed;
+}
+
+RatingMap MultiAggregateScan::SnapshotMap(size_t dim) const {
+  SUBDEX_CHECK(dim < dims_.size());
+  const PerDimension& pd = dims_[dim];
+  std::vector<Subgroup> subgroups;
+  subgroups.reserve(pd.partitions.size());
+  for (const auto& [code, dist] : pd.partitions) {
+    subgroups.push_back({code, dist});
+  }
+  RatingMap map({side_, attribute_, dim}, std::move(subgroups), pd.overall);
+  map.set_full_group_size(group_->size());
+  return map;
+}
+
+}  // namespace subdex

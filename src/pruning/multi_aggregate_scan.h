@@ -1,0 +1,62 @@
+#ifndef SUBDEX_PRUNING_MULTI_AGGREGATE_SCAN_H_
+#define SUBDEX_PRUNING_MULTI_AGGREGATE_SCAN_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/rating_map.h"
+
+namespace subdex {
+
+/// The "Combining Multiple Aggregates" sharing optimization (Section 4.2.1):
+/// all candidate rating maps that group by the same attribute are evaluated
+/// in a single scan. Each pass over a slice of the rating group resolves the
+/// record's grouping code once and updates one histogram per still-active
+/// rating dimension, instead of re-scanning per candidate.
+///
+/// Dimensions are deactivated when their candidate map is pruned; per-
+/// dimension processed counts therefore diverge, and snapshots reflect each
+/// dimension's own processed prefix.
+class MultiAggregateScan {
+ public:
+  MultiAggregateScan(const RatingGroup* group, Side side, size_t attribute);
+
+  Side side() const { return side_; }
+  size_t attribute() const { return attribute_; }
+
+  /// Stops updating dimension `dim` (its candidate was pruned).
+  void DeactivateDimension(size_t dim);
+  bool IsActive(size_t dim) const;
+  /// Number of active dimensions (a scan with none is skipped entirely).
+  size_t num_active() const { return num_active_; }
+
+  /// Processes records [begin, end) of the group's record list for every
+  /// active dimension. Returns the number of (record, dimension) updates
+  /// performed — the work measure reported by the generator.
+  size_t Update(size_t begin, size_t end);
+
+  /// Records processed so far for dimension `dim`.
+  size_t processed(size_t dim) const;
+
+  /// Rating map for `dim` over the records processed for it so far.
+  RatingMap SnapshotMap(size_t dim) const;
+
+ private:
+  struct PerDimension {
+    bool active = true;
+    size_t processed = 0;
+    std::unordered_map<ValueCode, RatingDistribution> partitions;
+    RatingDistribution overall;
+  };
+
+  const RatingGroup* group_;
+  Side side_;
+  size_t attribute_;
+  AttributeType attribute_type_;
+  std::vector<PerDimension> dims_;
+  size_t num_active_;
+};
+
+}  // namespace subdex
+
+#endif  // SUBDEX_PRUNING_MULTI_AGGREGATE_SCAN_H_

@@ -1,0 +1,97 @@
+#include "storage/csv.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace subdex {
+
+Result<Table> ReadCsv(const std::string& path, const Schema& schema) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError("'" + path + "' is empty");
+  }
+  std::vector<std::string> header = Split(Trim(line), ',');
+  if (header.size() != schema.num_attributes()) {
+    return Status::InvalidArgument(
+        "'" + path + "': header has " + std::to_string(header.size()) +
+        " columns, schema expects " +
+        std::to_string(schema.num_attributes()));
+  }
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (std::string(Trim(header[i])) != schema.attribute(i).name) {
+      return Status::InvalidArgument("'" + path + "': column " +
+                                     std::to_string(i) + " is '" + header[i] +
+                                     "', expected '" +
+                                     schema.attribute(i).name + "'");
+    }
+  }
+  Table table(schema);
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    std::vector<std::string> fields = Split(line, ',');
+    if (fields.size() != schema.num_attributes()) {
+      return Status::InvalidArgument(
+          "'" + path + "' line " + std::to_string(line_no) + ": got " +
+          std::to_string(fields.size()) + " fields");
+    }
+    std::vector<Value> cells;
+    cells.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      std::string field(Trim(fields[i]));
+      if (field.empty()) {
+        cells.emplace_back(std::monostate{});
+        continue;
+      }
+      switch (schema.attribute(i).type) {
+        case AttributeType::kCategorical:
+          cells.emplace_back(std::move(field));
+          break;
+        case AttributeType::kMultiCategorical:
+          cells.emplace_back(Split(field, '|'));
+          break;
+        case AttributeType::kNumeric: {
+          double v = 0.0;
+          if (!ParseDouble(field, &v)) {
+            return Status::InvalidArgument(
+                "'" + path + "' line " + std::to_string(line_no) +
+                ": bad numeric '" + field + "'");
+          }
+          cells.emplace_back(v);
+          break;
+        }
+      }
+    }
+    Status st = table.AppendRow(cells);
+    if (!st.ok()) return st;
+  }
+  return table;
+}
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot create '" + path + "'");
+  const Schema& schema = table.schema();
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (i > 0) out << ',';
+    out << schema.attribute(i).name;
+  }
+  out << '\n';
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    for (size_t i = 0; i < schema.num_attributes(); ++i) {
+      if (i > 0) out << ',';
+      out << table.CellToString(i, r);
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+}  // namespace subdex

@@ -1,0 +1,22 @@
+#ifndef SUBDEX_STORAGE_CSV_H_
+#define SUBDEX_STORAGE_CSV_H_
+
+#include <string>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace subdex {
+
+/// Loads a table from a CSV file whose header must match `schema`'s
+/// attribute names (in order). Multi-categorical cells use '|' as the value
+/// separator; empty cells are null. No quoting support — the synthetic
+/// exporters never emit separators inside values.
+Result<Table> ReadCsv(const std::string& path, const Schema& schema);
+
+/// Writes `table` as CSV (same conventions as ReadCsv).
+Status WriteCsv(const Table& table, const std::string& path);
+
+}  // namespace subdex
+
+#endif  // SUBDEX_STORAGE_CSV_H_

@@ -1,0 +1,27 @@
+#include "storage/dictionary.h"
+
+#include "util/check.h"
+
+namespace subdex {
+
+ValueCode Dictionary::Intern(const std::string& value) {
+  auto it = codes_.find(value);
+  if (it != codes_.end()) return it->second;
+  ValueCode code = static_cast<ValueCode>(values_.size());
+  values_.push_back(value);
+  codes_.emplace(value, code);
+  return code;
+}
+
+ValueCode Dictionary::Lookup(const std::string& value) const {
+  auto it = codes_.find(value);
+  if (it == codes_.end()) return kNullCode;
+  return it->second;
+}
+
+const std::string& Dictionary::ValueOf(ValueCode code) const {
+  SUBDEX_CHECK(code >= 0 && static_cast<size_t>(code) < values_.size());
+  return values_[static_cast<size_t>(code)];
+}
+
+}  // namespace subdex

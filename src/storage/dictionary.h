@@ -1,0 +1,39 @@
+#ifndef SUBDEX_STORAGE_DICTIONARY_H_
+#define SUBDEX_STORAGE_DICTIONARY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace subdex {
+
+/// Per-attribute value dictionary: bidirectional mapping between string
+/// values and dense int32 codes. Codes are assigned in first-seen order, so
+/// ingestion from the same source is deterministic.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Returns the code for `value`, inserting it if new.
+  ValueCode Intern(const std::string& value);
+
+  /// Returns the code for `value`, or kNullCode if absent.
+  ValueCode Lookup(const std::string& value) const;
+
+  /// String for a valid code.
+  const std::string& ValueOf(ValueCode code) const;
+
+  size_t size() const { return values_.size(); }
+
+  const std::vector<std::string>& values() const { return values_; }
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, ValueCode> codes_;
+};
+
+}  // namespace subdex
+
+#endif  // SUBDEX_STORAGE_DICTIONARY_H_

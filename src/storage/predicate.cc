@@ -1,0 +1,118 @@
+#include "storage/predicate.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace subdex {
+
+namespace {
+void SortByAttribute(std::vector<AttributeValue>* conjuncts) {
+  std::sort(conjuncts->begin(), conjuncts->end(),
+            [](const AttributeValue& a, const AttributeValue& b) {
+              return a.attribute < b.attribute;
+            });
+}
+}  // namespace
+
+Predicate::Predicate(std::vector<AttributeValue> conjuncts)
+    : conjuncts_(std::move(conjuncts)) {
+  SortByAttribute(&conjuncts_);
+  for (size_t i = 1; i < conjuncts_.size(); ++i) {
+    SUBDEX_CHECK_MSG(conjuncts_[i - 1].attribute != conjuncts_[i].attribute,
+                     "predicate has two conjuncts on the same attribute");
+  }
+}
+
+Result<Predicate> Predicate::FromPairs(
+    Table* table,
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  std::vector<AttributeValue> conjuncts;
+  for (const auto& [name, value] : pairs) {
+    int idx = table->schema().IndexOf(name);
+    if (idx < 0) {
+      return Status::NotFound("unknown attribute '" + name + "'");
+    }
+    if (table->schema().attribute(static_cast<size_t>(idx)).type ==
+        AttributeType::kNumeric) {
+      return Status::InvalidArgument("attribute '" + name +
+                                     "' is numeric; predicates apply to "
+                                     "categorical attributes");
+    }
+    ValueCode code = table->InternValue(static_cast<size_t>(idx), value);
+    conjuncts.push_back({static_cast<size_t>(idx), code});
+  }
+  return Predicate(std::move(conjuncts));
+}
+
+bool Predicate::Matches(const Table& table, RowId row) const {
+  for (const AttributeValue& av : conjuncts_) {
+    if (!table.HasValue(av.attribute, row, av.code)) return false;
+  }
+  return true;
+}
+
+std::vector<RowId> Predicate::Select(const Table& table) const {
+  std::vector<RowId> out;
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    if (Matches(table, r)) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<RowId> Predicate::SelectFrom(
+    const Table& table, const std::vector<RowId>& candidates) const {
+  std::vector<RowId> out;
+  for (RowId r : candidates) {
+    if (Matches(table, r)) out.push_back(r);
+  }
+  return out;
+}
+
+bool Predicate::ConstrainsAttribute(size_t attribute) const {
+  for (const AttributeValue& av : conjuncts_) {
+    if (av.attribute == attribute) return true;
+  }
+  return false;
+}
+
+Predicate Predicate::With(const AttributeValue& av) const {
+  std::vector<AttributeValue> conjuncts;
+  for (const AttributeValue& c : conjuncts_) {
+    if (c.attribute != av.attribute) conjuncts.push_back(c);
+  }
+  conjuncts.push_back(av);
+  return Predicate(std::move(conjuncts));
+}
+
+Predicate Predicate::Without(size_t attribute) const {
+  std::vector<AttributeValue> conjuncts;
+  for (const AttributeValue& c : conjuncts_) {
+    if (c.attribute != attribute) conjuncts.push_back(c);
+  }
+  return Predicate(std::move(conjuncts));
+}
+
+bool Predicate::Contains(const Predicate& other) const {
+  for (const AttributeValue& av : other.conjuncts_) {
+    if (std::find(conjuncts_.begin(), conjuncts_.end(), av) ==
+        conjuncts_.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Predicate::ToString(const Table& table) const {
+  if (conjuncts_.empty()) return "<*>";
+  std::string out;
+  for (size_t i = 0; i < conjuncts_.size(); ++i) {
+    if (i > 0) out += ", ";
+    const AttributeValue& av = conjuncts_[i];
+    out += "<" + table.schema().attribute(av.attribute).name + "=" +
+           table.dictionary(av.attribute).ValueOf(av.code) + ">";
+  }
+  return out;
+}
+
+}  // namespace subdex

@@ -1,0 +1,74 @@
+#ifndef SUBDEX_STORAGE_PREDICATE_H_
+#define SUBDEX_STORAGE_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace subdex {
+
+/// One attribute-value conjunct, e.g. <city, NYC>.
+struct AttributeValue {
+  size_t attribute = 0;
+  ValueCode code = kNullCode;
+
+  friend bool operator==(const AttributeValue&,
+                         const AttributeValue&) = default;
+};
+
+/// A conjunction of attribute-value pairs over a single table — the group
+/// descriptions of the paper (Section 3.1): a reviewer/item group is the set
+/// of rows sharing all listed values. An empty predicate matches every row.
+class Predicate {
+ public:
+  Predicate() = default;
+  explicit Predicate(std::vector<AttributeValue> conjuncts);
+
+  /// Builds a predicate from (attribute name, value string) pairs, interning
+  /// values as needed. Fails if an attribute is unknown or numeric.
+  static Result<Predicate> FromPairs(
+      Table* table,
+      const std::vector<std::pair<std::string, std::string>>& pairs);
+
+  bool Matches(const Table& table, RowId row) const;
+
+  /// Row ids of all matching rows.
+  std::vector<RowId> Select(const Table& table) const;
+
+  /// Matching subset of `candidates`.
+  std::vector<RowId> SelectFrom(const Table& table,
+                                const std::vector<RowId>& candidates) const;
+
+  const std::vector<AttributeValue>& conjuncts() const { return conjuncts_; }
+  size_t size() const { return conjuncts_.size(); }
+  bool empty() const { return conjuncts_.empty(); }
+
+  /// True iff an (attribute, code) conjunct on `attribute` exists.
+  bool ConstrainsAttribute(size_t attribute) const;
+
+  /// Returns a copy with `av` added (replacing any conjunct on the same
+  /// attribute).
+  Predicate With(const AttributeValue& av) const;
+
+  /// Returns a copy with the conjunct on `attribute` removed (no-op if not
+  /// present).
+  Predicate Without(size_t attribute) const;
+
+  /// True iff every conjunct of `other` appears in this predicate.
+  bool Contains(const Predicate& other) const;
+
+  /// Display form, e.g. "<city=NYC>, <gender=F>".
+  std::string ToString(const Table& table) const;
+
+  friend bool operator==(const Predicate&, const Predicate&) = default;
+
+ private:
+  // Kept sorted by attribute index; at most one conjunct per attribute.
+  std::vector<AttributeValue> conjuncts_;
+};
+
+}  // namespace subdex
+
+#endif  // SUBDEX_STORAGE_PREDICATE_H_

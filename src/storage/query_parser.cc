@@ -1,0 +1,177 @@
+#include "storage/query_parser.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace subdex {
+
+namespace {
+
+// Minimal recursive-descent tokenizer state over the query string.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  size_t position() const { return pos_; }
+
+  /// True iff the next token is the (case-insensitive) keyword; consumes it.
+  bool ConsumeKeyword(std::string_view keyword) {
+    SkipSpace();
+    if (text_.size() - pos_ < keyword.size()) return false;
+    for (size_t i = 0; i < keyword.size(); ++i) {
+      char a = static_cast<char>(
+          std::tolower(static_cast<unsigned char>(text_[pos_ + i])));
+      char b = static_cast<char>(
+          std::tolower(static_cast<unsigned char>(keyword[i])));
+      if (a != b) return false;
+    }
+    // Keyword must end at a word boundary.
+    size_t end = pos_ + keyword.size();
+    if (end < text_.size() && IsWordChar(text_[end])) return false;
+    pos_ = end;
+    return true;
+  }
+
+  bool ConsumeChar(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Bare word or quoted string; empty return means no token.
+  Result<std::string> ReadValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument(Expected("a value"));
+    }
+    char quote = text_[pos_];
+    if (quote == '\'' || quote == '"') {
+      ++pos_;
+      std::string out;
+      while (pos_ < text_.size() && text_[pos_] != quote) {
+        out.push_back(text_[pos_++]);
+      }
+      if (pos_ >= text_.size()) {
+        return Status::InvalidArgument(Expected("closing quote"));
+      }
+      ++pos_;  // closing quote
+      return out;
+    }
+    std::string out;
+    while (pos_ < text_.size() && IsWordChar(text_[pos_])) {
+      out.push_back(text_[pos_++]);
+    }
+    if (out.empty()) {
+      return Status::InvalidArgument(Expected("a value"));
+    }
+    return out;
+  }
+
+  Result<std::string> ReadIdentifier() {
+    SkipSpace();
+    std::string out;
+    while (pos_ < text_.size() && IsWordChar(text_[pos_])) {
+      out.push_back(text_[pos_++]);
+    }
+    if (out.empty()) {
+      return Status::InvalidArgument(Expected("an attribute name"));
+    }
+    return out;
+  }
+
+  std::string Expected(std::string_view what) const {
+    return "expected " + std::string(what) + " at position " +
+           std::to_string(pos_) + " of query";
+  }
+
+ private:
+  static bool IsWordChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '$' || c == '.' || c == '&' || c == '+';
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+bool NeedsQuoting(const std::string& value) {
+  if (value.empty()) return true;
+  for (char c : value) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '\'' ||
+        c == '"' || c == '=') {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Predicate> ParsePredicate(Table* table, std::string_view query) {
+  Cursor cursor(query);
+  std::vector<std::pair<std::string, std::string>> pairs;
+  if (cursor.AtEnd()) return Predicate{};
+  for (;;) {
+    Result<std::string> attr = cursor.ReadIdentifier();
+    if (!attr.ok()) return attr.status();
+    if (!cursor.ConsumeChar('=')) {
+      return Status::InvalidArgument(cursor.Expected("'='"));
+    }
+    Result<std::string> value = cursor.ReadValue();
+    if (!value.ok()) return value.status();
+    pairs.emplace_back(std::move(attr).value(), std::move(value).value());
+    if (cursor.AtEnd()) break;
+    if (!cursor.ConsumeKeyword("AND")) {
+      return Status::InvalidArgument(cursor.Expected("'AND' or end of query"));
+    }
+    if (cursor.AtEnd()) {
+      return Status::InvalidArgument(cursor.Expected("a condition after AND"));
+    }
+  }
+  // Duplicate attributes are a user error worth reporting explicitly
+  // (Predicate would abort on them).
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    for (size_t j = i + 1; j < pairs.size(); ++j) {
+      if (pairs[i].first == pairs[j].first) {
+        return Status::InvalidArgument("attribute '" + pairs[i].first +
+                                       "' appears twice in query");
+      }
+    }
+  }
+  return Predicate::FromPairs(table, pairs);
+}
+
+std::string PredicateToQuery(const Table& table, const Predicate& predicate) {
+  std::string out;
+  for (size_t i = 0; i < predicate.conjuncts().size(); ++i) {
+    const AttributeValue& av = predicate.conjuncts()[i];
+    if (i > 0) out += " AND ";
+    const std::string& value = table.dictionary(av.attribute).ValueOf(av.code);
+    out += table.schema().attribute(av.attribute).name;
+    out += " = ";
+    if (NeedsQuoting(value)) {
+      out += "'" + value + "'";
+    } else {
+      out += value;
+    }
+  }
+  return out;
+}
+
+}  // namespace subdex

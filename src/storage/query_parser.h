@@ -1,0 +1,34 @@
+#ifndef SUBDEX_STORAGE_QUERY_PARSER_H_
+#define SUBDEX_STORAGE_QUERY_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "storage/predicate.h"
+#include "util/status.h"
+
+namespace subdex {
+
+/// Parser for the SQL-style selection predicates of the demo UI's advanced
+/// screen (Section 4, "System UI"): a conjunction of equality conditions,
+///
+///   attribute = value [AND attribute = value ...]
+///
+/// Values may be bare words (letters, digits, '_', '-', '$', '.') or quoted
+/// with single/double quotes; attribute names are schema attributes of
+/// `table`. `AND` is case-insensitive; whitespace is free. The empty string
+/// parses to the match-all predicate.
+///
+/// Errors (unknown attribute, numeric attribute, syntax) come back as
+/// Status with a position-annotated message. Values not present in the
+/// data are interned, producing a predicate that matches nothing — the
+/// same behavior as typing a value that does not occur.
+Result<Predicate> ParsePredicate(Table* table, std::string_view query);
+
+/// Renders a predicate back into parsable query text (inverse of
+/// ParsePredicate up to whitespace and quoting).
+std::string PredicateToQuery(const Table& table, const Predicate& predicate);
+
+}  // namespace subdex
+
+#endif  // SUBDEX_STORAGE_QUERY_PARSER_H_

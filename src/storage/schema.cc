@@ -1,0 +1,40 @@
+#include "storage/schema.h"
+
+#include "util/check.h"
+
+namespace subdex {
+
+const char* AttributeTypeName(AttributeType type) {
+  switch (type) {
+    case AttributeType::kCategorical:
+      return "categorical";
+    case AttributeType::kMultiCategorical:
+      return "multi-categorical";
+    case AttributeType::kNumeric:
+      return "numeric";
+  }
+  return "unknown";
+}
+
+Schema::Schema(std::vector<AttributeDef> attributes)
+    : attributes_(std::move(attributes)) {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    SUBDEX_CHECK_MSG(!attributes_[i].name.empty(), "empty attribute name");
+    auto [it, inserted] = index_.emplace(attributes_[i].name, i);
+    (void)it;
+    SUBDEX_CHECK_MSG(inserted, "duplicate attribute name");
+  }
+}
+
+const AttributeDef& Schema::attribute(size_t i) const {
+  SUBDEX_CHECK(i < attributes_.size());
+  return attributes_[i];
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return -1;
+  return static_cast<int>(it->second);
+}
+
+}  // namespace subdex

@@ -1,0 +1,41 @@
+#ifndef SUBDEX_STORAGE_SCHEMA_H_
+#define SUBDEX_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace subdex {
+
+/// A named, typed attribute.
+struct AttributeDef {
+  std::string name;
+  AttributeType type = AttributeType::kCategorical;
+};
+
+/// Ordered attribute list with name lookup. Schemas are immutable once a
+/// table starts ingesting rows.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<AttributeDef> attributes);
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const AttributeDef& attribute(size_t i) const;
+
+  /// Index of the attribute named `name`, or -1 if absent.
+  int IndexOf(const std::string& name) const;
+  bool Contains(const std::string& name) const { return IndexOf(name) >= 0; }
+
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+
+ private:
+  std::vector<AttributeDef> attributes_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace subdex
+
+#endif  // SUBDEX_STORAGE_SCHEMA_H_

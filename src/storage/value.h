@@ -1,0 +1,39 @@
+#ifndef SUBDEX_STORAGE_VALUE_H_
+#define SUBDEX_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace subdex {
+
+/// Attribute (column) kinds in a subjective database. Objective attributes
+/// of items and reviewers are categorical (possibly multi-valued, e.g. a
+/// restaurant's cuisines); numeric columns hold auxiliary quantities.
+enum class AttributeType {
+  kCategorical,
+  kMultiCategorical,
+  kNumeric,
+};
+
+/// Dictionary code for a categorical value. kNullCode marks missing values.
+using ValueCode = int32_t;
+inline constexpr ValueCode kNullCode = -1;
+
+/// An untyped cell used at the ingestion boundary (CSV import, manual row
+/// construction). Inside tables everything is dictionary/numeric encoded.
+using Value = std::variant<std::monostate,            // null
+                           std::string,               // categorical
+                           std::vector<std::string>,  // multi-categorical
+                           double>;                   // numeric
+
+inline bool IsNull(const Value& v) {
+  return std::holds_alternative<std::monostate>(v);
+}
+
+const char* AttributeTypeName(AttributeType type);
+
+}  // namespace subdex
+
+#endif  // SUBDEX_STORAGE_VALUE_H_

@@ -1,0 +1,65 @@
+#include "study/detection.h"
+
+namespace subdex {
+
+namespace {
+
+// True iff every conjunct of `description` appears in `context`.
+bool Implies(const Predicate& context, const Predicate& description) {
+  return context.Contains(description);
+}
+
+}  // namespace
+
+bool ExposesIrregularGroup(const GroupSelection& selection,
+                           const RatingMap& map, const IrregularGroup& group,
+                           const IrregularExposureOptions& options) {
+  if (map.key().dimension != group.dimension) return false;
+  if (map.group_size() == 0) return false;
+
+  const Predicate& side_pred = selection.pred(group.side);
+
+  // Case 1: the selection itself pins the irregular description — any map
+  // of this dimension shows a floored overall distribution.
+  if (Implies(side_pred, group.description)) {
+    return map.overall().Mean() <= options.max_average;
+  }
+
+  // Case 2: the selection plus one displayed subgroup pins it. Only maps
+  // grouping the irregular group's side can do this.
+  if (map.key().side != group.side) return false;
+  for (const Subgroup& sg : map.subgroups()) {
+    if (sg.value == kNullCode) continue;
+    if (sg.count() < options.min_count) continue;
+    if (sg.average() > options.max_average) continue;
+    Predicate context =
+        side_pred.With({map.key().attribute, sg.value});
+    if (Implies(context, group.description)) return true;
+  }
+  return false;
+}
+
+bool ExposesInsight(const RatingMap& map, const PlantedInsight& insight,
+                    const InsightExposureOptions& options) {
+  const RatingMapKey& key = map.key();
+  if (key.side != insight.side || key.attribute != insight.attribute ||
+      key.dimension != insight.dimension) {
+    return false;
+  }
+  const Subgroup* target = nullptr;
+  for (const Subgroup& sg : map.subgroups()) {
+    if (sg.value == insight.value) {
+      target = &sg;
+      break;
+    }
+  }
+  if (target == nullptr || target->count() < options.min_count) return false;
+  for (const Subgroup& sg : map.subgroups()) {
+    if (sg.value == insight.value || sg.count() < options.min_count) continue;
+    if (insight.is_highest && sg.average() >= target->average()) return false;
+    if (!insight.is_highest && sg.average() <= target->average()) return false;
+  }
+  return true;
+}
+
+}  // namespace subdex

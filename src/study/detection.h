@@ -1,0 +1,45 @@
+#ifndef SUBDEX_STUDY_DETECTION_H_
+#define SUBDEX_STUDY_DETECTION_H_
+
+#include "core/rating_map.h"
+#include "datagen/insights.h"
+#include "datagen/irregular.h"
+
+namespace subdex {
+
+/// Exposure predicates: whether a displayed rating map, shown under a given
+/// selection, makes a planted finding visible to the subject. These model
+/// what a perfectly attentive user could read off the screen; the simulated
+/// user applies its own attention/skill probability on top.
+
+struct IrregularExposureOptions {
+  /// A subgroup reads as "irregular" when its average score is at most this
+  /// (the planted groups score exactly 1, but mixed-in outside records can
+  /// raise the average slightly).
+  double max_average = 1.5;
+  size_t min_count = 1;
+};
+
+/// The map exposes the irregular group when (a) it aggregates the group's
+/// dimension, and (b) the group's description is implied by the on-screen
+/// context: either by the current selection alone (then the map's overall
+/// distribution is visibly floored), or by the selection plus one displayed
+/// subgroup's grouping value, with that subgroup's average visibly floored.
+bool ExposesIrregularGroup(const GroupSelection& selection,
+                           const RatingMap& map, const IrregularGroup& group,
+                           const IrregularExposureOptions& options = {});
+
+struct InsightExposureOptions {
+  /// Subgroups with fewer records don't register as evidence.
+  size_t min_count = 5;
+};
+
+/// The map exposes the insight when it is exactly the map the insight is
+/// about (same side, grouping attribute and dimension) and the insight's
+/// subgroup is the displayed extreme in the planted direction.
+bool ExposesInsight(const RatingMap& map, const PlantedInsight& insight,
+                    const InsightExposureOptions& options = {});
+
+}  // namespace subdex
+
+#endif  // SUBDEX_STUDY_DETECTION_H_

@@ -1,0 +1,90 @@
+#include "study/experiment.h"
+
+#include "util/stats.h"
+
+namespace subdex {
+
+namespace {
+
+UserProfile MakeProfile(bool high_cs, bool high_domain, uint64_t seed,
+                        size_t subject) {
+  UserProfile profile;
+  profile.high_cs_expertise = high_cs;
+  profile.high_domain_knowledge = high_domain;
+  profile.seed = seed * 1000003ULL + subject * 7919ULL + 11ULL;
+  return profile;
+}
+
+TreatmentOutcome Aggregate(const std::vector<double>& found) {
+  TreatmentOutcome out;
+  out.subjects = found.size();
+  out.mean_found = Mean(found);
+  out.stddev_found = StdDev(found);
+  return out;
+}
+
+}  // namespace
+
+TreatmentOutcome RunTreatmentGroup(const SubjectiveDatabase& db,
+                                   const ScenarioTask& task,
+                                   ExplorationMode mode, bool high_cs,
+                                   bool high_domain, size_t subjects,
+                                   size_t num_steps,
+                                   const EngineConfig& engine_config,
+                                   uint64_t seed) {
+  std::vector<double> found;
+  found.reserve(subjects);
+  for (size_t s = 0; s < subjects; ++s) {
+    UserProfile profile = MakeProfile(high_cs, high_domain, seed, s);
+    ScenarioRunResult run =
+        RunScenario(db, task, mode, profile, num_steps, engine_config);
+    found.push_back(static_cast<double>(run.found()));
+  }
+  return Aggregate(found);
+}
+
+std::vector<double> AverageRecallCurve(const SubjectiveDatabase& db,
+                                       const ScenarioTask& task,
+                                       ExplorationMode mode, bool high_cs,
+                                       size_t subjects, size_t num_steps,
+                                       const EngineConfig& engine_config,
+                                       uint64_t seed) {
+  std::vector<double> curve(num_steps, 0.0);
+  double total = static_cast<double>(task.total());
+  if (total == 0.0 || subjects == 0) return curve;
+  for (size_t s = 0; s < subjects; ++s) {
+    UserProfile profile = MakeProfile(high_cs, /*high_domain=*/s % 2 == 0,
+                                      seed, s);
+    ScenarioRunResult run =
+        RunScenario(db, task, mode, profile, num_steps, engine_config);
+    size_t last = 0;
+    for (size_t step = 0; step < num_steps; ++step) {
+      if (step < run.cumulative_found.size()) {
+        last = run.cumulative_found[step];
+      }
+      curve[step] += static_cast<double>(last) / total;
+    }
+  }
+  for (double& v : curve) v /= static_cast<double>(subjects);
+  return curve;
+}
+
+TreatmentOutcome RunBaselineTreatment(const SubjectiveDatabase& db,
+                                      const ScenarioTask& task,
+                                      const NextActionBaseline& baseline,
+                                      size_t subjects, size_t num_steps,
+                                      const EngineConfig& engine_config,
+                                      uint64_t seed) {
+  std::vector<double> found;
+  found.reserve(subjects);
+  for (size_t s = 0; s < subjects; ++s) {
+    UserProfile profile =
+        MakeProfile(/*high_cs=*/s % 2 == 0, /*high_domain=*/s % 3 == 0, seed, s);
+    ScenarioRunResult run = RunScenarioWithBaseline(
+        db, task, baseline, profile, num_steps, engine_config);
+    found.push_back(static_cast<double>(run.found()));
+  }
+  return Aggregate(found);
+}
+
+}  // namespace subdex

@@ -1,0 +1,49 @@
+#ifndef SUBDEX_STUDY_EXPERIMENT_H_
+#define SUBDEX_STUDY_EXPERIMENT_H_
+
+#include <vector>
+
+#include "study/scenario_runner.h"
+
+namespace subdex {
+
+/// Aggregate outcome of one treatment group (a set of subjects sharing the
+/// same traits, dataset, scenario and mode — a cell of Figure 7).
+struct TreatmentOutcome {
+  double mean_found = 0.0;
+  double stddev_found = 0.0;
+  size_t subjects = 0;
+};
+
+/// Runs `subjects` simulated users (distinct seeds derived from `seed`)
+/// through the scenario and averages the number of identified findings.
+TreatmentOutcome RunTreatmentGroup(const SubjectiveDatabase& db,
+                                   const ScenarioTask& task,
+                                   ExplorationMode mode, bool high_cs,
+                                   bool high_domain, size_t subjects,
+                                   size_t num_steps,
+                                   const EngineConfig& engine_config,
+                                   uint64_t seed);
+
+/// Average cumulative-recall curve over `subjects` runs: entry s is the
+/// mean fraction of planted findings identified after step s+1 (Figure 8).
+/// Sessions that end early hold their last value.
+std::vector<double> AverageRecallCurve(const SubjectiveDatabase& db,
+                                       const ScenarioTask& task,
+                                       ExplorationMode mode, bool high_cs,
+                                       size_t subjects, size_t num_steps,
+                                       const EngineConfig& engine_config,
+                                       uint64_t seed);
+
+/// Table 4 aggregation: average findings with a baseline recommender
+/// driving the path.
+TreatmentOutcome RunBaselineTreatment(const SubjectiveDatabase& db,
+                                      const ScenarioTask& task,
+                                      const NextActionBaseline& baseline,
+                                      size_t subjects, size_t num_steps,
+                                      const EngineConfig& engine_config,
+                                      uint64_t seed);
+
+}  // namespace subdex
+
+#endif  // SUBDEX_STUDY_EXPERIMENT_H_

@@ -1,0 +1,165 @@
+#include "study/scenario_runner.h"
+
+#include "util/check.h"
+
+namespace subdex {
+
+namespace {
+
+// Attention multiplier per mode: a subject who picked the operation herself
+// (or chose among recommendations) studies the displayed maps closely; one
+// watching an auto-generated path skims.
+double Engagement(ExplorationMode mode) {
+  return mode == ExplorationMode::kFullyAutomated ? 0.75 : 1.0;
+}
+
+// Rolls the subject's attention over every finding the step exposes;
+// updates `found` (one flag per planted finding).
+void ExamineStep(const ScenarioTask& task, const StepResult& step,
+                 SimulatedUser* user, std::vector<bool>* found,
+                 double engagement) {
+  size_t n = task.total();
+  for (size_t i = 0; i < n; ++i) {
+    if ((*found)[i]) continue;
+    for (const ScoredRatingMap& scored : step.maps) {
+      bool exposed =
+          task.kind == ScenarioKind::kIrregularGroups
+              ? ExposesIrregularGroup(step.selection, scored.map,
+                                      task.irregulars[i])
+              : ExposesInsight(scored.map, task.insights[i]);
+      if (!exposed) continue;
+      if (user->Notices(engagement)) (*found)[i] = true;
+      break;  // one attention roll per finding per step
+    }
+  }
+}
+
+size_t CountFound(const std::vector<bool>& found) {
+  size_t n = 0;
+  for (bool f : found) {
+    if (f) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+ScenarioRunResult RunScenario(const SubjectiveDatabase& db,
+                              const ScenarioTask& task, ExplorationMode mode,
+                              const UserProfile& profile, size_t num_steps,
+                              const EngineConfig& engine_config) {
+  SUBDEX_CHECK(num_steps >= 1);
+  ExplorationSession session(&db, engine_config, mode);
+  SimulatedUser user(profile);
+  std::vector<bool> found(task.total(), false);
+  std::vector<GroupSelection> visited;
+  ScenarioRunResult result;
+
+  const StepResult* step = &session.Start(GroupSelection{});
+  size_t previously_found = 0;
+  for (size_t s = 0;; ++s) {
+    visited.push_back(step->selection);
+    ExamineStep(task, *step, &user, &found, Engagement(mode));
+    result.cumulative_found.push_back(CountFound(found));
+    result.total_elapsed_ms += step->elapsed_ms;
+    if (s + 1 >= num_steps) break;
+
+    bool advanced = false;
+    // A subject who just identified a finding considers that sub-task done
+    // and usually restarts from the whole database to hunt for the rest —
+    // the intervention Fully-Automated mode cannot perform (the paper's
+    // explanation of why FA tops out at one irregular group).
+    size_t now_found = CountFound(found);
+    if (mode != ExplorationMode::kFullyAutomated &&
+        now_found > previously_found && now_found < task.total() &&
+        !(step->selection == GroupSelection{}) && user.rng()->Bernoulli(0.85)) {
+      session.ApplyOperation(GroupSelection{});
+      advanced = true;
+    }
+    previously_found = now_found;
+    if (!advanced) {
+      switch (mode) {
+      case ExplorationMode::kFullyAutomated:
+        advanced = session.ApplyRecommendation(0);
+        break;
+      case ExplorationMode::kRecommendationPowered: {
+        // The side still owing findings, if the remaining targets agree.
+        std::optional<Side> hunt_side;
+        if (task.kind == ScenarioKind::kIrregularGroups) {
+          bool want_reviewer = false;
+          bool want_item = false;
+          for (size_t i = 0; i < found.size(); ++i) {
+            if (found[i]) continue;
+            (task.irregulars[i].side == Side::kReviewer ? want_reviewer
+                                                        : want_item) = true;
+          }
+          if (want_reviewer != want_item) {
+            hunt_side = want_reviewer ? Side::kReviewer : Side::kItem;
+          }
+        }
+        std::optional<size_t> pick =
+            user.ChooseRecommendation(step->recommendations, visited,
+                                      hunt_side);
+        if (pick.has_value()) {
+          advanced = session.ApplyRecommendation(*pick);
+        }
+        if (!advanced) {
+          // A deliberate deviation from the ranking: the subject saw
+          // something concrete in the displayed maps.
+          std::optional<GroupSelection> own =
+              user.ChooseOwnOperation(db, *step, /*purposeful=*/true);
+          if (own.has_value()) {
+            session.ApplyOperation(*own);
+            advanced = true;
+          }
+        }
+        break;
+      }
+      case ExplorationMode::kUserDriven: {
+        std::optional<GroupSelection> own = user.ChooseOwnOperation(db, *step);
+        if (own.has_value()) {
+          session.ApplyOperation(*own);
+          advanced = true;
+        }
+        break;
+      }
+      }
+    }
+    if (!advanced) break;
+    step = &session.last();
+  }
+  return result;
+}
+
+ScenarioRunResult RunScenarioWithBaseline(const SubjectiveDatabase& db,
+                                          const ScenarioTask& task,
+                                          const NextActionBaseline& baseline,
+                                          const UserProfile& profile,
+                                          size_t num_steps,
+                                          const EngineConfig& engine_config) {
+  SUBDEX_CHECK(num_steps >= 1);
+  SdeEngine engine(&db, engine_config);
+  SimulatedUser user(profile);
+  std::vector<bool> found(task.total(), false);
+  ScenarioRunResult result;
+
+  GroupSelection selection;
+  for (size_t s = 0; s < num_steps; ++s) {
+    // Displayed maps are SubDEx's regardless of the recommender under test.
+    StepResult step = engine.ExecuteStep(selection, /*with_recommendations=*/false);
+    // Baseline paths are auto-generated too; same engagement as FA.
+    ExamineStep(task, step, &user, &found,
+                Engagement(ExplorationMode::kFullyAutomated));
+    result.cumulative_found.push_back(CountFound(found));
+    result.total_elapsed_ms += step.elapsed_ms;
+    if (s + 1 >= num_steps) break;
+
+    RatingGroup group = RatingGroup::Materialize(db, selection);
+    std::vector<Operation> ops = baseline.Recommend(group, 1);
+    if (ops.empty()) break;
+    selection = ops[0].target;
+  }
+  return result;
+}
+
+}  // namespace subdex

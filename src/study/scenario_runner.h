@@ -1,0 +1,71 @@
+#ifndef SUBDEX_STUDY_SCENARIO_RUNNER_H_
+#define SUBDEX_STUDY_SCENARIO_RUNNER_H_
+
+#include <vector>
+
+#include "baselines/next_action_baseline.h"
+#include "engine/exploration_session.h"
+#include "study/detection.h"
+#include "study/simulated_user.h"
+
+namespace subdex {
+
+/// Which study task the subject performs (Section 5.2).
+enum class ScenarioKind {
+  /// Scenario I: identify planted irregular groups.
+  kIrregularGroups,
+  /// Scenario II: extract planted insights.
+  kInsightExtraction,
+};
+
+/// The planted ground truth of one scenario instance. Exactly one of the
+/// two vectors is consulted, per `kind`.
+struct ScenarioTask {
+  ScenarioKind kind = ScenarioKind::kIrregularGroups;
+  std::vector<IrregularGroup> irregulars;
+  std::vector<PlantedInsight> insights;
+
+  size_t total() const {
+    return kind == ScenarioKind::kIrregularGroups ? irregulars.size()
+                                                  : insights.size();
+  }
+};
+
+/// Outcome of one simulated session.
+struct ScenarioRunResult {
+  /// Cumulative number of distinct findings identified after each step.
+  std::vector<size_t> cumulative_found;
+  /// Sum of per-step engine times.
+  double total_elapsed_ms = 0.0;
+
+  size_t found() const {
+    return cumulative_found.empty() ? 0 : cumulative_found.back();
+  }
+};
+
+/// Runs one subject through `num_steps` exploration steps in the given
+/// mode, starting from the whole database. At every step the subject
+/// examines the displayed maps; each planted finding a map exposes is
+/// identified with the subject's read probability (missed findings can be
+/// re-noticed later). The next operation follows the mode: top-1
+/// recommendation (Fully-Automated), the subject's pick among
+/// recommendations or her own operation (Recommendation-Powered), or her
+/// own operation only (User-Driven).
+ScenarioRunResult RunScenario(const SubjectiveDatabase& db,
+                              const ScenarioTask& task, ExplorationMode mode,
+                              const UserProfile& profile, size_t num_steps,
+                              const EngineConfig& engine_config);
+
+/// Table 4 harness: like Fully-Automated RunScenario, but next operations
+/// come from `baseline` while the displayed rating maps stay SubDEx's (the
+/// paper fixes the displayed maps across all compared recommenders).
+ScenarioRunResult RunScenarioWithBaseline(const SubjectiveDatabase& db,
+                                          const ScenarioTask& task,
+                                          const NextActionBaseline& baseline,
+                                          const UserProfile& profile,
+                                          size_t num_steps,
+                                          const EngineConfig& engine_config);
+
+}  // namespace subdex
+
+#endif  // SUBDEX_STUDY_SCENARIO_RUNNER_H_

@@ -1,0 +1,122 @@
+#include "study/simulated_user.h"
+
+#include <cmath>
+
+namespace subdex {
+
+SimulatedUser::SimulatedUser(const UserProfile& profile)
+    : profile_(profile), rng_(profile.seed, /*stream=*/3) {}
+
+double SimulatedUser::read_probability() const {
+  // CS expertise dominates; domain knowledge nudges the rate only slightly
+  // (the paper found results do not depend on it).
+  double p = profile_.high_cs_expertise ? 0.80 : 0.60;
+  if (profile_.high_domain_knowledge) p += 0.02;
+  return p;
+}
+
+bool SimulatedUser::Notices(double engagement) {
+  return rng_.Bernoulli(read_probability() * engagement);
+}
+
+std::optional<size_t> SimulatedUser::ChooseRecommendation(
+    const std::vector<Recommendation>& recommendations,
+    const std::vector<GroupSelection>& visited,
+    std::optional<Side> hunt_side) {
+  if (recommendations.empty()) return std::nullopt;
+  // Recommendations that would merely revisit an already-examined
+  // selection are skipped — the steering a Fully-Automated path cannot do.
+  std::vector<size_t> fresh;
+  for (size_t i = 0; i < recommendations.size(); ++i) {
+    bool seen = false;
+    for (const GroupSelection& v : visited) {
+      if (recommendations[i].operation.target == v) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) fresh.push_back(i);
+  }
+  if (hunt_side.has_value() && fresh.size() > 1) {
+    // Keep the recommendations that constrain the side the task still
+    // needs, when any do.
+    std::vector<size_t> on_side;
+    for (size_t i : fresh) {
+      if (!recommendations[i].operation.target.pred(*hunt_side).empty()) {
+        on_side.push_back(i);
+      }
+    }
+    if (!on_side.empty()) fresh = std::move(on_side);
+  }
+  // Experts trust the ranking a bit more and rarely go their own way.
+  double p_top = profile_.high_cs_expertise ? 0.75 : 0.65;
+  double p_any = profile_.high_cs_expertise ? 0.95 : 0.90;
+  double roll = rng_.UniformDouble();
+  if (fresh.empty()) {
+    // Everything on offer is old news; usually strike out alone.
+    return roll < 0.25 ? std::optional<size_t>(0) : std::nullopt;
+  }
+  if (roll < p_top) return fresh[0];
+  if (roll < p_any) {
+    return fresh[rng_.UniformU32(static_cast<uint32_t>(fresh.size()))];
+  }
+  return std::nullopt;  // performs an operation of her own
+}
+
+std::optional<GroupSelection> SimulatedUser::ChooseOwnOperation(
+    const SubjectiveDatabase& db, const StepResult& step, bool purposeful) {
+  double p_targeted =
+      purposeful ? 0.9 : (profile_.high_cs_expertise ? 0.4 : 0.2);
+  if (rng_.Bernoulli(p_targeted) && !step.maps.empty()) {
+    // Drill into the most extreme (lowest- or highest-average, whichever is
+    // farther from the midpoint) subgroup on display — the strategy a data
+    // analyst without system guidance plausibly follows. Occasionally roll
+    // up instead, to escape dead ends.
+    if (!step.selection.reviewer_pred.empty() && rng_.Bernoulli(0.2)) {
+      GroupSelection target = step.selection;
+      const auto& conjuncts = target.reviewer_pred.conjuncts();
+      size_t idx = rng_.UniformU32(static_cast<uint32_t>(conjuncts.size()));
+      target.reviewer_pred =
+          target.reviewer_pred.Without(conjuncts[idx].attribute);
+      return target;
+    }
+    double mid = (1.0 + db.scale()) / 2.0;
+    double best_extremeness = -1.0;
+    Side best_side = Side::kReviewer;
+    AttributeValue best_av;
+    for (const ScoredRatingMap& scored : step.maps) {
+      const RatingMapKey& key = scored.map.key();
+      if (step.selection.pred(key.side).ConstrainsAttribute(key.attribute)) {
+        continue;
+      }
+      for (const Subgroup& sg : scored.map.subgroups()) {
+        if (sg.value == kNullCode || sg.count() < 3) continue;
+        double extremeness = std::fabs(sg.average() - mid);
+        if (extremeness > best_extremeness) {
+          best_extremeness = extremeness;
+          best_side = key.side;
+          best_av = {key.attribute, sg.value};
+        }
+      }
+    }
+    if (best_extremeness >= 0.0) {
+      GroupSelection target = step.selection;
+      Predicate& pred = best_side == Side::kReviewer ? target.reviewer_pred
+                                                     : target.item_pred;
+      pred = pred.With(best_av);
+      return target;
+    }
+  }
+
+  // Wandering (or nothing on display): a uniformly random single-edit
+  // operation.
+  OperationEnumerationOptions options;
+  options.max_edits = 1;
+  options.seed = rng_.NextU32();
+  std::vector<Operation> ops =
+      EnumerateCandidateOperations(db, step.selection, options);
+  if (ops.empty()) return std::nullopt;
+  return ops[rng_.UniformU32(static_cast<uint32_t>(ops.size()))].target;
+}
+
+}  // namespace subdex

@@ -1,0 +1,76 @@
+#ifndef SUBDEX_STUDY_SIMULATED_USER_H_
+#define SUBDEX_STUDY_SIMULATED_USER_H_
+
+#include <optional>
+
+#include "engine/sde_engine.h"
+#include "util/random.h"
+
+namespace subdex {
+
+/// A subject of the (simulated) user study. The paper's Mechanical-Turk
+/// subjects are replaced by a behavioral model with the two pre-qualified
+/// traits — CS expertise and domain knowledge. Consistent with the paper's
+/// findings, domain knowledge barely affects behavior; CS expertise governs
+/// how reliably a subject reads findings off rating maps and how sensibly
+/// she picks operations on her own.
+struct UserProfile {
+  bool high_cs_expertise = false;
+  bool high_domain_knowledge = false;
+  uint64_t seed = 1;
+};
+
+class SimulatedUser {
+ public:
+  explicit SimulatedUser(const UserProfile& profile);
+
+  /// Chance of noticing a finding that a displayed map exposes.
+  double read_probability() const;
+
+  /// One attention roll for one exposed finding. `engagement` scales the
+  /// read probability: subjects who picked the operation themselves study
+  /// the result closely (1.0), while passive consumption of an
+  /// auto-generated path (Fully-Automated mode) lowers attention — the
+  /// behavioral counterpart of the paper's finding that FA "is not
+  /// flexible enough" and underperforms despite showing useful maps.
+  bool Notices(double engagement = 1.0);
+
+  /// Picks which recommendation to follow in Recommendation-Powered mode;
+  /// returns nullopt when the subject prefers an operation of her own.
+  /// The subject exercises the judgment Fully-Automated mode lacks: she
+  /// skips recommendations whose target selection she has already examined
+  /// (`visited`), preferring the highest-ranked fresh one, and when the
+  /// task tells her which side still needs findings (`hunt_side`, e.g.
+  /// "one reviewer group and one item group"), she prefers operations that
+  /// constrain that side.
+  std::optional<size_t> ChooseRecommendation(
+      const std::vector<Recommendation>& recommendations,
+      const std::vector<GroupSelection>& visited,
+      std::optional<Side> hunt_side = std::nullopt);
+
+  /// Picks the subject's own next operation. The "targeted" strategy
+  /// drills into the most extreme displayed subgroup (or occasionally
+  /// rolls up); the fallback is a uniformly random single-edit operation.
+  ///
+  /// `purposeful` models the difference the paper's study surfaces:
+  /// a Recommendation-Powered subject deviates from the ranking only when
+  /// she has spotted something concrete, so her own operations are always
+  /// targeted. A User-Driven subject must pick every operation with
+  /// nothing but the k maps as guidance — she cannot tell which of the
+  /// hundreds of candidate operations are promising, so even experts
+  /// wander: the targeted strategy is used with a probability that
+  /// depends on CS expertise (0.4 expert / 0.2 novice).
+  std::optional<GroupSelection> ChooseOwnOperation(
+      const SubjectiveDatabase& db, const StepResult& step,
+      bool purposeful = false);
+
+  Rng* rng() { return &rng_; }
+
+ private:
+  UserProfile profile_;
+  Rng rng_;
+};
+
+}  // namespace subdex
+
+#endif  // SUBDEX_STUDY_SIMULATED_USER_H_

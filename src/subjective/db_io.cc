@@ -1,0 +1,203 @@
+#include "subjective/db_io.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "storage/csv.h"
+#include "util/string_util.h"
+
+namespace subdex {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+const char* TypeTag(AttributeType type) {
+  switch (type) {
+    case AttributeType::kCategorical:
+      return "categorical";
+    case AttributeType::kMultiCategorical:
+      return "multi";
+    case AttributeType::kNumeric:
+      return "numeric";
+  }
+  return "categorical";
+}
+
+Result<AttributeType> ParseTypeTag(const std::string& tag) {
+  if (tag == "categorical") return AttributeType::kCategorical;
+  if (tag == "multi") return AttributeType::kMultiCategorical;
+  if (tag == "numeric") return AttributeType::kNumeric;
+  return Status::InvalidArgument("unknown attribute type '" + tag + "'");
+}
+
+void WriteSchema(std::ofstream& out, const char* prefix,
+                 const Schema& schema) {
+  for (const AttributeDef& attr : schema.attributes()) {
+    out << prefix << ' ' << attr.name << ' ' << TypeTag(attr.type) << '\n';
+  }
+}
+
+Status WriteRatings(const SubjectiveDatabase& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot create '" + path + "'");
+  out << "reviewer,item";
+  for (size_t d = 0; d < db.num_dimensions(); ++d) {
+    out << ',' << db.dimension_name(d);
+  }
+  out << '\n';
+  for (RecordId r = 0; r < db.num_records(); ++r) {
+    out << db.reviewer_of(r) << ',' << db.item_of(r);
+    for (size_t d = 0; d < db.num_dimensions(); ++d) {
+      out << ',' << db.score(d, r);
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SaveDatabase(const SubjectiveDatabase& db, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create directory '" + dir +
+                           "': " + ec.message());
+  }
+  {
+    std::ofstream manifest(dir + "/manifest.txt");
+    if (!manifest) {
+      return Status::IoError("cannot create '" + dir + "/manifest.txt'");
+    }
+    manifest << "subdex-db " << kFormatVersion << '\n';
+    manifest << "scale " << db.scale() << '\n';
+    manifest << "dimensions";
+    for (size_t d = 0; d < db.num_dimensions(); ++d) {
+      manifest << ' ' << db.dimension_name(d);
+    }
+    manifest << '\n';
+    WriteSchema(manifest, "reviewer_attr", db.reviewers().schema());
+    WriteSchema(manifest, "item_attr", db.items().schema());
+    if (!manifest) {
+      return Status::IoError("write to '" + dir + "/manifest.txt' failed");
+    }
+  }
+  Status st = WriteCsv(db.reviewers(), dir + "/reviewers.csv");
+  if (!st.ok()) return st;
+  st = WriteCsv(db.items(), dir + "/items.csv");
+  if (!st.ok()) return st;
+  return WriteRatings(db, dir + "/ratings.csv");
+}
+
+Result<std::unique_ptr<SubjectiveDatabase>> LoadDatabase(
+    const std::string& dir) {
+  std::ifstream manifest(dir + "/manifest.txt");
+  if (!manifest) {
+    return Status::IoError("cannot open '" + dir + "/manifest.txt'");
+  }
+  std::string line;
+  if (!std::getline(manifest, line)) {
+    return Status::InvalidArgument("empty manifest");
+  }
+  {
+    std::vector<std::string> head = Split(std::string(Trim(line)), ' ');
+    int version = 0;
+    if (head.size() != 2 || head[0] != "subdex-db" ||
+        !ParseInt(head[1], &version) || version != kFormatVersion) {
+      return Status::InvalidArgument("unsupported manifest header '" + line +
+                                     "'");
+    }
+  }
+  int scale = 5;
+  std::vector<std::string> dimensions;
+  std::vector<AttributeDef> reviewer_attrs;
+  std::vector<AttributeDef> item_attrs;
+  while (std::getline(manifest, line)) {
+    std::string trimmed(Trim(line));
+    if (trimmed.empty()) continue;
+    std::vector<std::string> fields = Split(trimmed, ' ');
+    const std::string& key = fields[0];
+    if (key == "scale") {
+      if (fields.size() != 2 || !ParseInt(fields[1], &scale)) {
+        return Status::InvalidArgument("bad scale line '" + line + "'");
+      }
+    } else if (key == "dimensions") {
+      dimensions.assign(fields.begin() + 1, fields.end());
+    } else if (key == "reviewer_attr" || key == "item_attr") {
+      if (fields.size() != 3) {
+        return Status::InvalidArgument("bad attribute line '" + line + "'");
+      }
+      Result<AttributeType> type = ParseTypeTag(fields[2]);
+      if (!type.ok()) return type.status();
+      (key == "reviewer_attr" ? reviewer_attrs : item_attrs)
+          .push_back({fields[1], type.value()});
+    } else {
+      return Status::InvalidArgument("unknown manifest key '" + key + "'");
+    }
+  }
+  if (dimensions.empty()) {
+    return Status::InvalidArgument("manifest lists no rating dimensions");
+  }
+
+  Result<Table> reviewers =
+      ReadCsv(dir + "/reviewers.csv", Schema(reviewer_attrs));
+  if (!reviewers.ok()) return reviewers.status();
+  Result<Table> items = ReadCsv(dir + "/items.csv", Schema(item_attrs));
+  if (!items.ok()) return items.status();
+
+  auto db = std::make_unique<SubjectiveDatabase>(
+      Schema(reviewer_attrs), Schema(item_attrs), dimensions, scale);
+  db->reviewers() = std::move(reviewers).value();
+  db->items() = std::move(items).value();
+
+  std::ifstream ratings(dir + "/ratings.csv");
+  if (!ratings) {
+    return Status::IoError("cannot open '" + dir + "/ratings.csv'");
+  }
+  if (!std::getline(ratings, line)) {
+    return Status::InvalidArgument("'ratings.csv' is empty");
+  }
+  size_t line_no = 1;
+  std::vector<double> scores(dimensions.size());
+  while (std::getline(ratings, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    std::vector<std::string> fields = Split(std::string(Trim(line)), ',');
+    if (fields.size() != 2 + dimensions.size()) {
+      return Status::InvalidArgument("ratings.csv line " +
+                                     std::to_string(line_no) + ": got " +
+                                     std::to_string(fields.size()) +
+                                     " fields");
+    }
+    int reviewer = 0;
+    int item = 0;
+    if (!ParseInt(fields[0], &reviewer) || !ParseInt(fields[1], &item) ||
+        reviewer < 0 || item < 0) {
+      return Status::InvalidArgument("ratings.csv line " +
+                                     std::to_string(line_no) +
+                                     ": bad row ids");
+    }
+    for (size_t d = 0; d < dimensions.size(); ++d) {
+      int score = 0;
+      if (!ParseInt(fields[2 + d], &score)) {
+        return Status::InvalidArgument("ratings.csv line " +
+                                       std::to_string(line_no) +
+                                       ": bad score '" + fields[2 + d] + "'");
+      }
+      scores[d] = score;
+    }
+    Status st = db->AddRating(static_cast<RowId>(reviewer),
+                              static_cast<RowId>(item), scores);
+    if (!st.ok()) {
+      return Status::InvalidArgument("ratings.csv line " +
+                                     std::to_string(line_no) + ": " +
+                                     st.message());
+    }
+  }
+  db->FinalizeIndexes();
+  return db;
+}
+
+}  // namespace subdex

@@ -1,0 +1,33 @@
+#ifndef SUBDEX_SUBJECTIVE_DB_IO_H_
+#define SUBDEX_SUBJECTIVE_DB_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "subjective/subjective_db.h"
+#include "util/status.h"
+
+namespace subdex {
+
+/// On-disk format of a subjective database: a directory holding
+///   manifest.txt   — format version, rating scale, dimension names and
+///                    both attribute schemas
+///   reviewers.csv  — the reviewer table (storage/csv.h conventions)
+///   items.csv      — the item table
+///   ratings.csv    — one row per rating record:
+///                    reviewer,item,<score per dimension>
+/// Everything is plain text so saved datasets are diffable and loadable
+/// without this library.
+
+/// Saves `db` into `dir` (created if missing). Scores reflect any planted
+/// irregular groups / insights, so a study dataset can be saved after
+/// planting and reloaded bit-identically.
+Status SaveDatabase(const SubjectiveDatabase& db, const std::string& dir);
+
+/// Loads a database saved by SaveDatabase; the result is finalized.
+Result<std::unique_ptr<SubjectiveDatabase>> LoadDatabase(
+    const std::string& dir);
+
+}  // namespace subdex
+
+#endif  // SUBDEX_SUBJECTIVE_DB_IO_H_

@@ -1,0 +1,161 @@
+#include "subjective/operation.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+
+namespace subdex {
+
+const char* OperationKindName(OperationKind kind) {
+  switch (kind) {
+    case OperationKind::kFilter:
+      return "filter";
+    case OperationKind::kGeneralize:
+      return "generalize";
+    case OperationKind::kChange:
+      return "change";
+    case OperationKind::kComposite:
+      return "composite";
+  }
+  return "unknown";
+}
+
+std::string Operation::Describe(const SubjectiveDatabase& db) const {
+  return std::string(OperationKindName(kind)) + " -> " + target.ToString(db);
+}
+
+namespace {
+
+// One atomic selection edit on one side.
+struct Edit {
+  enum Type { kAdd, kRemove, kChange } type;
+  Side side;
+  AttributeValue av;  // for kRemove only av.attribute is meaningful
+};
+
+GroupSelection ApplyEdit(const GroupSelection& sel, const Edit& e) {
+  GroupSelection out = sel;
+  Predicate& pred =
+      e.side == Side::kReviewer ? out.reviewer_pred : out.item_pred;
+  switch (e.type) {
+    case Edit::kAdd:
+    case Edit::kChange:
+      pred = pred.With(e.av);
+      break;
+    case Edit::kRemove:
+      pred = pred.Without(e.av.attribute);
+      break;
+  }
+  return out;
+}
+
+void CollectEdits(const SubjectiveDatabase& db, const GroupSelection& current,
+                  std::vector<Edit>* adds, std::vector<Edit>* removes,
+                  std::vector<Edit>* changes) {
+  for (Side side : {Side::kReviewer, Side::kItem}) {
+    const Table& table = db.table(side);
+    const Predicate& pred = current.pred(side);
+    for (size_t a = 0; a < table.num_attributes(); ++a) {
+      if (table.schema().attribute(a).type == AttributeType::kNumeric) {
+        continue;
+      }
+      size_t num_values = table.DistinctValueCount(a);
+      if (pred.ConstrainsAttribute(a)) {
+        ValueCode held = kNullCode;
+        for (const AttributeValue& av : pred.conjuncts()) {
+          if (av.attribute == a) held = av.code;
+        }
+        removes->push_back({Edit::kRemove, side, {a, held}});
+        for (size_t v = 0; v < num_values; ++v) {
+          ValueCode code = static_cast<ValueCode>(v);
+          if (code == held) continue;
+          changes->push_back({Edit::kChange, side, {a, code}});
+        }
+      } else {
+        for (size_t v = 0; v < num_values; ++v) {
+          adds->push_back({Edit::kAdd, side, {a, static_cast<ValueCode>(v)}});
+        }
+      }
+    }
+  }
+}
+
+OperationKind SingleEditKind(Edit::Type type) {
+  switch (type) {
+    case Edit::kAdd:
+      return OperationKind::kFilter;
+    case Edit::kRemove:
+      return OperationKind::kGeneralize;
+    case Edit::kChange:
+      return OperationKind::kChange;
+  }
+  return OperationKind::kFilter;
+}
+
+}  // namespace
+
+std::vector<Operation> EnumerateCandidateOperations(
+    const SubjectiveDatabase& db, const GroupSelection& current,
+    const OperationEnumerationOptions& options) {
+  SUBDEX_CHECK(options.max_edits >= 1 && options.max_edits <= 2);
+  std::vector<Edit> adds;
+  std::vector<Edit> removes;
+  std::vector<Edit> changes;
+  CollectEdits(db, current, &adds, &removes, &changes);
+
+  std::vector<Operation> out;
+  auto emit = [&](GroupSelection target, OperationKind kind,
+                  size_t num_edits) {
+    if (target == current) return;
+    out.push_back({std::move(target), kind, num_edits});
+  };
+
+  for (const auto& edit_list : {adds, removes, changes}) {
+    for (const Edit& e : edit_list) {
+      emit(ApplyEdit(current, e), SingleEditKind(e.type), 1);
+    }
+  }
+
+  if (options.max_edits < 2) return out;
+  if (out.size() >= options.max_candidates) return out;
+  size_t budget = options.max_candidates - out.size();
+
+  // Composites: one add combined with one remove-or-change on a different
+  // attribute. Sampled without replacement when the full space is larger
+  // than the remaining budget.
+  std::vector<Edit> removes_or_changes;
+  removes_or_changes.insert(removes_or_changes.end(), removes.begin(),
+                            removes.end());
+  removes_or_changes.insert(removes_or_changes.end(), changes.begin(),
+                            changes.end());
+  size_t space = adds.size() * removes_or_changes.size();
+  if (space == 0) return out;
+
+  auto emit_composite = [&](const Edit& add, const Edit& rc) {
+    if (add.side == rc.side && add.av.attribute == rc.av.attribute) return;
+    GroupSelection target = ApplyEdit(ApplyEdit(current, add), rc);
+    emit(std::move(target), OperationKind::kComposite, 2);
+  };
+
+  if (space <= budget) {
+    for (const Edit& add : adds) {
+      for (const Edit& rc : removes_or_changes) emit_composite(add, rc);
+    }
+  } else {
+    Rng rng(options.seed);
+    std::set<std::pair<size_t, size_t>> seen;
+    size_t attempts = 0;
+    while (seen.size() < budget && attempts < budget * 8) {
+      ++attempts;
+      size_t i = rng.UniformU32(static_cast<uint32_t>(adds.size()));
+      size_t j =
+          rng.UniformU32(static_cast<uint32_t>(removes_or_changes.size()));
+      if (!seen.insert({i, j}).second) continue;
+      emit_composite(adds[i], removes_or_changes[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace subdex

@@ -1,0 +1,58 @@
+#include "subjective/rating_group.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace subdex {
+
+namespace {
+
+// Counts attributes where the predicates disagree.
+size_t PredicateEditDistance(const Predicate& a, const Predicate& b) {
+  size_t edits = 0;
+  for (const AttributeValue& av : a.conjuncts()) {
+    bool found_attr = false;
+    for (const AttributeValue& bv : b.conjuncts()) {
+      if (bv.attribute == av.attribute) {
+        found_attr = true;
+        if (bv.code != av.code) ++edits;  // changed value
+        break;
+      }
+    }
+    if (!found_attr) ++edits;  // removed in b
+  }
+  for (const AttributeValue& bv : b.conjuncts()) {
+    if (!a.ConstrainsAttribute(bv.attribute)) ++edits;  // added in b
+  }
+  return edits;
+}
+
+}  // namespace
+
+size_t GroupSelection::EditDistance(const GroupSelection& other) const {
+  return PredicateEditDistance(reviewer_pred, other.reviewer_pred) +
+         PredicateEditDistance(item_pred, other.item_pred);
+}
+
+std::string GroupSelection::ToString(const SubjectiveDatabase& db) const {
+  return "reviewers: " + reviewer_pred.ToString(db.reviewers()) +
+         "; items: " + item_pred.ToString(db.items());
+}
+
+RatingGroup RatingGroup::Materialize(const SubjectiveDatabase& db,
+                                     GroupSelection selection) {
+  std::vector<RecordId> records =
+      db.MatchRecords(selection.reviewer_pred, selection.item_pred);
+  return RatingGroup(&db, std::move(selection), std::move(records));
+}
+
+double RatingGroup::AverageScore(size_t d) const {
+  SUBDEX_CHECK(db_ != nullptr);
+  if (records_.empty()) return 0.0;
+  double sum = 0.0;
+  for (RecordId r : records_) sum += db_->score(d, r);
+  return sum / static_cast<double>(records_.size());
+}
+
+}  // namespace subdex

@@ -1,0 +1,66 @@
+#ifndef SUBDEX_SUBJECTIVE_RATING_GROUP_H_
+#define SUBDEX_SUBJECTIVE_RATING_GROUP_H_
+
+#include <string>
+#include <vector>
+
+#include "subjective/subjective_db.h"
+
+namespace subdex {
+
+/// A joint selection over the reviewer and item tables — the state of an
+/// exploration step. The induced rating group g_R contains every rating
+/// record whose reviewer is in g_U and whose item is in g_I.
+struct GroupSelection {
+  Predicate reviewer_pred;
+  Predicate item_pred;
+
+  const Predicate& pred(Side side) const {
+    return side == Side::kReviewer ? reviewer_pred : item_pred;
+  }
+
+  /// Total number of attribute-value conjuncts across both sides.
+  size_t size() const { return reviewer_pred.size() + item_pred.size(); }
+
+  /// Number of attributes (across both sides) on which the two selections
+  /// disagree (present vs. absent, or different value). An "add", "remove"
+  /// or "change" each counts as one edit, matching the paper's restriction
+  /// that a next-step operation differs in at most 2 attribute-value pairs.
+  size_t EditDistance(const GroupSelection& other) const;
+
+  std::string ToString(const SubjectiveDatabase& db) const;
+
+  friend bool operator==(const GroupSelection&,
+                         const GroupSelection&) = default;
+};
+
+/// A materialized rating group: the record ids selected by a GroupSelection.
+class RatingGroup {
+ public:
+  RatingGroup() : db_(nullptr) {}
+  RatingGroup(const SubjectiveDatabase* db, GroupSelection selection,
+              std::vector<RecordId> records)
+      : db_(db), selection_(std::move(selection)), records_(std::move(records)) {}
+
+  /// Evaluates `selection` against `db` (requires finalized indexes).
+  static RatingGroup Materialize(const SubjectiveDatabase& db,
+                                 GroupSelection selection);
+
+  const SubjectiveDatabase& db() const { return *db_; }
+  const GroupSelection& selection() const { return selection_; }
+  const std::vector<RecordId>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// Average score over the group for dimension `d` (0 if empty).
+  double AverageScore(size_t d) const;
+
+ private:
+  const SubjectiveDatabase* db_;
+  GroupSelection selection_;
+  std::vector<RecordId> records_;
+};
+
+}  // namespace subdex
+
+#endif  // SUBDEX_SUBJECTIVE_RATING_GROUP_H_

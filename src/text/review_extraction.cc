@@ -1,0 +1,54 @@
+#include "text/review_extraction.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace subdex {
+
+ReviewExtractor::ReviewExtractor(
+    std::vector<std::vector<std::string>> keywords, int scale, size_t window)
+    : keywords_(std::move(keywords)), scale_(scale), window_(window) {
+  SUBDEX_CHECK(!keywords_.empty());
+  SUBDEX_CHECK(scale_ >= 2);
+}
+
+std::optional<double> ReviewExtractor::DimensionSentiment(
+    const std::vector<std::string>& tokens, size_t d) const {
+  SUBDEX_CHECK(d < keywords_.size());
+  double sum = 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    bool match = false;
+    for (const std::string& kw : keywords_[d]) {
+      if (tokens[i] == kw) {
+        match = true;
+        break;
+      }
+    }
+    if (!match) continue;
+    size_t begin = i >= window_ ? i - window_ : 0;
+    size_t end = std::min(tokens.size(), i + window_ + 1);
+    std::vector<std::string> phrase(tokens.begin() + static_cast<long>(begin),
+                                    tokens.begin() + static_cast<long>(end));
+    sum += analyzer_.ScoreTokens(phrase);
+    ++hits;
+  }
+  if (hits == 0) return std::nullopt;
+  return sum / static_cast<double>(hits);
+}
+
+std::vector<double> ReviewExtractor::ExtractScores(const std::string& review,
+                                                   double fallback) const {
+  std::vector<std::string> tokens = Tokenize(review);
+  std::vector<double> out(keywords_.size(), fallback);
+  for (size_t d = 0; d < keywords_.size(); ++d) {
+    std::optional<double> sentiment = DimensionSentiment(tokens, d);
+    if (sentiment.has_value()) {
+      out[d] = SentimentAnalyzer::CompoundToScale(*sentiment, scale_);
+    }
+  }
+  return out;
+}
+
+}  // namespace subdex

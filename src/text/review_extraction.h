@@ -1,0 +1,47 @@
+#ifndef SUBDEX_TEXT_REVIEW_EXTRACTION_H_
+#define SUBDEX_TEXT_REVIEW_EXTRACTION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "text/sentiment.h"
+
+namespace subdex {
+
+/// Per-dimension rating extraction from free-form review text, mirroring
+/// the paper's Yelp pipeline (Section 5.1): for a rating dimension keyword
+/// (e.g. "service"), every phrase containing the keyword within a fixed
+/// window of words (default 5 on each side) is scored with the sentiment
+/// analyzer, and the dimension's rating is the average phrase sentiment
+/// mapped onto the integer scale.
+class ReviewExtractor {
+ public:
+  /// `keywords[d]` holds the trigger words of dimension d (a dimension may
+  /// have synonyms, e.g. {"ambiance", "atmosphere"}).
+  ReviewExtractor(std::vector<std::vector<std::string>> keywords,
+                  int scale = 5, size_t window = 5);
+
+  size_t num_dimensions() const { return keywords_.size(); }
+  int scale() const { return scale_; }
+
+  /// Average compound sentiment of the keyword windows of dimension `d`, or
+  /// nullopt when the review never mentions the dimension.
+  std::optional<double> DimensionSentiment(
+      const std::vector<std::string>& tokens, size_t d) const;
+
+  /// Ratings for all dimensions; unmentioned dimensions fall back to
+  /// `fallback` (e.g. the review's overall score).
+  std::vector<double> ExtractScores(const std::string& review,
+                                    double fallback) const;
+
+ private:
+  std::vector<std::vector<std::string>> keywords_;
+  int scale_;
+  size_t window_;
+  SentimentAnalyzer analyzer_;
+};
+
+}  // namespace subdex
+
+#endif  // SUBDEX_TEXT_REVIEW_EXTRACTION_H_

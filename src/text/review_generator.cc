@@ -1,0 +1,102 @@
+#include "text/review_generator.h"
+
+#include "util/check.h"
+
+namespace subdex {
+
+namespace {
+
+// Word pools tuned against the analyzer's lexicon so each template's total
+// valence falls inside the compound-score band of the target rating:
+// 5 needs total valence >= ~4.4 (two boosted strong positives), 4 one plain
+// positive, 3 a mild word, 2 one negative, 1 two boosted strong negatives.
+const char* const kStrongPositive[] = {"amazing",   "outstanding",
+                                       "exceptional", "fantastic",
+                                       "superb",    "phenomenal",
+                                       "incredible", "perfect"};
+const char* const kPositive[] = {"great",    "tasty",   "lovely", "friendly",
+                                 "pleasant", "good",    "nice",   "clean",
+                                 "cozy",     "helpful", "flavorful"};
+const char* const kMild[] = {"okay", "fine",     "fair",
+                             "adequate", "acceptable", "passable"};
+const char* const kNegative[] = {"bad",   "slow",  "cold",   "stale",
+                                 "dirty", "rude",  "greasy", "bland",
+                                 "noisy", "soggy", "poor"};
+const char* const kStrongNegative[] = {"terrible",  "awful",    "horrible",
+                                       "disgusting", "atrocious", "dreadful",
+                                       "appalling", "abysmal"};
+const char* const kIntensifiers[] = {"absolutely", "extremely", "incredibly",
+                                     "truly", "utterly"};
+// Spacers of at least 5 neutral (non-lexicon, non-booster, non-negation)
+// tokens inserted between dimension sentences, so the +/-5-word extraction
+// window of one dimension keyword never reaches the previous sentence's
+// sentiment words or exclamation marks.
+const char* const kSpacers[] = {
+    "and then when it comes to the",
+    "moving on to what we thought about the",
+    "as for our impression of the",
+    "turning next to the matter of the",
+    "meanwhile with respect to the",
+};
+
+const char* const kFillers[] = {
+    "we went there on a tuesday evening",
+    "my friends recommended this place",
+    "we waited about twenty minutes for a table",
+    "the menu changes with the season",
+    "parking nearby can be tricky",
+    "we will see about coming back",
+};
+
+template <size_t N>
+const char* Pick(const char* const (&pool)[N], Rng* rng) {
+  return pool[rng->UniformU32(static_cast<uint32_t>(N))];
+}
+
+std::string DimensionSentence(const std::string& keyword, int score,
+                              Rng* rng) {
+  switch (score) {
+    case 5:
+      return std::string(Pick(kIntensifiers, rng)) + " " +
+             Pick(kStrongPositive, rng) + " and " + Pick(kIntensifiers, rng) +
+             " " + Pick(kStrongPositive, rng) + " " + keyword + " !";
+    case 4:
+      return std::string(Pick(kPositive, rng)) + " " + keyword + " overall .";
+    case 3:
+      return std::string(Pick(kMild, rng)) + " " + keyword +
+             " , nothing more .";
+    case 2:
+      return std::string(Pick(kNegative, rng)) + " " + keyword +
+             " this time .";
+    case 1:
+      return std::string(Pick(kIntensifiers, rng)) + " " +
+             Pick(kStrongNegative, rng) + " and " + Pick(kIntensifiers, rng) +
+             " " + Pick(kStrongNegative, rng) + " " + keyword + " .";
+    default:
+      SUBDEX_CHECK_MSG(false, "target score out of [1,5]");
+      return "";
+  }
+}
+
+}  // namespace
+
+ReviewGenerator::ReviewGenerator(std::vector<std::string> dimension_keywords)
+    : keywords_(std::move(dimension_keywords)) {
+  SUBDEX_CHECK(!keywords_.empty());
+}
+
+std::string ReviewGenerator::Generate(const std::vector<int>& target_scores,
+                                      Rng* rng) const {
+  SUBDEX_CHECK(target_scores.size() == keywords_.size());
+  std::string review = Pick(kFillers, rng);
+  review += " . ";
+  for (size_t d = 0; d < keywords_.size(); ++d) {
+    review += Pick(kSpacers, rng);
+    review += " ";
+    review += DimensionSentence(keywords_[d], target_scores[d], rng);
+    review += " ";
+  }
+  return review;
+}
+
+}  // namespace subdex

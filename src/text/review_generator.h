@@ -1,0 +1,32 @@
+#ifndef SUBDEX_TEXT_REVIEW_GENERATOR_H_
+#define SUBDEX_TEXT_REVIEW_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace subdex {
+
+/// Synthesizes free-form review text whose per-dimension sentiment, when
+/// run back through ReviewExtractor, lands on the requested 1..5 rating.
+/// Together with the extractor, this closes the loop of the paper's Yelp
+/// pipeline: the synthetic dataset stores review *text*, and the subjective
+/// rating dimensions are extracted from it, not copied.
+class ReviewGenerator {
+ public:
+  /// `dimension_keywords[d]` is the word the review uses to mention
+  /// dimension d (e.g. "food", "service", "ambiance").
+  explicit ReviewGenerator(std::vector<std::string> dimension_keywords);
+
+  /// One review mentioning every dimension once; `target_scores[d]` must be
+  /// in [1, 5].
+  std::string Generate(const std::vector<int>& target_scores, Rng* rng) const;
+
+ private:
+  std::vector<std::string> keywords_;
+};
+
+}  // namespace subdex
+
+#endif  // SUBDEX_TEXT_REVIEW_GENERATOR_H_

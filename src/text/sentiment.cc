@@ -1,0 +1,167 @@
+#include "text/sentiment.h"
+
+#include <cctype>
+#include <cmath>
+
+namespace subdex {
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char raw : text) {
+    char c = static_cast<char>(std::tolower(static_cast<unsigned char>(raw)));
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '\'') {
+      current.push_back(c);
+    } else {
+      if (!current.empty()) {
+        tokens.push_back(current);
+        current.clear();
+      }
+      if (c == '!' || c == '?') tokens.push_back(std::string(1, c));
+    }
+  }
+  if (!current.empty()) tokens.push_back(current);
+  return tokens;
+}
+
+namespace {
+
+struct WordValenceEntry {
+  const char* word;
+  double valence;
+};
+
+// Review-domain lexicon, valences on the VADER scale [-4, 4].
+constexpr WordValenceEntry kLexicon[] = {
+    // strong positive
+    {"amazing", 3.4},      {"outstanding", 3.5}, {"exceptional", 3.3},
+    {"fantastic", 3.3},    {"superb", 3.4},      {"perfect", 3.4},
+    {"excellent", 3.2},    {"wonderful", 3.1},   {"delicious", 3.1},
+    {"exquisite", 3.2},    {"phenomenal", 3.5},  {"incredible", 3.2},
+    {"flawless", 3.3},     {"divine", 3.0},      {"stellar", 3.1},
+    // positive
+    {"great", 2.6},        {"tasty", 2.4},       {"lovely", 2.4},
+    {"friendly", 2.2},     {"attentive", 2.1},   {"charming", 2.2},
+    {"cozy", 2.0},         {"fresh", 1.9},       {"clean", 1.8},
+    {"pleasant", 1.9},     {"good", 1.9},        {"nice", 1.8},
+    {"enjoyable", 2.0},    {"welcoming", 2.0},   {"comfortable", 1.8},
+    {"prompt", 1.6},       {"helpful", 1.9},     {"warm", 1.5},
+    {"flavorful", 2.2},    {"generous", 1.8},    {"polite", 1.7},
+    // mild positive
+    {"decent", 1.1},       {"fine", 0.9},        {"okay", 0.6},
+    {"acceptable", 0.7},   {"fair", 0.6},        {"reasonable", 0.8},
+    {"adequate", 0.6},     {"passable", 0.5},
+    // mild negative
+    {"average", -0.3},     {"mediocre", -1.2},   {"bland", -1.4},
+    {"plain", -0.6},       {"forgettable", -1.1}, {"uninspired", -1.2},
+    {"ordinary", -0.5},    {"underwhelming", -1.5},
+    // negative
+    {"bad", -1.9},         {"slow", -1.3},       {"cold", -1.1},
+    {"stale", -1.8},       {"noisy", -1.3},      {"dirty", -2.1},
+    {"rude", -2.3},        {"cramped", -1.4},    {"greasy", -1.5},
+    {"overpriced", -1.7},  {"soggy", -1.6},      {"unfriendly", -2.0},
+    {"tasteless", -1.9},   {"sloppy", -1.7},     {"dull", -1.4},
+    {"unpleasant", -2.0},  {"poor", -1.9},       {"lacking", -1.3},
+    // strong negative
+    {"terrible", -3.1},    {"awful", -3.1},      {"horrible", -3.2},
+    {"disgusting", -3.3},  {"inedible", -3.2},   {"filthy", -3.0},
+    {"atrocious", -3.4},   {"dreadful", -3.1},   {"appalling", -3.2},
+    {"revolting", -3.3},   {"abysmal", -3.4},    {"vile", -3.2},
+    {"worst", -3.1},       {"nasty", -2.7},      {"disaster", -2.9},
+};
+
+struct BoosterEntry {
+  const char* word;
+  double increment;
+};
+
+// Degree modifiers; positive entries intensify, negative ones dampen.
+constexpr BoosterEntry kBoosters[] = {
+    {"absolutely", 0.293}, {"extremely", 0.293},  {"incredibly", 0.293},
+    {"really", 0.267},     {"very", 0.267},       {"truly", 0.267},
+    {"remarkably", 0.267}, {"so", 0.241},         {"quite", 0.181},
+    {"totally", 0.241},    {"utterly", 0.293},
+    {"slightly", -0.293},  {"somewhat", -0.267},  {"barely", -0.293},
+    {"marginally", -0.293}, {"kinda", -0.267},    {"fairly", -0.181},
+};
+
+constexpr const char* kNegations[] = {"not",    "no",      "never",
+                                      "hardly", "neither", "nor",
+                                      "cannot", "can't",   "isn't",
+                                      "wasn't", "don't",   "didn't"};
+
+constexpr double kNegationFactor = -0.74;
+constexpr double kExclamationBoost = 0.292;
+constexpr int kMaxExclamations = 3;
+constexpr double kNormalizationAlpha = 15.0;
+
+bool IsNegation(const std::string& word) {
+  for (const char* n : kNegations) {
+    if (word == n) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+SentimentAnalyzer::SentimentAnalyzer() {
+  for (const auto& e : kLexicon) lexicon_.emplace(e.word, e.valence);
+  for (const auto& e : kBoosters) boosters_.emplace(e.word, e.increment);
+}
+
+double SentimentAnalyzer::WordValence(const std::string& word) const {
+  auto it = lexicon_.find(word);
+  return it == lexicon_.end() ? 0.0 : it->second;
+}
+
+double SentimentAnalyzer::ScoreTokens(
+    const std::vector<std::string>& tokens) const {
+  double total = 0.0;
+  int exclamations = 0;
+  for (const std::string& t : tokens) {
+    if (t == "!") ++exclamations;
+  }
+  exclamations = std::min(exclamations, kMaxExclamations);
+
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    auto it = lexicon_.find(tokens[i]);
+    if (it == lexicon_.end()) continue;
+    double valence = it->second;
+
+    // Boosters within the 2 preceding tokens, scaled down with distance.
+    for (size_t back = 1; back <= 2 && back <= i; ++back) {
+      auto b = boosters_.find(tokens[i - back]);
+      if (b == boosters_.end()) continue;
+      double inc = b->second * (back == 1 ? 1.0 : 0.95);
+      valence += valence >= 0 ? inc : -inc;
+    }
+    // Negation within the 3 preceding tokens flips and damps.
+    for (size_t back = 1; back <= 3 && back <= i; ++back) {
+      if (IsNegation(tokens[i - back])) {
+        valence *= kNegationFactor;
+        break;
+      }
+    }
+    total += valence;
+  }
+
+  if (total > 0) {
+    total += exclamations * kExclamationBoost;
+  } else if (total < 0) {
+    total -= exclamations * kExclamationBoost;
+  }
+  return total / std::sqrt(total * total + kNormalizationAlpha);
+}
+
+double SentimentAnalyzer::ScoreText(std::string_view text) const {
+  return ScoreTokens(Tokenize(text));
+}
+
+int SentimentAnalyzer::CompoundToScale(double compound, int scale) {
+  double clipped = std::min(1.0, std::max(-1.0, compound));
+  double pos = (clipped + 1.0) / 2.0;  // [0, 1]
+  int score = 1 + static_cast<int>(std::lround(pos * (scale - 1)));
+  return std::min(scale, std::max(1, score));
+}
+
+}  // namespace subdex

@@ -1,0 +1,49 @@
+#ifndef SUBDEX_TEXT_SENTIMENT_H_
+#define SUBDEX_TEXT_SENTIMENT_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace subdex {
+
+/// Lower-cased word tokens; punctuation tokens ("!", "?") are kept because
+/// the scorer uses exclamation emphasis.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// A compact VADER-style rule-based sentiment scorer (Hutto & Gilbert 2014),
+/// reimplemented from scratch with a built-in review-domain lexicon. The
+/// paper extracts Yelp's per-dimension rating scores by running VADER over
+/// phrase windows around dimension keywords; this class plays that role for
+/// the synthetic review pipeline.
+///
+/// Supported rules: word valences in [-4, 4], booster/dampener words within
+/// 2 tokens before a sentiment word, negation within 3 tokens before
+/// (flips and damps the valence), exclamation emphasis, and the VADER
+/// compound normalization x / sqrt(x^2 + alpha) into [-1, 1].
+class SentimentAnalyzer {
+ public:
+  SentimentAnalyzer();
+
+  /// Compound sentiment of a token span, in [-1, 1]; 0 for neutral text.
+  double ScoreTokens(const std::vector<std::string>& tokens) const;
+
+  /// Convenience: tokenize + score.
+  double ScoreText(std::string_view text) const;
+
+  /// Valence of a single lexicon word (0 if absent).
+  double WordValence(const std::string& word) const;
+
+  /// Maps a compound score in [-1, 1] to the integer rating scale
+  /// {1, ..., scale} by linear interpolation.
+  static int CompoundToScale(double compound, int scale);
+
+ private:
+  std::unordered_map<std::string, double> lexicon_;
+  std::unordered_map<std::string, double> boosters_;  // signed increments
+};
+
+}  // namespace subdex
+
+#endif  // SUBDEX_TEXT_SENTIMENT_H_

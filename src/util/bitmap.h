@@ -1,0 +1,48 @@
+#ifndef SUBDEX_UTIL_BITMAP_H_
+#define SUBDEX_UTIL_BITMAP_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+
+namespace subdex {
+
+/// Fixed-size bitset used for fast row-membership tests. The subjective
+/// database keeps one bitmap per (attribute, value) so that rating groups —
+/// conjunctions of attribute-value pairs over reviewers and items — can be
+/// materialized with a handful of ANDs instead of per-row predicate checks.
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(size_t num_bits, bool value = false);
+
+  size_t size() const { return num_bits_; }
+
+  void Set(size_t i);
+  void Clear(size_t i);
+  bool Test(size_t i) const;
+
+  /// In-place intersection; both operands must have the same size.
+  void And(const Bitmap& other);
+  /// In-place union; both operands must have the same size.
+  void Or(const Bitmap& other);
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  /// Indices of all set bits, ascending.
+  std::vector<uint32_t> ToIndices() const;
+
+  /// Sets every bit.
+  void SetAll();
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace subdex
+
+#endif  // SUBDEX_UTIL_BITMAP_H_

@@ -1,0 +1,30 @@
+#ifndef SUBDEX_UTIL_CHECK_H_
+#define SUBDEX_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant-checking macros. SubDEx does not use exceptions; programming
+// errors (violated preconditions, broken invariants) abort the process with
+// a diagnostic, mirroring the CHECK() idiom of large C++ codebases.
+// Recoverable errors (I/O, malformed input) are reported via Status/Result.
+
+#define SUBDEX_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "SUBDEX_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define SUBDEX_CHECK_MSG(cond, msg)                                         \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "SUBDEX_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, (msg));                       \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // SUBDEX_UTIL_CHECK_H_

@@ -1,0 +1,57 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace subdex {
+
+double Rng::Normal(double mean, double stddev) {
+  // Box-Muller; draws u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - UniformDouble();
+  double u2 = UniformDouble();
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  SUBDEX_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    SUBDEX_CHECK(w >= 0.0);
+    total += w;
+  }
+  SUBDEX_CHECK(total > 0.0);
+  double r = UniformDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  SUBDEX_CHECK(n > 0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = acc;
+  }
+  for (size_t i = 0; i < n; ++i) cdf_[i] /= acc;
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  double r = rng->UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), r);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(size_t i) const {
+  SUBDEX_CHECK(i < cdf_.size());
+  if (i == 0) return cdf_[0];
+  return cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace subdex

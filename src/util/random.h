@@ -1,0 +1,101 @@
+#ifndef SUBDEX_UTIL_RANDOM_H_
+#define SUBDEX_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace subdex {
+
+/// Deterministic PCG32 pseudo-random generator (O'Neill, pcg-random.org,
+/// XSH-RR 64/32 variant). Every stochastic component of SubDEx draws from a
+/// seeded Rng so that experiments, datasets and simulated-user sessions are
+/// exactly reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL, uint64_t stream = 1)
+      : state_(0), inc_((stream << 1u) | 1u) {
+    NextU32();
+    state_ += seed;
+    NextU32();
+  }
+
+  /// Uniform 32-bit value.
+  uint32_t NextU32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform integer in [0, bound), bound > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  uint32_t UniformU32(uint32_t bound) {
+    SUBDEX_CHECK(bound > 0);
+    uint32_t threshold = (-bound) % bound;
+    for (;;) {
+      uint32_t r = NextU32();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int UniformInt(int lo, int hi) {
+    SUBDEX_CHECK(lo <= hi);
+    return lo + static_cast<int>(
+                    UniformU32(static_cast<uint32_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double UniformDouble() {
+    uint64_t hi = NextU32() >> 5;  // 27 bits
+    uint64_t lo = NextU32() >> 6;  // 26 bits
+    return (static_cast<double>(hi) * 67108864.0 + static_cast<double>(lo)) /
+           9007199254740992.0;  // 2^53
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Standard normal via Box-Muller (single value, caches nothing).
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = UniformU32(static_cast<uint32_t>(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Picks one index according to non-negative weights (sum > 0).
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+/// Zipf-distributed sampler over {0, ..., n-1} with exponent s.
+/// P(X = i) proportional to 1 / (i + 1)^s. Precomputes the CDF; sampling is
+/// a binary search, O(log n).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  size_t Sample(Rng* rng) const;
+  size_t size() const { return cdf_.size(); }
+
+  /// Probability mass of rank i.
+  double Pmf(size_t i) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace subdex
+
+#endif  // SUBDEX_UTIL_RANDOM_H_

@@ -1,0 +1,79 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace subdex {
+
+void RunningStat::Add(double x) {
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double delta = other.mean_ - mean_;
+  size_t n = count_ + other.count_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) /
+                         static_cast<double>(n);
+  mean_ += delta * static_cast<double>(other.count_) / static_cast<double>(n);
+  count_ = n;
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = Mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+double Median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  size_t n = xs.size();
+  if (n % 2 == 1) return xs[n / 2];
+  return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double HoeffdingSerflingEpsilon(size_t sampled, size_t total, double delta) {
+  SUBDEX_CHECK(delta > 0.0 && delta < 1.0);
+  SUBDEX_CHECK(total > 0);
+  if (sampled < 2) return 1.0;
+  if (sampled >= total) return 0.0;
+  double u = static_cast<double>(sampled);
+  double n = static_cast<double>(total);
+  double coverage = 1.0 - (u - 1.0) / n;
+  double log_term =
+      2.0 * std::log(std::log(u)) + std::log(M_PI * M_PI / (3.0 * delta));
+  // log(log(u)) is negative for u < e; clamp the numerator at a small
+  // positive value so early phases get a wide (conservative) interval.
+  if (log_term < 0.0) log_term = std::log(M_PI * M_PI / (3.0 * delta));
+  double eps = std::sqrt(coverage * log_term / (2.0 * u));
+  return std::min(eps, 1.0);
+}
+
+}  // namespace subdex

@@ -1,0 +1,56 @@
+#ifndef SUBDEX_UTIL_STATS_H_
+#define SUBDEX_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace subdex {
+
+/// Streaming mean / variance accumulator (Welford's algorithm). Numerically
+/// stable and mergeable, which the phased execution framework relies on to
+/// combine per-phase partial results.
+class RunningStat {
+ public:
+  RunningStat() = default;
+
+  void Add(double x);
+  /// Merges another accumulator into this one (parallel/phased updates).
+  void Merge(const RunningStat& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Population variance (divide by n); 0 for fewer than 2 samples.
+  double variance() const;
+  /// Population standard deviation.
+  double stddev() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Mean of a vector; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Population standard deviation of a vector; 0 for fewer than 2 values.
+double StdDev(const std::vector<double>& xs);
+
+/// Median (averages the two middle values for even sizes); 0 for empty.
+double Median(std::vector<double> xs);
+
+/// Hoeffding-Serfling deviation bound for the running mean of a [0,1]-valued
+/// statistic computed from `sampled` draws without replacement out of a
+/// population of `total`, at confidence 1 - delta. This is the worst-case
+/// confidence-interval half-width used by SeeDB-style pruning (Vartak et al.
+/// 2015, eq. derived from Serfling 1974):
+///
+///   eps = sqrt( (1 - (u-1)/n) * (2 ln ln u + ln(pi^2 / (3 delta))) / (2u) )
+///
+/// where u = sampled, n = total. Returns 1.0 (vacuous bound) when u < 2.
+double HoeffdingSerflingEpsilon(size_t sampled, size_t total, double delta);
+
+}  // namespace subdex
+
+#endif  // SUBDEX_UTIL_STATS_H_

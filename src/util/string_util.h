@@ -1,0 +1,34 @@
+#ifndef SUBDEX_UTIL_STRING_UTIL_H_
+#define SUBDEX_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace subdex {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+/// True iff `s` parses completely as a finite double; stores it in *out.
+bool ParseDouble(std::string_view s, double* out);
+
+/// True iff `s` parses completely as an int; stores it in *out.
+bool ParseInt(std::string_view s, int* out);
+
+/// Formats a double with `digits` decimal places.
+std::string FormatDouble(double v, int digits);
+
+}  // namespace subdex
+
+#endif  // SUBDEX_UTIL_STRING_UTIL_H_

@@ -1,0 +1,51 @@
+#ifndef SUBDEX_UTIL_THREAD_POOL_H_
+#define SUBDEX_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace subdex {
+
+/// Fixed-size worker pool. The SDE engine uses it to evaluate several
+/// candidate next-step operations concurrently (the paper's "parallel query
+/// execution": the optimal number of in-flight tasks equals the number of
+/// available cores). Tasks are void() closures; `WaitIdle()` blocks until
+/// everything submitted so far has finished.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no worker is running a task.
+  void WaitIdle();
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace subdex
+
+#endif  // SUBDEX_UTIL_THREAD_POOL_H_

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/pattern.h"
+#include "baselines/qagview.h"
+#include "baselines/smart_drilldown.h"
+#include "tests/test_support.h"
+
+namespace subdex {
+namespace {
+
+using testing_support::MakeRandomDb;
+using testing_support::MakeTinyRestaurantDb;
+
+// -------------------------------------------------------------- Pattern --
+
+TEST(PatternTest, SingleConditionCoverageIsExact) {
+  auto db = MakeRandomDb(30, 12, 400, 1, 81);
+  RatingGroup all = RatingGroup::Materialize(*db, GroupSelection{});
+  std::vector<Pattern> patterns = EnumerateSingleConditionPatterns(all);
+  ASSERT_FALSE(patterns.empty());
+  for (const Pattern& p : patterns) {
+    ASSERT_EQ(p.conditions.size(), 1u);
+    const auto& [side, av] = p.conditions[0];
+    const Table& table = db->table(side);
+    for (size_t pos = 0; pos < all.size(); ++pos) {
+      RecordId rec = all.records()[pos];
+      RowId row =
+          side == Side::kReviewer ? db->reviewer_of(rec) : db->item_of(rec);
+      EXPECT_EQ(p.coverage.Test(pos),
+                table.HasValue(av.attribute, row, av.code));
+    }
+  }
+}
+
+TEST(PatternTest, ConstrainedAttributesAreSkipped) {
+  auto db = MakeTinyRestaurantDb();
+  GroupSelection sel;
+  sel.reviewer_pred =
+      Predicate({{0, db->reviewers().LookupValue(0, "F")}});
+  RatingGroup g = RatingGroup::Materialize(*db, sel);
+  for (const Pattern& p : EnumerateSingleConditionPatterns(g)) {
+    const auto& [side, av] = p.conditions[0];
+    if (side == Side::kReviewer) {
+      EXPECT_NE(av.attribute, 0u);
+    }
+  }
+}
+
+TEST(PatternTest, CombineIntersectsCoverage) {
+  auto db = MakeTinyRestaurantDb();
+  RatingGroup all = RatingGroup::Materialize(*db, GroupSelection{});
+  std::vector<Pattern> patterns = EnumerateSingleConditionPatterns(all);
+  ASSERT_GE(patterns.size(), 2u);
+  Pattern combined = CombinePatterns(patterns[0], patterns[1]);
+  EXPECT_EQ(combined.conditions.size(), 2u);
+  for (size_t pos = 0; pos < all.size(); ++pos) {
+    EXPECT_EQ(combined.coverage.Test(pos),
+              patterns[0].coverage.Test(pos) &&
+                  patterns[1].coverage.Test(pos));
+  }
+}
+
+TEST(PatternTest, DifferenceIsSymmetricDifferenceSize) {
+  auto db = MakeTinyRestaurantDb();
+  RatingGroup all = RatingGroup::Materialize(*db, GroupSelection{});
+  std::vector<Pattern> ps = EnumerateSingleConditionPatterns(all);
+  ASSERT_GE(ps.size(), 3u);
+  EXPECT_EQ(ps[0].Difference(ps[0]), 0u);
+  EXPECT_EQ(ps[0].Difference(ps[1]), 2u);
+  Pattern combined = CombinePatterns(ps[0], ps[1]);
+  EXPECT_EQ(combined.Difference(ps[0]), 1u);
+}
+
+TEST(PatternTest, ToOperationDrillsDown) {
+  auto db = MakeTinyRestaurantDb();
+  GroupSelection sel;
+  sel.item_pred = Predicate({{1, db->items().LookupValue(1, "nyc")}});
+  RatingGroup g = RatingGroup::Materialize(*db, sel);
+  std::vector<Pattern> ps = EnumerateSingleConditionPatterns(g);
+  ASSERT_FALSE(ps.empty());
+  Operation op = ps[0].ToOperation(sel);
+  // Drill-down: the new selection contains the old one.
+  EXPECT_TRUE(op.target.reviewer_pred.Contains(sel.reviewer_pred));
+  EXPECT_TRUE(op.target.item_pred.Contains(sel.item_pred));
+  EXPECT_EQ(op.target.size(), sel.size() + 1);
+}
+
+// ------------------------------------------------------------------ SDD --
+
+TEST(SddTest, ReturnsOnlyDrillDowns) {
+  auto db = MakeRandomDb(60, 20, 800, 1, 83);
+  RatingGroup all = RatingGroup::Materialize(*db, GroupSelection{});
+  SmartDrillDown sdd;
+  std::vector<Operation> ops = sdd.Recommend(all, 4);
+  ASSERT_FALSE(ops.empty());
+  for (const Operation& op : ops) {
+    EXPECT_TRUE(op.target.reviewer_pred.Contains(
+        all.selection().reviewer_pred));
+    EXPECT_TRUE(op.target.item_pred.Contains(all.selection().item_pred));
+    EXPECT_GT(op.target.size(), all.selection().size());
+  }
+}
+
+TEST(SddTest, RulesAreDistinct) {
+  auto db = MakeRandomDb(60, 20, 800, 1, 85);
+  RatingGroup all = RatingGroup::Materialize(*db, GroupSelection{});
+  SmartDrillDown sdd;
+  std::vector<Operation> ops = sdd.Recommend(all, 5);
+  std::set<std::string> targets;
+  for (const Operation& op : ops) {
+    EXPECT_TRUE(targets.insert(op.target.ToString(*db)).second);
+  }
+}
+
+TEST(SddTest, FirstRuleHasLargeCoverage) {
+  auto db = MakeRandomDb(60, 20, 800, 1, 87);
+  RatingGroup all = RatingGroup::Materialize(*db, GroupSelection{});
+  SmartDrillDown sdd;
+  std::vector<Operation> ops = sdd.Recommend(all, 1);
+  ASSERT_EQ(ops.size(), 1u);
+  RatingGroup sub = RatingGroup::Materialize(*db, ops[0].target);
+  // The greedy first rule covers a sizable chunk of the group.
+  EXPECT_GT(sub.size(), all.size() / 10);
+}
+
+TEST(SddTest, EmptyGroupAndZeroCount) {
+  auto db = MakeTinyRestaurantDb();
+  SmartDrillDown sdd;
+  RatingGroup empty(&*db, GroupSelection{}, {});
+  EXPECT_TRUE(sdd.Recommend(empty, 3).empty());
+  RatingGroup all = RatingGroup::Materialize(*db, GroupSelection{});
+  EXPECT_TRUE(sdd.Recommend(all, 0).empty());
+}
+
+// -------------------------------------------------------------- Qagview --
+
+TEST(QagviewTest, ClustersRespectDistanceD) {
+  auto db = MakeRandomDb(60, 20, 800, 1, 89);
+  RatingGroup all = RatingGroup::Materialize(*db, GroupSelection{});
+  Qagview qv;
+  std::vector<Operation> ops = qv.Recommend(all, 4);
+  ASSERT_GE(ops.size(), 2u);
+  // Reconstruct each cluster's condition set (the conjuncts added on top of
+  // the empty selection); with D = 2, the symmetric difference between two
+  // clusters' condition sets has at least 2 elements.
+  auto conditions = [](const GroupSelection& sel) {
+    std::set<std::tuple<int, size_t, ValueCode>> out;
+    for (const AttributeValue& av : sel.reviewer_pred.conjuncts()) {
+      out.insert({0, av.attribute, av.code});
+    }
+    for (const AttributeValue& av : sel.item_pred.conjuncts()) {
+      out.insert({1, av.attribute, av.code});
+    }
+    return out;
+  };
+  for (size_t i = 0; i < ops.size(); ++i) {
+    for (size_t j = i + 1; j < ops.size(); ++j) {
+      auto a = conditions(ops[i].target);
+      auto b = conditions(ops[j].target);
+      size_t diff = 0;
+      for (const auto& c : a) diff += b.count(c) == 0 ? 1 : 0;
+      for (const auto& c : b) diff += a.count(c) == 0 ? 1 : 0;
+      EXPECT_GE(diff, 2u);
+    }
+  }
+}
+
+TEST(QagviewTest, ReturnsOnlyDrillDowns) {
+  auto db = MakeRandomDb(60, 20, 800, 1, 91);
+  RatingGroup all = RatingGroup::Materialize(*db, GroupSelection{});
+  Qagview qv;
+  for (const Operation& op : qv.Recommend(all, 3)) {
+    EXPECT_GT(op.target.size(), all.selection().size());
+    EXPECT_TRUE(op.target.reviewer_pred.Contains(
+        all.selection().reviewer_pred));
+  }
+}
+
+TEST(QagviewTest, CoverageGrowsWithClusters) {
+  auto db = MakeRandomDb(80, 20, 1200, 1, 93);
+  RatingGroup all = RatingGroup::Materialize(*db, GroupSelection{});
+  Qagview qv;
+  std::vector<Operation> one = qv.Recommend(all, 1);
+  std::vector<Operation> four = qv.Recommend(all, 4);
+  ASSERT_EQ(one.size(), 1u);
+  ASSERT_GE(four.size(), 2u);
+  auto covered = [&](const std::vector<Operation>& ops) {
+    std::set<RecordId> records;
+    for (const Operation& op : ops) {
+      RatingGroup g = RatingGroup::Materialize(*db, op.target);
+      records.insert(g.records().begin(), g.records().end());
+    }
+    return records.size();
+  };
+  EXPECT_GE(covered(four), covered(one));
+}
+
+TEST(QagviewTest, EmptyGroupYieldsNothing) {
+  auto db = MakeTinyRestaurantDb();
+  Qagview qv;
+  RatingGroup empty(&*db, GroupSelection{}, {});
+  EXPECT_TRUE(qv.Recommend(empty, 3).empty());
+}
+
+}  // namespace
+}  // namespace subdex

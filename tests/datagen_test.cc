@@ -1,0 +1,363 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/rating_map.h"
+#include "datagen/insights.h"
+#include "datagen/irregular.h"
+#include "datagen/specs.h"
+#include "datagen/synthetic.h"
+#include "datagen/transforms.h"
+
+namespace subdex {
+namespace {
+
+// Small, fast instances for unit testing; the full-size specs are exercised
+// by the benchmarks.
+DatasetSpec TinyYelp() {
+  DatasetSpec spec = YelpSpec().Scaled(0.004);
+  // Yelp has only 93 items; proportional scaling would leave 1, too few
+  // for item-side groups. Keep a meaningful item table.
+  spec.num_items = 30;
+  return spec;
+}
+DatasetSpec TinyMovielens() { return MovielensSpec().Scaled(0.02); }
+
+// ----------------------------------------------------------- Specs ------
+
+TEST(SpecsTest, Table2ShapesMatchThePaper) {
+  DatasetSpec ml = MovielensSpec();
+  EXPECT_EQ(ml.reviewer_attributes.size() + ml.item_attributes.size(), 12u);
+  EXPECT_EQ(ml.dimensions.size(), 1u);
+  EXPECT_EQ(ml.num_ratings, 100000u);
+  EXPECT_EQ(ml.num_reviewers, 943u);
+  EXPECT_EQ(ml.num_items, 1682u);
+  size_t ml_max = 0;
+  for (const auto& a : ml.reviewer_attributes) ml_max = std::max(ml_max, a.num_values);
+  for (const auto& a : ml.item_attributes) ml_max = std::max(ml_max, a.num_values);
+  EXPECT_EQ(ml_max, 29u);
+
+  DatasetSpec yelp = YelpSpec();
+  EXPECT_EQ(yelp.reviewer_attributes.size() + yelp.item_attributes.size(),
+            24u);
+  EXPECT_EQ(yelp.dimensions.size(), 4u);
+  EXPECT_EQ(yelp.num_ratings, 200500u);
+  EXPECT_EQ(yelp.num_reviewers, 150318u);
+  EXPECT_EQ(yelp.num_items, 93u);
+  size_t yelp_max = 0;
+  for (const auto& a : yelp.reviewer_attributes) yelp_max = std::max(yelp_max, a.num_values);
+  for (const auto& a : yelp.item_attributes) yelp_max = std::max(yelp_max, a.num_values);
+  EXPECT_EQ(yelp_max, 13u);
+
+  DatasetSpec hotel = HotelSpec();
+  EXPECT_EQ(hotel.reviewer_attributes.size() + hotel.item_attributes.size(),
+            8u);
+  EXPECT_EQ(hotel.dimensions.size(), 4u);
+  EXPECT_EQ(hotel.num_ratings, 35912u);
+  EXPECT_EQ(hotel.num_reviewers, 15493u);
+  EXPECT_EQ(hotel.num_items, 879u);
+  size_t hotel_max = 0;
+  for (const auto& a : hotel.reviewer_attributes) hotel_max = std::max(hotel_max, a.num_values);
+  for (const auto& a : hotel.item_attributes) hotel_max = std::max(hotel_max, a.num_values);
+  EXPECT_EQ(hotel_max, 62u);
+}
+
+TEST(SpecsTest, ScaledKeepsAttributeShape) {
+  DatasetSpec tiny = TinyYelp();
+  EXPECT_EQ(tiny.reviewer_attributes.size(), 12u);
+  EXPECT_LT(tiny.num_ratings, 2000u);
+  EXPECT_GE(tiny.num_reviewers, 1u);
+}
+
+// -------------------------------------------------------- Generator -----
+
+TEST(GeneratorTest, ProducesRequestedShape) {
+  DatasetSpec spec = TinyMovielens();
+  auto db = GenerateDataset(spec, 1);
+  EXPECT_EQ(db->num_reviewers(), spec.num_reviewers);
+  EXPECT_EQ(db->num_items(), spec.num_items);
+  EXPECT_EQ(db->num_records(), spec.num_ratings);
+  EXPECT_EQ(db->num_dimensions(), 1u);
+  EXPECT_TRUE(db->finalized());
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  DatasetSpec spec = TinyMovielens();
+  auto a = GenerateDataset(spec, 5);
+  auto b = GenerateDataset(spec, 5);
+  ASSERT_EQ(a->num_records(), b->num_records());
+  for (RecordId r = 0; r < a->num_records(); ++r) {
+    EXPECT_EQ(a->reviewer_of(r), b->reviewer_of(r));
+    EXPECT_EQ(a->item_of(r), b->item_of(r));
+    EXPECT_EQ(a->score(0, r), b->score(0, r));
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  DatasetSpec spec = TinyMovielens();
+  auto a = GenerateDataset(spec, 5);
+  auto b = GenerateDataset(spec, 6);
+  size_t diffs = 0;
+  for (RecordId r = 0; r < a->num_records(); ++r) {
+    if (a->score(0, r) != b->score(0, r)) ++diffs;
+  }
+  EXPECT_GT(diffs, a->num_records() / 10);
+}
+
+TEST(GeneratorTest, MinRatingsPerReviewerHonored) {
+  DatasetSpec spec = TinyMovielens();
+  spec.min_ratings_per_reviewer = 3;
+  auto db = GenerateDataset(spec, 2);
+  for (RowId u = 0; u < db->num_reviewers(); ++u) {
+    EXPECT_GE(db->RecordsOfReviewer(u).size(), 3u);
+  }
+}
+
+TEST(GeneratorTest, ScoresStayOnScale) {
+  auto db = GenerateDataset(TinyYelp(), 3);
+  for (size_t d = 0; d < db->num_dimensions(); ++d) {
+    for (RecordId r = 0; r < db->num_records(); ++r) {
+      EXPECT_GE(db->score(d, r), 1);
+      EXPECT_LE(db->score(d, r), 5);
+    }
+  }
+}
+
+TEST(GeneratorTest, LatentBiasIsDeterministicAndSparse) {
+  DatasetSpec spec = TinyYelp();
+  size_t nonzero = 0;
+  size_t total = 0;
+  for (size_t a = 0; a < 5; ++a) {
+    for (ValueCode v = 0; v < 10; ++v) {
+      for (size_t d = 0; d < 4; ++d) {
+        double b1 = LatentBias(spec, 77, Side::kReviewer, a, v, d);
+        double b2 = LatentBias(spec, 77, Side::kReviewer, a, v, d);
+        EXPECT_DOUBLE_EQ(b1, b2);
+        ++total;
+        if (b1 != 0.0) ++nonzero;
+      }
+    }
+  }
+  // bias_probability=0.35: expect roughly a third nonzero.
+  EXPECT_GT(nonzero, total / 6);
+  EXPECT_LT(nonzero, total * 2 / 3);
+}
+
+TEST(GeneratorTest, BiasShowsUpInGroupAverages) {
+  // Find a reviewer attribute value with a strongly positive latent bias on
+  // dimension 0 and check its group's average beats a strongly negative
+  // one's.
+  DatasetSpec spec = TinyMovielens();
+  spec.num_ratings = 4000;
+  spec.num_reviewers = 200;
+  spec.min_ratings_per_reviewer = 10;
+  auto db = GenerateDataset(spec, 123);
+  // gender has 2 values; compare against occupation values to find a big
+  // spread somewhere.
+  double best_bias = 0, worst_bias = 0;
+  size_t best_attr = 0, worst_attr = 0;
+  ValueCode best_val = 0, worst_val = 0;
+  for (size_t a = 0; a < db->reviewers().num_attributes(); ++a) {
+    for (size_t v = 0; v < db->reviewers().DistinctValueCount(a); ++v) {
+      double b = LatentBias(spec, 123, Side::kReviewer, a,
+                            static_cast<ValueCode>(v), 0);
+      size_t rows = db->MatchRows(Side::kReviewer,
+                                  Predicate({{a, static_cast<ValueCode>(v)}}))
+                        .Count();
+      if (rows < 10) continue;
+      if (b > best_bias) {
+        best_bias = b;
+        best_attr = a;
+        best_val = static_cast<ValueCode>(v);
+      }
+      if (b < worst_bias) {
+        worst_bias = b;
+        worst_attr = a;
+        worst_val = static_cast<ValueCode>(v);
+      }
+    }
+  }
+  ASSERT_GT(best_bias, 0.2);
+  ASSERT_LT(worst_bias, -0.2);
+  auto avg_for = [&](size_t attr, ValueCode val) {
+    GroupSelection sel;
+    sel.reviewer_pred = Predicate({{attr, val}});
+    RatingGroup g = RatingGroup::Materialize(*db, sel);
+    return g.AverageScore(0);
+  };
+  EXPECT_GT(avg_for(best_attr, best_val), avg_for(worst_attr, worst_val));
+}
+
+TEST(GeneratorTest, TextPipelineProducesVariedDimensions) {
+  DatasetSpec spec = TinyYelp();
+  ASSERT_TRUE(spec.extract_dimensions_from_text);
+  auto db = GenerateDataset(spec, 9);
+  // Each non-overall dimension should have at least 3 distinct score
+  // values in use (the extraction is not degenerate).
+  for (size_t d = 1; d < db->num_dimensions(); ++d) {
+    std::set<int> values;
+    for (RecordId r = 0; r < db->num_records(); ++r) {
+      values.insert(db->score(d, r));
+    }
+    EXPECT_GE(values.size(), 3u) << "dimension " << d;
+  }
+}
+
+// -------------------------------------------------------- Irregular -----
+
+TEST(IrregularTest, PlantsRequestedGroupsWithFlooredScores) {
+  auto db = GenerateDataset(TinyYelp(), 11);
+  IrregularPlantingOptions options;
+  options.count = 2;
+  auto groups = PlantIrregularGroups(db.get(), options, 42);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].side, Side::kReviewer);
+  EXPECT_EQ(groups[1].side, Side::kItem);
+  for (const auto& g : groups) {
+    EXPECT_GE(g.members.size(), options.min_members);
+    size_t desc = g.description.size();
+    EXPECT_GE(desc, 2u);
+    EXPECT_LE(desc, 3u);
+    for (RecordId r : g.affected_records) {
+      EXPECT_EQ(db->score(g.dimension, r), 1);
+    }
+    // Every member matches the description.
+    for (RowId row : g.members) {
+      EXPECT_TRUE(g.description.Matches(db->table(g.side), row));
+    }
+  }
+}
+
+TEST(IrregularTest, DescriptionsAreDistinct) {
+  auto db = GenerateDataset(TinyYelp(), 13);
+  IrregularPlantingOptions options;
+  options.count = 4;
+  auto groups = PlantIrregularGroups(db.get(), options, 7);
+  std::set<std::string> descs;
+  for (const auto& g : groups) {
+    descs.insert(g.Describe(*db));
+  }
+  EXPECT_EQ(descs.size(), groups.size());
+}
+
+TEST(IrregularTest, DeterministicPlanting) {
+  auto a = GenerateDataset(TinyYelp(), 17);
+  auto b = GenerateDataset(TinyYelp(), 17);
+  IrregularPlantingOptions options;
+  auto ga = PlantIrregularGroups(a.get(), options, 5);
+  auto gb = PlantIrregularGroups(b.get(), options, 5);
+  ASSERT_EQ(ga.size(), gb.size());
+  for (size_t i = 0; i < ga.size(); ++i) {
+    EXPECT_EQ(ga[i].Describe(*a), gb[i].Describe(*b));
+  }
+}
+
+// ---------------------------------------------------------- Insights ----
+
+TEST(InsightsTest, PlantedInsightsAreVerifiedExtremes) {
+  auto db = GenerateDataset(TinyYelp(), 19);
+  InsightPlantingOptions options;
+  options.count = 3;
+  options.min_records = 10;
+  auto insights = PlantInsights(db.get(), options, 23);
+  ASSERT_GE(insights.size(), 2u);
+  RatingGroup all = RatingGroup::Materialize(*db, GroupSelection{});
+  for (const auto& ins : insights) {
+    RatingMap map =
+        RatingMap::Build(all, {ins.side, ins.attribute, ins.dimension});
+    double target = 0.0;
+    for (const Subgroup& sg : map.subgroups()) {
+      if (sg.value == ins.value) target = sg.average();
+    }
+    for (const Subgroup& sg : map.subgroups()) {
+      if (sg.value == ins.value || sg.count() == 0) continue;
+      if (ins.is_highest) {
+        EXPECT_LT(sg.average(), target);
+      } else {
+        EXPECT_GT(sg.average(), target);
+      }
+    }
+  }
+}
+
+TEST(InsightsTest, AttributesAreUniquePerInsight) {
+  auto db = GenerateDataset(TinyYelp(), 29);
+  InsightPlantingOptions options;
+  options.count = 4;
+  options.min_records = 5;
+  auto insights = PlantInsights(db.get(), options, 31);
+  std::set<std::pair<int, size_t>> attrs;
+  for (const auto& ins : insights) {
+    EXPECT_TRUE(
+        attrs.insert({ins.side == Side::kReviewer ? 0 : 1, ins.attribute})
+            .second);
+  }
+}
+
+// --------------------------------------------------------- Transforms ---
+
+TEST(TransformsTest, SampleReviewersKeepsOnlyTheirRecords) {
+  auto db = GenerateDataset(TinyMovielens(), 37);
+  auto half = SampleReviewers(*db, 0.5, 41);
+  EXPECT_LT(half->num_reviewers(), db->num_reviewers());
+  EXPECT_GT(half->num_reviewers(), 0u);
+  EXPECT_EQ(half->num_items(), db->num_items());
+  EXPECT_LT(half->num_records(), db->num_records());
+  // Ratio of records roughly tracks the reviewer ratio (same per-reviewer
+  // quota in the generator).
+  double reviewer_ratio = static_cast<double>(half->num_reviewers()) /
+                          static_cast<double>(db->num_reviewers());
+  double record_ratio = static_cast<double>(half->num_records()) /
+                        static_cast<double>(db->num_records());
+  EXPECT_NEAR(record_ratio, reviewer_ratio, 0.25);
+  EXPECT_TRUE(half->finalized());
+}
+
+TEST(TransformsTest, SampleAllKeepsEverything) {
+  auto db = GenerateDataset(TinyMovielens(), 43);
+  auto all = SampleReviewers(*db, 1.0, 47);
+  EXPECT_EQ(all->num_reviewers(), db->num_reviewers());
+  EXPECT_EQ(all->num_records(), db->num_records());
+}
+
+TEST(TransformsTest, DropAttributesKeepsRequestedCount) {
+  auto db = GenerateDataset(TinyYelp(), 53);
+  for (size_t keep : {2u, 6u, 12u}) {
+    auto dropped = DropAttributes(*db, keep, 59);
+    EXPECT_EQ(dropped->reviewers().num_attributes() +
+                  dropped->items().num_attributes(),
+              keep);
+    EXPECT_GE(dropped->reviewers().num_attributes(), 1u);
+    EXPECT_GE(dropped->items().num_attributes(), 1u);
+    EXPECT_EQ(dropped->num_records(), db->num_records());
+  }
+}
+
+TEST(TransformsTest, LimitAttributeValuesFolds) {
+  auto db = GenerateDataset(TinyYelp(), 61);
+  auto limited = LimitAttributeValues(*db, 3, 67);
+  for (Side side : {Side::kReviewer, Side::kItem}) {
+    const Table& table = limited->table(side);
+    for (size_t a = 0; a < table.num_attributes(); ++a) {
+      if (table.schema().attribute(a).type == AttributeType::kNumeric) {
+        continue;
+      }
+      EXPECT_LE(table.DistinctValueCount(a), 3u);
+    }
+  }
+  EXPECT_EQ(limited->num_records(), db->num_records());
+}
+
+TEST(TransformsTest, TransformsPreserveScores) {
+  auto db = GenerateDataset(TinyMovielens(), 71);
+  auto limited = LimitAttributeValues(*db, 100, 73);  // no folding happens
+  ASSERT_EQ(limited->num_records(), db->num_records());
+  for (RecordId r = 0; r < db->num_records(); ++r) {
+    EXPECT_EQ(limited->score(0, r), db->score(0, r));
+    EXPECT_EQ(limited->reviewer_of(r), db->reviewer_of(r));
+    EXPECT_EQ(limited->item_of(r), db->item_of(r));
+  }
+}
+
+}  // namespace
+}  // namespace subdex

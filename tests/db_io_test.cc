@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "datagen/irregular.h"
+#include "datagen/specs.h"
+#include "datagen/synthetic.h"
+#include "subjective/db_io.h"
+#include "tests/test_support.h"
+
+namespace subdex {
+namespace {
+
+using testing_support::MakeTinyRestaurantDb;
+
+std::string TempDir(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void ExpectDatabasesEqual(const SubjectiveDatabase& a,
+                          const SubjectiveDatabase& b) {
+  ASSERT_EQ(a.num_reviewers(), b.num_reviewers());
+  ASSERT_EQ(a.num_items(), b.num_items());
+  ASSERT_EQ(a.num_records(), b.num_records());
+  ASSERT_EQ(a.num_dimensions(), b.num_dimensions());
+  EXPECT_EQ(a.scale(), b.scale());
+  for (size_t d = 0; d < a.num_dimensions(); ++d) {
+    EXPECT_EQ(a.dimension_name(d), b.dimension_name(d));
+  }
+  for (Side side : {Side::kReviewer, Side::kItem}) {
+    const Table& ta = a.table(side);
+    const Table& tb = b.table(side);
+    ASSERT_EQ(ta.num_attributes(), tb.num_attributes());
+    for (size_t attr = 0; attr < ta.num_attributes(); ++attr) {
+      EXPECT_EQ(ta.schema().attribute(attr).name,
+                tb.schema().attribute(attr).name);
+      for (RowId row = 0; row < ta.num_rows(); ++row) {
+        EXPECT_EQ(ta.CellToString(attr, row), tb.CellToString(attr, row));
+      }
+    }
+  }
+  for (RecordId r = 0; r < a.num_records(); ++r) {
+    EXPECT_EQ(a.reviewer_of(r), b.reviewer_of(r));
+    EXPECT_EQ(a.item_of(r), b.item_of(r));
+    for (size_t d = 0; d < a.num_dimensions(); ++d) {
+      EXPECT_EQ(a.score(d, r), b.score(d, r));
+    }
+  }
+}
+
+TEST(DbIoTest, RoundTripTinyDatabase) {
+  auto db = MakeTinyRestaurantDb();
+  std::string dir = TempDir("subdex_dbio_tiny");
+  ASSERT_TRUE(SaveDatabase(*db, dir).ok());
+  auto loaded = LoadDatabase(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectDatabasesEqual(*db, *loaded.value());
+  EXPECT_TRUE(loaded.value()->finalized());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DbIoTest, RoundTripSyntheticWithPlanting) {
+  DatasetSpec spec = MovielensSpec().Scaled(0.02);
+  auto db = GenerateDataset(spec, 77);
+  IrregularPlantingOptions plant;
+  auto groups = PlantIrregularGroups(db.get(), plant, 5);
+  ASSERT_FALSE(groups.empty());
+
+  std::string dir = TempDir("subdex_dbio_planted");
+  ASSERT_TRUE(SaveDatabase(*db, dir).ok());
+  auto loaded = LoadDatabase(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectDatabasesEqual(*db, *loaded.value());
+  // The planted floors survive the round trip.
+  for (RecordId r : groups[0].affected_records) {
+    EXPECT_EQ(loaded.value()->score(groups[0].dimension, r), 1);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DbIoTest, MissingDirectoryFails) {
+  auto loaded = LoadDatabase("/nonexistent/subdex_db");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(DbIoTest, CorruptManifestFails) {
+  std::string dir = TempDir("subdex_dbio_corrupt");
+  std::filesystem::create_directories(dir);
+  {
+    FILE* f = fopen((dir + "/manifest.txt").c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("not-a-subdex-db 9\n", f);
+    fclose(f);
+  }
+  auto loaded = LoadDatabase(dir);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DbIoTest, BadRatingsRowFails) {
+  auto db = MakeTinyRestaurantDb();
+  std::string dir = TempDir("subdex_dbio_badrow");
+  ASSERT_TRUE(SaveDatabase(*db, dir).ok());
+  {
+    FILE* f = fopen((dir + "/ratings.csv").c_str(), "a");
+    ASSERT_NE(f, nullptr);
+    fputs("999,0,3,3,3,3\n", f);  // reviewer out of range
+    fclose(f);
+  }
+  EXPECT_FALSE(LoadDatabase(dir).ok());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace subdex

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "engine/group_cache.h"
+#include "engine/sde_engine.h"
+#include "tests/test_support.h"
+#include "util/thread_pool.h"
+
+namespace subdex {
+namespace {
+
+using testing_support::MakeRandomDb;
+using testing_support::MakeTinyRestaurantDb;
+
+GroupSelection SelectionOn(size_t attr, ValueCode code) {
+  GroupSelection sel;
+  sel.reviewer_pred = Predicate({{attr, code}});
+  return sel;
+}
+
+TEST(GroupCacheTest, CachedEqualsFresh) {
+  auto db = MakeRandomDb(40, 15, 500, 2, 201);
+  RatingGroupCache cache(db.get(), 16);
+  for (ValueCode v = 0; v < 2; ++v) {
+    GroupSelection sel = SelectionOn(0, v);
+    RatingGroup fresh = RatingGroup::Materialize(*db, sel);
+    RatingGroup first = cache.Get(sel);
+    RatingGroup second = cache.Get(sel);  // hit
+    EXPECT_EQ(first.records(), fresh.records());
+    EXPECT_EQ(second.records(), fresh.records());
+  }
+  RatingGroupCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 2u);
+}
+
+TEST(GroupCacheTest, ZeroCapacityDisables) {
+  auto db = MakeTinyRestaurantDb();
+  RatingGroupCache cache(db.get(), 0);
+  GroupSelection sel;
+  cache.Get(sel);
+  cache.Get(sel);
+  RatingGroupCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(GroupCacheTest, LruEviction) {
+  auto db = MakeRandomDb(30, 10, 300, 1, 203);
+  RatingGroupCache cache(db.get(), 2);
+  GroupSelection a = SelectionOn(0, 0);
+  GroupSelection b = SelectionOn(0, 1);
+  GroupSelection c = SelectionOn(1, 0);
+  cache.Get(a);  // miss, cache {a}
+  cache.Get(b);  // miss, cache {b, a}
+  cache.Get(a);  // hit,  cache {a, b}
+  cache.Get(c);  // miss, evicts b -> {c, a}
+  cache.Get(b);  // miss again (was evicted)
+  RatingGroupCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_LE(stats.entries, 2u);
+}
+
+TEST(GroupCacheTest, DistinguishesSides) {
+  auto db = MakeTinyRestaurantDb();
+  RatingGroupCache cache(db.get(), 8);
+  GroupSelection reviewer_side;
+  reviewer_side.reviewer_pred = Predicate({{0, 0}});
+  GroupSelection item_side;
+  item_side.item_pred = Predicate({{0, 0}});
+  RatingGroup a = cache.Get(reviewer_side);
+  RatingGroup b = cache.Get(item_side);
+  EXPECT_EQ(cache.stats().misses, 2u);  // different keys, both missed
+  EXPECT_NE(a.records(), b.records());
+}
+
+TEST(GroupCacheTest, ClearResetsEntries) {
+  auto db = MakeTinyRestaurantDb();
+  RatingGroupCache cache(db.get(), 8);
+  cache.Get(GroupSelection{});
+  cache.Clear();
+  cache.Get(GroupSelection{});
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(GroupCacheTest, ThreadSafeUnderConcurrentAccess) {
+  auto db = MakeRandomDb(50, 20, 800, 1, 207);
+  RatingGroupCache cache(db.get(), 8);
+  ThreadPool pool(4);
+  std::vector<GroupSelection> selections;
+  for (ValueCode v = 0; v < 2; ++v) selections.push_back(SelectionOn(0, v));
+  for (ValueCode v = 0; v < 3; ++v) selections.push_back(SelectionOn(1, v));
+  std::atomic<size_t> total_records{0};
+  pool.ParallelFor(200, [&](size_t i) {
+    RatingGroup g = cache.Get(selections[i % selections.size()]);
+    total_records.fetch_add(g.size());
+  });
+  // Every call returned the correct group (sums match the fresh answers).
+  size_t expected = 0;
+  for (size_t i = 0; i < 200; ++i) {
+    expected +=
+        RatingGroup::Materialize(*db, selections[i % selections.size()]).size();
+  }
+  EXPECT_EQ(total_records.load(), expected);
+}
+
+TEST(GroupCacheTest, EngineResultsUnchangedByCaching) {
+  auto db = MakeRandomDb(40, 15, 600, 2, 209);
+  EngineConfig with_cache;
+  with_cache.min_group_size = 1;
+  with_cache.operations.max_candidates = 40;
+  with_cache.num_threads = 2;
+  EngineConfig without_cache = with_cache;
+  without_cache.group_cache_capacity = 0;
+
+  SdeEngine cached(db.get(), with_cache);
+  SdeEngine plain(db.get(), without_cache);
+  for (int s = 0; s < 2; ++s) {
+    StepResult a = cached.ExecuteStep(GroupSelection{}, true);
+    StepResult b = plain.ExecuteStep(GroupSelection{}, true);
+    ASSERT_EQ(a.maps.size(), b.maps.size());
+    for (size_t i = 0; i < a.maps.size(); ++i) {
+      EXPECT_TRUE(a.maps[i].map.key() == b.maps[i].map.key());
+    }
+    ASSERT_EQ(a.recommendations.size(), b.recommendations.size());
+    for (size_t i = 0; i < a.recommendations.size(); ++i) {
+      EXPECT_EQ(a.recommendations[i].operation.target,
+                b.recommendations[i].operation.target);
+      EXPECT_DOUBLE_EQ(a.recommendations[i].utility,
+                       b.recommendations[i].utility);
+    }
+  }
+  EXPECT_GT(cached.group_cache().stats().hits, 0u);
+}
+
+}  // namespace
+}  // namespace subdex

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "pruning/ci_pruner.h"
+#include "pruning/mab_pruner.h"
+#include "pruning/multi_aggregate_scan.h"
+#include "tests/test_support.h"
+#include "util/random.h"
+
+namespace subdex {
+namespace {
+
+using testing_support::MakeRandomDb;
+
+// --------------------------------------------------- MultiAggregateScan --
+
+TEST(MultiAggregateScanTest, MatchesDirectBuildPerDimension) {
+  auto db = MakeRandomDb(40, 15, 500, 3, 21);
+  RatingGroup all = RatingGroup::Materialize(*db, GroupSelection{});
+  MultiAggregateScan scan(&all, Side::kReviewer, 1);
+  scan.Update(0, 200);
+  scan.Update(200, all.size());
+  for (size_t d = 0; d < db->num_dimensions(); ++d) {
+    RatingMap direct = RatingMap::Build(all, {Side::kReviewer, 1, d});
+    RatingMap shared = scan.SnapshotMap(d);
+    ASSERT_EQ(shared.num_subgroups(), direct.num_subgroups());
+    EXPECT_EQ(shared.group_size(), direct.group_size());
+    for (size_t i = 0; i < shared.num_subgroups(); ++i) {
+      EXPECT_EQ(shared.subgroups()[i].value, direct.subgroups()[i].value);
+      EXPECT_EQ(shared.subgroups()[i].count(), direct.subgroups()[i].count());
+      EXPECT_DOUBLE_EQ(shared.subgroups()[i].average(),
+                       direct.subgroups()[i].average());
+    }
+  }
+}
+
+TEST(MultiAggregateScanTest, DeactivatedDimensionStopsUpdating) {
+  auto db = MakeRandomDb(20, 10, 300, 2, 23);
+  RatingGroup all = RatingGroup::Materialize(*db, GroupSelection{});
+  MultiAggregateScan scan(&all, Side::kItem, 0);
+  scan.Update(0, 100);
+  EXPECT_EQ(scan.processed(0), 100u);
+  EXPECT_EQ(scan.processed(1), 100u);
+  scan.DeactivateDimension(1);
+  EXPECT_EQ(scan.num_active(), 1u);
+  scan.Update(100, 200);
+  EXPECT_EQ(scan.processed(0), 200u);
+  EXPECT_EQ(scan.processed(1), 100u);
+  // Deactivating twice is a no-op.
+  scan.DeactivateDimension(1);
+  EXPECT_EQ(scan.num_active(), 1u);
+}
+
+TEST(MultiAggregateScanTest, WorkCountsActiveDimensionsOnly) {
+  auto db = MakeRandomDb(20, 10, 300, 3, 25);
+  RatingGroup all = RatingGroup::Materialize(*db, GroupSelection{});
+  MultiAggregateScan scan(&all, Side::kReviewer, 0);
+  EXPECT_EQ(scan.Update(0, 50), 50u * 3u);
+  scan.DeactivateDimension(0);
+  scan.DeactivateDimension(2);
+  EXPECT_EQ(scan.Update(50, 100), 50u * 1u);
+  scan.DeactivateDimension(1);
+  EXPECT_EQ(scan.Update(100, 150), 0u);
+}
+
+// ------------------------------------------------------------ CI pruner --
+
+TEST(CiPrunerTest, EnvelopeIsMaxOfActiveBounds) {
+  CandidateIntervals cand;
+  cand.criteria[0] = {0.1, 0.3, true};
+  cand.criteria[1] = {0.5, 0.7, true};
+  cand.criteria[2] = {0.2, 0.4, true};
+  cand.criteria[3] = {0.0, 0.2, true};
+  cand.weight = 1.0;
+  ComputeEnvelope(&cand);
+  // Criteria 0 ([.1,.3]), 2 ([.2,.4]) and 3 ([0,.2]) are dominated by 1
+  // ([.5,.7]) or by each other... 0's ub(.3) < 1's lb(.5): dominated.
+  EXPECT_FALSE(cand.criteria[0].active);
+  EXPECT_TRUE(cand.criteria[1].active);
+  EXPECT_FALSE(cand.criteria[2].active);
+  EXPECT_FALSE(cand.criteria[3].active);
+  EXPECT_DOUBLE_EQ(cand.lb, 0.5);
+  EXPECT_DOUBLE_EQ(cand.ub, 0.7);
+}
+
+TEST(CiPrunerTest, OverlappingIntervalsAllSurvive) {
+  CandidateIntervals cand;
+  cand.criteria[0] = {0.2, 0.6, true};
+  cand.criteria[1] = {0.3, 0.5, true};
+  cand.criteria[2] = {0.1, 0.4, true};
+  cand.criteria[3] = {0.35, 0.8, true};
+  cand.weight = 0.5;
+  ComputeEnvelope(&cand);
+  EXPECT_TRUE(cand.criteria[0].active);
+  EXPECT_TRUE(cand.criteria[1].active);
+  EXPECT_TRUE(cand.criteria[3].active);
+  // Envelope = weight * [max lb, max ub] over active criteria.
+  EXPECT_DOUBLE_EQ(cand.ub, 0.5 * 0.8);
+  EXPECT_DOUBLE_EQ(cand.lb, 0.5 * 0.35);
+}
+
+CandidateIntervals MakeCand(double lb, double ub) {
+  CandidateIntervals c;
+  c.criteria[0] = {lb, ub, true};
+  for (int i = 1; i < 4; ++i) c.criteria[i] = {0.0, 0.0, false};
+  c.lb = lb;
+  c.ub = ub;
+  return c;
+}
+
+TEST(CiPrunerTest, PrunesOnlyProvablyBeatenCandidates) {
+  // Top-2 lower bounds are {0.6, 0.5}; lowest top lb = 0.5.
+  std::vector<CandidateIntervals> cands = {
+      MakeCand(0.6, 0.9), MakeCand(0.5, 0.8),
+      MakeCand(0.2, 0.55),  // ub 0.55 >= 0.5: kept
+      MakeCand(0.1, 0.3),   // ub 0.3 < 0.5: pruned
+  };
+  std::vector<bool> prune = CiPrune(cands, 2);
+  EXPECT_FALSE(prune[0]);
+  EXPECT_FALSE(prune[1]);
+  EXPECT_FALSE(prune[2]);
+  EXPECT_TRUE(prune[3]);
+}
+
+TEST(CiPrunerTest, NoPruningWhenFewerThanKPrime) {
+  std::vector<CandidateIntervals> cands = {MakeCand(0.1, 0.2),
+                                           MakeCand(0.3, 0.4)};
+  std::vector<bool> prune = CiPrune(cands, 5);
+  EXPECT_FALSE(prune[0]);
+  EXPECT_FALSE(prune[1]);
+}
+
+TEST(CiPrunerTest, WideIntervalsPruneNothing) {
+  std::vector<CandidateIntervals> cands;
+  for (int i = 0; i < 10; ++i) cands.push_back(MakeCand(0.0, 1.0));
+  std::vector<bool> prune = CiPrune(cands, 3);
+  for (bool p : prune) EXPECT_FALSE(p);
+}
+
+// The soundness property: with exact intervals (a candidate's true value
+// always inside), pruned candidates can never belong to the true top-k'.
+class CiPruneSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CiPruneSoundnessTest, NeverPrunesTrueTopK) {
+  Rng rng(8000 + GetParam());
+  const size_t n = 20;
+  const size_t k = 4;
+  std::vector<double> truth(n);
+  std::vector<CandidateIntervals> cands(n);
+  for (size_t i = 0; i < n; ++i) {
+    truth[i] = rng.UniformDouble();
+    double eps = rng.UniformDouble() * 0.3;
+    cands[i] = MakeCand(std::max(0.0, truth[i] - eps),
+                        std::min(1.0, truth[i] + eps));
+  }
+  std::vector<bool> prune = CiPrune(cands, k);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return truth[a] > truth[b]; });
+  for (size_t r = 0; r < k; ++r) {
+    EXPECT_FALSE(prune[order[r]]) << "pruned true rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, CiPruneSoundnessTest,
+                         ::testing::Range(0, 25));
+
+// ----------------------------------------------------------- MAB (SAR) --
+
+TEST(SarTest, NoDecisionWhenEveryArmFits) {
+  EXPECT_EQ(SarStep({0.5, 0.4}, 3).action, SarAction::kNone);
+  EXPECT_EQ(SarStep({}, 2).action, SarAction::kNone);
+}
+
+TEST(SarTest, AcceptsClearWinner) {
+  // means: top 0.9, k'=1 -> delta1 = 0.9-0.3 = 0.6; delta2 = 0.9-0.2 ...
+  // With k_remaining=1: delta1 = m[0]-m[1], delta2 = m[0]-m[last].
+  SarDecision d = SarStep({0.9, 0.3, 0.25, 0.2}, 1);
+  // delta1 = 0.6 > delta2's competitor? delta2 = m[k'-1]-m[last] = 0.9-0.2=0.7
+  // 0.6 < 0.7 -> reject bottom.
+  EXPECT_EQ(d.action, SarAction::kRejectBottom);
+  EXPECT_EQ(d.index, 3u);
+}
+
+TEST(SarTest, AcceptTopWhenGapAtTopDominates) {
+  // k_remaining = 2. sorted: .9 .3 .28 .27
+  // delta1 = m[0]-m[2] = .62; delta2 = m[1]-m[3] = .03 -> accept top.
+  SarDecision d = SarStep({0.9, 0.3, 0.28, 0.27}, 2);
+  EXPECT_EQ(d.action, SarAction::kAcceptTop);
+  EXPECT_EQ(d.index, 0u);
+}
+
+TEST(SarTest, RejectsWhenAllSlotsTaken) {
+  SarDecision d = SarStep({0.5, 0.1}, 0);
+  EXPECT_EQ(d.action, SarAction::kRejectBottom);
+  EXPECT_EQ(d.index, 1u);
+}
+
+TEST(SarTest, IndicesReferToInputPositions) {
+  // Unsorted input: max at position 2, min at position 0.
+  SarDecision d = SarStep({0.05, 0.5, 0.95, 0.5}, 2);
+  if (d.action == SarAction::kAcceptTop) {
+    EXPECT_EQ(d.index, 2u);
+  } else {
+    EXPECT_EQ(d.index, 0u);
+  }
+}
+
+// Running full SAR (one step at a time, simulating exact means) must end
+// with exactly the true top-k' arms.
+class SarConvergenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SarConvergenceTest, FullRunKeepsTrueTopK) {
+  Rng rng(9000 + GetParam());
+  const size_t n = 12;
+  const size_t k = 1 + GetParam() % 4;
+  std::vector<double> means(n);
+  for (double& m : means) m = rng.UniformDouble();
+
+  std::vector<size_t> open(n);
+  for (size_t i = 0; i < n; ++i) open[i] = i;
+  std::vector<size_t> accepted;
+  while (open.size() + accepted.size() > k || !open.empty()) {
+    std::vector<double> open_means;
+    for (size_t i : open) open_means.push_back(means[i]);
+    SarDecision d = SarStep(open_means, k - accepted.size());
+    if (d.action == SarAction::kNone) {
+      // All remaining fit: accept them all.
+      accepted.insert(accepted.end(), open.begin(), open.end());
+      open.clear();
+      break;
+    }
+    size_t arm = open[d.index];
+    open.erase(open.begin() + static_cast<long>(d.index));
+    if (d.action == SarAction::kAcceptTop) accepted.push_back(arm);
+  }
+  ASSERT_EQ(accepted.size(), k);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return means[a] > means[b]; });
+  std::set<size_t> expected(order.begin(), order.begin() + k);
+  for (size_t a : accepted) EXPECT_TRUE(expected.count(a) > 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, SarConvergenceTest,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace subdex

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "storage/query_parser.h"
+
+namespace subdex {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"color", AttributeType::kCategorical},
+                 {"tags", AttributeType::kMultiCategorical},
+                 {"price", AttributeType::kNumeric}});
+}
+
+Table MakeTable() {
+  Table t(TestSchema());
+  EXPECT_TRUE(
+      t.AppendRow({std::string("red"), std::vector<std::string>{"a", "b"}, 1.0})
+          .ok());
+  EXPECT_TRUE(t.AppendRow({std::string("dark blue"),
+                           std::vector<std::string>{"b"}, 2.0})
+                  .ok());
+  return t;
+}
+
+TEST(QueryParserTest, EmptyQueryMatchesAll) {
+  Table t = MakeTable();
+  auto p = ParsePredicate(&t, "");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p.value().empty());
+  auto ws = ParsePredicate(&t, "   \t ");
+  ASSERT_TRUE(ws.ok());
+  EXPECT_TRUE(ws.value().empty());
+}
+
+TEST(QueryParserTest, SingleCondition) {
+  Table t = MakeTable();
+  auto p = ParsePredicate(&t, "color = red");
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p.value().size(), 1u);
+  EXPECT_EQ(p.value().Select(t).size(), 1u);
+}
+
+TEST(QueryParserTest, Conjunction) {
+  Table t = MakeTable();
+  auto p = ParsePredicate(&t, "color = red AND tags = a");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().size(), 2u);
+  EXPECT_EQ(p.value().Select(t).size(), 1u);
+}
+
+TEST(QueryParserTest, AndIsCaseInsensitive) {
+  Table t = MakeTable();
+  for (const char* q : {"color = red and tags = a", "color = red And tags = a",
+                        "color=red AND tags=b"}) {
+    EXPECT_TRUE(ParsePredicate(&t, q).ok()) << q;
+  }
+}
+
+TEST(QueryParserTest, QuotedValues) {
+  Table t = MakeTable();
+  auto single = ParsePredicate(&t, "color = 'dark blue'");
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single.value().Select(t).size(), 1u);
+  auto dbl = ParsePredicate(&t, "color = \"dark blue\"");
+  ASSERT_TRUE(dbl.ok());
+  EXPECT_EQ(dbl.value().Select(t).size(), 1u);
+}
+
+TEST(QueryParserTest, UnknownValueMatchesNothing) {
+  Table t = MakeTable();
+  auto p = ParsePredicate(&t, "color = chartreuse");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p.value().Select(t).empty());
+}
+
+TEST(QueryParserTest, Errors) {
+  Table t = MakeTable();
+  EXPECT_FALSE(ParsePredicate(&t, "color").ok());              // missing '='
+  EXPECT_FALSE(ParsePredicate(&t, "color =").ok());            // missing value
+  EXPECT_FALSE(ParsePredicate(&t, "color = red AND").ok());    // dangling AND
+  EXPECT_FALSE(ParsePredicate(&t, "color = 'red").ok());       // open quote
+  EXPECT_FALSE(ParsePredicate(&t, "nope = red").ok());         // bad attribute
+  EXPECT_FALSE(ParsePredicate(&t, "price = 3").ok());          // numeric attr
+  EXPECT_FALSE(ParsePredicate(&t, "color = red color = x").ok());  // no AND
+  EXPECT_FALSE(
+      ParsePredicate(&t, "color = red AND color = blue").ok());  // duplicate
+}
+
+TEST(QueryParserTest, ErrorMessagesCarryPosition) {
+  Table t = MakeTable();
+  auto p = ParsePredicate(&t, "color ! red");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("position"), std::string::npos);
+}
+
+TEST(QueryParserTest, RoundTripThroughPredicateToQuery) {
+  Table t = MakeTable();
+  for (const char* q :
+       {"color = red", "color = 'dark blue' AND tags = b", ""}) {
+    auto p = ParsePredicate(&t, q);
+    ASSERT_TRUE(p.ok()) << q;
+    std::string rendered = PredicateToQuery(t, p.value());
+    auto back = ParsePredicate(&t, rendered);
+    ASSERT_TRUE(back.ok()) << rendered;
+    EXPECT_EQ(back.value(), p.value()) << rendered;
+  }
+}
+
+TEST(QueryParserTest, ValuesWithSpecialBareChars) {
+  Table t = MakeTable();
+  t.InternValue(0, "$$");
+  t.InternValue(0, "bar-b-q");
+  EXPECT_TRUE(ParsePredicate(&t, "color = $$").ok());
+  EXPECT_TRUE(ParsePredicate(&t, "color = bar-b-q").ok());
+}
+
+}  // namespace
+}  // namespace subdex

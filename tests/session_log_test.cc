@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "engine/exploration_session.h"
+#include "engine/personalized.h"
+#include "engine/session_log.h"
+#include "tests/test_support.h"
+
+namespace subdex {
+namespace {
+
+using testing_support::MakeRandomDb;
+using testing_support::MakeTinyRestaurantDb;
+
+EngineConfig SmallConfig() {
+  EngineConfig config;
+  config.min_group_size = 1;
+  config.operations.max_candidates = 50;
+  config.num_threads = 2;
+  return config;
+}
+
+SessionLog RecordSession(SubjectiveDatabase* db, size_t automated_steps) {
+  ExplorationSession session(db, SmallConfig(),
+                             ExplorationMode::kFullyAutomated);
+  SessionLog log;
+  log.Append(session.Start(GroupSelection{}));
+  for (size_t s = 0; s < automated_steps; ++s) {
+    if (!session.ApplyRecommendation(0)) break;
+    log.Append(session.last());
+  }
+  return log;
+}
+
+// ----------------------------------------------------------- SessionLog --
+
+TEST(SessionLogTest, AppendCapturesStepContents) {
+  auto db = MakeTinyRestaurantDb();
+  SessionLog log = RecordSession(db.get(), 2);
+  ASSERT_GE(log.size(), 2u);
+  EXPECT_EQ(log.steps()[0].selection, GroupSelection{});
+  EXPECT_EQ(log.steps()[0].group_size, db->num_records());
+  EXPECT_EQ(log.steps()[0].displayed.size(), 3u);
+}
+
+TEST(SessionLogTest, SerializeDeserializeRoundTrip) {
+  auto db = MakeRandomDb(40, 15, 400, 2, 121);
+  SessionLog log = RecordSession(db.get(), 3);
+  std::string text = log.Serialize(*db);
+  auto restored = SessionLog::Deserialize(db.get(), text);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const SessionLog& r = restored.value();
+  ASSERT_EQ(r.size(), log.size());
+  for (size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(r.steps()[i].selection, log.steps()[i].selection) << i;
+    EXPECT_EQ(r.steps()[i].group_size, log.steps()[i].group_size);
+    ASSERT_EQ(r.steps()[i].displayed.size(), log.steps()[i].displayed.size());
+    for (size_t m = 0; m < r.steps()[i].displayed.size(); ++m) {
+      EXPECT_TRUE(r.steps()[i].displayed[m] == log.steps()[i].displayed[m]);
+    }
+  }
+}
+
+TEST(SessionLogTest, FileRoundTrip) {
+  auto db = MakeTinyRestaurantDb();
+  SessionLog log = RecordSession(db.get(), 1);
+  std::string path =
+      (std::filesystem::temp_directory_path() / "subdex_session.log").string();
+  ASSERT_TRUE(log.SaveToFile(*db, path).ok());
+  auto restored = SessionLog::LoadFromFile(db.get(), path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().size(), log.size());
+  std::remove(path.c_str());
+}
+
+TEST(SessionLogTest, DeserializeRejectsGarbage) {
+  auto db = MakeTinyRestaurantDb();
+  EXPECT_FALSE(SessionLog::Deserialize(db.get(), "bogus line\n").ok());
+  EXPECT_FALSE(
+      SessionLog::Deserialize(db.get(), "map reviewer gender overall\n").ok());
+  EXPECT_FALSE(SessionLog::Deserialize(
+                   db.get(), "step 10 1.0\nmap nowhere gender overall\n")
+                   .ok());
+  EXPECT_FALSE(SessionLog::Deserialize(
+                   db.get(), "step 10 1.0\nmap reviewer nope overall\n")
+                   .ok());
+  // Empty text is a valid empty log.
+  auto empty = SessionLog::Deserialize(db.get(), "");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
+}
+
+// ------------------------------------------- OperationPreferenceModel ----
+
+TEST(PersonalizedTest, UntrainedModelIsNeutral) {
+  OperationPreferenceModel model;
+  auto db = MakeTinyRestaurantDb();
+  GroupSelection from;
+  GroupSelection to;
+  to.reviewer_pred = Predicate({{0, 0}});
+  EXPECT_DOUBLE_EQ(model.Affinity(from, to), 0.5);
+}
+
+TEST(PersonalizedTest, LearnsTouchedAttributes) {
+  OperationPreferenceModel model;
+  GroupSelection empty;
+  GroupSelection by_gender;
+  by_gender.reviewer_pred = Predicate({{0, 0}});
+  GroupSelection by_age;
+  by_age.reviewer_pred = Predicate({{1, 0}});
+  // The user repeatedly slices by attribute 0, once by attribute 1.
+  for (int i = 0; i < 5; ++i) model.ObserveTransition(empty, by_gender);
+  model.ObserveTransition(empty, by_age);
+  EXPECT_GT(model.Affinity(empty, by_gender), model.Affinity(empty, by_age));
+  EXPECT_DOUBLE_EQ(model.Affinity(empty, by_gender), 1.0);
+  EXPECT_EQ(model.total_observations(), 6.0);
+}
+
+TEST(PersonalizedTest, ObserveLogWalksTransitions) {
+  auto db = MakeRandomDb(40, 15, 400, 2, 123);
+  SessionLog log = RecordSession(db.get(), 3);
+  OperationPreferenceModel model;
+  model.ObserveLog(log);
+  EXPECT_GT(model.total_observations(), 0.0);
+}
+
+TEST(PersonalizedTest, RerankBlendsAffinityWithUtility) {
+  OperationPreferenceModel model;
+  GroupSelection empty;
+  GroupSelection fav;
+  fav.reviewer_pred = Predicate({{0, 0}});
+  GroupSelection other;
+  other.item_pred = Predicate({{0, 0}});
+  for (int i = 0; i < 4; ++i) model.ObserveTransition(empty, fav);
+
+  Recommendation high_utility;
+  high_utility.operation.target = other;
+  high_utility.utility = 1.0;
+  Recommendation favored;
+  favored.operation.target = fav;
+  favored.utility = 0.8;
+
+  // blend 0: SubDEx order (utility wins).
+  auto plain = model.Rerank({high_utility, favored}, empty, 0.0);
+  EXPECT_EQ(plain[0].operation.target, other);
+  // Strong blend: the learned preference wins.
+  auto personal = model.Rerank({high_utility, favored}, empty, 0.9);
+  EXPECT_EQ(personal[0].operation.target, fav);
+}
+
+TEST(PersonalizedTest, RerankKeepsAllRecommendations) {
+  OperationPreferenceModel model;
+  std::vector<Recommendation> recs(4);
+  for (size_t i = 0; i < recs.size(); ++i) {
+    recs[i].utility = static_cast<double>(i);
+    recs[i].operation.target.reviewer_pred =
+        Predicate({{i, static_cast<ValueCode>(0)}});
+  }
+  auto out = model.Rerank(recs, GroupSelection{}, 0.5);
+  EXPECT_EQ(out.size(), recs.size());
+}
+
+}  // namespace
+}  // namespace subdex

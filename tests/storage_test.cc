@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "storage/csv.h"
+#include "storage/predicate.h"
+#include "storage/table.h"
+
+namespace subdex {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"color", AttributeType::kCategorical},
+                 {"tags", AttributeType::kMultiCategorical},
+                 {"price", AttributeType::kNumeric}});
+}
+
+Table MakeTable() {
+  Table t(TestSchema());
+  EXPECT_TRUE(t.AppendRow({std::string("red"),
+                           std::vector<std::string>{"a", "b"}, 1.5})
+                  .ok());
+  EXPECT_TRUE(t.AppendRow({std::string("blue"),
+                           std::vector<std::string>{"b"}, 2.5})
+                  .ok());
+  EXPECT_TRUE(t.AppendRow({std::string("red"), std::monostate{},
+                           std::monostate{}})
+                  .ok());
+  return t;
+}
+
+// -------------------------------------------------------------- Schema ---
+
+TEST(SchemaTest, LookupByName) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.num_attributes(), 3u);
+  EXPECT_EQ(s.IndexOf("color"), 0);
+  EXPECT_EQ(s.IndexOf("price"), 2);
+  EXPECT_EQ(s.IndexOf("missing"), -1);
+  EXPECT_TRUE(s.Contains("tags"));
+}
+
+TEST(SchemaTest, AttributeTypeNames) {
+  EXPECT_STREQ(AttributeTypeName(AttributeType::kCategorical), "categorical");
+  EXPECT_STREQ(AttributeTypeName(AttributeType::kMultiCategorical),
+               "multi-categorical");
+  EXPECT_STREQ(AttributeTypeName(AttributeType::kNumeric), "numeric");
+}
+
+// ---------------------------------------------------------- Dictionary ---
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary d;
+  ValueCode a = d.Intern("x");
+  ValueCode b = d.Intern("y");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(d.Intern("x"), a);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.ValueOf(a), "x");
+  EXPECT_EQ(d.Lookup("y"), b);
+  EXPECT_EQ(d.Lookup("z"), kNullCode);
+}
+
+// --------------------------------------------------------------- Table ---
+
+TEST(TableTest, AppendAndAccess) {
+  Table t = MakeTable();
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.CodeAt(0, 0), t.CodeAt(0, 2));  // both "red"
+  EXPECT_NE(t.CodeAt(0, 0), t.CodeAt(0, 1));
+  EXPECT_EQ(t.MultiCodesAt(1, 0).size(), 2u);
+  EXPECT_EQ(t.MultiCodesAt(1, 2).size(), 0u);  // null
+  EXPECT_DOUBLE_EQ(t.NumericAt(2, 1), 2.5);
+  EXPECT_TRUE(std::isnan(t.NumericAt(2, 2)));
+  EXPECT_EQ(t.CodeAt(0, 2), t.LookupValue(0, "red"));
+}
+
+TEST(TableTest, HasValueSemantics) {
+  Table t = MakeTable();
+  ValueCode red = t.LookupValue(0, "red");
+  ValueCode b = t.LookupValue(1, "b");
+  EXPECT_TRUE(t.HasValue(0, 0, red));
+  EXPECT_FALSE(t.HasValue(0, 1, red));
+  EXPECT_TRUE(t.HasValue(1, 0, b));
+  EXPECT_TRUE(t.HasValue(1, 1, b));
+  EXPECT_FALSE(t.HasValue(1, 2, b));
+}
+
+TEST(TableTest, TypeMismatchIsRejectedAtomically) {
+  Table t = MakeTable();
+  size_t before = t.num_rows();
+  Status st = t.AppendRow({3.0, std::vector<std::string>{"a"}, 1.0});
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.num_rows(), before);
+}
+
+TEST(TableTest, WrongArityRejected) {
+  Table t = MakeTable();
+  EXPECT_FALSE(t.AppendRow({std::string("red")}).ok());
+}
+
+TEST(TableTest, MultiValuesDedupedAndSorted) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.AppendRow({std::string("red"),
+                           std::vector<std::string>{"b", "a", "b"}, 1.0})
+                  .ok());
+  EXPECT_EQ(t.MultiCodesAt(1, 0).size(), 2u);
+  EXPECT_TRUE(std::is_sorted(t.MultiCodesAt(1, 0).begin(),
+                             t.MultiCodesAt(1, 0).end()));
+}
+
+TEST(TableTest, CellToString) {
+  Table t = MakeTable();
+  EXPECT_EQ(t.CellToString(0, 0), "red");
+  EXPECT_EQ(t.CellToString(1, 0), "a|b");
+  EXPECT_EQ(t.CellToString(0, 2), "red");
+  EXPECT_EQ(t.CellToString(1, 2), "");
+  EXPECT_EQ(t.CellToString(2, 2), "");
+}
+
+TEST(TableTest, DistinctValueCount) {
+  Table t = MakeTable();
+  EXPECT_EQ(t.DistinctValueCount(0), 2u);
+  EXPECT_EQ(t.DistinctValueCount(1), 2u);
+}
+
+// ----------------------------------------------------------- Predicate ---
+
+TEST(PredicateTest, EmptyMatchesEverything) {
+  Table t = MakeTable();
+  Predicate p;
+  EXPECT_EQ(p.Select(t).size(), t.num_rows());
+}
+
+TEST(PredicateTest, SingleConjunct) {
+  Table t = MakeTable();
+  Predicate p({{0, t.LookupValue(0, "red")}});
+  std::vector<RowId> rows = p.Select(t);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], 0u);
+  EXPECT_EQ(rows[1], 2u);
+}
+
+TEST(PredicateTest, MultiValuedConjunct) {
+  Table t = MakeTable();
+  Predicate p({{1, t.LookupValue(1, "a")}});
+  std::vector<RowId> rows = p.Select(t);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 0u);
+}
+
+TEST(PredicateTest, ConjunctionNarrows) {
+  Table t = MakeTable();
+  Predicate p({{0, t.LookupValue(0, "red")}, {1, t.LookupValue(1, "b")}});
+  std::vector<RowId> rows = p.Select(t);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 0u);
+}
+
+TEST(PredicateTest, WithReplacesSameAttribute) {
+  Table t = MakeTable();
+  ValueCode red = t.LookupValue(0, "red");
+  ValueCode blue = t.LookupValue(0, "blue");
+  Predicate p({{0, red}});
+  Predicate q = p.With({0, blue});
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.conjuncts()[0].code, blue);
+  Predicate r = p.With({1, t.LookupValue(1, "b")});
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(PredicateTest, WithoutRemoves) {
+  Table t = MakeTable();
+  Predicate p({{0, t.LookupValue(0, "red")}, {1, t.LookupValue(1, "b")}});
+  Predicate q = p.Without(0);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_FALSE(q.ConstrainsAttribute(0));
+  EXPECT_TRUE(q.ConstrainsAttribute(1));
+  // Removing an unconstrained attribute is a no-op.
+  EXPECT_EQ(q.Without(0), q);
+}
+
+TEST(PredicateTest, ContainsIsSubsetRelation) {
+  Table t = MakeTable();
+  Predicate big({{0, t.LookupValue(0, "red")}, {1, t.LookupValue(1, "b")}});
+  Predicate small({{0, t.LookupValue(0, "red")}});
+  EXPECT_TRUE(big.Contains(small));
+  EXPECT_FALSE(small.Contains(big));
+  EXPECT_TRUE(big.Contains(Predicate{}));
+}
+
+TEST(PredicateTest, SelectFromRespectsCandidates) {
+  Table t = MakeTable();
+  Predicate p({{0, t.LookupValue(0, "red")}});
+  std::vector<RowId> rows = p.SelectFrom(t, {1, 2});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 2u);
+}
+
+TEST(PredicateTest, FromPairsValidates) {
+  Table t = MakeTable();
+  auto ok = Predicate::FromPairs(&t, {{"color", "red"}});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().size(), 1u);
+  EXPECT_FALSE(Predicate::FromPairs(&t, {{"nope", "x"}}).ok());
+  EXPECT_FALSE(Predicate::FromPairs(&t, {{"price", "1.0"}}).ok());
+}
+
+TEST(PredicateTest, ToStringIsReadable) {
+  Table t = MakeTable();
+  Predicate p({{0, t.LookupValue(0, "red")}});
+  EXPECT_EQ(p.ToString(t), "<color=red>");
+  EXPECT_EQ(Predicate{}.ToString(t), "<*>");
+}
+
+// ----------------------------------------------------------------- CSV ---
+
+TEST(CsvTest, RoundTrip) {
+  Table t = MakeTable();
+  std::string path =
+      (std::filesystem::temp_directory_path() / "subdex_csv_test.csv")
+          .string();
+  ASSERT_TRUE(WriteCsv(t, path).ok());
+  auto loaded = ReadCsv(path, TestSchema());
+  ASSERT_TRUE(loaded.ok());
+  const Table& u = loaded.value();
+  ASSERT_EQ(u.num_rows(), t.num_rows());
+  for (RowId r = 0; r < t.num_rows(); ++r) {
+    for (size_t a = 0; a < t.num_attributes(); ++a) {
+      EXPECT_EQ(u.CellToString(a, r), t.CellToString(a, r));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileFails) {
+  auto r = ReadCsv("/nonexistent/definitely_missing.csv", TestSchema());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvTest, HeaderMismatchFails) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "subdex_csv_bad.csv").string();
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("wrong,tags,price\nred,a,1.0\n", f);
+    fclose(f);
+  }
+  EXPECT_FALSE(ReadCsv(path, TestSchema()).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, BadNumericFails) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "subdex_csv_num.csv").string();
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("color,tags,price\nred,a,notanumber\n", f);
+    fclose(f);
+  }
+  EXPECT_FALSE(ReadCsv(path, TestSchema()).ok());
+  std::remove(path.c_str());
+}
+
+// -------------------------------------------------------------- Status ---
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  Status s = Status::NotFound("thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_NE(s.ToString().find("thing"), std::string::npos);
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+  EXPECT_TRUE(ok.status().ok());
+  Result<int> bad(Status::InvalidArgument("nope"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace subdex

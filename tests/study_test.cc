@@ -1,0 +1,334 @@
+#include <gtest/gtest.h>
+
+#include "baselines/smart_drilldown.h"
+#include "datagen/specs.h"
+#include "datagen/synthetic.h"
+#include "study/detection.h"
+#include "study/experiment.h"
+#include "study/scenario_runner.h"
+#include "study/simulated_user.h"
+#include "tests/test_support.h"
+
+namespace subdex {
+namespace {
+
+using testing_support::MakeRandomDb;
+
+DatasetSpec StudySpec() {
+  DatasetSpec spec = YelpSpec().Scaled(0.01);
+  spec.num_items = 40;
+  spec.extract_dimensions_from_text = false;  // keep unit tests fast
+  return spec;
+}
+
+EngineConfig StudyConfig() {
+  EngineConfig config;
+  config.min_group_size = 3;
+  config.operations.max_candidates = 80;
+  config.num_threads = 2;
+  return config;
+}
+
+// ----------------------------------------------------------- Detection ---
+
+TEST(DetectionTest, SelectionAloneExposesIrregularGroup) {
+  auto db = MakeRandomDb(50, 20, 600, 2, 101);
+  // Plant manually: all records of F reviewers floored on dimension 1.
+  ValueCode f = db->reviewers().LookupValue(0, "F");
+  IrregularGroup group;
+  group.side = Side::kReviewer;
+  group.description = Predicate({{0, f}});
+  group.dimension = 1;
+  for (RecordId r = 0; r < db->num_records(); ++r) {
+    if (db->reviewers().CodeAt(0, db->reviewer_of(r)) == f) {
+      db->SetScore(1, r, 1);
+    }
+  }
+  // Selection pinning the description: any dim-1 map of that group exposes.
+  GroupSelection sel;
+  sel.reviewer_pred = group.description;
+  RatingGroup g = RatingGroup::Materialize(*db, sel);
+  RatingMap map = RatingMap::Build(g, {Side::kItem, 0, 1});
+  EXPECT_TRUE(ExposesIrregularGroup(sel, map, group));
+  // Wrong dimension: not exposed.
+  RatingMap wrong_dim = RatingMap::Build(g, {Side::kItem, 0, 0});
+  EXPECT_FALSE(ExposesIrregularGroup(sel, wrong_dim, group));
+}
+
+TEST(DetectionTest, SubgroupExposesIrregularGroup) {
+  auto db = MakeRandomDb(50, 20, 600, 2, 103);
+  ValueCode f = db->reviewers().LookupValue(0, "F");
+  IrregularGroup group;
+  group.side = Side::kReviewer;
+  group.description = Predicate({{0, f}});
+  group.dimension = 0;
+  for (RecordId r = 0; r < db->num_records(); ++r) {
+    if (db->reviewers().CodeAt(0, db->reviewer_of(r)) == f) {
+      db->SetScore(0, r, 1);
+    }
+  }
+  // No selection, but the map groups by gender on dimension 0: the F bar
+  // sits at average 1.
+  RatingGroup all = RatingGroup::Materialize(*db, GroupSelection{});
+  RatingMap by_gender = RatingMap::Build(all, {Side::kReviewer, 0, 0});
+  EXPECT_TRUE(ExposesIrregularGroup(GroupSelection{}, by_gender, group));
+  // Grouping by the other side cannot pin a reviewer description.
+  RatingMap by_city = RatingMap::Build(all, {Side::kItem, 0, 0});
+  EXPECT_FALSE(ExposesIrregularGroup(GroupSelection{}, by_city, group));
+}
+
+TEST(DetectionTest, TwoAttributeDescriptionNeedsBoth) {
+  auto db = MakeRandomDb(80, 20, 900, 1, 105);
+  ValueCode f = db->reviewers().LookupValue(0, "F");
+  ValueCode young = db->reviewers().LookupValue(1, "young");
+  IrregularGroup group;
+  group.side = Side::kReviewer;
+  group.description = Predicate({{0, f}, {1, young}});
+  group.dimension = 0;
+  for (RecordId r = 0; r < db->num_records(); ++r) {
+    RowId u = db->reviewer_of(r);
+    if (db->reviewers().CodeAt(0, u) == f &&
+        db->reviewers().CodeAt(1, u) == young) {
+      db->SetScore(0, r, 1);
+    }
+  }
+  RatingGroup all = RatingGroup::Materialize(*db, GroupSelection{});
+  // Grouping by gender alone leaves the young-F signal diluted by adult-F
+  // records; context implies only <gender=F>, not the full description.
+  RatingMap by_gender = RatingMap::Build(all, {Side::kReviewer, 0, 0});
+  EXPECT_FALSE(ExposesIrregularGroup(GroupSelection{}, by_gender, group));
+  // Selecting gender=F and grouping by age pins both attributes.
+  GroupSelection sel;
+  sel.reviewer_pred = Predicate({{0, f}});
+  RatingGroup g = RatingGroup::Materialize(*db, sel);
+  RatingMap by_age = RatingMap::Build(g, {Side::kReviewer, 1, 0});
+  EXPECT_TRUE(ExposesIrregularGroup(sel, by_age, group));
+}
+
+TEST(DetectionTest, InsightExposureRequiresExactMapAndExtremeness) {
+  auto db = MakeRandomDb(60, 20, 800, 1, 107);
+  ValueCode f = db->reviewers().LookupValue(0, "F");
+  for (RecordId r = 0; r < db->num_records(); ++r) {
+    if (db->reviewers().CodeAt(0, db->reviewer_of(r)) == f) {
+      db->SetScore(0, r, 5);
+    }
+  }
+  PlantedInsight insight;
+  insight.side = Side::kReviewer;
+  insight.attribute = 0;
+  insight.value = f;
+  insight.dimension = 0;
+  insight.is_highest = true;
+
+  RatingGroup all = RatingGroup::Materialize(*db, GroupSelection{});
+  RatingMap right = RatingMap::Build(all, {Side::kReviewer, 0, 0});
+  EXPECT_TRUE(ExposesInsight(right, insight));
+  RatingMap wrong_attr = RatingMap::Build(all, {Side::kReviewer, 1, 0});
+  EXPECT_FALSE(ExposesInsight(wrong_attr, insight));
+  // Direction matters.
+  insight.is_highest = false;
+  EXPECT_FALSE(ExposesInsight(right, insight));
+}
+
+// ------------------------------------------------------- SimulatedUser ---
+
+TEST(SimulatedUserTest, ExpertiseRaisesReadProbability) {
+  UserProfile low;
+  UserProfile high;
+  high.high_cs_expertise = true;
+  EXPECT_GT(SimulatedUser(high).read_probability(),
+            SimulatedUser(low).read_probability());
+  // Domain knowledge barely moves it (paper: no dependence).
+  UserProfile domain = low;
+  domain.high_domain_knowledge = true;
+  EXPECT_NEAR(SimulatedUser(domain).read_probability(),
+              SimulatedUser(low).read_probability(), 0.05);
+}
+
+TEST(SimulatedUserTest, NoticesRateMatchesProbability) {
+  UserProfile p;
+  p.high_cs_expertise = true;
+  p.seed = 5;
+  SimulatedUser user(p);
+  int hits = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if (user.Notices()) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, user.read_probability(), 0.03);
+}
+
+TEST(SimulatedUserTest, MostlyFollowsTopRecommendation) {
+  UserProfile p;
+  p.high_cs_expertise = true;
+  p.seed = 7;
+  SimulatedUser user(p);
+  std::vector<Recommendation> recs(3);
+  for (size_t i = 0; i < recs.size(); ++i) {
+    recs[i].operation.target.reviewer_pred =
+        Predicate({{0, static_cast<ValueCode>(i)}});
+  }
+  int top = 0, own = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    auto pick = user.ChooseRecommendation(recs, /*visited=*/{});
+    if (!pick.has_value()) {
+      ++own;
+    } else if (*pick == 0) {
+      ++top;
+    }
+  }
+  EXPECT_GT(top, n / 2);
+  EXPECT_LT(own, n / 5);
+  EXPECT_GT(own, 0);
+}
+
+TEST(SimulatedUserTest, SkipsAlreadyVisitedRecommendations) {
+  UserProfile p;
+  p.high_cs_expertise = true;
+  p.seed = 9;
+  SimulatedUser user(p);
+  std::vector<Recommendation> recs(3);
+  for (size_t i = 0; i < recs.size(); ++i) {
+    recs[i].operation.target.reviewer_pred =
+        Predicate({{0, static_cast<ValueCode>(i)}});
+  }
+  // The top recommendation's target has been examined already; the subject
+  // should never re-pick it while fresh options exist.
+  std::vector<GroupSelection> visited = {recs[0].operation.target};
+  for (int i = 0; i < 500; ++i) {
+    auto pick = user.ChooseRecommendation(recs, visited);
+    if (pick.has_value()) {
+      EXPECT_NE(*pick, 0u);
+    }
+  }
+}
+
+TEST(SimulatedUserTest, OwnOperationIsValidSingleEdit) {
+  auto db = MakeRandomDb(40, 15, 400, 1, 109);
+  EngineConfig config = StudyConfig();
+  SdeEngine engine(db.get(), config);
+  StepResult step = engine.ExecuteStep(GroupSelection{}, false);
+  for (bool expert : {false, true}) {
+    UserProfile p;
+    p.high_cs_expertise = expert;
+    p.seed = 11;
+    SimulatedUser user(p);
+    auto own = user.ChooseOwnOperation(*db, step);
+    ASSERT_TRUE(own.has_value());
+    EXPECT_LE(step.selection.EditDistance(*own), 1u);
+    EXPECT_NE(*own, step.selection);
+  }
+}
+
+// ------------------------------------------------------ ScenarioRunner ---
+
+class ScenarioModeTest
+    : public ::testing::TestWithParam<ExplorationMode> {};
+
+TEST_P(ScenarioModeTest, RunsToCompletionAndCountsMonotonically) {
+  auto db = GenerateDataset(StudySpec(), 211);
+  IrregularPlantingOptions plant;
+  ScenarioTask task;
+  task.kind = ScenarioKind::kIrregularGroups;
+  task.irregulars = PlantIrregularGroups(db.get(), plant, 17);
+  ASSERT_EQ(task.irregulars.size(), 2u);
+
+  UserProfile profile;
+  profile.high_cs_expertise = true;
+  profile.seed = 31;
+  ScenarioRunResult run =
+      RunScenario(*db, task, GetParam(), profile, 5, StudyConfig());
+  ASSERT_GE(run.cumulative_found.size(), 1u);
+  ASSERT_LE(run.cumulative_found.size(), 5u);
+  for (size_t i = 1; i < run.cumulative_found.size(); ++i) {
+    EXPECT_GE(run.cumulative_found[i], run.cumulative_found[i - 1]);
+  }
+  EXPECT_LE(run.found(), task.total());
+  EXPECT_GT(run.total_elapsed_ms, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, ScenarioModeTest,
+    ::testing::Values(ExplorationMode::kUserDriven,
+                      ExplorationMode::kRecommendationPowered,
+                      ExplorationMode::kFullyAutomated));
+
+TEST(ScenarioRunnerTest, InsightScenarioFindsPlantedInsights) {
+  auto db = GenerateDataset(StudySpec(), 223);
+  InsightPlantingOptions plant;
+  plant.count = 5;
+  plant.min_records = 40;  // prominent insights, as in the Kaggle notebooks
+  ScenarioTask task;
+  task.kind = ScenarioKind::kInsightExtraction;
+  task.insights = PlantInsights(db.get(), plant, 19);
+  ASSERT_GE(task.insights.size(), 3u);
+
+  UserProfile profile;
+  profile.high_cs_expertise = true;
+  profile.seed = 37;
+  ScenarioRunResult run =
+      RunScenario(*db, task, ExplorationMode::kRecommendationPowered, profile,
+                  10, StudyConfig());
+  // With 10 steps x 3 maps and dimension weighting sweeping attributes,
+  // a guided expert finds at least one planted insight.
+  EXPECT_GE(run.found(), 1u);
+}
+
+TEST(ScenarioRunnerTest, BaselineHarnessRuns) {
+  auto db = GenerateDataset(StudySpec(), 227);
+  IrregularPlantingOptions plant;
+  ScenarioTask task;
+  task.kind = ScenarioKind::kIrregularGroups;
+  task.irregulars = PlantIrregularGroups(db.get(), plant, 23);
+  ASSERT_FALSE(task.irregulars.empty());
+
+  SmartDrillDown sdd;
+  UserProfile profile;
+  profile.high_cs_expertise = true;
+  ScenarioRunResult run =
+      RunScenarioWithBaseline(*db, task, sdd, profile, 5, StudyConfig());
+  EXPECT_GE(run.cumulative_found.size(), 1u);
+  EXPECT_LE(run.found(), task.total());
+}
+
+// ---------------------------------------------------------- Experiment ---
+
+TEST(ExperimentTest, TreatmentAggregatesSubjects) {
+  auto db = GenerateDataset(StudySpec(), 229);
+  IrregularPlantingOptions plant;
+  ScenarioTask task;
+  task.kind = ScenarioKind::kIrregularGroups;
+  task.irregulars = PlantIrregularGroups(db.get(), plant, 29);
+
+  TreatmentOutcome outcome = RunTreatmentGroup(
+      *db, task, ExplorationMode::kFullyAutomated, /*high_cs=*/false,
+      /*high_domain=*/false, /*subjects=*/4, /*num_steps=*/4, StudyConfig(),
+      /*seed=*/5);
+  EXPECT_EQ(outcome.subjects, 4u);
+  EXPECT_GE(outcome.mean_found, 0.0);
+  EXPECT_LE(outcome.mean_found, 2.0);
+}
+
+TEST(ExperimentTest, RecallCurveIsMonotoneAndBounded) {
+  auto db = GenerateDataset(StudySpec(), 233);
+  IrregularPlantingOptions plant;
+  ScenarioTask task;
+  task.kind = ScenarioKind::kIrregularGroups;
+  task.irregulars = PlantIrregularGroups(db.get(), plant, 31);
+
+  std::vector<double> curve = AverageRecallCurve(
+      *db, task, ExplorationMode::kRecommendationPowered, /*high_cs=*/true,
+      /*subjects=*/3, /*num_steps=*/6, StudyConfig(), /*seed=*/7);
+  ASSERT_EQ(curve.size(), 6u);
+  for (size_t i = 0; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i], 0.0);
+    EXPECT_LE(curve[i], 1.0);
+    if (i > 0) {
+      EXPECT_GE(curve[i], curve[i - 1] - 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace subdex

@@ -1,0 +1,32 @@
+#ifndef SUBDEX_TESTS_TEST_SUPPORT_H_
+#define SUBDEX_TESTS_TEST_SUPPORT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "subjective/subjective_db.h"
+
+namespace subdex {
+namespace testing_support {
+
+/// A tiny hand-built restaurant database in the spirit of Figure 2:
+/// reviewers (gender, age_group, occupation), restaurants (cuisine multi,
+/// city, neighborhood), 4 rating dimensions (overall/food/service/ambiance)
+/// on the 1..5 scale. Deterministic content; finalized.
+std::unique_ptr<SubjectiveDatabase> MakeTinyRestaurantDb();
+
+/// A configurable database: `num_reviewers` x `num_items`, reviewer
+/// attributes {gender(2), age_group(3)}, item attributes {city(4),
+/// cuisine multi(3)}, `num_dimensions` dimensions, one rating per
+/// (reviewer, item) pair sampled by the seed. Finalized.
+std::unique_ptr<SubjectiveDatabase> MakeRandomDb(size_t num_reviewers,
+                                                 size_t num_items,
+                                                 size_t num_ratings,
+                                                 size_t num_dimensions,
+                                                 uint64_t seed);
+
+}  // namespace testing_support
+}  // namespace subdex
+
+#endif  // SUBDEX_TESTS_TEST_SUPPORT_H_

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "text/review_extraction.h"
+#include "text/review_generator.h"
+#include "text/sentiment.h"
+#include "util/random.h"
+
+namespace subdex {
+namespace {
+
+// ----------------------------------------------------------- Tokenizer ---
+
+TEST(TokenizerTest, LowercasesAndSplitsOnPunctuation) {
+  auto tokens = Tokenize("The Food, was GREAT.");
+  std::vector<std::string> expected = {"the", "food", "was", "great"};
+  EXPECT_EQ(tokens, expected);
+}
+
+TEST(TokenizerTest, KeepsExclamationAndQuestionMarks) {
+  auto tokens = Tokenize("wow! really?");
+  std::vector<std::string> expected = {"wow", "!", "really", "?"};
+  EXPECT_EQ(tokens, expected);
+}
+
+TEST(TokenizerTest, KeepsApostrophes) {
+  auto tokens = Tokenize("don't stop");
+  std::vector<std::string> expected = {"don't", "stop"};
+  EXPECT_EQ(tokens, expected);
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("   \t\n").empty());
+}
+
+// ------------------------------------------------------------ Analyzer ---
+
+TEST(SentimentTest, PositiveAndNegativeWords) {
+  SentimentAnalyzer a;
+  EXPECT_GT(a.ScoreText("the food was delicious"), 0.3);
+  EXPECT_LT(a.ScoreText("the food was terrible"), -0.3);
+  EXPECT_EQ(a.ScoreText("the table was brown"), 0.0);
+}
+
+TEST(SentimentTest, NegationFlipsPolarity) {
+  SentimentAnalyzer a;
+  double positive = a.ScoreText("the service was good");
+  double negated = a.ScoreText("the service was not good");
+  EXPECT_GT(positive, 0.0);
+  EXPECT_LT(negated, 0.0);
+  // Negation also damps: |negated| < |positive|.
+  EXPECT_LT(std::abs(negated), std::abs(positive));
+}
+
+TEST(SentimentTest, BoosterIntensifies) {
+  SentimentAnalyzer a;
+  EXPECT_GT(a.ScoreText("extremely delicious food"),
+            a.ScoreText("delicious food"));
+  EXPECT_LT(a.ScoreText("slightly tasty food"), a.ScoreText("tasty food"));
+}
+
+TEST(SentimentTest, BoosterAmplifiesNegativeDownward) {
+  SentimentAnalyzer a;
+  EXPECT_LT(a.ScoreText("utterly horrible service"),
+            a.ScoreText("horrible service"));
+}
+
+TEST(SentimentTest, ExclamationEmphasizes) {
+  SentimentAnalyzer a;
+  EXPECT_GT(a.ScoreText("great food !"), a.ScoreText("great food"));
+  EXPECT_LT(a.ScoreText("awful food !"), a.ScoreText("awful food"));
+  // Emphasis caps at three exclamation marks.
+  EXPECT_DOUBLE_EQ(a.ScoreText("great food ! ! !"),
+                   a.ScoreText("great food ! ! ! ! !"));
+}
+
+TEST(SentimentTest, CompoundStaysInUnitRange) {
+  SentimentAnalyzer a;
+  double s = a.ScoreText(
+      "amazing outstanding exceptional fantastic superb perfect phenomenal "
+      "incredible ! ! !");
+  EXPECT_LE(s, 1.0);
+  EXPECT_GT(s, 0.9);
+}
+
+TEST(SentimentTest, CompoundToScaleEndpointsAndMidpoint) {
+  EXPECT_EQ(SentimentAnalyzer::CompoundToScale(-1.0, 5), 1);
+  EXPECT_EQ(SentimentAnalyzer::CompoundToScale(1.0, 5), 5);
+  EXPECT_EQ(SentimentAnalyzer::CompoundToScale(0.0, 5), 3);
+  EXPECT_EQ(SentimentAnalyzer::CompoundToScale(2.5, 5), 5);   // clipped
+  EXPECT_EQ(SentimentAnalyzer::CompoundToScale(-2.5, 5), 1);  // clipped
+}
+
+// ----------------------------------------------------------- Extractor ---
+
+TEST(ExtractorTest, WindowLimitsContext) {
+  ReviewExtractor extractor({{"service"}}, 5, 5);
+  // "terrible" sits 7 tokens before "service": outside the +/-5 window.
+  auto far_tokens = Tokenize(
+      "terrible one two three four five six service was fine");
+  auto near_tokens = Tokenize("terrible service");
+  auto far = extractor.DimensionSentiment(far_tokens, 0);
+  auto near = extractor.DimensionSentiment(near_tokens, 0);
+  ASSERT_TRUE(far.has_value());
+  ASSERT_TRUE(near.has_value());
+  EXPECT_LT(*near, 0.0);
+  EXPECT_GT(*far, *near);  // "terrible" excluded, "fine" included
+}
+
+TEST(ExtractorTest, UnmentionedDimensionFallsBack) {
+  ReviewExtractor extractor({{"food"}, {"service"}}, 5);
+  std::vector<double> scores =
+      extractor.ExtractScores("the food was great", 2.0);
+  EXPECT_GT(scores[0], 3.0);
+  EXPECT_DOUBLE_EQ(scores[1], 2.0);  // fallback
+}
+
+TEST(ExtractorTest, SynonymKeywordsShareDimension) {
+  ReviewExtractor extractor({{"ambiance", "atmosphere"}}, 5);
+  auto a = extractor.ExtractScores("lovely ambiance", 3.0);
+  auto b = extractor.ExtractScores("lovely atmosphere", 3.0);
+  EXPECT_DOUBLE_EQ(a[0], b[0]);
+  EXPECT_GT(a[0], 3.0);
+}
+
+TEST(ExtractorTest, MultipleMentionsAverage) {
+  ReviewExtractor extractor({{"food"}}, 5);
+  auto mixed = extractor.ExtractScores(
+      "delicious food . later that evening the food was awful", 3.0);
+  auto good = extractor.ExtractScores("delicious food", 3.0);
+  EXPECT_LT(mixed[0], good[0]);
+}
+
+// ----------------------------------------------- Generator round-trip ----
+
+// The core property of the synthetic Yelp pipeline: text generated for a
+// target score extracts back to exactly that score, for every score and
+// dimension arrangement.
+class RoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTripTest, GeneratedReviewExtractsToTargets) {
+  std::vector<std::string> keywords = {"food", "service", "ambiance"};
+  ReviewGenerator gen(keywords);
+  ReviewExtractor extractor({{"food"}, {"service"}, {"ambiance"}}, 5);
+  Rng rng(100 + GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int> targets = {rng.UniformInt(1, 5), rng.UniformInt(1, 5),
+                                rng.UniformInt(1, 5)};
+    std::string review = gen.Generate(targets, &rng);
+    std::vector<double> extracted = extractor.ExtractScores(review, 3.0);
+    for (size_t d = 0; d < targets.size(); ++d) {
+      EXPECT_EQ(static_cast<int>(extracted[d]), targets[d])
+          << "dimension " << d << " of: " << review;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripTest, ::testing::Range(0, 8));
+
+TEST(ReviewGeneratorTest, MentionsEveryKeyword) {
+  ReviewGenerator gen({"food", "service"});
+  Rng rng(7);
+  std::string review = gen.Generate({3, 4}, &rng);
+  EXPECT_NE(review.find("food"), std::string::npos);
+  EXPECT_NE(review.find("service"), std::string::npos);
+}
+
+TEST(ReviewGeneratorTest, DeterministicGivenRngState) {
+  ReviewGenerator gen({"food"});
+  Rng a(9), b(9);
+  EXPECT_EQ(gen.Generate({5}, &a), gen.Generate({5}, &b));
+}
+
+}  // namespace
+}  // namespace subdex

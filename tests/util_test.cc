@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "util/bitmap.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace subdex {
+namespace {
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU32(), b.NextU32());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformU32StaysInBound) {
+  Rng rng(7);
+  for (uint32_t bound : {1u, 2u, 3u, 10u, 1000u}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformU32(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.UniformDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NormalHasRoughlyRequestedMoments) {
+  Rng rng(17);
+  RunningStat stat;
+  for (int i = 0; i < 20000; ++i) stat.Add(rng.Normal(2.0, 3.0));
+  EXPECT_NEAR(stat.mean(), 2.0, 0.1);
+  EXPECT_NEAR(stat.stddev(), 3.0, 0.1);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(19);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, WeightedIndexRespectsZeroWeights) {
+  Rng rng(23);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.WeightedIndex(weights), 1u);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(29);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+// --------------------------------------------------------------- Zipf ----
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler zipf(20, 1.2);
+  double total = 0.0;
+  for (size_t i = 0; i < zipf.size(); ++i) total += zipf.Pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfIsDecreasing) {
+  ZipfSampler zipf(30, 1.0);
+  for (size_t i = 1; i < zipf.size(); ++i) {
+    EXPECT_GE(zipf.Pmf(i - 1), zipf.Pmf(i));
+  }
+}
+
+TEST(ZipfTest, SampleFrequenciesTrackPmf) {
+  ZipfSampler zipf(5, 1.0);
+  Rng rng(31);
+  std::vector<int> counts(5, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(&rng)];
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, zipf.Pmf(i), 0.02);
+  }
+}
+
+TEST(ZipfTest, ExponentZeroIsUniform) {
+  ZipfSampler zipf(4, 0.0);
+  for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(zipf.Pmf(i), 0.25, 1e-9);
+}
+
+// ------------------------------------------------------- RunningStat ----
+
+TEST(RunningStatTest, MatchesBatchFormulas) {
+  std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStat stat;
+  for (double x : xs) stat.Add(x);
+  EXPECT_EQ(stat.count(), xs.size());
+  EXPECT_DOUBLE_EQ(stat.mean(), Mean(xs));
+  EXPECT_NEAR(stat.stddev(), StdDev(xs), 1e-12);
+}
+
+TEST(RunningStatTest, MergeEqualsSequential) {
+  Rng rng(37);
+  RunningStat whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Normal(5.0, 2.0);
+    whole.Add(x);
+    (i % 2 == 0 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+}
+
+TEST(RunningStatTest, EmptyAndSingleton) {
+  RunningStat stat;
+  EXPECT_EQ(stat.mean(), 0.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+  stat.Add(3.0);
+  EXPECT_DOUBLE_EQ(stat.mean(), 3.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+}
+
+TEST(StatsTest, MedianOddEvenEmpty) {
+  EXPECT_EQ(Median({}), 0.0);
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+// ------------------------------------------------- Hoeffding-Serfling ----
+
+TEST(HoeffdingTest, VacuousForTinySamples) {
+  EXPECT_EQ(HoeffdingSerflingEpsilon(0, 100, 0.05), 1.0);
+  EXPECT_EQ(HoeffdingSerflingEpsilon(1, 100, 0.05), 1.0);
+}
+
+TEST(HoeffdingTest, ZeroWhenFullyProcessed) {
+  EXPECT_EQ(HoeffdingSerflingEpsilon(100, 100, 0.05), 0.0);
+  EXPECT_EQ(HoeffdingSerflingEpsilon(150, 100, 0.05), 0.0);
+}
+
+TEST(HoeffdingTest, ShrinksWithMoreSamples) {
+  double prev = 1.0;
+  for (size_t u : {5u, 10u, 50u, 200u, 500u, 900u}) {
+    double eps = HoeffdingSerflingEpsilon(u, 1000, 0.05);
+    EXPECT_LE(eps, prev);
+    prev = eps;
+  }
+  EXPECT_LT(prev, 0.1);
+}
+
+TEST(HoeffdingTest, TighterWithLargerDelta) {
+  double strict = HoeffdingSerflingEpsilon(100, 1000, 0.01);
+  double loose = HoeffdingSerflingEpsilon(100, 1000, 0.2);
+  EXPECT_GT(strict, loose);
+}
+
+// A statistical coverage property: the true mean of a random [0,1]
+// population lies within the interval around the running mean of a random
+// prefix, for the vast majority of random trials.
+TEST(HoeffdingTest, IntervalCoversTrueMean) {
+  Rng rng(41);
+  const size_t n = 2000;
+  std::vector<double> population(n);
+  for (double& x : population) x = rng.UniformDouble();
+  double true_mean = Mean(population);
+
+  int covered = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> copy = population;
+    rng.Shuffle(&copy);
+    size_t u = 100 + rng.UniformU32(400);
+    double prefix_mean =
+        Mean(std::vector<double>(copy.begin(), copy.begin() + u));
+    double eps = HoeffdingSerflingEpsilon(u, n, 0.05);
+    if (std::fabs(prefix_mean - true_mean) <= eps) ++covered;
+  }
+  // The bound is conservative (worst-case), so coverage should be near 100%.
+  EXPECT_GE(covered, trials * 95 / 100);
+}
+
+// -------------------------------------------------------------- Bitmap ---
+
+TEST(BitmapTest, SetTestClear) {
+  Bitmap b(130);
+  EXPECT_EQ(b.Count(), 0u);
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 3u);
+  b.Clear(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(BitmapTest, AllOnesConstructorHandlesPadding) {
+  Bitmap b(70, true);
+  EXPECT_EQ(b.Count(), 70u);
+  std::vector<uint32_t> idx = b.ToIndices();
+  ASSERT_EQ(idx.size(), 70u);
+  EXPECT_EQ(idx.front(), 0u);
+  EXPECT_EQ(idx.back(), 69u);
+}
+
+TEST(BitmapTest, AndOr) {
+  Bitmap a(100), b(100);
+  a.Set(3);
+  a.Set(50);
+  b.Set(50);
+  b.Set(99);
+  Bitmap a_and = a;
+  a_and.And(b);
+  EXPECT_EQ(a_and.Count(), 1u);
+  EXPECT_TRUE(a_and.Test(50));
+  Bitmap a_or = a;
+  a_or.Or(b);
+  EXPECT_EQ(a_or.Count(), 3u);
+}
+
+TEST(BitmapTest, ToIndicesRoundTrip) {
+  Rng rng(43);
+  Bitmap b(500);
+  std::set<uint32_t> expected;
+  for (int i = 0; i < 80; ++i) {
+    uint32_t idx = rng.UniformU32(500);
+    b.Set(idx);
+    expected.insert(idx);
+  }
+  std::vector<uint32_t> got = b.ToIndices();
+  EXPECT_EQ(got.size(), expected.size());
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), expected.begin()));
+}
+
+// -------------------------------------------------------------- String ---
+
+TEST(StringTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringTest, JoinInvertsSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, "|"), "x|y|z");
+  EXPECT_EQ(Split("x|y|z", '|'), parts);
+}
+
+TEST(StringTest, TrimAndLower) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(ToLower("AbC-9"), "abc-9");
+}
+
+TEST(StringTest, ParseDouble) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("3.5", &v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_TRUE(ParseDouble("-2", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("3.5x", &v));
+  EXPECT_FALSE(ParseDouble("nan", &v));
+}
+
+TEST(StringTest, ParseInt) {
+  int v = 0;
+  EXPECT_TRUE(ParseInt("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_FALSE(ParseInt("4.2", &v));
+  EXPECT_FALSE(ParseInt("", &v));
+}
+
+TEST(StringTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 1), "2.0");
+}
+
+// ---------------------------------------------------------- ThreadPool ---
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(hits.size(), [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroItemsIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, WaitIdleOnFreshPoolReturns) {
+  ThreadPool pool(2);
+  pool.WaitIdle();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace subdex
