@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_caching.dir/bench_ablation_caching.cc.o"
+  "CMakeFiles/bench_ablation_caching.dir/bench_ablation_caching.cc.o.d"
+  "bench_ablation_caching"
+  "bench_ablation_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

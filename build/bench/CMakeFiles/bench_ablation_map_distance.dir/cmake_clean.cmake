@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_map_distance.dir/bench_ablation_map_distance.cc.o"
+  "CMakeFiles/bench_ablation_map_distance.dir/bench_ablation_map_distance.cc.o.d"
+  "bench_ablation_map_distance"
+  "bench_ablation_map_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_map_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

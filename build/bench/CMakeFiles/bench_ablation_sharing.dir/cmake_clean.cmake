@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sharing.dir/bench_ablation_sharing.cc.o"
+  "CMakeFiles/bench_ablation_sharing.dir/bench_ablation_sharing.cc.o.d"
+  "bench_ablation_sharing"
+  "bench_ablation_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_utility_criteria.dir/bench_ablation_utility_criteria.cc.o"
+  "CMakeFiles/bench_ablation_utility_criteria.dir/bench_ablation_utility_criteria.cc.o.d"
+  "bench_ablation_utility_criteria"
+  "bench_ablation_utility_criteria.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_utility_criteria.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

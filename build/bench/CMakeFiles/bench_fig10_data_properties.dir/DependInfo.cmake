@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_data_properties.cc" "bench/CMakeFiles/bench_fig10_data_properties.dir/bench_fig10_data_properties.cc.o" "gcc" "bench/CMakeFiles/bench_fig10_data_properties.dir/bench_fig10_data_properties.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/subdex_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/subdex_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/pruning/CMakeFiles/subdex_pruning.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/subdex_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/subdex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/subjective/CMakeFiles/subdex_subjective.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/subdex_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/subdex_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/subdex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_data_properties.dir/bench_fig10_data_properties.cc.o"
+  "CMakeFiles/bench_fig10_data_properties.dir/bench_fig10_data_properties.cc.o.d"
+  "bench_fig10_data_properties"
+  "bench_fig10_data_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_data_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

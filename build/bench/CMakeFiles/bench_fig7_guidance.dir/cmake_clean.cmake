@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_guidance.dir/bench_fig7_guidance.cc.o"
+  "CMakeFiles/bench_fig7_guidance.dir/bench_fig7_guidance.cc.o.d"
+  "bench_fig7_guidance"
+  "bench_fig7_guidance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_guidance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

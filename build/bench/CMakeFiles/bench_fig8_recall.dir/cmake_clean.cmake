@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_recall.dir/bench_fig8_recall.cc.o"
+  "CMakeFiles/bench_fig8_recall.dir/bench_fig8_recall.cc.o.d"
+  "bench_fig8_recall"
+  "bench_fig8_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_dimension_weights.dir/bench_fig9_dimension_weights.cc.o"
+  "CMakeFiles/bench_fig9_dimension_weights.dir/bench_fig9_dimension_weights.cc.o.d"
+  "bench_fig9_dimension_weights"
+  "bench_fig9_dimension_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_dimension_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_reco_quality.dir/bench_table4_reco_quality.cc.o"
+  "CMakeFiles/bench_table4_reco_quality.dir/bench_table4_reco_quality.cc.o.d"
+  "bench_table4_reco_quality"
+  "bench_table4_reco_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_reco_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_utility_diversity.dir/bench_table5_utility_diversity.cc.o"
+  "CMakeFiles/bench_table5_utility_diversity.dir/bench_table5_utility_diversity.cc.o.d"
+  "bench_table5_utility_diversity"
+  "bench_table5_utility_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_utility_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

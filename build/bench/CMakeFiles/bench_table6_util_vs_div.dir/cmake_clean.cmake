@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_util_vs_div.dir/bench_table6_util_vs_div.cc.o"
+  "CMakeFiles/bench_table6_util_vs_div.dir/bench_table6_util_vs_div.cc.o.d"
+  "bench_table6_util_vs_div"
+  "bench_table6_util_vs_div.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_util_vs_div.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subdex_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/subdex_bench_common.dir/bench_common.cc.o.d"
+  "libsubdex_bench_common.a"
+  "libsubdex_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subdex_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

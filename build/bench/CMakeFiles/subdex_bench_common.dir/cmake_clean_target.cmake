@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsubdex_bench_common.a"
+)

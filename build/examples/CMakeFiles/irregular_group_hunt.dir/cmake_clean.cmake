@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irregular_group_hunt.dir/irregular_group_hunt.cpp.o"
+  "CMakeFiles/irregular_group_hunt.dir/irregular_group_hunt.cpp.o.d"
+  "irregular_group_hunt"
+  "irregular_group_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irregular_group_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

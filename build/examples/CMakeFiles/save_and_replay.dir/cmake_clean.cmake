@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/save_and_replay.dir/save_and_replay.cpp.o"
+  "CMakeFiles/save_and_replay.dir/save_and_replay.cpp.o.d"
+  "save_and_replay"
+  "save_and_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/save_and_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

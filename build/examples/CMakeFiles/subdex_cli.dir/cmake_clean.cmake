@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subdex_cli.dir/subdex_cli.cpp.o"
+  "CMakeFiles/subdex_cli.dir/subdex_cli.cpp.o.d"
+  "subdex_cli"
+  "subdex_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subdex_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_pipeline.dir/text_pipeline.cpp.o"
+  "CMakeFiles/text_pipeline.dir/text_pipeline.cpp.o.d"
+  "text_pipeline"
+  "text_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yelp_insights.dir/yelp_insights.cpp.o"
+  "CMakeFiles/yelp_insights.dir/yelp_insights.cpp.o.d"
+  "yelp_insights"
+  "yelp_insights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yelp_insights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

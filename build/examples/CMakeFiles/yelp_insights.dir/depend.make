@@ -1,0 +1,2 @@
+# Empty dependencies file for yelp_insights.
+# This may be replaced when dependencies are built.

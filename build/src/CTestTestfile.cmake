@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("storage")
+subdirs("subjective")
+subdirs("core")
+subdirs("pruning")
+subdirs("engine")
+subdirs("baselines")
+subdirs("text")
+subdirs("datagen")
+subdirs("study")

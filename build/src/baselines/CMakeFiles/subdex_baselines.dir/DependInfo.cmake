@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/pattern.cc" "src/baselines/CMakeFiles/subdex_baselines.dir/pattern.cc.o" "gcc" "src/baselines/CMakeFiles/subdex_baselines.dir/pattern.cc.o.d"
+  "/root/repo/src/baselines/qagview.cc" "src/baselines/CMakeFiles/subdex_baselines.dir/qagview.cc.o" "gcc" "src/baselines/CMakeFiles/subdex_baselines.dir/qagview.cc.o.d"
+  "/root/repo/src/baselines/smart_drilldown.cc" "src/baselines/CMakeFiles/subdex_baselines.dir/smart_drilldown.cc.o" "gcc" "src/baselines/CMakeFiles/subdex_baselines.dir/smart_drilldown.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/subjective/CMakeFiles/subdex_subjective.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/subdex_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/subdex_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

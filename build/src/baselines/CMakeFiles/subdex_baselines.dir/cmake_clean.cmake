@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subdex_baselines.dir/pattern.cc.o"
+  "CMakeFiles/subdex_baselines.dir/pattern.cc.o.d"
+  "CMakeFiles/subdex_baselines.dir/qagview.cc.o"
+  "CMakeFiles/subdex_baselines.dir/qagview.cc.o.d"
+  "CMakeFiles/subdex_baselines.dir/smart_drilldown.cc.o"
+  "CMakeFiles/subdex_baselines.dir/smart_drilldown.cc.o.d"
+  "libsubdex_baselines.a"
+  "libsubdex_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subdex_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/distance.cc" "src/core/CMakeFiles/subdex_core.dir/distance.cc.o" "gcc" "src/core/CMakeFiles/subdex_core.dir/distance.cc.o.d"
+  "/root/repo/src/core/gmm.cc" "src/core/CMakeFiles/subdex_core.dir/gmm.cc.o" "gcc" "src/core/CMakeFiles/subdex_core.dir/gmm.cc.o.d"
+  "/root/repo/src/core/interestingness.cc" "src/core/CMakeFiles/subdex_core.dir/interestingness.cc.o" "gcc" "src/core/CMakeFiles/subdex_core.dir/interestingness.cc.o.d"
+  "/root/repo/src/core/rating_distribution.cc" "src/core/CMakeFiles/subdex_core.dir/rating_distribution.cc.o" "gcc" "src/core/CMakeFiles/subdex_core.dir/rating_distribution.cc.o.d"
+  "/root/repo/src/core/rating_map.cc" "src/core/CMakeFiles/subdex_core.dir/rating_map.cc.o" "gcc" "src/core/CMakeFiles/subdex_core.dir/rating_map.cc.o.d"
+  "/root/repo/src/core/seen_maps.cc" "src/core/CMakeFiles/subdex_core.dir/seen_maps.cc.o" "gcc" "src/core/CMakeFiles/subdex_core.dir/seen_maps.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/subjective/CMakeFiles/subdex_subjective.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/subdex_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/subdex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

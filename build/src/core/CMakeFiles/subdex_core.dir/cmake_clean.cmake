@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subdex_core.dir/distance.cc.o"
+  "CMakeFiles/subdex_core.dir/distance.cc.o.d"
+  "CMakeFiles/subdex_core.dir/gmm.cc.o"
+  "CMakeFiles/subdex_core.dir/gmm.cc.o.d"
+  "CMakeFiles/subdex_core.dir/interestingness.cc.o"
+  "CMakeFiles/subdex_core.dir/interestingness.cc.o.d"
+  "CMakeFiles/subdex_core.dir/rating_distribution.cc.o"
+  "CMakeFiles/subdex_core.dir/rating_distribution.cc.o.d"
+  "CMakeFiles/subdex_core.dir/rating_map.cc.o"
+  "CMakeFiles/subdex_core.dir/rating_map.cc.o.d"
+  "CMakeFiles/subdex_core.dir/seen_maps.cc.o"
+  "CMakeFiles/subdex_core.dir/seen_maps.cc.o.d"
+  "libsubdex_core.a"
+  "libsubdex_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subdex_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

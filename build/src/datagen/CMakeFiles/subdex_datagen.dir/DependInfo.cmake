@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/insights.cc" "src/datagen/CMakeFiles/subdex_datagen.dir/insights.cc.o" "gcc" "src/datagen/CMakeFiles/subdex_datagen.dir/insights.cc.o.d"
+  "/root/repo/src/datagen/irregular.cc" "src/datagen/CMakeFiles/subdex_datagen.dir/irregular.cc.o" "gcc" "src/datagen/CMakeFiles/subdex_datagen.dir/irregular.cc.o.d"
+  "/root/repo/src/datagen/specs.cc" "src/datagen/CMakeFiles/subdex_datagen.dir/specs.cc.o" "gcc" "src/datagen/CMakeFiles/subdex_datagen.dir/specs.cc.o.d"
+  "/root/repo/src/datagen/synthetic.cc" "src/datagen/CMakeFiles/subdex_datagen.dir/synthetic.cc.o" "gcc" "src/datagen/CMakeFiles/subdex_datagen.dir/synthetic.cc.o.d"
+  "/root/repo/src/datagen/transforms.cc" "src/datagen/CMakeFiles/subdex_datagen.dir/transforms.cc.o" "gcc" "src/datagen/CMakeFiles/subdex_datagen.dir/transforms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/subdex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/subdex_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/subjective/CMakeFiles/subdex_subjective.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/subdex_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/subdex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

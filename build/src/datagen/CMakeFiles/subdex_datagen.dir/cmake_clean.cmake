@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subdex_datagen.dir/insights.cc.o"
+  "CMakeFiles/subdex_datagen.dir/insights.cc.o.d"
+  "CMakeFiles/subdex_datagen.dir/irregular.cc.o"
+  "CMakeFiles/subdex_datagen.dir/irregular.cc.o.d"
+  "CMakeFiles/subdex_datagen.dir/specs.cc.o"
+  "CMakeFiles/subdex_datagen.dir/specs.cc.o.d"
+  "CMakeFiles/subdex_datagen.dir/synthetic.cc.o"
+  "CMakeFiles/subdex_datagen.dir/synthetic.cc.o.d"
+  "CMakeFiles/subdex_datagen.dir/transforms.cc.o"
+  "CMakeFiles/subdex_datagen.dir/transforms.cc.o.d"
+  "libsubdex_datagen.a"
+  "libsubdex_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subdex_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/exploration_session.cc" "src/engine/CMakeFiles/subdex_engine.dir/exploration_session.cc.o" "gcc" "src/engine/CMakeFiles/subdex_engine.dir/exploration_session.cc.o.d"
+  "/root/repo/src/engine/fallacy.cc" "src/engine/CMakeFiles/subdex_engine.dir/fallacy.cc.o" "gcc" "src/engine/CMakeFiles/subdex_engine.dir/fallacy.cc.o.d"
+  "/root/repo/src/engine/group_cache.cc" "src/engine/CMakeFiles/subdex_engine.dir/group_cache.cc.o" "gcc" "src/engine/CMakeFiles/subdex_engine.dir/group_cache.cc.o.d"
+  "/root/repo/src/engine/personalized.cc" "src/engine/CMakeFiles/subdex_engine.dir/personalized.cc.o" "gcc" "src/engine/CMakeFiles/subdex_engine.dir/personalized.cc.o.d"
+  "/root/repo/src/engine/recommendation_builder.cc" "src/engine/CMakeFiles/subdex_engine.dir/recommendation_builder.cc.o" "gcc" "src/engine/CMakeFiles/subdex_engine.dir/recommendation_builder.cc.o.d"
+  "/root/repo/src/engine/rm_generator.cc" "src/engine/CMakeFiles/subdex_engine.dir/rm_generator.cc.o" "gcc" "src/engine/CMakeFiles/subdex_engine.dir/rm_generator.cc.o.d"
+  "/root/repo/src/engine/rm_pipeline.cc" "src/engine/CMakeFiles/subdex_engine.dir/rm_pipeline.cc.o" "gcc" "src/engine/CMakeFiles/subdex_engine.dir/rm_pipeline.cc.o.d"
+  "/root/repo/src/engine/rm_selector.cc" "src/engine/CMakeFiles/subdex_engine.dir/rm_selector.cc.o" "gcc" "src/engine/CMakeFiles/subdex_engine.dir/rm_selector.cc.o.d"
+  "/root/repo/src/engine/sde_engine.cc" "src/engine/CMakeFiles/subdex_engine.dir/sde_engine.cc.o" "gcc" "src/engine/CMakeFiles/subdex_engine.dir/sde_engine.cc.o.d"
+  "/root/repo/src/engine/session_log.cc" "src/engine/CMakeFiles/subdex_engine.dir/session_log.cc.o" "gcc" "src/engine/CMakeFiles/subdex_engine.dir/session_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pruning/CMakeFiles/subdex_pruning.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/subdex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/subjective/CMakeFiles/subdex_subjective.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/subdex_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/subdex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

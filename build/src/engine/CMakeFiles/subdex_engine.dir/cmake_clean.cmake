@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subdex_engine.dir/exploration_session.cc.o"
+  "CMakeFiles/subdex_engine.dir/exploration_session.cc.o.d"
+  "CMakeFiles/subdex_engine.dir/fallacy.cc.o"
+  "CMakeFiles/subdex_engine.dir/fallacy.cc.o.d"
+  "CMakeFiles/subdex_engine.dir/group_cache.cc.o"
+  "CMakeFiles/subdex_engine.dir/group_cache.cc.o.d"
+  "CMakeFiles/subdex_engine.dir/personalized.cc.o"
+  "CMakeFiles/subdex_engine.dir/personalized.cc.o.d"
+  "CMakeFiles/subdex_engine.dir/recommendation_builder.cc.o"
+  "CMakeFiles/subdex_engine.dir/recommendation_builder.cc.o.d"
+  "CMakeFiles/subdex_engine.dir/rm_generator.cc.o"
+  "CMakeFiles/subdex_engine.dir/rm_generator.cc.o.d"
+  "CMakeFiles/subdex_engine.dir/rm_pipeline.cc.o"
+  "CMakeFiles/subdex_engine.dir/rm_pipeline.cc.o.d"
+  "CMakeFiles/subdex_engine.dir/rm_selector.cc.o"
+  "CMakeFiles/subdex_engine.dir/rm_selector.cc.o.d"
+  "CMakeFiles/subdex_engine.dir/sde_engine.cc.o"
+  "CMakeFiles/subdex_engine.dir/sde_engine.cc.o.d"
+  "CMakeFiles/subdex_engine.dir/session_log.cc.o"
+  "CMakeFiles/subdex_engine.dir/session_log.cc.o.d"
+  "libsubdex_engine.a"
+  "libsubdex_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subdex_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

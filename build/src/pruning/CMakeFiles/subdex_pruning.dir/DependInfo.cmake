@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pruning/ci_pruner.cc" "src/pruning/CMakeFiles/subdex_pruning.dir/ci_pruner.cc.o" "gcc" "src/pruning/CMakeFiles/subdex_pruning.dir/ci_pruner.cc.o.d"
+  "/root/repo/src/pruning/mab_pruner.cc" "src/pruning/CMakeFiles/subdex_pruning.dir/mab_pruner.cc.o" "gcc" "src/pruning/CMakeFiles/subdex_pruning.dir/mab_pruner.cc.o.d"
+  "/root/repo/src/pruning/multi_aggregate_scan.cc" "src/pruning/CMakeFiles/subdex_pruning.dir/multi_aggregate_scan.cc.o" "gcc" "src/pruning/CMakeFiles/subdex_pruning.dir/multi_aggregate_scan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/subdex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/subjective/CMakeFiles/subdex_subjective.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/subdex_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/subdex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subdex_pruning.dir/ci_pruner.cc.o"
+  "CMakeFiles/subdex_pruning.dir/ci_pruner.cc.o.d"
+  "CMakeFiles/subdex_pruning.dir/mab_pruner.cc.o"
+  "CMakeFiles/subdex_pruning.dir/mab_pruner.cc.o.d"
+  "CMakeFiles/subdex_pruning.dir/multi_aggregate_scan.cc.o"
+  "CMakeFiles/subdex_pruning.dir/multi_aggregate_scan.cc.o.d"
+  "libsubdex_pruning.a"
+  "libsubdex_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subdex_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subdex_storage.dir/csv.cc.o"
+  "CMakeFiles/subdex_storage.dir/csv.cc.o.d"
+  "CMakeFiles/subdex_storage.dir/dictionary.cc.o"
+  "CMakeFiles/subdex_storage.dir/dictionary.cc.o.d"
+  "CMakeFiles/subdex_storage.dir/predicate.cc.o"
+  "CMakeFiles/subdex_storage.dir/predicate.cc.o.d"
+  "CMakeFiles/subdex_storage.dir/query_parser.cc.o"
+  "CMakeFiles/subdex_storage.dir/query_parser.cc.o.d"
+  "CMakeFiles/subdex_storage.dir/schema.cc.o"
+  "CMakeFiles/subdex_storage.dir/schema.cc.o.d"
+  "CMakeFiles/subdex_storage.dir/table.cc.o"
+  "CMakeFiles/subdex_storage.dir/table.cc.o.d"
+  "libsubdex_storage.a"
+  "libsubdex_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subdex_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsubdex_storage.a"
+)

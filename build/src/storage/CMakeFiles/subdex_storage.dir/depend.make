@@ -1,0 +1,2 @@
+# Empty dependencies file for subdex_storage.
+# This may be replaced when dependencies are built.

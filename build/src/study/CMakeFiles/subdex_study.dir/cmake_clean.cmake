@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subdex_study.dir/detection.cc.o"
+  "CMakeFiles/subdex_study.dir/detection.cc.o.d"
+  "CMakeFiles/subdex_study.dir/experiment.cc.o"
+  "CMakeFiles/subdex_study.dir/experiment.cc.o.d"
+  "CMakeFiles/subdex_study.dir/scenario_runner.cc.o"
+  "CMakeFiles/subdex_study.dir/scenario_runner.cc.o.d"
+  "CMakeFiles/subdex_study.dir/simulated_user.cc.o"
+  "CMakeFiles/subdex_study.dir/simulated_user.cc.o.d"
+  "libsubdex_study.a"
+  "libsubdex_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subdex_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/subjective/db_io.cc" "src/subjective/CMakeFiles/subdex_subjective.dir/db_io.cc.o" "gcc" "src/subjective/CMakeFiles/subdex_subjective.dir/db_io.cc.o.d"
+  "/root/repo/src/subjective/operation.cc" "src/subjective/CMakeFiles/subdex_subjective.dir/operation.cc.o" "gcc" "src/subjective/CMakeFiles/subdex_subjective.dir/operation.cc.o.d"
+  "/root/repo/src/subjective/rating_group.cc" "src/subjective/CMakeFiles/subdex_subjective.dir/rating_group.cc.o" "gcc" "src/subjective/CMakeFiles/subdex_subjective.dir/rating_group.cc.o.d"
+  "/root/repo/src/subjective/subjective_db.cc" "src/subjective/CMakeFiles/subdex_subjective.dir/subjective_db.cc.o" "gcc" "src/subjective/CMakeFiles/subdex_subjective.dir/subjective_db.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/subdex_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/subdex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

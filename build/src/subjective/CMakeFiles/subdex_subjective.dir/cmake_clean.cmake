@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subdex_subjective.dir/db_io.cc.o"
+  "CMakeFiles/subdex_subjective.dir/db_io.cc.o.d"
+  "CMakeFiles/subdex_subjective.dir/operation.cc.o"
+  "CMakeFiles/subdex_subjective.dir/operation.cc.o.d"
+  "CMakeFiles/subdex_subjective.dir/rating_group.cc.o"
+  "CMakeFiles/subdex_subjective.dir/rating_group.cc.o.d"
+  "CMakeFiles/subdex_subjective.dir/subjective_db.cc.o"
+  "CMakeFiles/subdex_subjective.dir/subjective_db.cc.o.d"
+  "libsubdex_subjective.a"
+  "libsubdex_subjective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subdex_subjective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

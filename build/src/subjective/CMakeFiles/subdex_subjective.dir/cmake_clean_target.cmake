@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsubdex_subjective.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/review_extraction.cc" "src/text/CMakeFiles/subdex_text.dir/review_extraction.cc.o" "gcc" "src/text/CMakeFiles/subdex_text.dir/review_extraction.cc.o.d"
+  "/root/repo/src/text/review_generator.cc" "src/text/CMakeFiles/subdex_text.dir/review_generator.cc.o" "gcc" "src/text/CMakeFiles/subdex_text.dir/review_generator.cc.o.d"
+  "/root/repo/src/text/sentiment.cc" "src/text/CMakeFiles/subdex_text.dir/sentiment.cc.o" "gcc" "src/text/CMakeFiles/subdex_text.dir/sentiment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/subdex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subdex_text.dir/review_extraction.cc.o"
+  "CMakeFiles/subdex_text.dir/review_extraction.cc.o.d"
+  "CMakeFiles/subdex_text.dir/review_generator.cc.o"
+  "CMakeFiles/subdex_text.dir/review_generator.cc.o.d"
+  "CMakeFiles/subdex_text.dir/sentiment.cc.o"
+  "CMakeFiles/subdex_text.dir/sentiment.cc.o.d"
+  "libsubdex_text.a"
+  "libsubdex_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subdex_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

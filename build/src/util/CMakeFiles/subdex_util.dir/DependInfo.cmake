@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bitmap.cc" "src/util/CMakeFiles/subdex_util.dir/bitmap.cc.o" "gcc" "src/util/CMakeFiles/subdex_util.dir/bitmap.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/util/CMakeFiles/subdex_util.dir/random.cc.o" "gcc" "src/util/CMakeFiles/subdex_util.dir/random.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/util/CMakeFiles/subdex_util.dir/stats.cc.o" "gcc" "src/util/CMakeFiles/subdex_util.dir/stats.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/util/CMakeFiles/subdex_util.dir/string_util.cc.o" "gcc" "src/util/CMakeFiles/subdex_util.dir/string_util.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/util/CMakeFiles/subdex_util.dir/thread_pool.cc.o" "gcc" "src/util/CMakeFiles/subdex_util.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

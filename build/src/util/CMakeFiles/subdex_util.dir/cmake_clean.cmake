@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subdex_util.dir/bitmap.cc.o"
+  "CMakeFiles/subdex_util.dir/bitmap.cc.o.d"
+  "CMakeFiles/subdex_util.dir/random.cc.o"
+  "CMakeFiles/subdex_util.dir/random.cc.o.d"
+  "CMakeFiles/subdex_util.dir/stats.cc.o"
+  "CMakeFiles/subdex_util.dir/stats.cc.o.d"
+  "CMakeFiles/subdex_util.dir/string_util.cc.o"
+  "CMakeFiles/subdex_util.dir/string_util.cc.o.d"
+  "CMakeFiles/subdex_util.dir/thread_pool.cc.o"
+  "CMakeFiles/subdex_util.dir/thread_pool.cc.o.d"
+  "libsubdex_util.a"
+  "libsubdex_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subdex_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_io_test.dir/db_io_test.cc.o"
+  "CMakeFiles/db_io_test.dir/db_io_test.cc.o.d"
+  "db_io_test"
+  "db_io_test.pdb"
+  "db_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

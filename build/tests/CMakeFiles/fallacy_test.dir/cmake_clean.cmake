@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fallacy_test.dir/fallacy_test.cc.o"
+  "CMakeFiles/fallacy_test.dir/fallacy_test.cc.o.d"
+  "fallacy_test"
+  "fallacy_test.pdb"
+  "fallacy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fallacy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_cache_test.dir/group_cache_test.cc.o"
+  "CMakeFiles/group_cache_test.dir/group_cache_test.cc.o.d"
+  "group_cache_test"
+  "group_cache_test.pdb"
+  "group_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

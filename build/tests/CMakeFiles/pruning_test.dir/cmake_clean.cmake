@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pruning_test.dir/pruning_test.cc.o"
+  "CMakeFiles/pruning_test.dir/pruning_test.cc.o.d"
+  "pruning_test"
+  "pruning_test.pdb"
+  "pruning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pruning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

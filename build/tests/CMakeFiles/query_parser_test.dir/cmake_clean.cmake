@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_parser_test.dir/query_parser_test.cc.o"
+  "CMakeFiles/query_parser_test.dir/query_parser_test.cc.o.d"
+  "query_parser_test"
+  "query_parser_test.pdb"
+  "query_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

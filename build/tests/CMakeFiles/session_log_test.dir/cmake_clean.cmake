@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_log_test.dir/session_log_test.cc.o"
+  "CMakeFiles/session_log_test.dir/session_log_test.cc.o.d"
+  "session_log_test"
+  "session_log_test.pdb"
+  "session_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

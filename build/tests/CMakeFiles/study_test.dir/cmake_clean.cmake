@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_test.dir/study_test.cc.o"
+  "CMakeFiles/study_test.dir/study_test.cc.o.d"
+  "study_test"
+  "study_test.pdb"
+  "study_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subdex_test_support.dir/test_support.cc.o"
+  "CMakeFiles/subdex_test_support.dir/test_support.cc.o.d"
+  "libsubdex_test_support.a"
+  "libsubdex_test_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subdex_test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

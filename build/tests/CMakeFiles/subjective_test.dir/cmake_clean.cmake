@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subjective_test.dir/subjective_test.cc.o"
+  "CMakeFiles/subjective_test.dir/subjective_test.cc.o.d"
+  "subjective_test"
+  "subjective_test.pdb"
+  "subjective_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subjective_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
