@@ -1,7 +1,8 @@
 // Micro-benchmarks (google-benchmark) for the primitives every experiment
 // rests on: distribution distances, rating-map construction, shared
 // multi-aggregate scans, GMM diversification, group materialization and
-// candidate-operation enumeration.
+// candidate-operation enumeration — plus the full engine step with its
+// per-phase timing breakdown (StepTimings).
 
 #include <benchmark/benchmark.h>
 
@@ -10,6 +11,7 @@
 #include "core/gmm.h"
 #include "core/interestingness.h"
 #include "core/rating_map.h"
+#include "engine/sde_engine.h"
 #include "pruning/multi_aggregate_scan.h"
 #include "subjective/operation.h"
 #include "util/random.h"
@@ -145,6 +147,47 @@ void BM_EnumerateOperations(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EnumerateOperations)->Arg(100)->Arg(400);
+
+// One full exploration step (display maps + recommendation fan-out) on the
+// shared engine pool. Arg = num_threads; Arg(1) is the serial baseline, so
+// comparing the reco_ms counters across args shows the parallel speedup of
+// the recommendation phase. The per-phase StepTimings means are exported
+// as counters.
+void BM_EngineExecuteStep(benchmark::State& state) {
+  const SubjectiveDatabase& db = SharedDb();
+  EngineConfig config;
+  config.num_threads = static_cast<size_t>(state.range(0));
+  config.parallel_recommendations = state.range(0) > 1;
+  config.parallel_generation = state.range(0) > 1;
+  config.operations.max_candidates = 60;
+  config.min_group_size = 1;
+  SdeEngine engine(&db, config);
+  StepTimings sum;
+  size_t steps = 0;
+  for (auto _ : state) {
+    engine.ResetHistory();
+    StepResult step = engine.ExecuteStep(GroupSelection{}, true);
+    benchmark::DoNotOptimize(step.recommendations.size());
+    sum.materialize_ms += step.timings.materialize_ms;
+    sum.rm_generation_ms += step.timings.rm_generation_ms;
+    sum.gmm_selection_ms += step.timings.gmm_selection_ms;
+    sum.recommendation_ms += step.timings.recommendation_ms;
+    sum.pool_tasks += step.timings.pool_tasks;
+    sum.pool_batches += step.timings.pool_batches;
+    ++steps;
+  }
+  if (steps > 0) {
+    double n = static_cast<double>(steps);
+    state.counters["materialize_ms"] = sum.materialize_ms / n;
+    state.counters["rm_gen_ms"] = sum.rm_generation_ms / n;
+    state.counters["gmm_ms"] = sum.gmm_selection_ms / n;
+    state.counters["reco_ms"] = sum.recommendation_ms / n;
+    state.counters["pool_tasks"] = static_cast<double>(sum.pool_tasks) / n;
+    state.counters["pool_batches"] = static_cast<double>(sum.pool_batches) / n;
+  }
+}
+BENCHMARK(BM_EngineExecuteStep)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SignatureEmdDistance(benchmark::State& state) {
   const SubjectiveDatabase& db = SharedDb();

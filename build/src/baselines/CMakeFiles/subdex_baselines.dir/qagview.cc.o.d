@@ -126,8 +126,7 @@ src/baselines/CMakeFiles/subdex_baselines.dir/qagview.cc.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/subjective/operation.h \
- /root/repo/src/subjective/rating_group.h \
- /root/repo/src/subjective/subjective_db.h /usr/include/c++/12/memory \
+ /root/repo/src/subjective/rating_group.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -203,6 +202,7 @@ src/baselines/CMakeFiles/subdex_baselines.dir/qagview.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/subjective/subjective_db.h \
  /root/repo/src/storage/predicate.h /root/repo/src/storage/table.h \
  /root/repo/src/storage/dictionary.h /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/bits/hashtable.h \

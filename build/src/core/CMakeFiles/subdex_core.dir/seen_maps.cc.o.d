@@ -135,8 +135,7 @@ src/core/CMakeFiles/subdex_core.dir/seen_maps.cc.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h \
  /root/repo/src/core/rating_distribution.h \
- /root/repo/src/subjective/rating_group.h \
- /root/repo/src/subjective/subjective_db.h /usr/include/c++/12/memory \
+ /root/repo/src/subjective/rating_group.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -210,6 +209,7 @@ src/core/CMakeFiles/subdex_core.dir/seen_maps.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/subjective/subjective_db.h \
  /root/repo/src/storage/predicate.h /root/repo/src/storage/table.h \
  /root/repo/src/storage/dictionary.h /root/repo/src/storage/value.h \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \

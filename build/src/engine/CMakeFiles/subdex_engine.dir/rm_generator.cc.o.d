@@ -134,8 +134,7 @@ src/engine/CMakeFiles/subdex_engine.dir/rm_generator.cc.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h \
  /root/repo/src/core/rating_distribution.h \
- /root/repo/src/subjective/rating_group.h \
- /root/repo/src/subjective/subjective_db.h /usr/include/c++/12/memory \
+ /root/repo/src/subjective/rating_group.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -209,6 +208,7 @@ src/engine/CMakeFiles/subdex_engine.dir/rm_generator.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/subjective/subjective_db.h \
  /root/repo/src/storage/predicate.h /root/repo/src/storage/table.h \
  /root/repo/src/storage/dictionary.h /root/repo/src/storage/value.h \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
@@ -229,4 +229,17 @@ src/engine/CMakeFiles/subdex_engine.dir/rm_generator.cc.o: \
  /root/repo/src/pruning/ci_pruner.h /usr/include/c++/12/array \
  /root/repo/src/pruning/mab_pruner.h \
  /root/repo/src/pruning/multi_aggregate_scan.h \
- /root/repo/src/util/stats.h
+ /root/repo/src/util/stats.h /root/repo/src/util/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/atomic \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread

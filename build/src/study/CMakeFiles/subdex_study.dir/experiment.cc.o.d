@@ -127,8 +127,7 @@ src/study/CMakeFiles/subdex_study.dir/experiment.cc.o: \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
  /root/repo/src/subjective/operation.h \
- /root/repo/src/subjective/rating_group.h \
- /root/repo/src/subjective/subjective_db.h /usr/include/c++/12/memory \
+ /root/repo/src/subjective/rating_group.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -204,6 +203,7 @@ src/study/CMakeFiles/subdex_study.dir/experiment.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/subjective/subjective_db.h \
  /root/repo/src/storage/predicate.h /root/repo/src/storage/table.h \
  /root/repo/src/storage/dictionary.h /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/bits/hashtable.h \
@@ -219,18 +219,31 @@ src/study/CMakeFiles/subdex_study.dir/experiment.cc.o: \
  /usr/include/c++/12/cstddef /root/repo/src/util/random.h \
  /root/repo/src/engine/exploration_session.h \
  /root/repo/src/engine/sde_engine.h /root/repo/src/engine/group_cache.h \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/limits /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/engine/recommendation_builder.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/atomic \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/mutex /root/repo/src/engine/recommendation_builder.h \
  /root/repo/src/engine/rm_pipeline.h /root/repo/src/engine/rm_generator.h \
  /root/repo/src/core/rating_map.h \
  /root/repo/src/core/rating_distribution.h \
  /root/repo/src/core/seen_maps.h /root/repo/src/core/interestingness.h \
  /root/repo/src/engine/config.h /root/repo/src/core/distance.h \
- /root/repo/src/engine/rm_selector.h /root/repo/src/study/detection.h \
- /root/repo/src/datagen/insights.h /root/repo/src/datagen/irregular.h \
- /root/repo/src/study/simulated_user.h /usr/include/c++/12/optional \
- /root/repo/src/util/stats.h
+ /root/repo/src/engine/rm_selector.h /root/repo/src/engine/step_timings.h \
+ /root/repo/src/util/thread_pool.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/thread \
+ /root/repo/src/study/detection.h /root/repo/src/datagen/insights.h \
+ /root/repo/src/datagen/irregular.h /root/repo/src/study/simulated_user.h \
+ /usr/include/c++/12/optional /root/repo/src/util/stats.h

@@ -293,11 +293,17 @@ tests/CMakeFiles/group_cache_test.dir/group_cache_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/engine/group_cache.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /root/repo/src/engine/group_cache.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/subjective/rating_group.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/mutex /root/repo/src/subjective/rating_group.h \
  /root/repo/src/subjective/subjective_db.h \
  /root/repo/src/storage/predicate.h /root/repo/src/storage/table.h \
  /root/repo/src/storage/dictionary.h /root/repo/src/storage/value.h \
@@ -311,13 +317,7 @@ tests/CMakeFiles/group_cache_test.dir/group_cache_test.cc.o: \
  /root/repo/src/core/seen_maps.h /root/repo/src/core/interestingness.h \
  /root/repo/src/engine/config.h /root/repo/src/core/distance.h \
  /root/repo/src/subjective/operation.h /root/repo/src/util/random.h \
- /root/repo/src/engine/rm_selector.h /root/repo/tests/test_support.h \
- /root/repo/src/util/thread_pool.h /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/atomic_timed_wait.h \
- /usr/include/c++/12/bits/this_thread_sleep.h \
- /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /root/repo/src/engine/rm_selector.h /root/repo/src/engine/step_timings.h \
+ /root/repo/src/util/thread_pool.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/thread
+ /usr/include/c++/12/thread /root/repo/tests/test_support.h

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Builds the threading-sensitive test binaries (util, engine, group cache)
+# under a sanitizer and runs them.
+#
+# Usage: ci/sanitize.sh [thread|address]   (default: thread)
+#
+# ThreadSanitizer exercises the shared-pool invariants: concurrent
+# ParallelFor batches, nested batches, and single-flight group-cache
+# materialization. 'address' swaps in ASan+UBSan for memory errors.
+set -euo pipefail
+
+SAN="${1:-thread}"
+case "$SAN" in
+  thread|address) ;;
+  *) echo "usage: $0 [thread|address]" >&2; exit 2 ;;
+esac
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build-$SAN"
+
+cmake -B "$BUILD" -S "$ROOT" \
+  -DSUBDEX_SANITIZE="$SAN" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" -j"$(nproc)" \
+  --target util_test engine_test group_cache_test
+
+for test_bin in util_test engine_test group_cache_test; do
+  echo "=== $test_bin ($SAN) ==="
+  "$BUILD/tests/$test_bin"
+done
+echo "All sanitized tests passed ($SAN)."

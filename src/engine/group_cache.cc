@@ -32,6 +32,8 @@ RatingGroup RatingGroupCache::Get(const GroupSelection& selection) {
     return RatingGroup::Materialize(*db_, selection);
   }
   std::string key = KeyOf(selection);
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(key);
@@ -40,15 +42,34 @@ RatingGroup RatingGroupCache::Get(const GroupSelection& selection) {
       ++stats_.hits;
       return RatingGroup(db_, selection, it->second->second);
     }
-    ++stats_.misses;
+    auto fit = inflight_.find(key);
+    if (fit != inflight_.end()) {
+      // Another thread is already scanning for this key: coalesce onto its
+      // result instead of duplicating the O(|R|) materialization.
+      flight = fit->second;
+      ++stats_.coalesced;
+    } else {
+      flight = std::make_shared<Flight>();
+      inflight_.emplace(key, flight);
+      leader = true;
+      ++stats_.misses;
+    }
   }
-  // Materialize outside the lock: concurrent misses may duplicate work for
-  // the same key, but never block each other on an O(|R|) scan.
+
+  if (!leader) {
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    return RatingGroup(db_, selection, flight->records);
+  }
+
+  // Leader: materialize outside the cache lock — single-flight guarantees
+  // exactly one scan per key, and other keys' lookups are never blocked.
   RatingGroup group = RatingGroup::Materialize(*db_, selection);
   {
     std::lock_guard<std::mutex> lock(mu_);
+    inflight_.erase(key);
     if (index_.find(key) == index_.end()) {
-      lru_.emplace_front(key, group.records());
+      lru_.emplace_front(key, group.shared_records());
       index_[key] = lru_.begin();
       if (lru_.size() > capacity_) {
         index_.erase(lru_.back().first);
@@ -58,6 +79,12 @@ RatingGroup RatingGroupCache::Get(const GroupSelection& selection) {
     }
     stats_.entries = lru_.size();
   }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->records = group.shared_records();
+    flight->done = true;
+  }
+  flight->cv.notify_all();
   return group;
 }
 

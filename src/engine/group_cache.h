@@ -1,7 +1,9 @@
 #ifndef SUBDEX_ENGINE_GROUP_CACHE_H_
 #define SUBDEX_ENGINE_GROUP_CACHE_H_
 
+#include <condition_variable>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -29,11 +31,14 @@ class RatingGroupCache {
   struct Stats {
     size_t hits = 0;
     size_t misses = 0;
+    /// Concurrent misses on a key already being materialized: the caller
+    /// waited for the in-flight scan instead of duplicating it.
+    size_t coalesced = 0;
     size_t evictions = 0;
     size_t entries = 0;
 
     double HitRate() const {
-      size_t total = hits + misses;
+      size_t total = hits + misses + coalesced;
       return total == 0 ? 0.0 : static_cast<double>(hits) / total;
     }
   };
@@ -57,14 +62,25 @@ class RatingGroupCache {
   // rendered form is unique per selection.
   static std::string KeyOf(const GroupSelection& selection);
 
+  // Single-flight rendezvous: the first miss on a key materializes while
+  // later concurrent misses wait here for the result.
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    RatingGroup::SharedRecords records;
+  };
+
   const SubjectiveDatabase* db_;
   size_t capacity_;
 
   mutable std::mutex mu_;
-  // MRU-first list of (key, records); map points into the list.
-  using Entry = std::pair<std::string, std::vector<RecordId>>;
+  // MRU-first list of (key, records); map points into the list. Records
+  // are shared with every RatingGroup handed out, so a hit never copies.
+  using Entry = std::pair<std::string, RatingGroup::SharedRecords>;
   std::list<Entry> lru_;
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> inflight_;
   Stats stats_;
 };
 

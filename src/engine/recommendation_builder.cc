@@ -53,10 +53,10 @@ std::vector<Recommendation> RecommendationBuilder::TopRecommendations(
     results[i] = std::move(rec);
   };
 
-  if (config_->parallel_recommendations && config_->num_threads > 1 &&
+  // The engine-owned pool outlives every step: no per-call thread churn.
+  if (pool_ != nullptr && config_->parallel_recommendations &&
       candidates.size() > 1) {
-    ThreadPool pool(config_->num_threads);
-    pool.ParallelFor(candidates.size(), evaluate);
+    pool_->ParallelFor(candidates.size(), evaluate);
   } else {
     for (size_t i = 0; i < candidates.size(); ++i) evaluate(i);
   }

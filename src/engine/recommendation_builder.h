@@ -22,10 +22,11 @@ struct Recommendation {
 /// candidate operations within 2 attribute-value edits of the current
 /// selection, evaluates each by running the full RM-set pipeline on its
 /// target rating group, and returns the top-o by utility. Candidates are
-/// evaluated concurrently on a pool of `config->num_threads` workers (the
-/// paper's parallel query execution — the number of simultaneous
-/// evaluations is the number of available cores); the No-Parallelism and
-/// Naive baselines evaluate sequentially.
+/// evaluated concurrently on the caller-supplied long-lived worker pool
+/// (the paper's parallel query execution — the number of simultaneous
+/// evaluations is the number of available cores); without a pool, or for
+/// the No-Parallelism and Naive baselines, evaluation is sequential. The
+/// builder never constructs threads itself.
 ///
 /// Note: the paper partitions this work per displayed rating map purely to
 /// parallelize it; an operation's utility does not depend on which map it
@@ -33,11 +34,17 @@ struct Recommendation {
 /// equivalent.
 class RecommendationBuilder {
  public:
-  /// `cache` may be null (every candidate group is materialized afresh).
+  /// `cache` may be null (every candidate group is materialized afresh);
+  /// `pool` may be null (sequential evaluation).
   RecommendationBuilder(const SubjectiveDatabase* db,
                         const EngineConfig* config, const RmPipeline* pipeline,
-                        RatingGroupCache* cache = nullptr)
-      : db_(db), config_(config), pipeline_(pipeline), cache_(cache) {}
+                        RatingGroupCache* cache = nullptr,
+                        ThreadPool* pool = nullptr)
+      : db_(db),
+        config_(config),
+        pipeline_(pipeline),
+        cache_(cache),
+        pool_(pool) {}
 
   /// Top-o recommendations from `current` given history `seen` (Problem 2).
   /// Candidates whose target selection appears in `explored` (the
@@ -54,6 +61,7 @@ class RecommendationBuilder {
   const EngineConfig* config_;
   const RmPipeline* pipeline_;
   RatingGroupCache* cache_;
+  ThreadPool* pool_;
 };
 
 }  // namespace subdex

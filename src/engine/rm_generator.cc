@@ -9,6 +9,7 @@
 #include "util/check.h"
 #include "util/random.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace subdex {
 
@@ -69,6 +70,11 @@ void EstimateCandidate(Candidate* cand, const RatingMap& snapshot,
                        const UtilityConfig& utility_config, double eps) {
   auto clip = [](double x) { return std::min(1.0, std::max(0.0, x)); };
   if (utility_config.aggregation == UtilityAggregation::kMax) {
+    // Max-aggregation addresses the four criterion slots directly; guard
+    // the assumption so a future change of the criteria container (e.g.
+    // to a dynamically sized one) fails loudly here, not as a wild read.
+    SUBDEX_CHECK_MSG(cand->intervals.criteria.size() >= 4,
+                     "kMax aggregation requires 4 criterion intervals");
     auto& crit = cand->intervals.criteria;
     if (crit[0].active) {
       cand->scores.conciseness = Conciseness(snapshot, utility_config);
@@ -165,6 +171,10 @@ std::vector<ScoredRatingMap> RmGenerator::Generate(
     Candidate cand;
     cand.key = key;
     cand.scan_index = scan_index;
+    // Start from the vacuous envelope on every criterion slot: estimation
+    // (and the max-aggregation fast path) relies on all 4 being present
+    // and active.
+    cand.intervals.criteria.fill(CriterionInterval{});
     cand.intervals.weight = dim_weight[key.dimension];
     cands.push_back(std::move(cand));
   }
@@ -187,11 +197,24 @@ std::vector<ScoredRatingMap> RmGenerator::Generate(
     scans[cand->scan_index]->DeactivateDimension(cand->key.dimension);
   };
 
+  const bool parallel = pool_ != nullptr && config_->parallel_generation;
+
   for (size_t phase = 0; phase < num_phases; ++phase) {
     size_t begin = total * phase / num_phases;
     size_t end = total * (phase + 1) / num_phases;
-    for (auto& scan : scans) {
-      st->record_updates += scan->Update(begin, end);
+    if (parallel && scans.size() > 1) {
+      // Scans own disjoint histograms, so the phase update is
+      // embarrassingly parallel; the per-scan work counts are reduced in
+      // index order to keep stats deterministic.
+      std::vector<size_t> updates(scans.size(), 0);
+      pool_->ParallelFor(scans.size(), [&](size_t s) {
+        updates[s] = scans[s]->Update(begin, end);
+      });
+      for (size_t u : updates) st->record_updates += u;
+    } else {
+      for (auto& scan : scans) {
+        st->record_updates += scan->Update(begin, end);
+      }
     }
     ++st->phases_run;
     if (config_->pruning == PruningScheme::kNone) continue;
@@ -256,16 +279,27 @@ std::vector<ScoredRatingMap> RmGenerator::Generate(
 
   // Survivors were updated through every phase, so their snapshots cover the
   // whole group; score them exactly and keep the top k_prime by DW utility.
-  std::vector<ScoredRatingMap> out;
-  for (const Candidate& cand : cands) {
-    if (cand.pruned) continue;
+  std::vector<size_t> live;
+  for (size_t i = 0; i < cands.size(); ++i) {
+    if (!cands[i].pruned) live.push_back(i);
+  }
+  std::vector<ScoredRatingMap> out(live.size());
+  auto score_exact = [&](size_t j) {
+    const Candidate& cand = cands[live[j]];
     ScoredRatingMap scored;
     scored.map = scans[cand.scan_index]->SnapshotMap(cand.key.dimension);
     scored.scores = ComputeScores(scored.map, seen.seen_distributions(),
                                   config_->utility);
     scored.utility = Utility(scored.scores, config_->utility);
     scored.dw_utility = dim_weight[cand.key.dimension] * scored.utility;
-    out.push_back(std::move(scored));
+    out[j] = std::move(scored);
+  };
+  if (parallel && live.size() > 1) {
+    // Survivors only read their scan (SnapshotMap is const) and write
+    // their own slot, so exact scoring parallelizes without reordering.
+    pool_->ParallelFor(live.size(), score_exact);
+  } else {
+    for (size_t j = 0; j < live.size(); ++j) score_exact(j);
   }
   std::sort(out.begin(), out.end(),
             [](const ScoredRatingMap& a, const ScoredRatingMap& b) {

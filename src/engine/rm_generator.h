@@ -9,6 +9,8 @@
 
 namespace subdex {
 
+class ThreadPool;
+
 /// A rating map together with its final (full-data) interestingness scores.
 struct ScoredRatingMap {
   RatingMap map;
@@ -43,7 +45,13 @@ struct RmGeneratorStats {
 /// scored exactly over the full group, sorted by descending DW utility.
 class RmGenerator {
  public:
-  explicit RmGenerator(const EngineConfig* config) : config_(config) {}
+  /// `pool` may be null (serial execution). With a pool and
+  /// `config->parallel_generation`, the per-phase scan updates and the
+  /// final exact-scoring pass — the two loops that dominate step latency —
+  /// run on the pool; results are identical to serial execution (disjoint
+  /// state per scan/candidate, deterministic reduction order).
+  explicit RmGenerator(const EngineConfig* config, ThreadPool* pool = nullptr)
+      : config_(config), pool_(pool) {}
 
   std::vector<ScoredRatingMap> Generate(const RatingGroup& group,
                                         const SeenMapsTracker& seen,
@@ -52,6 +60,7 @@ class RmGenerator {
 
  private:
   const EngineConfig* config_;
+  ThreadPool* pool_;
 };
 
 }  // namespace subdex

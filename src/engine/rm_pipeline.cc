@@ -1,28 +1,56 @@
 #include "engine/rm_pipeline.h"
 
+#include <chrono>
 #include <limits>
 
 namespace subdex {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
 std::vector<ScoredRatingMap> RmPipeline::SelectForDisplay(
     const RatingGroup& group, const SeenMapsTracker& seen,
-    RmGeneratorStats* stats) const {
+    RmGeneratorStats* stats, StepTimings* timings) const {
   size_t k = config_->k;
   switch (config_->selection) {
     case SelectionMode::kUtilityAndDiversity: {
+      Clock::time_point t0 = Clock::now();
       std::vector<ScoredRatingMap> top =
           generator_.Generate(group, seen, k * config_->l, stats);
-      return selector_.SelectDiverse(std::move(top), k);
+      if (timings != nullptr) timings->rm_generation_ms += MsSince(t0);
+      Clock::time_point t1 = Clock::now();
+      std::vector<ScoredRatingMap> picked =
+          selector_.SelectDiverse(std::move(top), k);
+      if (timings != nullptr) timings->gmm_selection_ms += MsSince(t1);
+      return picked;
     }
-    case SelectionMode::kUtilityOnly:
+    case SelectionMode::kUtilityOnly: {
       // Equivalent to l = 1: the k highest-DW-utility maps, no GMM pass.
-      return generator_.Generate(group, seen, k, stats);
+      Clock::time_point t0 = Clock::now();
+      std::vector<ScoredRatingMap> top = generator_.Generate(group, seen, k, stats);
+      if (timings != nullptr) timings->rm_generation_ms += MsSince(t0);
+      return top;
+    }
     case SelectionMode::kDiversityOnly: {
       // Keep every candidate map (pruning is vacuous with an unbounded
       // budget) and let GMM pick the k most diverse.
+      Clock::time_point t0 = Clock::now();
       std::vector<ScoredRatingMap> all = generator_.Generate(
           group, seen, std::numeric_limits<size_t>::max(), stats);
-      return selector_.SelectDiverse(std::move(all), k);
+      if (timings != nullptr) timings->rm_generation_ms += MsSince(t0);
+      Clock::time_point t1 = Clock::now();
+      std::vector<ScoredRatingMap> picked =
+          selector_.SelectDiverse(std::move(all), k);
+      if (timings != nullptr) timings->gmm_selection_ms += MsSince(t1);
+      return picked;
     }
   }
   return {};

@@ -5,6 +5,7 @@
 
 #include "engine/rm_generator.h"
 #include "engine/rm_selector.h"
+#include "engine/step_timings.h"
 
 namespace subdex {
 
@@ -14,14 +15,17 @@ namespace subdex {
 /// rating group, honoring the configured SelectionMode.
 class RmPipeline {
  public:
-  explicit RmPipeline(const EngineConfig* config)
-      : config_(config), generator_(config), selector_(config) {}
+  /// `pool` may be null (serial execution); it is forwarded to the
+  /// RM-Generator's parallel phase loops.
+  explicit RmPipeline(const EngineConfig* config, ThreadPool* pool = nullptr)
+      : config_(config), generator_(config, pool), selector_(config) {}
 
   /// The k-size display set for `group` given history `seen`. Does not
-  /// mutate the history.
+  /// mutate the history. When `timings` is non-null, the generation and
+  /// GMM-selection wall-clock times are accumulated into it.
   std::vector<ScoredRatingMap> SelectForDisplay(
       const RatingGroup& group, const SeenMapsTracker& seen,
-      RmGeneratorStats* stats = nullptr) const;
+      RmGeneratorStats* stats = nullptr, StepTimings* timings = nullptr) const;
 
   /// Utility of an exploration operation (Eq. 2): the sum of DW utilities
   /// of the maps the operation would display.

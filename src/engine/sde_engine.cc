@@ -1,10 +1,18 @@
 #include "engine/sde_engine.h"
 
+#include <algorithm>
 #include <chrono>
 
 namespace subdex {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsBetween(Clock::time_point start, Clock::time_point end) {
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
 EngineConfig WithDatabaseSize(EngineConfig config,
                               const SubjectiveDatabase& db) {
   if (config.utility.database_size == 0) {
@@ -12,39 +20,65 @@ EngineConfig WithDatabaseSize(EngineConfig config,
   }
   return config;
 }
+
 }  // namespace
 
 SdeEngine::SdeEngine(const SubjectiveDatabase* db, EngineConfig config)
     : db_(db),
       config_(WithDatabaseSize(config, *db)),
-      pipeline_(&config_),
+      pool_(config_.num_threads > 1
+                ? std::make_unique<ThreadPool>(config_.num_threads)
+                : nullptr),
+      pipeline_(&config_, pool_.get()),
       cache_(std::make_unique<RatingGroupCache>(
           db, config_.group_cache_capacity)),
-      builder_(db, &config_, &pipeline_, cache_.get()),
+      builder_(db, &config_, &pipeline_, cache_.get(), pool_.get()),
       seen_(db->num_dimensions()) {}
 
 StepResult SdeEngine::ExecuteStep(const GroupSelection& selection,
                                   bool with_recommendations) {
-  auto start = std::chrono::steady_clock::now();
+  Clock::time_point start = Clock::now();
+  ThreadPool::Stats pool_before;
+  if (pool_ != nullptr) pool_before = pool_->stats();
+
   StepResult result;
   result.selection = selection;
 
   RatingGroup group = cache_->Get(selection);
+  Clock::time_point materialized = Clock::now();
+  result.timings.materialize_ms = MsBetween(start, materialized);
+
   result.group_size = group.size();
-  result.maps = pipeline_.SelectForDisplay(group, seen_, &result.stats);
+  result.maps =
+      pipeline_.SelectForDisplay(group, seen_, &result.stats, &result.timings);
   // The user sees these maps now; recommendations are ranked against the
   // updated history, and later steps' global peculiarity refers to them.
   for (const ScoredRatingMap& m : result.maps) seen_.Record(m.map);
-  explored_.push_back(selection);
-
-  if (with_recommendations) {
-    result.recommendations = builder_.TopRecommendations(
-        selection, seen_, explored_, &result.stats);
+  // Revisits must not duplicate history entries: TopRecommendations scans
+  // `explored_` per candidate, so duplicates degrade it to
+  // O(|candidates| * |steps|) and skew nothing else.
+  if (std::find(explored_.begin(), explored_.end(), selection) ==
+      explored_.end()) {
+    explored_.push_back(selection);
   }
 
-  auto end = std::chrono::steady_clock::now();
-  result.elapsed_ms =
-      std::chrono::duration<double, std::milli>(end - start).count();
+  if (with_recommendations) {
+    Clock::time_point reco_start = Clock::now();
+    result.recommendations = builder_.TopRecommendations(
+        selection, seen_, explored_, &result.stats);
+    result.timings.recommendation_ms = MsBetween(reco_start, Clock::now());
+  }
+
+  if (pool_ != nullptr) {
+    ThreadPool::Stats pool_after = pool_->stats();
+    result.timings.pool_tasks =
+        pool_after.tasks_submitted - pool_before.tasks_submitted;
+    result.timings.pool_batches =
+        pool_after.batches_run - pool_before.batches_run;
+    result.timings.pool_max_queue_depth = pool_after.max_queue_depth;
+  }
+
+  result.elapsed_ms = MsBetween(start, Clock::now());
   return result;
 }
 

@@ -1,13 +1,14 @@
 #ifndef SUBDEX_ENGINE_SDE_ENGINE_H_
 #define SUBDEX_ENGINE_SDE_ENGINE_H_
 
-#include <vector>
-
 #include <memory>
+#include <vector>
 
 #include "engine/group_cache.h"
 #include "engine/recommendation_builder.h"
 #include "engine/rm_pipeline.h"
+#include "engine/step_timings.h"
+#include "util/thread_pool.h"
 
 namespace subdex {
 
@@ -22,6 +23,8 @@ struct StepResult {
   std::vector<Recommendation> recommendations;
   /// Aggregated generator work counters (display + recommendations).
   RmGeneratorStats stats;
+  /// Per-phase wall-clock breakdown and pool work counters.
+  StepTimings timings;
   /// Wall-clock time between picking the operation and having maps +
   /// recommendations ready — the paper's per-step running time measure.
   double elapsed_ms = 0.0;
@@ -29,7 +32,11 @@ struct StepResult {
 
 /// The SDE Engine of Figure 4: orchestrates group materialization, the
 /// RM-set pipeline and the recommendation builder, and maintains the
-/// history of displayed maps (RM) across steps.
+/// history of displayed maps (RM) across steps. The engine owns the one
+/// long-lived thread pool of the process ("parallel query execution") and
+/// threads it through every hot path — the recommendation fan-out and the
+/// RM generator's phase loops — so no component ever spawns threads per
+/// step.
 class SdeEngine {
  public:
   SdeEngine(const SubjectiveDatabase* db, EngineConfig config);
@@ -48,7 +55,8 @@ class SdeEngine {
   /// Forgets all displayed maps (fresh exploration).
   void ResetHistory();
 
-  /// Selections whose maps have been displayed this exploration.
+  /// Selections whose maps have been displayed this exploration, without
+  /// duplicates (revisiting a selection does not grow the list).
   const std::vector<GroupSelection>& explored_selections() const {
     return explored_;
   }
@@ -56,9 +64,14 @@ class SdeEngine {
   /// The shared rating-group cache (hit statistics for benchmarks).
   const RatingGroupCache& group_cache() const { return *cache_; }
 
+  /// The engine-owned worker pool; null when `num_threads` <= 1. Created
+  /// once per engine and reused across every step.
+  const ThreadPool* pool() const { return pool_.get(); }
+
  private:
   const SubjectiveDatabase* db_;
   EngineConfig config_;
+  std::unique_ptr<ThreadPool> pool_;
   RmPipeline pipeline_;
   std::unique_ptr<RatingGroupCache> cache_;
   RecommendationBuilder builder_;

@@ -1,7 +1,7 @@
 #include "pruning/ci_pruner.h"
 
 #include <algorithm>
-#include <limits>
+#include <functional>
 
 #include "util/check.h"
 
@@ -39,18 +39,21 @@ std::vector<bool> CiPrune(const std::vector<CandidateIntervals>& candidates,
   std::vector<bool> prune(candidates.size(), false);
   if (candidates.size() <= k_prime || k_prime == 0) return prune;
 
-  std::vector<size_t> order(candidates.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return candidates[a].ub > candidates[b].ub;
-  });
+  // Threshold = the k'-th largest lower bound over ALL candidates: a
+  // candidate whose upper bound falls below it is beaten w.h.p. by at
+  // least k' others. (Taking the minimum lb among the top-k'-by-ub
+  // candidates instead — an earlier bug — lets one wide interval with a
+  // high ub and a tiny lb collapse the threshold and disable pruning.)
+  std::vector<double> lbs(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) lbs[i] = candidates[i].lb;
+  std::nth_element(lbs.begin(), lbs.begin() + (k_prime - 1), lbs.end(),
+                   std::greater<double>());
+  double threshold = lbs[k_prime - 1];
 
-  double lowest_lb = std::numeric_limits<double>::infinity();
-  for (size_t r = 0; r < k_prime; ++r) {
-    lowest_lb = std::min(lowest_lb, candidates[order[r]].lb);
-  }
-  for (size_t r = k_prime; r < order.size(); ++r) {
-    if (candidates[order[r]].ub < lowest_lb) prune[order[r]] = true;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    // A candidate with ub < threshold also has lb < threshold, so it can
+    // never be one of the k' threshold-setting candidates itself.
+    if (candidates[i].ub < threshold) prune[i] = true;
   }
   return prune;
 }

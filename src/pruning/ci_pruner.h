@@ -37,8 +37,9 @@ void ComputeEnvelope(CandidateIntervals* cand);
 
 /// Algorithm 3, lines 12-17: given the envelopes of all still-active
 /// candidates, returns prune flags. A candidate is pruned when its upper
-/// bound is below the smallest lower bound of the top-k' candidates (by
-/// upper bound) — w.h.p. it cannot belong to the top-k'.
+/// bound is below the k'-th largest lower bound over all candidates —
+/// w.h.p. at least k' candidates beat it, so it cannot belong to the
+/// top-k'.
 std::vector<bool> CiPrune(const std::vector<CandidateIntervals>& candidates,
                           size_t k_prime);
 

@@ -40,6 +40,12 @@ std::string GroupSelection::ToString(const SubjectiveDatabase& db) const {
          "; items: " + item_pred.ToString(db.items());
 }
 
+const RatingGroup::SharedRecords& RatingGroup::EmptyRecords() {
+  static const SharedRecords kEmpty =
+      std::make_shared<const std::vector<RecordId>>();
+  return kEmpty;
+}
+
 RatingGroup RatingGroup::Materialize(const SubjectiveDatabase& db,
                                      GroupSelection selection) {
   std::vector<RecordId> records =
@@ -49,10 +55,10 @@ RatingGroup RatingGroup::Materialize(const SubjectiveDatabase& db,
 
 double RatingGroup::AverageScore(size_t d) const {
   SUBDEX_CHECK(db_ != nullptr);
-  if (records_.empty()) return 0.0;
+  if (records_->empty()) return 0.0;
   double sum = 0.0;
-  for (RecordId r : records_) sum += db_->score(d, r);
-  return sum / static_cast<double>(records_.size());
+  for (RecordId r : *records_) sum += db_->score(d, r);
+  return sum / static_cast<double>(records_->size());
 }
 
 }  // namespace subdex

@@ -1,6 +1,7 @@
 #ifndef SUBDEX_SUBJECTIVE_RATING_GROUP_H_
 #define SUBDEX_SUBJECTIVE_RATING_GROUP_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -35,12 +36,26 @@ struct GroupSelection {
 };
 
 /// A materialized rating group: the record ids selected by a GroupSelection.
+/// The record list lives behind a shared_ptr, so copying a group (cache
+/// hits hand the same list to many concurrent evaluations) copies a
+/// pointer, never the records.
 class RatingGroup {
  public:
-  RatingGroup() : db_(nullptr) {}
+  using SharedRecords = std::shared_ptr<const std::vector<RecordId>>;
+
+  RatingGroup() : db_(nullptr), records_(EmptyRecords()) {}
   RatingGroup(const SubjectiveDatabase* db, GroupSelection selection,
               std::vector<RecordId> records)
-      : db_(db), selection_(std::move(selection)), records_(std::move(records)) {}
+      : db_(db),
+        selection_(std::move(selection)),
+        records_(std::make_shared<std::vector<RecordId>>(std::move(records))) {}
+  /// Shares an already-materialized record list (the group cache's hit
+  /// path). A null `records` is treated as empty.
+  RatingGroup(const SubjectiveDatabase* db, GroupSelection selection,
+              SharedRecords records)
+      : db_(db),
+        selection_(std::move(selection)),
+        records_(records != nullptr ? std::move(records) : EmptyRecords()) {}
 
   /// Evaluates `selection` against `db` (requires finalized indexes).
   static RatingGroup Materialize(const SubjectiveDatabase& db,
@@ -48,17 +63,21 @@ class RatingGroup {
 
   const SubjectiveDatabase& db() const { return *db_; }
   const GroupSelection& selection() const { return selection_; }
-  const std::vector<RecordId>& records() const { return records_; }
-  size_t size() const { return records_.size(); }
-  bool empty() const { return records_.empty(); }
+  const std::vector<RecordId>& records() const { return *records_; }
+  /// The underlying shared list (cache insertion without copying).
+  const SharedRecords& shared_records() const { return records_; }
+  size_t size() const { return records_->size(); }
+  bool empty() const { return records_->empty(); }
 
   /// Average score over the group for dimension `d` (0 if empty).
   double AverageScore(size_t d) const;
 
  private:
+  static const SharedRecords& EmptyRecords();
+
   const SubjectiveDatabase* db_;
   GroupSelection selection_;
-  std::vector<RecordId> records_;
+  SharedRecords records_;
 };
 
 }  // namespace subdex

@@ -1,10 +1,28 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <exception>
+#include <memory>
 
 #include "util/check.h"
 
 namespace subdex {
+
+namespace {
+
+// Completion latch of one ParallelFor call. Batches from concurrent
+// callers interleave freely in the worker queue; each caller waits only
+// for its own helpers, never for global idleness.
+struct Batch {
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t outstanding = 0;  // helper tasks not yet finished
+  std::atomic<size_t> next{0};
+  std::exception_ptr error;
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   SUBDEX_CHECK(num_threads > 0);
@@ -28,6 +46,8 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mu_);
     SUBDEX_CHECK_MSG(!shutdown_, "Submit after shutdown");
     queue_.push_back(std::move(task));
+    ++stats_.tasks_submitted;
+    stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
   }
   work_cv_.notify_one();
 }
@@ -38,19 +58,94 @@ void ThreadPool::WaitIdle() {
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ParallelFor(n, 1, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn) {
   if (n == 0) return;
-  std::atomic<size_t> next{0};
-  size_t shards = std::min(n, num_threads());
-  for (size_t s = 0; s < shards; ++s) {
-    Submit([&next, n, &fn] {
-      for (;;) {
-        size_t i = next.fetch_add(1);
-        if (i >= n) return;
-        fn(i);
+  if (grain == 0) grain = 1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.batches_run;
+  }
+  auto batch = std::make_shared<Batch>();
+
+  // Claims chunks until the counter is exhausted. On the first failure the
+  // counter is fast-forwarded so the batch's remaining work is abandoned.
+  auto drain = [batch, n, grain, &fn] {
+    for (;;) {
+      size_t begin = batch->next.fetch_add(grain);
+      if (begin >= n) return;
+      size_t end = std::min(n, begin + grain);
+      try {
+        fn(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(batch->mu);
+        if (!batch->error) batch->error = std::current_exception();
+        batch->next.store(n);
+        return;
       }
+    }
+  };
+
+  size_t num_chunks = (n + grain - 1) / grain;
+  // The caller drains too, so `num_threads()` helpers suffice; extra ones
+  // would only find the counter exhausted.
+  size_t helpers = std::min(num_chunks, num_threads());
+  for (size_t h = 0; h < helpers; ++h) {
+    {
+      std::lock_guard<std::mutex> lock(batch->mu);
+      ++batch->outstanding;
+    }
+    Submit([drain, batch] {
+      drain();
+      std::lock_guard<std::mutex> lock(batch->mu);
+      if (--batch->outstanding == 0) batch->done_cv.notify_all();
     });
   }
-  WaitIdle();
+  // Participate: guarantees forward progress when every worker is busy
+  // (including the nested case where the caller *is* a worker).
+  drain();
+  // While our helpers are outstanding, keep executing *any* queued task
+  // instead of blocking. A queued helper can belong to another caller's
+  // batch whose owner is likewise waiting; if every waiter merely slept,
+  // nested batches could deadlock with all threads parked and helpers
+  // stuck in the queue.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(batch->mu);
+      if (batch->outstanding == 0) break;
+    }
+    if (!RunOneQueuedTask()) {
+      // Queue empty: every outstanding helper is running on some thread
+      // and will finish; now sleeping is safe.
+      std::unique_lock<std::mutex> lock(batch->mu);
+      batch->done_cv.wait(lock, [&] { return batch->outstanding == 0; });
+      break;
+    }
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+bool ThreadPool::RunOneQueuedTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+  }
+  task();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_;
+    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+  }
+  return true;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -74,6 +169,13 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }
   }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.queue_depth = queue_.size();
+  return s;
 }
 
 }  // namespace subdex

@@ -11,37 +11,73 @@
 
 namespace subdex {
 
-/// Fixed-size worker pool. The SDE engine uses it to evaluate several
-/// candidate next-step operations concurrently (the paper's "parallel query
+/// Fixed-size worker pool. The SDE engine owns one pool for its lifetime
+/// and routes every hot path through it (the paper's "parallel query
 /// execution": the optimal number of in-flight tasks equals the number of
-/// available cores). Tasks are void() closures; `WaitIdle()` blocks until
-/// everything submitted so far has finished.
+/// available cores). The pool is safe to *share*: each `ParallelFor` call
+/// blocks on its own completion latch, so concurrent callers — including
+/// nested calls issued from inside a worker task — never observe each
+/// other's work. The calling thread participates in executing its own
+/// batch, which keeps nested batches deadlock-free even on a saturated
+/// pool.
 class ThreadPool {
  public:
+  /// Lifetime counters, for the engine's per-step metrics.
+  struct Stats {
+    /// Total tasks ever enqueued (Submit calls + ParallelFor helper tasks).
+    size_t tasks_submitted = 0;
+    /// Total ParallelFor batches run.
+    size_t batches_run = 0;
+    /// Tasks currently waiting in the queue.
+    size_t queue_depth = 0;
+    /// High-water mark of the queue depth since construction.
+    size_t max_queue_depth = 0;
+  };
+
   explicit ThreadPool(size_t num_threads);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Enqueues a fire-and-forget task. Tasks submitted directly must not
+  /// throw (use ParallelFor for work that may fail).
   void Submit(std::function<void()> task);
 
   /// Blocks until the queue is empty and no worker is running a task.
+  /// This is a *global* condition — with concurrent users it also waits
+  /// for their work; batch callers should rely on ParallelFor's per-batch
+  /// completion instead.
   void WaitIdle();
 
-  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Runs fn(i) for i in [0, n) across the pool and the calling thread,
+  /// returning when every index of *this batch* has completed. The first
+  /// exception thrown by `fn` is captured, the batch's remaining work is
+  /// abandoned, and the exception is rethrown here.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Chunked overload: runs fn(begin, end) over half-open ranges of about
+  /// `grain` indices. Chunks are claimed dynamically from a shared counter
+  /// (work-stealing-friendly: fast workers drain what slow ones leave), so
+  /// `fn` must tolerate any chunk-to-thread assignment.
+  void ParallelFor(size_t n, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
   size_t num_threads() const { return workers_.size(); }
+  Stats stats() const;
 
  private:
   void WorkerLoop();
+  /// Pops and runs one queued task on the calling thread (batch waiters
+  /// help drain the queue). Returns false if the queue was empty.
+  bool RunOneQueuedTask();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
+  Stats stats_;
   size_t active_ = 0;
   bool shutdown_ = false;
 };

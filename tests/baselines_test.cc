@@ -128,7 +128,7 @@ TEST(SddTest, FirstRuleHasLargeCoverage) {
 TEST(SddTest, EmptyGroupAndZeroCount) {
   auto db = MakeTinyRestaurantDb();
   SmartDrillDown sdd;
-  RatingGroup empty(&*db, GroupSelection{}, {});
+  RatingGroup empty(&*db, GroupSelection{}, std::vector<RecordId>{});
   EXPECT_TRUE(sdd.Recommend(empty, 3).empty());
   RatingGroup all = RatingGroup::Materialize(*db, GroupSelection{});
   EXPECT_TRUE(sdd.Recommend(all, 0).empty());
@@ -200,7 +200,7 @@ TEST(QagviewTest, CoverageGrowsWithClusters) {
 TEST(QagviewTest, EmptyGroupYieldsNothing) {
   auto db = MakeTinyRestaurantDb();
   Qagview qv;
-  RatingGroup empty(&*db, GroupSelection{}, {});
+  RatingGroup empty(&*db, GroupSelection{}, std::vector<RecordId>{});
   EXPECT_TRUE(qv.Recommend(empty, 3).empty());
 }
 

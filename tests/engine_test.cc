@@ -7,6 +7,7 @@
 #include "engine/rm_pipeline.h"
 #include "engine/sde_engine.h"
 #include "tests/test_support.h"
+#include "util/thread_pool.h"
 
 namespace subdex {
 namespace {
@@ -111,7 +112,7 @@ TEST(RmGeneratorTest, EmptyGroupYieldsNothing) {
   EngineConfig config = SmallConfig();
   RmGenerator gen(&config);
   SeenMapsTracker seen(db->num_dimensions());
-  RatingGroup empty(&*db, GroupSelection{}, {});
+  RatingGroup empty(&*db, GroupSelection{}, std::vector<RecordId>{});
   EXPECT_TRUE(gen.Generate(empty, seen, 5).empty());
   RatingGroup all = RatingGroup::Materialize(*db, GroupSelection{});
   EXPECT_TRUE(gen.Generate(all, seen, 0).empty());
@@ -339,13 +340,15 @@ TEST(RecommendationBuilderTest, ParallelEqualsSequential) {
   EngineConfig seq = SmallConfig();
   seq.parallel_recommendations = false;
 
-  RmPipeline pp(&par);
+  ThreadPool pool(par.num_threads);
+  RmPipeline pp(&par, &pool);
   RmPipeline sp(&seq);
-  RecommendationBuilder pb(db.get(), &par, &pp);
+  RecommendationBuilder pb(db.get(), &par, &pp, nullptr, &pool);
   RecommendationBuilder sb(db.get(), &seq, &sp);
   SeenMapsTracker seen(db->num_dimensions());
   auto a = pb.TopRecommendations(GroupSelection{}, seen);
   auto b = sb.TopRecommendations(GroupSelection{}, seen);
+  EXPECT_GT(pool.stats().tasks_submitted, 0u);
   ASSERT_EQ(a.size(), b.size());
   for (size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].operation.target, b[i].operation.target);
@@ -383,6 +386,100 @@ TEST(SdeEngineTest, ExecuteStepRecordsHistory) {
   EXPECT_FALSE(with_recs.recommendations.empty());
   engine.ResetHistory();
   EXPECT_EQ(engine.seen().total(), 0u);
+}
+
+TEST(SdeEngineTest, ExploredSelectionsDeduplicated) {
+  auto db = MakeTinyRestaurantDb();
+  SdeEngine engine(db.get(), SmallConfig());
+  engine.ExecuteStep(GroupSelection{}, false);
+  engine.ExecuteStep(GroupSelection{}, false);
+  engine.ExecuteStep(GroupSelection{}, false);
+  // Revisiting the same selection must not grow the history list.
+  EXPECT_EQ(engine.explored_selections().size(), 1u);
+  GroupSelection other;
+  other.reviewer_pred = Predicate({{0, 0}});
+  engine.ExecuteStep(other, false);
+  EXPECT_EQ(engine.explored_selections().size(), 2u);
+}
+
+TEST(SdeEngineTest, EngineOwnedPoolIsReusedAcrossSteps) {
+  auto db = MakeRandomDb(40, 15, 500, 2, 59);
+  EngineConfig config = SmallConfig();
+  config.num_threads = 4;
+  SdeEngine engine(db.get(), config);
+  ASSERT_NE(engine.pool(), nullptr);
+  const ThreadPool* pool = engine.pool();
+  StepResult first = engine.ExecuteStep(GroupSelection{}, true);
+  size_t after_first = pool->stats().tasks_submitted;
+  EXPECT_GT(first.timings.pool_tasks, 0u);
+  EXPECT_GT(after_first, 0u);
+  StepResult second = engine.ExecuteStep(GroupSelection{}, true);
+  // Same pool object served the second step (no churn, counters carry on).
+  EXPECT_EQ(engine.pool(), pool);
+  EXPECT_GT(pool->stats().tasks_submitted, after_first);
+  EXPECT_GT(second.timings.pool_tasks, 0u);
+}
+
+TEST(SdeEngineTest, SerialConfigRunsWithoutPool) {
+  auto db = MakeTinyRestaurantDb();
+  EngineConfig config = SmallConfig();
+  config.num_threads = 1;
+  SdeEngine engine(db.get(), config);
+  EXPECT_EQ(engine.pool(), nullptr);
+  StepResult step = engine.ExecuteStep(GroupSelection{}, true);
+  EXPECT_EQ(step.timings.pool_tasks, 0u);
+  EXPECT_FALSE(step.recommendations.empty());
+}
+
+TEST(SdeEngineTest, StepTimingsBreakDownTheStep) {
+  auto db = MakeRandomDb(40, 15, 600, 2, 67);
+  SdeEngine engine(db.get(), SmallConfig());
+  StepResult step = engine.ExecuteStep(GroupSelection{}, true);
+  EXPECT_GE(step.timings.materialize_ms, 0.0);
+  EXPECT_GT(step.timings.rm_generation_ms, 0.0);
+  EXPECT_GE(step.timings.gmm_selection_ms, 0.0);
+  EXPECT_GT(step.timings.recommendation_ms, 0.0);
+  double itemized = step.timings.materialize_ms + step.timings.rm_generation_ms +
+                    step.timings.gmm_selection_ms +
+                    step.timings.recommendation_ms;
+  EXPECT_LE(itemized, step.elapsed_ms + 1e-6);
+}
+
+// Acceptance invariant of the shared-pool refactor: parallel and serial
+// execution produce identical recommendation rankings, step after step.
+TEST(SdeEngineTest, ParallelAndSerialRankingsIdentical) {
+  auto db = MakeRandomDb(50, 20, 800, 2, 71);
+  EngineConfig par = SmallConfig();
+  par.num_threads = 4;
+  par.parallel_recommendations = true;
+  par.parallel_generation = true;
+  EngineConfig ser = SmallConfig();
+  ser.num_threads = 1;
+  ser.parallel_recommendations = false;
+  ser.parallel_generation = false;
+
+  SdeEngine parallel(db.get(), par);
+  SdeEngine serial(db.get(), ser);
+  GroupSelection selection;  // both engines follow the serial engine's path
+  for (int s = 0; s < 3; ++s) {
+    StepResult a = parallel.ExecuteStep(selection, true);
+    StepResult b = serial.ExecuteStep(selection, true);
+    ASSERT_EQ(a.maps.size(), b.maps.size());
+    for (size_t i = 0; i < a.maps.size(); ++i) {
+      EXPECT_TRUE(a.maps[i].map.key() == b.maps[i].map.key());
+      EXPECT_EQ(a.maps[i].dw_utility, b.maps[i].dw_utility);
+    }
+    ASSERT_EQ(a.recommendations.size(), b.recommendations.size());
+    ASSERT_FALSE(b.recommendations.empty());
+    for (size_t i = 0; i < a.recommendations.size(); ++i) {
+      EXPECT_EQ(a.recommendations[i].operation.target,
+                b.recommendations[i].operation.target);
+      EXPECT_EQ(a.recommendations[i].utility, b.recommendations[i].utility);
+      EXPECT_EQ(a.recommendations[i].group_size,
+                b.recommendations[i].group_size);
+    }
+    selection = b.recommendations[0].operation.target;
+  }
 }
 
 TEST(SdeEngineTest, MultiStepDiversityAvoidsRepeatingOneDimension) {

@@ -106,6 +106,37 @@ TEST(GroupCacheTest, ThreadSafeUnderConcurrentAccess) {
   EXPECT_EQ(total_records.load(), expected);
 }
 
+TEST(GroupCacheTest, HitsShareOneRecordList) {
+  auto db = MakeRandomDb(30, 10, 300, 1, 211);
+  RatingGroupCache cache(db.get(), 8);
+  GroupSelection sel = SelectionOn(0, 0);
+  RatingGroup first = cache.Get(sel);   // miss: materializes
+  RatingGroup second = cache.Get(sel);  // hit
+  RatingGroup third = cache.Get(sel);   // hit
+  // Hits hand out the cached list itself, not a copy.
+  EXPECT_EQ(&first.records(), &second.records());
+  EXPECT_EQ(&second.records(), &third.records());
+}
+
+TEST(GroupCacheTest, SingleFlightCoalescesConcurrentMisses) {
+  auto db = MakeRandomDb(60, 20, 2000, 1, 213);
+  RatingGroupCache cache(db.get(), 8);
+  GroupSelection sel = SelectionOn(0, 0);
+  size_t expected_size = RatingGroup::Materialize(*db, sel).size();
+  ThreadPool pool(4);
+  std::atomic<size_t> wrong{0};
+  const size_t kCalls = 64;
+  pool.ParallelFor(kCalls, [&](size_t) {
+    if (cache.Get(sel).size() != expected_size) wrong.fetch_add(1);
+  });
+  EXPECT_EQ(wrong.load(), 0u);
+  RatingGroupCache::Stats stats = cache.stats();
+  // Exactly one materialization: concurrent misses either coalesced onto
+  // the in-flight scan or arrived late enough to hit.
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits + stats.coalesced + stats.misses, kCalls);
+}
+
 TEST(GroupCacheTest, EngineResultsUnchangedByCaching) {
   auto db = MakeRandomDb(40, 15, 600, 2, 209);
   EngineConfig with_cache;

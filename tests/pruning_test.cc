@@ -132,6 +132,25 @@ TEST(CiPrunerTest, NoPruningWhenFewerThanKPrime) {
   EXPECT_FALSE(prune[1]);
 }
 
+TEST(CiPrunerTest, ThresholdIsKthLargestLowerBoundOverall) {
+  // Regression for a weakened threshold: Algorithm 3 prunes against the
+  // k'-th largest lb over ALL candidates, not the minimum lb among the
+  // top-k'-by-ub candidates. Here the two differ: B has the 2nd-highest
+  // ub but a tiny lb, so the buggy threshold was 0.1 and pruned nothing,
+  // while the correct threshold is C's lb = 0.6, which prunes D.
+  std::vector<CandidateIntervals> cands = {
+      MakeCand(0.8, 0.9),   // A
+      MakeCand(0.1, 0.85),  // B: wide interval, high ub, tiny lb
+      MakeCand(0.6, 0.7),   // C
+      MakeCand(0.3, 0.5),   // D: beaten w.h.p. by A and C
+  };
+  std::vector<bool> prune = CiPrune(cands, 2);
+  EXPECT_FALSE(prune[0]);
+  EXPECT_FALSE(prune[1]);  // ub 0.85 >= 0.6: could still make top-2
+  EXPECT_FALSE(prune[2]);
+  EXPECT_TRUE(prune[3]) << "ub 0.5 < 2nd-largest lb 0.6 must be pruned";
+}
+
 TEST(CiPrunerTest, WideIntervalsPruneNothing) {
   std::vector<CandidateIntervals> cands;
   for (int i = 0; i < 10; ++i) cands.push_back(MakeCand(0.0, 1.0));

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 #include <set>
+#include <stdexcept>
+#include <thread>
 
 #include "util/bitmap.h"
 #include "util/random.h"
@@ -350,6 +352,74 @@ TEST(ThreadPoolTest, WaitIdleOnFreshPoolReturns) {
   ThreadPool pool(2);
   pool.WaitIdle();
   SUCCEED();
+}
+
+TEST(ThreadPoolTest, ChunkedParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(103);
+  pool.ParallelFor(hits.size(), 10, [&hits](size_t begin, size_t end) {
+    ASSERT_LT(begin, end);
+    ASSERT_LE(end, hits.size());
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [](size_t i) {
+                         if (i == 57) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool survives a failed batch and runs later work normally.
+  std::atomic<int> counter{0};
+  pool.ParallelFor(50, [&counter](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ConcurrentBatchesOnOnePoolDontInterfere) {
+  // Two caller threads issue overlapping ParallelFor batches on a shared
+  // pool; each must see exactly its own batch completed on return.
+  ThreadPool pool(3);
+  auto run_batches = [&pool](std::vector<std::atomic<int>>* hits) {
+    for (int round = 0; round < 10; ++round) {
+      pool.ParallelFor(hits->size(), [hits](size_t i) {
+        (*hits)[i].fetch_add(1);
+      });
+    }
+  };
+  std::vector<std::atomic<int>> a(211), b(173);
+  std::thread ta([&] { run_batches(&a); });
+  std::thread tb([&] { run_batches(&b); });
+  ta.join();
+  tb.join();
+  for (auto& h : a) EXPECT_EQ(h.load(), 10);
+  for (auto& h : b) EXPECT_EQ(h.load(), 10);
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  // A batch body issuing its own batch on the same pool must not deadlock
+  // even when every worker is occupied by the outer batch.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(4, [&pool, &inner_total](size_t) {
+    pool.ParallelFor(8, [&inner_total](size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 4 * 8);
+}
+
+TEST(ThreadPoolTest, StatsCountTasksAndBatches) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.stats().tasks_submitted, 0u);
+  pool.Submit([] {});
+  pool.ParallelFor(64, [](size_t) {});
+  pool.WaitIdle();
+  ThreadPool::Stats stats = pool.stats();
+  EXPECT_GE(stats.tasks_submitted, 2u);
+  EXPECT_EQ(stats.batches_run, 1u);
+  EXPECT_EQ(stats.queue_depth, 0u);
 }
 
 }  // namespace
