@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Grep-level lint for src/: cheap textual rules that need no compiler.
+#
+#   1. No raw operator new/delete — ownership goes through containers and
+#      smart pointers (deleted special members, `= delete`, are fine).
+#   2. No C assert() — invariants use SUBDEX_CHECK / SUBDEX_DCHECK so they
+#      are formatted, and policy-controlled (static_assert is fine).
+#   3. Every header carries a SUBDEX_ include guard near the top.
+#
+# Run from anywhere; ci/check.sh runs this first (it is the fastest gate).
+set -uo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+fail=0
+
+# Rule 1: raw allocation expressions. Anchor on the contexts where an
+# operator-new expression can appear so prose in comments ("a new table")
+# stays unflagged.
+hits=$(grep -rnE '([=(,]|return)[[:space:]]*new[[:space:]]+[A-Za-z_]' \
+         src --include='*.cc' --include='*.h' || true)
+if [[ -n "$hits" ]]; then
+  echo "lint: raw 'new' expression (use containers / make_unique):" >&2
+  echo "$hits" >&2
+  fail=1
+fi
+hits=$(grep -rnE '\bdelete(\[\])?[[:space:]]+[A-Za-z_*(]' \
+         src --include='*.cc' --include='*.h' | grep -vE '=[[:space:]]*delete' || true)
+if [[ -n "$hits" ]]; then
+  echo "lint: raw 'delete' expression:" >&2
+  echo "$hits" >&2
+  fail=1
+fi
+
+# Rule 2: C assert. static_assert and *_assert identifiers are allowed.
+hits=$(grep -rnE '(^|[^_[:alnum:]])assert\(' \
+         src --include='*.cc' --include='*.h' || true)
+if [[ -n "$hits" ]]; then
+  echo "lint: C assert() (use SUBDEX_CHECK / SUBDEX_DCHECK):" >&2
+  echo "$hits" >&2
+  fail=1
+fi
+
+# Rule 3: include guards.
+while IFS= read -r header; do
+  if ! head -5 "$header" | grep -q '#ifndef SUBDEX_'; then
+    echo "lint: missing SUBDEX_ include guard: $header" >&2
+    fail=1
+  fi
+done < <(find src -name '*.h')
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "lint: FAILED" >&2
+  exit 1
+fi
+echo "lint: OK"

@@ -6,7 +6,9 @@
 #
 # ThreadSanitizer exercises the shared-pool invariants: concurrent
 # ParallelFor batches, nested batches, and single-flight group-cache
-# materialization. 'address' swaps in ASan+UBSan for memory errors.
+# materialization. 'address' swaps in ASan+UBSan for memory errors and
+# additionally replays the committed fuzz corpora through the parser
+# harnesses, so every past fuzzer finding stays covered under sanitizers.
 set -euo pipefail
 
 SAN="${1:-thread}"
@@ -18,14 +20,43 @@ esac
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build-$SAN"
 
+TEST_BINS=(util_test engine_test group_cache_test)
+FUZZ_BINS=(fuzz_query_parser fuzz_csv_loader fuzz_db_io)
+
+FUZZ_FLAG=OFF
+TARGETS=("${TEST_BINS[@]}")
+if [[ "$SAN" == "address" ]]; then
+  FUZZ_FLAG=ON
+  TARGETS+=("${FUZZ_BINS[@]}")
+fi
+
 cmake -B "$BUILD" -S "$ROOT" \
   -DSUBDEX_SANITIZE="$SAN" \
+  -DSUBDEX_FUZZ="$FUZZ_FLAG" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD" -j"$(nproc)" \
-  --target util_test engine_test group_cache_test
+cmake --build "$BUILD" -j"$(nproc)" --target "${TARGETS[@]}"
 
-for test_bin in util_test engine_test group_cache_test; do
+# A renamed or never-built binary must fail the gate loudly, not be skipped.
+run_checked() {
+  local bin="$1"
+  shift
+  if [[ ! -x "$bin" ]]; then
+    echo "ERROR: expected binary is missing: $bin" >&2
+    exit 1
+  fi
+  "$bin" "$@"
+}
+
+for test_bin in "${TEST_BINS[@]}"; do
   echo "=== $test_bin ($SAN) ==="
-  "$BUILD/tests/$test_bin"
+  run_checked "$BUILD/tests/$test_bin"
 done
+
+if [[ "$SAN" == "address" ]]; then
+  for harness in "${FUZZ_BINS[@]}"; do
+    corpus="$ROOT/fuzz/corpus/${harness#fuzz_}"
+    echo "=== $harness corpus replay ($SAN) ==="
+    run_checked "$BUILD/fuzz/$harness" --runs=2000 --seed=1 "$corpus"
+  done
+fi
 echo "All sanitized tests passed ($SAN)."

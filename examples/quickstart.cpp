@@ -50,7 +50,7 @@ void PrintMaps(const SubjectiveDatabase& db, const StepResult& step) {
 
 Predicate Pick(Table* table, const char* attr, const char* value) {
   auto result = Predicate::FromPairs(table, {{attr, value}});
-  SUBDEX_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  SUBDEX_CHECK_OK(result);
   return result.value();
 }
 

@@ -25,13 +25,13 @@ int main() {
   DatasetSpec spec = HotelSpec().Scaled(0.1);
   auto original = GenerateDataset(spec, 31415);
   Status st = SaveDatabase(*original, dir);
-  SUBDEX_CHECK_MSG(st.ok(), st.ToString().c_str());
+  SUBDEX_CHECK_OK(st);
   std::printf("saved %zu records to %s\n", original->num_records(),
               dir.c_str());
 
   // 2. Reload it — the working copy from here on.
   auto loaded = LoadDatabase(dir);
-  SUBDEX_CHECK_MSG(loaded.ok(), loaded.status().ToString().c_str());
+  SUBDEX_CHECK_OK(loaded);
   std::unique_ptr<SubjectiveDatabase> db = std::move(loaded).value();
   std::printf("reloaded: %zu reviewers, %zu items, %zu records\n\n",
               db->num_reviewers(), db->num_items(), db->num_records());
@@ -49,14 +49,14 @@ int main() {
   }
   std::string log_path = dir + "/session.log";
   st = log.SaveToFile(*db, log_path);
-  SUBDEX_CHECK_MSG(st.ok(), st.ToString().c_str());
+  SUBDEX_CHECK_OK(st);
   std::printf("logged a %zu-step session to %s:\n\n%s\n", log.size(),
               log_path.c_str(), log.Serialize(*db).c_str());
 
   // 4. Train the preference model from the stored log and re-rank the
   //    recommendations of a fresh session.
   auto restored = SessionLog::LoadFromFile(db.get(), log_path);
-  SUBDEX_CHECK_MSG(restored.ok(), restored.status().ToString().c_str());
+  SUBDEX_CHECK_OK(restored);
   OperationPreferenceModel model;
   model.ObserveLog(restored.value());
   std::printf("preference model trained on %.0f attribute touches\n",

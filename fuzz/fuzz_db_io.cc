@@ -1,0 +1,60 @@
+// Fuzz harness for the subjective-database loaders (subjective/db_io.h).
+//
+// The first input byte selects the target; the rest is the payload:
+//   even byte — ParseManifest over the payload. On success the manifest is
+//               additionally used to construct a SubjectiveDatabase, which
+//               proves the documented contract that a parsed manifest can
+//               never trip the constructor's CHECKs (scale range, empty
+//               dimension list, duplicate/empty attribute names).
+//   odd byte  — LoadRatingsCsv over the payload into a small two-reviewer,
+//               two-item database built fresh per input.
+// Any abort is a finding; all malformed input must come back as a Status.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "subjective/db_io.h"
+#include "subjective/subjective_db.h"
+
+namespace {
+
+std::unique_ptr<subdex::SubjectiveDatabase> MakeSmallDb() {
+  subdex::Schema reviewer_schema(
+      {{"level", subdex::AttributeType::kCategorical}});
+  subdex::Schema item_schema({{"kind", subdex::AttributeType::kCategorical}});
+  auto db = std::make_unique<subdex::SubjectiveDatabase>(
+      reviewer_schema, item_schema,
+      std::vector<std::string>{"food", "service"}, 5);
+  if (!db->reviewers().AppendRow({std::string("gold")}).ok()) std::abort();
+  if (!db->reviewers().AppendRow({std::string("new")}).ok()) std::abort();
+  if (!db->items().AppendRow({std::string("cafe")}).ok()) std::abort();
+  if (!db->items().AppendRow({std::string("bar")}).ok()) std::abort();
+  return db;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data + 1), size - 1));
+  if (data[0] % 2 == 0) {
+    subdex::Result<subdex::DbManifest> manifest = subdex::ParseManifest(in);
+    if (manifest.ok()) {
+      const subdex::DbManifest& m = manifest.value();
+      subdex::SubjectiveDatabase db(subdex::Schema(m.reviewer_attrs),
+                                    subdex::Schema(m.item_attrs),
+                                    m.dimensions, m.scale);
+      volatile size_t dims = db.num_dimensions();
+      (void)dims;
+    }
+  } else {
+    std::unique_ptr<subdex::SubjectiveDatabase> db = MakeSmallDb();
+    subdex::Status st = subdex::LoadRatingsCsv(in, db.get());
+    if (st.ok()) db->FinalizeIndexes();
+  }
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Minimal driver that gives the libFuzzer-style harnesses a main() when the
+// toolchain has no -fsanitize=fuzzer (the GCC-only CI image). Two modes:
+//
+//   driver [--runs=N] [--seed=S] [--max-len=L] PATH...
+//
+// Every PATH (file, or directory walked non-recursively) is replayed through
+// LLVMFuzzerTestOneInput — this is the regression mode ci/check.sh and
+// ci/sanitize.sh use on the committed corpora. With --runs=N the driver then
+// feeds N additional inputs produced by a deterministic xorshift mutator
+// over the corpus, so a bounded smoke of the parser still happens without
+// libFuzzer. No coverage feedback; real fuzzing needs a clang build with
+// SUBDEX_FUZZ=ON.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+uint64_t g_state = 0x9e3779b97f4a7c15ull;
+
+uint64_t NextRand() {
+  // xorshift64: deterministic across platforms, no <random> seeding
+  // variance, good enough to perturb corpus bytes.
+  g_state ^= g_state << 13;
+  g_state ^= g_state >> 7;
+  g_state ^= g_state << 17;
+  return g_state;
+}
+
+std::vector<uint8_t> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+void Mutate(std::vector<uint8_t>* data, size_t max_len) {
+  size_t ops = 1 + NextRand() % 4;
+  for (size_t i = 0; i < ops; ++i) {
+    switch (NextRand() % 4) {
+      case 0:  // flip a byte
+        if (!data->empty()) {
+          (*data)[NextRand() % data->size()] =
+              static_cast<uint8_t>(NextRand());
+        }
+        break;
+      case 1:  // insert a byte
+        if (data->size() < max_len) {
+          data->insert(data->begin() + NextRand() % (data->size() + 1),
+                       static_cast<uint8_t>(NextRand()));
+        }
+        break;
+      case 2:  // erase a byte
+        if (!data->empty()) {
+          data->erase(data->begin() + NextRand() % data->size());
+        }
+        break;
+      case 3:  // truncate
+        if (!data->empty()) {
+          data->resize(NextRand() % data->size());
+        }
+        break;
+    }
+  }
+  if (data->size() > max_len) data->resize(max_len);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t runs = 0;
+  size_t max_len = 4096;
+  std::vector<std::vector<uint8_t>> corpus;
+  size_t replayed = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--runs=", 7) == 0) {
+      runs = std::strtoull(arg + 7, nullptr, 10);
+      continue;
+    }
+    if (std::strncmp(arg, "--seed=", 7) == 0) {
+      g_state = std::strtoull(arg + 7, nullptr, 10) | 1ull;
+      continue;
+    }
+    if (std::strncmp(arg, "--max-len=", 10) == 0) {
+      max_len = std::strtoull(arg + 10, nullptr, 10);
+      continue;
+    }
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(arg, ec)) {
+        if (!entry.is_regular_file()) continue;
+        corpus.push_back(ReadFile(entry.path().string()));
+      }
+    } else if (std::filesystem::is_regular_file(arg, ec)) {
+      corpus.push_back(ReadFile(arg));
+    } else {
+      std::fprintf(stderr, "standalone_driver: no such input: %s\n", arg);
+      return 2;
+    }
+  }
+
+  for (const std::vector<uint8_t>& input : corpus) {
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    ++replayed;
+  }
+
+  for (size_t i = 0; i < runs; ++i) {
+    std::vector<uint8_t> input;
+    if (!corpus.empty()) input = corpus[NextRand() % corpus.size()];
+    Mutate(&input, max_len);
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+
+  std::printf("standalone_driver: replayed %zu corpus input(s), "
+              "%zu mutated run(s)\n",
+              replayed, runs);
+  return 0;
+}

@@ -40,6 +40,10 @@ std::vector<size_t> GmmSelect(size_t n, size_t k, const DistanceFn& dist,
       }
     }
   }
+  // GMM (greedy max-min) must fill all k display slots: with k < n there
+  // is always an unchosen element, and sentinels keep chosen elements from
+  // being picked twice.
+  SUBDEX_DCHECK_EQ(chosen.size(), k);
   return chosen;
 }
 

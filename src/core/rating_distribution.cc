@@ -38,9 +38,15 @@ double RatingDistribution::Probability(int score) const {
 std::vector<double> RatingDistribution::Probabilities() const {
   std::vector<double> p(counts_.size(), 0.0);
   if (total_ == 0) return p;
+  double mass = 0.0;
   for (size_t i = 0; i < counts_.size(); ++i) {
     p[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+    mass += p[i];
   }
+  // total_ is maintained as the sum of the per-score counts, so the
+  // probability vector carries unit mass; every distance measure below
+  // (TVD, KL, EMD) silently assumes this.
+  SUBDEX_DCHECK_LE(std::fabs(mass - 1.0), 1e-9);
   return p;
 }
 
@@ -93,7 +99,12 @@ double RatingDistribution::TotalVariationDistance(
   std::vector<double> q = ProbsOrUniform(other);
   double sum = 0.0;
   for (size_t i = 0; i < p.size(); ++i) sum += std::fabs(p[i] - q[i]);
-  return 0.5 * sum;
+  double tvd = 0.5 * sum;
+  // TVD of two unit-mass distributions is a similarity score in [0, 1];
+  // interestingness criteria clip against exactly this range.
+  SUBDEX_DCHECK_GE(tvd, 0.0);
+  SUBDEX_DCHECK_LE(tvd, 1.0 + 1e-9);
+  return tvd;
 }
 
 double RatingDistribution::KlDivergence(const RatingDistribution& other) const {
@@ -121,7 +132,12 @@ double RatingDistribution::Emd(const RatingDistribution& other) const {
     cdf_diff += p[i] - q[i];
     work += std::fabs(cdf_diff);
   }
-  return work / static_cast<double>(scale() - 1);
+  double emd = work / static_cast<double>(scale() - 1);
+  // Earth mover's distance on the normalized 1-D scale is in [0, 1]: the
+  // maximum is all mass travelling the full scale width.
+  SUBDEX_DCHECK_GE(emd, 0.0);
+  SUBDEX_DCHECK_LE(emd, 1.0 + 1e-9);
+  return emd;
 }
 
 std::string RatingDistribution::ToString() const {

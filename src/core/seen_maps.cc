@@ -1,5 +1,7 @@
 #include "core/seen_maps.h"
 
+#include <cmath>
+
 #include "util/check.h"
 
 namespace subdex {
@@ -19,10 +21,15 @@ size_t SeenMapsTracker::dimension_count(size_t d) const {
 std::vector<double> SeenMapsTracker::GetWeights() const {
   std::vector<double> w(dimension_counts_.size(), 0.0);
   if (total_ == 0) return w;
+  double sum = 0.0;
   for (size_t i = 0; i < w.size(); ++i) {
     w[i] = static_cast<double>(dimension_counts_[i]) /
            static_cast<double>(total_);
+    sum += w[i];
   }
+  // Algorithm 2 (getWeights): every displayed map contributes to exactly
+  // one dimension count, so w is a normalized distribution over dimensions.
+  SUBDEX_DCHECK_LE(std::fabs(sum - 1.0), 1e-9);
   return w;
 }
 
@@ -32,6 +39,9 @@ double SeenMapsTracker::DimensionWeight(size_t d) const {
   // With a single rating dimension there is nothing to balance — Eq. 1
   // would zero every utility after the first step.
   if (dimension_counts_.size() == 1) return 1.0;
+  // Per-dimension counts can only come from Record(), which also bumps
+  // total_; the DW multiplier of Eq. 1 therefore lands in [0, 1].
+  SUBDEX_DCHECK_LE(dimension_counts_[d], total_);
   return 1.0 - static_cast<double>(dimension_counts_[d]) /
                    static_cast<double>(total_);
 }

@@ -75,7 +75,7 @@ void FillTable(Table* table, const std::vector<AttributeSpec>& attrs,
       }
     }
     Status st = table->AppendRow(cells);
-    SUBDEX_CHECK_MSG(st.ok(), st.ToString().c_str());
+    SUBDEX_CHECK_OK(st);
   }
 }
 
@@ -225,7 +225,7 @@ std::unique_ptr<SubjectiveDatabase> GenerateDataset(const DatasetSpec& spec,
       }
     }
     Status st = db->AddRating(reviewer, item, scores);
-    SUBDEX_CHECK_MSG(st.ok(), st.ToString().c_str());
+    SUBDEX_CHECK_OK(st);
   }
 
   db->FinalizeIndexes();

@@ -60,7 +60,7 @@ Table RebuildTable(const Table& src, const std::vector<size_t>& attrs,
       }
     }
     Status st = out.AppendRow(cells);
-    SUBDEX_CHECK_MSG(st.ok(), st.ToString().c_str());
+    SUBDEX_CHECK_OK(st);
   }
   return out;
 }
@@ -98,7 +98,7 @@ void CopyRatings(const SubjectiveDatabase& src, SubjectiveDatabase* dst,
     }
     Status st = dst->AddRating(static_cast<RowId>(new_reviewer),
                                src.item_of(r), scores);
-    SUBDEX_CHECK_MSG(st.ok(), st.ToString().c_str());
+    SUBDEX_CHECK_OK(st);
   }
 }
 

@@ -26,7 +26,7 @@ std::string RatingGroupCache::KeyOf(const GroupSelection& selection) {
 RatingGroup RatingGroupCache::Get(const GroupSelection& selection) {
   if (capacity_ == 0) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.misses;
     }
     return RatingGroup::Materialize(*db_, selection);
@@ -35,7 +35,7 @@ RatingGroup RatingGroupCache::Get(const GroupSelection& selection) {
   std::shared_ptr<Flight> flight;
   bool leader = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = index_.find(key);
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);  // move to MRU position
@@ -57,8 +57,8 @@ RatingGroup RatingGroupCache::Get(const GroupSelection& selection) {
   }
 
   if (!leader) {
-    std::unique_lock<std::mutex> lock(flight->mu);
-    flight->cv.wait(lock, [&] { return flight->done; });
+    MutexLock lock(flight->mu);
+    while (!flight->done) lock.WaitOnce(flight->cv);
     return RatingGroup(db_, selection, flight->records);
   }
 
@@ -66,7 +66,7 @@ RatingGroup RatingGroupCache::Get(const GroupSelection& selection) {
   // exactly one scan per key, and other keys' lookups are never blocked.
   RatingGroup group = RatingGroup::Materialize(*db_, selection);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     inflight_.erase(key);
     if (index_.find(key) == index_.end()) {
       lru_.emplace_front(key, group.shared_records());
@@ -77,10 +77,14 @@ RatingGroup RatingGroupCache::Get(const GroupSelection& selection) {
         ++stats_.evictions;
       }
     }
+    // LRU discipline: the index mirrors the list exactly, and eviction
+    // keeps the cache within its configured capacity.
+    SUBDEX_DCHECK_EQ(index_.size(), lru_.size());
+    SUBDEX_DCHECK_LE(lru_.size(), capacity_);
     stats_.entries = lru_.size();
   }
   {
-    std::lock_guard<std::mutex> lock(flight->mu);
+    MutexLock lock(flight->mu);
     flight->records = group.shared_records();
     flight->done = true;
   }
@@ -89,12 +93,12 @@ RatingGroup RatingGroupCache::Get(const GroupSelection& selection) {
 }
 
 RatingGroupCache::Stats RatingGroupCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void RatingGroupCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   lru_.clear();
   index_.clear();
   stats_.entries = 0;

@@ -4,12 +4,13 @@
 #include <condition_variable>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "subjective/rating_group.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace subdex {
 
@@ -51,11 +52,11 @@ class RatingGroupCache {
   RatingGroupCache& operator=(const RatingGroupCache&) = delete;
 
   /// The rating group of `selection`, from cache or freshly materialized.
-  RatingGroup Get(const GroupSelection& selection);
+  RatingGroup Get(const GroupSelection& selection) SUBDEX_EXCLUDES(mu_);
 
-  Stats stats() const;
+  Stats stats() const SUBDEX_EXCLUDES(mu_);
   size_t capacity() const { return capacity_; }
-  void Clear();
+  void Clear() SUBDEX_EXCLUDES(mu_);
 
  private:
   // Canonical cache key: conjuncts are kept sorted by Predicate, so the
@@ -65,23 +66,25 @@ class RatingGroupCache {
   // Single-flight rendezvous: the first miss on a key materializes while
   // later concurrent misses wait here for the result.
   struct Flight {
-    std::mutex mu;
+    Mutex mu;
     std::condition_variable cv;
-    bool done = false;
-    RatingGroup::SharedRecords records;
+    bool done SUBDEX_GUARDED_BY(mu) = false;
+    RatingGroup::SharedRecords records SUBDEX_GUARDED_BY(mu);
   };
 
   const SubjectiveDatabase* db_;
   size_t capacity_;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // MRU-first list of (key, records); map points into the list. Records
   // are shared with every RatingGroup handed out, so a hit never copies.
   using Entry = std::pair<std::string, RatingGroup::SharedRecords>;
-  std::list<Entry> lru_;
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  std::unordered_map<std::string, std::shared_ptr<Flight>> inflight_;
-  Stats stats_;
+  std::list<Entry> lru_ SUBDEX_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      SUBDEX_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::shared_ptr<Flight>> inflight_
+      SUBDEX_GUARDED_BY(mu_);
+  Stats stats_ SUBDEX_GUARDED_BY(mu_);
 };
 
 }  // namespace subdex

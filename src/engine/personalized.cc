@@ -50,8 +50,10 @@ void OperationPreferenceModel::ObserveTransition(const GroupSelection& from,
 }
 
 void OperationPreferenceModel::ObserveLog(const SessionLog& log) {
-  for (size_t i = 1; i < log.steps().size(); ++i) {
-    ObserveTransition(log.steps()[i - 1].selection, log.steps()[i].selection);
+  // steps() snapshots the synchronized log; take it once, not per access.
+  const std::vector<LoggedStep> steps = log.steps();
+  for (size_t i = 1; i < steps.size(); ++i) {
+    ObserveTransition(steps[i - 1].selection, steps[i].selection);
   }
 }
 

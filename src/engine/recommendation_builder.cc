@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace subdex {
@@ -45,6 +46,8 @@ std::vector<Recommendation> RecommendationBuilder::TopRecommendations(
     std::vector<ScoredRatingMap> maps =
         pipeline_->SelectForDisplay(group, seen, &per_candidate_stats[i]);
     if (maps.empty()) return;
+    // A recommendation previews at most the k display slots of Problem 1.
+    SUBDEX_DCHECK_LE(maps.size(), config_->k);
     Recommendation rec;
     rec.operation = candidates[i];
     rec.maps = std::move(maps);
@@ -76,6 +79,10 @@ std::vector<Recommendation> RecommendationBuilder::TopRecommendations(
                      return a.utility > b.utility;
                    });
   if (recs.size() > config_->o) recs.resize(config_->o);
+  // Problem 2's contract: the top-o list is ordered by operation utility.
+  for (size_t i = 1; i < recs.size(); ++i) {
+    SUBDEX_DCHECK_GE(recs[i - 1].utility, recs[i].utility);
+  }
   return recs;
 }
 

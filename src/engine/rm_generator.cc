@@ -226,6 +226,10 @@ std::vector<ScoredRatingMap> RmGenerator::Generate(
       const MultiAggregateScan& scan = *scans[cand.scan_index];
       size_t processed = scan.processed(cand.key.dimension);
       if (processed == 0) continue;
+      // Sampling without replacement: a scan can never have consumed more
+      // records than the group holds (the Hoeffding-Serfling bound is
+      // meaningless past that point).
+      SUBDEX_DCHECK_LE(processed, total);
       double eps =
           HoeffdingSerflingEpsilon(processed, total, config_->ci_delta);
       RatingMap snapshot = scan.SnapshotMap(cand.key.dimension);
@@ -264,10 +268,14 @@ std::vector<ScoredRatingMap> RmGenerator::Generate(
             k_prime > accepted_count ? k_prime - accepted_count : 0;
         SarDecision decision = SarStep(means, k_remaining);
         if (decision.action == SarAction::kNone) break;
+        // MAB arm accounting: SAR must decide an open arm, and accepts can
+        // never exceed the k' display slots the arms compete for.
+        SUBDEX_DCHECK_LT(decision.index, open.size());
         Candidate& cand = cands[open[decision.index]];
         if (decision.action == SarAction::kAcceptTop) {
           cand.accepted = true;
           ++accepted_count;
+          SUBDEX_DCHECK_LE(accepted_count, k_prime);
           ++st->mab_accepted;
         } else {
           prune_candidate(&cand);

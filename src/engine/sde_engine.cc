@@ -49,24 +49,32 @@ StepResult SdeEngine::ExecuteStep(const GroupSelection& selection,
   result.timings.materialize_ms = MsBetween(start, materialized);
 
   result.group_size = group.size();
-  result.maps =
-      pipeline_.SelectForDisplay(group, seen_, &result.stats, &result.timings);
-  // The user sees these maps now; recommendations are ranked against the
-  // updated history, and later steps' global peculiarity refers to them.
-  for (const ScoredRatingMap& m : result.maps) seen_.Record(m.map);
-  // Revisits must not duplicate history entries: TopRecommendations scans
-  // `explored_` per candidate, so duplicates degrade it to
-  // O(|candidates| * |steps|) and skew nothing else.
-  if (std::find(explored_.begin(), explored_.end(), selection) ==
-      explored_.end()) {
-    explored_.push_back(selection);
-  }
+  {
+    // History-dependent phases serialize on mu_: selection scoring reads
+    // the seen-maps history, and the recommendation ranking must see the
+    // history updated by this step's displayed maps. Parallelism inside
+    // the step (phase scans, recommendation fan-out) is unaffected — pool
+    // workers never touch mu_.
+    MutexLock lock(mu_);
+    result.maps = pipeline_.SelectForDisplay(group, seen_, &result.stats,
+                                             &result.timings);
+    // The user sees these maps now; recommendations are ranked against the
+    // updated history, and later steps' global peculiarity refers to them.
+    for (const ScoredRatingMap& m : result.maps) seen_.Record(m.map);
+    // Revisits must not duplicate history entries: TopRecommendations scans
+    // `explored_` per candidate, so duplicates degrade it to
+    // O(|candidates| * |steps|) and skew nothing else.
+    if (std::find(explored_.begin(), explored_.end(), selection) ==
+        explored_.end()) {
+      explored_.push_back(selection);
+    }
 
-  if (with_recommendations) {
-    Clock::time_point reco_start = Clock::now();
-    result.recommendations = builder_.TopRecommendations(
-        selection, seen_, explored_, &result.stats);
-    result.timings.recommendation_ms = MsBetween(reco_start, Clock::now());
+    if (with_recommendations) {
+      Clock::time_point reco_start = Clock::now();
+      result.recommendations = builder_.TopRecommendations(
+          selection, seen_, explored_, &result.stats);
+      result.timings.recommendation_ms = MsBetween(reco_start, Clock::now());
+    }
   }
 
   if (pool_ != nullptr) {
@@ -82,7 +90,18 @@ StepResult SdeEngine::ExecuteStep(const GroupSelection& selection,
   return result;
 }
 
+SeenMapsTracker SdeEngine::seen() const {
+  MutexLock lock(mu_);
+  return seen_;
+}
+
+std::vector<GroupSelection> SdeEngine::explored_selections() const {
+  MutexLock lock(mu_);
+  return explored_;
+}
+
 void SdeEngine::ResetHistory() {
+  MutexLock lock(mu_);
   seen_ = SeenMapsTracker(db_->num_dimensions());
   explored_.clear();
 }

@@ -8,6 +8,8 @@
 #include "engine/recommendation_builder.h"
 #include "engine/rm_pipeline.h"
 #include "engine/step_timings.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace subdex {
@@ -37,29 +39,37 @@ struct StepResult {
 /// threads it through every hot path — the recommendation fan-out and the
 /// RM generator's phase loops — so no component ever spawns threads per
 /// step.
+///
+/// Thread safety: the cross-step exploration history (seen maps and
+/// explored selections) is guarded by `mu_`, so concurrent ExecuteStep
+/// calls on one engine are safe — the history-dependent phases of a step
+/// serialize on `mu_`, while the parallelism *within* a step (phase scans,
+/// recommendation fan-out) still runs on the shared pool.
 class SdeEngine {
  public:
   SdeEngine(const SubjectiveDatabase* db, EngineConfig config);
 
   const SubjectiveDatabase& db() const { return *db_; }
   const EngineConfig& config() const { return config_; }
-  const SeenMapsTracker& seen() const { return seen_; }
+
+  /// Snapshot of the displayed-maps history at the time of the call.
+  SeenMapsTracker seen() const SUBDEX_EXCLUDES(mu_);
 
   /// Executes one exploration step: materializes the selection's rating
   /// group, selects the k display maps, records them as seen, and — when
   /// `with_recommendations` — ranks next-step operations against the
   /// updated history.
   StepResult ExecuteStep(const GroupSelection& selection,
-                         bool with_recommendations);
+                         bool with_recommendations) SUBDEX_EXCLUDES(mu_);
 
   /// Forgets all displayed maps (fresh exploration).
-  void ResetHistory();
+  void ResetHistory() SUBDEX_EXCLUDES(mu_);
 
   /// Selections whose maps have been displayed this exploration, without
-  /// duplicates (revisiting a selection does not grow the list).
-  const std::vector<GroupSelection>& explored_selections() const {
-    return explored_;
-  }
+  /// duplicates (revisiting a selection does not grow the list); a
+  /// snapshot, like seen().
+  std::vector<GroupSelection> explored_selections() const
+      SUBDEX_EXCLUDES(mu_);
 
   /// The shared rating-group cache (hit statistics for benchmarks).
   const RatingGroupCache& group_cache() const { return *cache_; }
@@ -75,8 +85,12 @@ class SdeEngine {
   RmPipeline pipeline_;
   std::unique_ptr<RatingGroupCache> cache_;
   RecommendationBuilder builder_;
-  SeenMapsTracker seen_;
-  std::vector<GroupSelection> explored_;
+
+  // Cross-step exploration history. SeenMapsTracker itself is a plain
+  // (externally synchronized) value type; here it is protected by mu_.
+  mutable Mutex mu_;
+  SeenMapsTracker seen_ SUBDEX_GUARDED_BY(mu_);
+  std::vector<GroupSelection> explored_ SUBDEX_GUARDED_BY(mu_);
 };
 
 }  // namespace subdex

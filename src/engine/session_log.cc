@@ -8,6 +8,23 @@
 
 namespace subdex {
 
+SessionLog::SessionLog(SessionLog&& other) noexcept {
+  MutexLock lock(other.mu_);
+  steps_ = std::move(other.steps_);
+}
+
+SessionLog& SessionLog::operator=(SessionLog&& other) noexcept {
+  if (this == &other) return *this;
+  std::vector<LoggedStep> taken;
+  {
+    MutexLock lock(other.mu_);
+    taken = std::move(other.steps_);
+  }
+  MutexLock lock(mu_);
+  steps_ = std::move(taken);
+  return *this;
+}
+
 void SessionLog::Append(const StepResult& step) {
   LoggedStep logged;
   logged.selection = step.selection;
@@ -16,12 +33,31 @@ void SessionLog::Append(const StepResult& step) {
   }
   logged.group_size = step.group_size;
   logged.elapsed_ms = step.elapsed_ms;
+  MutexLock lock(mu_);
   steps_.push_back(std::move(logged));
 }
 
+size_t SessionLog::size() const {
+  MutexLock lock(mu_);
+  return steps_.size();
+}
+
+bool SessionLog::empty() const {
+  MutexLock lock(mu_);
+  return steps_.empty();
+}
+
+std::vector<LoggedStep> SessionLog::steps() const {
+  MutexLock lock(mu_);
+  return steps_;
+}
+
 std::string SessionLog::Serialize(const SubjectiveDatabase& db) const {
+  // Render from a snapshot so a concurrent Append never invalidates the
+  // iteration (and the lock is not held across query rendering).
+  const std::vector<LoggedStep> snapshot = steps();
   std::ostringstream out;
-  for (const LoggedStep& step : steps_) {
+  for (const LoggedStep& step : snapshot) {
     out << "step " << step.group_size << ' '
         << FormatDouble(step.elapsed_ms, 3) << '\n';
     std::string reviewers =
@@ -40,7 +76,9 @@ std::string SessionLog::Serialize(const SubjectiveDatabase& db) const {
 
 Result<SessionLog> SessionLog::Deserialize(SubjectiveDatabase* db,
                                            const std::string& text) {
-  SessionLog log;
+  // Parse into a plain vector; the synchronized log object is only built
+  // once the whole text is valid.
+  std::vector<LoggedStep> steps;
   std::istringstream in(text);
   std::string line;
   size_t line_no = 0;
@@ -64,10 +102,10 @@ Result<SessionLog> SessionLog::Deserialize(SubjectiveDatabase* db,
       }
       step.group_size = static_cast<size_t>(group_size);
       step.elapsed_ms = elapsed;
-      log.steps_.push_back(std::move(step));
+      steps.push_back(std::move(step));
     } else if (trimmed.rfind("reviewers:", 0) == 0 ||
                trimmed.rfind("items:", 0) == 0) {
-      if (log.steps_.empty()) return error("selection before any step");
+      if (steps.empty()) return error("selection before any step");
       bool is_reviewers = trimmed.rfind("reviewers:", 0) == 0;
       std::string query(
           Trim(trimmed.substr(is_reviewers ? 10 : 6)));
@@ -75,11 +113,11 @@ Result<SessionLog> SessionLog::Deserialize(SubjectiveDatabase* db,
       Table* table = is_reviewers ? &db->reviewers() : &db->items();
       Result<Predicate> pred = ParsePredicate(table, query);
       if (!pred.ok()) return pred.status();
-      GroupSelection& sel = log.steps_.back().selection;
+      GroupSelection& sel = steps.back().selection;
       (is_reviewers ? sel.reviewer_pred : sel.item_pred) =
           std::move(pred).value();
     } else if (trimmed.rfind("map ", 0) == 0) {
-      if (log.steps_.empty()) return error("map before any step");
+      if (steps.empty()) return error("map before any step");
       std::vector<std::string> fields = Split(trimmed, ' ');
       if (fields.size() != 4) return error("malformed map line");
       RatingMapKey key;
@@ -96,10 +134,15 @@ Result<SessionLog> SessionLog::Deserialize(SubjectiveDatabase* db,
       int dim = db->DimensionIndexOf(fields[3]);
       if (dim < 0) return error("unknown dimension '" + fields[3] + "'");
       key.dimension = static_cast<size_t>(dim);
-      log.steps_.back().displayed.push_back(key);
+      steps.back().displayed.push_back(key);
     } else {
       return error("unrecognized line '" + trimmed + "'");
     }
+  }
+  SessionLog log;
+  {
+    MutexLock lock(log.mu_);
+    log.steps_ = std::move(steps);
   }
   return log;
 }

@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "engine/sde_engine.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace subdex {
 
@@ -29,26 +31,41 @@ struct LoggedStep {
 ///
 /// Selections serialize through the SQL-style query syntax
 /// (storage/query_parser.h), so logs are human-readable and replayable.
+///
+/// Thread safety: internally synchronized. Concurrent exploration threads
+/// may Append into one shared log while another serializes or snapshots
+/// it; `steps()` returns a consistent copy of the history.
 class SessionLog {
  public:
   SessionLog() = default;
 
-  void Append(const StepResult& step);
-  size_t size() const { return steps_.size(); }
-  bool empty() const { return steps_.empty(); }
-  const std::vector<LoggedStep>& steps() const { return steps_; }
+  // Movable (Result<SessionLog>, by-value returns); not copyable, so "the
+  // log" stays one synchronized object rather than silently forking.
+  SessionLog(SessionLog&& other) noexcept;
+  SessionLog& operator=(SessionLog&& other) noexcept;
+  SessionLog(const SessionLog&) = delete;
+  SessionLog& operator=(const SessionLog&) = delete;
 
-  std::string Serialize(const SubjectiveDatabase& db) const;
+  void Append(const StepResult& step) SUBDEX_EXCLUDES(mu_);
+  size_t size() const SUBDEX_EXCLUDES(mu_);
+  bool empty() const SUBDEX_EXCLUDES(mu_);
+
+  /// Snapshot of the logged steps at the time of the call.
+  std::vector<LoggedStep> steps() const SUBDEX_EXCLUDES(mu_);
+
+  std::string Serialize(const SubjectiveDatabase& db) const
+      SUBDEX_EXCLUDES(mu_);
   static Result<SessionLog> Deserialize(SubjectiveDatabase* db,
                                         const std::string& text);
 
   Status SaveToFile(const SubjectiveDatabase& db,
-                    const std::string& path) const;
+                    const std::string& path) const SUBDEX_EXCLUDES(mu_);
   static Result<SessionLog> LoadFromFile(SubjectiveDatabase* db,
                                          const std::string& path);
 
  private:
-  std::vector<LoggedStep> steps_;
+  mutable Mutex mu_;
+  std::vector<LoggedStep> steps_ SUBDEX_GUARDED_BY(mu_);
 };
 
 }  // namespace subdex

@@ -25,13 +25,20 @@ void ComputeEnvelope(CandidateIntervals* cand) {
   bool any = false;
   for (const CriterionInterval& ci : cand->criteria) {
     if (!ci.active) continue;
+    // Algorithm 3 assumes well-ordered confidence intervals; a flipped
+    // bound would silently corrupt the envelope and every pruning decision
+    // derived from it.
+    SUBDEX_DCHECK_LE(ci.lb, ci.ub);
     lb = any ? std::max(lb, ci.lb) : ci.lb;
     ub = any ? std::max(ub, ci.ub) : ci.ub;
     any = true;
   }
   SUBDEX_CHECK_MSG(any, "all criterion intervals deactivated");
+  SUBDEX_DCHECK_GE(cand->weight, 0.0);
   cand->lb = cand->weight * lb;
   cand->ub = cand->weight * ub;
+  // Envelope of max-aggregated criteria: max of lbs <= max of ubs.
+  SUBDEX_DCHECK_LE(cand->lb, cand->ub);
 }
 
 std::vector<bool> CiPrune(const std::vector<CandidateIntervals>& candidates,
@@ -45,7 +52,10 @@ std::vector<bool> CiPrune(const std::vector<CandidateIntervals>& candidates,
   // candidates instead — an earlier bug — lets one wide interval with a
   // high ub and a tiny lb collapse the threshold and disable pruning.)
   std::vector<double> lbs(candidates.size());
-  for (size_t i = 0; i < candidates.size(); ++i) lbs[i] = candidates[i].lb;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    SUBDEX_DCHECK_LE(candidates[i].lb, candidates[i].ub);
+    lbs[i] = candidates[i].lb;
+  }
   std::nth_element(lbs.begin(), lbs.begin() + (k_prime - 1), lbs.end(),
                    std::greater<double>());
   double threshold = lbs[k_prime - 1];

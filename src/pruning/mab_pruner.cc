@@ -2,10 +2,15 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace subdex {
 
 SarDecision SarStep(const std::vector<double>& means, size_t k_remaining) {
   if (means.empty() || means.size() <= k_remaining) return {SarAction::kNone, 0};
+  // Arm accounting: from here on there is at least one arm beyond the
+  // still-needed k, so both rank gaps of SAR are well defined.
+  SUBDEX_DCHECK_LT(k_remaining, means.size());
 
   std::vector<size_t> order(means.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -20,6 +25,9 @@ SarDecision SarStep(const std::vector<double>& means, size_t k_remaining) {
   // Delta2: gap between the last included rank and the worst arm.
   double delta1 = means[order[0]] - means[order[k_remaining]];
   double delta2 = means[order[k_remaining - 1]] - means[order.back()];
+  // `order` is sorted by descending mean, so both gaps are non-negative.
+  SUBDEX_DCHECK_GE(delta1, 0.0);
+  SUBDEX_DCHECK_GE(delta2, 0.0);
   if (delta1 > delta2) {
     return {SarAction::kAcceptTop, order[0]};
   }

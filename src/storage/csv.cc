@@ -11,20 +11,25 @@ namespace subdex {
 Result<Table> ReadCsv(const std::string& path, const Schema& schema) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open '" + path + "'");
+  return ReadCsv(in, schema, path);
+}
+
+Result<Table> ReadCsv(std::istream& in, const Schema& schema,
+                      const std::string& source) {
   std::string line;
   if (!std::getline(in, line)) {
-    return Status::IoError("'" + path + "' is empty");
+    return Status::IoError("'" + source + "' is empty");
   }
   std::vector<std::string> header = Split(Trim(line), ',');
   if (header.size() != schema.num_attributes()) {
     return Status::InvalidArgument(
-        "'" + path + "': header has " + std::to_string(header.size()) +
+        "'" + source + "': header has " + std::to_string(header.size()) +
         " columns, schema expects " +
         std::to_string(schema.num_attributes()));
   }
   for (size_t i = 0; i < header.size(); ++i) {
     if (std::string(Trim(header[i])) != schema.attribute(i).name) {
-      return Status::InvalidArgument("'" + path + "': column " +
+      return Status::InvalidArgument("'" + source + "': column " +
                                      std::to_string(i) + " is '" + header[i] +
                                      "', expected '" +
                                      schema.attribute(i).name + "'");
@@ -38,7 +43,7 @@ Result<Table> ReadCsv(const std::string& path, const Schema& schema) {
     std::vector<std::string> fields = Split(line, ',');
     if (fields.size() != schema.num_attributes()) {
       return Status::InvalidArgument(
-          "'" + path + "' line " + std::to_string(line_no) + ": got " +
+          "'" + source + "' line " + std::to_string(line_no) + ": got " +
           std::to_string(fields.size()) + " fields");
     }
     std::vector<Value> cells;
@@ -60,7 +65,7 @@ Result<Table> ReadCsv(const std::string& path, const Schema& schema) {
           double v = 0.0;
           if (!ParseDouble(field, &v)) {
             return Status::InvalidArgument(
-                "'" + path + "' line " + std::to_string(line_no) +
+                "'" + source + "' line " + std::to_string(line_no) +
                 ": bad numeric '" + field + "'");
           }
           cells.emplace_back(v);

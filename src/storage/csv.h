@@ -1,6 +1,7 @@
 #ifndef SUBDEX_STORAGE_CSV_H_
 #define SUBDEX_STORAGE_CSV_H_
 
+#include <iosfwd>
 #include <string>
 
 #include "storage/table.h"
@@ -13,6 +14,12 @@ namespace subdex {
 /// separator; empty cells are null. No quoting support — the synthetic
 /// exporters never emit separators inside values.
 Result<Table> ReadCsv(const std::string& path, const Schema& schema);
+
+/// Stream variant of ReadCsv: parses CSV from `in`; `source` labels error
+/// messages. Never aborts on malformed input — every parse failure maps to
+/// a Status, which makes this the fuzzing entry point.
+Result<Table> ReadCsv(std::istream& in, const Schema& schema,
+                      const std::string& source);
 
 /// Writes `table` as CSV (same conventions as ReadCsv).
 Status WriteCsv(const Table& table, const std::string& path);

@@ -8,6 +8,12 @@ namespace subdex {
 
 namespace {
 
+// The bare-word alphabet: a value made of anything else must be quoted.
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '$' || c == '.' || c == '&' || c == '+';
+}
+
 // Minimal recursive-descent tokenizer state over the query string.
 class Cursor {
  public:
@@ -101,11 +107,6 @@ class Cursor {
   }
 
  private:
-  static bool IsWordChar(char c) {
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
-           c == '-' || c == '$' || c == '.' || c == '&' || c == '+';
-  }
-
   std::string_view text_;
   size_t pos_ = 0;
 };
@@ -113,10 +114,10 @@ class Cursor {
 bool NeedsQuoting(const std::string& value) {
   if (value.empty()) return true;
   for (char c : value) {
-    if (std::isspace(static_cast<unsigned char>(c)) || c == '\'' ||
-        c == '"' || c == '=') {
-      return true;
-    }
+    // Quote anything outside the bare-word alphabet, not just whitespace:
+    // the round-trip fuzzer found values like "it)s" rendering unquoted and
+    // then failing to re-parse at the ')'.
+    if (!IsWordChar(c)) return true;
   }
   return false;
 }
@@ -166,7 +167,14 @@ std::string PredicateToQuery(const Table& table, const Predicate& predicate) {
     out += table.schema().attribute(av.attribute).name;
     out += " = ";
     if (NeedsQuoting(value)) {
-      out += "'" + value + "'";
+      // Quote with whichever character the value does not contain: always
+      // quoting with '\'' broke re-parsing of values like "it's" (found by
+      // the round-trip fuzzer). A value holding both quote kinds is not
+      // expressible in the grammar at all; see the header contract.
+      char quote = value.find('\'') == std::string::npos ? '\'' : '"';
+      out += quote;
+      out += value;
+      out += quote;
     } else {
       out += value;
     }

@@ -26,7 +26,11 @@ namespace subdex {
 Result<Predicate> ParsePredicate(Table* table, std::string_view query);
 
 /// Renders a predicate back into parsable query text (inverse of
-/// ParsePredicate up to whitespace and quoting).
+/// ParsePredicate up to whitespace and quoting). Values needing quotes are
+/// wrapped in whichever quote character they do not contain; a value
+/// containing both `'` and `"` has no representation in the grammar (the
+/// parser can never produce one, but interned CSV data can), and the
+/// rendered query for it will not re-parse to the same predicate.
 std::string PredicateToQuery(const Table& table, const Predicate& predicate);
 
 }  // namespace subdex

@@ -91,14 +91,9 @@ Status SaveDatabase(const SubjectiveDatabase& db, const std::string& dir) {
   return WriteRatings(db, dir + "/ratings.csv");
 }
 
-Result<std::unique_ptr<SubjectiveDatabase>> LoadDatabase(
-    const std::string& dir) {
-  std::ifstream manifest(dir + "/manifest.txt");
-  if (!manifest) {
-    return Status::IoError("cannot open '" + dir + "/manifest.txt'");
-  }
+Result<DbManifest> ParseManifest(std::istream& in) {
   std::string line;
-  if (!std::getline(manifest, line)) {
+  if (!std::getline(in, line)) {
     return Status::InvalidArgument("empty manifest");
   }
   {
@@ -110,62 +105,73 @@ Result<std::unique_ptr<SubjectiveDatabase>> LoadDatabase(
                                      "'");
     }
   }
-  int scale = 5;
-  std::vector<std::string> dimensions;
-  std::vector<AttributeDef> reviewer_attrs;
-  std::vector<AttributeDef> item_attrs;
-  while (std::getline(manifest, line)) {
+  DbManifest m;
+  while (std::getline(in, line)) {
     std::string trimmed(Trim(line));
     if (trimmed.empty()) continue;
     std::vector<std::string> fields = Split(trimmed, ' ');
     const std::string& key = fields[0];
     if (key == "scale") {
-      if (fields.size() != 2 || !ParseInt(fields[1], &scale)) {
+      if (fields.size() != 2 || !ParseInt(fields[1], &m.scale)) {
         return Status::InvalidArgument("bad scale line '" + line + "'");
       }
     } else if (key == "dimensions") {
-      dimensions.assign(fields.begin() + 1, fields.end());
+      m.dimensions.assign(fields.begin() + 1, fields.end());
+      // Split keeps empty fields, so "dimensions a  b" yields an empty name.
+      for (const std::string& d : m.dimensions) {
+        if (d.empty()) {
+          return Status::InvalidArgument("empty dimension name in '" + line +
+                                         "'");
+        }
+      }
     } else if (key == "reviewer_attr" || key == "item_attr") {
-      if (fields.size() != 3) {
+      if (fields.size() != 3 || fields[1].empty()) {
         return Status::InvalidArgument("bad attribute line '" + line + "'");
       }
       Result<AttributeType> type = ParseTypeTag(fields[2]);
       if (!type.ok()) return type.status();
-      (key == "reviewer_attr" ? reviewer_attrs : item_attrs)
+      (key == "reviewer_attr" ? m.reviewer_attrs : m.item_attrs)
           .push_back({fields[1], type.value()});
     } else {
       return Status::InvalidArgument("unknown manifest key '" + key + "'");
     }
   }
-  if (dimensions.empty()) {
+  if (m.dimensions.empty()) {
     return Status::InvalidArgument("manifest lists no rating dimensions");
   }
-
-  Result<Table> reviewers =
-      ReadCsv(dir + "/reviewers.csv", Schema(reviewer_attrs));
-  if (!reviewers.ok()) return reviewers.status();
-  Result<Table> items = ReadCsv(dir + "/items.csv", Schema(item_attrs));
-  if (!items.ok()) return items.status();
-
-  auto db = std::make_unique<SubjectiveDatabase>(
-      Schema(reviewer_attrs), Schema(item_attrs), dimensions, scale);
-  db->reviewers() = std::move(reviewers).value();
-  db->items() = std::move(items).value();
-
-  std::ifstream ratings(dir + "/ratings.csv");
-  if (!ratings) {
-    return Status::IoError("cannot open '" + dir + "/ratings.csv'");
+  // The SubjectiveDatabase constructor CHECK-aborts outside this range;
+  // untrusted manifests must be rejected with a Status instead.
+  if (m.scale < 2 || m.scale > 100) {
+    return Status::InvalidArgument("rating scale " + std::to_string(m.scale) +
+                                   " out of range [2, 100]");
   }
-  if (!std::getline(ratings, line)) {
+  // Schema's constructor CHECK-aborts on duplicate attribute names.
+  for (const std::vector<AttributeDef>* attrs :
+       {&m.reviewer_attrs, &m.item_attrs}) {
+    for (size_t i = 0; i < attrs->size(); ++i) {
+      for (size_t j = i + 1; j < attrs->size(); ++j) {
+        if ((*attrs)[i].name == (*attrs)[j].name) {
+          return Status::InvalidArgument("duplicate attribute name '" +
+                                         (*attrs)[i].name + "'");
+        }
+      }
+    }
+  }
+  return m;
+}
+
+Status LoadRatingsCsv(std::istream& in, SubjectiveDatabase* db) {
+  std::string line;
+  if (!std::getline(in, line)) {
     return Status::InvalidArgument("'ratings.csv' is empty");
   }
   size_t line_no = 1;
-  std::vector<double> scores(dimensions.size());
-  while (std::getline(ratings, line)) {
+  std::vector<double> scores(db->num_dimensions());
+  while (std::getline(in, line)) {
     ++line_no;
     if (Trim(line).empty()) continue;
     std::vector<std::string> fields = Split(std::string(Trim(line)), ',');
-    if (fields.size() != 2 + dimensions.size()) {
+    if (fields.size() != 2 + scores.size()) {
       return Status::InvalidArgument("ratings.csv line " +
                                      std::to_string(line_no) + ": got " +
                                      std::to_string(fields.size()) +
@@ -179,7 +185,7 @@ Result<std::unique_ptr<SubjectiveDatabase>> LoadDatabase(
                                      std::to_string(line_no) +
                                      ": bad row ids");
     }
-    for (size_t d = 0; d < dimensions.size(); ++d) {
+    for (size_t d = 0; d < scores.size(); ++d) {
       int score = 0;
       if (!ParseInt(fields[2 + d], &score)) {
         return Status::InvalidArgument("ratings.csv line " +
@@ -196,6 +202,36 @@ Result<std::unique_ptr<SubjectiveDatabase>> LoadDatabase(
                                      st.message());
     }
   }
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<SubjectiveDatabase>> LoadDatabase(
+    const std::string& dir) {
+  std::ifstream manifest_in(dir + "/manifest.txt");
+  if (!manifest_in) {
+    return Status::IoError("cannot open '" + dir + "/manifest.txt'");
+  }
+  Result<DbManifest> manifest = ParseManifest(manifest_in);
+  if (!manifest.ok()) return manifest.status();
+  const DbManifest& m = manifest.value();
+
+  Result<Table> reviewers =
+      ReadCsv(dir + "/reviewers.csv", Schema(m.reviewer_attrs));
+  if (!reviewers.ok()) return reviewers.status();
+  Result<Table> items = ReadCsv(dir + "/items.csv", Schema(m.item_attrs));
+  if (!items.ok()) return items.status();
+
+  auto db = std::make_unique<SubjectiveDatabase>(
+      Schema(m.reviewer_attrs), Schema(m.item_attrs), m.dimensions, m.scale);
+  db->reviewers() = std::move(reviewers).value();
+  db->items() = std::move(items).value();
+
+  std::ifstream ratings(dir + "/ratings.csv");
+  if (!ratings) {
+    return Status::IoError("cannot open '" + dir + "/ratings.csv'");
+  }
+  Status st = LoadRatingsCsv(ratings, db.get());
+  if (!st.ok()) return st;
   db->FinalizeIndexes();
   return db;
 }

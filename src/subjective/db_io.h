@@ -1,8 +1,10 @@
 #ifndef SUBDEX_SUBJECTIVE_DB_IO_H_
 #define SUBDEX_SUBJECTIVE_DB_IO_H_
 
+#include <iosfwd>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "subjective/subjective_db.h"
 #include "util/status.h"
@@ -27,6 +29,27 @@ Status SaveDatabase(const SubjectiveDatabase& db, const std::string& dir);
 /// Loads a database saved by SaveDatabase; the result is finalized.
 Result<std::unique_ptr<SubjectiveDatabase>> LoadDatabase(
     const std::string& dir);
+
+/// Parsed contents of manifest.txt. Satisfies every SubjectiveDatabase
+/// constructor precondition (scale in [2, 100], at least one non-empty
+/// dimension name, non-empty attribute names), so a DbManifest returned by
+/// ParseManifest can always be turned into a database without aborting.
+struct DbManifest {
+  int scale = 5;
+  std::vector<std::string> dimensions;
+  std::vector<AttributeDef> reviewer_attrs;
+  std::vector<AttributeDef> item_attrs;
+};
+
+/// Parses a manifest.txt stream. All malformed input — including values the
+/// SubjectiveDatabase constructor would CHECK-abort on — maps to a Status,
+/// which makes this safe on untrusted bytes (it is a fuzzing entry point).
+Result<DbManifest> ParseManifest(std::istream& in);
+
+/// Parses a ratings.csv stream into `db` (constructed, not yet finalized;
+/// reviewer and item tables already populated). Does not finalize `db`.
+/// Safe on untrusted bytes: every malformed row maps to a Status.
+Status LoadRatingsCsv(std::istream& in, SubjectiveDatabase* db);
 
 }  // namespace subdex
 

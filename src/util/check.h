@@ -3,28 +3,145 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
+#include <string>
 
 // Invariant-checking macros. SubDEx does not use exceptions; programming
 // errors (violated preconditions, broken invariants) abort the process with
 // a diagnostic, mirroring the CHECK() idiom of large C++ codebases.
 // Recoverable errors (I/O, malformed input) are reported via Status/Result.
+//
+// Policy (see DESIGN.md, "Correctness tooling"):
+//   SUBDEX_CHECK      — preconditions that hold in every build; cheap enough
+//                       to keep in release binaries (index bounds on cold
+//                       paths, API misuse).
+//   SUBDEX_DCHECK*    — algorithmic invariants verified in debug builds and
+//                       compiled out of release builds; free on hot paths.
+//   Status / Result   — anything untrusted input can trigger (I/O, parsing,
+//                       malformed config). Never CHECK on user data.
+
+namespace subdex {
+namespace check_internal {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr, const char* detail) {
+  if (detail != nullptr && detail[0] != '\0') {
+    std::fprintf(stderr, "SUBDEX_CHECK failed at %s:%d: %s (%s)\n", file,
+                 line, expr, detail);
+  } else {
+    std::fprintf(stderr, "SUBDEX_CHECK failed at %s:%d: %s\n", file, line,
+                 expr);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Streams both operand values of a failed binary DCHECK; ostringstream
+// keeps this printable for any streamable type, and the call only happens
+// on the (aborting) failure path, so the formatting cost is irrelevant.
+template <typename A, typename B>
+[[noreturn]] void DCheckBinaryFail(const char* file, int line,
+                                   const char* expr, const A& a, const B& b) {
+  std::ostringstream os;
+  os << "lhs=" << a << " rhs=" << b;
+  CheckFail(file, line, expr, os.str().c_str());
+}
+
+// Renders either a Status (has ToString) or a Result<T> (has status()) for
+// SUBDEX_CHECK_OK without this header depending on util/status.h.
+template <typename T>
+std::string StatusMessage(const T& v) {
+  if constexpr (requires { v.status().ToString(); }) {
+    return v.status().ToString();
+  } else {
+    return v.ToString();
+  }
+}
+
+}  // namespace check_internal
+}  // namespace subdex
 
 #define SUBDEX_CHECK(cond)                                                  \
   do {                                                                      \
     if (!(cond)) {                                                          \
-      std::fprintf(stderr, "SUBDEX_CHECK failed at %s:%d: %s\n", __FILE__,  \
-                   __LINE__, #cond);                                        \
-      std::abort();                                                         \
+      ::subdex::check_internal::CheckFail(__FILE__, __LINE__, #cond, "");   \
     }                                                                       \
   } while (0)
 
-#define SUBDEX_CHECK_MSG(cond, msg)                                         \
+// Printf-style message, evaluated and formatted ONLY on failure:
+//   SUBDEX_CHECK_MSG(n <= cap, "n=%zu exceeds capacity %zu", n, cap);
+// A plain string literal also works: SUBDEX_CHECK_MSG(ok, "bad state").
+// Dynamic strings must come through a format: SUBDEX_CHECK_MSG(ok, "%s", s).
+#define SUBDEX_CHECK_MSG(cond, ...)                                         \
   do {                                                                      \
     if (!(cond)) {                                                          \
-      std::fprintf(stderr, "SUBDEX_CHECK failed at %s:%d: %s (%s)\n",       \
-                   __FILE__, __LINE__, #cond, (msg));                       \
-      std::abort();                                                         \
+      char subdex_check_buf_[512];                                          \
+      std::snprintf(subdex_check_buf_, sizeof(subdex_check_buf_),           \
+                    __VA_ARGS__);                                           \
+      ::subdex::check_internal::CheckFail(__FILE__, __LINE__, #cond,        \
+                                          subdex_check_buf_);               \
     }                                                                       \
   } while (0)
+
+// Aborts when a Status/Result-producing expression failed on a path where
+// failure is a programming error (tests, examples, generators with
+// validated inputs): SUBDEX_CHECK_OK(table.AppendRow(cells));
+#define SUBDEX_CHECK_OK(expr)                                               \
+  do {                                                                      \
+    auto&& subdex_check_st_ = (expr);                                       \
+    if (!subdex_check_st_.ok()) {                                           \
+      ::subdex::check_internal::CheckFail(                                  \
+          __FILE__, __LINE__, #expr " is OK",                               \
+          ::subdex::check_internal::StatusMessage(subdex_check_st_)         \
+              .c_str());                                                    \
+    }                                                                       \
+  } while (0)
+
+// Debug-only invariants. Enabled when NDEBUG is unset (Debug builds) or
+// when SUBDEX_FORCE_DCHECK is defined (the dedicated check_test target and
+// the sanitizer trees force them on regardless of build type).
+#if !defined(NDEBUG) || defined(SUBDEX_FORCE_DCHECK)
+#define SUBDEX_DCHECK_ENABLED 1
+#else
+#define SUBDEX_DCHECK_ENABLED 0
+#endif
+
+#if SUBDEX_DCHECK_ENABLED
+
+#define SUBDEX_DCHECK(cond) SUBDEX_CHECK(cond)
+
+#define SUBDEX_DCHECK_OP_(op, a, b)                                         \
+  do {                                                                      \
+    auto&& subdex_dcheck_a_ = (a);                                          \
+    auto&& subdex_dcheck_b_ = (b);                                          \
+    if (!(subdex_dcheck_a_ op subdex_dcheck_b_)) {                          \
+      ::subdex::check_internal::DCheckBinaryFail(                           \
+          __FILE__, __LINE__, #a " " #op " " #b, subdex_dcheck_a_,          \
+          subdex_dcheck_b_);                                                \
+    }                                                                       \
+  } while (0)
+
+#else  // !SUBDEX_DCHECK_ENABLED
+
+// Compiled out: operands are parsed (so they stay well-formed) but never
+// evaluated at runtime, and the whole statement folds away.
+#define SUBDEX_DCHECK(cond)          \
+  do {                               \
+    if (false) { (void)(cond); }     \
+  } while (0)
+
+#define SUBDEX_DCHECK_OP_(op, a, b)           \
+  do {                                        \
+    if (false) { (void)(a), (void)(b); }      \
+  } while (0)
+
+#endif  // SUBDEX_DCHECK_ENABLED
+
+#define SUBDEX_DCHECK_EQ(a, b) SUBDEX_DCHECK_OP_(==, a, b)
+#define SUBDEX_DCHECK_NE(a, b) SUBDEX_DCHECK_OP_(!=, a, b)
+#define SUBDEX_DCHECK_GE(a, b) SUBDEX_DCHECK_OP_(>=, a, b)
+#define SUBDEX_DCHECK_GT(a, b) SUBDEX_DCHECK_OP_(>, a, b)
+#define SUBDEX_DCHECK_LE(a, b) SUBDEX_DCHECK_OP_(<=, a, b)
+#define SUBDEX_DCHECK_LT(a, b) SUBDEX_DCHECK_OP_(<, a, b)
 
 #endif  // SUBDEX_UTIL_CHECK_H_

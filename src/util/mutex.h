@@ -1,0 +1,64 @@
+#ifndef SUBDEX_UTIL_MUTEX_H_
+#define SUBDEX_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace subdex {
+
+/// Annotated wrapper around std::mutex. libstdc++'s std::mutex carries no
+/// thread-safety attributes, so Clang's -Wthread-safety cannot track it;
+/// this thin shim restores the analysis with zero overhead (every method
+/// inlines to the std call). All mutex-protected SubDEx classes use
+/// subdex::Mutex + SUBDEX_GUARDED_BY.
+class SUBDEX_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SUBDEX_ACQUIRE() { mu_.lock(); }
+  void Unlock() SUBDEX_RELEASE() { mu_.unlock(); }
+
+  /// The wrapped std::mutex, for interop with std wait primitives. Only
+  /// MutexLock should need this.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock with scoped-capability annotations, replacing both
+/// std::lock_guard and std::unique_lock over a subdex::Mutex. `Wait`
+/// bridges to std::condition_variable: the analysis treats the capability
+/// as held across the wait, which matches the caller-visible contract (the
+/// predicate and all code around the wait run with the lock held).
+class SUBDEX_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SUBDEX_ACQUIRE(mu)
+      : lock_(mu.native()) {}
+  ~MutexLock() SUBDEX_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// One std::condition_variable::wait round: releases the lock, blocks
+  /// until notified (or spuriously woken), re-acquires. Callers loop on
+  /// the predicate with the members read inline —
+  ///
+  ///   while (!done_) lock.WaitOnce(cv_);
+  ///
+  /// — rather than passing a predicate lambda: Clang's thread-safety
+  /// analysis checks lambda bodies without the enclosing lock context, so
+  /// a predicate lambda over guarded members would defeat the analysis.
+  void WaitOnce(std::condition_variable& cv) { cv.wait(lock_); }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace subdex
+
+#endif  // SUBDEX_UTIL_MUTEX_H_

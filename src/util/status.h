@@ -91,15 +91,15 @@ class Result {
   bool ok() const { return std::holds_alternative<T>(data_); }
 
   const T& value() const& {
-    SUBDEX_CHECK_MSG(ok(), status().ToString().c_str());
+    SUBDEX_CHECK_MSG(ok(), "%s", status().ToString().c_str());
     return std::get<T>(data_);
   }
   T& value() & {
-    SUBDEX_CHECK_MSG(ok(), status().ToString().c_str());
+    SUBDEX_CHECK_MSG(ok(), "%s", status().ToString().c_str());
     return std::get<T>(data_);
   }
   T&& value() && {
-    SUBDEX_CHECK_MSG(ok(), status().ToString().c_str());
+    SUBDEX_CHECK_MSG(ok(), "%s", status().ToString().c_str());
     return std::get<T>(std::move(data_));
   }
 

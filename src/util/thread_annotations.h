@@ -1,0 +1,60 @@
+#ifndef SUBDEX_UTIL_THREAD_ANNOTATIONS_H_
+#define SUBDEX_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety annotations (-Wthread-safety), in the style of
+// abseil's thread_annotations.h. Under Clang, lock-discipline violations —
+// touching a SUBDEX_GUARDED_BY member without its mutex, calling a
+// SUBDEX_REQUIRES function unlocked, releasing a lock twice — become
+// compile errors instead of waiting for a TSan run to execute the race.
+// Under GCC (which has no such analysis) every macro expands to nothing,
+// so annotated code stays portable. ci/check.sh runs the clang gate when a
+// clang toolchain is present.
+//
+// Conventions (see DESIGN.md, "Correctness tooling"):
+//  - every mutex-protected member is SUBDEX_GUARDED_BY(mu_), declared
+//    directly below its mutex;
+//  - private helpers called with the lock held are SUBDEX_REQUIRES(mu_);
+//  - public entry points that take the lock themselves are
+//    SUBDEX_EXCLUDES(mu_) so self-deadlock is caught at the call site;
+//  - use util/mutex.h (subdex::Mutex / subdex::MutexLock), not bare
+//    std::mutex: libstdc++'s std::mutex is unannotated, so the analysis
+//    cannot see its acquisitions.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define SUBDEX_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define SUBDEX_THREAD_ANNOTATION_(x)  // no-op
+#endif
+
+// Data members: protected by the given capability (mutex).
+#define SUBDEX_GUARDED_BY(x) SUBDEX_THREAD_ANNOTATION_(guarded_by(x))
+// Pointer members: the pointed-to data is protected by the capability.
+#define SUBDEX_PT_GUARDED_BY(x) SUBDEX_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Functions: caller must hold / must not hold the capability.
+#define SUBDEX_REQUIRES(...) \
+  SUBDEX_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define SUBDEX_EXCLUDES(...) \
+  SUBDEX_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Functions that acquire/release the capability for their caller.
+#define SUBDEX_ACQUIRE(...) \
+  SUBDEX_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define SUBDEX_RELEASE(...) \
+  SUBDEX_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+// Types: a capability (mutex-like class) / an RAII scoped lock.
+#define SUBDEX_CAPABILITY(x) SUBDEX_THREAD_ANNOTATION_(capability(x))
+#define SUBDEX_SCOPED_CAPABILITY SUBDEX_THREAD_ANNOTATION_(scoped_lockable)
+
+// Return-value annotation: returns a reference to the capability guarding
+// the annotated data.
+#define SUBDEX_RETURN_CAPABILITY(x) \
+  SUBDEX_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch for code the analysis cannot model (condition-variable
+// re-acquisition, lock juggling across objects). Use sparingly; say why.
+#define SUBDEX_NO_THREAD_SAFETY_ANALYSIS \
+  SUBDEX_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // SUBDEX_UTIL_THREAD_ANNOTATIONS_H_

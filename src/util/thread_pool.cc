@@ -15,11 +15,12 @@ namespace {
 // callers interleave freely in the worker queue; each caller waits only
 // for its own helpers, never for global idleness.
 struct Batch {
-  std::mutex mu;
+  Mutex mu;
   std::condition_variable done_cv;
-  size_t outstanding = 0;  // helper tasks not yet finished
+  // Helper tasks not yet finished.
+  size_t outstanding SUBDEX_GUARDED_BY(mu) = 0;
   std::atomic<size_t> next{0};
-  std::exception_ptr error;
+  std::exception_ptr error SUBDEX_GUARDED_BY(mu);
 };
 
 }  // namespace
@@ -34,7 +35,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
@@ -43,7 +44,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     SUBDEX_CHECK_MSG(!shutdown_, "Submit after shutdown");
     queue_.push_back(std::move(task));
     ++stats_.tasks_submitted;
@@ -53,8 +54,8 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  while (!queue_.empty() || active_ != 0) lock.WaitOnce(idle_cv_);
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -68,7 +69,7 @@ void ThreadPool::ParallelFor(size_t n, size_t grain,
   if (n == 0) return;
   if (grain == 0) grain = 1;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.batches_run;
   }
   auto batch = std::make_shared<Batch>();
@@ -83,7 +84,7 @@ void ThreadPool::ParallelFor(size_t n, size_t grain,
       try {
         fn(begin, end);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(batch->mu);
+        MutexLock lock(batch->mu);
         if (!batch->error) batch->error = std::current_exception();
         batch->next.store(n);
         return;
@@ -97,13 +98,17 @@ void ThreadPool::ParallelFor(size_t n, size_t grain,
   size_t helpers = std::min(num_chunks, num_threads());
   for (size_t h = 0; h < helpers; ++h) {
     {
-      std::lock_guard<std::mutex> lock(batch->mu);
+      MutexLock lock(batch->mu);
       ++batch->outstanding;
     }
     Submit([drain, batch] {
       drain();
-      std::lock_guard<std::mutex> lock(batch->mu);
-      if (--batch->outstanding == 0) batch->done_cv.notify_all();
+      bool last;
+      {
+        MutexLock lock(batch->mu);
+        last = --batch->outstanding == 0;
+      }
+      if (last) batch->done_cv.notify_all();
     });
   }
   // Participate: guarantees forward progress when every worker is busy
@@ -116,44 +121,53 @@ void ThreadPool::ParallelFor(size_t n, size_t grain,
   // stuck in the queue.
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(batch->mu);
+      MutexLock lock(batch->mu);
       if (batch->outstanding == 0) break;
     }
     if (!RunOneQueuedTask()) {
       // Queue empty: every outstanding helper is running on some thread
       // and will finish; now sleeping is safe.
-      std::unique_lock<std::mutex> lock(batch->mu);
-      batch->done_cv.wait(lock, [&] { return batch->outstanding == 0; });
+      MutexLock lock(batch->mu);
+      while (batch->outstanding != 0) lock.WaitOnce(batch->done_cv);
       break;
     }
   }
-  if (batch->error) std::rethrow_exception(batch->error);
+  // All helpers finished: the batch counter must be exhausted.
+  SUBDEX_DCHECK_GE(batch->next.load(), n);
+  std::exception_ptr error;
+  {
+    MutexLock lock(batch->mu);
+    error = batch->error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 bool ThreadPool::RunOneQueuedTask() {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
     ++active_;
   }
   task();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    --active_;
-    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
-  }
+  FinishTask();
   return true;
+}
+
+void ThreadPool::FinishTask() {
+  MutexLock lock(mu_);
+  --active_;
+  if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) lock.WaitOnce(work_cv_);
       if (queue_.empty()) {
         if (shutdown_) return;
         continue;
@@ -163,16 +177,12 @@ void ThreadPool::WorkerLoop() {
       ++active_;
     }
     task();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
-    }
+    FinishTask();
   }
 }
 
 ThreadPool::Stats ThreadPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Stats s = stats_;
   s.queue_depth = queue_.size();
   return s;

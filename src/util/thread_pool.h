@@ -5,9 +5,11 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace subdex {
 
@@ -42,44 +44,51 @@ class ThreadPool {
 
   /// Enqueues a fire-and-forget task. Tasks submitted directly must not
   /// throw (use ParallelFor for work that may fail).
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) SUBDEX_EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and no worker is running a task.
   /// This is a *global* condition — with concurrent users it also waits
   /// for their work; batch callers should rely on ParallelFor's per-batch
   /// completion instead.
-  void WaitIdle();
+  void WaitIdle() SUBDEX_EXCLUDES(mu_);
 
   /// Runs fn(i) for i in [0, n) across the pool and the calling thread,
   /// returning when every index of *this batch* has completed. The first
   /// exception thrown by `fn` is captured, the batch's remaining work is
   /// abandoned, and the exception is rethrown here.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn)
+      SUBDEX_EXCLUDES(mu_);
 
   /// Chunked overload: runs fn(begin, end) over half-open ranges of about
   /// `grain` indices. Chunks are claimed dynamically from a shared counter
   /// (work-stealing-friendly: fast workers drain what slow ones leave), so
   /// `fn` must tolerate any chunk-to-thread assignment.
   void ParallelFor(size_t n, size_t grain,
-                   const std::function<void(size_t, size_t)>& fn);
+                   const std::function<void(size_t, size_t)>& fn)
+      SUBDEX_EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
-  Stats stats() const;
+  Stats stats() const SUBDEX_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() SUBDEX_EXCLUDES(mu_);
   /// Pops and runs one queued task on the calling thread (batch waiters
   /// help drain the queue). Returns false if the queue was empty.
-  bool RunOneQueuedTask();
+  bool RunOneQueuedTask() SUBDEX_EXCLUDES(mu_);
+  /// Marks the running task finished and wakes WaitIdle waiters when the
+  /// pool drained.
+  void FinishTask() SUBDEX_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> queue_ SUBDEX_GUARDED_BY(mu_);
+  // Started in the constructor, joined in the destructor; immutable (and
+  // lock-free to read) in between, which keeps num_threads() cheap.
   std::vector<std::thread> workers_;
-  Stats stats_;
-  size_t active_ = 0;
-  bool shutdown_ = false;
+  Stats stats_ SUBDEX_GUARDED_BY(mu_);
+  size_t active_ SUBDEX_GUARDED_BY(mu_) = 0;
+  bool shutdown_ SUBDEX_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace subdex

@@ -1,0 +1,95 @@
+// Tests for the CHECK/DCHECK invariant layer (util/check.h). This target
+// compiles with SUBDEX_FORCE_DCHECK so the debug-only macros stay active
+// regardless of the build type (the tier-1 tree is RelWithDebInfo).
+
+#include "util/check.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace subdex {
+namespace {
+
+TEST(CheckTest, PassingChecksAreNoOps) {
+  SUBDEX_CHECK(1 + 1 == 2);
+  SUBDEX_CHECK_MSG(true, "never printed");
+  SUBDEX_CHECK_MSG(true, "never %s with %d args", "formatted", 2);
+  SUBDEX_CHECK_OK(Status::Ok());
+  Result<int> r(7);
+  SUBDEX_CHECK_OK(r);
+  EXPECT_EQ(r.value(), 7);
+}
+
+TEST(CheckTest, MessageArgumentsAreLazyOnSuccess) {
+  int evaluations = 0;
+  auto expensive = [&evaluations]() {
+    ++evaluations;
+    return "message";
+  };
+  SUBDEX_CHECK_MSG(true, "%s", expensive());
+  EXPECT_EQ(evaluations, 0) << "message must only be evaluated on failure";
+}
+
+TEST(CheckTest, ChecksAreSingleStatements) {
+  // Must parse as one statement in unbraced if/else and for bodies.
+  if (true)
+    SUBDEX_CHECK(true);
+  else
+    SUBDEX_CHECK_MSG(true, "unreachable");
+  for (int i = 0; i < 2; ++i) SUBDEX_DCHECK_LT(i, 2);
+}
+
+TEST(CheckDeathTest, CheckPrintsExpression) {
+  EXPECT_DEATH(SUBDEX_CHECK(2 + 2 == 5), "SUBDEX_CHECK failed.*2 \\+ 2 == 5");
+}
+
+TEST(CheckDeathTest, CheckMsgFormatsOnFailure) {
+  EXPECT_DEATH(SUBDEX_CHECK_MSG(false, "n=%d cap=%d", 12, 7),
+               "n=12 cap=7");
+}
+
+TEST(CheckDeathTest, CheckMsgLiteralPercentIsSafe) {
+  // Dynamic text routed through "%s" must not be reinterpreted as a format.
+  std::string hostile = "100% broken %n%s";
+  EXPECT_DEATH(SUBDEX_CHECK_MSG(false, "%s", hostile.c_str()),
+               "100% broken");
+}
+
+TEST(CheckDeathTest, CheckOkPrintsStatus) {
+  EXPECT_DEATH(SUBDEX_CHECK_OK(Status::InvalidArgument("bad knob")),
+               "InvalidArgument: bad knob");
+  Result<int> failed(Status::NotFound("no such row"));
+  EXPECT_DEATH(SUBDEX_CHECK_OK(failed), "NotFound: no such row");
+}
+
+TEST(CheckDeathTest, DcheckActiveInThisTarget) {
+  static_assert(SUBDEX_DCHECK_ENABLED,
+                "check_test must force-enable DCHECKs");
+  EXPECT_DEATH(SUBDEX_DCHECK(false), "SUBDEX_CHECK failed");
+}
+
+TEST(CheckDeathTest, DcheckOpPrintsBothValues) {
+  int lhs = 3;
+  int rhs = 9;
+  EXPECT_DEATH(SUBDEX_DCHECK_EQ(lhs, rhs), "lhs=3 rhs=9");
+  EXPECT_DEATH(SUBDEX_DCHECK_GE(lhs, rhs), "lhs=3 rhs=9");
+  EXPECT_DEATH(SUBDEX_DCHECK_GT(lhs, rhs), "lhs=3 rhs=9");
+  double small = 0.25;
+  EXPECT_DEATH(SUBDEX_DCHECK_LE(1.5, small), "lhs=1.5 rhs=0.25");
+  EXPECT_DEATH(SUBDEX_DCHECK_LT(1.5, small), "lhs=1.5 rhs=0.25");
+  EXPECT_DEATH(SUBDEX_DCHECK_NE(rhs, 9), "lhs=9 rhs=9");
+}
+
+TEST(CheckTest, DcheckOpEvaluatesOperandsOnce) {
+  int a = 0;
+  int b = 10;
+  SUBDEX_DCHECK_LT(a++, b++);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 11);
+}
+
+}  // namespace
+}  // namespace subdex

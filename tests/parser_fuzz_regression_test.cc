@@ -1,0 +1,224 @@
+// Regression tests distilled from fuzzing the parser layers (fuzz/).
+// Every case here either reproduces an input class the fuzzer flagged or
+// pins the Status-not-abort contract of a loader boundary: feeding hostile
+// bytes into ParsePredicate / ReadCsv / ParseManifest / LoadRatingsCsv must
+// come back as a Status, never a CHECK-abort.
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "storage/csv.h"
+#include "storage/query_parser.h"
+#include "storage/table.h"
+#include "subjective/db_io.h"
+#include "subjective/subjective_db.h"
+
+namespace subdex {
+namespace {
+
+Table MakeQueryTable() {
+  Schema schema({{"city", AttributeType::kCategorical},
+                 {"cuisine", AttributeType::kMultiCategorical},
+                 {"stars", AttributeType::kNumeric}});
+  Table table(schema);
+  EXPECT_TRUE(
+      table
+          .AppendRow({std::string("paris"),
+                      std::vector<std::string>{"french", "bistro"}, 4.5})
+          .ok());
+  return table;
+}
+
+TEST(QueryParserRegressionTest, MalformedQueriesReturnStatus) {
+  Table table = MakeQueryTable();
+  const char* bad[] = {
+      "city",                    // no '='
+      "city =",                  // no value
+      "= paris",                 // no attribute
+      "city = paris AND",        // dangling AND
+      "city = 'paris",           // unclosed quote
+      "city = paris cuisine",    // missing AND
+      "city = paris AND city = lyon",  // duplicate attribute
+      "stars = 4.5",             // numeric attribute
+      "nosuch = x",              // unknown attribute
+      "city == paris",           // '=' then no value token
+  };
+  for (const char* query : bad) {
+    Result<Predicate> r = ParsePredicate(&table, query);
+    EXPECT_FALSE(r.ok()) << "accepted: " << query;
+  }
+}
+
+TEST(QueryParserRegressionTest, ControlBytesReturnStatus) {
+  Table table = MakeQueryTable();
+  // Fuzzer-shaped inputs: NUL and control bytes must not crash the cursor.
+  std::string query("city\x00=\x01paris", 12);
+  Result<Predicate> r = ParsePredicate(&table, query);
+  (void)r.ok();  // either outcome is fine; the contract is "no abort"
+}
+
+// Found by the round-trip fuzzer: a value containing a character outside
+// the bare-word alphabet (here ')') rendered unquoted and failed to
+// re-parse at that character.
+TEST(QueryParserRegressionTest, RoundTripsNonWordCharacters) {
+  Table table = MakeQueryTable();
+  Result<Predicate> parsed = ParsePredicate(&table, "city = 'it)s here'");
+  ASSERT_TRUE(parsed.ok());
+  std::string rendered = PredicateToQuery(table, parsed.value());
+  Result<Predicate> reparsed = ParsePredicate(&table, rendered);
+  ASSERT_TRUE(reparsed.ok()) << rendered;
+  EXPECT_EQ(parsed.value().conjuncts(), reparsed.value().conjuncts());
+}
+
+// Found by the round-trip fuzzer: values containing a single quote were
+// always rendered with single quotes and truncated on re-parse.
+TEST(QueryParserRegressionTest, RoundTripsEmbeddedSingleQuote) {
+  Table table = MakeQueryTable();
+  Result<Predicate> parsed = ParsePredicate(&table, "city = \"it's\"");
+  ASSERT_TRUE(parsed.ok());
+  std::string rendered = PredicateToQuery(table, parsed.value());
+  Result<Predicate> reparsed = ParsePredicate(&table, rendered);
+  ASSERT_TRUE(reparsed.ok()) << rendered;
+  EXPECT_EQ(parsed.value().conjuncts(), reparsed.value().conjuncts());
+}
+
+TEST(CsvRegressionTest, MalformedStreamsReturnStatus) {
+  Schema schema({{"name", AttributeType::kCategorical},
+                 {"tags", AttributeType::kMultiCategorical},
+                 {"score", AttributeType::kNumeric}});
+  const char* bad[] = {
+      "",                           // empty stream
+      "wrong,header,names\n",       // header mismatch
+      "name,tags\n",                // header arity mismatch
+      "name,tags,score\na,b\n",     // short row
+      "name,tags,score\na,b,c,d\n", // long row
+      "name,tags,score\na,b,nan-ish\n",  // bad numeric
+  };
+  for (const char* text : bad) {
+    std::istringstream in(text);
+    Result<Table> r = ReadCsv(in, schema, "<test>");
+    EXPECT_FALSE(r.ok()) << "accepted: " << text;
+  }
+  // Empty cells are nulls, not errors.
+  std::istringstream ok_in("name,tags,score\n,,\n");
+  Result<Table> ok = ReadCsv(ok_in, schema, "<test>");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().num_rows(), 1u);
+}
+
+// Found by fuzzing LoadDatabase's manifest path: out-of-range scales
+// reached the SubjectiveDatabase constructor and CHECK-aborted the
+// process. ParseManifest must reject them as InvalidArgument instead.
+TEST(ManifestRegressionTest, OutOfRangeScaleReturnsStatus) {
+  for (const char* scale_line : {"scale 1", "scale 0", "scale -3",
+                                 "scale 101", "scale 100000"}) {
+    std::istringstream in(std::string("subdex-db 1\n") + scale_line +
+                          "\ndimensions food\n");
+    Result<DbManifest> r = ParseManifest(in);
+    ASSERT_FALSE(r.ok()) << scale_line;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+// Split() keeps empty fields, so doubled separators used to smuggle empty
+// dimension names into the SubjectiveDatabase constructor.
+TEST(ManifestRegressionTest, EmptyDimensionNameReturnsStatus) {
+  std::istringstream in("subdex-db 1\nscale 5\ndimensions food  service\n");
+  Result<DbManifest> r = ParseManifest(in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Duplicate attribute names used to CHECK-abort inside Schema's
+// constructor when LoadDatabase built the schemas.
+TEST(ManifestRegressionTest, DuplicateAttributeReturnsStatus) {
+  std::istringstream in(
+      "subdex-db 1\nscale 5\ndimensions food\n"
+      "reviewer_attr level categorical\nreviewer_attr level numeric\n");
+  Result<DbManifest> r = ParseManifest(in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ManifestRegressionTest, MalformedManifestsReturnStatus) {
+  const char* bad[] = {
+      "",                                  // empty
+      "not-a-manifest\n",                  // bad magic
+      "subdex-db 2\n",                     // unsupported version
+      "subdex-db 1\n",                     // no dimensions
+      "subdex-db 1\nscale five\ndimensions a\n",       // bad scale int
+      "subdex-db 1\nscale 5\ndimensions a\nbogus x\n", // unknown key
+      "subdex-db 1\nscale 5\ndimensions a\nreviewer_attr x weird\n",
+      "subdex-db 1\nscale 5\ndimensions a\nreviewer_attr  categorical\n",
+  };
+  for (const char* text : bad) {
+    std::istringstream in(text);
+    Result<DbManifest> r = ParseManifest(in);
+    EXPECT_FALSE(r.ok()) << "accepted: " << text;
+  }
+}
+
+TEST(ManifestRegressionTest, ParsedManifestConstructsDatabase) {
+  std::istringstream in(
+      "subdex-db 1\nscale 7\ndimensions food service\n"
+      "reviewer_attr level categorical\nitem_attr kind multi\n");
+  Result<DbManifest> r = ParseManifest(in);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const DbManifest& m = r.value();
+  // The header contract: a parsed manifest always satisfies the
+  // SubjectiveDatabase constructor preconditions.
+  SubjectiveDatabase db(Schema(m.reviewer_attrs), Schema(m.item_attrs),
+                        m.dimensions, m.scale);
+  EXPECT_EQ(db.scale(), 7);
+  EXPECT_EQ(db.num_dimensions(), 2u);
+}
+
+class RatingsCsvRegressionTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<SubjectiveDatabase> MakeDb() {
+    Schema reviewer_schema({{"level", AttributeType::kCategorical}});
+    Schema item_schema({{"kind", AttributeType::kCategorical}});
+    auto db = std::make_unique<SubjectiveDatabase>(
+        reviewer_schema, item_schema,
+        std::vector<std::string>{"food", "service"}, 5);
+    EXPECT_TRUE(db->reviewers().AppendRow({std::string("gold")}).ok());
+    EXPECT_TRUE(db->items().AppendRow({std::string("cafe")}).ok());
+    return db;
+  }
+};
+
+TEST_F(RatingsCsvRegressionTest, MalformedRowsReturnStatus) {
+  const char* bad[] = {
+      "",                                  // empty
+      "reviewer,item,food,service\n0,0,3\n",        // short row
+      "reviewer,item,food,service\n0,0,3,4,5\n",    // long row
+      "reviewer,item,food,service\nx,0,3,4\n",      // bad reviewer id
+      "reviewer,item,food,service\n-1,0,3,4\n",     // negative id
+      "reviewer,item,food,service\n5,0,3,4\n",      // reviewer out of range
+      "reviewer,item,food,service\n0,7,3,4\n",      // item out of range
+      "reviewer,item,food,service\n0,0,nine,4\n",   // bad score
+  };
+  for (const char* text : bad) {
+    std::unique_ptr<SubjectiveDatabase> db = MakeDb();
+    std::istringstream in(text);
+    Status st = LoadRatingsCsv(in, db.get());
+    EXPECT_FALSE(st.ok()) << "accepted: " << text;
+  }
+}
+
+TEST_F(RatingsCsvRegressionTest, ValidRowsLoad) {
+  std::unique_ptr<SubjectiveDatabase> db = MakeDb();
+  std::istringstream in("reviewer,item,food,service\n0,0,3,4\n\n0,0,5,1\n");
+  Status st = LoadRatingsCsv(in, db.get());
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  db->FinalizeIndexes();
+  EXPECT_EQ(db->num_records(), 2u);
+  EXPECT_EQ(db->score(0, 0), 3);
+  EXPECT_EQ(db->score(1, 1), 1);
+}
+
+}  // namespace
+}  // namespace subdex

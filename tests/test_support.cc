@@ -22,7 +22,7 @@ Schema ItemSchema() {
 
 void MustAppend(Table* t, const std::vector<Value>& cells) {
   Status st = t->AppendRow(cells);
-  SUBDEX_CHECK_MSG(st.ok(), st.ToString().c_str());
+  SUBDEX_CHECK_OK(st);
 }
 
 }  // namespace
@@ -71,7 +71,7 @@ std::unique_ptr<SubjectiveDatabase> MakeTinyRestaurantDb() {
         static_cast<RowId>(r[0]), static_cast<RowId>(r[1]),
         {static_cast<double>(r[2]), static_cast<double>(r[3]),
          static_cast<double>(r[4]), static_cast<double>(r[5])});
-    SUBDEX_CHECK_MSG(st.ok(), st.ToString().c_str());
+    SUBDEX_CHECK_OK(st);
   }
   db->FinalizeIndexes();
   return db;
@@ -117,7 +117,7 @@ std::unique_ptr<SubjectiveDatabase> MakeRandomDb(size_t num_reviewers,
     Status st = db->AddRating(
         rng.UniformU32(static_cast<uint32_t>(num_reviewers)),
         rng.UniformU32(static_cast<uint32_t>(num_items)), scores);
-    SUBDEX_CHECK_MSG(st.ok(), st.ToString().c_str());
+    SUBDEX_CHECK_OK(st);
   }
   db->FinalizeIndexes();
   return db;
