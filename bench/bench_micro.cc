@@ -189,6 +189,29 @@ void BM_EngineExecuteStep(benchmark::State& state) {
 BENCHMARK(BM_EngineExecuteStep)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+// The same step driven through StepOptions with a far-future deadline: the
+// extra cost is pure budget-checking (StopToken polls at phase and chunk
+// boundaries) since the deadline never fires. Compare against
+// BM_EngineExecuteStep/4 — the deadline-check overhead budget is < 1%.
+void BM_EngineExecuteStepDeadline(benchmark::State& state) {
+  const SubjectiveDatabase& db = SharedDb();
+  EngineConfig config;
+  config.num_threads = 4;
+  config.parallel_recommendations = true;
+  config.parallel_generation = true;
+  config.operations.max_candidates = 60;
+  config.min_group_size = 1;
+  SdeEngine engine(&db, config);
+  for (auto _ : state) {
+    engine.ResetHistory();
+    StepOptions options;
+    options.deadline = Deadline::FromNowMs(3'600'000.0);  // never fires
+    StepResult step = engine.ExecuteStep(GroupSelection{}, options);
+    benchmark::DoNotOptimize(step.recommendations.size());
+  }
+}
+BENCHMARK(BM_EngineExecuteStepDeadline)->Unit(benchmark::kMillisecond);
+
 void BM_SignatureEmdDistance(benchmark::State& state) {
   const SubjectiveDatabase& db = SharedDb();
   RatingGroup all = RatingGroup::Materialize(db, GroupSelection{});

@@ -11,6 +11,10 @@
 #   4. fuzz smoke                 — corpus replay plus a bounded mutation
 #                                   run per harness (SUBDEX_FUZZ_RUNS,
 #                                   default 20000)
+#   5. fault injection under ASan — SUBDEX_FAULT_INJECTION=ON build; the
+#                                   fault-sweep test arms every registered
+#                                   fault point in turn and asserts the
+#                                   engine's invariants survive
 #
 # Clang-only gates degrade to a loud SKIP instead of failing when the
 # toolchain is GCC-only, so the script is green on any supported image
@@ -24,10 +28,10 @@ BUILD="${SUBDEX_CHECK_BUILD_DIR:-build-check}"
 FUZZ_RUNS="${SUBDEX_FUZZ_RUNS:-20000}"
 JOBS="$(nproc)"
 
-echo "==> [1/4] lint"
+echo "==> [1/5] lint"
 ci/lint.sh
 
-echo "==> [2/4] -Werror build + tests"
+echo "==> [2/5] -Werror build + tests"
 TIDY=OFF
 if command -v clang-tidy >/dev/null 2>&1; then
   TIDY=ON
@@ -45,7 +49,7 @@ cmake -B "$BUILD" -S "$ROOT" \
 cmake --build "$BUILD" -j"$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j"$JOBS"
 
-echo "==> [3/4] clang thread-safety analysis"
+echo "==> [3/5] clang thread-safety analysis"
 if command -v clang++ >/dev/null 2>&1; then
   TS_BUILD="$BUILD-threadsafety"
   cmake -B "$TS_BUILD" -S "$ROOT" \
@@ -58,7 +62,7 @@ else
   echo "SKIP: clang++ not installed; thread-safety annotations not checked"
 fi
 
-echo "==> [4/4] fuzz smoke ($FUZZ_RUNS runs per harness)"
+echo "==> [4/5] fuzz smoke ($FUZZ_RUNS runs per harness)"
 for harness in fuzz_query_parser fuzz_csv_loader fuzz_db_io; do
   corpus="$ROOT/fuzz/corpus/${harness#fuzz_}"
   bin="$BUILD/fuzz/$harness"
@@ -70,6 +74,24 @@ for harness in fuzz_query_parser fuzz_csv_loader fuzz_db_io; do
   # Flag spelling works for both drivers: the standalone replay driver and
   # libFuzzer each accept --runs/--seed and positional corpus directories.
   "$bin" --runs="$FUZZ_RUNS" --seed=1 "$corpus"
+done
+
+echo "==> [5/5] fault injection under ASan"
+FAULT_BUILD="$BUILD-fault"
+cmake -B "$FAULT_BUILD" -S "$ROOT" \
+  -DSUBDEX_FAULT_INJECTION=ON \
+  -DSUBDEX_SANITIZE=address \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$FAULT_BUILD" -j"$JOBS" \
+  --target fault_injection_test engine_robustness_test
+for t in fault_injection_test engine_robustness_test; do
+  bin="$FAULT_BUILD/tests/$t"
+  if [[ ! -x "$bin" ]]; then
+    echo "ERROR: expected test binary is missing: $bin" >&2
+    exit 1
+  fi
+  echo "--- $t (fault injection, ASan)"
+  "$bin"
 done
 
 echo "check: OK"

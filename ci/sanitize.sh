@@ -20,7 +20,7 @@ esac
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build-$SAN"
 
-TEST_BINS=(util_test engine_test group_cache_test)
+TEST_BINS=(util_test engine_test group_cache_test engine_robustness_test)
 FUZZ_BINS=(fuzz_query_parser fuzz_csv_loader fuzz_db_io)
 
 FUZZ_FLAG=OFF

@@ -1,6 +1,7 @@
 #include "engine/group_cache.h"
 
 #include "util/check.h"
+#include "util/fault_point.h"
 
 namespace subdex {
 
@@ -29,6 +30,7 @@ RatingGroup RatingGroupCache::Get(const GroupSelection& selection) {
       MutexLock lock(mu_);
       ++stats_.misses;
     }
+    SUBDEX_FAULT_POINT("group_cache.load");
     return RatingGroup::Materialize(*db_, selection);
   }
   std::string key = KeyOf(selection);
@@ -59,12 +61,35 @@ RatingGroup RatingGroupCache::Get(const GroupSelection& selection) {
   if (!leader) {
     MutexLock lock(flight->mu);
     while (!flight->done) lock.WaitOnce(flight->cv);
+    // The leader failed: its error is ours too — the whole point of
+    // coalescing is that waiters observe exactly what one scan would have
+    // produced, failure included.
+    if (flight->error) std::rethrow_exception(flight->error);
     return RatingGroup(db_, selection, flight->records);
   }
 
   // Leader: materialize outside the cache lock — single-flight guarantees
   // exactly one scan per key, and other keys' lookups are never blocked.
-  RatingGroup group = RatingGroup::Materialize(*db_, selection);
+  // On failure the flight must still complete (exception stored, waiters
+  // woken) or coalesced callers would sleep forever.
+  RatingGroup group = [&] {
+    try {
+      SUBDEX_FAULT_POINT("group_cache.load");
+      return RatingGroup::Materialize(*db_, selection);
+    } catch (...) {
+      {
+        MutexLock lock(mu_);
+        inflight_.erase(key);
+      }
+      {
+        MutexLock lock(flight->mu);
+        flight->error = std::current_exception();
+        flight->done = true;
+      }
+      flight->cv.notify_all();
+      throw;
+    }
+  }();
   {
     MutexLock lock(mu_);
     inflight_.erase(key);

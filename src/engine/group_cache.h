@@ -2,6 +2,7 @@
 #define SUBDEX_ENGINE_GROUP_CACHE_H_
 
 #include <condition_variable>
+#include <exception>
 #include <list>
 #include <memory>
 #include <string>
@@ -64,12 +65,16 @@ class RatingGroupCache {
   static std::string KeyOf(const GroupSelection& selection);
 
   // Single-flight rendezvous: the first miss on a key materializes while
-  // later concurrent misses wait here for the result.
+  // later concurrent misses wait here for the result. A leader that fails
+  // still completes the flight — `error` carries its exception to every
+  // coalesced waiter (who rethrow), so no failure mode leaves waiters
+  // parked on the condition variable forever.
   struct Flight {
     Mutex mu;
     std::condition_variable cv;
     bool done SUBDEX_GUARDED_BY(mu) = false;
     RatingGroup::SharedRecords records SUBDEX_GUARDED_BY(mu);
+    std::exception_ptr error SUBDEX_GUARDED_BY(mu);
   };
 
   const SubjectiveDatabase* db_;

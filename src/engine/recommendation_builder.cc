@@ -1,6 +1,7 @@
 #include "engine/recommendation_builder.h"
 
 #include <algorithm>
+#include <atomic>
 #include <optional>
 
 #include "util/check.h"
@@ -10,8 +11,8 @@ namespace subdex {
 
 std::vector<Recommendation> RecommendationBuilder::TopRecommendations(
     const GroupSelection& current, const SeenMapsTracker& seen,
-    const std::vector<GroupSelection>& explored,
-    RmGeneratorStats* stats) const {
+    const std::vector<GroupSelection>& explored, RmGeneratorStats* stats,
+    const StopToken& stop, bool* truncated) const {
   std::vector<Operation> candidates =
       EnumerateCandidateOperations(*db_, current, config_->operations);
   if (!explored.empty()) {
@@ -37,14 +38,28 @@ std::vector<Recommendation> RecommendationBuilder::TopRecommendations(
 
   std::vector<std::optional<Recommendation>> results(candidates.size());
   std::vector<RmGeneratorStats> per_candidate_stats(candidates.size());
+  // Set when the budget demonstrably skipped or shortened candidate work;
+  // atomic because pool workers evaluate candidates concurrently.
+  std::atomic<bool> cut{false};
 
   auto evaluate = [&](size_t i) {
+    if (stop.ShouldStop()) {
+      cut.store(true, std::memory_order_relaxed);
+      return;
+    }
     RatingGroup group = cache_ != nullptr
                             ? cache_->Get(candidates[i].target)
                             : RatingGroup::Materialize(*db_, candidates[i].target);
     if (group.size() < config_->min_group_size) return;
-    std::vector<ScoredRatingMap> maps =
-        pipeline_->SelectForDisplay(group, seen, &per_candidate_stats[i]);
+    // The budget flows into the per-candidate pipeline too, so one slow
+    // candidate cannot blow the deadline; its best-so-far maps still yield
+    // a comparable (if approximate) operation utility.
+    StepPhase candidate_phase = StepPhase::kNone;
+    std::vector<ScoredRatingMap> maps = pipeline_->SelectForDisplay(
+        group, seen, &per_candidate_stats[i], nullptr, stop, &candidate_phase);
+    if (candidate_phase != StepPhase::kNone) {
+      cut.store(true, std::memory_order_relaxed);
+    }
     if (maps.empty()) return;
     // A recommendation previews at most the k display slots of Problem 1.
     SUBDEX_DCHECK_LE(maps.size(), config_->k);
@@ -57,11 +72,24 @@ std::vector<Recommendation> RecommendationBuilder::TopRecommendations(
   };
 
   // The engine-owned pool outlives every step: no per-call thread churn.
+  // The stop token also reaches the pool, which stops scheduling whole
+  // candidates once the budget is gone (their result slots stay empty).
   if (pool_ != nullptr && config_->parallel_recommendations &&
       candidates.size() > 1) {
-    pool_->ParallelFor(candidates.size(), evaluate);
+    if (!pool_->ParallelFor(candidates.size(), evaluate, stop)) {
+      cut.store(true, std::memory_order_relaxed);
+    }
   } else {
-    for (size_t i = 0; i < candidates.size(); ++i) evaluate(i);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (stop.ShouldStop()) {
+        cut.store(true, std::memory_order_relaxed);
+        break;
+      }
+      evaluate(i);
+    }
+  }
+  if (truncated != nullptr && cut.load(std::memory_order_relaxed)) {
+    *truncated = true;
   }
 
   if (stats != nullptr) {

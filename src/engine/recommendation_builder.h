@@ -51,10 +51,17 @@ class RecommendationBuilder {
   /// selections whose maps the user has already been shown) are skipped —
   /// re-recommending an already-displayed view shows nothing new, the same
   /// rationale as global peculiarity's multi-step diversity.
+  ///
+  /// `stop` makes the fan-out anytime: once the budget is exhausted,
+  /// unevaluated candidates are skipped (the pool stops scheduling them)
+  /// and the ranking covers only the candidates evaluated so far.
+  /// `*truncated` (if non-null) is set to true when the budget cut the
+  /// fan-out short, and left untouched otherwise.
   std::vector<Recommendation> TopRecommendations(
       const GroupSelection& current, const SeenMapsTracker& seen,
       const std::vector<GroupSelection>& explored = {},
-      RmGeneratorStats* stats = nullptr) const;
+      RmGeneratorStats* stats = nullptr, const StopToken& stop = StopToken(),
+      bool* truncated = nullptr) const;
 
  private:
   const SubjectiveDatabase* db_;

@@ -118,7 +118,7 @@ void EstimateCandidate(Candidate* cand, const RatingMap& snapshot,
 
 std::vector<ScoredRatingMap> RmGenerator::Generate(
     const RatingGroup& group, const SeenMapsTracker& seen, size_t k_prime,
-    RmGeneratorStats* stats) const {
+    RmGeneratorStats* stats, const StopToken& stop, bool* truncated) const {
   RmGeneratorStats local_stats;
   RmGeneratorStats* st = stats != nullptr ? stats : &local_stats;
   if (group.empty() || k_prime == 0) return {};
@@ -200,12 +200,23 @@ std::vector<ScoredRatingMap> RmGenerator::Generate(
   const bool parallel = pool_ != nullptr && config_->parallel_generation;
 
   for (size_t phase = 0; phase < num_phases; ++phase) {
+    // Anytime cut, at phase boundaries only: a phase's scan updates must
+    // all advance through the same records (estimation aligns each
+    // candidate's snapshot with its scan's processed count), so the budget
+    // is never allowed to stop individual scans mid-phase. Phase 0 always
+    // runs: a map over zero records would be meaningless, while 1/n of the
+    // group is a bounded, honest best-effort sample.
+    if (phase > 0 && stop.ShouldStop()) {
+      if (truncated != nullptr) *truncated = true;
+      break;
+    }
     size_t begin = total * phase / num_phases;
     size_t end = total * (phase + 1) / num_phases;
     if (parallel && scans.size() > 1) {
       // Scans own disjoint histograms, so the phase update is
       // embarrassingly parallel; the per-scan work counts are reduced in
-      // index order to keep stats deterministic.
+      // index order to keep stats deterministic. No stop token here — see
+      // the phase-boundary comment above.
       std::vector<size_t> updates(scans.size(), 0);
       pool_->ParallelFor(scans.size(), [&](size_t s) {
         updates[s] = scans[s]->Update(begin, end);
@@ -285,8 +296,12 @@ std::vector<ScoredRatingMap> RmGenerator::Generate(
     }
   }
 
-  // Survivors were updated through every phase, so their snapshots cover the
-  // whole group; score them exactly and keep the top k_prime by DW utility.
+  // Survivors were updated through every phase that ran, so their
+  // snapshots cover the whole group — or, when the budget truncated the
+  // phase loop, the processed prefix (best-so-far anytime answer). Score
+  // the snapshots and keep the top k_prime by DW utility. This pass is
+  // histogram-bound (independent of |group|), so it is not budgeted: it is
+  // the step that turns work already done into a returnable result.
   std::vector<size_t> live;
   for (size_t i = 0; i < cands.size(); ++i) {
     if (!cands[i].pruned) live.push_back(i);

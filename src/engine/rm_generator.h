@@ -6,6 +6,7 @@
 #include "core/rating_map.h"
 #include "core/seen_maps.h"
 #include "engine/config.h"
+#include "util/deadline.h"
 
 namespace subdex {
 
@@ -53,10 +54,19 @@ class RmGenerator {
   explicit RmGenerator(const EngineConfig* config, ThreadPool* pool = nullptr)
       : config_(config), pool_(pool) {}
 
+  /// `stop` bounds the work (anytime semantics): the phase loop checks the
+  /// budget at phase boundaries and stops consuming the group once it is
+  /// exhausted, returning maps scored over the records processed so far —
+  /// still sorted by descending (partial-data) DW utility. Phase 0 always
+  /// runs, so every returned map covers at least 1/num_phases of the
+  /// group. `*truncated` (if non-null) is set to true when the budget cut
+  /// the phase loop short, and left untouched otherwise.
   std::vector<ScoredRatingMap> Generate(const RatingGroup& group,
                                         const SeenMapsTracker& seen,
                                         size_t k_prime,
-                                        RmGeneratorStats* stats = nullptr) const;
+                                        RmGeneratorStats* stats = nullptr,
+                                        const StopToken& stop = StopToken(),
+                                        bool* truncated = nullptr) const;
 
  private:
   const EngineConfig* config_;

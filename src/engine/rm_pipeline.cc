@@ -18,25 +18,52 @@ double MsSince(Clock::time_point start) {
 
 std::vector<ScoredRatingMap> RmPipeline::SelectForDisplay(
     const RatingGroup& group, const SeenMapsTracker& seen,
-    RmGeneratorStats* stats, StepTimings* timings) const {
+    RmGeneratorStats* stats, StepTimings* timings, const StopToken& stop,
+    StepPhase* cut) const {
   size_t k = config_->k;
+  bool generation_truncated = false;
+  // Degradation order within the display pipeline (paper-sane: utility
+  // ranking is the primary objective, diversification a refinement): an
+  // exhausted budget skips the GMM pass and returns the best-so-far top-k
+  // by DW utility — the generator's output order — instead of the
+  // diversified RM-set.
+  auto diversify = [&](std::vector<ScoredRatingMap> candidates) {
+    if (stop.ShouldStop()) {
+      if (cut != nullptr && *cut == StepPhase::kNone) {
+        *cut = generation_truncated ? StepPhase::kRmGeneration
+                                    : StepPhase::kGmmSelection;
+      }
+      if (candidates.size() > k) candidates.resize(k);
+      return candidates;
+    }
+    Clock::time_point t1 = Clock::now();
+    std::vector<ScoredRatingMap> picked =
+        selector_.SelectDiverse(std::move(candidates), k);
+    if (timings != nullptr) timings->gmm_selection_ms += MsSince(t1);
+    if (generation_truncated && cut != nullptr &&
+        *cut == StepPhase::kNone) {
+      *cut = StepPhase::kRmGeneration;
+    }
+    return picked;
+  };
   switch (config_->selection) {
     case SelectionMode::kUtilityAndDiversity: {
       Clock::time_point t0 = Clock::now();
-      std::vector<ScoredRatingMap> top =
-          generator_.Generate(group, seen, k * config_->l, stats);
+      std::vector<ScoredRatingMap> top = generator_.Generate(
+          group, seen, k * config_->l, stats, stop, &generation_truncated);
       if (timings != nullptr) timings->rm_generation_ms += MsSince(t0);
-      Clock::time_point t1 = Clock::now();
-      std::vector<ScoredRatingMap> picked =
-          selector_.SelectDiverse(std::move(top), k);
-      if (timings != nullptr) timings->gmm_selection_ms += MsSince(t1);
-      return picked;
+      return diversify(std::move(top));
     }
     case SelectionMode::kUtilityOnly: {
       // Equivalent to l = 1: the k highest-DW-utility maps, no GMM pass.
       Clock::time_point t0 = Clock::now();
-      std::vector<ScoredRatingMap> top = generator_.Generate(group, seen, k, stats);
+      std::vector<ScoredRatingMap> top = generator_.Generate(
+          group, seen, k, stats, stop, &generation_truncated);
       if (timings != nullptr) timings->rm_generation_ms += MsSince(t0);
+      if (generation_truncated && cut != nullptr &&
+          *cut == StepPhase::kNone) {
+        *cut = StepPhase::kRmGeneration;
+      }
       return top;
     }
     case SelectionMode::kDiversityOnly: {
@@ -44,13 +71,10 @@ std::vector<ScoredRatingMap> RmPipeline::SelectForDisplay(
       // budget) and let GMM pick the k most diverse.
       Clock::time_point t0 = Clock::now();
       std::vector<ScoredRatingMap> all = generator_.Generate(
-          group, seen, std::numeric_limits<size_t>::max(), stats);
+          group, seen, std::numeric_limits<size_t>::max(), stats, stop,
+          &generation_truncated);
       if (timings != nullptr) timings->rm_generation_ms += MsSince(t0);
-      Clock::time_point t1 = Clock::now();
-      std::vector<ScoredRatingMap> picked =
-          selector_.SelectDiverse(std::move(all), k);
-      if (timings != nullptr) timings->gmm_selection_ms += MsSince(t1);
-      return picked;
+      return diversify(std::move(all));
     }
   }
   return {};

@@ -23,9 +23,18 @@ class RmPipeline {
   /// The k-size display set for `group` given history `seen`. Does not
   /// mutate the history. When `timings` is non-null, the generation and
   /// GMM-selection wall-clock times are accumulated into it.
+  ///
+  /// `stop` makes the call anytime: the generator stops consuming the
+  /// group at the first phase boundary past the budget, and an exhausted
+  /// budget skips GMM diversification, falling back to the best-so-far
+  /// top-k by DW interestingness (the generator's utility order). When a
+  /// cut happens and `cut` is non-null, `*cut` is set to the earliest
+  /// phase affected (kRmGeneration or kGmmSelection); it is left untouched
+  /// on a complete run.
   std::vector<ScoredRatingMap> SelectForDisplay(
       const RatingGroup& group, const SeenMapsTracker& seen,
-      RmGeneratorStats* stats = nullptr, StepTimings* timings = nullptr) const;
+      RmGeneratorStats* stats = nullptr, StepTimings* timings = nullptr,
+      const StopToken& stop = StopToken(), StepPhase* cut = nullptr) const;
 
   /// Utility of an exploration operation (Eq. 2): the sum of DW utilities
   /// of the maps the operation would display.

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
+
+#include "engine/session_log.h"
 
 namespace subdex {
 
@@ -37,12 +40,50 @@ SdeEngine::SdeEngine(const SubjectiveDatabase* db, EngineConfig config)
 
 StepResult SdeEngine::ExecuteStep(const GroupSelection& selection,
                                   bool with_recommendations) {
+  StepOptions options;
+  options.with_recommendations = with_recommendations;
+  return ExecuteStep(selection, options);
+}
+
+StepResult SdeEngine::ExecuteStep(const GroupSelection& selection,
+                                  const StepOptions& options) {
   Clock::time_point start = Clock::now();
   ThreadPool::Stats pool_before;
   if (pool_ != nullptr) pool_before = pool_->stats();
 
+  const StopToken stop(options.deadline, options.token);
+
   StepResult result;
   result.selection = selection;
+
+  // Records the earliest phase the budget interrupted; later cuts only
+  // confirm the degradation, they don't move the marker back.
+  auto cut = [&result](StepPhase phase) {
+    result.degraded = true;
+    if (result.cut_phase == StepPhase::kNone) result.cut_phase = phase;
+  };
+
+  // Logging never fails the step; lost entries are counted so callers can
+  // tell a clean log from a lossy one. Cancelled steps are not part of the
+  // session record — nothing was shown and nothing committed.
+  auto log_step = [this, &result] {
+    if (log_ != nullptr && !result.cancelled) {
+      if (!log_->Append(result).ok()) {
+        dropped_log_entries_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  // Out of budget before any work: return an empty (but valid) result
+  // without materializing the group or touching the history. This is the
+  // <5 ms path for steps submitted with an already-expired deadline.
+  if (stop.ShouldStop()) {
+    cut(StepPhase::kMaterialize);
+    result.cancelled = stop.cancelled();
+    result.elapsed_ms = MsBetween(start, Clock::now());
+    log_step();
+    return result;
+  }
 
   RatingGroup group = cache_->Get(selection);
   Clock::time_point materialized = Clock::now();
@@ -55,25 +96,69 @@ StepResult SdeEngine::ExecuteStep(const GroupSelection& selection,
     // history updated by this step's displayed maps. Parallelism inside
     // the step (phase scans, recommendation fan-out) is unaffected — pool
     // workers never touch mu_.
+    //
+    // Strong exception guarantee: everything below computes on copies
+    // (`updated`, `result`) and commits to seen_/explored_ only in the
+    // final else-branch. A throw from the pipeline, the builder, or an
+    // injected fault unwinds past the commit and leaves the history
+    // exactly as it was before the step.
     MutexLock lock(mu_);
+    StepPhase display_cut = StepPhase::kNone;
     result.maps = pipeline_.SelectForDisplay(group, seen_, &result.stats,
-                                             &result.timings);
-    // The user sees these maps now; recommendations are ranked against the
-    // updated history, and later steps' global peculiarity refers to them.
-    for (const ScoredRatingMap& m : result.maps) seen_.Record(m.map);
-    // Revisits must not duplicate history entries: TopRecommendations scans
-    // `explored_` per candidate, so duplicates degrade it to
-    // O(|candidates| * |steps|) and skew nothing else.
-    if (std::find(explored_.begin(), explored_.end(), selection) ==
-        explored_.end()) {
-      explored_.push_back(selection);
-    }
+                                             &result.timings, stop,
+                                             &display_cut);
+    if (display_cut != StepPhase::kNone) cut(display_cut);
 
-    if (with_recommendations) {
-      Clock::time_point reco_start = Clock::now();
-      result.recommendations = builder_.TopRecommendations(
-          selection, seen_, explored_, &result.stats);
-      result.timings.recommendation_ms = MsBetween(reco_start, Clock::now());
+    if (stop.cancelled()) {
+      // Explicit cancellation abandons the step: nothing is displayed, so
+      // nothing enters the history (unlike deadline expiry, where the
+      // best-effort maps ARE shown to the user and must be remembered).
+      result.maps.clear();
+      result.cancelled = true;
+      result.degraded = true;
+    } else {
+      // The user sees these maps now; recommendations are ranked against
+      // the updated history, and later steps' global peculiarity refers to
+      // them. `updated` is the tentative post-step history.
+      SeenMapsTracker updated = seen_;
+      for (const ScoredRatingMap& m : result.maps) updated.Record(m.map);
+      // Revisits must not duplicate history entries: TopRecommendations
+      // scans `explored_` per candidate, so duplicates degrade it to
+      // O(|candidates| * |steps|) and skew nothing else.
+      const bool record_selection =
+          std::find(explored_.begin(), explored_.end(), selection) ==
+          explored_.end();
+
+      if (options.with_recommendations) {
+        if (stop.ShouldStop()) {
+          // First rung of the degradation ladder: the maps are worth
+          // showing late, the recommendations are not.
+          cut(StepPhase::kRecommendations);
+        } else {
+          Clock::time_point reco_start = Clock::now();
+          bool reco_truncated = false;
+          result.recommendations = builder_.TopRecommendations(
+              selection, updated, explored_, &result.stats, stop,
+              &reco_truncated);
+          result.timings.recommendation_ms =
+              MsBetween(reco_start, Clock::now());
+          if (reco_truncated) cut(StepPhase::kRecommendations);
+        }
+      }
+
+      if (stop.cancelled()) {
+        // Cancellation landed during the recommendation fan-out: the step
+        // is abandoned as a whole, commit nothing.
+        result.maps.clear();
+        result.recommendations.clear();
+        result.cancelled = true;
+        result.degraded = true;
+      } else {
+        // Commit point: the step succeeded (possibly degraded), so its
+        // displayed maps become history.
+        seen_ = std::move(updated);
+        if (record_selection) explored_.push_back(selection);
+      }
     }
   }
 
@@ -87,6 +172,7 @@ StepResult SdeEngine::ExecuteStep(const GroupSelection& selection,
   }
 
   result.elapsed_ms = MsBetween(start, Clock::now());
+  log_step();
   return result;
 }
 

@@ -1,6 +1,7 @@
 #ifndef SUBDEX_ENGINE_SDE_ENGINE_H_
 #define SUBDEX_ENGINE_SDE_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -8,11 +9,14 @@
 #include "engine/recommendation_builder.h"
 #include "engine/rm_pipeline.h"
 #include "engine/step_timings.h"
+#include "util/deadline.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace subdex {
+
+class SessionLog;
 
 /// Everything the engine produced for one exploration step.
 struct StepResult {
@@ -30,6 +34,30 @@ struct StepResult {
   /// Wall-clock time between picking the operation and having maps +
   /// recommendations ready — the paper's per-step running time measure.
   double elapsed_ms = 0.0;
+  /// True when the step's deadline (or a cancellation) cut work short and
+  /// the result is best-effort rather than exact.
+  bool degraded = false;
+  /// True when the step was explicitly cancelled: maps/recommendations are
+  /// empty and nothing was committed to the exploration history.
+  bool cancelled = false;
+  /// The earliest pipeline phase the budget interrupted (kNone when the
+  /// step ran to completion). Later phases were skipped or approximated.
+  StepPhase cut_phase = StepPhase::kNone;
+};
+
+/// Per-step execution controls. The default-constructed options reproduce
+/// the classic ExecuteStep(selection, true): no deadline, no cancellation,
+/// recommendations on.
+struct StepOptions {
+  bool with_recommendations = true;
+  /// Soft wall-clock budget. The step degrades in a fixed order as the
+  /// deadline approaches — recommendations are dropped first, then the
+  /// diversified RM-set falls back to best-so-far top-k by interestingness
+  /// — and always returns a valid StepResult (`degraded` set).
+  Deadline deadline;
+  /// Cooperative cancellation. Unlike an expired deadline, a cancelled
+  /// step returns an empty result and leaves the history untouched.
+  CancellationToken token;
 };
 
 /// The SDE Engine of Figure 4: orchestrates group materialization, the
@@ -62,6 +90,21 @@ class SdeEngine {
   StepResult ExecuteStep(const GroupSelection& selection,
                          bool with_recommendations) SUBDEX_EXCLUDES(mu_);
 
+  /// Deadline-aware, cancellable variant with anytime semantics. Budget is
+  /// checked at phase boundaries and the step degrades in a fixed order
+  /// (recommendations first, then GMM diversification, then scan depth)
+  /// rather than failing; `result.degraded`/`result.cut_phase` report what
+  /// was cut. A step whose deadline is already expired on entry returns an
+  /// empty degraded result without materializing anything.
+  ///
+  /// History semantics: maps actually displayed by a (possibly degraded)
+  /// step are committed to the seen/explored history; an explicitly
+  /// cancelled step commits nothing. The strong exception guarantee holds
+  /// throughout: a step that throws (I/O failure, injected fault) leaves
+  /// the history exactly as it was.
+  StepResult ExecuteStep(const GroupSelection& selection,
+                         const StepOptions& options) SUBDEX_EXCLUDES(mu_);
+
   /// Forgets all displayed maps (fresh exploration).
   void ResetHistory() SUBDEX_EXCLUDES(mu_);
 
@@ -78,6 +121,20 @@ class SdeEngine {
   /// once per engine and reused across every step.
   const ThreadPool* pool() const { return pool_.get(); }
 
+  /// Attaches a session log: every non-cancelled step (including
+  /// deadline-degraded ones — the user saw their best-effort result) is
+  /// appended to it. Logging failures never fail the step — they are
+  /// counted in dropped_log_entries() instead. Pass nullptr to detach.
+  /// The log must outlive the engine (or the detach).
+  void AttachSessionLog(SessionLog* log) { log_ = log; }
+
+  /// Number of step records the attached session log failed to persist
+  /// (Append returned non-OK). 0 when no log is attached or all writes
+  /// succeeded.
+  size_t dropped_log_entries() const {
+    return dropped_log_entries_.load(std::memory_order_relaxed);
+  }
+
  private:
   const SubjectiveDatabase* db_;
   EngineConfig config_;
@@ -85,6 +142,11 @@ class SdeEngine {
   RmPipeline pipeline_;
   std::unique_ptr<RatingGroupCache> cache_;
   RecommendationBuilder builder_;
+
+  // Optional step log (not owned) and the count of entries it failed to
+  // persist. Atomic: steps on different threads may drop concurrently.
+  SessionLog* log_ = nullptr;
+  std::atomic<size_t> dropped_log_entries_{0};
 
   // Cross-step exploration history. SeenMapsTracker itself is a plain
   // (externally synchronized) value type; here it is protected by mu_.

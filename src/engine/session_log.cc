@@ -1,31 +1,62 @@
 #include "engine/session_log.h"
 
-#include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "storage/query_parser.h"
+#include "util/fault_point.h"
 #include "util/string_util.h"
 
 namespace subdex {
 
+namespace {
+
+// Renders one logged step in the on-disk format (see the class comment).
+// Shared by Serialize and the write-through sink so both always agree.
+void WriteStepText(std::ostream& out, const LoggedStep& step,
+                   const SubjectiveDatabase& db) {
+  out << "step " << step.group_size << ' '
+      << FormatDouble(step.elapsed_ms, 3) << '\n';
+  std::string reviewers =
+      PredicateToQuery(db.reviewers(), step.selection.reviewer_pred);
+  std::string items = PredicateToQuery(db.items(), step.selection.item_pred);
+  out << "reviewers: " << (reviewers.empty() ? "-" : reviewers) << '\n';
+  out << "items: " << (items.empty() ? "-" : items) << '\n';
+  for (const RatingMapKey& key : step.displayed) {
+    out << "map " << SideName(key.side) << ' '
+        << db.table(key.side).schema().attribute(key.attribute).name << ' '
+        << db.dimension_name(key.dimension) << '\n';
+  }
+}
+
+}  // namespace
+
 SessionLog::SessionLog(SessionLog&& other) noexcept {
   MutexLock lock(other.mu_);
   steps_ = std::move(other.steps_);
+  sink_ = std::move(other.sink_);
+  sink_db_ = std::exchange(other.sink_db_, nullptr);
 }
 
 SessionLog& SessionLog::operator=(SessionLog&& other) noexcept {
   if (this == &other) return *this;
   std::vector<LoggedStep> taken;
+  std::ofstream taken_sink;
+  const SubjectiveDatabase* taken_db = nullptr;
   {
     MutexLock lock(other.mu_);
     taken = std::move(other.steps_);
+    taken_sink = std::move(other.sink_);
+    taken_db = std::exchange(other.sink_db_, nullptr);
   }
   MutexLock lock(mu_);
   steps_ = std::move(taken);
+  sink_ = std::move(taken_sink);
+  sink_db_ = taken_db;
   return *this;
 }
 
-void SessionLog::Append(const StepResult& step) {
+Status SessionLog::Append(const StepResult& step) {
   LoggedStep logged;
   logged.selection = step.selection;
   for (const ScoredRatingMap& m : step.maps) {
@@ -34,7 +65,51 @@ void SessionLog::Append(const StepResult& step) {
   logged.group_size = step.group_size;
   logged.elapsed_ms = step.elapsed_ms;
   MutexLock lock(mu_);
+  // The in-memory history records the step no matter what: a failing disk
+  // must not make steps() disagree with what the engine executed.
   steps_.push_back(std::move(logged));
+  SUBDEX_FAULT_POINT_STATUS("session_log.append");
+  if (sink_db_ == nullptr) return Status::Ok();
+  WriteStepText(sink_, steps_.back(), *sink_db_);
+  sink_.flush();
+  if (!sink_) {
+    // One failure report per lost entry: clear the stream's error state so
+    // the next Append tries (and is accounted) afresh.
+    sink_.clear();
+    return Status::IoError("session log sink write/flush failed");
+  }
+  return Status::Ok();
+}
+
+Status SessionLog::OpenSink(const SubjectiveDatabase* db,
+                            const std::string& path) {
+  MutexLock lock(mu_);
+  sink_.close();
+  sink_.clear();
+  sink_.open(path, std::ios::trunc);
+  if (!sink_) {
+    sink_db_ = nullptr;
+    return Status::IoError("cannot create session log sink '" + path + "'");
+  }
+  sink_db_ = db;
+  return Status::Ok();
+}
+
+Status SessionLog::CloseSink() {
+  MutexLock lock(mu_);
+  if (sink_db_ == nullptr) return Status::Ok();
+  sink_db_ = nullptr;
+  sink_.flush();
+  bool ok = static_cast<bool>(sink_);
+  sink_.close();
+  sink_.clear();
+  if (!ok) return Status::IoError("session log sink failed on final flush");
+  return Status::Ok();
+}
+
+bool SessionLog::has_sink() const {
+  MutexLock lock(mu_);
+  return sink_db_ != nullptr;
 }
 
 size_t SessionLog::size() const {

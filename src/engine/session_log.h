@@ -1,6 +1,7 @@
 #ifndef SUBDEX_ENGINE_SESSION_LOG_H_
 #define SUBDEX_ENGINE_SESSION_LOG_H_
 
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -46,9 +47,28 @@ class SessionLog {
   SessionLog(const SessionLog&) = delete;
   SessionLog& operator=(const SessionLog&) = delete;
 
-  void Append(const StepResult& step) SUBDEX_EXCLUDES(mu_);
+  /// Records one step. Always appends to the in-memory history; when a
+  /// write-through sink is open (OpenSink), the step is also serialized,
+  /// written and flushed, and any stream failure surfaces as a Status
+  /// instead of being dropped silently. Callers that must not fail on a
+  /// logging error (the engine) count the non-OK returns rather than
+  /// ignoring them — see SdeEngine::dropped_log_entries().
+  Status Append(const StepResult& step) SUBDEX_EXCLUDES(mu_);
   size_t size() const SUBDEX_EXCLUDES(mu_);
   bool empty() const SUBDEX_EXCLUDES(mu_);
+
+  /// Opens a write-through sink: every subsequent Append is serialized to
+  /// `path` (truncated here) and flushed, so a crash loses at most the
+  /// step being written. `db` renders selections and map keys; it must
+  /// outlive the sink. Replaces any previously open sink.
+  Status OpenSink(const SubjectiveDatabase* db, const std::string& path)
+      SUBDEX_EXCLUDES(mu_);
+
+  /// Flushes and closes the sink (no-op when none is open). Errors
+  /// detected on the final flush surface here.
+  Status CloseSink() SUBDEX_EXCLUDES(mu_);
+
+  bool has_sink() const SUBDEX_EXCLUDES(mu_);
 
   /// Snapshot of the logged steps at the time of the call.
   std::vector<LoggedStep> steps() const SUBDEX_EXCLUDES(mu_);
@@ -66,6 +86,10 @@ class SessionLog {
  private:
   mutable Mutex mu_;
   std::vector<LoggedStep> steps_ SUBDEX_GUARDED_BY(mu_);
+  // Write-through sink (optional): open stream + the database that renders
+  // entries. Both are moved with the log.
+  std::ofstream sink_ SUBDEX_GUARDED_BY(mu_);
+  const SubjectiveDatabase* sink_db_ SUBDEX_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace subdex

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "storage/csv.h"
+#include "util/fault_point.h"
 #include "util/string_util.h"
 
 namespace subdex {
@@ -60,6 +61,7 @@ Status WriteRatings(const SubjectiveDatabase& db, const std::string& path) {
 }  // namespace
 
 Status SaveDatabase(const SubjectiveDatabase& db, const std::string& dir) {
+  SUBDEX_FAULT_POINT_STATUS("db_io.save");
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) {
@@ -92,48 +94,69 @@ Status SaveDatabase(const SubjectiveDatabase& db, const std::string& dir) {
 }
 
 Result<DbManifest> ParseManifest(std::istream& in) {
+  SUBDEX_FAULT_POINT_STATUS("db_io.parse_manifest");
+  // Every rejection names the 1-based manifest line and the offending
+  // field, so a hand-edited manifest is fixable from the message alone.
+  size_t line_no = 0;
+  auto error = [&line_no](const std::string& message) {
+    return Status::InvalidArgument("manifest line " + std::to_string(line_no) +
+                                   ": " + message);
+  };
   std::string line;
   if (!std::getline(in, line)) {
     return Status::InvalidArgument("empty manifest");
   }
+  ++line_no;
   {
     std::vector<std::string> head = Split(std::string(Trim(line)), ' ');
     int version = 0;
-    if (head.size() != 2 || head[0] != "subdex-db" ||
-        !ParseInt(head[1], &version) || version != kFormatVersion) {
-      return Status::InvalidArgument("unsupported manifest header '" + line +
-                                     "'");
+    if (head.size() != 2 || head[0] != "subdex-db") {
+      return error("unsupported header '" + line + "' (expected 'subdex-db " +
+                   std::to_string(kFormatVersion) + "')");
+    }
+    if (!ParseInt(head[1], &version) || version != kFormatVersion) {
+      return error("unsupported format version '" + head[1] + "' (expected " +
+                   std::to_string(kFormatVersion) + ")");
     }
   }
   DbManifest m;
   while (std::getline(in, line)) {
+    ++line_no;
     std::string trimmed(Trim(line));
     if (trimmed.empty()) continue;
     std::vector<std::string> fields = Split(trimmed, ' ');
     const std::string& key = fields[0];
     if (key == "scale") {
-      if (fields.size() != 2 || !ParseInt(fields[1], &m.scale)) {
-        return Status::InvalidArgument("bad scale line '" + line + "'");
+      if (fields.size() != 2) {
+        return error("scale expects exactly one value, got " +
+                     std::to_string(fields.size() - 1));
+      }
+      if (!ParseInt(fields[1], &m.scale)) {
+        return error("bad scale value '" + fields[1] + "'");
       }
     } else if (key == "dimensions") {
       m.dimensions.assign(fields.begin() + 1, fields.end());
       // Split keeps empty fields, so "dimensions a  b" yields an empty name.
-      for (const std::string& d : m.dimensions) {
-        if (d.empty()) {
-          return Status::InvalidArgument("empty dimension name in '" + line +
-                                         "'");
+      for (size_t d = 0; d < m.dimensions.size(); ++d) {
+        if (m.dimensions[d].empty()) {
+          return error("empty dimension name (field " + std::to_string(d + 2) +
+                       ")");
         }
       }
     } else if (key == "reviewer_attr" || key == "item_attr") {
-      if (fields.size() != 3 || fields[1].empty()) {
-        return Status::InvalidArgument("bad attribute line '" + line + "'");
+      if (fields.size() != 3) {
+        return error(key + " expects '<name> <type>', got " +
+                     std::to_string(fields.size() - 1) + " fields");
+      }
+      if (fields[1].empty()) {
+        return error(key + " has an empty attribute name");
       }
       Result<AttributeType> type = ParseTypeTag(fields[2]);
-      if (!type.ok()) return type.status();
+      if (!type.ok()) return error(type.status().message());
       (key == "reviewer_attr" ? m.reviewer_attrs : m.item_attrs)
           .push_back({fields[1], type.value()});
     } else {
-      return Status::InvalidArgument("unknown manifest key '" + key + "'");
+      return error("unknown manifest key '" + key + "'");
     }
   }
   if (m.dimensions.empty()) {
@@ -161,6 +184,7 @@ Result<DbManifest> ParseManifest(std::istream& in) {
 }
 
 Status LoadRatingsCsv(std::istream& in, SubjectiveDatabase* db) {
+  SUBDEX_FAULT_POINT_STATUS("db_io.load_ratings");
   std::string line;
   if (!std::getline(in, line)) {
     return Status::InvalidArgument("'ratings.csv' is empty");
@@ -172,18 +196,22 @@ Status LoadRatingsCsv(std::istream& in, SubjectiveDatabase* db) {
     if (Trim(line).empty()) continue;
     std::vector<std::string> fields = Split(std::string(Trim(line)), ',');
     if (fields.size() != 2 + scores.size()) {
-      return Status::InvalidArgument("ratings.csv line " +
-                                     std::to_string(line_no) + ": got " +
-                                     std::to_string(fields.size()) +
-                                     " fields");
+      return Status::InvalidArgument(
+          "ratings.csv line " + std::to_string(line_no) + ": got " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(2 + scores.size()));
     }
     int reviewer = 0;
     int item = 0;
-    if (!ParseInt(fields[0], &reviewer) || !ParseInt(fields[1], &item) ||
-        reviewer < 0 || item < 0) {
+    if (!ParseInt(fields[0], &reviewer) || reviewer < 0) {
       return Status::InvalidArgument("ratings.csv line " +
                                      std::to_string(line_no) +
-                                     ": bad row ids");
+                                     ": bad reviewer id '" + fields[0] + "'");
+    }
+    if (!ParseInt(fields[1], &item) || item < 0) {
+      return Status::InvalidArgument("ratings.csv line " +
+                                     std::to_string(line_no) +
+                                     ": bad item id '" + fields[1] + "'");
     }
     for (size_t d = 0; d < scores.size(); ++d) {
       int score = 0;

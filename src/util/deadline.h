@@ -1,0 +1,124 @@
+#ifndef SUBDEX_UTIL_DEADLINE_H_
+#define SUBDEX_UTIL_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+
+namespace subdex {
+
+/// A steady-clock time budget. SubDEx is an interactive system: the paper's
+/// per-step running time (StepResult::elapsed_ms) only matters because a
+/// user is waiting, so every long-running phase takes a Deadline and
+/// degrades to a best-effort answer instead of running long (the anytime
+/// contract IDEBench asks of interactive data-exploration systems).
+///
+/// A default-constructed Deadline is unlimited and never expires; checking
+/// it never reads the clock, so passing "no deadline" through hot paths is
+/// free.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Unlimited: never expires.
+  Deadline() = default;
+
+  /// Expires at the fixed time point `at`.
+  static Deadline At(Clock::time_point at) { return Deadline(at); }
+
+  /// Expires `ms` milliseconds from now. Non-positive values produce an
+  /// already-expired deadline (useful to force the fully degraded path).
+  static Deadline FromNowMs(double ms) {
+    return Deadline(Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double, std::milli>(ms)));
+  }
+
+  /// Unlimited, spelled explicitly.
+  static Deadline Unlimited() { return Deadline(); }
+
+  /// Already in the past: every check fails immediately. (The epoch, not
+  /// time_point::min() — subtracting min() from now() in remaining_ms()
+  /// would overflow the duration representation.)
+  static Deadline Expired() { return Deadline(Clock::time_point{}); }
+
+  bool unlimited() const { return unlimited_; }
+
+  bool expired() const { return !unlimited_ && Clock::now() >= at_; }
+
+  /// Milliseconds until expiry: +infinity when unlimited, <= 0 once
+  /// expired.
+  double remaining_ms() const {
+    if (unlimited_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double, std::milli>(at_ - Clock::now())
+        .count();
+  }
+
+  /// The expiry instant; meaningless when unlimited().
+  Clock::time_point time() const { return at_; }
+
+ private:
+  explicit Deadline(Clock::time_point at) : unlimited_(false), at_(at) {}
+
+  bool unlimited_ = true;
+  Clock::time_point at_{};
+};
+
+/// A shared cancellation flag. Copies observe one flag, so a caller can
+/// hand a token into a running step (or a ParallelFor batch) and cancel it
+/// from another thread. Cancellation is one-way and sticky.
+class CancellationToken {
+ public:
+  CancellationToken() : cancelled_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation; every copy of this token observes it.
+  void RequestCancel() { cancelled_->store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    return cancelled_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> cancelled_;
+};
+
+/// The polled stop condition handed into cancellable work: "has the caller
+/// cancelled, or has the deadline passed?" A default-constructed StopToken
+/// never stops and costs two predictable branches per poll — no clock
+/// read, no atomic load — so unconditional polling on fast paths is safe.
+class StopToken {
+ public:
+  /// Never stops.
+  StopToken() = default;
+
+  explicit StopToken(Deadline deadline) : deadline_(deadline) {}
+
+  explicit StopToken(CancellationToken token)
+      : token_(std::make_shared<CancellationToken>(std::move(token))) {}
+
+  StopToken(Deadline deadline, CancellationToken token)
+      : deadline_(deadline),
+        token_(std::make_shared<CancellationToken>(std::move(token))) {}
+
+  /// True once the token is cancelled or the deadline has expired. The
+  /// order matters: an explicit cancel is reported even after expiry.
+  bool ShouldStop() const { return cancelled() || deadline_.expired(); }
+
+  /// Explicit cancellation specifically (degrade-vs-abandon distinction:
+  /// an expired deadline still wants a best-effort answer, a cancelled
+  /// caller has walked away).
+  bool cancelled() const { return token_ != nullptr && token_->cancelled(); }
+
+  const Deadline& deadline() const { return deadline_; }
+
+ private:
+  Deadline deadline_;  // unlimited by default
+  // Null when no token was supplied; shared so copies of the StopToken
+  // keep observing the caller's flag.
+  std::shared_ptr<const CancellationToken> token_;
+};
+
+}  // namespace subdex
+
+#endif  // SUBDEX_UTIL_DEADLINE_H_

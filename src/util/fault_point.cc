@@ -1,0 +1,90 @@
+#include "util/fault_point.h"
+
+// The registry only exists in injection builds; in a normal build this
+// translation unit is intentionally empty.
+#if defined(SUBDEX_FAULT_INJECTION)
+
+#include <chrono>
+#include <thread>
+
+namespace subdex {
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector instance;
+  return instance;
+}
+
+void FaultInjector::Arm(const std::string& point, ArmSpec spec) {
+  MutexLock lock(mu_);
+  PointState& state = points_[point];
+  state.armed = true;
+  state.spec = spec;
+  state.hits_since_arm = 0;
+  state.rng = Rng(spec.seed);
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  MutexLock lock(mu_);
+  auto it = points_.find(point);
+  if (it != points_.end()) it->second.armed = false;
+}
+
+void FaultInjector::Reset() {
+  MutexLock lock(mu_);
+  for (auto& [name, state] : points_) {
+    state.armed = false;
+    state.hits = 0;
+    state.fires = 0;
+    state.hits_since_arm = 0;
+  }
+}
+
+std::vector<std::string> FaultInjector::RegisteredPoints() const {
+  MutexLock lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, state] : points_) names.push_back(name);
+  return names;
+}
+
+size_t FaultInjector::HitCount(const std::string& point) const {
+  MutexLock lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+size_t FaultInjector::FireCount(const std::string& point) const {
+  MutexLock lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+bool FaultInjector::OnHit(const char* point) {
+  double delay_ms = 0.0;
+  bool fail = false;
+  {
+    MutexLock lock(mu_);
+    PointState& state = points_[point];
+    ++state.hits;
+    if (state.armed) {
+      ++state.hits_since_arm;
+      if (state.hits_since_arm > state.spec.after_hits &&
+          state.rng.Bernoulli(state.spec.probability)) {
+        ++state.fires;
+        delay_ms = state.spec.delay_ms;
+        fail = state.spec.fail;
+      }
+    }
+  }
+  // Sleep outside the registry lock so a delaying point never serializes
+  // unrelated points (or the arming test thread).
+  if (delay_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms));
+  }
+  return fail;
+}
+
+}  // namespace subdex
+
+#endif  // SUBDEX_FAULT_INJECTION

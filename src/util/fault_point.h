@@ -1,0 +1,131 @@
+#ifndef SUBDEX_UTIL_FAULT_POINT_H_
+#define SUBDEX_UTIL_FAULT_POINT_H_
+
+// Named, seed-deterministic fault points for robustness testing.
+//
+// Production code marks the places where the outside world can fail —
+// pool task execution, group materialization, db_io streams, session-log
+// writes — with one of two macros:
+//
+//   SUBDEX_FAULT_POINT("group_cache.load");         // throws when fired
+//   SUBDEX_FAULT_POINT_STATUS("db_io.save");        // returns an error
+//                                                   // Status when fired
+//
+// Both compile to nothing unless the build defines SUBDEX_FAULT_INJECTION
+// (cmake -DSUBDEX_FAULT_INJECTION=ON), so release binaries carry zero
+// overhead. In an injection build, tests arm points by name through the
+// process-wide FaultInjector: a point can fail (throw / error Status),
+// delay (sleep, to force deadline expiry deterministically), or both, on a
+// deterministic schedule (skip the first N hits, then fire each hit with a
+// seeded probability). The fault-sweep stress test arms every registered
+// point in turn and asserts the engine's invariants hold.
+
+#if defined(SUBDEX_FAULT_INJECTION)
+
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace subdex {
+
+/// The exception thrown by a fired SUBDEX_FAULT_POINT. Derived from
+/// std::runtime_error so generic exception propagation (ThreadPool's batch
+/// error capture, the engine's strong exception guarantee) is exercised
+/// exactly as by a real failure.
+class FaultInjectedError : public std::runtime_error {
+ public:
+  explicit FaultInjectedError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Process-wide fault-point registry and trigger. Thread-safe: points are
+/// hit from pool workers and armed from test threads.
+class FaultInjector {
+ public:
+  struct ArmSpec {
+    /// Skip this many hits after arming before the point may fire.
+    size_t after_hits = 0;
+    /// Probability that an eligible hit fires; draws come from a PCG32
+    /// stream seeded per Arm() call, so a fixed arm spec yields a fixed
+    /// fire/no-fire sequence.
+    double probability = 1.0;
+    uint64_t seed = 1;
+    /// Sleep this long when firing (before failing, if `fail` is set).
+    double delay_ms = 0.0;
+    /// Whether a fired hit fails (throw / error Status) after the delay.
+    bool fail = true;
+  };
+
+  static FaultInjector& Instance();
+
+  /// Arms `point`; replaces any previous spec and restarts its schedule.
+  void Arm(const std::string& point, ArmSpec spec) SUBDEX_EXCLUDES(mu_);
+  void Disarm(const std::string& point) SUBDEX_EXCLUDES(mu_);
+  /// Disarms every point and clears all counters; the set of registered
+  /// names survives so discovery persists across sweep iterations.
+  void Reset() SUBDEX_EXCLUDES(mu_);
+
+  /// Every point name that has executed at least once in this process —
+  /// the self-maintaining fault-point catalog the sweep test iterates.
+  std::vector<std::string> RegisteredPoints() const SUBDEX_EXCLUDES(mu_);
+  size_t HitCount(const std::string& point) const SUBDEX_EXCLUDES(mu_);
+  size_t FireCount(const std::string& point) const SUBDEX_EXCLUDES(mu_);
+
+  /// Called by the macros on every execution of a fault point. Applies the
+  /// armed delay (outside the registry lock) and returns true when the hit
+  /// should fail.
+  bool OnHit(const char* point) SUBDEX_EXCLUDES(mu_);
+
+ private:
+  struct PointState {
+    size_t hits = 0;
+    size_t fires = 0;
+    size_t hits_since_arm = 0;
+    bool armed = false;
+    ArmSpec spec;
+    Rng rng;
+  };
+
+  FaultInjector() = default;
+
+  mutable Mutex mu_;
+  std::unordered_map<std::string, PointState> points_ SUBDEX_GUARDED_BY(mu_);
+};
+
+}  // namespace subdex
+
+#define SUBDEX_FAULT_POINT(point)                                         \
+  do {                                                                    \
+    if (::subdex::FaultInjector::Instance().OnHit(point)) {               \
+      throw ::subdex::FaultInjectedError("injected fault at " point);     \
+    }                                                                     \
+  } while (0)
+
+// Status-returning variant for the no-exceptions I/O layer: a fired hit
+// returns StatusCode::kIoError from the enclosing function.
+#define SUBDEX_FAULT_POINT_STATUS(point)                                  \
+  do {                                                                    \
+    if (::subdex::FaultInjector::Instance().OnHit(point)) {               \
+      return ::subdex::Status::IoError("injected fault at " point);       \
+    }                                                                     \
+  } while (0)
+
+#else  // !SUBDEX_FAULT_INJECTION
+
+#define SUBDEX_FAULT_POINT(point) \
+  do {                            \
+  } while (0)
+
+#define SUBDEX_FAULT_POINT_STATUS(point) \
+  do {                                   \
+  } while (0)
+
+#endif  // SUBDEX_FAULT_INJECTION
+
+#endif  // SUBDEX_UTIL_FAULT_POINT_H_

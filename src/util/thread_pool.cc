@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "util/check.h"
+#include "util/fault_point.h"
 
 namespace subdex {
 
@@ -58,15 +59,20 @@ void ThreadPool::WaitIdle() {
   while (!queue_.empty() || active_ != 0) lock.WaitOnce(idle_cv_);
 }
 
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
-  ParallelFor(n, 1, [&fn](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) fn(i);
-  });
+bool ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                             const StopToken& stop) {
+  return ParallelFor(
+      n, 1,
+      [&fn](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) fn(i);
+      },
+      stop);
 }
 
-void ThreadPool::ParallelFor(size_t n, size_t grain,
-                             const std::function<void(size_t, size_t)>& fn) {
-  if (n == 0) return;
+bool ThreadPool::ParallelFor(size_t n, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn,
+                             const StopToken& stop) {
+  if (n == 0) return true;
   if (grain == 0) grain = 1;
   {
     MutexLock lock(mu_);
@@ -74,15 +80,25 @@ void ThreadPool::ParallelFor(size_t n, size_t grain,
   }
   auto batch = std::make_shared<Batch>();
 
-  // Claims chunks until the counter is exhausted. On the first failure the
-  // counter is fast-forwarded so the batch's remaining work is abandoned.
-  auto drain = [batch, n, grain, &fn] {
+  // Claims chunks until the counter is exhausted. On the first failure —
+  // or once the caller's stop condition holds — the counter is
+  // fast-forwarded so the batch's remaining work is abandoned. `completed`
+  // counts executed indices so the caller can tell a full batch from a cut
+  // one without a second stop poll.
+  std::atomic<size_t> completed{0};
+  auto drain = [batch, n, grain, &fn, &stop, &completed] {
     for (;;) {
+      if (stop.ShouldStop()) {
+        batch->next.store(n);
+        return;
+      }
       size_t begin = batch->next.fetch_add(grain);
       if (begin >= n) return;
       size_t end = std::min(n, begin + grain);
       try {
+        SUBDEX_FAULT_POINT("thread_pool.chunk");
         fn(begin, end);
+        completed.fetch_add(end - begin, std::memory_order_relaxed);
       } catch (...) {
         MutexLock lock(batch->mu);
         if (!batch->error) batch->error = std::current_exception();
@@ -140,6 +156,7 @@ void ThreadPool::ParallelFor(size_t n, size_t grain,
     error = batch->error;
   }
   if (error) std::rethrow_exception(error);
+  return completed.load(std::memory_order_relaxed) == n;
 }
 
 bool ThreadPool::RunOneQueuedTask() {

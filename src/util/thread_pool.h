@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/deadline.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -56,16 +57,24 @@ class ThreadPool {
   /// returning when every index of *this batch* has completed. The first
   /// exception thrown by `fn` is captured, the batch's remaining work is
   /// abandoned, and the exception is rethrown here.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn)
-      SUBDEX_EXCLUDES(mu_);
+  ///
+  /// `stop` makes the batch cancellable: once the token is cancelled or
+  /// its deadline expires, in-flight workers stop claiming new chunks and
+  /// the call returns with the remaining indices unexecuted (no exception
+  /// — the caller owns the stop condition and decides how to degrade).
+  /// Chunks already running are never interrupted, so `fn` sees each index
+  /// either fully executed or not at all. Returns true when every index
+  /// ran, false when the stop condition cut the batch short.
+  bool ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   const StopToken& stop = StopToken()) SUBDEX_EXCLUDES(mu_);
 
   /// Chunked overload: runs fn(begin, end) over half-open ranges of about
   /// `grain` indices. Chunks are claimed dynamically from a shared counter
   /// (work-stealing-friendly: fast workers drain what slow ones leave), so
   /// `fn` must tolerate any chunk-to-thread assignment.
-  void ParallelFor(size_t n, size_t grain,
-                   const std::function<void(size_t, size_t)>& fn)
-      SUBDEX_EXCLUDES(mu_);
+  bool ParallelFor(size_t n, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn,
+                   const StopToken& stop = StopToken()) SUBDEX_EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
   Stats stats() const SUBDEX_EXCLUDES(mu_);

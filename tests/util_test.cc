@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "util/bitmap.h"
+#include "util/deadline.h"
 #include "util/random.h"
 #include "util/stats.h"
 #include "util/string_util.h"
@@ -420,6 +421,154 @@ TEST(ThreadPoolTest, StatsCountTasksAndBatches) {
   EXPECT_GE(stats.tasks_submitted, 2u);
   EXPECT_EQ(stats.batches_run, 1u);
   EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+// ------------------------------------------------------------ Deadline ---
+
+TEST(DeadlineTest, DefaultIsUnlimited) {
+  Deadline d;
+  EXPECT_TRUE(d.unlimited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_TRUE(std::isinf(d.remaining_ms()));
+}
+
+TEST(DeadlineTest, ExpiredIsExpiredImmediately) {
+  Deadline d = Deadline::Expired();
+  EXPECT_FALSE(d.unlimited());
+  EXPECT_TRUE(d.expired());
+  EXPECT_LE(d.remaining_ms(), 0.0);
+}
+
+TEST(DeadlineTest, FromNowMsNonPositiveIsExpired) {
+  EXPECT_TRUE(Deadline::FromNowMs(0).expired());
+  EXPECT_TRUE(Deadline::FromNowMs(-5).expired());
+}
+
+TEST(DeadlineTest, FarFutureIsNotExpired) {
+  Deadline d = Deadline::FromNowMs(60'000);
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_ms(), 0.0);
+  EXPECT_FALSE(std::isinf(d.remaining_ms()));
+}
+
+TEST(DeadlineTest, ShortDeadlineEventuallyExpires) {
+  Deadline d = Deadline::FromNowMs(1);
+  while (!d.expired()) {
+    std::this_thread::yield();
+  }
+  EXPECT_TRUE(d.expired());  // sticky once reached
+}
+
+// --------------------------------------------------- CancellationToken ---
+
+TEST(CancellationTokenTest, CopiesShareOneFlag) {
+  CancellationToken a;
+  CancellationToken b = a;
+  EXPECT_FALSE(a.cancelled());
+  EXPECT_FALSE(b.cancelled());
+  b.RequestCancel();
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_TRUE(b.cancelled());
+}
+
+TEST(CancellationTokenTest, IndependentTokensDontInterfere) {
+  CancellationToken a;
+  CancellationToken b;
+  a.RequestCancel();
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_FALSE(b.cancelled());
+}
+
+// ----------------------------------------------------------- StopToken ---
+
+TEST(StopTokenTest, DefaultNeverStops) {
+  StopToken stop;
+  EXPECT_FALSE(stop.ShouldStop());
+  EXPECT_FALSE(stop.cancelled());
+  EXPECT_TRUE(stop.deadline().unlimited());
+}
+
+TEST(StopTokenTest, StopsOnExpiredDeadlineButIsNotCancelled) {
+  StopToken stop{Deadline::Expired()};
+  EXPECT_TRUE(stop.ShouldStop());
+  EXPECT_FALSE(stop.cancelled());  // degrade, don't abandon
+}
+
+TEST(StopTokenTest, StopsOnCancelledToken) {
+  CancellationToken token;
+  StopToken stop{token};
+  EXPECT_FALSE(stop.ShouldStop());
+  token.RequestCancel();
+  EXPECT_TRUE(stop.ShouldStop());
+  EXPECT_TRUE(stop.cancelled());
+}
+
+TEST(StopTokenTest, CombinedCtorObservesBothConditions) {
+  CancellationToken token;
+  StopToken stop(Deadline::FromNowMs(60'000), token);
+  EXPECT_FALSE(stop.ShouldStop());
+  token.RequestCancel();
+  EXPECT_TRUE(stop.ShouldStop());
+  EXPECT_TRUE(stop.cancelled());
+
+  StopToken expired(Deadline::Expired(), CancellationToken());
+  EXPECT_TRUE(expired.ShouldStop());
+  EXPECT_FALSE(expired.cancelled());
+}
+
+// ------------------------------------------------ ParallelFor + budget ---
+
+TEST(ThreadPoolTest, ParallelForWithDefaultStopRunsEverything) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  EXPECT_TRUE(pool.ParallelFor(
+      200, [&counter](size_t) { counter.fetch_add(1); }, StopToken()));
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, ParallelForPreStoppedRunsNothing) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  EXPECT_FALSE(pool.ParallelFor(
+      1000, [&counter](size_t) { counter.fetch_add(1); },
+      StopToken{Deadline::Expired()}));
+  // Workers observe the stop before claiming their first chunk, so no
+  // index runs at all — and the call returns instead of hanging.
+  EXPECT_EQ(counter.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForStopsMidFlightOnCancellation) {
+  ThreadPool pool(2);
+  CancellationToken token;
+  std::atomic<int> counter{0};
+  const size_t n = 100'000;
+  bool complete = pool.ParallelFor(
+      n, 16,
+      [&](size_t begin, size_t end) {
+        counter.fetch_add(static_cast<int>(end - begin));
+        if (counter.load() > 256) token.RequestCancel();
+      },
+      StopToken{token});
+  EXPECT_FALSE(complete);
+  // In-flight chunks finish; everything after the cancel is skipped.
+  EXPECT_LT(counter.load(), static_cast<int>(n));
+}
+
+TEST(ThreadPoolTest, ParallelForStillPropagatesExceptionsWithStop) {
+  ThreadPool pool(4);
+  CancellationToken token;
+  EXPECT_THROW(pool.ParallelFor(
+                   100,
+                   [](size_t i) {
+                     if (i == 3) throw std::runtime_error("boom");
+                   },
+                   StopToken{token}),
+               std::runtime_error);
+  // The pool survives and later budgeted batches run normally.
+  std::atomic<int> counter{0};
+  EXPECT_TRUE(pool.ParallelFor(
+      50, [&counter](size_t) { counter.fetch_add(1); }, StopToken{token}));
+  EXPECT_EQ(counter.load(), 50);
 }
 
 }  // namespace
