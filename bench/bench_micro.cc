@@ -14,6 +14,7 @@
 #include "engine/sde_engine.h"
 #include "pruning/multi_aggregate_scan.h"
 #include "subjective/operation.h"
+#include "util/metrics.h"
 #include "util/random.h"
 #include "util/stats.h"
 
@@ -223,6 +224,45 @@ void BM_SignatureEmdDistance(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SignatureEmdDistance);
+
+// --- metrics primitives (DESIGN.md §9 overhead budget) ------------------
+//
+// BM_EngineExecuteStep above doubles as the end-to-end overhead proof for
+// the instrumentation: every subsystem it exercises increments the global
+// registry on this build, so its numbers versus the uninstrumented seed
+// (or a -DSUBDEX_METRICS=OFF build of this same benchmark) bound the total
+// metrics cost of a step. The primitives below isolate the per-call cost.
+
+void BM_MetricsCounterIncrement(benchmark::State& state) {
+  Counter& counter = MetricsRegistry::Global().GetCounter("bench_counter");
+  for (auto _ : state) {
+    counter.Increment();
+  }
+  benchmark::DoNotOptimize(counter.Value());
+}
+BENCHMARK(BM_MetricsCounterIncrement);
+
+void BM_MetricsHistogramObserve(benchmark::State& state) {
+  Histogram& hist = MetricsRegistry::Global().GetHistogram(
+      "bench_histogram", MetricsRegistry::LatencyBucketsMs());
+  double value = 0.0;
+  for (auto _ : state) {
+    hist.Observe(value);
+    value = value > 10000.0 ? 0.0 : value + 1.7;
+  }
+  benchmark::DoNotOptimize(hist.TotalCount());
+}
+BENCHMARK(BM_MetricsHistogramObserve);
+
+void BM_MetricsSnapshot(benchmark::State& state) {
+  // Snapshot over whatever the preceding benchmarks registered — the
+  // realistic registry size of an instrumented process.
+  for (auto _ : state) {
+    MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+    benchmark::DoNotOptimize(snap.counters.size());
+  }
+}
+BENCHMARK(BM_MetricsSnapshot);
 
 }  // namespace
 

@@ -15,6 +15,9 @@
 #                                   fault-sweep test arms every registered
 #                                   fault point in turn and asserts the
 #                                   engine's invariants survive
+#   6. coverage gate              — ci/coverage.sh: instrumented build,
+#                                   gcov line coverage of src/core +
+#                                   src/pruning against a floor
 #
 # Clang-only gates degrade to a loud SKIP instead of failing when the
 # toolchain is GCC-only, so the script is green on any supported image
@@ -28,10 +31,10 @@ BUILD="${SUBDEX_CHECK_BUILD_DIR:-build-check}"
 FUZZ_RUNS="${SUBDEX_FUZZ_RUNS:-20000}"
 JOBS="$(nproc)"
 
-echo "==> [1/5] lint"
+echo "==> [1/6] lint"
 ci/lint.sh
 
-echo "==> [2/5] -Werror build + tests"
+echo "==> [2/6] -Werror build + tests"
 TIDY=OFF
 if command -v clang-tidy >/dev/null 2>&1; then
   TIDY=ON
@@ -49,7 +52,7 @@ cmake -B "$BUILD" -S "$ROOT" \
 cmake --build "$BUILD" -j"$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j"$JOBS"
 
-echo "==> [3/5] clang thread-safety analysis"
+echo "==> [3/6] clang thread-safety analysis"
 if command -v clang++ >/dev/null 2>&1; then
   TS_BUILD="$BUILD-threadsafety"
   cmake -B "$TS_BUILD" -S "$ROOT" \
@@ -62,7 +65,7 @@ else
   echo "SKIP: clang++ not installed; thread-safety annotations not checked"
 fi
 
-echo "==> [4/5] fuzz smoke ($FUZZ_RUNS runs per harness)"
+echo "==> [4/6] fuzz smoke ($FUZZ_RUNS runs per harness)"
 for harness in fuzz_query_parser fuzz_csv_loader fuzz_db_io; do
   corpus="$ROOT/fuzz/corpus/${harness#fuzz_}"
   bin="$BUILD/fuzz/$harness"
@@ -76,7 +79,7 @@ for harness in fuzz_query_parser fuzz_csv_loader fuzz_db_io; do
   "$bin" --runs="$FUZZ_RUNS" --seed=1 "$corpus"
 done
 
-echo "==> [5/5] fault injection under ASan"
+echo "==> [5/6] fault injection under ASan"
 FAULT_BUILD="$BUILD-fault"
 cmake -B "$FAULT_BUILD" -S "$ROOT" \
   -DSUBDEX_FAULT_INJECTION=ON \
@@ -93,5 +96,8 @@ for t in fault_injection_test engine_robustness_test; do
   echo "--- $t (fault injection, ASan)"
   "$bin"
 done
+
+echo "==> [6/6] coverage gate"
+SUBDEX_COVERAGE_BUILD_DIR="$BUILD-coverage" ci/coverage.sh
 
 echo "check: OK"

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Line-coverage gate for the algorithmic heart of the repo: src/core and
+# src/pruning must stay above SUBDEX_COVERAGE_FLOOR percent line coverage
+# (default 80). Builds an instrumented tree (--coverage), runs the test
+# suite minus the fault sweep, then aggregates gcov line stats per source
+# directory. Uses raw gcov directly — gcovr/lcov are not part of the image.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+BUILD="${SUBDEX_COVERAGE_BUILD_DIR:-build-coverage}"
+FLOOR="${SUBDEX_COVERAGE_FLOOR:-80}"
+JOBS="$(nproc)"
+
+if ! command -v gcov >/dev/null 2>&1; then
+  echo "SKIP: gcov not installed; coverage not measured"
+  exit 0
+fi
+
+cmake -B "$BUILD" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="--coverage" \
+  -DCMAKE_EXE_LINKER_FLAGS="--coverage" \
+  -DCMAKE_SHARED_LINKER_FLAGS="--coverage"
+cmake --build "$BUILD" -j"$JOBS"
+# The fault sweep only exists in injection builds anyway; -LE fault keeps
+# this invariant explicit and the run fast.
+ctest --test-dir "$BUILD" --output-on-failure -j"$JOBS" -LE fault
+
+# Every executed test wrote .gcda next to its objects. Run gcov over the
+# instrumented objects of the gated libraries and fold the per-file
+# "Lines executed" report into one percentage per directory.
+report="$(mktemp)"
+trap 'rm -f "$report"' EXIT
+for lib in src/core/CMakeFiles/subdex_core.dir \
+           src/pruning/CMakeFiles/subdex_pruning.dir; do
+  dir="$BUILD/$lib"
+  if [[ ! -d "$dir" ]]; then
+    echo "ERROR: missing instrumented object dir: $dir" >&2
+    exit 1
+  fi
+  find "$dir" -name '*.gcda' -print0 |
+    xargs -0 gcov --no-output 2>/dev/null >>"$report" ||
+    { echo "ERROR: gcov failed under $dir" >&2; exit 1; }
+done
+
+# gcov -n prints "File '<path>'" followed by "Lines executed:<pct>% of <n>"
+# per source. Gate on the .cc files of the two directories (headers appear
+# once per including TU, so their stats would double-count).
+status=0
+summary="$(awk -v root="$ROOT" -v floor="$FLOOR" '
+  /^File / {
+    file = substr($0, 7, length($0) - 7)
+    in_scope = (index(file, root "/src/core/") == 1 ||
+                index(file, root "/src/pruning/") == 1) && file ~ /\.cc$/
+    next
+  }
+  /^Lines executed:/ && in_scope {
+    # "Lines executed:93.55% of 124"
+    pct = $2
+    sub(/^executed:/, "", pct)
+    sub(/%$/, "", pct)
+    total = $NF
+    if (!(file in seen_total) || total > seen_total[file]) {
+      seen_total[file] = total
+      seen_pct[file] = pct
+    }
+    in_scope = 0
+  }
+  END {
+    lines = 0
+    hit = 0.0
+    for (f in seen_total) {
+      lines += seen_total[f]
+      hit += seen_pct[f] / 100.0 * seen_total[f]
+    }
+    if (lines == 0) {
+      print "ERROR: no coverage data found for src/core + src/pruning"
+      exit 2
+    }
+    pct = 100.0 * hit / lines
+    printf "coverage: src/core + src/pruning: %.2f%% of %d lines (floor %s%%)\n", pct, lines, floor
+    if (pct + 1e-9 < floor) exit 1
+  }
+' "$report")" || status=$?
+echo "$summary"
+if [[ $status -ne 0 ]]; then
+  echo "ERROR: line coverage below the floor" >&2
+  exit 1
+fi
+echo "coverage: OK"

@@ -2,8 +2,44 @@
 
 #include "util/check.h"
 #include "util/fault_point.h"
+#include "util/metrics.h"
 
 namespace subdex {
+
+namespace {
+
+struct CacheMetrics {
+  Counter& hits;
+  Counter& misses;
+  Counter& coalesced;
+  Counter& evictions;
+  Counter& loaded_bytes;
+  Gauge& entries;
+
+  static CacheMetrics& Get() {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    static CacheMetrics m{
+        reg.GetCounter("subdex_group_cache_hits_total",
+                       "Rating-group lookups served from the cache"),
+        reg.GetCounter("subdex_group_cache_misses_total",
+                       "Rating-group lookups that materialized (leader "
+                       "scans)"),
+        reg.GetCounter("subdex_group_cache_coalesced_total",
+                       "Lookups that waited on an in-flight scan instead "
+                       "of duplicating it"),
+        reg.GetCounter("subdex_group_cache_evictions_total",
+                       "LRU evictions"),
+        reg.GetCounter("subdex_group_cache_loaded_bytes_total",
+                       "Bytes of record ids materialized by cache-miss "
+                       "scans"),
+        reg.GetGauge("subdex_group_cache_entries",
+                     "Cached rating groups currently resident"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 RatingGroupCache::RatingGroupCache(const SubjectiveDatabase* db,
                                    size_t capacity)
@@ -30,8 +66,12 @@ RatingGroup RatingGroupCache::Get(const GroupSelection& selection) {
       MutexLock lock(mu_);
       ++stats_.misses;
     }
+    CacheMetrics::Get().misses.Increment();
     SUBDEX_FAULT_POINT("group_cache.load");
-    return RatingGroup::Materialize(*db_, selection);
+    RatingGroup group = RatingGroup::Materialize(*db_, selection);
+    CacheMetrics::Get().loaded_bytes.Increment(group.size() *
+                                               sizeof(RecordId));
+    return group;
   }
   std::string key = KeyOf(selection);
   std::shared_ptr<Flight> flight;
@@ -42,6 +82,7 @@ RatingGroup RatingGroupCache::Get(const GroupSelection& selection) {
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);  // move to MRU position
       ++stats_.hits;
+      CacheMetrics::Get().hits.Increment();
       return RatingGroup(db_, selection, it->second->second);
     }
     auto fit = inflight_.find(key);
@@ -50,11 +91,13 @@ RatingGroup RatingGroupCache::Get(const GroupSelection& selection) {
       // result instead of duplicating the O(|R|) materialization.
       flight = fit->second;
       ++stats_.coalesced;
+      CacheMetrics::Get().coalesced.Increment();
     } else {
       flight = std::make_shared<Flight>();
       inflight_.emplace(key, flight);
       leader = true;
       ++stats_.misses;
+      CacheMetrics::Get().misses.Increment();
     }
   }
 
@@ -90,6 +133,7 @@ RatingGroup RatingGroupCache::Get(const GroupSelection& selection) {
       throw;
     }
   }();
+  CacheMetrics::Get().loaded_bytes.Increment(group.size() * sizeof(RecordId));
   {
     MutexLock lock(mu_);
     inflight_.erase(key);
@@ -100,6 +144,7 @@ RatingGroup RatingGroupCache::Get(const GroupSelection& selection) {
         index_.erase(lru_.back().first);
         lru_.pop_back();
         ++stats_.evictions;
+        CacheMetrics::Get().evictions.Increment();
       }
     }
     // LRU discipline: the index mirrors the list exactly, and eviction
@@ -107,6 +152,7 @@ RatingGroup RatingGroupCache::Get(const GroupSelection& selection) {
     SUBDEX_DCHECK_EQ(index_.size(), lru_.size());
     SUBDEX_DCHECK_LE(lru_.size(), capacity_);
     stats_.entries = lru_.size();
+    CacheMetrics::Get().entries.Set(static_cast<int64_t>(lru_.size()));
   }
   {
     MutexLock lock(flight->mu);
@@ -127,6 +173,7 @@ void RatingGroupCache::Clear() {
   lru_.clear();
   index_.clear();
   stats_.entries = 0;
+  CacheMetrics::Get().entries.Set(0);
 }
 
 }  // namespace subdex

@@ -5,9 +5,56 @@
 #include <optional>
 
 #include "util/check.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace subdex {
+
+namespace {
+
+struct RecoMetrics {
+  Counter& fanouts;
+  Counter& candidates;
+  Counter& evaluated;
+  Counter& skipped_small;
+  Counter& returned;
+  Counter& truncated;
+  Histogram& fanout_size;
+  Histogram& utility_spread;
+
+  static RecoMetrics& Get() {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    static RecoMetrics m{
+        reg.GetCounter("subdex_reco_fanouts_total",
+                       "TopRecommendations calls (one per recommending "
+                       "step)"),
+        reg.GetCounter("subdex_reco_candidates_total",
+                       "Candidate operations enumerated (after explored-"
+                       "selection filtering and the evaluation cap)"),
+        reg.GetCounter("subdex_reco_evaluated_total",
+                       "Candidate operations whose target group was "
+                       "materialized and scored"),
+        reg.GetCounter("subdex_reco_skipped_small_total",
+                       "Candidates discarded for falling below "
+                       "min_group_size"),
+        reg.GetCounter("subdex_reco_returned_total",
+                       "Recommendations returned to the user (<= o per "
+                       "step)"),
+        reg.GetCounter("subdex_reco_truncated_total",
+                       "Fan-outs cut short by the step budget"),
+        reg.GetHistogram("subdex_reco_fanout_size",
+                         MetricsRegistry::CountBuckets(),
+                         "Candidate operations per recommending step"),
+        reg.GetHistogram("subdex_reco_utility_spread",
+                         MetricsRegistry::UnitBuckets(),
+                         "Operation-utility spread (best minus worst) of "
+                         "each returned top-o list"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 std::vector<Recommendation> RecommendationBuilder::TopRecommendations(
     const GroupSelection& current, const SeenMapsTracker& seen,
@@ -36,6 +83,11 @@ std::vector<Recommendation> RecommendationBuilder::TopRecommendations(
     candidates.resize(config_->max_operation_evaluations);
   }
 
+  RecoMetrics& metrics = RecoMetrics::Get();
+  metrics.fanouts.Increment();
+  metrics.candidates.Increment(candidates.size());
+  metrics.fanout_size.Observe(static_cast<double>(candidates.size()));
+
   std::vector<std::optional<Recommendation>> results(candidates.size());
   std::vector<RmGeneratorStats> per_candidate_stats(candidates.size());
   // Set when the budget demonstrably skipped or shortened candidate work;
@@ -47,10 +99,14 @@ std::vector<Recommendation> RecommendationBuilder::TopRecommendations(
       cut.store(true, std::memory_order_relaxed);
       return;
     }
+    metrics.evaluated.Increment();
     RatingGroup group = cache_ != nullptr
                             ? cache_->Get(candidates[i].target)
                             : RatingGroup::Materialize(*db_, candidates[i].target);
-    if (group.size() < config_->min_group_size) return;
+    if (group.size() < config_->min_group_size) {
+      metrics.skipped_small.Increment();
+      return;
+    }
     // The budget flows into the per-candidate pipeline too, so one slow
     // candidate cannot blow the deadline; its best-so-far maps still yield
     // a comparable (if approximate) operation utility.
@@ -88,8 +144,9 @@ std::vector<Recommendation> RecommendationBuilder::TopRecommendations(
       evaluate(i);
     }
   }
-  if (truncated != nullptr && cut.load(std::memory_order_relaxed)) {
-    *truncated = true;
+  if (cut.load(std::memory_order_relaxed)) {
+    metrics.truncated.Increment();
+    if (truncated != nullptr) *truncated = true;
   }
 
   if (stats != nullptr) {
@@ -110,6 +167,13 @@ std::vector<Recommendation> RecommendationBuilder::TopRecommendations(
   // Problem 2's contract: the top-o list is ordered by operation utility.
   for (size_t i = 1; i < recs.size(); ++i) {
     SUBDEX_DCHECK_GE(recs[i - 1].utility, recs[i].utility);
+  }
+  metrics.returned.Increment(recs.size());
+  if (!recs.empty()) {
+    // Spread of the returned list: near 0 means the next-step choices are
+    // interchangeable, near k means the ranking is doing real work.
+    metrics.utility_spread.Observe(recs.front().utility -
+                                   recs.back().utility);
   }
   return recs;
 }

@@ -7,11 +7,56 @@
 #include "pruning/mab_pruner.h"
 #include "pruning/multi_aggregate_scan.h"
 #include "util/check.h"
+#include "util/metrics.h"
 #include "util/random.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 
 namespace subdex {
+
+namespace {
+
+struct RmGenMetrics {
+  Counter& runs;
+  Counter& candidates;
+  Counter& pruned_ci;
+  Counter& pruned_mab;
+  Counter& mab_accepted;
+  Counter& survivors;
+  Counter& record_updates;
+  Counter& phases;
+  Counter& truncated;
+
+  static RmGenMetrics& Get() {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    static RmGenMetrics m{
+        reg.GetCounter("subdex_rmgen_runs_total",
+                       "RM-Generator executions (display pipeline + one "
+                       "per evaluated candidate operation)"),
+        reg.GetCounter("subdex_rmgen_candidates_total",
+                       "Candidate rating maps entering Algorithm 1"),
+        reg.GetCounter("subdex_rmgen_pruned_ci_total",
+                       "Candidates killed by confidence-interval pruning"),
+        reg.GetCounter("subdex_rmgen_pruned_mab_total",
+                       "Candidates killed by SAR rejection"),
+        reg.GetCounter("subdex_rmgen_mab_accepted_total",
+                       "Candidates accepted early by SAR"),
+        reg.GetCounter("subdex_rmgen_survivors_total",
+                       "Candidates surviving to exact scoring"),
+        reg.GetCounter("subdex_rmgen_record_updates_total",
+                       "(record, dimension) histogram updates — the "
+                       "dominant generation cost"),
+        reg.GetCounter("subdex_rmgen_phases_total",
+                       "Phases of the phased execution framework run"),
+        reg.GetCounter("subdex_rmgen_truncated_total",
+                       "Generate calls cut short at a phase boundary by "
+                       "the step budget"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 const char* PruningSchemeName(PruningScheme scheme) {
   switch (scheme) {
@@ -122,6 +167,9 @@ std::vector<ScoredRatingMap> RmGenerator::Generate(
   RmGeneratorStats local_stats;
   RmGeneratorStats* st = stats != nullptr ? stats : &local_stats;
   if (group.empty() || k_prime == 0) return {};
+  // `st` may be a caller-owned accumulator spanning many Generate calls;
+  // snapshot it so the process metrics receive only this run's deltas.
+  const RmGeneratorStats entry_stats = *st;
   const SubjectiveDatabase& db = group.db();
 
   // Algorithm 1, line 1: all possible rating maps of the group.
@@ -208,6 +256,7 @@ std::vector<ScoredRatingMap> RmGenerator::Generate(
     // group is a bounded, honest best-effort sample.
     if (phase > 0 && stop.ShouldStop()) {
       if (truncated != nullptr) *truncated = true;
+      RmGenMetrics::Get().truncated.Increment();
       break;
     }
     size_t begin = total * phase / num_phases;
@@ -338,6 +387,17 @@ std::vector<ScoredRatingMap> RmGenerator::Generate(
               return ka.dimension < kb.dimension;
             });
   if (out.size() > k_prime) out.resize(k_prime);
+
+  RmGenMetrics& metrics = RmGenMetrics::Get();
+  metrics.runs.Increment();
+  metrics.candidates.Increment(st->num_candidates - entry_stats.num_candidates);
+  metrics.pruned_ci.Increment(st->pruned_ci - entry_stats.pruned_ci);
+  metrics.pruned_mab.Increment(st->pruned_mab - entry_stats.pruned_mab);
+  metrics.mab_accepted.Increment(st->mab_accepted - entry_stats.mab_accepted);
+  metrics.record_updates.Increment(st->record_updates -
+                                   entry_stats.record_updates);
+  metrics.phases.Increment(st->phases_run - entry_stats.phases_run);
+  metrics.survivors.Increment(live.size());
   return out;
 }
 

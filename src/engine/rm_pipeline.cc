@@ -3,6 +3,8 @@
 #include <chrono>
 #include <limits>
 
+#include "util/metrics.h"
+
 namespace subdex {
 
 namespace {
@@ -12,6 +14,16 @@ using Clock = std::chrono::steady_clock;
 double MsSince(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start)
       .count();
+}
+
+// The pipeline's degradation events: how often the anytime ladder actually
+// skipped GMM diversification (DESIGN.md §8 / §9).
+Counter& GmmFallbackCounter() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "subdex_gmm_fallbacks_total",
+      "Display selections that skipped GMM diversification (budget "
+      "exhausted) and fell back to best-so-far top-k by DW utility");
+  return c;
 }
 
 }  // namespace
@@ -29,6 +41,7 @@ std::vector<ScoredRatingMap> RmPipeline::SelectForDisplay(
   // diversified RM-set.
   auto diversify = [&](std::vector<ScoredRatingMap> candidates) {
     if (stop.ShouldStop()) {
+      GmmFallbackCounter().Increment();
       if (cut != nullptr && *cut == StepPhase::kNone) {
         *cut = generation_truncated ? StepPhase::kRmGeneration
                                     : StepPhase::kGmmSelection;

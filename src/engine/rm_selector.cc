@@ -3,19 +3,50 @@
 #include <algorithm>
 
 #include "core/gmm.h"
+#include "util/metrics.h"
 
 namespace subdex {
+
+namespace {
+
+struct GmmMetrics {
+  Counter& selections;
+  Counter& candidates;
+  Counter& distance_evals;
+
+  static GmmMetrics& Get() {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    static GmmMetrics m{
+        reg.GetCounter("subdex_gmm_selections_total",
+                       "GMM diversification passes run"),
+        reg.GetCounter("subdex_gmm_candidates_total",
+                       "Candidate maps entering GMM diversification"),
+        reg.GetCounter("subdex_gmm_distance_evals_total",
+                       "Pairwise rating-map distance evaluations inside "
+                       "GMM (the O(k*n) iteration cost)"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 std::vector<ScoredRatingMap> RmSelector::SelectDiverse(
     std::vector<ScoredRatingMap> candidates, size_t k) const {
   if (candidates.size() <= k) return candidates;
+  GmmMetrics& metrics = GmmMetrics::Get();
+  metrics.selections.Increment();
+  metrics.candidates.Increment(candidates.size());
   // Candidates arrive sorted by DW utility; index 0 seeds GMM so the single
   // guaranteed pick is the most useful map.
   MapDistanceKind kind = config_->map_distance;
+  size_t evals = 0;
   auto dist = [&](size_t a, size_t b) {
+    ++evals;
     return RatingMapDistance(candidates[a].map, candidates[b].map, kind);
   };
   std::vector<size_t> chosen = GmmSelect(candidates.size(), k, dist, 0);
+  metrics.distance_evals.Increment(evals);
   std::sort(chosen.begin(), chosen.end());
   std::vector<ScoredRatingMap> out;
   out.reserve(chosen.size());

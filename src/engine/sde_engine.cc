@@ -24,6 +24,85 @@ EngineConfig WithDatabaseSize(EngineConfig config,
   return config;
 }
 
+struct EngineMetrics {
+  Counter& steps;
+  Counter& degraded;
+  Counter& cancelled;
+  Counter& log_drops;
+  Histogram& step_ms;
+  Histogram& materialize_ms;
+  Histogram& rm_generation_ms;
+  Histogram& gmm_selection_ms;
+  Histogram& recommendation_ms;
+
+  static EngineMetrics& Get() {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    static EngineMetrics m{
+        reg.GetCounter("subdex_engine_steps_total",
+                       "Exploration steps executed (including degraded and "
+                       "cancelled ones)"),
+        reg.GetCounter("subdex_engine_degraded_steps_total",
+                       "Steps whose deadline or cancellation cut work short "
+                       "(best-effort results)"),
+        reg.GetCounter("subdex_engine_cancelled_steps_total",
+                       "Steps abandoned by explicit cancellation (nothing "
+                       "displayed, history untouched)"),
+        reg.GetCounter("subdex_engine_log_drops_total",
+                       "Step records the attached session log failed to "
+                       "persist"),
+        reg.GetHistogram("subdex_engine_step_ms",
+                         MetricsRegistry::LatencyBucketsMs(),
+                         "End-to-end per-step latency (the paper's per-step "
+                         "running time measure)"),
+        reg.GetHistogram("subdex_step_materialize_ms",
+                         MetricsRegistry::LatencyBucketsMs(),
+                         "Rating-group materialization phase duration"),
+        reg.GetHistogram("subdex_step_rm_generation_ms",
+                         MetricsRegistry::LatencyBucketsMs(),
+                         "RM-Generator phase duration (display pipeline)"),
+        reg.GetHistogram("subdex_step_gmm_selection_ms",
+                         MetricsRegistry::LatencyBucketsMs(),
+                         "GMM diversification phase duration (display "
+                         "pipeline)"),
+        reg.GetHistogram("subdex_step_recommendation_ms",
+                         MetricsRegistry::LatencyBucketsMs(),
+                         "Recommendation fan-out phase duration"),
+    };
+    return m;
+  }
+};
+
+// The generator's "survivors": candidates that reached exact full-data
+// scoring, i.e. were never killed by CI or MAB pruning.
+size_t Survivors(const RmGeneratorStats& s) {
+  size_t killed = s.pruned_ci + s.pruned_mab;
+  return killed >= s.num_candidates ? 0 : s.num_candidates - killed;
+}
+
+StepTrace::PruningTrace PruningTraceFrom(const RmGeneratorStats& s) {
+  StepTrace::PruningTrace t;
+  t.candidates = s.num_candidates;
+  t.pruned_ci = s.pruned_ci;
+  t.pruned_mab = s.pruned_mab;
+  t.mab_accepted = s.mab_accepted;
+  t.survivors = Survivors(s);
+  t.phases_run = s.phases_run;
+  t.record_updates = s.record_updates;
+  return t;
+}
+
+RmGeneratorStats StatsDelta(const RmGeneratorStats& total,
+                            const RmGeneratorStats& part) {
+  RmGeneratorStats d;
+  d.num_candidates = total.num_candidates - part.num_candidates;
+  d.pruned_ci = total.pruned_ci - part.pruned_ci;
+  d.pruned_mab = total.pruned_mab - part.pruned_mab;
+  d.mab_accepted = total.mab_accepted - part.mab_accepted;
+  d.record_updates = total.record_updates - part.record_updates;
+  d.phases_run = total.phases_run - part.phases_run;
+  return d;
+}
+
 }  // namespace
 
 SdeEngine::SdeEngine(const SubjectiveDatabase* db, EngineConfig config)
@@ -50,6 +129,7 @@ StepResult SdeEngine::ExecuteStep(const GroupSelection& selection,
   Clock::time_point start = Clock::now();
   ThreadPool::Stats pool_before;
   if (pool_ != nullptr) pool_before = pool_->stats();
+  const RatingGroupCache::Stats cache_before = cache_->stats();
 
   const StopToken stop(options.deadline, options.token);
 
@@ -70,8 +150,31 @@ StepResult SdeEngine::ExecuteStep(const GroupSelection& selection,
     if (log_ != nullptr && !result.cancelled) {
       if (!log_->Append(result).ok()) {
         dropped_log_entries_.fetch_add(1, std::memory_order_relaxed);
+        EngineMetrics::Get().log_drops.Increment();
       }
     }
+  };
+
+  // Mirrors the result's outcome fields into the trace and the global
+  // registry. Every exit path (early-out, cancelled, committed) funnels
+  // through here so the step counters never miss an outcome.
+  auto finalize = [this, &result, &cache_before] {
+    EngineMetrics& metrics = EngineMetrics::Get();
+    metrics.steps.Increment();
+    if (result.degraded) metrics.degraded.Increment();
+    if (result.cancelled) metrics.cancelled.Increment();
+    metrics.step_ms.Observe(result.elapsed_ms);
+    const RatingGroupCache::Stats cache_after = cache_->stats();
+    result.trace.cache.hits = cache_after.hits - cache_before.hits;
+    result.trace.cache.misses = cache_after.misses - cache_before.misses;
+    result.trace.cache.coalesced =
+        cache_after.coalesced - cache_before.coalesced;
+    result.trace.group_size = result.group_size;
+    result.trace.maps_displayed = result.maps.size();
+    result.trace.recommendations_returned = result.recommendations.size();
+    result.trace.degraded = result.degraded;
+    result.trace.cancelled = result.cancelled;
+    result.trace.cut_phase = result.cut_phase;
   };
 
   // Out of budget before any work: return an empty (but valid) result
@@ -80,7 +183,10 @@ StepResult SdeEngine::ExecuteStep(const GroupSelection& selection,
   if (stop.ShouldStop()) {
     cut(StepPhase::kMaterialize);
     result.cancelled = stop.cancelled();
+    result.trace.spans.push_back(
+        {StepPhase::kMaterialize, 0.0, 0.0, /*completed=*/false});
     result.elapsed_ms = MsBetween(start, Clock::now());
+    finalize();
     log_step();
     return result;
   }
@@ -88,6 +194,10 @@ StepResult SdeEngine::ExecuteStep(const GroupSelection& selection,
   RatingGroup group = cache_->Get(selection);
   Clock::time_point materialized = Clock::now();
   result.timings.materialize_ms = MsBetween(start, materialized);
+  EngineMetrics::Get().materialize_ms.Observe(result.timings.materialize_ms);
+  result.trace.spans.push_back({StepPhase::kMaterialize, 0.0,
+                                result.timings.materialize_ms,
+                                /*completed=*/true});
 
   result.group_size = group.size();
   {
@@ -104,10 +214,33 @@ StepResult SdeEngine::ExecuteStep(const GroupSelection& selection,
     // exactly as it was before the step.
     MutexLock lock(mu_);
     StepPhase display_cut = StepPhase::kNone;
+    const double display_start_ms = MsBetween(start, Clock::now());
     result.maps = pipeline_.SelectForDisplay(group, seen_, &result.stats,
                                              &result.timings, stop,
                                              &display_cut);
     if (display_cut != StepPhase::kNone) cut(display_cut);
+
+    // Trace the display pipeline: its pruning decisions (the per-candidate
+    // recommendation runs are accounted separately below) and its phase
+    // spans. A gmm-selection span exists only when the configured mode
+    // diversifies at all.
+    const RmGeneratorStats display_stats = result.stats;
+    result.trace.display = PruningTraceFrom(display_stats);
+    EngineMetrics& engine_metrics = EngineMetrics::Get();
+    engine_metrics.rm_generation_ms.Observe(result.timings.rm_generation_ms);
+    result.trace.spans.push_back(
+        {StepPhase::kRmGeneration, display_start_ms,
+         result.timings.rm_generation_ms,
+         display_cut != StepPhase::kRmGeneration});
+    if (config_.selection != SelectionMode::kUtilityOnly) {
+      engine_metrics.gmm_selection_ms.Observe(
+          result.timings.gmm_selection_ms);
+      result.trace.spans.push_back(
+          {StepPhase::kGmmSelection,
+           display_start_ms + result.timings.rm_generation_ms,
+           result.timings.gmm_selection_ms,
+           display_cut != StepPhase::kGmmSelection});
+    }
 
     if (stop.cancelled()) {
       // Explicit cancellation abandons the step: nothing is displayed, so
@@ -134,6 +267,9 @@ StepResult SdeEngine::ExecuteStep(const GroupSelection& selection,
           // First rung of the degradation ladder: the maps are worth
           // showing late, the recommendations are not.
           cut(StepPhase::kRecommendations);
+          result.trace.spans.push_back({StepPhase::kRecommendations,
+                                        MsBetween(start, Clock::now()), 0.0,
+                                        /*completed=*/false});
         } else {
           Clock::time_point reco_start = Clock::now();
           bool reco_truncated = false;
@@ -143,6 +279,16 @@ StepResult SdeEngine::ExecuteStep(const GroupSelection& selection,
           result.timings.recommendation_ms =
               MsBetween(reco_start, Clock::now());
           if (reco_truncated) cut(StepPhase::kRecommendations);
+          engine_metrics.recommendation_ms.Observe(
+              result.timings.recommendation_ms);
+          // The fan-out's pruning work is whatever the merged stats gained
+          // over the display pass.
+          result.trace.recommendations =
+              PruningTraceFrom(StatsDelta(result.stats, display_stats));
+          result.trace.spans.push_back({StepPhase::kRecommendations,
+                                        MsBetween(start, reco_start),
+                                        result.timings.recommendation_ms,
+                                        !reco_truncated});
         }
       }
 
@@ -172,8 +318,13 @@ StepResult SdeEngine::ExecuteStep(const GroupSelection& selection,
   }
 
   result.elapsed_ms = MsBetween(start, Clock::now());
+  finalize();
   log_step();
   return result;
+}
+
+MetricsSnapshot SdeEngine::MetricsSnapshot() const {
+  return MetricsRegistry::Global().Snapshot();
 }
 
 SeenMapsTracker SdeEngine::seen() const {

@@ -9,7 +9,9 @@
 #include "engine/recommendation_builder.h"
 #include "engine/rm_pipeline.h"
 #include "engine/step_timings.h"
+#include "engine/step_trace.h"
 #include "util/deadline.h"
+#include "util/metrics.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
@@ -31,6 +33,10 @@ struct StepResult {
   RmGeneratorStats stats;
   /// Per-phase wall-clock breakdown and pool work counters.
   StepTimings timings;
+  /// Structured event record of the step: phase spans, pruning decisions,
+  /// cache outcomes. trace.ToJson(/*include_timings=*/false) is
+  /// deterministic for a fixed seed and num_threads = 1.
+  StepTrace trace;
   /// Wall-clock time between picking the operation and having maps +
   /// recommendations ready — the paper's per-step running time measure.
   double elapsed_ms = 0.0;
@@ -116,6 +122,11 @@ class SdeEngine {
 
   /// The shared rating-group cache (hit statistics for benchmarks).
   const RatingGroupCache& group_cache() const { return *cache_; }
+
+  /// Snapshot of the process-wide metrics registry (all subsystems, not
+  /// just this engine): counters, gauges, and histogram buckets at the
+  /// time of the call. Export with ToPrometheusText() or ToJson().
+  subdex::MetricsSnapshot MetricsSnapshot() const;
 
   /// The engine-owned worker pool; null when `num_threads` <= 1. Created
   /// once per engine and reused across every step.

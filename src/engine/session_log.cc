@@ -5,11 +5,30 @@
 
 #include "storage/query_parser.h"
 #include "util/fault_point.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
 
 namespace subdex {
 
 namespace {
+
+struct LogMetrics {
+  Counter& appends;
+  Counter& sink_failures;
+
+  static LogMetrics& Get() {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    static LogMetrics m{
+        reg.GetCounter("subdex_session_log_appends_total",
+                       "Steps appended to session logs"),
+        reg.GetCounter("subdex_session_log_sink_failures_total",
+                       "Appends whose write-through sink write or flush "
+                       "failed (the in-memory history still recorded the "
+                       "step)"),
+    };
+    return m;
+  }
+};
 
 // Renders one logged step in the on-disk format (see the class comment).
 // Shared by Serialize and the write-through sink so both always agree.
@@ -68,6 +87,7 @@ Status SessionLog::Append(const StepResult& step) {
   // The in-memory history records the step no matter what: a failing disk
   // must not make steps() disagree with what the engine executed.
   steps_.push_back(std::move(logged));
+  LogMetrics::Get().appends.Increment();
   SUBDEX_FAULT_POINT_STATUS("session_log.append");
   if (sink_db_ == nullptr) return Status::Ok();
   WriteStepText(sink_, steps_.back(), *sink_db_);
@@ -76,6 +96,7 @@ Status SessionLog::Append(const StepResult& step) {
     // One failure report per lost entry: clear the stream's error state so
     // the next Append tries (and is accounted) afresh.
     sink_.clear();
+    LogMetrics::Get().sink_failures.Increment();
     return Status::IoError("session log sink write/flush failed");
   }
   return Status::Ok();

@@ -1,0 +1,53 @@
+#include "engine/step_trace.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace subdex {
+
+namespace {
+
+void WritePruning(std::ostringstream& out, const char* key,
+                  const StepTrace::PruningTrace& p) {
+  out << '"' << key << "\":{\"candidates\":" << p.candidates
+      << ",\"pruned_ci\":" << p.pruned_ci
+      << ",\"pruned_mab\":" << p.pruned_mab
+      << ",\"mab_accepted\":" << p.mab_accepted
+      << ",\"survivors\":" << p.survivors
+      << ",\"phases_run\":" << p.phases_run
+      << ",\"record_updates\":" << p.record_updates << '}';
+}
+
+}  // namespace
+
+std::string StepTrace::ToJson(bool include_timings) const {
+  std::ostringstream out;
+  out << "{\"group_size\":" << group_size
+      << ",\"maps_displayed\":" << maps_displayed
+      << ",\"recommendations\":" << recommendations_returned
+      << ",\"degraded\":" << (degraded ? "true" : "false")
+      << ",\"cancelled\":" << (cancelled ? "true" : "false")
+      << ",\"cut_phase\":\"" << StepPhaseName(cut_phase) << "\"";
+  out << ",\"spans\":[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const PhaseSpan& s = spans[i];
+    if (i > 0) out << ',';
+    out << "{\"phase\":\"" << StepPhaseName(s.phase) << "\"";
+    if (include_timings) {
+      out << ",\"start_ms\":" << FormatDouble(s.start_ms, 3)
+          << ",\"duration_ms\":" << FormatDouble(s.duration_ms, 3);
+    }
+    out << ",\"completed\":" << (s.completed ? "true" : "false") << '}';
+  }
+  out << "],";
+  WritePruning(out, "display", display);
+  out << ',';
+  WritePruning(out, "recommendation", recommendations);
+  out << ",\"cache\":{\"hits\":" << cache.hits
+      << ",\"misses\":" << cache.misses
+      << ",\"coalesced\":" << cache.coalesced << "}}";
+  return out.str();
+}
+
+}  // namespace subdex

@@ -4,8 +4,39 @@
 #include <functional>
 
 #include "util/check.h"
+#include "util/metrics.h"
 
 namespace subdex {
+
+namespace {
+
+struct CiMetrics {
+  Counter& calls;
+  Counter& candidates;
+  Counter& pruned;
+  Histogram& bound_gap;
+
+  static CiMetrics& Get() {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    static CiMetrics m{
+        reg.GetCounter("subdex_ci_prune_calls_total",
+                       "CiPrune invocations (one per phase boundary with "
+                       "CI pruning on)"),
+        reg.GetCounter("subdex_ci_candidates_total",
+                       "Candidate envelopes examined by CiPrune"),
+        reg.GetCounter("subdex_ci_pruned_total",
+                       "Candidates whose upper bound fell below the k'-th "
+                       "largest lower bound (Algorithm 3)"),
+        reg.GetHistogram("subdex_ci_bound_gap",
+                         MetricsRegistry::UnitBuckets(),
+                         "Width (ub - lb) of candidate DW-utility "
+                         "envelopes at prune time"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 void ComputeEnvelope(CandidateIntervals* cand) {
   // Deactivate every criterion interval lying entirely below some other
@@ -43,6 +74,12 @@ void ComputeEnvelope(CandidateIntervals* cand) {
 
 std::vector<bool> CiPrune(const std::vector<CandidateIntervals>& candidates,
                           size_t k_prime) {
+  CiMetrics& metrics = CiMetrics::Get();
+  metrics.calls.Increment();
+  metrics.candidates.Increment(candidates.size());
+  for (const CandidateIntervals& cand : candidates) {
+    metrics.bound_gap.Observe(cand.ub - cand.lb);
+  }
   std::vector<bool> prune(candidates.size(), false);
   if (candidates.size() <= k_prime || k_prime == 0) return prune;
 
@@ -60,11 +97,16 @@ std::vector<bool> CiPrune(const std::vector<CandidateIntervals>& candidates,
                    std::greater<double>());
   double threshold = lbs[k_prime - 1];
 
+  size_t pruned = 0;
   for (size_t i = 0; i < candidates.size(); ++i) {
     // A candidate with ub < threshold also has lb < threshold, so it can
     // never be one of the k' threshold-setting candidates itself.
-    if (candidates[i].ub < threshold) prune[i] = true;
+    if (candidates[i].ub < threshold) {
+      prune[i] = true;
+      ++pruned;
+    }
   }
+  metrics.pruned.Increment(pruned);
   return prune;
 }
 

@@ -3,8 +3,32 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/metrics.h"
 
 namespace subdex {
+
+namespace {
+
+struct SarMetrics {
+  Counter& steps;
+  Counter& accepts;
+  Counter& rejects;
+
+  static SarMetrics& Get() {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    static SarMetrics m{
+        reg.GetCounter("subdex_mab_sar_steps_total",
+                       "Successive-Accepts-and-Rejects decisions taken"),
+        reg.GetCounter("subdex_mab_accepts_total",
+                       "Arms accepted into the top-k' by SAR"),
+        reg.GetCounter("subdex_mab_rejects_total",
+                       "Arms rejected (pruned) by SAR"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 SarDecision SarStep(const std::vector<double>& means, size_t k_remaining) {
   if (means.empty() || means.size() <= k_remaining) return {SarAction::kNone, 0};
@@ -17,7 +41,10 @@ SarDecision SarStep(const std::vector<double>& means, size_t k_remaining) {
   std::sort(order.begin(), order.end(),
             [&](size_t a, size_t b) { return means[a] > means[b]; });
 
+  SarMetrics& metrics = SarMetrics::Get();
+  metrics.steps.Increment();
   if (k_remaining == 0) {
+    metrics.rejects.Increment();
     return {SarAction::kRejectBottom, order.back()};
   }
 
@@ -29,8 +56,10 @@ SarDecision SarStep(const std::vector<double>& means, size_t k_remaining) {
   SUBDEX_DCHECK_GE(delta1, 0.0);
   SUBDEX_DCHECK_GE(delta2, 0.0);
   if (delta1 > delta2) {
+    metrics.accepts.Increment();
     return {SarAction::kAcceptTop, order[0]};
   }
+  metrics.rejects.Increment();
   return {SarAction::kRejectBottom, order.back()};
 }
 

@@ -1,0 +1,305 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace subdex {
+
+namespace {
+
+// Prometheus exposition: help text is a single line with backslash and
+// newline escaped (label values would additionally escape '"', but SubDEx
+// metrics are label-free except the generated `le` bounds, which are
+// numeric).
+std::string EscapePrometheusHelp(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeJsonString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Renders a bucket bound the way both exporters agree on: shortest
+// round-trippable decimal (so 0.25 stays "0.25", 1 stays "1").
+std::string FormatBound(double bound) {
+  std::ostringstream os;
+  os << bound;
+  return os.str();
+}
+
+}  // namespace
+
+#if SUBDEX_METRICS_ENABLED
+
+size_t Counter::ShardIndex() noexcept {
+  // One hash per thread, cached: the hot path is a single thread_local
+  // read. Thread ids recycle, but a collision only costs shared slots,
+  // never correctness.
+  thread_local const size_t index =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) &
+      (kNumShards - 1);
+  return index;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : buckets_(bounds.size() + 1), bounds_(std::move(bounds)) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    SUBDEX_CHECK_MSG(bounds_[i - 1] < bounds_[i],
+                     "histogram bounds must be strictly increasing");
+  }
+}
+
+void Histogram::Observe(double value) noexcept {
+  // Linear scan: the registry's default bucket layouts have <= 16 bounds,
+  // and the first bucket wins most observations on fast paths, so this
+  // beats a branchy binary search in practice.
+  size_t i = 0;
+  while (i < bounds_.size() && value > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+#else
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {}
+
+#endif  // SUBDEX_METRICS_ENABLED
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  MutexLock lock(mu_);
+  for (auto& named : counters_) {
+    if (named.name == name) return *named.metric;
+  }
+  counters_.push_back({name, help, std::make_unique<Counter>()});
+  return *counters_.back().metric;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  MutexLock lock(mu_);
+  for (auto& named : gauges_) {
+    if (named.name == name) return *named.metric;
+  }
+  gauges_.push_back({name, help, std::make_unique<Gauge>()});
+  return *gauges_.back().metric;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds,
+                                         const std::string& help) {
+  MutexLock lock(mu_);
+  for (auto& named : histograms_) {
+    if (named.name == name) return *named.metric;
+  }
+  histograms_.push_back(
+      {name, help, std::make_unique<Histogram>(std::move(bounds))});
+  return *histograms_.back().metric;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  {
+    MutexLock lock(mu_);
+    snap.counters.reserve(counters_.size());
+    for (const auto& named : counters_) {
+      snap.counters.push_back({named.name, named.help, named.metric->Value()});
+    }
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& named : gauges_) {
+      snap.gauges.push_back({named.name, named.help, named.metric->Value()});
+    }
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& named : histograms_) {
+      MetricsSnapshot::HistogramSample sample;
+      sample.name = named.name;
+      sample.help = named.help;
+      sample.bounds = named.metric->bounds();
+      sample.buckets = named.metric->BucketCounts();
+      sample.count = named.metric->TotalCount();
+      sample.sum = named.metric->Sum();
+      snap.histograms.push_back(std::move(sample));
+    }
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+void MetricsRegistry::ResetForTest() {
+  MutexLock lock(mu_);
+  for (auto& named : counters_) named.metric->Reset();
+  for (auto& named : gauges_) named.metric->Reset();
+  for (auto& named : histograms_) named.metric->Reset();
+}
+
+std::vector<double> MetricsRegistry::LatencyBucketsMs() {
+  std::vector<double> bounds;
+  for (double b = 0.25; b <= 8192.0; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+std::vector<double> MetricsRegistry::CountBuckets() {
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= 1048576.0; b *= 4.0) bounds.push_back(b);
+  return bounds;
+}
+
+std::vector<double> MetricsRegistry::UnitBuckets() {
+  std::vector<double> bounds;
+  for (int i = 1; i <= 10; ++i) bounds.push_back(0.1 * i);
+  return bounds;
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::ostringstream out;
+  for (const CounterSample& c : counters) {
+    if (!c.help.empty()) {
+      out << "# HELP " << c.name << ' ' << EscapePrometheusHelp(c.help)
+          << '\n';
+    }
+    out << "# TYPE " << c.name << " counter\n";
+    out << c.name << ' ' << c.value << '\n';
+  }
+  for (const GaugeSample& g : gauges) {
+    if (!g.help.empty()) {
+      out << "# HELP " << g.name << ' ' << EscapePrometheusHelp(g.help)
+          << '\n';
+    }
+    out << "# TYPE " << g.name << " gauge\n";
+    out << g.name << ' ' << g.value << '\n';
+  }
+  for (const HistogramSample& h : histograms) {
+    if (!h.help.empty()) {
+      out << "# HELP " << h.name << ' ' << EscapePrometheusHelp(h.help)
+          << '\n';
+    }
+    out << "# TYPE " << h.name << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += i < h.buckets.size() ? h.buckets[i] : 0;
+      out << h.name << "_bucket{le=\"" << FormatBound(h.bounds[i]) << "\"} "
+          << cumulative << '\n';
+    }
+    out << h.name << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+    out << h.name << "_sum " << FormatDouble(h.sum, 6) << '\n';
+    out << h.name << "_count " << h.count << '\n';
+  }
+  return out.str();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) out << ',';
+    out << '"' << EscapeJsonString(counters[i].name)
+        << "\":" << counters[i].value;
+  }
+  out << "},\"gauges\":{";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    if (i > 0) out << ',';
+    out << '"' << EscapeJsonString(gauges[i].name)
+        << "\":" << gauges[i].value;
+  }
+  out << "},\"histograms\":{";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSample& h = histograms[i];
+    if (i > 0) out << ',';
+    out << '"' << EscapeJsonString(h.name) << "\":{\"bounds\":[";
+    for (size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b > 0) out << ',';
+      out << FormatBound(h.bounds[b]);
+    }
+    out << "],\"buckets\":[";
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) out << ',';
+      out << h.buckets[b];
+    }
+    out << "],\"count\":" << h.count
+        << ",\"sum\":" << FormatDouble(h.sum, 6) << '}';
+  }
+  out << "}}";
+  return out.str();
+}
+
+void DumpMetrics(std::ostream& out) {
+  out << MetricsRegistry::Global().Snapshot().ToPrometheusText();
+}
+
+}  // namespace subdex

@@ -7,10 +7,43 @@
 
 #include "util/check.h"
 #include "util/fault_point.h"
+#include "util/metrics.h"
 
 namespace subdex {
 
 namespace {
+
+// Process-wide pool metrics (DESIGN.md §9 catalogue). Resolved once; the
+// hot paths pay a static-local read plus a relaxed atomic add.
+struct PoolMetrics {
+  Counter& tasks_run;
+  Counter& tasks_helped;
+  Counter& batches;
+  Counter& batch_stops;
+  Gauge& queue_depth;
+  Histogram& queue_wait_ms;
+
+  static PoolMetrics& Get() {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    static PoolMetrics m{
+        reg.GetCounter("subdex_pool_tasks_run_total",
+                       "Tasks executed by pool worker threads"),
+        reg.GetCounter("subdex_pool_tasks_helped_total",
+                       "Queued tasks drained by batch waiters instead of "
+                       "workers (help-while-waiting)"),
+        reg.GetCounter("subdex_pool_batches_total",
+                       "ParallelFor batches issued"),
+        reg.GetCounter("subdex_pool_batch_stops_total",
+                       "ParallelFor batches cut short by a stop token"),
+        reg.GetGauge("subdex_pool_queue_depth",
+                     "Tasks currently waiting in the pool queue"),
+        reg.GetHistogram("subdex_pool_queue_wait_ms",
+                         MetricsRegistry::LatencyBucketsMs(),
+                         "Time tasks spent queued before starting"),
+    };
+    return m;
+  }
+};
 
 // Completion latch of one ParallelFor call. Batches from concurrent
 // callers interleave freely in the worker queue; each caller waits only
@@ -44,14 +77,34 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  QueuedTask queued;
+  queued.fn = std::move(task);
+#if SUBDEX_METRICS_ENABLED
+  queued.enqueued = std::chrono::steady_clock::now();
+#endif
   {
     MutexLock lock(mu_);
     SUBDEX_CHECK_MSG(!shutdown_, "Submit after shutdown");
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(queued));
     ++stats_.tasks_submitted;
     stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+    PoolMetrics::Get().queue_depth.Set(static_cast<int64_t>(queue_.size()));
   }
   work_cv_.notify_one();
+}
+
+void ThreadPool::RecordDequeue(const QueuedTask& task, bool helped) {
+#if SUBDEX_METRICS_ENABLED
+  PoolMetrics& m = PoolMetrics::Get();
+  m.queue_wait_ms.Observe(std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - task.enqueued)
+                              .count());
+  m.tasks_run.Increment();
+  if (helped) m.tasks_helped.Increment();
+#else
+  (void)task;
+  (void)helped;
+#endif
 }
 
 void ThreadPool::WaitIdle() {
@@ -78,6 +131,7 @@ bool ThreadPool::ParallelFor(size_t n, size_t grain,
     MutexLock lock(mu_);
     ++stats_.batches_run;
   }
+  PoolMetrics::Get().batches.Increment();
   auto batch = std::make_shared<Batch>();
 
   // Claims chunks until the counter is exhausted. On the first failure —
@@ -156,19 +210,23 @@ bool ThreadPool::ParallelFor(size_t n, size_t grain,
     error = batch->error;
   }
   if (error) std::rethrow_exception(error);
-  return completed.load(std::memory_order_relaxed) == n;
+  const bool full = completed.load(std::memory_order_relaxed) == n;
+  if (!full) PoolMetrics::Get().batch_stops.Increment();
+  return full;
 }
 
 bool ThreadPool::RunOneQueuedTask() {
-  std::function<void()> task;
+  QueuedTask task;
   {
     MutexLock lock(mu_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
     ++active_;
+    PoolMetrics::Get().queue_depth.Set(static_cast<int64_t>(queue_.size()));
   }
-  task();
+  RecordDequeue(task, /*helped=*/true);
+  task.fn();
   FinishTask();
   return true;
 }
@@ -181,7 +239,7 @@ void ThreadPool::FinishTask() {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       MutexLock lock(mu_);
       while (!shutdown_ && queue_.empty()) lock.WaitOnce(work_cv_);
@@ -192,8 +250,10 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
+      PoolMetrics::Get().queue_depth.Set(static_cast<int64_t>(queue_.size()));
     }
-    task();
+    RecordDequeue(task, /*helped=*/false);
+    task.fn();
     FinishTask();
   }
 }

@@ -1,6 +1,7 @@
 #ifndef SUBDEX_UTIL_THREAD_POOL_H_
 #define SUBDEX_UTIL_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "util/deadline.h"
+#include "util/metrics.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -80,6 +82,15 @@ class ThreadPool {
   Stats stats() const SUBDEX_EXCLUDES(mu_);
 
  private:
+  /// A queued task plus (when the metrics layer is compiled in) its
+  /// enqueue time, so dequeue can observe the queue-wait latency.
+  struct QueuedTask {
+    std::function<void()> fn;
+#if SUBDEX_METRICS_ENABLED
+    std::chrono::steady_clock::time_point enqueued;
+#endif
+  };
+
   void WorkerLoop() SUBDEX_EXCLUDES(mu_);
   /// Pops and runs one queued task on the calling thread (batch waiters
   /// help drain the queue). Returns false if the queue was empty.
@@ -87,11 +98,14 @@ class ThreadPool {
   /// Marks the running task finished and wakes WaitIdle waiters when the
   /// pool drained.
   void FinishTask() SUBDEX_EXCLUDES(mu_);
+  /// Dequeue bookkeeping shared by workers and helpers: records the
+  /// task's queue wait and the run in the process metrics.
+  static void RecordDequeue(const QueuedTask& task, bool helped);
 
   mutable Mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_ SUBDEX_GUARDED_BY(mu_);
+  std::deque<QueuedTask> queue_ SUBDEX_GUARDED_BY(mu_);
   // Started in the constructor, joined in the destructor; immutable (and
   // lock-free to read) in between, which keeps num_threads() cheap.
   std::vector<std::thread> workers_;

@@ -1,0 +1,401 @@
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/group_cache.h"
+#include "engine/sde_engine.h"
+#include "engine/step_timings.h"
+#include "engine/step_trace.h"
+#include "tests/test_support.h"
+
+namespace subdex {
+namespace {
+
+using testing_support::MakeTinyRestaurantDb;
+
+EngineConfig TinyConfig() {
+  EngineConfig config;
+  config.k = 2;
+  config.o = 2;
+  config.l = 2;
+  config.min_group_size = 1;
+  config.operations.max_candidates = 20;
+  config.num_threads = 1;
+  return config;
+}
+
+// ------------------------------------------------------------ Counter ---
+
+#if SUBDEX_METRICS_ENABLED
+
+TEST(CounterTest, IncrementAndValue) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(5);
+  EXPECT_EQ(c.Value(), 6u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+// -------------------------------------------------------------- Gauge ---
+
+TEST(GaugeTest, SetAddAndValue) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0);
+  g.Set(42);
+  EXPECT_EQ(g.Value(), 42);
+  g.Add(-50);
+  EXPECT_EQ(g.Value(), -8);
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0);
+}
+
+// ---------------------------------------------------------- Histogram ---
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h(std::vector<double>{1.0, 2.0, 4.0});
+  h.Observe(1.0);  // exactly on a bound: belongs to that bucket (le=1)
+  h.Observe(1.5);  // le=2
+  h.Observe(4.0);  // le=4
+  h.Observe(5.0);  // +Inf overflow
+  std::vector<uint64_t> buckets = h.BucketCounts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(h.TotalCount(), 4u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 11.5);
+  h.Reset();
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+}
+
+#else  // !SUBDEX_METRICS_ENABLED
+
+// A SUBDEX_METRICS=OFF build compiles every mutation to a no-op; the
+// accessors stay linkable and report zeros.
+TEST(DisabledMetricsTest, PrimitivesAreNoOps) {
+  Counter c;
+  c.Increment(100);
+  EXPECT_EQ(c.Value(), 0u);
+  Gauge g;
+  g.Set(5);
+  g.Add(3);
+  EXPECT_EQ(g.Value(), 0);
+  Histogram h(std::vector<double>{1.0, 2.0});
+  h.Observe(1.5);
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+  EXPECT_EQ(h.BucketCounts(), std::vector<uint64_t>(3, 0));
+  EXPECT_EQ(h.bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+#endif  // SUBDEX_METRICS_ENABLED
+
+TEST(HistogramTest, DefaultBucketLayoutsAreStrictlyIncreasing) {
+  for (const std::vector<double>& bounds :
+       {MetricsRegistry::LatencyBucketsMs(), MetricsRegistry::CountBuckets(),
+        MetricsRegistry::UnitBuckets()}) {
+    ASSERT_FALSE(bounds.empty());
+    for (size_t i = 1; i < bounds.size(); ++i) {
+      EXPECT_LT(bounds[i - 1], bounds[i]);
+    }
+  }
+}
+
+// ----------------------------------------------------------- Registry ---
+
+TEST(MetricsRegistryTest, GetReturnsStableReferences) {
+  MetricsRegistry reg;
+  Counter& a = reg.GetCounter("test_counter", "help");
+  Counter& b = reg.GetCounter("test_counter");
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = reg.GetGauge("test_gauge");
+  Gauge& g2 = reg.GetGauge("test_gauge");
+  EXPECT_EQ(&g1, &g2);
+  Histogram& h1 = reg.GetHistogram("test_hist", {1.0, 2.0});
+  // Re-registration with different bounds returns the same object; the
+  // original bounds win.
+  Histogram& h2 = reg.GetHistogram("test_hist", {100.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(MetricsRegistryTest, ResetForTestZeroesWithoutUnregistering) {
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("reset_me");
+  c.Increment(9);
+  reg.ResetForTest();
+  EXPECT_EQ(c.Value(), 0u);
+  // The cached reference is still the registered metric.
+  EXPECT_EQ(&c, &reg.GetCounter("reset_me"));
+  EXPECT_EQ(reg.Snapshot().counters.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByName) {
+  MetricsRegistry reg;
+  reg.GetCounter("zebra");
+  reg.GetCounter("apple");
+  reg.GetCounter("mango");
+  MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "apple");
+  EXPECT_EQ(snap.counters[1].name, "mango");
+  EXPECT_EQ(snap.counters[2].name, "zebra");
+}
+
+// ---------------------------------------------------------- Exporters ---
+
+TEST(ExporterTest, PrometheusTextEscapesHelpAndRendersCumulativeBuckets) {
+  MetricsSnapshot snap;
+  snap.counters.push_back({"c_total", "line1\nline2 with \\backslash", 7});
+  snap.gauges.push_back({"g", "", -3});
+  MetricsSnapshot::HistogramSample h;
+  h.name = "h_ms";
+  h.help = "latency";
+  h.bounds = {0.25, 1.0};
+  h.buckets = {2, 1, 3};  // non-cumulative; last entry is +Inf overflow
+  h.count = 6;
+  h.sum = 4.5;
+  snap.histograms.push_back(h);
+
+  std::string text = snap.ToPrometheusText();
+  EXPECT_NE(
+      text.find("# HELP c_total line1\\nline2 with \\\\backslash\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("# TYPE c_total counter\nc_total 7\n"),
+            std::string::npos);
+  // No help line is emitted for an empty help string.
+  EXPECT_EQ(text.find("# HELP g"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE g gauge\ng -3\n"), std::string::npos);
+  // Exported buckets are cumulative; the +Inf bucket equals the count.
+  EXPECT_NE(text.find("h_ms_bucket{le=\"0.25\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("h_ms_bucket{le=\"1\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("h_ms_bucket{le=\"+Inf\"} 6\n"), std::string::npos);
+  // Sums render with fixed 6-decimal precision.
+  EXPECT_NE(text.find("h_ms_sum 4.500000\n"), std::string::npos);
+  EXPECT_NE(text.find("h_ms_count 6\n"), std::string::npos);
+}
+
+TEST(ExporterTest, JsonEscapesNamesAndKeepsRawBuckets) {
+  MetricsSnapshot snap;
+  snap.counters.push_back({"quote\"back\\slash\nnewline\ttab", "", 1});
+  MetricsSnapshot::HistogramSample h;
+  h.name = "h";
+  h.bounds = {0.5};
+  h.buckets = {4, 2};
+  h.count = 6;
+  h.sum = 2.25;
+  snap.histograms.push_back(h);
+
+  std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"quote\\\"back\\\\slash\\nnewline\\ttab\":1"),
+            std::string::npos);
+  // JSON keeps the per-bucket (non-cumulative) counts.
+  EXPECT_NE(json.find("\"h\":{\"bounds\":[0.5],\"buckets\":[4,2],"
+                      "\"count\":6,\"sum\":2.250000}"),
+            std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(ExporterTest, JsonEscapesControlCharacters) {
+  MetricsSnapshot snap;
+  snap.counters.push_back({std::string("ctl\x01"), "", 0});
+  EXPECT_NE(snap.ToJson().find("ctl\\u0001"), std::string::npos);
+}
+
+// Both exporters render the same registry state: every value written
+// through the registry must be readable back from both text forms.
+TEST(ExporterTest, RoundTripThroughBothExporters) {
+  MetricsRegistry reg;
+  reg.GetCounter("rt_counter").Increment(7);
+  reg.GetGauge("rt_gauge").Set(-12);
+  Histogram& h = reg.GetHistogram("rt_hist", {1.0, 10.0});
+  h.Observe(0.5);
+  h.Observe(0.5);
+  h.Observe(5.0);
+  h.Observe(100.0);
+
+  MetricsSnapshot snap = reg.Snapshot();
+  std::string prom = snap.ToPrometheusText();
+  std::string json = snap.ToJson();
+#if SUBDEX_METRICS_ENABLED
+  EXPECT_NE(prom.find("rt_counter 7\n"), std::string::npos);
+  EXPECT_NE(prom.find("rt_gauge -12\n"), std::string::npos);
+  EXPECT_NE(prom.find("rt_hist_bucket{le=\"1\"} 2\n"), std::string::npos);
+  EXPECT_NE(prom.find("rt_hist_bucket{le=\"10\"} 3\n"), std::string::npos);
+  EXPECT_NE(prom.find("rt_hist_bucket{le=\"+Inf\"} 4\n"), std::string::npos);
+  EXPECT_NE(prom.find("rt_hist_count 4\n"), std::string::npos);
+  EXPECT_NE(json.find("\"rt_counter\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"rt_gauge\":-12"), std::string::npos);
+  EXPECT_NE(json.find("\"rt_hist\":{\"bounds\":[1,10],"
+                      "\"buckets\":[2,1,1],\"count\":4,\"sum\":106.000000}"),
+            std::string::npos);
+#else
+  // OFF builds keep the registry and exporter structure but report zeros.
+  EXPECT_NE(prom.find("rt_counter 0\n"), std::string::npos);
+  EXPECT_NE(prom.find("rt_gauge 0\n"), std::string::npos);
+  EXPECT_NE(prom.find("rt_hist_bucket{le=\"+Inf\"} 0\n"), std::string::npos);
+  EXPECT_NE(json.find("\"rt_hist\":{\"bounds\":[1,10],"
+                      "\"buckets\":[0,0,0],\"count\":0,\"sum\":0.000000}"),
+            std::string::npos);
+#endif
+}
+
+// ---------------------------------------------- StepPhase / StepTimings ---
+
+TEST(StepPhaseTest, EveryPhaseHasADistinctName) {
+  const StepPhase phases[] = {
+      StepPhase::kNone, StepPhase::kMaterialize, StepPhase::kRmGeneration,
+      StepPhase::kGmmSelection, StepPhase::kRecommendations};
+  std::vector<std::string> names;
+  for (StepPhase p : phases) {
+    std::string name = StepPhaseName(p);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "unknown");
+    names.push_back(std::move(name));
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(StepTimingsTest, DefaultIsZeroAndPipelineAccumulates) {
+  StepTimings t;
+  EXPECT_EQ(t.materialize_ms, 0.0);
+  EXPECT_EQ(t.rm_generation_ms, 0.0);
+  EXPECT_EQ(t.gmm_selection_ms, 0.0);
+  EXPECT_EQ(t.recommendation_ms, 0.0);
+  EXPECT_EQ(t.pool_tasks, 0u);
+
+  // SelectForDisplay adds into the caller's StepTimings rather than
+  // overwriting: two passes through one struct accumulate.
+  auto db = MakeTinyRestaurantDb();
+  EngineConfig config = TinyConfig();
+  config.utility.database_size = db->num_records();
+  RmPipeline pipeline(&config, nullptr);
+  RatingGroup all = RatingGroup::Materialize(*db, GroupSelection{});
+  SeenMapsTracker seen(db->num_dimensions());
+  pipeline.SelectForDisplay(all, seen, nullptr, &t, StopToken(), nullptr);
+  const double first_pass = t.rm_generation_ms;
+  EXPECT_GE(first_pass, 0.0);
+  pipeline.SelectForDisplay(all, seen, nullptr, &t, StopToken(), nullptr);
+  EXPECT_GE(t.rm_generation_ms, first_pass);
+}
+
+// ---------------------------------------------------- RatingGroupCache ---
+
+TEST(CacheStatsTest, HitMissCountersAreExact) {
+  auto db = MakeTinyRestaurantDb();
+  RatingGroupCache cache(db.get(), /*capacity=*/4);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  cache.Get(GroupSelection{});
+  RatingGroupCache::Stats after_first = cache.stats();
+  EXPECT_EQ(after_first.hits, 0u);
+  EXPECT_EQ(after_first.misses, 1u);
+  EXPECT_EQ(after_first.coalesced, 0u);
+  EXPECT_EQ(after_first.entries, 1u);
+  cache.Get(GroupSelection{});
+  RatingGroupCache::Stats after_second = cache.stats();
+  EXPECT_EQ(after_second.hits, 1u);
+  EXPECT_EQ(after_second.misses, 1u);
+  EXPECT_EQ(after_second.coalesced, 0u);
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// ----------------------------------------------------------- StepTrace ---
+
+TEST(StepTraceTest, ToJsonOmitsTimingsOnRequest) {
+  StepTrace trace;
+  trace.group_size = 12;
+  trace.maps_displayed = 3;
+  trace.spans.push_back({StepPhase::kMaterialize, 0.0, 1.5, true});
+  trace.spans.push_back({StepPhase::kRmGeneration, 1.5, 2.0, false});
+  trace.display.candidates = 40;
+  trace.display.pruned_ci = 10;
+  trace.cache.misses = 1;
+
+  std::string timed = trace.ToJson(/*include_timings=*/true);
+  EXPECT_NE(timed.find("\"start_ms\":"), std::string::npos);
+  EXPECT_NE(timed.find("\"duration_ms\":"), std::string::npos);
+
+  std::string untimed = trace.ToJson(/*include_timings=*/false);
+  EXPECT_EQ(untimed.find("start_ms"), std::string::npos);
+  EXPECT_EQ(untimed.find("duration_ms"), std::string::npos);
+  // Phase order and completion flags survive the deterministic view.
+  EXPECT_NE(untimed.find("{\"phase\":\"materialize\",\"completed\":true}"),
+            std::string::npos);
+  EXPECT_NE(untimed.find("{\"phase\":\"rm-generation\",\"completed\":false}"),
+            std::string::npos);
+  EXPECT_NE(untimed.find("\"candidates\":40"), std::string::npos);
+  EXPECT_NE(untimed.find("\"pruned_ci\":10"), std::string::npos);
+}
+
+// --------------------------------------------------- engine end-to-end ---
+
+#if SUBDEX_METRICS_ENABLED
+TEST(EngineMetricsTest, ExecuteStepPopulatesTraceAndGlobalRegistry) {
+  MetricsRegistry::Global().ResetForTest();
+  auto db = MakeTinyRestaurantDb();
+  EngineConfig config = TinyConfig();
+  SdeEngine engine(db.get(), config);
+  StepResult step = engine.ExecuteStep(GroupSelection{}, true);
+
+  EXPECT_EQ(step.trace.group_size, step.group_size);
+  EXPECT_EQ(step.trace.maps_displayed, step.maps.size());
+  EXPECT_EQ(step.trace.recommendations_returned,
+            step.recommendations.size());
+  ASSERT_FALSE(step.trace.spans.empty());
+  EXPECT_EQ(step.trace.spans.front().phase, StepPhase::kMaterialize);
+  EXPECT_TRUE(step.trace.spans.front().completed);
+  EXPECT_GE(step.trace.display.candidates, step.maps.size());
+  // The step's own group was a cold miss.
+  EXPECT_GE(step.trace.cache.misses, 1u);
+
+  MetricsSnapshot snap = engine.MetricsSnapshot();
+  bool found_steps = false;
+  for (const auto& c : snap.counters) {
+    if (c.name == "subdex_engine_steps_total") {
+      found_steps = true;
+      EXPECT_EQ(c.value, 1u);
+    }
+  }
+  EXPECT_TRUE(found_steps);
+
+  std::ostringstream dump;
+  DumpMetrics(dump);
+  EXPECT_NE(dump.str().find("# TYPE subdex_engine_steps_total counter"),
+            std::string::npos);
+  EXPECT_NE(dump.str().find("subdex_group_cache_misses_total"),
+            std::string::npos);
+  MetricsRegistry::Global().ResetForTest();
+}
+#endif  // SUBDEX_METRICS_ENABLED
+
+}  // namespace
+}  // namespace subdex

@@ -1,0 +1,227 @@
+// Property-based / metamorphic checks over the core measures (label:
+// `property`). Each property runs >= 200 seeded cases through the PCG32
+// Rng, so failures reproduce exactly; on failure the case index and seed
+// are part of the assertion message.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/distance.h"
+#include "core/gmm.h"
+#include "core/interestingness.h"
+#include "core/rating_distribution.h"
+#include "core/rating_map.h"
+#include "core/seen_maps.h"
+#include "util/random.h"
+
+namespace subdex {
+namespace {
+
+constexpr int kCases = 250;
+constexpr uint64_t kSeed = 0x5eedcafef00dULL;
+
+RatingDistribution RandomDist(Rng& rng, int scale) {
+  RatingDistribution dist(scale);
+  // Empty distributions are legal inputs (treated as uniform by the
+  // distances), so sometimes return one untouched.
+  if (rng.Bernoulli(0.1)) return dist;
+  int entries = rng.UniformInt(1, 8);
+  for (int i = 0; i < entries; ++i) {
+    dist.AddCount(rng.UniformInt(1, scale),
+                  static_cast<uint64_t>(rng.UniformInt(1, 50)));
+  }
+  return dist;
+}
+
+// A structurally valid rating map without a database behind it: random
+// subgroups with random distributions, overall = merge of the subgroups.
+RatingMap RandomMap(Rng& rng, size_t num_dimensions, int scale) {
+  RatingMapKey key;
+  key.side = rng.Bernoulli(0.5) ? Side::kReviewer : Side::kItem;
+  key.attribute = static_cast<size_t>(rng.UniformInt(0, 3));
+  key.dimension =
+      static_cast<size_t>(rng.UniformInt(0, static_cast<int>(num_dimensions) - 1));
+  int num_subgroups = rng.UniformInt(1, 5);
+  std::vector<Subgroup> subgroups;
+  RatingDistribution overall(scale);
+  for (int s = 0; s < num_subgroups; ++s) {
+    Subgroup sub;
+    sub.value = static_cast<ValueCode>(s);
+    sub.dist = RandomDist(rng, scale);
+    overall.Merge(sub.dist);
+    subgroups.push_back(std::move(sub));
+  }
+  return RatingMap(key, std::move(subgroups), std::move(overall));
+}
+
+// --------------------------------------------- distribution distances ---
+
+// TVD is a metric on the probability simplex: symmetric, zero on
+// identical inputs, triangle inequality, bounded by [0, 1].
+TEST(DistributionDistanceProperty, TotalVariationIsAMetric) {
+  Rng rng(kSeed, 1);
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE("case " + std::to_string(c));
+    int scale = rng.UniformInt(3, 7);
+    RatingDistribution p = RandomDist(rng, scale);
+    RatingDistribution q = RandomDist(rng, scale);
+    RatingDistribution r = RandomDist(rng, scale);
+    double pq = p.TotalVariationDistance(q);
+    double qp = q.TotalVariationDistance(p);
+    double pr = p.TotalVariationDistance(r);
+    double qr = q.TotalVariationDistance(r);
+    EXPECT_NEAR(pq, qp, 1e-12);
+    EXPECT_NEAR(p.TotalVariationDistance(p), 0.0, 1e-12);
+    EXPECT_GE(pq, 0.0);
+    EXPECT_LE(pq, 1.0 + 1e-12);
+    EXPECT_LE(pr, pq + qr + 1e-9);
+  }
+}
+
+// The 1-D EMD on normalized probabilities is likewise a metric in [0, 1].
+TEST(DistributionDistanceProperty, EmdIsAMetric) {
+  Rng rng(kSeed, 2);
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE("case " + std::to_string(c));
+    int scale = rng.UniformInt(3, 7);
+    RatingDistribution p = RandomDist(rng, scale);
+    RatingDistribution q = RandomDist(rng, scale);
+    RatingDistribution r = RandomDist(rng, scale);
+    double pq = p.Emd(q);
+    EXPECT_NEAR(pq, q.Emd(p), 1e-12);
+    EXPECT_NEAR(p.Emd(p), 0.0, 1e-12);
+    EXPECT_GE(pq, 0.0);
+    EXPECT_LE(pq, 1.0 + 1e-12);
+    EXPECT_LE(p.Emd(r), pq + q.Emd(r) + 1e-9);
+  }
+}
+
+TEST(DistributionDistanceProperty, Emd1DOnRawWeightVectors) {
+  Rng rng(kSeed, 3);
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE("case " + std::to_string(c));
+    size_t n = static_cast<size_t>(rng.UniformInt(2, 9));
+    std::vector<double> p(n), q(n);
+    for (size_t i = 0; i < n; ++i) {
+      p[i] = rng.UniformDouble() * 10.0;
+      q[i] = rng.UniformDouble() * 10.0;
+    }
+    double pq = Emd1D(p, q);
+    EXPECT_NEAR(pq, Emd1D(q, p), 1e-12);
+    EXPECT_NEAR(Emd1D(p, p), 0.0, 1e-12);
+    EXPECT_GE(pq, 0.0);
+    EXPECT_LE(pq, 1.0 + 1e-12);
+  }
+}
+
+// ------------------------------------------- interestingness / Eq. 1 ---
+
+// Every criterion and the aggregated utility are normalized into [0, 1];
+// the DW multiplier of Eq. 1 can only shrink a utility, never inflate it
+// or flip its sign, whatever the display history looks like.
+TEST(InterestingnessProperty, DwUtilityStaysWithinEq1Bounds) {
+  Rng rng(kSeed, 4);
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE("case " + std::to_string(c));
+    size_t num_dimensions = static_cast<size_t>(rng.UniformInt(1, 6));
+    int scale = 5;
+    SeenMapsTracker tracker(num_dimensions);
+    int history = rng.UniformInt(0, 10);
+    for (int i = 0; i < history; ++i) {
+      tracker.Record(RandomMap(rng, num_dimensions, scale));
+    }
+
+    UtilityConfig config;
+    config.database_size = rng.Bernoulli(0.5)
+                               ? 0
+                               : static_cast<uint64_t>(rng.UniformInt(100, 100000));
+    RatingMap map = RandomMap(rng, num_dimensions, scale);
+    InterestingnessScores scores =
+        ComputeScores(map, tracker.seen_distributions(), config);
+    for (size_t criterion = 0; criterion < InterestingnessScores::kNumCriteria;
+         ++criterion) {
+      EXPECT_GE(scores.Get(criterion), 0.0);
+      EXPECT_LE(scores.Get(criterion), 1.0 + 1e-12);
+    }
+    double utility = Utility(scores, config);
+    EXPECT_GE(utility, 0.0);
+    EXPECT_LE(utility, 1.0 + 1e-12);
+
+    for (size_t d = 0; d < num_dimensions; ++d) {
+      double weight = tracker.DimensionWeight(d);
+      EXPECT_GE(weight, 0.0);
+      EXPECT_LE(weight, 1.0 + 1e-12);
+    }
+    double dw = tracker.DimensionWeightedUtility(map.key(), utility);
+    EXPECT_GE(dw, 0.0);
+    EXPECT_LE(dw, utility + 1e-12);
+  }
+}
+
+// Algorithm 2 (getWeights): the per-dimension display frequencies are a
+// probability vector — non-negative and summing to exactly 1 (to all
+// zeros before anything was displayed).
+TEST(InterestingnessProperty, GetWeightsRenormalizesToOne) {
+  Rng rng(kSeed, 5);
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE("case " + std::to_string(c));
+    size_t num_dimensions = static_cast<size_t>(rng.UniformInt(1, 8));
+    SeenMapsTracker tracker(num_dimensions);
+
+    std::vector<double> empty = tracker.GetWeights();
+    EXPECT_NEAR(std::accumulate(empty.begin(), empty.end(), 0.0), 0.0, 1e-12);
+
+    int history = rng.UniformInt(1, 20);
+    for (int i = 0; i < history; ++i) {
+      tracker.Record(RandomMap(rng, num_dimensions, 5));
+    }
+    std::vector<double> weights = tracker.GetWeights();
+    ASSERT_EQ(weights.size(), num_dimensions);
+    double sum = 0.0;
+    for (double w : weights) {
+      EXPECT_GE(w, 0.0);
+      EXPECT_LE(w, 1.0 + 1e-12);
+      sum += w;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_EQ(tracker.total(), static_cast<size_t>(history));
+  }
+}
+
+// ----------------------------------------------------------------- GMM ---
+
+// GMM returns exactly k distinct valid indices whenever at least k
+// candidates exist (and everything when k >= n), for arbitrary symmetric
+// distance oracles.
+TEST(GmmProperty, OutputSizeIsExactlyKWhenEnoughCandidates) {
+  Rng rng(kSeed, 6);
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE("case " + std::to_string(c));
+    size_t n = static_cast<size_t>(rng.UniformInt(1, 40));
+    size_t k = static_cast<size_t>(rng.UniformInt(1, 45));
+    std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        d[i][j] = d[j][i] = rng.UniformDouble();
+      }
+    }
+    auto dist = [&d](size_t a, size_t b) { return d[a][b]; };
+    size_t start = rng.UniformU32(static_cast<uint32_t>(n));
+    std::vector<size_t> chosen = GmmSelect(n, k, dist, start);
+    EXPECT_EQ(chosen.size(), std::min(n, k));
+    std::vector<bool> used(n, false);
+    for (size_t idx : chosen) {
+      ASSERT_LT(idx, n);
+      EXPECT_FALSE(used[idx]);
+      used[idx] = true;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace subdex
