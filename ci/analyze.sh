@@ -1,0 +1,149 @@
+#!/usr/bin/env bash
+# Whole-program static-analysis gate: every translation unit in src/ must
+# come out of the strongest installed path-sensitive analyzer with zero
+# unsuppressed findings.
+#
+# Analyzer selection, strongest available first:
+#
+#   1. scan-build            — Clang Static Analyzer over a scratch CMake
+#                              build (core, deadcode, cplusplus, security
+#                              and unix checker packages), --status-bugs so
+#                              any finding fails the build.
+#   2. clang++ --analyze     — same checkers, driven per-TU from the
+#                              compile_commands.json of a scratch configure
+#                              (for images with clang but no scan-build).
+#   3. g++ -fanalyzer        — GCC's path-sensitive analyzer, per-TU. The
+#                              weakest of the three on C++, but it still
+#                              proves leak/null/use-after-free freedom on
+#                              the paths it models, and it is present on
+#                              every supported image, so the gate never
+#                              silently degrades to "no analysis at all".
+#
+# Suppressions: ci/analyzer_suppressions.txt, one `path substring|warning
+# tag` pair per line. The file must stay empty or carry a written
+# justification comment directly above every entry — ci/lint.sh enforces
+# the comment, this script enforces that every entry still matches a live
+# finding (a stale suppression fails the gate so the file cannot rot).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+SUPPRESSIONS="$ROOT/ci/analyzer_suppressions.txt"
+JOBS="$(nproc)"
+CLANG_CHECKERS="core,deadcode,cplusplus,security,unix"
+
+# --- suppression handling ---------------------------------------------------
+
+# Prints non-comment suppression lines, `path substring|warning tag`.
+active_suppressions() {
+  [[ -f "$SUPPRESSIONS" ]] || return 0
+  grep -vE '^\s*(#|$)' "$SUPPRESSIONS" || true
+}
+
+# Filters stdin (one finding per line) against the suppression file.
+# Suppressed findings are echoed to stderr as "suppressed:" for the log.
+filter_suppressed() {
+  local findings suppressed_any line sup path tag
+  findings="$(cat)"
+  [[ -n "$findings" ]] || return 0
+  while IFS= read -r line; do
+    suppressed_any=no
+    while IFS='|' read -r path tag; do
+      [[ -n "$path" ]] || continue
+      if [[ "$line" == *"$path"* && "$line" == *"$tag"* ]]; then
+        suppressed_any=yes
+        break
+      fi
+    done < <(active_suppressions)
+    if [[ "$suppressed_any" == yes ]]; then
+      echo "suppressed: $line" >&2
+    else
+      echo "$line"
+    fi
+  done <<< "$findings"
+}
+
+# Fails if a suppression entry matched nothing this run (stale entries are
+# dead weight that hide future findings behind an unreviewed wildcard).
+check_stale_suppressions() {
+  local all_findings="$1" path tag
+  while IFS='|' read -r path tag; do
+    [[ -n "$path" ]] || continue
+    if ! grep -qF -- "$path" <<< "$all_findings" || \
+       ! grep -qF -- "$tag" <<< "$all_findings"; then
+      echo "analyze: stale suppression (no finding matches): $path|$tag" >&2
+      echo "analyze: remove it from $SUPPRESSIONS" >&2
+      return 1
+    fi
+  done < <(active_suppressions)
+}
+
+# --- analyzer tiers ---------------------------------------------------------
+
+run_scan_build() {
+  local build="$ROOT/build-analyze"
+  echo "analyze: scan-build ($CLANG_CHECKERS)"
+  rm -rf "$build"
+  scan-build --status-bugs \
+    -enable-checker deadcode -enable-checker security \
+    cmake -B "$build" -S "$ROOT" -DCMAKE_BUILD_TYPE=Debug >/dev/null
+  scan-build --status-bugs \
+    -enable-checker deadcode -enable-checker security \
+    cmake --build "$build" -j"$JOBS"
+}
+
+run_clang_analyze() {
+  local build="$ROOT/build-analyze"
+  echo "analyze: clang++ --analyze ($CLANG_CHECKERS)"
+  cmake -B "$build" -S "$ROOT" -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  local findings
+  findings="$(
+    find src -name '*.cc' | while IFS= read -r tu; do
+      clang++ --analyze \
+        -Xclang -analyzer-checker="$CLANG_CHECKERS" \
+        -Xclang -analyzer-output=text \
+        -std=c++20 -I"$ROOT/src" "$tu" 2>&1 | grep 'warning:' || true
+    done
+  )"
+  report "$findings"
+}
+
+run_gcc_analyzer() {
+  echo "analyze: g++ -fanalyzer over $(find src -name '*.cc' | wc -l) TUs"
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' RETURN
+  # NOTE: the analyzer runs on GIMPLE, so the TU must be fully compiled —
+  # -fsyntax-only stops before the analyzer pass and reports nothing.
+  find src -name '*.cc' | xargs -P "$JOBS" -I{} sh -c '
+    g++ -std=c++20 -I"$1/src" -fanalyzer -c "$2" -o /dev/null \
+      > "$3/$(echo "$2" | tr / _).log" 2>&1 || true
+  ' sh "$ROOT" {} "$tmp"
+  local findings
+  findings="$(cat "$tmp"/*.log | grep -E 'warning:.*\[-Wanalyzer|error:' || true)"
+  report "$findings"
+}
+
+report() {
+  local all="$1" remaining
+  check_stale_suppressions "$all"
+  remaining="$(filter_suppressed <<< "$all" | grep -v '^$' || true)"
+  if [[ -n "$remaining" ]]; then
+    echo "analyze: unsuppressed findings:" >&2
+    echo "$remaining" >&2
+    echo "analyze: FAILED ($(wc -l <<< "$remaining") finding(s))" >&2
+    exit 1
+  fi
+}
+
+if command -v scan-build >/dev/null 2>&1; then
+  run_scan_build
+elif command -v clang++ >/dev/null 2>&1; then
+  run_clang_analyze
+else
+  run_gcc_analyzer
+fi
+
+echo "analyze: OK (zero unsuppressed findings)"

@@ -1,21 +1,33 @@
 #!/usr/bin/env bash
 # Single-entry correctness gate. Runs, in order:
 #
-#   1. ci/lint.sh                 — grep rules (no raw new/delete, no
-#                                   assert(), include guards)
-#   2. -Werror build + tests      — SUBDEX_WERROR=ON, SUBDEX_FUZZ=ON, plus
-#                                   SUBDEX_TIDY=ON when clang-tidy exists
-#   3. clang thread-safety gate   — rebuild with clang++ -Wthread-safety
+#   1. ci/lint.sh                 — textual rules (no raw new/delete, no
+#                                   assert(), include guards, justified
+#                                   discards, metric-name pattern) plus
+#                                   the header self-sufficiency compile
+#   2. ci/analyze.sh              — whole-program static analysis (Clang
+#                                   Static Analyzer when installed, GCC
+#                                   -fanalyzer otherwise) with an
+#                                   empty-or-justified suppression file
+#   3. -Werror build + tests      — SUBDEX_WERROR=ON, SUBDEX_FUZZ=ON, plus
+#                                   SUBDEX_TIDY=ON when clang-tidy exists;
+#                                   also proves the [[nodiscard]] contract
+#                                   via the configure-time negative
+#                                   compile probe in tests/CMakeLists.txt
+#   4. clang thread-safety gate   — rebuild with clang++ -Wthread-safety
 #                                   (the annotations are no-ops under GCC),
 #                                   when clang++ exists
-#   4. fuzz smoke                 — corpus replay plus a bounded mutation
+#   5. fuzz smoke                 — corpus replay plus a bounded mutation
 #                                   run per harness (SUBDEX_FUZZ_RUNS,
 #                                   default 20000)
-#   5. fault injection under ASan — SUBDEX_FAULT_INJECTION=ON build; the
+#   6. fault injection under ASan — SUBDEX_FAULT_INJECTION=ON build; the
 #                                   fault-sweep test arms every registered
 #                                   fault point in turn and asserts the
 #                                   engine's invariants survive
-#   6. coverage gate              — ci/coverage.sh: instrumented build,
+#   7. UBSan matrix               — ci/sanitize.sh undefined: the full
+#                                   ctest suite and the fuzz-corpus replay
+#                                   with every UB class fatal
+#   8. coverage gate              — ci/coverage.sh: instrumented build,
 #                                   gcov line coverage of src/core +
 #                                   src/pruning against a floor
 #
@@ -31,10 +43,13 @@ BUILD="${SUBDEX_CHECK_BUILD_DIR:-build-check}"
 FUZZ_RUNS="${SUBDEX_FUZZ_RUNS:-20000}"
 JOBS="$(nproc)"
 
-echo "==> [1/6] lint"
+echo "==> [1/8] lint"
 ci/lint.sh
 
-echo "==> [2/6] -Werror build + tests"
+echo "==> [2/8] static analysis"
+ci/analyze.sh
+
+echo "==> [3/8] -Werror build + tests"
 TIDY=OFF
 if command -v clang-tidy >/dev/null 2>&1; then
   TIDY=ON
@@ -52,7 +67,7 @@ cmake -B "$BUILD" -S "$ROOT" \
 cmake --build "$BUILD" -j"$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j"$JOBS"
 
-echo "==> [3/6] clang thread-safety analysis"
+echo "==> [4/8] clang thread-safety analysis"
 if command -v clang++ >/dev/null 2>&1; then
   TS_BUILD="$BUILD-threadsafety"
   cmake -B "$TS_BUILD" -S "$ROOT" \
@@ -65,7 +80,7 @@ else
   echo "SKIP: clang++ not installed; thread-safety annotations not checked"
 fi
 
-echo "==> [4/6] fuzz smoke ($FUZZ_RUNS runs per harness)"
+echo "==> [5/8] fuzz smoke ($FUZZ_RUNS runs per harness)"
 for harness in fuzz_query_parser fuzz_csv_loader fuzz_db_io; do
   corpus="$ROOT/fuzz/corpus/${harness#fuzz_}"
   bin="$BUILD/fuzz/$harness"
@@ -79,7 +94,7 @@ for harness in fuzz_query_parser fuzz_csv_loader fuzz_db_io; do
   "$bin" --runs="$FUZZ_RUNS" --seed=1 "$corpus"
 done
 
-echo "==> [5/6] fault injection under ASan"
+echo "==> [6/8] fault injection under ASan"
 FAULT_BUILD="$BUILD-fault"
 cmake -B "$FAULT_BUILD" -S "$ROOT" \
   -DSUBDEX_FAULT_INJECTION=ON \
@@ -97,7 +112,10 @@ for t in fault_injection_test engine_robustness_test; do
   "$bin"
 done
 
-echo "==> [6/6] coverage gate"
+echo "==> [7/8] UBSan matrix (full suite + corpus replay)"
+ci/sanitize.sh undefined
+
+echo "==> [8/8] coverage gate"
 SUBDEX_COVERAGE_BUILD_DIR="$BUILD-coverage" ci/coverage.sh
 
 echo "check: OK"

@@ -1,11 +1,21 @@
 #!/usr/bin/env bash
-# Grep-level lint for src/: cheap textual rules that need no compiler.
+# Lint for src/: textual rules plus one cheap compile pass.
 #
 #   1. No raw operator new/delete — ownership goes through containers and
 #      smart pointers (deleted special members, `= delete`, are fine).
 #   2. No C assert() — invariants use SUBDEX_CHECK / SUBDEX_DCHECK so they
 #      are formatted, and policy-controlled (static_assert is fine).
 #   3. Every header carries a SUBDEX_ include guard near the top.
+#   4. No unjustified discards: a `(void)expr;` statement must carry a
+#      written justification comment on the same line or within the three
+#      lines above it (the nodiscard contract in util/status.h makes a
+#      bare discard a swallowed error).
+#   5. Metric names follow `subdex_<subsystem>_<name>` (DESIGN.md §9), so
+#      dashboards can group series by subsystem prefix.
+#   6. Analyzer suppressions (ci/analyzer_suppressions.txt) each carry a
+#      justification comment directly above the entry.
+#   7. Includes hygiene: every header in src/ is self-sufficient — a TU
+#      holding only `#include "<header>"` compiles standalone.
 #
 # Run from anywhere; ci/check.sh runs this first (it is the fastest gate).
 set -uo pipefail
@@ -49,6 +59,72 @@ while IFS= read -r header; do
     fail=1
   fi
 done < <(find src -name '*.h')
+
+# Rule 4: (void)-discards need a justification comment nearby. Statement-
+# position discards only; `if (false) { (void)(x); }` macro plumbing in
+# check.h is matched too and is justified by its comment block.
+while IFS= read -r hit; do
+  file="${hit%%:*}"
+  line="${hit#*:}"; line="${line%%:*}"
+  text="${hit#*:*:}"
+  if [[ "$text" == *'//'* ]]; then continue; fi
+  start=$(( line > 3 ? line - 3 : 1 ))
+  if sed -n "${start},$((line - 1))p" "$file" | grep -q '//'; then
+    continue
+  fi
+  echo "lint: unjustified (void) discard (add a comment saying why):" >&2
+  echo "  $hit" >&2
+  fail=1
+done < <(grep -rnE '\(void\)\s*\(?[A-Za-z_]' src --include='*.cc' --include='*.h' || true)
+
+# Rule 5: metric names. Every registered name is `subdex_` + subsystem +
+# at least one more word, all lowercase/digits/underscores.
+hits=$(grep -rnoE 'Get(Counter|Gauge|Histogram)\(\s*"[^"]+"' \
+         src --include='*.cc' --include='*.h' \
+       | grep -vE '"subdex_[a-z0-9]+(_[a-z0-9]+)+"' || true)
+if [[ -n "$hits" ]]; then
+  echo "lint: metric name must match subdex_<subsystem>_<name>:" >&2
+  echo "$hits" >&2
+  fail=1
+fi
+
+# Rule 6: every active analyzer suppression has a justification comment
+# directly above it (the empty-or-justified policy of ci/analyze.sh).
+SUPP="ci/analyzer_suppressions.txt"
+if [[ -f "$SUPP" ]]; then
+  prev=""
+  while IFS= read -r line; do
+    if [[ "$line" =~ ^[[:space:]]*$ || "$line" =~ ^[[:space:]]*# ]]; then
+      prev="$line"
+      continue
+    fi
+    if [[ ! "$prev" =~ ^[[:space:]]*# ]]; then
+      echo "lint: analyzer suppression without a justification comment" \
+           "directly above it: $line" >&2
+      fail=1
+    fi
+    prev="$line"
+  done < "$SUPP"
+fi
+
+# Rule 7: header self-sufficiency. Generate `#include "<h>"` TUs and
+# syntax-check them; a header that leans on its includer's includes fails.
+CXX="${CXX:-c++}"
+hygiene_dir="$(mktemp -d)"
+trap 'rm -rf "$hygiene_dir"' EXIT
+while IFS= read -r header; do
+  rel="${header#src/}"
+  tu="$hygiene_dir/$(echo "$rel" | tr / _).cc"
+  printf '#include "%s"\n' "$rel" > "$tu"
+done < <(find src -name '*.h')
+if ! find "$hygiene_dir" -name '*.cc' -print0 \
+   | xargs -0 -P "$(nproc)" -I{} "$CXX" -std=c++20 -I src -fsyntax-only \
+       -Wall -Wextra {} 2> "$hygiene_dir/errors.log"; then
+  echo "lint: header not self-sufficient (compile each src/**/*.h" \
+       "standalone):" >&2
+  cat "$hygiene_dir/errors.log" >&2
+  fail=1
+fi
 
 if [[ "$fail" -ne 0 ]]; then
   echo "lint: FAILED" >&2

@@ -1,40 +1,37 @@
 #!/usr/bin/env bash
-# Builds the threading-sensitive test binaries (util, engine, group cache)
-# under a sanitizer and runs them.
+# Builds and runs tests under a sanitizer.
 #
-# Usage: ci/sanitize.sh [thread|address]   (default: thread)
+# Usage: ci/sanitize.sh [thread|address|undefined]   (default: thread)
 #
-# ThreadSanitizer exercises the shared-pool invariants: concurrent
-# ParallelFor batches, nested batches, and single-flight group-cache
-# materialization. 'address' swaps in ASan+UBSan for memory errors and
-# additionally replays the committed fuzz corpora through the parser
-# harnesses, so every past fuzzer finding stays covered under sanitizers.
+#   thread     ThreadSanitizer over the threading-sensitive test binaries
+#              (util, engine, group cache, robustness): concurrent
+#              ParallelFor batches, nested batches, single-flight
+#              group-cache materialization.
+#   address    ASan + default UBSan over the same binaries, plus a replay
+#              of the committed fuzz corpora through every harness, so
+#              every past fuzzer finding stays covered under sanitizers.
+#   undefined  The strict UBSan matrix (DESIGN.md §10): the FULL ctest
+#              suite and the fuzz-corpus replay under
+#              -fsanitize=undefined,float-divide-by-zero (plus the
+#              integer / implicit-conversion / nullability groups under
+#              Clang) with -fno-sanitize-recover=all, so any UB class —
+#              signed overflow in CI bound math, misaligned loads, lossy
+#              float-to-int bucketing — aborts the run instead of
+#              corrupting results.
 set -euo pipefail
 
 SAN="${1:-thread}"
 case "$SAN" in
-  thread|address) ;;
-  *) echo "usage: $0 [thread|address]" >&2; exit 2 ;;
+  thread|address|undefined) ;;
+  *) echo "usage: $0 [thread|address|undefined]" >&2; exit 2 ;;
 esac
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build-$SAN"
+JOBS="$(nproc)"
 
 TEST_BINS=(util_test engine_test group_cache_test engine_robustness_test)
 FUZZ_BINS=(fuzz_query_parser fuzz_csv_loader fuzz_db_io)
-
-FUZZ_FLAG=OFF
-TARGETS=("${TEST_BINS[@]}")
-if [[ "$SAN" == "address" ]]; then
-  FUZZ_FLAG=ON
-  TARGETS+=("${FUZZ_BINS[@]}")
-fi
-
-cmake -B "$BUILD" -S "$ROOT" \
-  -DSUBDEX_SANITIZE="$SAN" \
-  -DSUBDEX_FUZZ="$FUZZ_FLAG" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD" -j"$(nproc)" --target "${TARGETS[@]}"
 
 # A renamed or never-built binary must fail the gate loudly, not be skipped.
 run_checked() {
@@ -47,16 +44,47 @@ run_checked() {
   "$bin" "$@"
 }
 
+replay_corpora() {
+  for harness in "${FUZZ_BINS[@]}"; do
+    corpus="$ROOT/fuzz/corpus/${harness#fuzz_}"
+    echo "=== $harness corpus replay ($SAN) ==="
+    run_checked "$BUILD/fuzz/$harness" --runs=2000 --seed=1 "$corpus"
+  done
+}
+
+if [[ "$SAN" == "undefined" ]]; then
+  # Whole-suite mode: every test and every committed fuzz input runs with
+  # all UB checks fatal.
+  cmake -B "$BUILD" -S "$ROOT" \
+    -DSUBDEX_SANITIZE=undefined \
+    -DSUBDEX_FUZZ=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD" -j"$JOBS"
+  ctest --test-dir "$BUILD" --output-on-failure -j"$JOBS"
+  replay_corpora
+  echo "All sanitized tests passed ($SAN)."
+  exit 0
+fi
+
+FUZZ_FLAG=OFF
+TARGETS=("${TEST_BINS[@]}")
+if [[ "$SAN" == "address" ]]; then
+  FUZZ_FLAG=ON
+  TARGETS+=("${FUZZ_BINS[@]}")
+fi
+
+cmake -B "$BUILD" -S "$ROOT" \
+  -DSUBDEX_SANITIZE="$SAN" \
+  -DSUBDEX_FUZZ="$FUZZ_FLAG" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" -j"$JOBS" --target "${TARGETS[@]}"
+
 for test_bin in "${TEST_BINS[@]}"; do
   echo "=== $test_bin ($SAN) ==="
   run_checked "$BUILD/tests/$test_bin"
 done
 
 if [[ "$SAN" == "address" ]]; then
-  for harness in "${FUZZ_BINS[@]}"; do
-    corpus="$ROOT/fuzz/corpus/${harness#fuzz_}"
-    echo "=== $harness corpus replay ($SAN) ==="
-    run_checked "$BUILD/fuzz/$harness" --runs=2000 --seed=1 "$corpus"
-  done
+  replay_corpora
 fi
 echo "All sanitized tests passed ($SAN)."

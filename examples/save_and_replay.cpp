@@ -42,10 +42,10 @@ int main() {
   ExplorationSession session(db.get(), config,
                              ExplorationMode::kFullyAutomated);
   SessionLog log;
-  log.Append(session.Start(GroupSelection{}));
+  SUBDEX_CHECK_OK(log.Append(session.Start(GroupSelection{})));
   session.RunAutomated(4);
   for (size_t s = 1; s < session.path().size(); ++s) {
-    log.Append(session.path()[s]);
+    SUBDEX_CHECK_OK(log.Append(session.path()[s]));
   }
   std::string log_path = dir + "/session.log";
   st = log.SaveToFile(*db, log_path);

@@ -37,6 +37,15 @@ namespace {
 
 using namespace subdex;
 
+// A failed log append means the "log"/"save" commands would silently show
+// an incomplete session; tell the user instead of dropping the step.
+void LogStep(SessionLog& log, const StepResult& step) {
+  Status st = log.Append(step);
+  if (!st.ok()) {
+    std::printf("warning: step not logged: %s\n", st.ToString().c_str());
+  }
+}
+
 void PrintStep(const SubjectiveDatabase& db, const StepResult& step) {
   std::printf("\n== rating group: %s  (%zu records, %.0f ms) ==\n",
               step.selection.ToString(db).c_str(), step.group_size,
@@ -118,7 +127,7 @@ int main(int argc, char** argv) {
 
   GroupSelection pending;
   const StepResult* current = &session.Start(GroupSelection{});
-  log.Append(*current);
+  LogStep(log, *current);
   PrintStep(*db, *current);
   PrintHelp();
 
@@ -153,7 +162,7 @@ int main(int argc, char** argv) {
       std::printf("pending selection: %s\n", pending.ToString(*db).c_str());
     } else if (command == "go") {
       current = &session.ApplyOperation(pending);
-      log.Append(*current);
+      LogStep(log, *current);
       PrintStep(*db, *current);
     } else if (command == "recs") {
       PrintRecommendations(*db, *current);
@@ -168,7 +177,7 @@ int main(int argc, char** argv) {
       session.ApplyRecommendation(static_cast<size_t>(index - 1));
       current = &session.last();
       pending = current->selection;
-      log.Append(*current);
+      LogStep(log, *current);
       PrintStep(*db, *current);
     } else if (command == "auto") {
       int n = 1;
@@ -180,7 +189,7 @@ int main(int argc, char** argv) {
         }
         current = &session.last();
         pending = current->selection;
-        log.Append(*current);
+        LogStep(log, *current);
         PrintStep(*db, *current);
       }
     } else if (command == "fallacies") {

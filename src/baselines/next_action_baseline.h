@@ -6,6 +6,7 @@
 
 #include "subjective/operation.h"
 #include "subjective/rating_group.h"
+#include "util/status.h"
 
 namespace subdex {
 
@@ -17,9 +18,10 @@ class NextActionBaseline {
  public:
   virtual ~NextActionBaseline() = default;
 
-  virtual std::string name() const = 0;
+  SUBDEX_NODISCARD virtual std::string name() const = 0;
 
   /// Up to `count` next-action operations for the group, best first.
+  SUBDEX_NODISCARD
   virtual std::vector<Operation> Recommend(const RatingGroup& group,
                                            size_t count) const = 0;
 };

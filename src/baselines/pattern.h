@@ -7,6 +7,7 @@
 #include "subjective/operation.h"
 #include "subjective/rating_group.h"
 #include "util/bitmap.h"
+#include "util/status.h"
 
 namespace subdex {
 
@@ -21,16 +22,16 @@ struct Pattern {
   /// Coverage over positions of group.records().
   Bitmap coverage;
 
-  size_t specificity() const { return conditions.size(); }
-  size_t count() const { return coverage.Count(); }
+  SUBDEX_NODISCARD size_t specificity() const { return conditions.size(); }
+  SUBDEX_NODISCARD size_t count() const { return coverage.Count(); }
 
   /// Number of conditions present in exactly one of the two patterns
   /// (Qagview's cluster-distance D).
-  size_t Difference(const Pattern& other) const;
+  SUBDEX_NODISCARD size_t Difference(const Pattern& other) const;
 
   /// The next-step operation this pattern denotes: the current selection
   /// plus the pattern's conditions (a pure drill-down).
-  Operation ToOperation(const GroupSelection& current) const;
+  SUBDEX_NODISCARD Operation ToOperation(const GroupSelection& current) const;
 };
 
 /// All single-condition patterns of `group`: every (side, attribute, value)

@@ -25,7 +25,6 @@ std::vector<Operation> SmartDrillDown::Recommend(const RatingGroup& group,
     return candidates[a].count() > candidates[b].count();
   });
   size_t base = std::min(options_.max_pair_base, by_cover.size());
-  size_t num_singles = candidates.size();
   for (size_t i = 0; i < base; ++i) {
     for (size_t j = i + 1; j < base; ++j) {
       const Pattern& a = candidates[by_cover[i]];
@@ -40,7 +39,6 @@ std::vector<Operation> SmartDrillDown::Recommend(const RatingGroup& group,
       }
     }
   }
-  (void)num_singles;
 
   // Greedy rule-list construction on marginal coverage x specificity.
   Bitmap covered(group.size());

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/rating_map.h"
+#include "util/status.h"
 
 namespace subdex {
 
@@ -17,7 +18,7 @@ struct InterestingnessScores {
   double self_peculiarity = 0.0;
   double global_peculiarity = 0.0;
 
-  double Get(size_t criterion) const;
+  SUBDEX_NODISCARD double Get(size_t criterion) const;
   static constexpr size_t kNumCriteria = 4;
 };
 

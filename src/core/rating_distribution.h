@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.h"
+
 namespace subdex {
 
 /// Histogram of integer rating scores on the scale {1, ..., m}
@@ -14,6 +16,7 @@ class RatingDistribution {
   RatingDistribution() = default;
   explicit RatingDistribution(int scale);
 
+  SUBDEX_NODISCARD
   int scale() const { return static_cast<int>(counts_.size()); }
 
   /// Adds one score in [1, scale].
@@ -23,42 +26,43 @@ class RatingDistribution {
   /// Merges another histogram of the same scale.
   void Merge(const RatingDistribution& other);
 
-  uint64_t total() const { return total_; }
-  uint64_t count(int score) const;
+  SUBDEX_NODISCARD uint64_t total() const { return total_; }
+  SUBDEX_NODISCARD uint64_t count(int score) const;
 
   /// Probability of `score`; 0 for an empty distribution.
-  double Probability(int score) const;
+  SUBDEX_NODISCARD double Probability(int score) const;
 
   /// Probability vector [P(1), ..., P(m)] (all zeros if empty).
-  std::vector<double> Probabilities() const;
+  SUBDEX_NODISCARD std::vector<double> Probabilities() const;
 
   /// Mean score (0 if empty).
-  double Mean() const;
+  SUBDEX_NODISCARD double Mean() const;
 
   /// Most frequent score — the paper's alternative subgroup aggregation
   /// ("the highest probability for the rating dimension"). Ties resolve to
   /// the smaller score; 0 if empty.
-  int Mode() const;
+  SUBDEX_NODISCARD int Mode() const;
 
   /// Population standard deviation of scores (0 if empty).
-  double StdDev() const;
+  SUBDEX_NODISCARD double StdDev() const;
 
   /// Total variation distance to `other`: (1/2) * sum |p_i - q_i|, in
   /// [0, 1]. Empty distributions are treated as uniform so the measure is
   /// total. Scales must match.
+  SUBDEX_NODISCARD
   double TotalVariationDistance(const RatingDistribution& other) const;
 
   /// Kullback-Leibler divergence KL(this || other) with add-one smoothing,
   /// provided as the paper's alternative peculiarity measure.
-  double KlDivergence(const RatingDistribution& other) const;
+  SUBDEX_NODISCARD double KlDivergence(const RatingDistribution& other) const;
 
   /// 1-D earth mover's distance to `other` on normalized probabilities:
   /// sum of |CDF differences| divided by (m - 1), so the result is in
   /// [0, 1]. Scales must match.
-  double Emd(const RatingDistribution& other) const;
+  SUBDEX_NODISCARD double Emd(const RatingDistribution& other) const;
 
   /// Display form, e.g. "{1:3,2:1,3:2,4:1,5:5}".
-  std::string ToString() const;
+  SUBDEX_NODISCARD std::string ToString() const;
 
  private:
   std::vector<uint64_t> counts_;

@@ -7,6 +7,7 @@
 
 #include "core/rating_distribution.h"
 #include "subjective/rating_group.h"
+#include "util/status.h"
 
 namespace subdex {
 
@@ -21,7 +22,7 @@ struct RatingMapKey {
 
   friend bool operator==(const RatingMapKey&, const RatingMapKey&) = default;
 
-  std::string ToString(const SubjectiveDatabase& db) const;
+  SUBDEX_NODISCARD std::string ToString(const SubjectiveDatabase& db) const;
 };
 
 struct RatingMapKeyHash {
@@ -38,8 +39,8 @@ struct Subgroup {
   ValueCode value = kNullCode;  // kNullCode = records without a value
   RatingDistribution dist;
 
-  uint64_t count() const { return dist.total(); }
-  double average() const { return dist.Mean(); }
+  SUBDEX_NODISCARD uint64_t count() const { return dist.total(); }
+  SUBDEX_NODISCARD double average() const { return dist.Mean(); }
 };
 
 /// A rating map (Definition 2): the partition of a rating group by one
@@ -59,25 +60,27 @@ class RatingMap {
   /// Builds the complete rating map of `group` for `key`.
   static RatingMap Build(const RatingGroup& group, const RatingMapKey& key);
 
-  const RatingMapKey& key() const { return key_; }
+  SUBDEX_NODISCARD const RatingMapKey& key() const { return key_; }
+  SUBDEX_NODISCARD
   const std::vector<Subgroup>& subgroups() const { return subgroups_; }
-  size_t num_subgroups() const { return subgroups_.size(); }
+  SUBDEX_NODISCARD size_t num_subgroups() const { return subgroups_.size(); }
+  SUBDEX_NODISCARD
   const RatingDistribution& overall() const { return overall_; }
   /// Number of records aggregated (|g_R| restricted to processed data).
-  uint64_t group_size() const { return overall_.total(); }
+  SUBDEX_NODISCARD uint64_t group_size() const { return overall_.total(); }
 
   /// Size of the full rating group this map summarizes. Equals
   /// group_size() for completely built maps; snapshots taken mid-way
   /// through phased execution carry the full size so size-dependent
   /// measures (conciseness) estimate the final value instead of the
   /// prefix's.
-  uint64_t full_group_size() const {
+  SUBDEX_NODISCARD uint64_t full_group_size() const {
     return full_group_size_ > 0 ? full_group_size_ : overall_.total();
   }
   void set_full_group_size(uint64_t n) { full_group_size_ = n; }
 
   /// Multi-line display form mirroring Figure 3.
-  std::string ToString(const SubjectiveDatabase& db) const;
+  SUBDEX_NODISCARD std::string ToString(const SubjectiveDatabase& db) const;
 
  private:
   RatingMapKey key_;
@@ -97,12 +100,12 @@ class RatingMapAccumulator {
   void Update(size_t begin, size_t end);
 
   /// Number of group records processed so far.
-  size_t processed() const { return processed_; }
+  SUBDEX_NODISCARD size_t processed() const { return processed_; }
 
-  const RatingMapKey& key() const { return key_; }
+  SUBDEX_NODISCARD const RatingMapKey& key() const { return key_; }
 
   /// Rating map over the records processed so far.
-  RatingMap Snapshot() const;
+  SUBDEX_NODISCARD RatingMap Snapshot() const;
 
  private:
   const RatingGroup* group_;

@@ -5,6 +5,7 @@
 
 #include "core/interestingness.h"
 #include "core/rating_map.h"
+#include "util/status.h"
 
 namespace subdex {
 
@@ -22,26 +23,28 @@ class SeenMapsTracker {
   void Record(const RatingMap& map);
 
   /// Total number of displayed maps (m in the paper).
-  size_t total() const { return total_; }
+  SUBDEX_NODISCARD size_t total() const { return total_; }
 
   /// Times dimension `d` was displayed (m_{r_d}).
-  size_t dimension_count(size_t d) const;
+  SUBDEX_NODISCARD size_t dimension_count(size_t d) const;
 
   /// Algorithm 2 (getWeights): w[j] = m_{r_j} / m; all zeros when no map
   /// has been displayed.
-  std::vector<double> GetWeights() const;
+  SUBDEX_NODISCARD std::vector<double> GetWeights() const;
 
   /// The DW multiplier (1 - m_{r_d}/m) of Eq. 1; 1.0 before anything has
   /// been displayed.
-  double DimensionWeight(size_t d) const;
+  SUBDEX_NODISCARD double DimensionWeight(size_t d) const;
 
   /// Overall distributions of displayed maps — the references for global
   /// peculiarity.
+  SUBDEX_NODISCARD
   const std::vector<RatingDistribution>& seen_distributions() const {
     return seen_distributions_;
   }
 
   /// DW utility (Eq. 1) of `map` given its plain utility.
+  SUBDEX_NODISCARD
   double DimensionWeightedUtility(const RatingMapKey& key,
                                   double utility) const {
     return DimensionWeight(key.dimension) * utility;

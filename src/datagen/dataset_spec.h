@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.h"
+
 namespace subdex {
 
 /// Shape of one synthetic (multi-)categorical attribute.
@@ -54,7 +56,7 @@ struct DatasetSpec {
 
   /// Returns a proportionally shrunken copy (for fast unit tests):
   /// relation sizes scaled by `factor`, attribute shapes untouched.
-  DatasetSpec Scaled(double factor) const;
+  SUBDEX_NODISCARD DatasetSpec Scaled(double factor) const;
 };
 
 }  // namespace subdex

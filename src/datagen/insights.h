@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "subjective/subjective_db.h"
+#include "util/status.h"
 
 namespace subdex {
 
@@ -22,7 +23,7 @@ struct PlantedInsight {
   /// Rating records shifted to create the insight.
   std::vector<RecordId> affected_records;
 
-  std::string Describe(const SubjectiveDatabase& db) const;
+  SUBDEX_NODISCARD std::string Describe(const SubjectiveDatabase& db) const;
 };
 
 struct InsightPlantingOptions {

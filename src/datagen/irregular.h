@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "subjective/subjective_db.h"
+#include "util/status.h"
 
 namespace subdex {
 
@@ -19,7 +20,7 @@ struct IrregularGroup {
   /// Rating records whose scores were forced to 1.
   std::vector<RecordId> affected_records;
 
-  std::string Describe(const SubjectiveDatabase& db) const;
+  SUBDEX_NODISCARD std::string Describe(const SubjectiveDatabase& db) const;
 };
 
 struct IrregularPlantingOptions {

@@ -193,9 +193,11 @@ std::unique_ptr<SubjectiveDatabase> DropAttributes(
 }
 
 std::unique_ptr<SubjectiveDatabase> LimitAttributeValues(
-    const SubjectiveDatabase& src, size_t max_values, uint64_t seed) {
+    const SubjectiveDatabase& src, size_t max_values,
+    // Folding is deterministic; the seed exists for interface symmetry
+    // with the other transforms.
+    [[maybe_unused]] uint64_t seed) {
   SUBDEX_CHECK(max_values >= 1);
-  (void)seed;  // folding is deterministic; kept for interface symmetry
   auto out = std::make_unique<SubjectiveDatabase>(
       src.reviewers().schema(), src.items().schema(), Dimensions(src),
       src.scale());

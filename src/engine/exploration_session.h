@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "engine/sde_engine.h"
+#include "util/status.h"
 
 namespace subdex {
 
@@ -45,11 +46,11 @@ class ExplorationSession {
   /// recommendation is available. Returns the number of steps executed.
   size_t RunAutomated(size_t steps);
 
-  ExplorationMode mode() const { return mode_; }
-  const std::vector<StepResult>& path() const { return path_; }
-  const StepResult& last() const;
+  SUBDEX_NODISCARD ExplorationMode mode() const { return mode_; }
+  SUBDEX_NODISCARD const std::vector<StepResult>& path() const { return path_; }
+  SUBDEX_NODISCARD const StepResult& last() const;
   SdeEngine& engine() { return engine_; }
-  const SdeEngine& engine() const { return engine_; }
+  SUBDEX_NODISCARD const SdeEngine& engine() const { return engine_; }
 
  private:
   const StepResult& Execute(const GroupSelection& selection);

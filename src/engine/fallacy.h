@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/rating_map.h"
+#include "util/status.h"
 
 namespace subdex {
 
@@ -21,7 +22,7 @@ struct FallacyWarning {
   double parent_gap = 0.0;
   double child_gap = 0.0;
 
-  std::string Describe(const SubjectiveDatabase& db) const;
+  SUBDEX_NODISCARD std::string Describe(const SubjectiveDatabase& db) const;
 };
 
 struct FallacyDetectionOptions {

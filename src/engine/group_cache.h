@@ -12,6 +12,7 @@
 #include "subjective/rating_group.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
+#include "util/status.h"
 
 namespace subdex {
 
@@ -39,7 +40,7 @@ class RatingGroupCache {
     size_t evictions = 0;
     size_t entries = 0;
 
-    double HitRate() const {
+    SUBDEX_NODISCARD double HitRate() const {
       size_t total = hits + misses + coalesced;
       return total == 0 ? 0.0 : static_cast<double>(hits) / total;
     }
@@ -55,8 +56,8 @@ class RatingGroupCache {
   /// The rating group of `selection`, from cache or freshly materialized.
   RatingGroup Get(const GroupSelection& selection) SUBDEX_EXCLUDES(mu_);
 
-  Stats stats() const SUBDEX_EXCLUDES(mu_);
-  size_t capacity() const { return capacity_; }
+  SUBDEX_NODISCARD Stats stats() const SUBDEX_EXCLUDES(mu_);
+  SUBDEX_NODISCARD size_t capacity() const { return capacity_; }
   void Clear() SUBDEX_EXCLUDES(mu_);
 
  private:

@@ -6,6 +6,7 @@
 
 #include "engine/recommendation_builder.h"
 #include "engine/session_log.h"
+#include "util/status.h"
 
 namespace subdex {
 
@@ -29,15 +30,17 @@ class OperationPreferenceModel {
   void ObserveLog(const SessionLog& log);
 
   /// Total observed attribute touches.
-  double total_observations() const { return total_; }
+  SUBDEX_NODISCARD double total_observations() const { return total_; }
 
   /// Affinity of moving from `from` to `to`, in [0, 1]: the mean relative
   /// popularity of the attributes the operation touches (0.5 when the
   /// model has seen nothing, so an untrained model is neutral).
+  SUBDEX_NODISCARD
   double Affinity(const GroupSelection& from, const GroupSelection& to) const;
 
   /// Re-ranks recommendations by (1 - blend) * normalized utility +
   /// blend * affinity; blend in [0, 1], 0 keeps SubDEx's order.
+  SUBDEX_NODISCARD
   std::vector<Recommendation> Rerank(std::vector<Recommendation> recs,
                                      const GroupSelection& current,
                                      double blend) const;

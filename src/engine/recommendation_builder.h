@@ -6,6 +6,7 @@
 #include "engine/group_cache.h"
 #include "engine/rm_pipeline.h"
 #include "subjective/operation.h"
+#include "util/status.h"
 
 namespace subdex {
 
@@ -57,7 +58,7 @@ class RecommendationBuilder {
   /// and the ranking covers only the candidates evaluated so far.
   /// `*truncated` (if non-null) is set to true when the budget cut the
   /// fan-out short, and left untouched otherwise.
-  std::vector<Recommendation> TopRecommendations(
+  SUBDEX_NODISCARD std::vector<Recommendation> TopRecommendations(
       const GroupSelection& current, const SeenMapsTracker& seen,
       const std::vector<GroupSelection>& explored = {},
       RmGeneratorStats* stats = nullptr, const StopToken& stop = StopToken(),

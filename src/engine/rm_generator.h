@@ -7,6 +7,7 @@
 #include "core/seen_maps.h"
 #include "engine/config.h"
 #include "util/deadline.h"
+#include "util/status.h"
 
 namespace subdex {
 
@@ -61,6 +62,7 @@ class RmGenerator {
   /// runs, so every returned map covers at least 1/num_phases of the
   /// group. `*truncated` (if non-null) is set to true when the budget cut
   /// the phase loop short, and left untouched otherwise.
+  SUBDEX_NODISCARD
   std::vector<ScoredRatingMap> Generate(const RatingGroup& group,
                                         const SeenMapsTracker& seen,
                                         size_t k_prime,

@@ -6,6 +6,7 @@
 #include "engine/rm_generator.h"
 #include "engine/rm_selector.h"
 #include "engine/step_timings.h"
+#include "util/status.h"
 
 namespace subdex {
 
@@ -31,7 +32,7 @@ class RmPipeline {
   /// cut happens and `cut` is non-null, `*cut` is set to the earliest
   /// phase affected (kRmGeneration or kGmmSelection); it is left untouched
   /// on a complete run.
-  std::vector<ScoredRatingMap> SelectForDisplay(
+  SUBDEX_NODISCARD std::vector<ScoredRatingMap> SelectForDisplay(
       const RatingGroup& group, const SeenMapsTracker& seen,
       RmGeneratorStats* stats = nullptr, StepTimings* timings = nullptr,
       const StopToken& stop = StopToken(), StepPhase* cut = nullptr) const;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "engine/rm_generator.h"
+#include "util/status.h"
 
 namespace subdex {
 
@@ -15,7 +16,7 @@ class RmSelector {
  public:
   explicit RmSelector(const EngineConfig* config) : config_(config) {}
 
-  std::vector<ScoredRatingMap> SelectDiverse(
+  SUBDEX_NODISCARD std::vector<ScoredRatingMap> SelectDiverse(
       std::vector<ScoredRatingMap> candidates, size_t k) const;
 
  private:

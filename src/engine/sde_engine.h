@@ -15,6 +15,7 @@
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
+#include "util/status.h"
 
 namespace subdex {
 
@@ -83,11 +84,11 @@ class SdeEngine {
  public:
   SdeEngine(const SubjectiveDatabase* db, EngineConfig config);
 
-  const SubjectiveDatabase& db() const { return *db_; }
-  const EngineConfig& config() const { return config_; }
+  SUBDEX_NODISCARD const SubjectiveDatabase& db() const { return *db_; }
+  SUBDEX_NODISCARD const EngineConfig& config() const { return config_; }
 
   /// Snapshot of the displayed-maps history at the time of the call.
-  SeenMapsTracker seen() const SUBDEX_EXCLUDES(mu_);
+  SUBDEX_NODISCARD SeenMapsTracker seen() const SUBDEX_EXCLUDES(mu_);
 
   /// Executes one exploration step: materializes the selection's rating
   /// group, selects the k display maps, records them as seen, and — when
@@ -117,20 +118,21 @@ class SdeEngine {
   /// Selections whose maps have been displayed this exploration, without
   /// duplicates (revisiting a selection does not grow the list); a
   /// snapshot, like seen().
-  std::vector<GroupSelection> explored_selections() const
+  SUBDEX_NODISCARD std::vector<GroupSelection> explored_selections() const
       SUBDEX_EXCLUDES(mu_);
 
   /// The shared rating-group cache (hit statistics for benchmarks).
+  SUBDEX_NODISCARD
   const RatingGroupCache& group_cache() const { return *cache_; }
 
   /// Snapshot of the process-wide metrics registry (all subsystems, not
   /// just this engine): counters, gauges, and histogram buckets at the
   /// time of the call. Export with ToPrometheusText() or ToJson().
-  subdex::MetricsSnapshot MetricsSnapshot() const;
+  SUBDEX_NODISCARD subdex::MetricsSnapshot MetricsSnapshot() const;
 
   /// The engine-owned worker pool; null when `num_threads` <= 1. Created
   /// once per engine and reused across every step.
-  const ThreadPool* pool() const { return pool_.get(); }
+  SUBDEX_NODISCARD const ThreadPool* pool() const { return pool_.get(); }
 
   /// Attaches a session log: every non-cancelled step (including
   /// deadline-degraded ones — the user saw their best-effort result) is
@@ -142,7 +144,7 @@ class SdeEngine {
   /// Number of step records the attached session log failed to persist
   /// (Append returned non-OK). 0 when no log is attached or all writes
   /// succeeded.
-  size_t dropped_log_entries() const {
+  SUBDEX_NODISCARD size_t dropped_log_entries() const {
     return dropped_log_entries_.load(std::memory_order_relaxed);
   }
 

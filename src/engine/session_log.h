@@ -53,33 +53,38 @@ class SessionLog {
   /// instead of being dropped silently. Callers that must not fail on a
   /// logging error (the engine) count the non-OK returns rather than
   /// ignoring them — see SdeEngine::dropped_log_entries().
+  SUBDEX_MUST_USE_RESULT
   Status Append(const StepResult& step) SUBDEX_EXCLUDES(mu_);
-  size_t size() const SUBDEX_EXCLUDES(mu_);
-  bool empty() const SUBDEX_EXCLUDES(mu_);
+  SUBDEX_NODISCARD size_t size() const SUBDEX_EXCLUDES(mu_);
+  SUBDEX_NODISCARD bool empty() const SUBDEX_EXCLUDES(mu_);
 
   /// Opens a write-through sink: every subsequent Append is serialized to
   /// `path` (truncated here) and flushed, so a crash loses at most the
   /// step being written. `db` renders selections and map keys; it must
   /// outlive the sink. Replaces any previously open sink.
+  SUBDEX_MUST_USE_RESULT
   Status OpenSink(const SubjectiveDatabase* db, const std::string& path)
       SUBDEX_EXCLUDES(mu_);
 
   /// Flushes and closes the sink (no-op when none is open). Errors
   /// detected on the final flush surface here.
-  Status CloseSink() SUBDEX_EXCLUDES(mu_);
+  SUBDEX_MUST_USE_RESULT Status CloseSink() SUBDEX_EXCLUDES(mu_);
 
-  bool has_sink() const SUBDEX_EXCLUDES(mu_);
+  SUBDEX_NODISCARD bool has_sink() const SUBDEX_EXCLUDES(mu_);
 
   /// Snapshot of the logged steps at the time of the call.
-  std::vector<LoggedStep> steps() const SUBDEX_EXCLUDES(mu_);
+  SUBDEX_NODISCARD std::vector<LoggedStep> steps() const SUBDEX_EXCLUDES(mu_);
 
-  std::string Serialize(const SubjectiveDatabase& db) const
+  SUBDEX_NODISCARD std::string Serialize(const SubjectiveDatabase& db) const
       SUBDEX_EXCLUDES(mu_);
+  SUBDEX_MUST_USE_RESULT
   static Result<SessionLog> Deserialize(SubjectiveDatabase* db,
                                         const std::string& text);
 
+  SUBDEX_MUST_USE_RESULT
   Status SaveToFile(const SubjectiveDatabase& db,
                     const std::string& path) const SUBDEX_EXCLUDES(mu_);
+  SUBDEX_MUST_USE_RESULT
   static Result<SessionLog> LoadFromFile(SubjectiveDatabase* db,
                                          const std::string& path);
 

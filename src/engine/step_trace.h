@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "engine/step_timings.h"
+#include "util/status.h"
 
 namespace subdex {
 
@@ -68,7 +69,7 @@ struct StepTrace {
   /// start/duration fields are omitted (phase order and completion flags
   /// remain), making the output a pure function of the engine's
   /// deterministic execution.
-  std::string ToJson(bool include_timings = true) const;
+  SUBDEX_NODISCARD std::string ToJson(bool include_timings = true) const;
 };
 
 }  // namespace subdex

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/rating_map.h"
+#include "util/status.h"
 
 namespace subdex {
 
@@ -21,14 +22,14 @@ class MultiAggregateScan {
  public:
   MultiAggregateScan(const RatingGroup* group, Side side, size_t attribute);
 
-  Side side() const { return side_; }
-  size_t attribute() const { return attribute_; }
+  SUBDEX_NODISCARD Side side() const { return side_; }
+  SUBDEX_NODISCARD size_t attribute() const { return attribute_; }
 
   /// Stops updating dimension `dim` (its candidate was pruned).
   void DeactivateDimension(size_t dim);
-  bool IsActive(size_t dim) const;
+  SUBDEX_NODISCARD bool IsActive(size_t dim) const;
   /// Number of active dimensions (a scan with none is skipped entirely).
-  size_t num_active() const { return num_active_; }
+  SUBDEX_NODISCARD size_t num_active() const { return num_active_; }
 
   /// Processes records [begin, end) of the group's record list for every
   /// active dimension. Returns the number of (record, dimension) updates
@@ -36,10 +37,10 @@ class MultiAggregateScan {
   size_t Update(size_t begin, size_t end);
 
   /// Records processed so far for dimension `dim`.
-  size_t processed(size_t dim) const;
+  SUBDEX_NODISCARD size_t processed(size_t dim) const;
 
   /// Rating map for `dim` over the records processed for it so far.
-  RatingMap SnapshotMap(size_t dim) const;
+  SUBDEX_NODISCARD RatingMap SnapshotMap(size_t dim) const;
 
  private:
   struct PerDimension {

@@ -13,15 +13,18 @@ namespace subdex {
 /// attribute names (in order). Multi-categorical cells use '|' as the value
 /// separator; empty cells are null. No quoting support — the synthetic
 /// exporters never emit separators inside values.
+SUBDEX_MUST_USE_RESULT
 Result<Table> ReadCsv(const std::string& path, const Schema& schema);
 
 /// Stream variant of ReadCsv: parses CSV from `in`; `source` labels error
 /// messages. Never aborts on malformed input — every parse failure maps to
 /// a Status, which makes this the fuzzing entry point.
+SUBDEX_MUST_USE_RESULT
 Result<Table> ReadCsv(std::istream& in, const Schema& schema,
                       const std::string& source);
 
 /// Writes `table` as CSV (same conventions as ReadCsv).
+SUBDEX_MUST_USE_RESULT
 Status WriteCsv(const Table& table, const std::string& path);
 
 }  // namespace subdex

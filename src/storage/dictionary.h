@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "storage/value.h"
+#include "util/status.h"
 
 namespace subdex {
 
@@ -20,13 +21,14 @@ class Dictionary {
   ValueCode Intern(const std::string& value);
 
   /// Returns the code for `value`, or kNullCode if absent.
-  ValueCode Lookup(const std::string& value) const;
+  SUBDEX_NODISCARD ValueCode Lookup(const std::string& value) const;
 
   /// String for a valid code.
-  const std::string& ValueOf(ValueCode code) const;
+  SUBDEX_NODISCARD const std::string& ValueOf(ValueCode code) const;
 
-  size_t size() const { return values_.size(); }
+  SUBDEX_NODISCARD size_t size() const { return values_.size(); }
 
+  SUBDEX_NODISCARD
   const std::vector<std::string>& values() const { return values_; }
 
  private:

@@ -28,39 +28,41 @@ class Predicate {
 
   /// Builds a predicate from (attribute name, value string) pairs, interning
   /// values as needed. Fails if an attribute is unknown or numeric.
-  static Result<Predicate> FromPairs(
+  SUBDEX_MUST_USE_RESULT static Result<Predicate> FromPairs(
       Table* table,
       const std::vector<std::pair<std::string, std::string>>& pairs);
 
-  bool Matches(const Table& table, RowId row) const;
+  SUBDEX_NODISCARD bool Matches(const Table& table, RowId row) const;
 
   /// Row ids of all matching rows.
-  std::vector<RowId> Select(const Table& table) const;
+  SUBDEX_NODISCARD std::vector<RowId> Select(const Table& table) const;
 
   /// Matching subset of `candidates`.
+  SUBDEX_NODISCARD
   std::vector<RowId> SelectFrom(const Table& table,
                                 const std::vector<RowId>& candidates) const;
 
+  SUBDEX_NODISCARD
   const std::vector<AttributeValue>& conjuncts() const { return conjuncts_; }
-  size_t size() const { return conjuncts_.size(); }
-  bool empty() const { return conjuncts_.empty(); }
+  SUBDEX_NODISCARD size_t size() const { return conjuncts_.size(); }
+  SUBDEX_NODISCARD bool empty() const { return conjuncts_.empty(); }
 
   /// True iff an (attribute, code) conjunct on `attribute` exists.
-  bool ConstrainsAttribute(size_t attribute) const;
+  SUBDEX_NODISCARD bool ConstrainsAttribute(size_t attribute) const;
 
   /// Returns a copy with `av` added (replacing any conjunct on the same
   /// attribute).
-  Predicate With(const AttributeValue& av) const;
+  SUBDEX_NODISCARD Predicate With(const AttributeValue& av) const;
 
   /// Returns a copy with the conjunct on `attribute` removed (no-op if not
   /// present).
-  Predicate Without(size_t attribute) const;
+  SUBDEX_NODISCARD Predicate Without(size_t attribute) const;
 
   /// True iff every conjunct of `other` appears in this predicate.
-  bool Contains(const Predicate& other) const;
+  SUBDEX_NODISCARD bool Contains(const Predicate& other) const;
 
   /// Display form, e.g. "<city=NYC>, <gender=F>".
-  std::string ToString(const Table& table) const;
+  SUBDEX_NODISCARD std::string ToString(const Table& table) const;
 
   friend bool operator==(const Predicate&, const Predicate&) = default;
 

@@ -23,6 +23,7 @@ namespace subdex {
 /// Status with a position-annotated message. Values not present in the
 /// data are interned, producing a predicate that matches nothing — the
 /// same behavior as typing a value that does not occur.
+SUBDEX_MUST_USE_RESULT
 Result<Predicate> ParsePredicate(Table* table, std::string_view query);
 
 /// Renders a predicate back into parsable query text (inverse of

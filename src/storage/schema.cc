@@ -20,8 +20,7 @@ Schema::Schema(std::vector<AttributeDef> attributes)
     : attributes_(std::move(attributes)) {
   for (size_t i = 0; i < attributes_.size(); ++i) {
     SUBDEX_CHECK_MSG(!attributes_[i].name.empty(), "empty attribute name");
-    auto [it, inserted] = index_.emplace(attributes_[i].name, i);
-    (void)it;
+    bool inserted = index_.emplace(attributes_[i].name, i).second;
     SUBDEX_CHECK_MSG(inserted, "duplicate attribute name");
   }
 }

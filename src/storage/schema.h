@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "storage/value.h"
+#include "util/status.h"
 
 namespace subdex {
 
@@ -22,13 +23,15 @@ class Schema {
   Schema() = default;
   explicit Schema(std::vector<AttributeDef> attributes);
 
-  size_t num_attributes() const { return attributes_.size(); }
-  const AttributeDef& attribute(size_t i) const;
+  SUBDEX_NODISCARD size_t num_attributes() const { return attributes_.size(); }
+  SUBDEX_NODISCARD const AttributeDef& attribute(size_t i) const;
 
   /// Index of the attribute named `name`, or -1 if absent.
-  int IndexOf(const std::string& name) const;
+  SUBDEX_NODISCARD int IndexOf(const std::string& name) const;
+  SUBDEX_NODISCARD
   bool Contains(const std::string& name) const { return IndexOf(name) >= 0; }
 
+  SUBDEX_NODISCARD
   const std::vector<AttributeDef>& attributes() const { return attributes_; }
 
  private:

@@ -24,41 +24,44 @@ class Table {
   Table() = default;
   explicit Table(Schema schema);
 
-  const Schema& schema() const { return schema_; }
-  size_t num_rows() const { return num_rows_; }
+  SUBDEX_NODISCARD const Schema& schema() const { return schema_; }
+  SUBDEX_NODISCARD size_t num_rows() const { return num_rows_; }
+  SUBDEX_NODISCARD
   size_t num_attributes() const { return schema_.num_attributes(); }
 
   /// Appends one row; `cells` must have one Value per schema attribute with
   /// a type matching the attribute (or null).
-  Status AppendRow(const std::vector<Value>& cells);
+  SUBDEX_MUST_USE_RESULT Status AppendRow(const std::vector<Value>& cells);
 
   /// Dictionary code of a categorical cell (kNullCode if null).
-  ValueCode CodeAt(size_t attr, RowId row) const;
+  SUBDEX_NODISCARD ValueCode CodeAt(size_t attr, RowId row) const;
 
   /// Codes of a multi-categorical cell (empty if null).
+  SUBDEX_NODISCARD
   const std::vector<ValueCode>& MultiCodesAt(size_t attr, RowId row) const;
 
   /// Numeric cell (NaN if null).
-  double NumericAt(size_t attr, RowId row) const;
+  SUBDEX_NODISCARD double NumericAt(size_t attr, RowId row) const;
 
   /// True iff the row's cell for `attr` has (categorical) or contains
   /// (multi-categorical) the given code.
-  bool HasValue(size_t attr, RowId row, ValueCode code) const;
+  SUBDEX_NODISCARD bool HasValue(size_t attr, RowId row, ValueCode code) const;
 
   /// The value dictionary of a (multi-)categorical attribute.
-  const Dictionary& dictionary(size_t attr) const;
+  SUBDEX_NODISCARD const Dictionary& dictionary(size_t attr) const;
 
   /// Number of distinct values observed for a (multi-)categorical attribute.
-  size_t DistinctValueCount(size_t attr) const;
+  SUBDEX_NODISCARD size_t DistinctValueCount(size_t attr) const;
 
   /// Renders a cell as a display string ("" for null; "a|b" for multi).
-  std::string CellToString(size_t attr, RowId row) const;
+  SUBDEX_NODISCARD std::string CellToString(size_t attr, RowId row) const;
 
   /// Interns `value` into attr's dictionary (for building predicates whose
   /// values may not yet appear in the data).
   ValueCode InternValue(size_t attr, const std::string& value);
 
   /// Looks up `value` in attr's dictionary without inserting.
+  SUBDEX_NODISCARD
   ValueCode LookupValue(size_t attr, const std::string& value) const;
 
  private:
@@ -70,7 +73,7 @@ class Table {
     std::vector<double> numerics;                // numeric
   };
 
-  const Column& column(size_t attr) const;
+  SUBDEX_NODISCARD const Column& column(size_t attr) const;
 
   Schema schema_;
   std::vector<Column> columns_;

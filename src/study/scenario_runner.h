@@ -7,6 +7,7 @@
 #include "engine/exploration_session.h"
 #include "study/detection.h"
 #include "study/simulated_user.h"
+#include "util/status.h"
 
 namespace subdex {
 
@@ -25,7 +26,7 @@ struct ScenarioTask {
   std::vector<IrregularGroup> irregulars;
   std::vector<PlantedInsight> insights;
 
-  size_t total() const {
+  SUBDEX_NODISCARD size_t total() const {
     return kind == ScenarioKind::kIrregularGroups ? irregulars.size()
                                                   : insights.size();
   }
@@ -38,7 +39,7 @@ struct ScenarioRunResult {
   /// Sum of per-step engine times.
   double total_elapsed_ms = 0.0;
 
-  size_t found() const {
+  SUBDEX_NODISCARD size_t found() const {
     return cumulative_found.empty() ? 0 : cumulative_found.back();
   }
 };

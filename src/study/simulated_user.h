@@ -5,6 +5,7 @@
 
 #include "engine/sde_engine.h"
 #include "util/random.h"
+#include "util/status.h"
 
 namespace subdex {
 
@@ -25,7 +26,7 @@ class SimulatedUser {
   explicit SimulatedUser(const UserProfile& profile);
 
   /// Chance of noticing a finding that a displayed map exposes.
-  double read_probability() const;
+  SUBDEX_NODISCARD double read_probability() const;
 
   /// One attention roll for one exposed finding. `engagement` scales the
   /// read probability: subjects who picked the operation themselves study

@@ -24,9 +24,11 @@ namespace subdex {
 /// Saves `db` into `dir` (created if missing). Scores reflect any planted
 /// irregular groups / insights, so a study dataset can be saved after
 /// planting and reloaded bit-identically.
+SUBDEX_MUST_USE_RESULT
 Status SaveDatabase(const SubjectiveDatabase& db, const std::string& dir);
 
 /// Loads a database saved by SaveDatabase; the result is finalized.
+SUBDEX_MUST_USE_RESULT
 Result<std::unique_ptr<SubjectiveDatabase>> LoadDatabase(
     const std::string& dir);
 
@@ -44,11 +46,12 @@ struct DbManifest {
 /// Parses a manifest.txt stream. All malformed input — including values the
 /// SubjectiveDatabase constructor would CHECK-abort on — maps to a Status,
 /// which makes this safe on untrusted bytes (it is a fuzzing entry point).
-Result<DbManifest> ParseManifest(std::istream& in);
+SUBDEX_MUST_USE_RESULT Result<DbManifest> ParseManifest(std::istream& in);
 
 /// Parses a ratings.csv stream into `db` (constructed, not yet finalized;
 /// reviewer and item tables already populated). Does not finalize `db`.
 /// Safe on untrusted bytes: every malformed row maps to a Status.
+SUBDEX_MUST_USE_RESULT
 Status LoadRatingsCsv(std::istream& in, SubjectiveDatabase* db);
 
 }  // namespace subdex

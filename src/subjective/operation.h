@@ -7,6 +7,7 @@
 #include "subjective/rating_group.h"
 #include "subjective/subjective_db.h"
 #include "util/random.h"
+#include "util/status.h"
 
 namespace subdex {
 
@@ -30,7 +31,7 @@ struct Operation {
   OperationKind kind = OperationKind::kFilter;
   size_t num_edits = 1;
 
-  std::string Describe(const SubjectiveDatabase& db) const;
+  SUBDEX_NODISCARD std::string Describe(const SubjectiveDatabase& db) const;
 };
 
 /// Knobs for candidate-operation enumeration.

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "subjective/subjective_db.h"
+#include "util/status.h"
 
 namespace subdex {
 
@@ -16,20 +17,21 @@ struct GroupSelection {
   Predicate reviewer_pred;
   Predicate item_pred;
 
-  const Predicate& pred(Side side) const {
+  SUBDEX_NODISCARD const Predicate& pred(Side side) const {
     return side == Side::kReviewer ? reviewer_pred : item_pred;
   }
 
   /// Total number of attribute-value conjuncts across both sides.
+  SUBDEX_NODISCARD
   size_t size() const { return reviewer_pred.size() + item_pred.size(); }
 
   /// Number of attributes (across both sides) on which the two selections
   /// disagree (present vs. absent, or different value). An "add", "remove"
   /// or "change" each counts as one edit, matching the paper's restriction
   /// that a next-step operation differs in at most 2 attribute-value pairs.
-  size_t EditDistance(const GroupSelection& other) const;
+  SUBDEX_NODISCARD size_t EditDistance(const GroupSelection& other) const;
 
-  std::string ToString(const SubjectiveDatabase& db) const;
+  SUBDEX_NODISCARD std::string ToString(const SubjectiveDatabase& db) const;
 
   friend bool operator==(const GroupSelection&,
                          const GroupSelection&) = default;
@@ -61,16 +63,19 @@ class RatingGroup {
   static RatingGroup Materialize(const SubjectiveDatabase& db,
                                  GroupSelection selection);
 
-  const SubjectiveDatabase& db() const { return *db_; }
+  SUBDEX_NODISCARD const SubjectiveDatabase& db() const { return *db_; }
+  SUBDEX_NODISCARD
   const GroupSelection& selection() const { return selection_; }
+  SUBDEX_NODISCARD
   const std::vector<RecordId>& records() const { return *records_; }
   /// The underlying shared list (cache insertion without copying).
+  SUBDEX_NODISCARD
   const SharedRecords& shared_records() const { return records_; }
-  size_t size() const { return records_->size(); }
-  bool empty() const { return records_->empty(); }
+  SUBDEX_NODISCARD size_t size() const { return records_->size(); }
+  SUBDEX_NODISCARD bool empty() const { return records_->empty(); }
 
   /// Average score over the group for dimension `d` (0 if empty).
-  double AverageScore(size_t d) const;
+  SUBDEX_NODISCARD double AverageScore(size_t d) const;
 
  private:
   static const SharedRecords& EmptyRecords();

@@ -42,10 +42,10 @@ class SubjectiveDatabase {
 
   Table& reviewers() { return reviewers_; }
   Table& items() { return items_; }
-  const Table& reviewers() const { return reviewers_; }
-  const Table& items() const { return items_; }
+  SUBDEX_NODISCARD const Table& reviewers() const { return reviewers_; }
+  SUBDEX_NODISCARD const Table& items() const { return items_; }
 
-  const Table& table(Side side) const {
+  SUBDEX_NODISCARD const Table& table(Side side) const {
     return side == Side::kReviewer ? reviewers_ : items_;
   }
   Table& mutable_table(Side side) {
@@ -55,30 +55,36 @@ class SubjectiveDatabase {
   /// Adds one rating record; `scores` must hold one value per rating
   /// dimension, each within [1, scale] (values are clamped and rounded to
   /// the integer scale).
+  SUBDEX_MUST_USE_RESULT
   Status AddRating(RowId reviewer, RowId item,
                    const std::vector<double>& scores);
 
   /// Builds the attribute-value bitmaps and reviewer/item rating indexes.
   void FinalizeIndexes();
-  bool finalized() const { return finalized_; }
+  SUBDEX_NODISCARD bool finalized() const { return finalized_; }
 
   // --- shape ---------------------------------------------------------------
 
+  SUBDEX_NODISCARD
   size_t num_records() const { return record_reviewer_.size(); }
+  SUBDEX_NODISCARD
   size_t num_reviewers() const { return reviewers_.num_rows(); }
-  size_t num_items() const { return items_.num_rows(); }
+  SUBDEX_NODISCARD size_t num_items() const { return items_.num_rows(); }
+  SUBDEX_NODISCARD
   size_t num_dimensions() const { return dimension_names_.size(); }
-  const std::string& dimension_name(size_t d) const;
+  SUBDEX_NODISCARD const std::string& dimension_name(size_t d) const;
   /// Index of the dimension named `name`, or -1.
-  int DimensionIndexOf(const std::string& name) const;
-  int scale() const { return scale_; }
+  SUBDEX_NODISCARD int DimensionIndexOf(const std::string& name) const;
+  SUBDEX_NODISCARD int scale() const { return scale_; }
 
   // --- record access -------------------------------------------------------
 
+  SUBDEX_NODISCARD
   RowId reviewer_of(RecordId r) const { return record_reviewer_[r]; }
-  RowId item_of(RecordId r) const { return record_item_[r]; }
+  SUBDEX_NODISCARD RowId item_of(RecordId r) const { return record_item_[r]; }
 
   /// Integer score (1..scale) of record `r` for dimension `d`.
+  SUBDEX_NODISCARD
   int score(size_t d, RecordId r) const { return scores_[d][r]; }
 
   /// Overwrites one score (clamped to [1, scale]). Scores are not indexed,
@@ -87,17 +93,19 @@ class SubjectiveDatabase {
   void SetScore(size_t d, RecordId r, int value);
 
   /// Record ids rated by `reviewer` / rating `item` (requires finalized).
+  SUBDEX_NODISCARD
   const std::vector<RecordId>& RecordsOfReviewer(RowId reviewer) const;
-  const std::vector<RecordId>& RecordsOfItem(RowId item) const;
+  SUBDEX_NODISCARD const std::vector<RecordId>& RecordsOfItem(RowId item) const;
 
   // --- group materialization ----------------------------------------------
 
   /// Bitmap over rows of `side`'s table matching `pred` (AND of value
   /// bitmaps; all-ones for the empty predicate). Requires finalized.
-  Bitmap MatchRows(Side side, const Predicate& pred) const;
+  SUBDEX_NODISCARD Bitmap MatchRows(Side side, const Predicate& pred) const;
 
   /// Record ids whose reviewer matches `reviewer_pred` and item matches
   /// `item_pred`. Requires finalized.
+  SUBDEX_NODISCARD
   std::vector<RecordId> MatchRecords(const Predicate& reviewer_pred,
                                      const Predicate& item_pred) const;
 
@@ -119,6 +127,7 @@ class SubjectiveDatabase {
   // Numeric attributes have empty entries.
   std::vector<std::vector<std::vector<Bitmap>>> value_bitmaps_;
 
+  SUBDEX_NODISCARD
   const std::vector<std::vector<Bitmap>>& side_bitmaps(Side side) const {
     return value_bitmaps_[side == Side::kReviewer ? 0 : 1];
   }

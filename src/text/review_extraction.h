@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "text/sentiment.h"
+#include "util/status.h"
 
 namespace subdex {
 
@@ -22,17 +23,17 @@ class ReviewExtractor {
   ReviewExtractor(std::vector<std::vector<std::string>> keywords,
                   int scale = 5, size_t window = 5);
 
-  size_t num_dimensions() const { return keywords_.size(); }
-  int scale() const { return scale_; }
+  SUBDEX_NODISCARD size_t num_dimensions() const { return keywords_.size(); }
+  SUBDEX_NODISCARD int scale() const { return scale_; }
 
   /// Average compound sentiment of the keyword windows of dimension `d`, or
   /// nullopt when the review never mentions the dimension.
-  std::optional<double> DimensionSentiment(
+  SUBDEX_NODISCARD std::optional<double> DimensionSentiment(
       const std::vector<std::string>& tokens, size_t d) const;
 
   /// Ratings for all dimensions; unmentioned dimensions fall back to
   /// `fallback` (e.g. the review's overall score).
-  std::vector<double> ExtractScores(const std::string& review,
+  SUBDEX_NODISCARD std::vector<double> ExtractScores(const std::string& review,
                                     double fallback) const;
 
  private:

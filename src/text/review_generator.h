@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "util/random.h"
+#include "util/status.h"
 
 namespace subdex {
 
@@ -21,6 +22,7 @@ class ReviewGenerator {
 
   /// One review mentioning every dimension once; `target_scores[d]` must be
   /// in [1, 5].
+  SUBDEX_NODISCARD
   std::string Generate(const std::vector<int>& target_scores, Rng* rng) const;
 
  private:

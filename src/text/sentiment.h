@@ -5,6 +5,7 @@
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+#include "util/status.h"
 
 namespace subdex {
 
@@ -27,13 +28,14 @@ class SentimentAnalyzer {
   SentimentAnalyzer();
 
   /// Compound sentiment of a token span, in [-1, 1]; 0 for neutral text.
+  SUBDEX_NODISCARD
   double ScoreTokens(const std::vector<std::string>& tokens) const;
 
   /// Convenience: tokenize + score.
-  double ScoreText(std::string_view text) const;
+  SUBDEX_NODISCARD double ScoreText(std::string_view text) const;
 
   /// Valence of a single lexicon word (0 if absent).
-  double WordValence(const std::string& word) const;
+  SUBDEX_NODISCARD double WordValence(const std::string& word) const;
 
   /// Maps a compound score in [-1, 1] to the integer rating scale
   /// {1, ..., scale} by linear interpolation.

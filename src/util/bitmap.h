@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/status.h"
 
 namespace subdex {
 
@@ -18,11 +19,11 @@ class Bitmap {
   Bitmap() = default;
   explicit Bitmap(size_t num_bits, bool value = false);
 
-  size_t size() const { return num_bits_; }
+  SUBDEX_NODISCARD size_t size() const { return num_bits_; }
 
   void Set(size_t i);
   void Clear(size_t i);
-  bool Test(size_t i) const;
+  SUBDEX_NODISCARD bool Test(size_t i) const;
 
   /// In-place intersection; both operands must have the same size.
   void And(const Bitmap& other);
@@ -30,10 +31,10 @@ class Bitmap {
   void Or(const Bitmap& other);
 
   /// Number of set bits.
-  size_t Count() const;
+  SUBDEX_NODISCARD size_t Count() const;
 
   /// Indices of all set bits, ascending.
-  std::vector<uint32_t> ToIndices() const;
+  SUBDEX_NODISCARD std::vector<uint32_t> ToIndices() const;
 
   /// Sets every bit.
   void SetAll();

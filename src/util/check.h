@@ -130,6 +130,8 @@ std::string StatusMessage(const T& v) {
     if (false) { (void)(cond); }     \
   } while (0)
 
+// Same compiled-out shape: the discards keep both operands parsed and
+// odr-used without evaluating them.
 #define SUBDEX_DCHECK_OP_(op, a, b)           \
   do {                                        \
     if (false) { (void)(a), (void)(b); }      \

@@ -6,6 +6,8 @@
 #include <limits>
 #include <memory>
 
+#include "util/status.h"
+
 namespace subdex {
 
 /// A steady-clock time budget. SubDEx is an interactive system: the paper's
@@ -43,20 +45,21 @@ class Deadline {
   /// would overflow the duration representation.)
   static Deadline Expired() { return Deadline(Clock::time_point{}); }
 
-  bool unlimited() const { return unlimited_; }
+  SUBDEX_NODISCARD bool unlimited() const { return unlimited_; }
 
+  SUBDEX_NODISCARD
   bool expired() const { return !unlimited_ && Clock::now() >= at_; }
 
   /// Milliseconds until expiry: +infinity when unlimited, <= 0 once
   /// expired.
-  double remaining_ms() const {
+  SUBDEX_NODISCARD double remaining_ms() const {
     if (unlimited_) return std::numeric_limits<double>::infinity();
     return std::chrono::duration<double, std::milli>(at_ - Clock::now())
         .count();
   }
 
   /// The expiry instant; meaningless when unlimited().
-  Clock::time_point time() const { return at_; }
+  SUBDEX_NODISCARD Clock::time_point time() const { return at_; }
 
  private:
   explicit Deadline(Clock::time_point at) : unlimited_(false), at_(at) {}
@@ -75,7 +78,7 @@ class CancellationToken {
   /// Requests cancellation; every copy of this token observes it.
   void RequestCancel() { cancelled_->store(true, std::memory_order_relaxed); }
 
-  bool cancelled() const {
+  SUBDEX_NODISCARD bool cancelled() const {
     return cancelled_->load(std::memory_order_relaxed);
   }
 
@@ -103,14 +106,16 @@ class StopToken {
 
   /// True once the token is cancelled or the deadline has expired. The
   /// order matters: an explicit cancel is reported even after expiry.
+  SUBDEX_NODISCARD
   bool ShouldStop() const { return cancelled() || deadline_.expired(); }
 
   /// Explicit cancellation specifically (degrade-vs-abandon distinction:
   /// an expired deadline still wants a best-effort answer, a cancelled
   /// caller has walked away).
+  SUBDEX_NODISCARD
   bool cancelled() const { return token_ != nullptr && token_->cancelled(); }
 
-  const Deadline& deadline() const { return deadline_; }
+  SUBDEX_NODISCARD const Deadline& deadline() const { return deadline_; }
 
  private:
   Deadline deadline_;  // unlimited by default

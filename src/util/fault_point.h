@@ -73,8 +73,11 @@ class FaultInjector {
 
   /// Every point name that has executed at least once in this process —
   /// the self-maintaining fault-point catalog the sweep test iterates.
+  SUBDEX_NODISCARD
   std::vector<std::string> RegisteredPoints() const SUBDEX_EXCLUDES(mu_);
+  SUBDEX_NODISCARD
   size_t HitCount(const std::string& point) const SUBDEX_EXCLUDES(mu_);
+  SUBDEX_NODISCARD
   size_t FireCount(const std::string& point) const SUBDEX_EXCLUDES(mu_);
 
   /// Called by the macros on every execution of a fault point. Applies the

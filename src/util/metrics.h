@@ -11,6 +11,7 @@
 
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
+#include "util/status.h"
 
 // Process-wide observability primitives (DESIGN.md §9). The engine's hot
 // paths increment Counters, set Gauges and observe Histograms through a
@@ -51,7 +52,7 @@ class Counter {
   void Increment(uint64_t n = 1) noexcept {
     shards_[ShardIndex()].value.fetch_add(n, std::memory_order_relaxed);
   }
-  uint64_t Value() const noexcept {
+  SUBDEX_NODISCARD uint64_t Value() const noexcept {
     uint64_t sum = 0;
     for (const Shard& s : shards_) {
       sum += s.value.load(std::memory_order_relaxed);
@@ -76,7 +77,7 @@ class Counter {
   std::array<Shard, kNumShards> shards_{};
 #else
   void Increment(uint64_t = 1) noexcept {}
-  uint64_t Value() const noexcept { return 0; }
+  SUBDEX_NODISCARD uint64_t Value() const noexcept { return 0; }
   void Reset() noexcept {}
 #endif
 };
@@ -94,7 +95,7 @@ class Gauge {
   void Add(int64_t n) noexcept {
     value_.fetch_add(n, std::memory_order_relaxed);
   }
-  int64_t Value() const noexcept {
+  SUBDEX_NODISCARD int64_t Value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }
   void Reset() noexcept { Set(0); }
@@ -104,7 +105,7 @@ class Gauge {
 #else
   void Set(int64_t) noexcept {}
   void Add(int64_t) noexcept {}
-  int64_t Value() const noexcept { return 0; }
+  SUBDEX_NODISCARD int64_t Value() const noexcept { return 0; }
   void Reset() noexcept {}
 #endif
 };
@@ -119,17 +120,18 @@ class Histogram {
   Histogram(const Histogram&) = delete;
   Histogram& operator=(const Histogram&) = delete;
 
-  const std::vector<double>& bounds() const { return bounds_; }
+  SUBDEX_NODISCARD const std::vector<double>& bounds() const { return bounds_; }
 
 #if SUBDEX_METRICS_ENABLED
   void Observe(double value) noexcept;
-  uint64_t TotalCount() const noexcept {
+  SUBDEX_NODISCARD uint64_t TotalCount() const noexcept {
     return count_.load(std::memory_order_relaxed);
   }
+  SUBDEX_NODISCARD
   double Sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
   /// Per-bucket (non-cumulative) counts; size bounds().size() + 1, the
   /// last entry being the +Inf overflow bucket.
-  std::vector<uint64_t> BucketCounts() const;
+  SUBDEX_NODISCARD std::vector<uint64_t> BucketCounts() const;
   void Reset() noexcept;
 
  private:
@@ -138,9 +140,9 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 #else
   void Observe(double) noexcept {}
-  uint64_t TotalCount() const noexcept { return 0; }
-  double Sum() const noexcept { return 0.0; }
-  std::vector<uint64_t> BucketCounts() const {
+  SUBDEX_NODISCARD uint64_t TotalCount() const noexcept { return 0; }
+  SUBDEX_NODISCARD double Sum() const noexcept { return 0.0; }
+  SUBDEX_NODISCARD std::vector<uint64_t> BucketCounts() const {
     return std::vector<uint64_t>(bounds_.size() + 1, 0);
   }
   void Reset() noexcept {}
@@ -181,10 +183,10 @@ struct MetricsSnapshot {
 
   /// Prometheus text exposition format (# HELP / # TYPE lines, cumulative
   /// `_bucket{le=...}` series, `_sum` / `_count`).
-  std::string ToPrometheusText() const;
+  SUBDEX_NODISCARD std::string ToPrometheusText() const;
   /// One JSON object: {"counters": {...}, "gauges": {...},
   /// "histograms": {...}} with full bucket detail.
-  std::string ToJson() const;
+  SUBDEX_NODISCARD std::string ToJson() const;
 };
 
 /// Process-wide metric registry. Get* registers on first use and returns a
@@ -208,7 +210,7 @@ class MetricsRegistry {
   Histogram& GetHistogram(const std::string& name, std::vector<double> bounds,
                           const std::string& help = "") SUBDEX_EXCLUDES(mu_);
 
-  MetricsSnapshot Snapshot() const SUBDEX_EXCLUDES(mu_);
+  SUBDEX_NODISCARD MetricsSnapshot Snapshot() const SUBDEX_EXCLUDES(mu_);
 
   /// Zeroes every registered metric without unregistering it (cached
   /// references at call sites stay valid). Test isolation only.

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/status.h"
 
 namespace subdex {
 
@@ -86,11 +87,11 @@ class ZipfSampler {
  public:
   ZipfSampler(size_t n, double s);
 
-  size_t Sample(Rng* rng) const;
-  size_t size() const { return cdf_.size(); }
+  SUBDEX_NODISCARD size_t Sample(Rng* rng) const;
+  SUBDEX_NODISCARD size_t size() const { return cdf_.size(); }
 
   /// Probability mass of rank i.
-  double Pmf(size_t i) const;
+  SUBDEX_NODISCARD double Pmf(size_t i) const;
 
  private:
   std::vector<double> cdf_;

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <vector>
+#include "util/status.h"
 
 namespace subdex {
 
@@ -17,12 +18,13 @@ class RunningStat {
   /// Merges another accumulator into this one (parallel/phased updates).
   void Merge(const RunningStat& other);
 
-  size_t count() const { return count_; }
-  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  SUBDEX_NODISCARD size_t count() const { return count_; }
+  SUBDEX_NODISCARD double mean() const { return count_ == 0 ? 0.0 : mean_; }
   /// Population variance (divide by n); 0 for fewer than 2 samples.
-  double variance() const;
+  SUBDEX_NODISCARD double variance() const;
   /// Population standard deviation.
-  double stddev() const;
+  SUBDEX_NODISCARD double stddev() const;
+  SUBDEX_NODISCARD
   double sum() const { return mean_ * static_cast<double>(count_); }
 
  private:

@@ -7,6 +7,19 @@
 
 #include "util/check.h"
 
+// Contract-enforcement attributes (DESIGN.md §10). SUBDEX_NODISCARD marks
+// pure accessors and value-producing functions whose result is the whole
+// point of the call; discarding one is almost always a logic bug.
+// SUBDEX_MUST_USE_RESULT marks Status/Result-returning functions: a dropped
+// error silently corrupts engine results, so every call site must consume
+// the return value (SUBDEX_CHECK_OK it, branch on ok(), or propagate).
+// Both expand to C++17 [[nodiscard]]; the two names exist so a reader can
+// tell an ignored-value smell from a swallowed-error bug at the signature.
+// The Status and Result class declarations below also carry [[nodiscard]],
+// which enforces the contract even for functions that forget the macro.
+#define SUBDEX_NODISCARD [[nodiscard]]
+#define SUBDEX_MUST_USE_RESULT [[nodiscard]]
+
 namespace subdex {
 
 /// Error codes for recoverable failures (I/O, malformed input, bad config).
@@ -21,34 +34,34 @@ enum class StatusCode {
 
 /// A lightweight success-or-error value. SubDEx never throws; fallible
 /// operations return Status (or Result<T> when they produce a value).
-class Status {
+class SUBDEX_NODISCARD Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status Ok() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  SUBDEX_MUST_USE_RESULT static Status Ok() { return Status(); }
+  SUBDEX_MUST_USE_RESULT static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  SUBDEX_MUST_USE_RESULT static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status IoError(std::string msg) {
+  SUBDEX_MUST_USE_RESULT static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  SUBDEX_MUST_USE_RESULT static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  SUBDEX_MUST_USE_RESULT static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  SUBDEX_NODISCARD bool ok() const { return code_ == StatusCode::kOk; }
+  SUBDEX_NODISCARD StatusCode code() const { return code_; }
+  SUBDEX_NODISCARD const std::string& message() const { return message_; }
 
-  std::string ToString() const {
+  SUBDEX_NODISCARD std::string ToString() const {
     if (ok()) return "OK";
     return CodeName(code_) + ": " + message_;
   }
@@ -79,7 +92,7 @@ class Status {
 /// A value-or-error union. `value()` aborts if the result holds an error,
 /// so callers must test `ok()` first on fallible paths.
 template <typename T>
-class Result {
+class SUBDEX_NODISCARD Result {
  public:
   // Intentionally implicit so `return value;` and `return status;` both work.
   Result(T value) : data_(std::move(value)) {}
@@ -88,22 +101,22 @@ class Result {
                      "Result constructed from OK status without a value");
   }
 
-  bool ok() const { return std::holds_alternative<T>(data_); }
+  SUBDEX_NODISCARD bool ok() const { return std::holds_alternative<T>(data_); }
 
-  const T& value() const& {
+  SUBDEX_NODISCARD const T& value() const& {
     SUBDEX_CHECK_MSG(ok(), "%s", status().ToString().c_str());
     return std::get<T>(data_);
   }
-  T& value() & {
+  SUBDEX_NODISCARD T& value() & {
     SUBDEX_CHECK_MSG(ok(), "%s", status().ToString().c_str());
     return std::get<T>(data_);
   }
-  T&& value() && {
+  SUBDEX_NODISCARD T&& value() && {
     SUBDEX_CHECK_MSG(ok(), "%s", status().ToString().c_str());
     return std::get<T>(std::move(data_));
   }
 
-  Status status() const {
+  SUBDEX_MUST_USE_RESULT Status status() const {
     if (ok()) return Status::Ok();
     return std::get<Status>(data_);
   }

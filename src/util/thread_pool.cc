@@ -93,7 +93,8 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_cv_.notify_one();
 }
 
-void ThreadPool::RecordDequeue(const QueuedTask& task, bool helped) {
+void ThreadPool::RecordDequeue([[maybe_unused]] const QueuedTask& task,
+                               [[maybe_unused]] bool helped) {
 #if SUBDEX_METRICS_ENABLED
   PoolMetrics& m = PoolMetrics::Get();
   m.queue_wait_ms.Observe(std::chrono::duration<double, std::milli>(
@@ -101,9 +102,6 @@ void ThreadPool::RecordDequeue(const QueuedTask& task, bool helped) {
                               .count());
   m.tasks_run.Increment();
   if (helped) m.tasks_helped.Increment();
-#else
-  (void)task;
-  (void)helped;
 #endif
 }
 

@@ -13,6 +13,7 @@
 #include "util/metrics.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
+#include "util/status.h"
 
 namespace subdex {
 
@@ -78,8 +79,8 @@ class ThreadPool {
                    const std::function<void(size_t, size_t)>& fn,
                    const StopToken& stop = StopToken()) SUBDEX_EXCLUDES(mu_);
 
-  size_t num_threads() const { return workers_.size(); }
-  Stats stats() const SUBDEX_EXCLUDES(mu_);
+  SUBDEX_NODISCARD size_t num_threads() const { return workers_.size(); }
+  SUBDEX_NODISCARD Stats stats() const SUBDEX_EXCLUDES(mu_);
 
  private:
   /// A queued task plus (when the metrics layer is compiled in) its

@@ -97,7 +97,7 @@ TEST(RmGeneratorTest, PruningReducesWork) {
     config.pruning = scheme;
     RmGenerator gen(&config);
     RmGeneratorStats stats;
-    gen.Generate(all, seen, 3, &stats);
+    EXPECT_FALSE(gen.Generate(all, seen, 3, &stats).empty());
     return stats;
   };
   RmGeneratorStats none = run(PruningScheme::kNone);

@@ -299,10 +299,14 @@ TEST(StepTimingsTest, DefaultIsZeroAndPipelineAccumulates) {
   RmPipeline pipeline(&config, nullptr);
   RatingGroup all = RatingGroup::Materialize(*db, GroupSelection{});
   SeenMapsTracker seen(db->num_dimensions());
-  pipeline.SelectForDisplay(all, seen, nullptr, &t, StopToken(), nullptr);
+  EXPECT_FALSE(
+      pipeline.SelectForDisplay(all, seen, nullptr, &t, StopToken(), nullptr)
+          .empty());
   const double first_pass = t.rm_generation_ms;
   EXPECT_GE(first_pass, 0.0);
-  pipeline.SelectForDisplay(all, seen, nullptr, &t, StopToken(), nullptr);
+  EXPECT_FALSE(
+      pipeline.SelectForDisplay(all, seen, nullptr, &t, StopToken(), nullptr)
+          .empty());
   EXPECT_GE(t.rm_generation_ms, first_pass);
 }
 

@@ -1,0 +1,24 @@
+// Negative compile test: this TU discards a Status and a Result<T>, which
+// the SUBDEX_NODISCARD / SUBDEX_MUST_USE_RESULT contract must reject under
+// -Werror=unused-result. tests/CMakeLists.txt compiles it with exactly
+// that flag and asserts the compilation FAILS; if this file ever builds,
+// the contract has silently stopped being enforced and the configure step
+// aborts. (A sibling positive probe compiles a correct call site with the
+// same flags, proving a failure here comes from the attribute and not
+// from broken flags.)
+//
+// This file is not a ctest target and is never linked into anything.
+
+#include "util/status.h"
+
+namespace subdex {
+
+Status MakeStatus() { return Status::InvalidArgument("discarded"); }
+Result<int> MakeResult() { return Status::NotFound("discarded"); }
+
+void DiscardsStatus() {
+  MakeStatus();  // must not compile: Status is [[nodiscard]]
+  MakeResult();  // must not compile: Result<T> is [[nodiscard]]
+}
+
+}  // namespace subdex

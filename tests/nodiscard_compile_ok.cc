@@ -1,0 +1,17 @@
+// Positive control for the negative compile test in
+// tests/nodiscard_compile_fail.cc: the same flags (-Werror=unused-result)
+// over a correct call site must succeed, proving the negative test fails
+// because of the [[nodiscard]] contract and not because the probe flags
+// are broken (wrong include path, bad standard, ...).
+//
+// This file is not a ctest target and is never linked into anything.
+
+#include "util/status.h"
+
+namespace subdex {
+
+Status MakeStatus() { return Status::InvalidArgument("consumed"); }
+
+bool ConsumesStatus() { return MakeStatus().ok(); }
+
+}  // namespace subdex

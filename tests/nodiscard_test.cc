@@ -1,0 +1,77 @@
+// Unit tests for the contract macros in util/status.h (DESIGN.md §10).
+//
+// The *enforcement* proof — that a discarded Status fails to compile under
+// -Werror=unused-result — lives in tests/nodiscard_compile_fail.cc, driven
+// as a negative compile test from tests/CMakeLists.txt. These tests pin
+// down everything enforcement must not break: correct call sites keep
+// compiling warning-free on GCC and Clang, and the annotated types keep
+// their value semantics.
+
+#include <type_traits>
+#include <utility>
+
+#include "gtest/gtest.h"
+#include "util/status.h"
+
+namespace subdex {
+namespace {
+
+// The macros must exist and expand to an attribute usable at class scope
+// and on free functions (this TU fails to compile otherwise).
+#ifndef SUBDEX_NODISCARD
+#error "SUBDEX_NODISCARD must be defined by util/status.h"
+#endif
+#ifndef SUBDEX_MUST_USE_RESULT
+#error "SUBDEX_MUST_USE_RESULT must be defined by util/status.h"
+#endif
+
+SUBDEX_MUST_USE_RESULT Status FreeFunctionReturningStatus() {
+  return Status::Ok();
+}
+SUBDEX_NODISCARD int FreeFunctionReturningValue() { return 42; }
+
+TEST(NodiscardTest, AnnotatedFunctionsWorkWhenResultIsConsumed) {
+  Status st = FreeFunctionReturningStatus();
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(FreeFunctionReturningValue(), 42);
+}
+
+TEST(NodiscardTest, StatusKeepsValueSemantics) {
+  // The class-level [[nodiscard]] must not interfere with copying, moving,
+  // or assignment of Status values.
+  Status error = Status::InvalidArgument("bad");
+  Status copy = error;
+  EXPECT_EQ(copy.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(copy.message(), "bad");
+  Status moved = std::move(error);
+  EXPECT_EQ(moved.code(), StatusCode::kInvalidArgument);
+  copy = Status::Ok();
+  EXPECT_TRUE(copy.ok());
+  static_assert(std::is_copy_constructible_v<Status>);
+  static_assert(std::is_move_constructible_v<Status>);
+  static_assert(std::is_copy_assignable_v<Status>);
+  static_assert(std::is_move_assignable_v<Status>);
+}
+
+TEST(NodiscardTest, ResultKeepsValueSemantics) {
+  Result<int> ok_result(7);
+  EXPECT_TRUE(ok_result.ok());
+  EXPECT_EQ(ok_result.value(), 7);
+  Result<int> err_result(Status::NotFound("missing"));
+  EXPECT_FALSE(err_result.ok());
+  EXPECT_EQ(err_result.status().code(), StatusCode::kNotFound);
+  Result<int> copy = ok_result;
+  EXPECT_EQ(copy.value(), 7);
+  EXPECT_EQ(Result<int>(9).value(), 9);  // rvalue value() path
+}
+
+TEST(NodiscardTest, DiscardIsAcceptedWhenExplicitlyCast) {
+  // static_cast<void> is the sanctioned escape hatch for the rare call
+  // site that truly does not care (it must carry a justification comment;
+  // ci/lint.sh enforces that for (void)-style discards in src/).
+  static_cast<void>(FreeFunctionReturningStatus());
+  static_cast<void>(FreeFunctionReturningValue());
+}
+
+}  // namespace
+}  // namespace subdex

@@ -25,10 +25,10 @@ SessionLog RecordSession(SubjectiveDatabase* db, size_t automated_steps) {
   ExplorationSession session(db, SmallConfig(),
                              ExplorationMode::kFullyAutomated);
   SessionLog log;
-  log.Append(session.Start(GroupSelection{}));
+  EXPECT_TRUE(log.Append(session.Start(GroupSelection{})).ok());
   for (size_t s = 0; s < automated_steps; ++s) {
     if (!session.ApplyRecommendation(0)) break;
-    log.Append(session.last());
+    EXPECT_TRUE(log.Append(session.last()).ok());
   }
   return log;
 }
