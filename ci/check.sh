@@ -30,6 +30,11 @@
 #   8. coverage gate              — ci/coverage.sh: instrumented build,
 #                                   gcov line coverage of src/core +
 #                                   src/pruning against a floor
+#   9. serving smoke              — ci/serve_smoke.sh: boots subdexd on a
+#                                   synthetic MovieLens dataset, drives a
+#                                   scripted 3-step session over HTTP,
+#                                   scrapes /metrics and /healthz, and
+#                                   asserts a clean SIGTERM shutdown
 #
 # Clang-only gates degrade to a loud SKIP instead of failing when the
 # toolchain is GCC-only, so the script is green on any supported image
@@ -43,13 +48,13 @@ BUILD="${SUBDEX_CHECK_BUILD_DIR:-build-check}"
 FUZZ_RUNS="${SUBDEX_FUZZ_RUNS:-20000}"
 JOBS="$(nproc)"
 
-echo "==> [1/8] lint"
+echo "==> [1/9] lint"
 ci/lint.sh
 
-echo "==> [2/8] static analysis"
+echo "==> [2/9] static analysis"
 ci/analyze.sh
 
-echo "==> [3/8] -Werror build + tests"
+echo "==> [3/9] -Werror build + tests"
 TIDY=OFF
 if command -v clang-tidy >/dev/null 2>&1; then
   TIDY=ON
@@ -67,7 +72,7 @@ cmake -B "$BUILD" -S "$ROOT" \
 cmake --build "$BUILD" -j"$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j"$JOBS"
 
-echo "==> [4/8] clang thread-safety analysis"
+echo "==> [4/9] clang thread-safety analysis"
 if command -v clang++ >/dev/null 2>&1; then
   TS_BUILD="$BUILD-threadsafety"
   cmake -B "$TS_BUILD" -S "$ROOT" \
@@ -80,7 +85,7 @@ else
   echo "SKIP: clang++ not installed; thread-safety annotations not checked"
 fi
 
-echo "==> [5/8] fuzz smoke ($FUZZ_RUNS runs per harness)"
+echo "==> [5/9] fuzz smoke ($FUZZ_RUNS runs per harness)"
 for harness in fuzz_query_parser fuzz_csv_loader fuzz_db_io; do
   corpus="$ROOT/fuzz/corpus/${harness#fuzz_}"
   bin="$BUILD/fuzz/$harness"
@@ -94,7 +99,7 @@ for harness in fuzz_query_parser fuzz_csv_loader fuzz_db_io; do
   "$bin" --runs="$FUZZ_RUNS" --seed=1 "$corpus"
 done
 
-echo "==> [6/8] fault injection under ASan"
+echo "==> [6/9] fault injection under ASan"
 FAULT_BUILD="$BUILD-fault"
 cmake -B "$FAULT_BUILD" -S "$ROOT" \
   -DSUBDEX_FAULT_INJECTION=ON \
@@ -112,10 +117,13 @@ for t in fault_injection_test engine_robustness_test; do
   "$bin"
 done
 
-echo "==> [7/8] UBSan matrix (full suite + corpus replay)"
+echo "==> [7/9] UBSan matrix (full suite + corpus replay)"
 ci/sanitize.sh undefined
 
-echo "==> [8/8] coverage gate"
+echo "==> [8/9] coverage gate"
 SUBDEX_COVERAGE_BUILD_DIR="$BUILD-coverage" ci/coverage.sh
+
+echo "==> [9/9] serving smoke (subdexd end-to-end)"
+SUBDEX_SMOKE_BUILD_DIR="$BUILD" ci/serve_smoke.sh
 
 echo "check: OK"

@@ -4,9 +4,10 @@
 # Usage: ci/sanitize.sh [thread|address|undefined]   (default: thread)
 #
 #   thread     ThreadSanitizer over the threading-sensitive test binaries
-#              (util, engine, group cache, robustness): concurrent
+#              (util, engine, group cache, robustness, server): concurrent
 #              ParallelFor batches, nested batches, single-flight
-#              group-cache materialization.
+#              group-cache materialization, and the subdexd session storm
+#              (64 concurrent HTTP sessions over sharded session state).
 #   address    ASan + default UBSan over the same binaries, plus a replay
 #              of the committed fuzz corpora through every harness, so
 #              every past fuzzer finding stays covered under sanitizers.
@@ -30,7 +31,8 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build-$SAN"
 JOBS="$(nproc)"
 
-TEST_BINS=(util_test engine_test group_cache_test engine_robustness_test)
+TEST_BINS=(util_test engine_test group_cache_test engine_robustness_test
+           server_test)
 FUZZ_BINS=(fuzz_query_parser fuzz_csv_loader fuzz_db_io)
 
 # A renamed or never-built binary must fail the gate loudly, not be skipped.

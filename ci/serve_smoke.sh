@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Serving smoke test: boots subdexd against a synthetic MovieLens dataset
+# and drives one complete client interaction over real HTTP —
+#
+#   /healthz, session create, a scripted 3-step exploration (empty
+#   selection, recommendation follow, deadline-degraded step), a
+#   /metrics scrape that must reflect the steps, session delete, a 404
+#   probe — then SIGTERM and asserts a clean exit 0.
+#
+# Usage: ci/serve_smoke.sh
+#   SUBDEX_SMOKE_BUILD_DIR  reuse an existing build tree (ci/check.sh
+#                           passes its stage-3 tree); default build-smoke.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${SUBDEX_SMOKE_BUILD_DIR:-$ROOT/build-smoke}"
+JOBS="$(nproc)"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$BUILD" -j"$JOBS" --target subdexd
+BIN="$BUILD/examples/subdexd"
+if [[ ! -x "$BIN" ]]; then
+  echo "ERROR: subdexd binary is missing: $BIN" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d)"
+DAEMON_PID=""
+cleanup() {
+  if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -9 "$DAEMON_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "serve_smoke: FAIL: $*" >&2
+  echo "--- daemon stdout ---" >&2
+  cat "$WORK/out" >&2 || true
+  echo "--- daemon stderr ---" >&2
+  cat "$WORK/err" >&2 || true
+  exit 1
+}
+
+"$BIN" --port=0 --dataset=movielens:0.02 --ttl-ms=60000 \
+  >"$WORK/out" 2>"$WORK/err" &
+DAEMON_PID=$!
+
+# Port 0 binds ephemerally; scrape the bound port from the readiness line.
+for _ in $(seq 1 150); do
+  grep -q "listening on" "$WORK/out" 2>/dev/null && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died during startup"
+  sleep 0.2
+done
+grep -q "listening on" "$WORK/out" || fail "daemon never became ready"
+PORT="$(sed -n 's#.*http://[^:]*:\([0-9][0-9]*\).*#\1#p' "$WORK/out")"
+[[ -n "$PORT" ]] || fail "could not parse port from readiness line"
+URL="http://127.0.0.1:$PORT"
+echo "serve_smoke: daemon ready on port $PORT"
+
+curl -fsS "$URL/healthz" | grep -q '"status":"ok"' || fail "healthz not ok"
+
+SESSION="$(curl -fsS -X POST "$URL/sessions" -d '{"ttl_ms":60000}' |
+  sed -n 's/.*"session_id":"\([^"]*\)".*/\1/p')"
+[[ -n "$SESSION" ]] || fail "session create returned no session_id"
+echo "serve_smoke: session $SESSION"
+
+# Step 1: the full dataset (empty selection) with recommendations.
+STEP1="$(curl -fsS -X POST "$URL/sessions/$SESSION/step" -d '{}')"
+grep -q '"degraded":false' <<<"$STEP1" || fail "step 1 unexpectedly degraded"
+grep -q '"recommendations":\[{' <<<"$STEP1" ||
+  fail "step 1 produced no recommendations"
+
+# Step 2: follow the engine's top recommendation.
+curl -fsS -X POST "$URL/sessions/$SESSION/step" -d '{"recommendation":0}' |
+  grep -q '"session_id"' || fail "recommendation step failed"
+
+# Step 3: a 1-microsecond deadline must degrade, not fail or hang.
+curl -fsS -X POST "$URL/sessions/$SESSION/step" -d '{"deadline_ms":0.001}' |
+  grep -q '"degraded":true' || fail "deadline step did not degrade"
+
+METRICS="$(curl -fsS "$URL/metrics")"
+grep -q '^subdex_server_steps_total 3$' <<<"$METRICS" ||
+  fail "metrics do not show 3 steps"
+STEP_DEGRADED="$(sed -n 's/^subdex_engine_degraded_steps_total //p' \
+  <<<"$METRICS")"
+[[ "${STEP_DEGRADED:-0}" -ge 1 ]] ||
+  fail "metrics do not reflect the degraded step"
+
+curl -fsS -X DELETE "$URL/sessions/$SESSION" | grep -q '"deleted":true' ||
+  fail "session delete failed"
+NOT_FOUND="$(curl -s -o /dev/null -w '%{http_code}' \
+  -X POST "$URL/sessions/$SESSION/step")"
+[[ "$NOT_FOUND" == "404" ]] || fail "deleted session answered $NOT_FOUND"
+
+kill -TERM "$DAEMON_PID"
+EXIT_CODE=0
+wait "$DAEMON_PID" || EXIT_CODE=$?
+DAEMON_PID=""
+[[ "$EXIT_CODE" == "0" ]] || fail "SIGTERM exit code was $EXIT_CODE"
+grep -q "shutting down" "$WORK/err" || fail "no graceful shutdown log line"
+
+echo "serve_smoke: OK"

@@ -1,0 +1,172 @@
+// subdexd: the SubDEx exploration engine as a long-lived daemon. Serves
+// concurrent exploration sessions over HTTP/JSON (see src/server/server.h
+// for the routes) against synthetic datasets generated at startup.
+//
+//   subdexd --port=8787 --dataset=movielens:0.05 --dataset=yelp:0.02
+//
+// Prints "subdexd listening on http://HOST:PORT" once ready (the smoke
+// test scrapes this line) and exits 0 on SIGTERM/SIGINT after a graceful
+// stop.
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/specs.h"
+#include "datagen/synthetic.h"
+#include "server/server.h"
+
+namespace {
+
+using namespace subdex;
+
+// Self-pipe: the signal handler may only call async-signal-safe functions,
+// so it writes one byte that the main thread blocks on.
+int g_signal_pipe[2] = {-1, -1};
+
+void OnSignal(int /*signum*/) {
+  const char byte = 1;
+  // Discard justified: a failed write (pipe full) still means a byte is
+  // already pending, which is all the wakeup needs.
+  (void)write(g_signal_pipe[1], &byte, 1);
+}
+
+struct DatasetFlag {
+  std::string name;
+  double scale = 0.05;
+};
+
+/// Parses "name" or "name:scale"; returns false on an unknown name or a
+/// malformed scale.
+bool ParseDatasetFlag(const std::string& value, DatasetFlag* out) {
+  std::string name = value;
+  size_t colon = value.find(':');
+  if (colon != std::string::npos) {
+    name = value.substr(0, colon);
+    const std::string scale_text = value.substr(colon + 1);
+    char* end = nullptr;
+    out->scale = std::strtod(scale_text.c_str(), &end);
+    if (end == scale_text.c_str() || *end != '\0' || !(out->scale > 0)) {
+      return false;
+    }
+  }
+  if (name != "movielens" && name != "yelp" && name != "hotel") return false;
+  out->name = name;
+  return true;
+}
+
+DatasetSpec SpecFor(const DatasetFlag& flag) {
+  if (flag.name == "yelp") return YelpSpec().Scaled(flag.scale);
+  if (flag.name == "hotel") return HotelSpec().Scaled(flag.scale);
+  return MovielensSpec().Scaled(flag.scale);
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--host=ADDR] [--port=N] [--workers=N] [--queue=N]\n"
+      "          [--ttl-ms=N] [--max-sessions=N] [--seed=N]\n"
+      "          [--dataset=NAME[:SCALE]]...\n"
+      "datasets: movielens, yelp, hotel (synthetic; SCALE defaults to "
+      "0.05)\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SubdexServer::Options options;
+  uint64_t seed = 42;
+  std::vector<DatasetFlag> datasets;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      return Usage(argv[0]);
+    }
+    const std::string key = arg.substr(0, eq);
+    const std::string value = arg.substr(eq + 1);
+    char* end = nullptr;
+    const long number = std::strtol(value.c_str(), &end, 10);
+    const bool is_number = end != value.c_str() && *end == '\0';
+    if (key == "--host") {
+      options.http.host = value;
+    } else if (key == "--port" && is_number && number >= 0 &&
+               number <= 65535) {
+      options.http.port = static_cast<uint16_t>(number);
+    } else if (key == "--workers" && is_number && number > 0) {
+      options.http.num_workers = static_cast<size_t>(number);
+    } else if (key == "--queue" && is_number && number > 0) {
+      options.http.queue_capacity = static_cast<size_t>(number);
+    } else if (key == "--ttl-ms" && is_number && number > 0) {
+      options.sessions.default_ttl = std::chrono::milliseconds(number);
+    } else if (key == "--max-sessions" && is_number && number > 0) {
+      options.sessions.max_sessions = static_cast<size_t>(number);
+    } else if (key == "--seed" && is_number && number >= 0) {
+      seed = static_cast<uint64_t>(number);
+    } else if (key == "--dataset") {
+      DatasetFlag flag;
+      if (!ParseDatasetFlag(value, &flag)) return Usage(argv[0]);
+      datasets.push_back(flag);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (datasets.empty()) datasets.push_back({"movielens", 0.05});
+
+  SubdexServer server(options);
+  for (const DatasetFlag& flag : datasets) {
+    std::fprintf(stderr, "subdexd: generating dataset %s (scale %.3f)...\n",
+                 flag.name.c_str(), flag.scale);
+    std::shared_ptr<const SubjectiveDatabase> db =
+        GenerateDataset(SpecFor(flag), seed);
+    std::fprintf(stderr, "subdexd: %s ready: %zu records\n",
+                 flag.name.c_str(), db->num_records());
+    Status status = server.RegisterDataset(flag.name, std::move(db));
+    if (!status.ok()) {
+      std::fprintf(stderr, "subdexd: %s\n", status.message().c_str());
+      return 1;
+    }
+  }
+
+  if (pipe(g_signal_pipe) != 0) {
+    std::perror("subdexd: pipe");
+    return 1;
+  }
+  struct sigaction action = {};
+  action.sa_handler = OnSignal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  // Broken client connections surface as send() errors, not a dead process.
+  signal(SIGPIPE, SIG_IGN);
+
+  Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "subdexd: %s\n", status.message().c_str());
+    return 1;
+  }
+  std::printf("subdexd listening on http://%s:%u\n",
+              options.http.host.c_str(), server.port());
+  // Discard justified: the readiness line must not sit in a stdio buffer
+  // while the smoke test polls the log for it.
+  (void)std::fflush(stdout);
+
+  char byte = 0;
+  ssize_t n;
+  do {
+    n = read(g_signal_pipe[0], &byte, 1);
+  } while (n < 0 && errno == EINTR);
+
+  std::fprintf(stderr, "subdexd: shutting down\n");
+  server.Stop();
+  return 0;
+}

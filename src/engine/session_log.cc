@@ -105,15 +105,32 @@ Status SessionLog::Append(const StepResult& step) {
 Status SessionLog::OpenSink(const SubjectiveDatabase* db,
                             const std::string& path) {
   MutexLock lock(mu_);
-  sink_.close();
+  Status old_sink = Status::Ok();
+  if (sink_db_ != nullptr) {
+    // Flush-close the replaced sink instead of silently discarding it:
+    // bytes a failed Append left buffered get one last chance to reach
+    // disk, and a failure surfaces here rather than vanishing with the
+    // stream. (Append clears the error state after reporting, so any
+    // sticky failbit at this point is from close itself.)
+    sink_.flush();
+    bool ok = static_cast<bool>(sink_);
+    sink_.close();
+    if (!ok || sink_.fail()) {
+      old_sink =
+          Status::IoError("previous session log sink failed on close; "
+                          "buffered entries may be lost");
+    }
+    sink_db_ = nullptr;
+  }
   sink_.clear();
   sink_.open(path, std::ios::trunc);
   if (!sink_) {
-    sink_db_ = nullptr;
+    // The open failure is the more actionable error: the caller asked for
+    // this sink and did not get it.
     return Status::IoError("cannot create session log sink '" + path + "'");
   }
   sink_db_ = db;
-  return Status::Ok();
+  return old_sink;
 }
 
 Status SessionLog::CloseSink() {

@@ -61,7 +61,11 @@ class SessionLog {
   /// Opens a write-through sink: every subsequent Append is serialized to
   /// `path` (truncated here) and flushed, so a crash loses at most the
   /// step being written. `db` renders selections and map keys; it must
-  /// outlive the sink. Replaces any previously open sink.
+  /// outlive the sink. Any previously open sink is flush-closed first; if
+  /// that close fails (e.g. buffered entries hit a full disk), the error
+  /// surfaces in the returned Status — the new sink is still opened, so a
+  /// non-ok Status here can mean "replacement succeeded, but the old sink
+  /// lost data". Only a failure to open `path` leaves the log sinkless.
   SUBDEX_MUST_USE_RESULT
   Status OpenSink(const SubjectiveDatabase* db, const std::string& path)
       SUBDEX_EXCLUDES(mu_);

@@ -1,0 +1,442 @@
+#include "server/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+// POLLRDHUP (peer closed its write side) is a Linux extension; without it
+// the watcher still catches full closes via the always-reported POLLHUP.
+#ifndef POLLRDHUP
+#define POLLRDHUP 0
+#endif
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "util/metrics.h"
+#include "util/string_util.h"
+
+namespace subdex {
+
+namespace {
+
+struct HttpMetrics {
+  Counter& requests;
+  Counter& shed;
+  Counter& disconnects;
+  Counter& parse_errors;
+  Gauge& queue_depth;
+  Histogram& latency_ms;
+
+  static HttpMetrics& Get() {
+    static HttpMetrics m{
+        MetricsRegistry::Global().GetCounter(
+            "subdex_server_requests_total",
+            "HTTP requests parsed and dispatched to a handler"),
+        MetricsRegistry::Global().GetCounter(
+            "subdex_server_shed_total",
+            "Connections shed with 429 because the request queue was full"),
+        MetricsRegistry::Global().GetCounter(
+            "subdex_server_disconnects_total",
+            "In-flight requests whose client hung up (cancellation tripped)"),
+        MetricsRegistry::Global().GetCounter(
+            "subdex_server_parse_errors_total",
+            "Connections closed with a 4xx before reaching a handler"),
+        MetricsRegistry::Global().GetGauge(
+            "subdex_server_queue_depth",
+            "Accepted connections waiting for a worker"),
+        MetricsRegistry::Global().GetHistogram(
+            "subdex_server_request_latency_ms",
+            MetricsRegistry::LatencyBucketsMs(),
+            "Wall-clock handler latency per request"),
+    };
+    return m;
+  }
+};
+
+bool SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // peer gone or stalled past the socket timeout
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void WriteResponse(int fd, const HttpResponse& response) {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     HttpStatusReason(response.status) + "\r\n";
+  head += "Content-Type: " + response.content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  for (const auto& [name, value] : response.extra_headers) {
+    head += name + ": " + value + "\r\n";
+  }
+  head += "Connection: close\r\n\r\n";
+  if (SendAll(fd, head)) {
+    // Discard justified: the client may already be gone; response delivery
+    // is best-effort and the connection closes either way.
+    (void)SendAll(fd, response.body);
+  }
+}
+
+void SetSocketTimeouts(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  // Discard justified: a failed setsockopt only loses the stall guard;
+  // the connection still works and the worker is bounded by peer behavior.
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Reads and parses one request off `fd`. Returns true on success; on
+/// failure `*error_status` is the 4xx to answer with, or 0 when the
+/// connection should close silently (peer vanished before sending one).
+bool ReadRequest(int fd, const HttpServer::Options& options,
+                 HttpRequest* request, int* error_status) {
+  *error_status = 0;
+  std::string buffer;
+  size_t header_end = std::string::npos;
+  char chunk[4096];
+  while (header_end == std::string::npos) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) *error_status = 408;
+      return false;
+    }
+    if (n == 0) return false;  // clean close before a full request
+    buffer.append(chunk, static_cast<size_t>(n));
+    header_end = buffer.find("\r\n\r\n");
+    if (header_end == std::string::npos &&
+        buffer.size() > options.max_header_bytes) {
+      *error_status = 431;
+      return false;
+    }
+  }
+
+  // Request line: METHOD SP target SP HTTP/1.x
+  size_t line_end = buffer.find("\r\n");
+  std::string_view line(buffer.data(), line_end);
+  size_t sp1 = line.find(' ');
+  size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1 ||
+      line.substr(sp2 + 1).substr(0, 7) != "HTTP/1.") {
+    *error_status = 400;
+    return false;
+  }
+  request->method = std::string(line.substr(0, sp1));
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  // Query strings are not part of the subdexd API; split them off so
+  // routing sees a clean path.
+  request->target = std::string(target.substr(0, target.find('?')));
+  if (request->method.empty() || request->target.empty() ||
+      request->target[0] != '/') {
+    *error_status = 400;
+    return false;
+  }
+
+  size_t pos = line_end + 2;
+  while (pos < header_end) {
+    size_t eol = buffer.find("\r\n", pos);
+    std::string_view header(buffer.data() + pos, eol - pos);
+    pos = eol + 2;
+    size_t colon = header.find(':');
+    if (colon == std::string_view::npos) {
+      *error_status = 400;
+      return false;
+    }
+    request->headers.emplace_back(ToLower(header.substr(0, colon)),
+                                  std::string(Trim(header.substr(colon + 1))));
+  }
+
+  size_t content_length = 0;
+  if (const std::string* value = request->Header("content-length")) {
+    int parsed = 0;
+    if (!ParseInt(*value, &parsed) || parsed < 0) {
+      *error_status = 400;
+      return false;
+    }
+    content_length = static_cast<size_t>(parsed);
+  }
+  if (content_length > options.max_body_bytes) {
+    *error_status = 413;
+    return false;
+  }
+
+  request->body = buffer.substr(header_end + 4);
+  while (request->body.size() < content_length) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      *error_status = 400;  // promised body never arrived
+      return false;
+    }
+    request->body.append(chunk, static_cast<size_t>(n));
+  }
+  request->body.resize(content_length);
+  return true;
+}
+
+HttpResponse ErrorResponse(int status, const std::string& message) {
+  return HttpResponse::Json(
+      status, "{\"error\":\"" + message + "\"}");
+}
+
+}  // namespace
+
+const std::string* HttpRequest::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+HttpResponse HttpResponse::Json(int status, std::string body) {
+  HttpResponse r;
+  r.status = status;
+  r.content_type = "application/json";
+  r.body = std::move(body);
+  return r;
+}
+
+HttpResponse HttpResponse::Text(int status, std::string body) {
+  HttpResponse r;
+  r.status = status;
+  r.content_type = "text/plain; version=0.0.4";
+  r.body = std::move(body);
+  return r;
+}
+
+const char* HttpStatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+HttpServer::HttpServer(Options options, Handler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Status::IoError("socket() failed");
+  int one = 1;
+  // Discard justified: REUSEADDR is an optimization for quick restarts;
+  // bind reports the fatal cases either way.
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("invalid listen host '" + options_.host +
+                                   "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 128) < 0) {
+    std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("cannot listen on " + options_.host + ":" +
+                           std::to_string(options_.port) + ": " + reason);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  started_ = true;
+  threads_.emplace_back([this] { AcceptLoop(); });
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+  threads_.emplace_back([this] { WatchLoop(); });
+  return Status::Ok();
+}
+
+void HttpServer::Stop() {
+  if (!started_) return;
+  {
+    MutexLock lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  {
+    MutexLock lock(watch_mu_);
+    watch_stopping_ = true;
+  }
+  watch_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+
+  // Queued but unserved connections get an explicit 503 instead of a
+  // silent RST, so clients know to retry elsewhere/later.
+  std::deque<int> leftover;
+  {
+    MutexLock lock(mu_);
+    leftover.swap(queue_);
+  }
+  for (int fd : leftover) {
+    WriteResponse(fd, ErrorResponse(503, "server shutting down"));
+    ::close(fd);
+  }
+  HttpMetrics::Get().queue_depth.Set(0);
+
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::AcceptLoop() {
+  for (;;) {
+    {
+      MutexLock lock(mu_);
+      if (stopping_) return;
+    }
+    pollfd p{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&p, 1, 50);
+    if (ready <= 0) continue;
+    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    SetSocketTimeouts(fd, options_.socket_timeout_ms);
+
+    bool shed = false;
+    {
+      MutexLock lock(mu_);
+      if (stopping_) {
+        shed = true;  // answered below; the 429 doubles as "going away"
+      } else if (queue_.size() >= options_.queue_capacity) {
+        shed = true;
+      } else {
+        queue_.push_back(fd);
+        HttpMetrics::Get().queue_depth.Set(
+            static_cast<int64_t>(queue_.size()));
+      }
+    }
+    if (shed) {
+      HttpMetrics::Get().shed.Increment();
+      HttpResponse response =
+          ErrorResponse(429, "request queue full, retry later");
+      response.extra_headers.emplace_back(
+          "Retry-After", std::to_string(options_.retry_after_seconds));
+      WriteResponse(fd, response);
+      ::close(fd);
+    } else {
+      queue_cv_.notify_one();
+    }
+  }
+}
+
+void HttpServer::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      MutexLock lock(mu_);
+      while (queue_.empty() && !stopping_) lock.WaitOnce(queue_cv_);
+      if (stopping_) return;  // leftovers get 503 from Stop()
+      fd = queue_.front();
+      queue_.pop_front();
+      HttpMetrics::Get().queue_depth.Set(static_cast<int64_t>(queue_.size()));
+    }
+    HandleConnection(fd);
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  HttpRequest request;
+  int error_status = 0;
+  if (!ReadRequest(fd, options_, &request, &error_status)) {
+    if (error_status != 0) {
+      HttpMetrics::Get().parse_errors.Increment();
+      WriteResponse(fd, ErrorResponse(error_status, "malformed request"));
+    }
+    ::close(fd);
+    return;
+  }
+  HttpMetrics::Get().requests.Increment();
+
+  CancellationToken disconnect;
+  {
+    MutexLock lock(watch_mu_);
+    watches_.push_back(Watch{fd, disconnect});
+  }
+  const auto start = std::chrono::steady_clock::now();
+  HttpResponse response = handler_(request, disconnect);
+  HttpMetrics::Get().latency_ms.Observe(
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  {
+    // Unregister before closing, so the watcher never polls a recycled fd.
+    MutexLock lock(watch_mu_);
+    for (size_t i = 0; i < watches_.size(); ++i) {
+      if (watches_[i].fd == fd) {
+        watches_[i] = watches_.back();
+        watches_.pop_back();
+        break;
+      }
+    }
+  }
+  if (disconnect.cancelled()) HttpMetrics::Get().disconnects.Increment();
+  WriteResponse(fd, response);
+  ::close(fd);
+}
+
+void HttpServer::WatchLoop() {
+  MutexLock lock(watch_mu_);
+  while (!watch_stopping_) {
+    // Discard justified: both wakeup reasons (timeout tick, stop notify)
+    // re-evaluate the same state below.
+    (void)lock.WaitOnceFor(
+        watch_cv_, std::chrono::milliseconds(options_.watch_interval_ms));
+    if (watch_stopping_) return;
+    if (watches_.empty()) continue;
+    std::vector<pollfd> fds;
+    fds.reserve(watches_.size());
+    for (const Watch& w : watches_) {
+      fds.push_back(pollfd{w.fd, POLLRDHUP, 0});
+    }
+    // Non-blocking sweep (timeout 0) under the lock: watches_ cannot
+    // change between building fds and reading revents.
+    if (::poll(fds.data(), fds.size(), 0) <= 0) continue;
+    for (size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents & (POLLRDHUP | POLLHUP | POLLERR)) {
+        watches_[i].token.RequestCancel();
+      }
+    }
+  }
+}
+
+}  // namespace subdex

@@ -1,0 +1,143 @@
+#ifndef SUBDEX_SERVER_HTTP_H_
+#define SUBDEX_SERVER_HTTP_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/deadline.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace subdex {
+
+/// One parsed HTTP/1.1 request. Header names are lower-cased at parse
+/// time (HTTP headers are case-insensitive); the target is the raw path
+/// with any query string already split off.
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Header value by lower-case name; nullptr when absent.
+  SUBDEX_NODISCARD const std::string* Header(std::string_view name) const;
+};
+
+/// The handler's answer. `extra_headers` lets handlers attach
+/// response-specific fields (Retry-After on sheds).
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+
+  static HttpResponse Json(int status, std::string body);
+  static HttpResponse Text(int status, std::string body);
+};
+
+/// Reason phrase for the status codes subdexd emits ("Unknown" otherwise).
+const char* HttpStatusReason(int status);
+
+/// A minimal threaded HTTP/1.1 server over POSIX sockets, sized for
+/// subdexd's needs: short JSON requests, one response per connection
+/// (Connection: close), explicit overload behavior.
+///
+/// Admission control: accepted connections enter a bounded queue that the
+/// worker pool drains. When the queue is full the acceptor immediately
+/// writes `429 Too Many Requests` with a Retry-After header and closes —
+/// under overload the server sheds load in O(1) instead of growing an
+/// unbounded backlog whose tail latency makes every client time out
+/// (interactive exploration would rather retry than wait).
+///
+/// Disconnect propagation: while a handler runs, a watcher thread polls
+/// the connection for POLLRDHUP; a client that hangs up mid-request trips
+/// the CancellationToken passed to the handler, so abandoned exploration
+/// steps stop consuming engine time.
+class HttpServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    /// 0 binds an ephemeral port; read the outcome from port().
+    uint16_t port = 0;
+    size_t num_workers = 4;
+    /// Accepted connections waiting for a worker before sheds begin.
+    size_t queue_capacity = 64;
+    /// Advisory client backoff on 429 responses.
+    int retry_after_seconds = 1;
+    /// Caps keeping a hostile peer from ballooning memory.
+    size_t max_header_bytes = 16 * 1024;
+    size_t max_body_bytes = 1 << 20;
+    /// Socket receive/send timeout: a stalled peer frees its worker after
+    /// at most this long.
+    int socket_timeout_ms = 5000;
+    /// Cadence of the disconnect watcher's POLLRDHUP sweep.
+    int watch_interval_ms = 10;
+  };
+
+  /// Handlers run on worker threads and must be thread-safe. `disconnect`
+  /// is tripped if the client hangs up while the handler runs.
+  using Handler = std::function<HttpResponse(const HttpRequest& request,
+                                             const CancellationToken&
+                                                 disconnect)>;
+
+  HttpServer(Options options, Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and spins up the acceptor / worker / watcher
+  /// threads. Fails (kFailedPrecondition) when already started, or with
+  /// kIoError when the bind fails.
+  SUBDEX_MUST_USE_RESULT Status Start();
+
+  /// Graceful stop: accepting ends, in-flight handlers finish, queued
+  /// but unserved connections receive `503 Service Unavailable`. Safe to
+  /// call twice; the destructor calls it.
+  void Stop();
+
+  /// Bound TCP port (resolves port 0); 0 before Start().
+  SUBDEX_NODISCARD uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void WatchLoop();
+  void HandleConnection(int fd);
+
+  Options options_;
+  Handler handler_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  bool started_ = false;
+
+  std::vector<std::thread> threads_;
+
+  mutable Mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> queue_ SUBDEX_GUARDED_BY(mu_);
+  bool stopping_ SUBDEX_GUARDED_BY(mu_) = false;
+
+  // Connections whose handler is running, watched for client hangup.
+  struct Watch {
+    int fd;
+    CancellationToken token;
+  };
+  mutable Mutex watch_mu_;
+  std::condition_variable watch_cv_;
+  std::vector<Watch> watches_ SUBDEX_GUARDED_BY(watch_mu_);
+  bool watch_stopping_ SUBDEX_GUARDED_BY(watch_mu_) = false;
+};
+
+}  // namespace subdex
+
+#endif  // SUBDEX_SERVER_HTTP_H_

@@ -1,0 +1,113 @@
+#ifndef SUBDEX_SERVER_JSON_H_
+#define SUBDEX_SERVER_JSON_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace subdex {
+
+/// A JSON document node — the wire format of subdexd's request and
+/// response bodies. Self-contained (no third-party dependency): the
+/// server's API surface is small and fully specified, so a strict,
+/// ~300-line recursive-descent parser beats vendoring a JSON library the
+/// build image does not carry.
+///
+/// Objects preserve insertion order (responses render deterministically);
+/// duplicate keys are rejected at parse time. Numbers are doubles, like
+/// JavaScript's — the API's integers (counts, indexes) all fit a double
+/// exactly.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue Number(double d) {
+    JsonValue v;
+    v.kind_ = Kind::kNumber;
+    v.number_ = d;
+    return v;
+  }
+  static JsonValue Str(std::string s) {
+    JsonValue v;
+    v.kind_ = Kind::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  /// Strict parse of a complete JSON document (trailing garbage is an
+  /// error). Enforces a nesting-depth cap so adversarial bodies cannot
+  /// overflow the stack.
+  SUBDEX_MUST_USE_RESULT static Result<JsonValue> Parse(std::string_view text);
+
+  SUBDEX_NODISCARD Kind kind() const { return kind_; }
+  SUBDEX_NODISCARD bool is_null() const { return kind_ == Kind::kNull; }
+  SUBDEX_NODISCARD bool is_bool() const { return kind_ == Kind::kBool; }
+  SUBDEX_NODISCARD bool is_number() const { return kind_ == Kind::kNumber; }
+  SUBDEX_NODISCARD bool is_string() const { return kind_ == Kind::kString; }
+  SUBDEX_NODISCARD bool is_array() const { return kind_ == Kind::kArray; }
+  SUBDEX_NODISCARD bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; calling the wrong one returns the type's zero value
+  /// (the server validates kinds before reading, and a zero beats UB on a
+  /// missed check).
+  SUBDEX_NODISCARD bool bool_value() const { return is_bool() && bool_; }
+  SUBDEX_NODISCARD double number() const { return is_number() ? number_ : 0.0; }
+  SUBDEX_NODISCARD const std::string& str() const { return string_; }
+
+  SUBDEX_NODISCARD const std::vector<JsonValue>& items() const {
+    return items_;
+  }
+  SUBDEX_NODISCARD
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object lookup; null when absent (or not an object).
+  SUBDEX_NODISCARD const JsonValue* Find(std::string_view key) const;
+
+  /// Object insertion (replaces an existing key). No-op on non-objects.
+  void Set(std::string key, JsonValue value);
+  /// Array append. No-op on non-arrays.
+  void Append(JsonValue value);
+
+  /// Compact serialization (no insignificant whitespace). Numbers render
+  /// as the shortest decimal that parses back to the same double, so
+  /// Parse(Dump(v)) is the identity on every value the server emits.
+  SUBDEX_NODISCARD std::string Dump() const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace subdex
+
+#endif  // SUBDEX_SERVER_JSON_H_

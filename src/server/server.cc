@@ -1,0 +1,480 @@
+#include "server/server.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "server/json.h"
+#include "storage/query_parser.h"
+#include "util/metrics.h"
+
+namespace subdex {
+
+namespace {
+
+struct ServerMetrics {
+  Counter& steps;
+
+  static ServerMetrics& Get() {
+    static ServerMetrics m{
+        MetricsRegistry::Global().GetCounter(
+            "subdex_server_steps_total",
+            "Exploration steps executed over the HTTP API"),
+    };
+    return m;
+  }
+};
+
+HttpResponse ErrorResponse(int status, const std::string& message) {
+  JsonValue body = JsonValue::Object();
+  body.Set("error", JsonValue::Str(message));
+  return HttpResponse::Json(status, body.Dump());
+}
+
+HttpResponse CapacityResponse(const std::string& message,
+                              int retry_after_seconds) {
+  HttpResponse response = ErrorResponse(429, message);
+  response.extra_headers.emplace_back("Retry-After",
+                                      std::to_string(retry_after_seconds));
+  return response;
+}
+
+/// Body -> JSON object. An empty body means "all defaults" (an object with
+/// no members); anything else must parse as a JSON object.
+Result<JsonValue> ParseBodyObject(const HttpRequest& request) {
+  if (request.body.empty()) return JsonValue::Object();
+  Result<JsonValue> parsed = JsonValue::Parse(request.body);
+  if (!parsed.ok()) return parsed.status();
+  if (!parsed.value().is_object()) {
+    return Status::InvalidArgument("request body must be a JSON object");
+  }
+  return parsed;
+}
+
+/// Reads an optional non-negative integral number field, writing it into
+/// `out` (left untouched when the field is absent).
+Status ReadCount(const JsonValue& body, const char* key, size_t* out) {
+  const JsonValue* v = body.Find(key);
+  if (v == nullptr) return Status::Ok();
+  double d = v->number();
+  if (!v->is_number() || !(d >= 0) || d != std::floor(d) || d > 1e15) {
+    return Status::InvalidArgument(std::string("'") + key +
+                                   "' must be a non-negative integer");
+  }
+  *out = static_cast<size_t>(d);
+  return Status::Ok();
+}
+
+/// Applies the request's "config" object onto the per-session engine
+/// template. Only a safe allowlist of knobs is exposed — pruning schemes,
+/// distance kinds and the like stay server-side; unknown keys are an error
+/// rather than silently ignored (a typoed knob should not look accepted).
+Status ApplyConfigOverrides(const JsonValue& config, size_t max_threads,
+                            EngineConfig* engine) {
+  size_t seed = static_cast<size_t>(engine->seed);
+  const std::pair<const char*, size_t*> knobs[] = {
+      {"k", &engine->k},
+      {"o", &engine->o},
+      {"l", &engine->l},
+      {"num_phases", &engine->num_phases},
+      {"num_threads", &engine->num_threads},
+      {"seed", &seed},
+      {"min_group_size", &engine->min_group_size},
+      {"max_candidates", &engine->operations.max_candidates},
+      {"group_cache_capacity", &engine->group_cache_capacity},
+  };
+  for (const auto& [key, value] : config.members()) {
+    // Discard justified: values are read through the knob table below;
+    // this pass only rejects typoed keys instead of silently ignoring them.
+    (void)value;
+    bool known = false;
+    for (const auto& [name, target] : knobs) {
+      // Discard justified: key-set validation only; `target` is written in
+      // the ReadCount loop below.
+      (void)target;
+      if (key == name) known = true;
+    }
+    if (!known) {
+      return Status::InvalidArgument("unknown config knob '" + key + "'");
+    }
+  }
+  for (const auto& [name, target] : knobs) {
+    Status status = ReadCount(config, name, target);
+    if (!status.ok()) return status;
+  }
+  engine->seed = seed;
+  if (engine->k == 0 || engine->o == 0 || engine->l == 0 ||
+      engine->num_phases == 0) {
+    return Status::InvalidArgument(
+        "'k', 'o', 'l' and 'num_phases' must be at least 1");
+  }
+  if (engine->num_threads == 0) engine->num_threads = 1;
+  if (engine->num_threads > max_threads) {
+    return Status::InvalidArgument(
+        "'num_threads' exceeds the server cap of " +
+        std::to_string(max_threads));
+  }
+  return Status::Ok();
+}
+
+JsonValue RenderSelection(const SubjectiveDatabase& db,
+                          const GroupSelection& selection) {
+  JsonValue out = JsonValue::Object();
+  out.Set("reviewers",
+          JsonValue::Str(PredicateToQuery(db.table(Side::kReviewer),
+                                          selection.reviewer_pred)));
+  out.Set("items", JsonValue::Str(PredicateToQuery(db.table(Side::kItem),
+                                                   selection.item_pred)));
+  return out;
+}
+
+JsonValue RenderMap(const SubjectiveDatabase& db, const ScoredRatingMap& map) {
+  const RatingMapKey& key = map.map.key();
+  const Table& table = db.table(key.side);
+  JsonValue out = JsonValue::Object();
+  out.Set("side", JsonValue::Str(SideName(key.side)));
+  out.Set("attribute",
+          JsonValue::Str(table.schema().attribute(key.attribute).name));
+  out.Set("dimension", JsonValue::Str(db.dimension_name(key.dimension)));
+  out.Set("utility", JsonValue::Number(map.dw_utility));
+  out.Set("group_size",
+          JsonValue::Number(static_cast<double>(map.map.full_group_size())));
+  JsonValue subgroups = JsonValue::Array();
+  for (const Subgroup& sg : map.map.subgroups()) {
+    JsonValue row = JsonValue::Object();
+    row.Set("value", JsonValue::Str(
+                         sg.value == kNullCode
+                             ? "unspecified"
+                             : table.dictionary(key.attribute).ValueOf(
+                                   sg.value)));
+    row.Set("count", JsonValue::Number(static_cast<double>(sg.count())));
+    row.Set("average", JsonValue::Number(sg.average()));
+    subgroups.Append(std::move(row));
+  }
+  out.Set("subgroups", std::move(subgroups));
+  return out;
+}
+
+JsonValue RenderRecommendation(const SubjectiveDatabase& db,
+                               const Recommendation& reco) {
+  JsonValue out = JsonValue::Object();
+  out.Set("kind", JsonValue::Str(OperationKindName(reco.operation.kind)));
+  out.Set("target", RenderSelection(db, reco.operation.target));
+  out.Set("utility", JsonValue::Number(reco.utility));
+  out.Set("group_size",
+          JsonValue::Number(static_cast<double>(reco.group_size)));
+  return out;
+}
+
+JsonValue RenderStepResult(const std::string& session_id,
+                           const SubjectiveDatabase& db,
+                           const StepResult& result) {
+  JsonValue out = JsonValue::Object();
+  out.Set("session_id", JsonValue::Str(session_id));
+  out.Set("selection", RenderSelection(db, result.selection));
+  out.Set("group_size",
+          JsonValue::Number(static_cast<double>(result.group_size)));
+  out.Set("elapsed_ms", JsonValue::Number(result.elapsed_ms));
+  out.Set("degraded", JsonValue::Bool(result.degraded));
+  out.Set("cancelled", JsonValue::Bool(result.cancelled));
+  out.Set("cut_phase", JsonValue::Str(StepPhaseName(result.cut_phase)));
+  JsonValue maps = JsonValue::Array();
+  for (const ScoredRatingMap& map : result.maps) {
+    maps.Append(RenderMap(db, map));
+  }
+  out.Set("maps", std::move(maps));
+  JsonValue recos = JsonValue::Array();
+  for (const Recommendation& reco : result.recommendations) {
+    recos.Append(RenderRecommendation(db, reco));
+  }
+  out.Set("recommendations", std::move(recos));
+  return out;
+}
+
+}  // namespace
+
+SubdexServer::SubdexServer(Options options)
+    : options_(std::move(options)),
+      sessions_(options_.sessions),
+      http_(options_.http,
+            [this](const HttpRequest& request,
+                   const CancellationToken& disconnect) {
+              return Handle(request, disconnect);
+            }) {}
+
+SubdexServer::~SubdexServer() { Stop(); }
+
+Status SubdexServer::RegisterDataset(
+    const std::string& name, std::shared_ptr<const SubjectiveDatabase> db) {
+  if (started_) {
+    return Status::FailedPrecondition(
+        "datasets must be registered before Start()");
+  }
+  if (name.empty()) return Status::InvalidArgument("dataset name is empty");
+  if (db == nullptr || !db->finalized()) {
+    return Status::InvalidArgument("dataset '" + name + "' is not finalized");
+  }
+  if (datasets_.count(name) > 0) {
+    return Status::InvalidArgument("dataset '" + name +
+                                   "' is already registered");
+  }
+  if (datasets_.empty()) default_dataset_ = name;
+  datasets_.emplace(name, std::move(db));
+  return Status::Ok();
+}
+
+Status SubdexServer::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+  if (datasets_.empty()) {
+    return Status::FailedPrecondition(
+        "no datasets registered; call RegisterDataset first");
+  }
+  sessions_.Start();
+  Status status = http_.Start();
+  if (!status.ok()) {
+    sessions_.Stop();
+    return status;
+  }
+  started_ = true;
+  return Status::Ok();
+}
+
+void SubdexServer::Stop() {
+  if (!started_) return;
+  // HTTP first so no new requests race the reaper shutdown; sessions (and
+  // their engines) go down with the manager's destructor.
+  http_.Stop();
+  sessions_.Stop();
+  started_ = false;
+}
+
+HttpResponse SubdexServer::Handle(const HttpRequest& request,
+                                  const CancellationToken& disconnect) {
+  const std::string& target = request.target;
+  if (target == "/healthz") {
+    if (request.method != "GET") return ErrorResponse(405, "use GET");
+    return HandleHealthz();
+  }
+  if (target == "/metrics") {
+    if (request.method != "GET") return ErrorResponse(405, "use GET");
+    return HandleMetrics();
+  }
+  if (target == "/sessions") {
+    if (request.method != "POST") return ErrorResponse(405, "use POST");
+    return HandleCreateSession(request);
+  }
+  if (target.rfind("/sessions/", 0) == 0) {
+    std::string rest = target.substr(10);
+    size_t slash = rest.find('/');
+    std::string id = rest.substr(0, slash);
+    std::string action =
+        slash == std::string::npos ? "" : rest.substr(slash + 1);
+    if (id.empty()) return ErrorResponse(404, "missing session id");
+    if (action.empty()) {
+      if (request.method != "DELETE") return ErrorResponse(405, "use DELETE");
+      return HandleDelete(id);
+    }
+    if (action == "step") {
+      if (request.method != "POST") return ErrorResponse(405, "use POST");
+      return HandleStep(id, request, disconnect);
+    }
+    if (action == "reset") {
+      if (request.method != "POST") return ErrorResponse(405, "use POST");
+      return HandleReset(id);
+    }
+    return ErrorResponse(404, "unknown session action '" + action + "'");
+  }
+  return ErrorResponse(404, "unknown route '" + target + "'");
+}
+
+HttpResponse SubdexServer::HandleCreateSession(const HttpRequest& request) {
+  Result<JsonValue> body = ParseBodyObject(request);
+  if (!body.ok()) return ErrorResponse(400, body.status().message());
+
+  std::string dataset = default_dataset_;
+  if (const JsonValue* v = body.value().Find("dataset"); v != nullptr) {
+    if (!v->is_string()) return ErrorResponse(400, "'dataset' must be a string");
+    dataset = v->str();
+  }
+  auto it = datasets_.find(dataset);
+  if (it == datasets_.end()) {
+    return ErrorResponse(404, "unknown dataset '" + dataset + "'");
+  }
+
+  double ttl_ms = 0;
+  if (const JsonValue* v = body.value().Find("ttl_ms"); v != nullptr) {
+    if (!v->is_number() || !(v->number() >= 0)) {
+      return ErrorResponse(400, "'ttl_ms' must be a non-negative number");
+    }
+    ttl_ms = v->number();
+  }
+
+  EngineConfig config = options_.engine;
+  if (const JsonValue* v = body.value().Find("config"); v != nullptr) {
+    if (!v->is_object()) return ErrorResponse(400, "'config' must be an object");
+    Status status =
+        ApplyConfigOverrides(*v, options_.max_threads_per_session, &config);
+    if (!status.ok()) return ErrorResponse(400, status.message());
+  }
+
+  Result<std::shared_ptr<ServerSession>> session =
+      sessions_.Create(dataset, it->second, config, ttl_ms);
+  if (!session.ok()) {
+    if (session.status().code() == StatusCode::kFailedPrecondition) {
+      return CapacityResponse(session.status().message(),
+                              options_.http.retry_after_seconds);
+    }
+    return ErrorResponse(400, session.status().message());
+  }
+
+  JsonValue out = JsonValue::Object();
+  out.Set("session_id", JsonValue::Str(session.value()->id));
+  out.Set("dataset", JsonValue::Str(dataset));
+  out.Set("ttl_ms", JsonValue::Number(
+                        static_cast<double>(session.value()->ttl.count())));
+  out.Set("num_records",
+          JsonValue::Number(
+              static_cast<double>(session.value()->db->num_records())));
+  return HttpResponse::Json(201, out.Dump());
+}
+
+HttpResponse SubdexServer::HandleStep(const std::string& id,
+                                      const HttpRequest& request,
+                                      const CancellationToken& disconnect) {
+  Result<JsonValue> parsed = ParseBodyObject(request);
+  if (!parsed.ok()) return ErrorResponse(400, parsed.status().message());
+  const JsonValue& body = parsed.value();
+
+  SessionLease lease = sessions_.Acquire(id);
+  if (!lease) {
+    return ErrorResponse(404, "unknown or expired session '" + id + "'");
+  }
+  const SubjectiveDatabase& db = *lease->db;
+
+  GroupSelection selection;
+  if (const JsonValue* reco = body.Find("recommendation"); reco != nullptr) {
+    if (body.Find("reviewers") != nullptr || body.Find("items") != nullptr) {
+      return ErrorResponse(
+          400, "'recommendation' and explicit queries are mutually exclusive");
+    }
+    double d = reco->number();
+    if (!reco->is_number() || !(d >= 0) || d != std::floor(d)) {
+      return ErrorResponse(400,
+                           "'recommendation' must be a non-negative index");
+    }
+    MutexLock lock(lease->mu);
+    if (!lease->has_last_step) {
+      return ErrorResponse(
+          400, "no previous step to take a recommendation from");
+    }
+    size_t index = static_cast<size_t>(d);
+    if (index >= lease->last_step.recommendations.size()) {
+      return ErrorResponse(
+          400, "recommendation index " + std::to_string(index) +
+                   " out of range (last step offered " +
+                   std::to_string(lease->last_step.recommendations.size()) +
+                   ")");
+    }
+    selection = lease->last_step.recommendations[index].operation.target;
+  } else {
+    // Read-only parse: the dataset's dictionaries are shared across every
+    // session, so serving must never intern unseen values into them.
+    for (const auto& [key, side] :
+         {std::pair<const char*, Side>{"reviewers", Side::kReviewer},
+          std::pair<const char*, Side>{"items", Side::kItem}}) {
+      const JsonValue* v = body.Find(key);
+      if (v == nullptr) continue;
+      if (!v->is_string()) {
+        return ErrorResponse(400, std::string("'") + key +
+                                      "' must be a query string");
+      }
+      Result<Predicate> pred =
+          ParsePredicateReadOnly(db.table(side), v->str());
+      if (!pred.ok()) {
+        return ErrorResponse(400, std::string("bad '") + key +
+                                      "' query: " + pred.status().message());
+      }
+      (side == Side::kReviewer ? selection.reviewer_pred
+                               : selection.item_pred) =
+          std::move(pred).value();
+    }
+  }
+
+  StepOptions options;
+  options.token = disconnect;
+  if (const JsonValue* v = body.Find("with_recommendations"); v != nullptr) {
+    if (!v->is_bool()) {
+      return ErrorResponse(400, "'with_recommendations' must be a boolean");
+    }
+    options.with_recommendations = v->bool_value();
+  }
+  if (const JsonValue* v = body.Find("deadline_ms"); v != nullptr) {
+    if (!v->is_number() || !(v->number() > 0)) {
+      return ErrorResponse(400, "'deadline_ms' must be a positive number");
+    }
+    options.deadline = Deadline::FromNowMs(v->number());
+  }
+
+  StepResult result = lease->engine->ExecuteStep(selection, options);
+  ServerMetrics::Get().steps.Increment();
+  lease->steps_executed.fetch_add(1, std::memory_order_relaxed);
+
+  JsonValue out = RenderStepResult(id, db, result);
+  if (!result.cancelled) {
+    // A cancelled step produced nothing the client saw; keep the previous
+    // step so its recommendation indexes stay valid.
+    MutexLock lock(lease->mu);
+    lease->last_step = std::move(result);
+    lease->has_last_step = true;
+  }
+  return HttpResponse::Json(200, out.Dump());
+}
+
+HttpResponse SubdexServer::HandleReset(const std::string& id) {
+  SessionLease lease = sessions_.Acquire(id);
+  if (!lease) {
+    return ErrorResponse(404, "unknown or expired session '" + id + "'");
+  }
+  lease->engine->ResetHistory();
+  {
+    MutexLock lock(lease->mu);
+    lease->has_last_step = false;
+    lease->last_step = StepResult();
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("session_id", JsonValue::Str(id));
+  out.Set("reset", JsonValue::Bool(true));
+  return HttpResponse::Json(200, out.Dump());
+}
+
+HttpResponse SubdexServer::HandleDelete(const std::string& id) {
+  if (!sessions_.Remove(id)) {
+    return ErrorResponse(404, "unknown or expired session '" + id + "'");
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("session_id", JsonValue::Str(id));
+  out.Set("deleted", JsonValue::Bool(true));
+  return HttpResponse::Json(200, out.Dump());
+}
+
+HttpResponse SubdexServer::HandleMetrics() {
+  return HttpResponse::Text(
+      200, MetricsRegistry::Global().Snapshot().ToPrometheusText());
+}
+
+HttpResponse SubdexServer::HandleHealthz() {
+  JsonValue out = JsonValue::Object();
+  out.Set("status", JsonValue::Str("ok"));
+  out.Set("sessions",
+          JsonValue::Number(static_cast<double>(sessions_.ActiveCount())));
+  JsonValue names = JsonValue::Array();
+  for (const auto& [name, db] : datasets_) {
+    // Discard justified: /healthz lists names only; sizes are on /metrics.
+    (void)db;
+    names.Append(JsonValue::Str(name));
+  }
+  out.Set("datasets", std::move(names));
+  return HttpResponse::Json(200, out.Dump());
+}
+
+}  // namespace subdex

@@ -1,0 +1,114 @@
+#ifndef SUBDEX_SERVER_SERVER_H_
+#define SUBDEX_SERVER_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "engine/config.h"
+#include "server/http.h"
+#include "server/session_manager.h"
+#include "subjective/subjective_db.h"
+#include "util/status.h"
+
+namespace subdex {
+
+/// subdexd: the exploration engine behind an HTTP/JSON API, serving many
+/// concurrent exploration sessions over shared read-only datasets. Routes:
+///
+///   POST   /sessions              create a session
+///                                 body: {"dataset"?: name,
+///                                        "ttl_ms"?: number,
+///                                        "config"?: {engine knobs}}
+///   POST   /sessions/{id}/step    run one exploration step
+///                                 body: {"reviewers"?: query,
+///                                        "items"?: query,
+///                                        "recommendation"?: index,
+///                                        "deadline_ms"?: number,
+///                                        "with_recommendations"?: bool}
+///   POST   /sessions/{id}/reset   forget the session's exploration history
+///   DELETE /sessions/{id}         end a session
+///   GET    /metrics               Prometheus text exposition
+///   GET    /healthz               liveness + session/dataset summary
+///
+/// Selections are the query-parser grammar ("genre = Comedy AND ..."),
+/// parsed read-only: datasets are shared across sessions, so serving never
+/// interns new values into their dictionaries. A "recommendation" index
+/// picks a target from the session's previous step instead of spelling out
+/// queries. Errors come back as {"error": message}; capacity exhaustion
+/// (session cap, request queue) answers 429 with a Retry-After header.
+class SubdexServer {
+ public:
+  struct Options {
+    HttpServer::Options http;
+    SessionManager::Options sessions;
+    /// Per-session engine template; request "config" overrides a safe
+    /// subset. Serving gets its concurrency from having many sessions, so
+    /// the default is one thread per engine (no pool), not the benchmark
+    /// default of 4.
+    EngineConfig engine;
+    /// Hard cap a request's config.num_threads may ask for.
+    size_t max_threads_per_session = 4;
+
+    Options() { engine.num_threads = 1; }
+  };
+
+  explicit SubdexServer(Options options);
+  ~SubdexServer();
+
+  SubdexServer(const SubdexServer&) = delete;
+  SubdexServer& operator=(const SubdexServer&) = delete;
+
+  /// Registers a dataset to serve. Only legal before Start(): the dataset
+  /// map is read lock-free by every request thread afterwards. The first
+  /// registered dataset is the default for session creation. `db` must be
+  /// finalized.
+  SUBDEX_MUST_USE_RESULT Status RegisterDataset(
+      const std::string& name, std::shared_ptr<const SubjectiveDatabase> db);
+
+  /// Starts the session reaper and the HTTP front end. Requires at least
+  /// one registered dataset.
+  SUBDEX_MUST_USE_RESULT Status Start();
+
+  /// Stops the HTTP server (in-flight requests finish), then the reaper.
+  void Stop();
+
+  /// Bound TCP port; 0 before Start().
+  SUBDEX_NODISCARD uint16_t port() const { return http_.port(); }
+
+  SUBDEX_NODISCARD SessionManager& sessions() { return sessions_; }
+
+  /// The routing core, exposed for in-process tests that want to exercise
+  /// API semantics without a socket. `disconnect` is the client-hangup
+  /// token threaded into StepOptions.
+  SUBDEX_NODISCARD HttpResponse Handle(const HttpRequest& request,
+                                       const CancellationToken& disconnect);
+
+ private:
+  struct Dataset {
+    std::string name;
+    std::shared_ptr<const SubjectiveDatabase> db;
+  };
+
+  HttpResponse HandleCreateSession(const HttpRequest& request);
+  HttpResponse HandleStep(const std::string& id, const HttpRequest& request,
+                          const CancellationToken& disconnect);
+  HttpResponse HandleReset(const std::string& id);
+  HttpResponse HandleDelete(const std::string& id);
+  HttpResponse HandleMetrics();
+  HttpResponse HandleHealthz();
+
+  Options options_;
+  // Insertion-ordered (std::map) so /healthz lists datasets
+  // deterministically; immutable after Start().
+  std::map<std::string, std::shared_ptr<const SubjectiveDatabase>> datasets_;
+  std::string default_dataset_;
+  bool started_ = false;
+
+  SessionManager sessions_;
+  HttpServer http_;
+};
+
+}  // namespace subdex
+
+#endif  // SUBDEX_SERVER_SERVER_H_

@@ -122,12 +122,13 @@ bool NeedsQuoting(const std::string& value) {
   return false;
 }
 
-}  // namespace
-
-Result<Predicate> ParsePredicate(Table* table, std::string_view query) {
+// Shared front half of both parse entry points: tokenize the query into
+// (attribute, value) string pairs and report duplicate attributes.
+Result<std::vector<std::pair<std::string, std::string>>> ParsePairs(
+    std::string_view query) {
   Cursor cursor(query);
   std::vector<std::pair<std::string, std::string>> pairs;
-  if (cursor.AtEnd()) return Predicate{};
+  if (cursor.AtEnd()) return pairs;
   for (;;) {
     Result<std::string> attr = cursor.ReadIdentifier();
     if (!attr.ok()) return attr.status();
@@ -155,7 +156,42 @@ Result<Predicate> ParsePredicate(Table* table, std::string_view query) {
       }
     }
   }
-  return Predicate::FromPairs(table, pairs);
+  return pairs;
+}
+
+}  // namespace
+
+Result<Predicate> ParsePredicate(Table* table, std::string_view query) {
+  auto pairs = ParsePairs(query);
+  if (!pairs.ok()) return pairs.status();
+  return Predicate::FromPairs(table, pairs.value());
+}
+
+Result<Predicate> ParsePredicateReadOnly(const Table& table,
+                                         std::string_view query) {
+  auto pairs = ParsePairs(query);
+  if (!pairs.ok()) return pairs.status();
+  std::vector<AttributeValue> conjuncts;
+  for (const auto& [name, value] : pairs.value()) {
+    int idx = table.schema().IndexOf(name);
+    if (idx < 0) {
+      return Status::NotFound("unknown attribute '" + name + "'");
+    }
+    size_t attribute = static_cast<size_t>(idx);
+    if (table.schema().attribute(attribute).type == AttributeType::kNumeric) {
+      return Status::InvalidArgument("attribute '" + name +
+                                     "' is numeric; predicates apply to "
+                                     "categorical attributes");
+    }
+    ValueCode code = table.dictionary(attribute).Lookup(value);
+    if (code == kNullCode) {
+      return Status::NotFound("value '" + value +
+                              "' does not occur for attribute '" + name +
+                              "'");
+    }
+    conjuncts.push_back({attribute, code});
+  }
+  return Predicate(std::move(conjuncts));
 }
 
 std::string PredicateToQuery(const Table& table, const Predicate& predicate) {

@@ -26,6 +26,17 @@ namespace subdex {
 SUBDEX_MUST_USE_RESULT
 Result<Predicate> ParsePredicate(Table* table, std::string_view query);
 
+/// Read-only variant for concurrent serving: same grammar, but never
+/// mutates `table`. Where ParsePredicate interns a value absent from the
+/// data (producing a predicate that matches nothing), this returns
+/// kNotFound naming the attribute and value — a Predicate cannot represent
+/// a never-seen value without interning it, and interning is a write into
+/// dictionaries that concurrent readers (subdexd sessions sharing one
+/// dataset) may be scanning.
+SUBDEX_MUST_USE_RESULT
+Result<Predicate> ParsePredicateReadOnly(const Table& table,
+                                         std::string_view query);
+
 /// Renders a predicate back into parsable query text (inverse of
 /// ParsePredicate up to whitespace and quoting). Values needing quotes are
 /// wrapped in whichever quote character they do not contain; a value

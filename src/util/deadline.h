@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <limits>
 #include <memory>
 
@@ -29,12 +30,22 @@ class Deadline {
   /// Expires at the fixed time point `at`.
   static Deadline At(Clock::time_point at) { return Deadline(at); }
 
-  /// Expires `ms` milliseconds from now. Non-positive values produce an
-  /// already-expired deadline (useful to force the fully degraded path).
+  /// Expires `ms` milliseconds from now. Non-positive and NaN values
+  /// produce an already-expired deadline (useful to force the fully
+  /// degraded path; NaN is not a budget). Budgets too large for
+  /// Clock::duration to represent clamp to Unlimited() — this is the
+  /// untrusted-input edge: a client sending deadline_ms = 1e18 must get
+  /// "effectively no deadline", not a duration-cast overflow that wraps
+  /// to an already-expired deadline.
   static Deadline FromNowMs(double ms) {
-    return Deadline(Clock::now() +
-                    std::chrono::duration_cast<Clock::duration>(
-                        std::chrono::duration<double, std::milli>(ms)));
+    if (std::isnan(ms) || ms <= 0.0) return Expired();
+    const Clock::time_point now = Clock::now();
+    const double max_ms = std::chrono::duration<double, std::milli>(
+                              Clock::time_point::max() - now)
+                              .count();
+    if (ms >= max_ms) return Unlimited();
+    return Deadline(now + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double, std::milli>(ms)));
   }
 
   /// Unlimited, spelled explicitly.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <ostream>
 #include <sstream>
 #include <thread>
@@ -68,12 +70,18 @@ std::string EscapeJsonString(const std::string& s) {
   return out;
 }
 
-// Renders a bucket bound the way both exporters agree on: shortest
-// round-trippable decimal (so 0.25 stays "0.25", 1 stays "1").
+// Renders a bucket bound as the shortest decimal that parses back to the
+// identical double (so 0.25 stays "0.25", 1 stays "1"). Round-tripping is
+// the conformance requirement: a scraper must recover the registered
+// bounds exactly, and the previous fixed-precision rendering turned
+// 1048576 into "1.04858e+06" and 0.1*7 into "0.7" (a different double).
 std::string FormatBound(double bound) {
-  std::ostringstream os;
-  os << bound;
-  return os.str();
+  char buf[40];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, bound);
+    if (std::strtod(buf, nullptr) == bound) break;
+  }
+  return buf;
 }
 
 }  // namespace
@@ -222,7 +230,10 @@ std::vector<double> MetricsRegistry::CountBuckets() {
 
 std::vector<double> MetricsRegistry::UnitBuckets() {
   std::vector<double> bounds;
-  for (int i = 1; i <= 10; ++i) bounds.push_back(0.1 * i);
+  // i / 10.0 is the double nearest each decimal (what strtod("0.7") gives);
+  // 0.1 * i accumulates differently (0.1 * 7 != 0.7) and would force the
+  // exporter to render 17 digits for a bound meant to read as "0.7".
+  for (int i = 1; i <= 10; ++i) bounds.push_back(i / 10.0);
   return bounds;
 }
 

@@ -1,6 +1,7 @@
 #ifndef SUBDEX_UTIL_MUTEX_H_
 #define SUBDEX_UTIL_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -54,6 +55,17 @@ class SUBDEX_SCOPED_CAPABILITY MutexLock {
   /// analysis checks lambda bodies without the enclosing lock context, so
   /// a predicate lambda over guarded members would defeat the analysis.
   void WaitOnce(std::condition_variable& cv) { cv.wait(lock_); }
+
+  /// Timed WaitOnce: one wait round bounded by `timeout`. Returns false on
+  /// timeout, true when notified (or spuriously woken) — either way the
+  /// lock is re-held, and callers re-check their predicate exactly as with
+  /// WaitOnce. This is what periodic background threads (the session
+  /// reaper) loop on: sleep-with-early-wakeup under the lock discipline
+  /// the analysis can see.
+  bool WaitOnceFor(std::condition_variable& cv,
+                   std::chrono::milliseconds timeout) {
+    return cv.wait_for(lock_, timeout) == std::cv_status::no_timeout;
+  }
 
  private:
   std::unique_lock<std::mutex> lock_;

@@ -137,6 +137,80 @@ TEST(GroupCacheTest, SingleFlightCoalescesConcurrentMisses) {
   EXPECT_EQ(stats.hits + stats.coalesced + stats.misses, kCalls);
 }
 
+TEST(GroupCacheTest, ZeroCapacityNeverInsertsOrCountsHitsAndEvictions) {
+  // The capacity()==0 contract, pinned exactly: a disabled cache
+  // materializes on every call and must not route through the cache or
+  // single-flight machinery — no entries, no hits, no coalescing, no
+  // evictions, one counted miss per call.
+  auto db = MakeRandomDb(30, 10, 300, 1, 219);
+  RatingGroupCache cache(db.get(), 0);
+  EXPECT_EQ(cache.capacity(), 0u);
+  GroupSelection sel = SelectionOn(0, 0);
+  size_t expected_size = RatingGroup::Materialize(*db, sel).size();
+  const size_t kCalls = 16;
+  for (size_t i = 0; i < kCalls; ++i) {
+    EXPECT_EQ(cache.Get(sel).size(), expected_size);
+  }
+  RatingGroupCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, kCalls);
+  EXPECT_EQ(stats.coalesced, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+  cache.Clear();  // harmless on a disabled cache
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(GroupCacheTest, ZeroCapacityConcurrentGetsNeverCoalesce) {
+  // With caching disabled there is no single-flight rendezvous to park
+  // on: every concurrent caller scans independently and returns the right
+  // records. (A disabled cache that still registered flights would count
+  // coalesced waiters here.)
+  auto db = MakeRandomDb(60, 20, 2000, 1, 221);
+  RatingGroupCache cache(db.get(), 0);
+  GroupSelection sel = SelectionOn(0, 0);
+  size_t expected_size = RatingGroup::Materialize(*db, sel).size();
+  ThreadPool pool(4);
+  std::atomic<size_t> wrong{0};
+  const size_t kCalls = 32;
+  pool.ParallelFor(kCalls, [&](size_t) {
+    if (cache.Get(sel).size() != expected_size) wrong.fetch_add(1);
+  });
+  EXPECT_EQ(wrong.load(), 0u);
+  RatingGroupCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, kCalls);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.coalesced, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(GroupCacheTest, EvictionCounterIsExact) {
+  // Every insert beyond capacity evicts exactly one entry: over N distinct
+  // keys through a capacity-C cache, evictions == N - C and the resident
+  // count ends at C. (This is what makes subdex_group_cache_evictions_total
+  // trustworthy for sizing the cache from /metrics.)
+  auto db = MakeRandomDb(40, 15, 500, 1, 223);
+  const size_t kCapacity = 3;
+  RatingGroupCache cache(db.get(), kCapacity);
+  std::vector<GroupSelection> keys;
+  for (ValueCode v = 0; v < 4; ++v) keys.push_back(SelectionOn(0, v));
+  for (ValueCode v = 0; v < 4; ++v) keys.push_back(SelectionOn(1, v));
+  for (const GroupSelection& key : keys) cache.Get(key);
+  RatingGroupCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, keys.size());
+  EXPECT_EQ(stats.evictions, keys.size() - kCapacity);
+  EXPECT_EQ(stats.entries, kCapacity);
+  // Re-scanning the key set most-recent-first: the kCapacity resident
+  // keys hit, the rest were evicted (misses, each evicting one more
+  // entry). (A forward rescan would thrash the LRU and hit nothing.)
+  for (auto it = keys.rbegin(); it != keys.rend(); ++it) cache.Get(*it);
+  stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2 * keys.size() - kCapacity);
+  EXPECT_EQ(stats.hits, kCapacity);
+  EXPECT_EQ(stats.evictions, 2 * (keys.size() - kCapacity));
+  EXPECT_EQ(stats.entries, kCapacity);
+}
+
 TEST(GroupCacheTest, EngineResultsUnchangedByCaching) {
   auto db = MakeRandomDb(40, 15, 600, 2, 209);
   EngineConfig with_cache;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -264,6 +265,119 @@ TEST(ExporterTest, RoundTripThroughBothExporters) {
                       "\"buckets\":[0,0,0],\"count\":0,\"sum\":0.000000}"),
             std::string::npos);
 #endif
+}
+
+// A scrape-side parse of one histogram family from the exposition text:
+// what a Prometheus server would reconstruct from GET /metrics.
+struct ScrapedHistogram {
+  std::vector<std::pair<double, uint64_t>> buckets;  // (le, cumulative)
+  bool has_inf_bucket = false;
+  uint64_t inf_cumulative = 0;
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+
+ScrapedHistogram ScrapeHistogram(const std::string& text,
+                                 const std::string& name) {
+  ScrapedHistogram scraped;
+  std::istringstream in(text);
+  std::string line;
+  const std::string bucket_prefix = name + "_bucket{le=\"";
+  while (std::getline(in, line)) {
+    if (line.rfind(bucket_prefix, 0) == 0) {
+      size_t close = line.find('"', bucket_prefix.size());
+      std::string le = line.substr(bucket_prefix.size(),
+                                   close - bucket_prefix.size());
+      uint64_t value = std::stoull(line.substr(line.rfind(' ') + 1));
+      if (le == "+Inf") {
+        scraped.has_inf_bucket = true;
+        scraped.inf_cumulative = value;
+      } else {
+        scraped.buckets.emplace_back(std::strtod(le.c_str(), nullptr), value);
+      }
+    } else if (line.rfind(name + "_count ", 0) == 0) {
+      scraped.count = std::stoull(line.substr(line.rfind(' ') + 1));
+    } else if (line.rfind(name + "_sum ", 0) == 0) {
+      scraped.sum = std::strtod(line.substr(line.rfind(' ') + 1).c_str(),
+                                nullptr);
+    }
+  }
+  return scraped;
+}
+
+// Conformance gate for the moment /metrics is actually scraped: what the
+// exporter writes must parse back to exactly the registered histogram —
+// every bound byte-exact under strtod, cumulative buckets monotone, the
+// +Inf bucket present and equal to _count.
+TEST(ExporterTest, PrometheusScrapeParseRoundTripsDefaultBucketLayouts) {
+  MetricsRegistry reg;
+  struct Layout {
+    const char* name;
+    std::vector<double> bounds;
+  };
+  // CountBuckets reaches 1048576: a bound that a %.6g-style rendering
+  // truncates to "1.04858e+06", which scrapes back as a DIFFERENT bucket
+  // boundary (regression).
+  const Layout layouts[] = {
+      {"rt_latency_ms", MetricsRegistry::LatencyBucketsMs()},
+      {"rt_counts", MetricsRegistry::CountBuckets()},
+      {"rt_unit", MetricsRegistry::UnitBuckets()},
+  };
+  for (const Layout& layout : layouts) {
+    Histogram& h = reg.GetHistogram(layout.name, layout.bounds);
+    // One observation per bucket boundary plus one overflow, so every
+    // exported cumulative value is distinctive.
+    for (double b : layout.bounds) h.Observe(b);
+    h.Observe(layout.bounds.back() * 2);
+  }
+
+  const std::string text = reg.Snapshot().ToPrometheusText();
+  for (const Layout& layout : layouts) {
+    SCOPED_TRACE(layout.name);
+    ScrapedHistogram scraped = ScrapeHistogram(text, layout.name);
+    ASSERT_EQ(scraped.buckets.size(), layout.bounds.size());
+    for (size_t i = 0; i < layout.bounds.size(); ++i) {
+      // Byte-exact bound round-trip: a scraper must see the bucket
+      // boundaries the registry was configured with, not a rounding.
+      EXPECT_EQ(scraped.buckets[i].first, layout.bounds[i])
+          << "bound " << i << " did not round-trip";
+      if (i > 0) {
+        EXPECT_GE(scraped.buckets[i].second, scraped.buckets[i - 1].second)
+            << "cumulative buckets must be monotone";
+      }
+    }
+    ASSERT_TRUE(scraped.has_inf_bucket);
+    EXPECT_EQ(scraped.inf_cumulative, scraped.count);
+#if SUBDEX_METRICS_ENABLED
+    EXPECT_EQ(scraped.count, layout.bounds.size() + 1);
+    EXPECT_GE(scraped.buckets.back().second, layout.bounds.size());
+#else
+    EXPECT_EQ(scraped.count, 0u);
+#endif
+  }
+}
+
+TEST(ExporterTest, PrometheusHelpUnescapesToOriginal) {
+  MetricsSnapshot snap;
+  const std::string help = "line1\nline2 with \\backslash";
+  snap.counters.push_back({"esc_total", help, 1});
+  std::string text = snap.ToPrometheusText();
+  std::string line;
+  std::istringstream in(text);
+  std::string unescaped;
+  while (std::getline(in, line)) {
+    if (line.rfind("# HELP esc_total ", 0) != 0) continue;
+    std::string escaped = line.substr(std::string("# HELP esc_total ").size());
+    for (size_t i = 0; i < escaped.size(); ++i) {
+      if (escaped[i] == '\\' && i + 1 < escaped.size()) {
+        unescaped += escaped[i + 1] == 'n' ? '\n' : escaped[i + 1];
+        ++i;
+      } else {
+        unescaped += escaped[i];
+      }
+    }
+  }
+  EXPECT_EQ(unescaped, help);
 }
 
 // ---------------------------------------------- StepPhase / StepTimings ---

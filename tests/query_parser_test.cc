@@ -114,5 +114,43 @@ TEST(QueryParserTest, ValuesWithSpecialBareChars) {
   EXPECT_TRUE(ParsePredicate(&t, "color = bar-b-q").ok());
 }
 
+TEST(QueryParserReadOnlyTest, MatchesMutatingParserOnKnownValues) {
+  Table t = MakeTable();
+  for (const char* q :
+       {"", "color = red", "color = 'dark blue' AND tags = b"}) {
+    auto mutating = ParsePredicate(&t, q);
+    auto read_only = ParsePredicateReadOnly(t, q);
+    ASSERT_TRUE(mutating.ok()) << q;
+    ASSERT_TRUE(read_only.ok()) << q;
+    EXPECT_EQ(read_only.value(), mutating.value()) << q;
+  }
+}
+
+TEST(QueryParserReadOnlyTest, NeverInternsUnseenValues) {
+  Table t = MakeTable();
+  const size_t before = t.DistinctValueCount(0);
+  auto p = ParsePredicateReadOnly(t, "color = chartreuse");
+  EXPECT_EQ(p.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(p.status().message().find("chartreuse"), std::string::npos);
+  EXPECT_NE(p.status().message().find("color"), std::string::npos);
+  // The whole point of the read-only variant: the dictionary is untouched,
+  // where ParsePredicate would have interned the value.
+  EXPECT_EQ(t.DistinctValueCount(0), before);
+  EXPECT_EQ(t.LookupValue(0, "chartreuse"), kNullCode);
+}
+
+TEST(QueryParserReadOnlyTest, SharesGrammarErrors) {
+  Table t = MakeTable();
+  EXPECT_EQ(ParsePredicateReadOnly(t, "color red").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParsePredicateReadOnly(t, "nope = red").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ParsePredicateReadOnly(t, "price = 1").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      ParsePredicateReadOnly(t, "color = red AND color = red").status().code(),
+      StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace subdex

@@ -1,0 +1,598 @@
+// subdexd end-to-end tests: the JSON wire format, the routing core
+// (in-process, no sockets), and the HTTP front end over real connections —
+// admission control, disconnect propagation, TTL expiry, and the
+// 64-session concurrent storm that ci/sanitize.sh runs under TSan.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/http.h"
+#include "server/json.h"
+#include "server/server.h"
+#include "tests/test_support.h"
+#include "util/check.h"
+
+namespace subdex {
+namespace {
+
+using std::chrono::milliseconds;
+
+// ---------------------------------------------------------------------------
+// JSON wire format
+
+TEST(JsonTest, ParseDumpRoundTrip) {
+  const char* docs[] = {
+      "null",
+      "true",
+      "false",
+      "0",
+      "-1.5",
+      "1e300",
+      "\"\"",
+      "\"a\\nb\\\"c\\\\d\"",
+      "[]",
+      "[1,[2,[3]],null]",
+      "{}",
+      "{\"a\":1,\"b\":[true,\"x\"],\"c\":{\"d\":null}}",
+  };
+  for (const char* doc : docs) {
+    auto parsed = JsonValue::Parse(doc);
+    ASSERT_TRUE(parsed.ok()) << doc << ": " << parsed.status().message();
+    std::string dumped = parsed.value().Dump();
+    auto again = JsonValue::Parse(dumped);
+    ASSERT_TRUE(again.ok()) << dumped;
+    EXPECT_EQ(again.value().Dump(), dumped) << doc;
+  }
+}
+
+TEST(JsonTest, NumbersSurviveExactly) {
+  auto parsed = JsonValue::Parse("[0.1,1e-7,123456789012345,2.5]");
+  ASSERT_TRUE(parsed.ok());
+  const auto& items = parsed.value().items();
+  ASSERT_EQ(items.size(), 4u);
+  EXPECT_EQ(items[0].number(), 0.1);
+  EXPECT_EQ(items[1].number(), 1e-7);
+  EXPECT_EQ(items[2].number(), 123456789012345.0);
+  auto back = JsonValue::Parse(parsed.value().Dump());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().items()[1].number(), 1e-7);
+}
+
+TEST(JsonTest, StrictParserRejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",      "{",           "[1,]",       "{\"a\":1,\"a\":2}",
+      "01",    "1 trailing",  "\"\\q\"",    "\"unterminated",
+      "nul",   "{\"a\" 1}",   "[1 2]",      "\"\x01\"",
+  };
+  for (const char* doc : bad) {
+    EXPECT_FALSE(JsonValue::Parse(doc).ok()) << doc;
+  }
+}
+
+TEST(JsonTest, DepthCapStopsAdversarialNesting) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+}
+
+TEST(JsonTest, UnicodeEscapesDecodeToUtf8) {
+  auto parsed = JsonValue::Parse("\"\\u00e9\\ud83d\\ude00\"");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().str(), "\xc3\xa9\xf0\x9f\x98\x80");
+  // A lone surrogate half is not a code point.
+  EXPECT_FALSE(JsonValue::Parse("\"\\ud83d\"").ok());
+}
+
+TEST(JsonTest, ObjectAccessors) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("a", JsonValue::Number(1));
+  obj.Set("b", JsonValue::Str("x"));
+  obj.Set("a", JsonValue::Number(2));  // replace, not duplicate
+  ASSERT_EQ(obj.members().size(), 2u);
+  ASSERT_NE(obj.Find("a"), nullptr);
+  EXPECT_EQ(obj.Find("a")->number(), 2.0);
+  EXPECT_EQ(obj.Find("missing"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Routing core (in-process: SubdexServer::Handle, no sockets)
+
+HttpRequest MakeRequest(const std::string& method, const std::string& target,
+                        const std::string& body = "") {
+  HttpRequest request;
+  request.method = method;
+  request.target = target;
+  request.body = body;
+  return request;
+}
+
+/// Scrapes `name value` from Prometheus exposition text; -1 when absent.
+double ScrapeCounter(const std::string& text, const std::string& name) {
+  size_t pos = text.find("\n" + name + " ");
+  if (pos == std::string::npos) return -1;
+  return std::stod(text.substr(pos + name.size() + 2));
+}
+
+class ServerApiTest : public ::testing::Test {
+ protected:
+  ServerApiTest() : server_(MakeOptions()) {
+    Status status = server_.RegisterDataset(
+        "tiny", testing_support::MakeTinyRestaurantDb());
+    SUBDEX_CHECK_OK(status);
+  }
+
+  static SubdexServer::Options MakeOptions() {
+    SubdexServer::Options options;
+    options.sessions.max_sessions = 4;
+    // The tiny db has 12 ratings; without this no candidate operation
+    // survives the default min_group_size and recommendations are empty.
+    options.engine.min_group_size = 1;
+    return options;
+  }
+
+  HttpResponse Call(const std::string& method, const std::string& target,
+                    const std::string& body = "") {
+    return server_.Handle(MakeRequest(method, target, body), token_);
+  }
+
+  /// Parses a response body that must be a JSON object.
+  JsonValue Body(const HttpResponse& response) {
+    auto parsed = JsonValue::Parse(response.body);
+    SUBDEX_CHECK_OK(parsed.status());
+    return parsed.value();
+  }
+
+  std::string CreateSession(const std::string& body = "{}") {
+    HttpResponse response = Call("POST", "/sessions", body);
+    SUBDEX_CHECK_MSG(response.status == 201, "create failed");
+    return Body(response).Find("session_id")->str();
+  }
+
+  SubdexServer server_;
+  CancellationToken token_;
+};
+
+TEST_F(ServerApiTest, LifecycleCreateStepResetDelete) {
+  HttpResponse created = Call("POST", "/sessions", "{\"ttl_ms\":60000}");
+  ASSERT_EQ(created.status, 201) << created.body;
+  JsonValue meta = Body(created);
+  ASSERT_NE(meta.Find("session_id"), nullptr);
+  const std::string id = meta.Find("session_id")->str();
+  EXPECT_EQ(meta.Find("dataset")->str(), "tiny");
+  EXPECT_EQ(meta.Find("ttl_ms")->number(), 60000.0);
+  EXPECT_EQ(meta.Find("num_records")->number(), 12.0);
+
+  // Step with an explicit reviewer query.
+  HttpResponse step = Call("POST", "/sessions/" + id + "/step",
+                           "{\"reviewers\":\"gender = F\"}");
+  ASSERT_EQ(step.status, 200) << step.body;
+  JsonValue result = Body(step);
+  EXPECT_EQ(result.Find("selection")->Find("reviewers")->str(),
+            "gender = F");
+  EXPECT_GT(result.Find("group_size")->number(), 0.0);
+  EXPECT_FALSE(result.Find("degraded")->bool_value());
+  EXPECT_EQ(result.Find("cut_phase")->str(), "none");
+  ASSERT_FALSE(result.Find("maps")->items().empty());
+  const JsonValue& map = result.Find("maps")->items()[0];
+  EXPECT_FALSE(map.Find("subgroups")->items().empty());
+  ASSERT_FALSE(result.Find("recommendations")->items().empty());
+
+  // Follow recommendation 0: the target selection comes from the engine.
+  HttpResponse followed = Call("POST", "/sessions/" + id + "/step",
+                               "{\"recommendation\":0}");
+  ASSERT_EQ(followed.status, 200) << followed.body;
+
+  // Reset wipes the history, so a recommendation index has no referent.
+  EXPECT_EQ(Call("POST", "/sessions/" + id + "/reset").status, 200);
+  EXPECT_EQ(Call("POST", "/sessions/" + id + "/step",
+                 "{\"recommendation\":0}")
+                .status,
+            400);
+
+  EXPECT_EQ(Call("DELETE", "/sessions/" + id).status, 200);
+  EXPECT_EQ(Call("POST", "/sessions/" + id + "/step").status, 404);
+  EXPECT_EQ(server_.sessions().ActiveCount(), 0u);
+}
+
+TEST_F(ServerApiTest, BadRequestsAreRejectedWithUsefulErrors) {
+  const std::string id = CreateSession();
+  struct Case {
+    const char* name;
+    HttpResponse response;
+    int expected_status;
+  };
+  const Case cases[] = {
+      {"invalid JSON body", Call("POST", "/sessions", "{nope"), 400},
+      {"non-object body", Call("POST", "/sessions", "[1]"), 400},
+      {"unknown route", Call("GET", "/nope"), 404},
+      {"wrong method on /sessions", Call("GET", "/sessions"), 405},
+      {"wrong method on /metrics", Call("POST", "/metrics"), 405},
+      {"unknown session", Call("POST", "/sessions/s0-nope/step"), 404},
+      {"unknown session action", Call("POST", "/sessions/" + id + "/warp"),
+       404},
+      {"unknown dataset", Call("POST", "/sessions", "{\"dataset\":\"x\"}"),
+       404},
+      {"bad query grammar",
+       Call("POST", "/sessions/" + id + "/step",
+            "{\"reviewers\":\"gender ==\"}"),
+       400},
+      {"unknown predicate value",
+       Call("POST", "/sessions/" + id + "/step",
+            "{\"reviewers\":\"gender = X\"}"),
+       400},
+      {"recommendation plus query",
+       Call("POST", "/sessions/" + id + "/step",
+            "{\"recommendation\":0,\"items\":\"\"}"),
+       400},
+      {"recommendation out of range",
+       Call("POST", "/sessions/" + id + "/step", "{\"recommendation\":99}"),
+       400},
+      {"negative deadline",
+       Call("POST", "/sessions/" + id + "/step", "{\"deadline_ms\":-5}"),
+       400},
+      {"unknown config knob",
+       Call("POST", "/sessions", "{\"config\":{\"warp\":9}}"), 400},
+      {"num_threads over cap",
+       Call("POST", "/sessions", "{\"config\":{\"num_threads\":64}}"), 400},
+      {"zero k", Call("POST", "/sessions", "{\"config\":{\"k\":0}}"), 400},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(c.response.status, c.expected_status) << c.name;
+    JsonValue body = Body(c.response);
+    ASSERT_NE(body.Find("error"), nullptr) << c.name;
+    EXPECT_FALSE(body.Find("error")->str().empty()) << c.name;
+  }
+  // None of the rejects leaked a session.
+  EXPECT_EQ(server_.sessions().ActiveCount(), 1u);
+}
+
+TEST_F(ServerApiTest, ReadOnlyQueryParsingNeverGrowsSharedDictionaries) {
+  const std::string id = CreateSession();
+  // An unseen value must 400, not intern into the shared dataset: a second
+  // lookup still reports it unknown (interning would make it match-nothing
+  // instead, and mutate a table other sessions are scanning).
+  for (int i = 0; i < 2; ++i) {
+    HttpResponse response = Call("POST", "/sessions/" + id + "/step",
+                                 "{\"items\":\"city = atlantis\"}");
+    ASSERT_EQ(response.status, 400);
+    EXPECT_NE(Body(response).Find("error")->str().find("atlantis"),
+              std::string::npos);
+  }
+}
+
+TEST_F(ServerApiTest, SessionCapAnswers429WithRetryAfter) {
+  for (size_t i = 0; i < 4; ++i) {
+    // Discard justified: filling the cap; ids are not needed.
+    (void)CreateSession();
+  }
+  HttpResponse shed = Call("POST", "/sessions");
+  EXPECT_EQ(shed.status, 429) << shed.body;
+  bool has_retry_after = false;
+  for (const auto& [name, value] : shed.extra_headers) {
+    // Discard justified: presence of the header is the contract under
+    // test; its advisory value is configuration.
+    (void)value;
+    if (name == "Retry-After") has_retry_after = true;
+  }
+  EXPECT_TRUE(has_retry_after);
+}
+
+TEST_F(ServerApiTest, TtlExpiryReapsIdleSessions) {
+  const std::string id = CreateSession("{\"ttl_ms\":1}");
+  EXPECT_EQ(server_.sessions().ActiveCount(), 1u);
+  std::this_thread::sleep_for(milliseconds(50));
+  EXPECT_EQ(server_.sessions().ReapExpired(), 1u);
+  EXPECT_EQ(server_.sessions().ActiveCount(), 0u);
+  EXPECT_EQ(Call("POST", "/sessions/" + id + "/step").status, 404);
+  double reaped = ScrapeCounter(Call("GET", "/metrics").body,
+                                "subdex_server_sessions_reaped_total");
+  EXPECT_GE(reaped, 1.0);
+}
+
+TEST_F(ServerApiTest, ExpiredSessionIsLazilyReapedWithoutTheReaper) {
+  const std::string id = CreateSession("{\"ttl_ms\":1}");
+  std::this_thread::sleep_for(milliseconds(50));
+  // No ReapExpired call: Acquire itself must observe the expiry.
+  EXPECT_EQ(Call("POST", "/sessions/" + id + "/step").status, 404);
+  EXPECT_EQ(server_.sessions().ActiveCount(), 0u);
+}
+
+TEST_F(ServerApiTest, ExpiredDeadlineReturnsValidDegradedResult) {
+  const std::string id = CreateSession();
+  double before = ScrapeCounter(Call("GET", "/metrics").body,
+                                "subdex_engine_degraded_steps_total");
+  // 1 microsecond: expired by the time the engine checks, so the step
+  // must degrade (anytime semantics), not fail or hang.
+  HttpResponse step =
+      Call("POST", "/sessions/" + id + "/step", "{\"deadline_ms\":0.001}");
+  ASSERT_EQ(step.status, 200) << step.body;
+  JsonValue result = Body(step);
+  EXPECT_TRUE(result.Find("degraded")->bool_value());
+  EXPECT_FALSE(result.Find("cancelled")->bool_value());
+  EXPECT_NE(result.Find("cut_phase")->str(), "none");
+  double after = ScrapeCounter(Call("GET", "/metrics").body,
+                               "subdex_engine_degraded_steps_total");
+  EXPECT_GE(after, before + 1.0);
+}
+
+TEST_F(ServerApiTest, MetricsAndHealthz) {
+  const std::string id = CreateSession();
+  EXPECT_EQ(Call("POST", "/sessions/" + id + "/step").status, 200);
+
+  HttpResponse metrics = Call("GET", "/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_EQ(metrics.content_type, "text/plain; version=0.0.4");
+  EXPECT_GE(ScrapeCounter(metrics.body, "subdex_server_steps_total"), 1.0);
+  EXPECT_GE(
+      ScrapeCounter(metrics.body, "subdex_server_sessions_created_total"),
+      1.0);
+
+  HttpResponse healthz = Call("GET", "/healthz");
+  ASSERT_EQ(healthz.status, 200);
+  JsonValue body = Body(healthz);
+  EXPECT_EQ(body.Find("status")->str(), "ok");
+  EXPECT_EQ(body.Find("sessions")->number(), 1.0);
+  ASSERT_EQ(body.Find("datasets")->items().size(), 1u);
+  EXPECT_EQ(body.Find("datasets")->items()[0].str(), "tiny");
+}
+
+TEST_F(ServerApiTest, ConfigOverridesShapeTheSessionEngine) {
+  HttpResponse created = Call(
+      "POST", "/sessions",
+      "{\"config\":{\"k\":2,\"o\":1,\"num_phases\":2,\"seed\":7}}");
+  ASSERT_EQ(created.status, 201) << created.body;
+  const std::string id = Body(created).Find("session_id")->str();
+  HttpResponse step = Call("POST", "/sessions/" + id + "/step");
+  ASSERT_EQ(step.status, 200);
+  JsonValue result = Body(step);
+  EXPECT_LE(result.Find("maps")->items().size(), 2u);
+  EXPECT_LE(result.Find("recommendations")->items().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// HTTP front end over real sockets
+
+struct RawResponse {
+  int status = 0;
+  std::string head;
+  std::string body;
+};
+
+/// Sends raw bytes to 127.0.0.1:port and reads until the server closes
+/// (one response per connection). status == 0 signals a transport failure.
+RawResponse SendRaw(uint16_t port, const std::string& payload) {
+  RawResponse out;
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return out;
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    close(fd);
+    return out;
+  }
+  size_t sent = 0;
+  while (sent < payload.size()) {
+    ssize_t n = send(fd, payload.data() + sent, payload.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string text;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    text.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  if (text.rfind("HTTP/1.1 ", 0) == 0 && text.size() > 12) {
+    out.status = std::stoi(text.substr(9, 3));
+  }
+  size_t split = text.find("\r\n\r\n");
+  if (split != std::string::npos) {
+    out.head = text.substr(0, split);
+    out.body = text.substr(split + 4);
+  }
+  return out;
+}
+
+RawResponse Fetch(uint16_t port, const std::string& method,
+                  const std::string& target, const std::string& body = "") {
+  return SendRaw(port, method + " " + target +
+                           " HTTP/1.1\r\nHost: test\r\nContent-Length: " +
+                           std::to_string(body.size()) + "\r\n\r\n" + body);
+}
+
+TEST(HttpServerTest, QueueFullShedsImmediately) {
+  std::atomic<int> entered{0};
+  std::atomic<bool> release{false};
+  HttpServer::Options options;
+  options.num_workers = 1;
+  options.queue_capacity = 1;
+  HttpServer server(options, [&](const HttpRequest&,
+                                 const CancellationToken&) {
+    entered.fetch_add(1);
+    while (!release.load()) std::this_thread::sleep_for(milliseconds(1));
+    return HttpResponse::Json(200, "{}");
+  });
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+
+  // First request occupies the only worker; second fills the queue.
+  RawResponse first_response, second_response;
+  std::thread first([&] { first_response = Fetch(port, "GET", "/a"); });
+  while (entered.load() == 0) std::this_thread::sleep_for(milliseconds(1));
+  std::thread second([&] { second_response = Fetch(port, "GET", "/b"); });
+  // The acceptor is unblocked, so the second connection reaches the queue
+  // quickly; give it a moment before probing.
+  std::this_thread::sleep_for(milliseconds(200));
+
+  RawResponse shed = Fetch(port, "GET", "/c");
+  EXPECT_EQ(shed.status, 429) << shed.head;
+  EXPECT_NE(shed.head.find("Retry-After:"), std::string::npos);
+
+  release.store(true);
+  first.join();
+  second.join();
+  EXPECT_EQ(first_response.status, 200);
+  EXPECT_EQ(second_response.status, 200);
+  server.Stop();
+}
+
+TEST(HttpServerTest, ClientDisconnectTripsCancellationToken) {
+  std::atomic<bool> tripped{false};
+  std::atomic<bool> finished{false};
+  HttpServer::Options options;
+  HttpServer server(
+      options, [&](const HttpRequest&, const CancellationToken& disconnect) {
+        for (int i = 0; i < 400; ++i) {  // up to ~2s
+          if (disconnect.cancelled()) {
+            tripped.store(true);
+            break;
+          }
+          std::this_thread::sleep_for(milliseconds(5));
+        }
+        finished.store(true);
+        return HttpResponse::Json(200, "{}");
+      });
+  ASSERT_TRUE(server.Start().ok());
+
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(
+      connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string request =
+      "GET /slow HTTP/1.1\r\nHost: test\r\nContent-Length: 0\r\n\r\n";
+  ASSERT_EQ(send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  // Hang up while the handler is running.
+  std::this_thread::sleep_for(milliseconds(100));
+  close(fd);
+
+  while (!finished.load()) std::this_thread::sleep_for(milliseconds(5));
+  EXPECT_TRUE(tripped.load());
+  server.Stop();
+}
+
+TEST(HttpServerTest, MalformedAndOversizedRequestsAreRejected) {
+  HttpServer::Options options;
+  options.max_body_bytes = 64;
+  HttpServer server(options,
+                    [](const HttpRequest&, const CancellationToken&) {
+                      return HttpResponse::Json(200, "{}");
+                    });
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+  EXPECT_EQ(SendRaw(port, "NOT AN HTTP LINE\r\n\r\n").status, 400);
+  EXPECT_EQ(Fetch(port, "POST", "/x", std::string(256, 'a')).status, 413);
+  EXPECT_EQ(Fetch(port, "GET", "/ok").status, 200);
+  server.Stop();
+}
+
+class ServerHttpTest : public ::testing::Test {
+ protected:
+  ServerHttpTest() : server_(MakeOptions()) {
+    Status status = server_.RegisterDataset(
+        "tiny", testing_support::MakeTinyRestaurantDb());
+    SUBDEX_CHECK_OK(status);
+    SUBDEX_CHECK_OK(server_.Start());
+  }
+
+  static SubdexServer::Options MakeOptions() {
+    SubdexServer::Options options;
+    options.http.num_workers = 8;
+    options.http.queue_capacity = 128;
+    options.sessions.max_sessions = 128;
+    options.engine.min_group_size = 1;
+    return options;
+  }
+
+  SubdexServer server_;
+};
+
+TEST_F(ServerHttpTest, LifecycleOverRealSockets) {
+  const uint16_t port = server_.port();
+  RawResponse health = Fetch(port, "GET", "/healthz");
+  ASSERT_EQ(health.status, 200) << health.body;
+
+  RawResponse created = Fetch(port, "POST", "/sessions", "{}");
+  ASSERT_EQ(created.status, 201) << created.body;
+  auto meta = JsonValue::Parse(created.body);
+  ASSERT_TRUE(meta.ok());
+  const std::string id = meta.value().Find("session_id")->str();
+
+  RawResponse step = Fetch(port, "POST", "/sessions/" + id + "/step",
+                           "{\"reviewers\":\"gender = F\"}");
+  ASSERT_EQ(step.status, 200) << step.body;
+  auto result = JsonValue::Parse(step.body);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().Find("group_size")->number(), 0.0);
+
+  RawResponse metrics = Fetch(port, "GET", "/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_GE(ScrapeCounter(metrics.body, "subdex_server_requests_total"), 3.0);
+
+  EXPECT_EQ(Fetch(port, "DELETE", "/sessions/" + id).status, 200);
+  EXPECT_EQ(server_.sessions().ActiveCount(), 0u);
+}
+
+TEST_F(ServerHttpTest, SixtyFourConcurrentSessionsSurviveTheStorm) {
+  constexpr int kThreads = 8;
+  constexpr int kSessionsPerThread = 8;
+  const uint16_t port = server_.port();
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([port, &failures] {
+      for (int i = 0; i < kSessionsPerThread; ++i) {
+        RawResponse created = Fetch(port, "POST", "/sessions", "{}");
+        if (created.status != 201) {
+          failures.fetch_add(1);
+          continue;
+        }
+        auto meta = JsonValue::Parse(created.body);
+        if (!meta.ok() || meta.value().Find("session_id") == nullptr) {
+          failures.fetch_add(1);
+          continue;
+        }
+        const std::string id = meta.value().Find("session_id")->str();
+        if (Fetch(port, "POST", "/sessions/" + id + "/step", "{}").status !=
+            200) {
+          failures.fetch_add(1);
+        }
+        if (Fetch(port, "POST", "/sessions/" + id + "/step",
+                  "{\"reviewers\":\"gender = F\",\"deadline_ms\":5000}")
+                .status != 200) {
+          failures.fetch_add(1);
+        }
+        if (Fetch(port, "DELETE", "/sessions/" + id).status != 200) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server_.sessions().ActiveCount(), 0u);
+}
+
+}  // namespace
+}  // namespace subdex

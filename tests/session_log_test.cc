@@ -74,6 +74,70 @@ TEST(SessionLogTest, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(SessionLogTest, OpenSinkFlushClosesPreviousSinkBeforeReplacing) {
+  // Re-opening must not lose entries written through the previous sink:
+  // the old stream is flush-closed before the replacement opens.
+  auto db = MakeTinyRestaurantDb();
+  SessionLog log = RecordSession(db.get(), 0);
+  namespace fs = std::filesystem;
+  const std::string path_a = (fs::temp_directory_path() / "sink_a.log").string();
+  const std::string path_b = (fs::temp_directory_path() / "sink_b.log").string();
+
+  ASSERT_TRUE(log.OpenSink(db.get(), path_a).ok());
+  StepResult step;
+  step.group_size = 7;
+  ASSERT_TRUE(log.Append(step).ok());
+  ASSERT_TRUE(log.Append(step).ok());
+
+  ASSERT_TRUE(log.OpenSink(db.get(), path_b).ok());
+  ASSERT_TRUE(log.Append(step).ok());
+  ASSERT_TRUE(log.CloseSink().ok());
+
+  auto restored_a = SessionLog::LoadFromFile(db.get(), path_a);
+  ASSERT_TRUE(restored_a.ok()) << restored_a.status().ToString();
+  EXPECT_EQ(restored_a.value().size(), 2u);
+  auto restored_b = SessionLog::LoadFromFile(db.get(), path_b);
+  ASSERT_TRUE(restored_b.ok()) << restored_b.status().ToString();
+  EXPECT_EQ(restored_b.value().size(), 1u);
+  fs::remove(path_a);
+  fs::remove(path_b);
+}
+
+TEST(SessionLogTest, OpenSinkSurfacesPreviousSinkCloseError) {
+  // Regression: OpenSink used to discard the old stream without checking
+  // it, so entries still buffered in a failing sink (disk full) vanished
+  // with no error anywhere. The close error must surface in the returned
+  // Status — while the new sink still opens, so logging continues.
+  if (!std::filesystem::exists("/dev/full")) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  auto db = MakeTinyRestaurantDb();
+  SessionLog log = RecordSession(db.get(), 0);
+  ASSERT_TRUE(log.OpenSink(db.get(), "/dev/full").ok());
+  StepResult step;
+  step.group_size = 3;
+  // The write-through flush fails (ENOSPC); Append reports it and the
+  // unflushed bytes stay buffered in the old sink.
+  Status append = log.Append(step);
+  EXPECT_FALSE(append.ok());
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sink_after_full.log")
+          .string();
+  Status reopen = log.OpenSink(db.get(), path);
+  EXPECT_FALSE(reopen.ok());
+  EXPECT_EQ(reopen.code(), StatusCode::kIoError);
+  // The replacement sink is open and functional despite the old sink's
+  // close failure.
+  EXPECT_TRUE(log.has_sink());
+  ASSERT_TRUE(log.Append(step).ok());
+  ASSERT_TRUE(log.CloseSink().ok());
+  auto restored = SessionLog::LoadFromFile(db.get(), path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value().size(), 1u);
+  std::filesystem::remove(path);
+}
+
 TEST(SessionLogTest, DeserializeRejectsGarbage) {
   auto db = MakeTinyRestaurantDb();
   EXPECT_FALSE(SessionLog::Deserialize(db.get(), "bogus line\n").ok());

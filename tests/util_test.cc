@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <set>
 #include <stdexcept>
@@ -457,6 +458,45 @@ TEST(DeadlineTest, ShortDeadlineEventuallyExpires) {
     std::this_thread::yield();
   }
   EXPECT_TRUE(d.expired());  // sticky once reached
+}
+
+TEST(DeadlineTest, FromNowMsHugeBudgetClampsToUnlimited) {
+  // Regression: a budget too large for steady_clock::duration (a client
+  // sending deadline_ms = 1e18) used to overflow in the duration cast and
+  // wrap to an already-expired deadline — the opposite of what was asked.
+  for (double ms : {1e15, 1e18, 1e300,
+                    std::numeric_limits<double>::max(),
+                    std::numeric_limits<double>::infinity()}) {
+    Deadline d = Deadline::FromNowMs(ms);
+    EXPECT_FALSE(d.expired()) << "ms=" << ms;
+    EXPECT_GT(d.remaining_ms(), 1e12) << "ms=" << ms;
+  }
+}
+
+TEST(DeadlineTest, FromNowMsRepresentableBudgetStaysFinite) {
+  // A large-but-representable budget must not be rounded up to unlimited:
+  // one year is a fine deadline.
+  Deadline year = Deadline::FromNowMs(365.0 * 24 * 3600 * 1000);
+  EXPECT_FALSE(year.unlimited());
+  EXPECT_FALSE(year.expired());
+  EXPECT_FALSE(std::isinf(year.remaining_ms()));
+}
+
+TEST(DeadlineTest, FromNowMsNaNIsExpired) {
+  // NaN is not a budget; the valid-expired contract (like non-positive
+  // values) beats UB in the float-to-duration cast.
+  Deadline d = Deadline::FromNowMs(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_FALSE(d.unlimited());
+  EXPECT_TRUE(d.expired());
+  EXPECT_LE(d.remaining_ms(), 0.0);
+}
+
+TEST(DeadlineTest, FromNowMsNegativeExtremesAreExpiredNotWrapped) {
+  for (double ms : {-1e18, -std::numeric_limits<double>::infinity()}) {
+    Deadline d = Deadline::FromNowMs(ms);
+    EXPECT_TRUE(d.expired()) << "ms=" << ms;
+    EXPECT_LE(d.remaining_ms(), 0.0) << "ms=" << ms;
+  }
 }
 
 // --------------------------------------------------- CancellationToken ---
