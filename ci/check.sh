@@ -3,34 +3,46 @@
 #
 #   1. ci/lint.sh                 — textual rules (no raw new/delete, no
 #                                   assert(), include guards, justified
-#                                   discards, metric-name pattern) plus
+#                                   discards, metric-name pattern, no raw
+#                                   std::mutex outside util/mutex.h) plus
 #                                   the header self-sufficiency compile
-#   2. ci/analyze.sh              — whole-program static analysis (Clang
+#   2. ci/concurrency_lint.sh     — the lock-discipline lint pack: raw
+#                                   primitives/waits, unnamed Mutexes,
+#                                   blocking syscalls under a lock in
+#                                   src/server/, unlooped cv waits; ends
+#                                   with a seeded-violation self-test
+#   3. ci/analyze.sh              — whole-program static analysis (Clang
 #                                   Static Analyzer when installed, GCC
 #                                   -fanalyzer otherwise) with an
 #                                   empty-or-justified suppression file
-#   3. -Werror build + tests      — SUBDEX_WERROR=ON, SUBDEX_FUZZ=ON, plus
+#   4. -Werror build + tests      — SUBDEX_WERROR=ON, SUBDEX_FUZZ=ON, plus
 #                                   SUBDEX_TIDY=ON when clang-tidy exists;
 #                                   also proves the [[nodiscard]] contract
 #                                   via the configure-time negative
 #                                   compile probe in tests/CMakeLists.txt
-#   4. clang thread-safety gate   — rebuild with clang++ -Wthread-safety
+#   5. clang thread-safety gate   — rebuild with clang++ -Wthread-safety
 #                                   (the annotations are no-ops under GCC),
 #                                   when clang++ exists
-#   5. fuzz smoke                 — corpus replay plus a bounded mutation
+#   6. deadlock-detector suite    — SUBDEX_DEADLOCK_DETECTOR=ON build: the
+#                                   full ctest suite with every Mutex
+#                                   acquisition routed through the
+#                                   util/lock_graph.h lock-order detector;
+#                                   any rank inversion, same-name nesting,
+#                                   or acquired-after cycle aborts a test
+#   7. fuzz smoke                 — corpus replay plus a bounded mutation
 #                                   run per harness (SUBDEX_FUZZ_RUNS,
 #                                   default 20000)
-#   6. fault injection under ASan — SUBDEX_FAULT_INJECTION=ON build; the
+#   8. fault injection under ASan — SUBDEX_FAULT_INJECTION=ON build; the
 #                                   fault-sweep test arms every registered
 #                                   fault point in turn and asserts the
 #                                   engine's invariants survive
-#   7. UBSan matrix               — ci/sanitize.sh undefined: the full
+#   9. UBSan matrix               — ci/sanitize.sh undefined: the full
 #                                   ctest suite and the fuzz-corpus replay
 #                                   with every UB class fatal
-#   8. coverage gate              — ci/coverage.sh: instrumented build,
+#  10. coverage gate              — ci/coverage.sh: instrumented build,
 #                                   gcov line coverage of src/core +
 #                                   src/pruning against a floor
-#   9. serving smoke              — ci/serve_smoke.sh: boots subdexd on a
+#  11. serving smoke              — ci/serve_smoke.sh: boots subdexd on a
 #                                   synthetic MovieLens dataset, drives a
 #                                   scripted 3-step session over HTTP,
 #                                   scrapes /metrics and /healthz, and
@@ -48,13 +60,16 @@ BUILD="${SUBDEX_CHECK_BUILD_DIR:-build-check}"
 FUZZ_RUNS="${SUBDEX_FUZZ_RUNS:-20000}"
 JOBS="$(nproc)"
 
-echo "==> [1/9] lint"
+echo "==> [1/11] lint"
 ci/lint.sh
 
-echo "==> [2/9] static analysis"
+echo "==> [2/11] concurrency lint pack"
+ci/concurrency_lint.sh
+
+echo "==> [3/11] static analysis"
 ci/analyze.sh
 
-echo "==> [3/9] -Werror build + tests"
+echo "==> [4/11] -Werror build + tests"
 TIDY=OFF
 if command -v clang-tidy >/dev/null 2>&1; then
   TIDY=ON
@@ -72,7 +87,7 @@ cmake -B "$BUILD" -S "$ROOT" \
 cmake --build "$BUILD" -j"$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j"$JOBS"
 
-echo "==> [4/9] clang thread-safety analysis"
+echo "==> [5/11] clang thread-safety analysis"
 if command -v clang++ >/dev/null 2>&1; then
   TS_BUILD="$BUILD-threadsafety"
   cmake -B "$TS_BUILD" -S "$ROOT" \
@@ -85,7 +100,20 @@ else
   echo "SKIP: clang++ not installed; thread-safety annotations not checked"
 fi
 
-echo "==> [5/9] fuzz smoke ($FUZZ_RUNS runs per harness)"
+echo "==> [6/11] deadlock-detector-armed suite"
+# Every subdex::Mutex acquisition runs the util/lock_graph.h hooks; the
+# full test suite (including the 64-session server storm) must stay
+# silent: zero rank inversions, zero same-name nestings, zero cycles.
+# SUBDEX_FORCE_DCHECK arms the invariant layer alongside, as in stage 4.
+DETECTOR_BUILD="$BUILD-detector"
+cmake -B "$DETECTOR_BUILD" -S "$ROOT" \
+  -DSUBDEX_DEADLOCK_DETECTOR=ON \
+  -DSUBDEX_WERROR=ON \
+  -DCMAKE_CXX_FLAGS="-DSUBDEX_FORCE_DCHECK=1"
+cmake --build "$DETECTOR_BUILD" -j"$JOBS"
+ctest --test-dir "$DETECTOR_BUILD" --output-on-failure -j"$JOBS"
+
+echo "==> [7/11] fuzz smoke ($FUZZ_RUNS runs per harness)"
 for harness in fuzz_query_parser fuzz_csv_loader fuzz_db_io; do
   corpus="$ROOT/fuzz/corpus/${harness#fuzz_}"
   bin="$BUILD/fuzz/$harness"
@@ -99,7 +127,7 @@ for harness in fuzz_query_parser fuzz_csv_loader fuzz_db_io; do
   "$bin" --runs="$FUZZ_RUNS" --seed=1 "$corpus"
 done
 
-echo "==> [6/9] fault injection under ASan"
+echo "==> [8/11] fault injection under ASan"
 FAULT_BUILD="$BUILD-fault"
 cmake -B "$FAULT_BUILD" -S "$ROOT" \
   -DSUBDEX_FAULT_INJECTION=ON \
@@ -117,13 +145,13 @@ for t in fault_injection_test engine_robustness_test; do
   "$bin"
 done
 
-echo "==> [7/9] UBSan matrix (full suite + corpus replay)"
+echo "==> [9/11] UBSan matrix (full suite + corpus replay)"
 ci/sanitize.sh undefined
 
-echo "==> [8/9] coverage gate"
+echo "==> [10/11] coverage gate"
 SUBDEX_COVERAGE_BUILD_DIR="$BUILD-coverage" ci/coverage.sh
 
-echo "==> [9/9] serving smoke (subdexd end-to-end)"
+echo "==> [11/11] serving smoke (subdexd end-to-end)"
 SUBDEX_SMOKE_BUILD_DIR="$BUILD" ci/serve_smoke.sh
 
 echo "check: OK"

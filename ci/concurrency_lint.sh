@@ -1,0 +1,281 @@
+#!/usr/bin/env bash
+# Concurrency lint pack (ci/check.sh stage 2) — the lock-discipline rules
+# that are about *shape*, not runtime behaviour (the runtime side is the
+# util/lock_graph.h detector and TSan detect_deadlocks; see DESIGN.md §12):
+#
+#   C1  No raw std synchronization primitives (std::mutex, lock_guard,
+#       unique_lock, scoped_lock, ...) and no raw condition-variable
+#       .wait()/.wait_for()/.wait_until() calls anywhere in src/ outside
+#       src/util/mutex.h. subdex::Mutex/MutexLock carry the thread-safety
+#       annotations and the deadlock-detector hooks; raw primitives and
+#       raw waits bypass both.
+#   C2  Every subdex::Mutex member is NAMED at construction: the declaration
+#       carries a brace initializer whose first argument is a string
+#       literal ({"subsystem.lock", lock_rank::k...}). Unnamed mutexes are
+#       invisible in detector reports and unplaceable in the hierarchy.
+#   C3  No blocking syscall (read/write/poll/select/accept/connect/
+#       recv*/send*) inside a MutexLock scope in src/server/ — a peer that
+#       stalls the syscall would hold the lock for the whole stall. A
+#       genuinely non-blocking use (poll with timeout 0) is suppressed
+#       with a `lock-lint: nonblocking` comment on the line or within the
+#       three lines above, which doubles as the justification.
+#   C4  Every cv wait loops: a .WaitOnce()/.WaitOnceFor() call has a
+#       while/for loop head on the same line or within the six lines
+#       above (spurious wakeups make an unlooped wait a race), or a
+#       `lock-lint: looped` comment when the loop is structured unusually.
+#
+# The text rules above are authoritative and run everywhere. When
+# clang-query is installed, an AST pass (ci/concurrency_matchers.query)
+# re-checks C1 structurally as well; when it is missing the pass degrades
+# to a loud SKIP, matching the repo's clang-only-gate policy.
+#
+# The script ends with a self-test: scratch trees seeded with one
+# violation per rule must FAIL the corresponding check (so a silently
+# broken grep can't turn the stage green), and a clean scratch tree must
+# pass. This is the "negative probe" of the PR 7 acceptance criteria.
+set -uo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+fail=0
+
+# ---------------------------------------------------------------------------
+# C1: raw primitives and raw waits. $1 = tree to scan, $2 = allowlisted
+# file (relative to the tree) that may name them.
+check_raw_primitives() {
+  local dir="$1" allow="${2:-}" bad=0 f hits
+  while IFS= read -r f; do
+    if [[ -n "$allow" && "${f#"$dir"/}" == "$allow" ]]; then continue; fi
+    hits=$(sed 's@//.*@@' "$f" \
+           | grep -nE 'std::(mutex|timed_mutex|recursive_mutex|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|condition_variable_any)\b|[.>]wait(_for|_until)?[[:space:]]*\(' \
+           || true)
+    if [[ -n "$hits" ]]; then
+      echo "concurrency-lint C1: raw std primitive or raw cv wait in $f" \
+           "(use subdex::Mutex / MutexLock::WaitOnce*):" >&2
+      echo "$hits" >&2
+      bad=1
+    fi
+  done < <(find "$dir" -name '*.cc' -o -name '*.h')
+  return "$bad"
+}
+
+# ---------------------------------------------------------------------------
+# C2: every Mutex member declaration starts its brace initializer with a
+# string-literal name. Multi-line initializers are flagged on purpose —
+# the name belongs on the declaration line, where this lint can see it.
+check_named_mutexes() {
+  local dir="$1" bad=0 f hits
+  while IFS= read -r f; do
+    hits=$(sed 's@//.*@@' "$f" \
+           | grep -nE '(^|[^A-Za-z_:])Mutex[[:space:]]+[A-Za-z_][A-Za-z0-9_]*[[:space:]]*($|;|=|\{)' \
+           | grep -vE 'Mutex[[:space:]]+[A-Za-z_][A-Za-z0-9_]*[[:space:]]*\{[[:space:]]*"' \
+           || true)
+    if [[ -n "$hits" ]]; then
+      echo "concurrency-lint C2: Mutex member without a literal name in $f" \
+           '(declare as: Mutex mu_{"subsystem.lock", lock_rank::k...};):' >&2
+      echo "$hits" >&2
+      bad=1
+    fi
+  done < <(find "$dir" -name '*.cc' -o -name '*.h')
+  return "$bad"
+}
+
+# ---------------------------------------------------------------------------
+# C3: blocking syscalls under a MutexLock in server code. Brace-depth scope
+# tracking: a MutexLock declared at depth d guards everything until depth
+# drops below d. String literals are blanked before brace counting so JSON
+# bodies ("{}") don't skew the depth.
+check_no_blocking_syscall_under_lock() {
+  local dir="$1" bad=0 f out
+  while IFS= read -r f; do
+    out=$(awk '
+      {
+        hist[NR] = $0
+        line = $0
+        sub(/\/\/.*/, "", line)
+        gsub(/"[^"]*"/, "\"\"", line)
+        if (locks > 0 &&
+            line ~ /::(read|write|poll|ppoll|select|accept4?|connect|recvfrom|recvmsg|recv|sendto|sendmsg|send)[[:space:]]*\(/) {
+          ok = 0
+          for (i = NR; i >= NR - 3 && i >= 1; --i) {
+            if (hist[i] ~ /lock-lint: nonblocking/) ok = 1
+          }
+          if (!ok) {
+            printf "%s:%d: blocking syscall inside a MutexLock scope\n",
+                   FILENAME, NR
+            bad = 1
+          }
+        }
+        decl = (line ~ /MutexLock[[:space:]]+[A-Za-z_][A-Za-z0-9_]*[[:space:]]*\(/)
+        n = length(line)
+        for (c = 1; c <= n; ++c) {
+          ch = substr(line, c, 1)
+          if (ch == "{") {
+            depth++
+          } else if (ch == "}") {
+            depth--
+            while (locks > 0 && lockdepth[locks] > depth) locks--
+          }
+        }
+        if (decl) { locks++; lockdepth[locks] = depth }
+      }
+      END { exit bad }
+    ' "$f") || {
+      echo "concurrency-lint C3: $f holds a lock across a blocking" \
+           "syscall (suppress a non-blocking use with a" \
+           "'lock-lint: nonblocking' comment):" >&2
+      echo "$out" >&2
+      bad=1
+    }
+  done < <(find "$dir" -name '*.cc')
+  return "$bad"
+}
+
+# ---------------------------------------------------------------------------
+# C4: cv waits loop on their predicate.
+check_looped_waits() {
+  local dir="$1" allow="${2:-}" bad=0 f out
+  while IFS= read -r f; do
+    if [[ -n "$allow" && "${f#"$dir"/}" == "$allow" ]]; then continue; fi
+    out=$(awk '
+      {
+        hist[NR] = $0
+        line = $0
+        sub(/\/\/.*/, "", line)
+        if (line ~ /\.WaitOnce(For)?[[:space:]]*\(/) {
+          ok = 0
+          for (i = NR; i >= NR - 6 && i >= 1; --i) {
+            if (hist[i] ~ /(while|for)[[:space:]]*\(/) ok = 1
+            if (hist[i] ~ /lock-lint: looped/) ok = 1
+          }
+          if (!ok) {
+            printf "%s:%d: WaitOnce outside a predicate loop\n", FILENAME, NR
+            bad = 1
+          }
+        }
+      }
+      END { exit bad }
+    ' "$f") || {
+      echo "concurrency-lint C4: $f waits without looping on the" \
+           "predicate (wrap in while (...) / for (;;), or mark a" \
+           "structured loop with 'lock-lint: looped'):" >&2
+      echo "$out" >&2
+      bad=1
+    }
+  done < <(find "$dir" -name '*.cc' -o -name '*.h')
+  return "$bad"
+}
+
+# ---------------------------------------------------------------------------
+# Run the rules over the real tree.
+echo "--- C1: raw primitives / raw waits (src/, allowlist: util/mutex.h)"
+check_raw_primitives "src" "util/mutex.h" || fail=1
+echo "--- C2: every Mutex named at construction (src/)"
+check_named_mutexes "src" || fail=1
+echo "--- C3: no blocking syscall under a MutexLock (src/server/)"
+check_no_blocking_syscall_under_lock "src/server" || fail=1
+echo "--- C4: cv waits loop on their predicate (src/)"
+check_looped_waits "src" "util/mutex.h" || fail=1
+
+# ---------------------------------------------------------------------------
+# AST pass (structural re-check of C1) when clang-query is available.
+if command -v clang-query >/dev/null 2>&1; then
+  echo "--- AST pass (clang-query)"
+  ast_log="$(mktemp)"
+  for f in $(find src -name '*.cc' | grep -v 'src/util/mutex'); do
+    clang-query -f ci/concurrency_matchers.query "$f" -- \
+      -std=c++20 -Isrc 2>/dev/null
+  done > "$ast_log" || true
+  if grep -q "Match #" "$ast_log"; then
+    echo "concurrency-lint AST: raw synchronization primitive found:" >&2
+    grep -B2 "Match #" "$ast_log" >&2
+    fail=1
+  fi
+  rm -f "$ast_log"
+else
+  echo "SKIP: clang-query not installed; text rules above are authoritative"
+fi
+
+# ---------------------------------------------------------------------------
+# Self-test: each rule must flag a seeded violation and pass a clean file.
+echo "--- self-test (seeded violations must fail, clean tree must pass)"
+scratch="$(mktemp -d)"
+trap 'rm -rf "$scratch"' EXIT
+
+mkdir -p "$scratch/bad_c1" "$scratch/bad_c2" "$scratch/bad_c3" \
+         "$scratch/bad_c4" "$scratch/clean"
+
+# The acceptance-criteria negative probe: a raw std::mutex in a scratch TU.
+cat > "$scratch/bad_c1/raw.cc" <<'EOF'
+#include <mutex>
+std::mutex raw_mu;
+void f() { std::lock_guard<std::mutex> g(raw_mu); }
+EOF
+
+cat > "$scratch/bad_c2/unnamed.h"  <<'EOF'
+#ifndef SCRATCH_UNNAMED_H_
+#define SCRATCH_UNNAMED_H_
+struct S {
+  Mutex mu;
+};
+#endif
+EOF
+
+cat > "$scratch/bad_c3/blocking.cc" <<'EOF'
+void f(int fd) {
+  MutexLock lock(mu_);
+  char c;
+  ::read(fd, &c, 1);
+}
+EOF
+
+cat > "$scratch/bad_c4/unlooped.cc" <<'EOF'
+void f() {
+  MutexLock lock(mu_);
+  lock.WaitOnce(cv_);
+}
+EOF
+
+cat > "$scratch/clean/good.cc" <<'EOF'
+void f() {
+  MutexLock lock(mu_);
+  while (!done_) lock.WaitOnce(cv_);
+}
+EOF
+
+selftest_fail=0
+if check_raw_primitives "$scratch/bad_c1" 2>/dev/null; then
+  echo "concurrency-lint SELF-TEST BROKEN: C1 missed a raw std::mutex" >&2
+  selftest_fail=1
+fi
+if check_named_mutexes "$scratch/bad_c2" 2>/dev/null; then
+  echo "concurrency-lint SELF-TEST BROKEN: C2 missed an unnamed Mutex" >&2
+  selftest_fail=1
+fi
+if check_no_blocking_syscall_under_lock "$scratch/bad_c3" 2>/dev/null; then
+  echo "concurrency-lint SELF-TEST BROKEN: C3 missed a blocking read" >&2
+  selftest_fail=1
+fi
+if check_looped_waits "$scratch/bad_c4" 2>/dev/null; then
+  echo "concurrency-lint SELF-TEST BROKEN: C4 missed an unlooped wait" >&2
+  selftest_fail=1
+fi
+if ! { check_raw_primitives "$scratch/clean" &&
+       check_named_mutexes "$scratch/clean" &&
+       check_no_blocking_syscall_under_lock "$scratch/clean" &&
+       check_looped_waits "$scratch/clean"; }; then
+  echo "concurrency-lint SELF-TEST BROKEN: clean tree was flagged" >&2
+  selftest_fail=1
+fi
+if [[ "$selftest_fail" -ne 0 ]]; then
+  fail=1
+else
+  echo "self-test: OK"
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "concurrency-lint: FAILED" >&2
+  exit 1
+fi
+echo "concurrency-lint: OK"

@@ -16,6 +16,12 @@
 #      justification comment directly above the entry.
 #   7. Includes hygiene: every header in src/ is self-sufficient — a TU
 #      holding only `#include "<header>"` compiles standalone.
+#   8. No raw std synchronization primitives (std::mutex, std::lock_guard,
+#      std::unique_lock, std::scoped_lock, ...) outside src/util/mutex.h —
+#      subdex::Mutex/MutexLock carry the thread-safety annotations and the
+#      deadlock-detector hooks; a raw primitive bypasses both. The deeper
+#      concurrency rules (named construction, no blocking syscalls under a
+#      lock, looped cv waits) live in ci/concurrency_lint.sh.
 #
 # Run from anywhere; ci/check.sh runs this first (it is the fastest gate).
 set -uo pipefail
@@ -125,6 +131,24 @@ if ! find "$hygiene_dir" -name '*.cc' -print0 \
   cat "$hygiene_dir/errors.log" >&2
   fail=1
 fi
+
+# Rule 8: raw std synchronization primitives. Only src/util/mutex.h may
+# name them; everything else goes through subdex::Mutex / MutexLock so the
+# annotations and detector hooks can't be bypassed. Comments are stripped
+# first (thread_annotations.h and lock_graph.h discuss std::mutex in
+# prose, legitimately).
+while IFS= read -r src_file; do
+  [[ "$src_file" == "src/util/mutex.h" ]] && continue
+  hits=$(sed 's@//.*@@' "$src_file" \
+         | grep -nE 'std::(mutex|timed_mutex|recursive_mutex|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|condition_variable_any)\b' \
+         || true)
+  if [[ -n "$hits" ]]; then
+    echo "lint: raw std synchronization primitive outside src/util/mutex.h" \
+         "(use subdex::Mutex / MutexLock): $src_file" >&2
+    echo "$hits" >&2
+    fail=1
+  fi
+done < <(find src -name '*.cc' -o -name '*.h')
 
 if [[ "$fail" -ne 0 ]]; then
   echo "lint: FAILED" >&2

@@ -4,10 +4,18 @@
 # Usage: ci/sanitize.sh [thread|address|undefined]   (default: thread)
 #
 #   thread     ThreadSanitizer over the threading-sensitive test binaries
-#              (util, engine, group cache, robustness, server): concurrent
-#              ParallelFor batches, nested batches, single-flight
-#              group-cache materialization, and the subdexd session storm
-#              (64 concurrent HTTP sessions over sharded session state).
+#              (util, engine, group cache, robustness, server, server
+#              stress): concurrent ParallelFor batches, nested batches,
+#              single-flight group-cache materialization, the subdexd
+#              session storm (64 concurrent HTTP sessions over sharded
+#              session state), and the SessionManager churn /
+#              Stop-mid-flight stress. Runs with TSan's native deadlock
+#              detection armed (detect_deadlocks=1, second_deadlock_stack=1)
+#              so runtime lock-order inversions are caught here — the
+#              second, independent path next to the util/lock_graph.h
+#              detector, which stays UNARMED under TSan on purpose: its
+#              internal spinlock would add happens-before edges that mask
+#              the very races TSan exists to find.
 #   address    ASan + default UBSan over the same binaries, plus a replay
 #              of the committed fuzz corpora through every harness, so
 #              every past fuzzer finding stays covered under sanitizers.
@@ -31,8 +39,15 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build-$SAN"
 JOBS="$(nproc)"
 
+if [[ "$SAN" == "thread" ]]; then
+  # TSan's built-in deadlock detector: lock-order inversions abort the
+  # run, and second_deadlock_stack shows BOTH conflicting acquisition
+  # stacks. Callers can append their own options after ours.
+  export TSAN_OPTIONS="detect_deadlocks=1:second_deadlock_stack=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}"
+fi
+
 TEST_BINS=(util_test engine_test group_cache_test engine_robustness_test
-           server_test)
+           server_test server_stress_test)
 FUZZ_BINS=(fuzz_query_parser fuzz_csv_loader fuzz_db_io)
 
 # A renamed or never-built binary must fail the gate loudly, not be skipped.

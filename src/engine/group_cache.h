@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "subjective/rating_group.h"
+#include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 #include "util/status.h"
@@ -71,7 +72,7 @@ class RatingGroupCache {
   // coalesced waiter (who rethrow), so no failure mode leaves waiters
   // parked on the condition variable forever.
   struct Flight {
-    Mutex mu;
+    Mutex mu{"cache.flight", lock_rank::kGroupCacheFlight};
     std::condition_variable cv;
     bool done SUBDEX_GUARDED_BY(mu) = false;
     RatingGroup::SharedRecords records SUBDEX_GUARDED_BY(mu);
@@ -81,7 +82,7 @@ class RatingGroupCache {
   const SubjectiveDatabase* db_;
   size_t capacity_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"cache.lru", lock_rank::kGroupCacheLru};
   // MRU-first list of (key, records); map points into the list. Records
   // are shared with every RatingGroup handed out, so a hit never copies.
   using Entry = std::pair<std::string, RatingGroup::SharedRecords>;

@@ -11,6 +11,7 @@
 #include "engine/step_timings.h"
 #include "engine/step_trace.h"
 #include "util/deadline.h"
+#include "util/lock_rank.h"
 #include "util/metrics.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -163,7 +164,7 @@ class SdeEngine {
 
   // Cross-step exploration history. SeenMapsTracker itself is a plain
   // (externally synchronized) value type; here it is protected by mu_.
-  mutable Mutex mu_;
+  mutable Mutex mu_{"engine.history", lock_rank::kEngineHistory};
   SeenMapsTracker seen_ SUBDEX_GUARDED_BY(mu_);
   std::vector<GroupSelection> explored_ SUBDEX_GUARDED_BY(mu_);
 };

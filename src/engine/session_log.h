@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "engine/sde_engine.h"
+#include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -93,7 +94,7 @@ class SessionLog {
                                          const std::string& path);
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{"log.state", lock_rank::kSessionLogState};
   std::vector<LoggedStep> steps_ SUBDEX_GUARDED_BY(mu_);
   // Write-through sink (optional): open stream + the database that renders
   // entries. Both are moved with the log.

@@ -430,6 +430,7 @@ void HttpServer::WatchLoop() {
     }
     // Non-blocking sweep (timeout 0) under the lock: watches_ cannot
     // change between building fds and reading revents.
+    // lock-lint: nonblocking — poll with timeout 0 returns immediately.
     if (::poll(fds.data(), fds.size(), 0) <= 0) continue;
     for (size_t i = 0; i < fds.size(); ++i) {
       if (fds[i].revents & (POLLRDHUP | POLLHUP | POLLERR)) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "util/deadline.h"
+#include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -122,7 +123,7 @@ class HttpServer {
 
   std::vector<std::thread> threads_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"http.queue", lock_rank::kHttpQueue};
   std::condition_variable queue_cv_;
   std::deque<int> queue_ SUBDEX_GUARDED_BY(mu_);
   bool stopping_ SUBDEX_GUARDED_BY(mu_) = false;
@@ -132,7 +133,7 @@ class HttpServer {
     int fd;
     CancellationToken token;
   };
-  mutable Mutex watch_mu_;
+  mutable Mutex watch_mu_{"http.watch", lock_rank::kHttpWatch};
   std::condition_variable watch_cv_;
   std::vector<Watch> watches_ SUBDEX_GUARDED_BY(watch_mu_);
   bool watch_stopping_ SUBDEX_GUARDED_BY(watch_mu_) = false;

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "engine/sde_engine.h"
+#include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -43,7 +44,7 @@ struct ServerSession {
   std::atomic<int> in_flight{0};
   std::atomic<uint64_t> steps_executed{0};
 
-  Mutex mu;
+  Mutex mu{"session.last_step", lock_rank::kSessionLastStep};
   /// The most recent step (guarded: concurrent steps on one session are
   /// legal, last writer wins).
   StepResult last_step SUBDEX_GUARDED_BY(mu);
@@ -155,7 +156,9 @@ class SessionManager {
  private:
   static constexpr size_t kNumShards = 8;
   struct Shard {
-    mutable Mutex mu;
+    // All 8 shard locks share one name: the detector's same-name-nesting
+    // rule then proves no code path ever holds two shards at once.
+    mutable Mutex mu{"session.shard", lock_rank::kSessionShard};
     std::unordered_map<std::string, std::shared_ptr<ServerSession>> sessions
         SUBDEX_GUARDED_BY(mu);
   };
@@ -173,7 +176,7 @@ class SessionManager {
   std::atomic<size_t> active_{0};
 
   std::thread reaper_;
-  Mutex reaper_mu_;
+  Mutex reaper_mu_{"session.reaper", lock_rank::kSessionReaper};
   std::condition_variable reaper_cv_;
   bool reaper_stop_ SUBDEX_GUARDED_BY(reaper_mu_) = false;
   bool reaper_running_ = false;

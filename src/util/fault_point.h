@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -97,7 +98,7 @@ class FaultInjector {
 
   FaultInjector() = default;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"fault.registry", lock_rank::kFaultRegistry};
   std::unordered_map<std::string, PointState> points_ SUBDEX_GUARDED_BY(mu_);
 };
 

@@ -1,0 +1,269 @@
+#include "util/lock_graph.h"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace subdex::lock_graph {
+namespace {
+
+// The detector must not recurse into subdex::Mutex (its hooks are called
+// from inside Mutex::Lock), so its own state is protected by a raw
+// spinlock over std::atomic_flag. Hold times are microseconds (hash-map
+// probes on short strings), so spinning beats blocking here — and it keeps
+// the raw-primitive lint allowlist at exactly src/util/mutex.h.
+class SpinLock {
+ public:
+  void lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+class SpinGuard {
+ public:
+  explicit SpinGuard(SpinLock& l) : l_(l) { l_.lock(); }
+  ~SpinGuard() { l_.unlock(); }
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  SpinLock& l_;
+};
+
+// One lock currently held by a thread, with its acquisition site.
+struct Held {
+  const void* mutex;
+  const char* name;
+  int rank;
+  const char* file;
+  unsigned line;
+};
+
+struct EdgeInfo {
+  // Sites recorded when the edge was first observed; later traversals of
+  // the same edge don't overwrite them, so a cycle report always shows a
+  // real interleaving that happened.
+  std::string holder_site;
+  std::string acquire_site;
+};
+
+// name -> (name acquired after it -> first-observation sites).
+using Graph =
+    std::unordered_map<std::string, std::unordered_map<std::string, EdgeInfo>>;
+
+struct GlobalState {
+  SpinLock lock;
+  Graph graph;
+};
+
+GlobalState& State() {
+  // Meyers static (not a leaked new: ci/lint.sh bans raw new even here).
+  // Mutexes acquired during static destruction after this is destroyed
+  // would be a pre-existing shutdown-order bug; SubDEx joins all threads
+  // before main returns.
+  static GlobalState state;
+  return state;
+}
+
+std::vector<Held>& HeldStack() {
+  thread_local std::vector<Held> stack;
+  return stack;
+}
+
+std::string Site(const char* file, unsigned line) {
+  return std::string(file) + ":" + std::to_string(line);
+}
+
+// DFS over out-edges: is `to` reachable from `from`? Caller holds the
+// state spinlock. Iterative with an explicit stack so a deep graph can't
+// overflow the thread stack.
+bool Reachable(const Graph& graph, const std::string& from,
+               const std::string& to,
+               std::vector<const std::string*>* path_out) {
+  struct Frame {
+    const std::string* node;
+    std::unordered_map<std::string, EdgeInfo>::const_iterator next;
+    std::unordered_map<std::string, EdgeInfo>::const_iterator end;
+  };
+  std::vector<Frame> stack;
+  std::vector<std::string> visited;
+  auto seen = [&visited](const std::string& n) {
+    for (const auto& v : visited) {
+      if (v == n) return true;
+    }
+    return false;
+  };
+
+  auto push = [&](const std::string& node) {
+    auto it = graph.find(node);
+    if (it == graph.end()) {
+      stack.push_back(Frame{&node, {}, {}});
+      stack.back().next = stack.back().end;  // no out-edges
+    } else {
+      stack.push_back(Frame{&node, it->second.begin(), it->second.end()});
+    }
+    visited.push_back(node);
+  };
+
+  if (from == to) {
+    if (path_out != nullptr) path_out->push_back(&from);
+    return true;
+  }
+  push(from);
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next == top.end) {
+      stack.pop_back();
+      continue;
+    }
+    const std::string& succ = top.next->first;
+    ++top.next;
+    if (succ == to) {
+      if (path_out != nullptr) {
+        for (const Frame& f : stack) path_out->push_back(f.node);
+        path_out->push_back(&succ);
+      }
+      return true;
+    }
+    if (!seen(succ)) push(succ);
+  }
+  return false;
+}
+
+[[noreturn]] void ReportViolation(const char* kind, const Held& held,
+                                  const char* name, const char* file,
+                                  unsigned line, const std::string& extra) {
+  std::string msg = std::string(kind) + ": acquiring \"" + name + "\" at " +
+                    Site(file, line) + " while holding \"" + held.name +
+                    "\" acquired at " + Site(held.file, held.line);
+  if (!extra.empty()) {
+    msg += "; ";
+    msg += extra;
+  }
+  check_internal::CheckFail(file, static_cast<int>(line),
+                            "lock-discipline violation", msg.c_str());
+}
+
+}  // namespace
+
+void OnAcquiring(const void* mutex, const char* name, int rank,
+                 const char* file, unsigned line) {
+  std::vector<Held>& held = HeldStack();
+
+  for (const Held& h : held) {
+    if (h.mutex == mutex) {
+      ReportViolation("recursive acquisition (self-deadlock)", h, name, file,
+                      line, "");
+    }
+    if (std::string_view(h.name) == name) {
+      ReportViolation("same-name nesting", h, name, file, line,
+                      "two locks of one family must never nest");
+    }
+    if (rank != 0 && h.rank != 0 && rank <= h.rank) {
+      ReportViolation(
+          "rank inversion", h, name, file, line,
+          "rank " + std::to_string(rank) + " must exceed held rank " +
+              std::to_string(h.rank) + " (see util/lock_rank.h)");
+    }
+  }
+
+  if (!held.empty()) {
+    GlobalState& state = State();
+    SpinGuard guard(state.lock);
+    // Cycle check BEFORE inserting this acquisition's edges: a path from
+    // `name` back to any held lock means some other thread (or an earlier
+    // call here) acquired them in the opposite order.
+    for (const Held& h : held) {
+      std::vector<const std::string*> path;
+      std::string target(h.name);
+      std::string source(name);
+      if (Reachable(state.graph, source, target, &path)) {
+        std::string chain;
+        for (std::size_t i = 0; i < path.size(); ++i) {
+          if (i != 0) chain += " -> ";
+          chain += "\"" + *path[i] + "\"";
+        }
+        // The first edge of the reverse path carries the sites of the
+        // conflicting (opposite-order) acquisition.
+        std::string extra = "acquired-after cycle " + chain + " -> \"" +
+                            name + "\"";
+        if (path.size() >= 2) {
+          auto from_it = state.graph.find(*path[0]);
+          if (from_it != state.graph.end()) {
+            auto to_it = from_it->second.find(*path[1]);
+            if (to_it != from_it->second.end()) {
+              extra += "; conflicting order: \"" + *path[0] +
+                       "\" held at " + to_it->second.holder_site +
+                       " when \"" + *path[1] + "\" was acquired at " +
+                       to_it->second.acquire_site;
+            }
+          }
+        }
+        ReportViolation("lock-order cycle", h, name, file, line, extra);
+      }
+    }
+    for (const Held& h : held) {
+      auto& out = state.graph[h.name];
+      out.try_emplace(name, EdgeInfo{Site(h.file, h.line), Site(file, line)});
+    }
+  }
+
+  held.push_back(Held{mutex, name, rank, file, line});
+}
+
+void OnReleased(const void* mutex) {
+  std::vector<Held>& held = HeldStack();
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (it->mutex == mutex) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Releasing a lock the detector never saw acquired: a hook-routing bug
+  // in util/mutex.h, not a user error.
+  check_internal::CheckFail(__FILE__, __LINE__, "lock-discipline violation",
+                            "released a mutex not on this thread's held "
+                            "stack (detector hook mismatch)");
+}
+
+std::vector<Edge> Edges() {
+  GlobalState& state = State();
+  SpinGuard guard(state.lock);
+  std::vector<Edge> edges;
+  for (const auto& [from, out] : state.graph) {
+    for (const auto& [to, info] : out) {
+      edges.push_back(Edge{from, to, info.holder_site, info.acquire_site});
+    }
+  }
+  return edges;
+}
+
+bool HasEdge(std::string_view from, std::string_view to) {
+  GlobalState& state = State();
+  SpinGuard guard(state.lock);
+  auto it = state.graph.find(std::string(from));
+  if (it == state.graph.end()) return false;
+  return it->second.find(std::string(to)) != it->second.end();
+}
+
+std::size_t HeldByCurrentThread() { return HeldStack().size(); }
+
+void ResetForTest() {
+  GlobalState& state = State();
+  SpinGuard guard(state.lock);
+  state.graph.clear();
+  HeldStack().clear();
+}
+
+}  // namespace subdex::lock_graph

@@ -1,0 +1,75 @@
+#ifndef SUBDEX_UTIL_LOCK_GRAPH_H_
+#define SUBDEX_UTIL_LOCK_GRAPH_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// Runtime lock-order (deadlock) detector behind subdex::Mutex. Compiled
+// into the binary only when SUBDEX_DEADLOCK_DETECTOR=1 (cmake
+// -DSUBDEX_DEADLOCK_DETECTOR=ON); in ordinary builds util/mutex.h never
+// calls these hooks and the translation unit is dead weightless.
+//
+// Model (lockdep-style): each thread keeps a stack of currently-held
+// subdex::Mutex instances. On every acquisition the detector
+//
+//   1. aborts on re-acquisition of the SAME instance (self-deadlock — the
+//      hook runs before the underlying std::mutex::lock, so the process
+//      dies with a report instead of hanging),
+//   2. aborts when a lock is acquired while another lock of the SAME NAME
+//      is held (two shards of one family must never nest),
+//   3. aborts on a rank inversion: both locks carry a nonzero rank from
+//      util/lock_rank.h and the incoming rank is <= a held rank,
+//   4. records name->name "acquired-after" edges from every held lock to
+//      the incoming one in a global graph, keyed by name so an order
+//      proven on one instance pair indicts the whole family, and
+//   5. searches the graph for a path from the incoming name back to any
+//      held name — a cycle means two threads CAN deadlock even if this
+//      interleaving didn't; the report shows both acquisition sites (the
+//      site that created the conflicting edge, and the current one).
+//
+// Reports go through subdex::check_internal::CheckFail, i.e. the same
+// abort-with-diagnostic machinery as SUBDEX_CHECK, carrying the caller's
+// file:line captured via std::source_location in util/mutex.h.
+namespace subdex::lock_graph {
+
+// Pre-acquisition hook: runs rules 1-5 above, then pushes the lock onto
+// the calling thread's held stack. `mutex` is an opaque instance identity;
+// `name`/`rank` come from the Mutex constructor; `file`/`line` are the
+// acquisition site.
+void OnAcquiring(const void* mutex, const char* name, int rank,
+                 const char* file, unsigned line);
+
+// Release hook: pops `mutex` from the thread's held stack (locks are
+// almost always released in LIFO order, but out-of-order release is legal
+// and handled). Edges already recorded are deliberately kept forever:
+// the graph accumulates orders over the whole process lifetime.
+void OnReleased(const void* mutex);
+
+// A recorded acquired-after edge: `to` was acquired while `from` was held.
+// `holder_site` is where `from` had been acquired, `acquire_site` where
+// `to` was — the two sites a deadlock report needs.
+struct Edge {
+  std::string from;
+  std::string to;
+  std::string holder_site;
+  std::string acquire_site;
+};
+
+// Snapshot of the global graph, for tests and debugging.
+std::vector<Edge> Edges();
+
+// True when the graph has recorded `to` acquired while `from` was held.
+bool HasEdge(std::string_view from, std::string_view to);
+
+// Number of locks the calling thread currently holds (detector's view).
+std::size_t HeldByCurrentThread();
+
+// Clears the global graph and the calling thread's held stack. Test-only:
+// real code never resets, the graph is cumulative by design.
+void ResetForTest();
+
+}  // namespace subdex::lock_graph
+
+#endif  // SUBDEX_UTIL_LOCK_GRAPH_H_

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 #include "util/status.h"
@@ -236,7 +237,7 @@ class MetricsRegistry {
     std::unique_ptr<M> metric;
   };
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"metrics.registry", lock_rank::kMetricsRegistry};
   std::vector<Named<Counter>> counters_ SUBDEX_GUARDED_BY(mu_);
   std::vector<Named<Gauge>> gauges_ SUBDEX_GUARDED_BY(mu_);
   std::vector<Named<Histogram>> histograms_ SUBDEX_GUARDED_BY(mu_);

@@ -7,40 +7,110 @@
 
 #include "util/thread_annotations.h"
 
+#if !defined(SUBDEX_DEADLOCK_DETECTOR)
+#define SUBDEX_DEADLOCK_DETECTOR 0
+#endif
+
+#if SUBDEX_DEADLOCK_DETECTOR
+#include <source_location>
+
+#include "util/lock_graph.h"
+#endif
+
 namespace subdex {
+
+// The armed and unarmed Mutex/MutexLock have different member-function
+// bodies (and MutexLock different members), so mixing translation units
+// built with and without SUBDEX_DEADLOCK_DETECTOR would be an ODR
+// violation with silently-merged inline symbols. The per-mode inline
+// namespace gives the two definitions distinct mangled names: mixed
+// objects fail to link instead of miscompiling.
+#if SUBDEX_DEADLOCK_DETECTOR
+inline namespace lock_discipline_armed {
+#else
+inline namespace lock_discipline_off {
+#endif
 
 /// Annotated wrapper around std::mutex. libstdc++'s std::mutex carries no
 /// thread-safety attributes, so Clang's -Wthread-safety cannot track it;
-/// this thin shim restores the analysis with zero overhead (every method
-/// inlines to the std call). All mutex-protected SubDEx classes use
-/// subdex::Mutex + SUBDEX_GUARDED_BY.
+/// this thin shim restores the analysis with zero overhead in ordinary
+/// builds (every method inlines to the std call). All mutex-protected
+/// SubDEx classes use subdex::Mutex + SUBDEX_GUARDED_BY.
+///
+/// Every Mutex carries a NAME (required) and a RANK (optional, from
+/// util/lock_rank.h; 0 = unranked). In ordinary builds they are inert
+/// metadata; under -DSUBDEX_DEADLOCK_DETECTOR=ON every acquisition is
+/// routed through the util/lock_graph.h lock-order detector, which aborts
+/// with both acquisition sites on self-deadlock, same-name nesting, rank
+/// inversion, or an acquired-after cycle. DESIGN.md §12 documents the
+/// process-wide hierarchy.
 class SUBDEX_CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
+  /// `name` must be a string literal (or otherwise outlive the Mutex): it
+  /// is stored unowned so construction stays allocation-free.
+  explicit Mutex(const char* name, int rank = 0)
+      : name_(name), rank_(rank) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
+#if SUBDEX_DEADLOCK_DETECTOR
+  void Lock(const std::source_location& site =
+                std::source_location::current()) SUBDEX_ACQUIRE() {
+    // Hook BEFORE the lock: a self-deadlock aborts with a report instead
+    // of hanging on the second mu_.lock().
+    lock_graph::OnAcquiring(this, name_, rank_, site.file_name(),
+                            site.line());
+    mu_.lock();
+  }
+  void Unlock() SUBDEX_RELEASE() {
+    mu_.unlock();
+    lock_graph::OnReleased(this);
+  }
+#else
   void Lock() SUBDEX_ACQUIRE() { mu_.lock(); }
   void Unlock() SUBDEX_RELEASE() { mu_.unlock(); }
+#endif
 
-  /// The wrapped std::mutex, for interop with std wait primitives. Only
-  /// MutexLock should need this.
-  std::mutex& native() { return mu_; }
+  const char* name() const { return name_; }
+  int rank() const { return rank_; }
 
  private:
+  // Only MutexLock may reach the wrapped std::mutex: a public native()
+  // would let callers bypass both the thread-safety annotations and the
+  // deadlock detector.
+  friend class MutexLock;
+  std::mutex& native() { return mu_; }
+
   std::mutex mu_;
+  const char* const name_;
+  const int rank_;
 };
 
 /// RAII lock with scoped-capability annotations, replacing both
-/// std::lock_guard and std::unique_lock over a subdex::Mutex. `Wait`
-/// bridges to std::condition_variable: the analysis treats the capability
+/// std::lock_guard and std::unique_lock over a subdex::Mutex. `WaitOnce*`
+/// bridge to std::condition_variable: the analysis treats the capability
 /// as held across the wait, which matches the caller-visible contract (the
 /// predicate and all code around the wait run with the lock held).
 class SUBDEX_SCOPED_CAPABILITY MutexLock {
  public:
+#if SUBDEX_DEADLOCK_DETECTOR
+  explicit MutexLock(Mutex& mu, const std::source_location& site =
+                                    std::source_location::current())
+      SUBDEX_ACQUIRE(mu)
+      : mu_(mu), lock_(mu.native(), std::defer_lock) {
+    lock_graph::OnAcquiring(&mu_, mu_.name(), mu_.rank(), site.file_name(),
+                            site.line());
+    lock_.lock();
+  }
+  ~MutexLock() SUBDEX_RELEASE() {
+    lock_.unlock();
+    lock_graph::OnReleased(&mu_);
+  }
+#else
   explicit MutexLock(Mutex& mu) SUBDEX_ACQUIRE(mu)
-      : lock_(mu.native()) {}
+      : mu_(mu), lock_(mu.native()) {}
   ~MutexLock() SUBDEX_RELEASE() = default;
+#endif
 
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;
@@ -54,7 +124,23 @@ class SUBDEX_SCOPED_CAPABILITY MutexLock {
   /// — rather than passing a predicate lambda: Clang's thread-safety
   /// analysis checks lambda bodies without the enclosing lock context, so
   /// a predicate lambda over guarded members would defeat the analysis.
+#if SUBDEX_DEADLOCK_DETECTOR
+  void WaitOnce(std::condition_variable& cv,
+                const std::source_location& site =
+                    std::source_location::current()) {
+    // The wait releases and re-acquires the lock; mirror that in the
+    // detector so locks taken by other threads during the wait don't
+    // appear nested under this one. The re-acquisition is recorded
+    // post-hoc: cv re-lock order is the same order the detector already
+    // validated at the original acquisition.
+    lock_graph::OnReleased(&mu_);
+    cv.wait(lock_);
+    lock_graph::OnAcquiring(&mu_, mu_.name(), mu_.rank(), site.file_name(),
+                            site.line());
+  }
+#else
   void WaitOnce(std::condition_variable& cv) { cv.wait(lock_); }
+#endif
 
   /// Timed WaitOnce: one wait round bounded by `timeout`. Returns false on
   /// timeout, true when notified (or spuriously woken) — either way the
@@ -62,14 +148,35 @@ class SUBDEX_SCOPED_CAPABILITY MutexLock {
   /// WaitOnce. This is what periodic background threads (the session
   /// reaper) loop on: sleep-with-early-wakeup under the lock discipline
   /// the analysis can see.
+#if SUBDEX_DEADLOCK_DETECTOR
+  bool WaitOnceFor(std::condition_variable& cv,
+                   std::chrono::milliseconds timeout,
+                   const std::source_location& site =
+                       std::source_location::current()) {
+    lock_graph::OnReleased(&mu_);
+    const bool notified = cv.wait_for(lock_, timeout) ==
+                          std::cv_status::no_timeout;
+    lock_graph::OnAcquiring(&mu_, mu_.name(), mu_.rank(), site.file_name(),
+                            site.line());
+    return notified;
+  }
+#else
   bool WaitOnceFor(std::condition_variable& cv,
                    std::chrono::milliseconds timeout) {
     return cv.wait_for(lock_, timeout) == std::cv_status::no_timeout;
   }
+#endif
 
  private:
+  Mutex& mu_;
   std::unique_lock<std::mutex> lock_;
 };
+
+#if SUBDEX_DEADLOCK_DETECTOR
+}  // inline namespace lock_discipline_armed
+#else
+}  // inline namespace lock_discipline_off
+#endif
 
 }  // namespace subdex
 

@@ -7,6 +7,7 @@
 
 #include "util/check.h"
 #include "util/fault_point.h"
+#include "util/lock_rank.h"
 #include "util/metrics.h"
 
 namespace subdex {
@@ -49,7 +50,7 @@ struct PoolMetrics {
 // callers interleave freely in the worker queue; each caller waits only
 // for its own helpers, never for global idleness.
 struct Batch {
-  Mutex mu;
+  Mutex mu{"pool.batch", lock_rank::kPoolBatch};
   std::condition_variable done_cv;
   // Helper tasks not yet finished.
   size_t outstanding SUBDEX_GUARDED_BY(mu) = 0;

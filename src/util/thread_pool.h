@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "util/deadline.h"
+#include "util/lock_rank.h"
 #include "util/metrics.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -103,7 +104,7 @@ class ThreadPool {
   /// task's queue wait and the run in the process metrics.
   static void RecordDequeue(const QueuedTask& task, bool helped);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"pool.queue", lock_rank::kPoolQueue};
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
   std::deque<QueuedTask> queue_ SUBDEX_GUARDED_BY(mu_);
