@@ -1,0 +1,202 @@
+#!/usr/bin/env bash
+# Kill-loop chaos harness for the session journal (DESIGN.md §13).
+#
+# Boots subdexd with --journal-dir, drives a session over real HTTP, and
+# SIGKILLs the daemon at randomized moments — sometimes with a step still
+# in flight, sometimes after tearing the newest segment's tail by hand,
+# sometimes right after a DELETE. After every kill the next boot must:
+#
+#   * report zero divergent sessions,
+#   * serve the surviving session with the acked digests as a prefix of
+#     the recovered journal (a journaled-but-unacked in-flight step is the
+#     only legal surplus),
+#   * keep deleted sessions deleted (404, no resurrection).
+#
+# Odd cycles arm an injected journal.append delay (the build compiles
+# fault points in) to widen the append-vs-kill race. The final cycle is a
+# graceful SIGTERM that must exit 0. The run fails if no torn tail was
+# ever exercised.
+#
+# Usage: ci/crash_smoke.sh
+#   SUBDEX_CRASH_BUILD_DIR  reuse/create this build tree (default
+#                           build-crash; configured with fault injection)
+#   SUBDEX_CRASH_CYCLES     kill/restart cycles (default 25)
+#   SUBDEX_CRASH_SEED       RNG seed; logged so a failure replays exactly
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${SUBDEX_CRASH_BUILD_DIR:-$ROOT/build-crash}"
+CYCLES="${SUBDEX_CRASH_CYCLES:-25}"
+SEED="${SUBDEX_CRASH_SEED:-$$}"
+JOBS="$(nproc)"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSUBDEX_FAULT_INJECTION=ON >/dev/null
+cmake --build "$BUILD" -j"$JOBS" --target subdexd
+BIN="$BUILD/examples/subdexd"
+if [[ ! -x "$BIN" ]]; then
+  echo "ERROR: subdexd binary is missing: $BIN" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d)"
+JOURNAL="$WORK/journal"
+DAEMON_PID=""
+cleanup() {
+  if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -9 "$DAEMON_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+CYCLE=0
+fail() {
+  echo "crash_smoke: FAIL (seed=$SEED cycle=$CYCLE): $*" >&2
+  echo "--- daemon stdout ---" >&2
+  cat "$WORK/out" >&2 || true
+  echo "--- daemon stderr ---" >&2
+  cat "$WORK/err" >&2 || true
+  echo "--- journal dir ---" >&2
+  ls -l "$JOURNAL" >&2 || true
+  exit 1
+}
+
+# Deterministic LCG so a logged seed replays the exact kill schedule.
+RNG="$SEED"
+rand() {  # rand N -> [0, N)
+  RNG=$(((RNG * 1103515245 + 12345) % 2147483648))
+  echo $((RNG % $1))
+}
+
+start_daemon() {  # $1 = SUBDEX_FAULT_SPEC value ("" for none)
+  : >"$WORK/out"
+  : >"$WORK/err"
+  if [[ -n "$1" ]]; then
+    SUBDEX_FAULT_SPEC="$1" "$BIN" --port=0 --dataset=movielens:0.02 \
+      --ttl-ms=600000 --journal-dir="$JOURNAL" --journal-fsync=never \
+      >"$WORK/out" 2>"$WORK/err" &
+  else
+    "$BIN" --port=0 --dataset=movielens:0.02 \
+      --ttl-ms=600000 --journal-dir="$JOURNAL" --journal-fsync=never \
+      >"$WORK/out" 2>"$WORK/err" &
+  fi
+  DAEMON_PID=$!
+  for _ in $(seq 1 300); do
+    grep -q "listening on" "$WORK/out" 2>/dev/null && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died during startup"
+    sleep 0.1
+  done
+  grep -q "listening on" "$WORK/out" || fail "daemon never became ready"
+  PORT="$(sed -n 's#.*http://[^:]*:\([0-9][0-9]*\).*#\1#p' "$WORK/out")"
+  [[ -n "$PORT" ]] || fail "could not parse port from readiness line"
+  URL="http://127.0.0.1:$PORT"
+}
+
+served_digests() {  # $1 = session id -> space-joined 16-hex digests
+  local body digests
+  body="$(curl -fsS "$URL/sessions/$1")" || return 1
+  digests="$(grep -o '"digests":\[[^]]*\]' <<<"$body" || true)"
+  { grep -o '[0-9a-f]\{16\}' <<<"$digests" || true; } | tr '\n' ' '
+}
+
+SESSION=""
+ACKED=""       # space-joined digests the client was acked with
+EXPECT_GONE=0  # a DELETE preceded the last kill
+TORN_TOTAL=0
+echo "crash_smoke: seed=$SEED cycles=$CYCLES build=$BUILD"
+
+for CYCLE in $(seq 1 "$CYCLES"); do
+  FAULT=""
+  if ((CYCLE % 2 == 1)); then FAULT="journal.append:delay:20"; fi
+  start_daemon "$FAULT"
+
+  RECOV="$(grep 'journal recovery:' "$WORK/err" || true)"
+  [[ -n "$RECOV" ]] || fail "no recovery report on stderr"
+  DIVERGENT="$(sed -n 's/.* \([0-9][0-9]*\) divergent.*/\1/p' <<<"$RECOV")"
+  TORN="$(sed -n 's/.* \([0-9][0-9]*\) torn tail.*/\1/p' <<<"$RECOV")"
+  [[ "$DIVERGENT" == "0" ]] || fail "divergent session(s): $RECOV"
+  TORN_TOTAL=$((TORN_TOTAL + TORN))
+
+  if [[ -n "$SESSION" ]]; then
+    if ((EXPECT_GONE)); then
+      CODE="$(curl -s -o /dev/null -w '%{http_code}' \
+        "$URL/sessions/$SESSION")"
+      [[ "$CODE" == "404" ]] ||
+        fail "deleted session $SESSION answered $CODE after restart"
+      SESSION="" ACKED="" EXPECT_GONE=0
+    else
+      SERVED="$(served_digests "$SESSION")" ||
+        fail "recovered session $SESSION did not serve"
+      [[ "$SERVED" == "$ACKED"* ]] ||
+        fail "acked digests not a prefix of the recovered journal:" \
+          "acked=[$ACKED] served=[$SERVED]"
+      # Adopt the journal's view: an in-flight step that reached the
+      # journal but never acked is part of the session now.
+      ACKED="$SERVED"
+    fi
+  fi
+
+  if [[ -z "$SESSION" ]]; then
+    SESSION="$(curl -fsS -X POST "$URL/sessions" -d '{"ttl_ms":600000}' |
+      sed -n 's/.*"session_id":"\([^"]*\)".*/\1/p')"
+    [[ -n "$SESSION" ]] || fail "session create failed"
+    ACKED=""
+  fi
+
+  STEPS=$((1 + $(rand 4)))
+  for _ in $(seq 1 "$STEPS"); do
+    DIGEST="$(curl -fsS -X POST "$URL/sessions/$SESSION/step" -d '{}' |
+      sed -n 's/.*"digest":"\([0-9a-f]*\)".*/\1/p')"
+    [[ -n "$DIGEST" ]] || fail "step returned no digest"
+    ACKED="$ACKED$DIGEST "
+  done
+
+  if (($(wc -w <<<"$ACKED") >= 12)); then
+    # Cap journal growth: retire the long session, continue on a fresh one.
+    curl -fsS -X DELETE "$URL/sessions/$SESSION" >/dev/null ||
+      fail "retiring DELETE failed"
+    SESSION="$(curl -fsS -X POST "$URL/sessions" -d '{"ttl_ms":600000}' |
+      sed -n 's/.*"session_id":"\([^"]*\)".*/\1/p')"
+    [[ -n "$SESSION" ]] || fail "session re-create failed"
+    ACKED=""
+  elif ((CYCLE % 7 == 0)); then
+    # Delete-then-crash: the unlink (or tombstone) must hold across kills.
+    curl -fsS -X DELETE "$URL/sessions/$SESSION" >/dev/null ||
+      fail "DELETE failed"
+    EXPECT_GONE=1
+  fi
+
+  if ((CYCLE == CYCLES)); then
+    kill -TERM "$DAEMON_PID"
+    EXIT_CODE=0
+    wait "$DAEMON_PID" || EXIT_CODE=$?
+    DAEMON_PID=""
+    [[ "$EXIT_CODE" == "0" ]] || fail "final SIGTERM exit was $EXIT_CODE"
+    break
+  fi
+
+  # Sometimes leave a step in flight so SIGKILL lands between the journal
+  # append and the HTTP ack; the prefix assertion above absorbs it.
+  if ((!EXPECT_GONE)) && (($(rand 2) == 0)); then
+    curl -s -m 2 -X POST "$URL/sessions/$SESSION/step" -d '{}' \
+      >/dev/null 2>&1 &
+    sleep "0.0$(rand 5)"
+  fi
+  kill -9 "$DAEMON_PID" 2>/dev/null || true
+  wait "$DAEMON_PID" 2>/dev/null || true
+  DAEMON_PID=""
+
+  # Periodically (and as a failsafe near the end) tear the newest
+  # segment's tail: a 7-byte partial frame that recovery must truncate.
+  if ((!EXPECT_GONE)) &&
+    { ((CYCLE % 5 == 0)) || ((CYCLE == CYCLES - 1 && TORN_TOTAL == 0)); }; then
+    SEG="$(ls "$JOURNAL/$SESSION".*.sjl 2>/dev/null | sort | tail -1)"
+    if [[ -n "$SEG" ]]; then
+      printf '\x21\x00\x00\x00\xde\xad\xbe' >>"$SEG"
+    fi
+  fi
+done
+
+((TORN_TOTAL >= 1)) || fail "no torn tail was ever exercised"
+echo "crash_smoke: OK (seed=$SEED cycles=$CYCLES torn_tails=$TORN_TOTAL)"

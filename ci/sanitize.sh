@@ -47,7 +47,8 @@ if [[ "$SAN" == "thread" ]]; then
 fi
 
 TEST_BINS=(util_test engine_test group_cache_test engine_robustness_test
-           server_test server_stress_test)
+           server_test server_stress_test framed_log_test
+           session_journal_test)
 FUZZ_BINS=(fuzz_query_parser fuzz_csv_loader fuzz_db_io)
 
 # A renamed or never-built binary must fail the gate loudly, not be skipped.

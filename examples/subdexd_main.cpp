@@ -22,6 +22,7 @@
 #include "datagen/specs.h"
 #include "datagen/synthetic.h"
 #include "server/server.h"
+#include "util/fault_point.h"
 
 namespace {
 
@@ -73,12 +74,64 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s [--host=ADDR] [--port=N] [--workers=N] [--queue=N]\n"
       "          [--ttl-ms=N] [--max-sessions=N] [--seed=N]\n"
+      "          [--journal-dir=PATH] [--journal-fsync=never|batch|"
+      "every_record]\n"
+      "          [--journal-segment-bytes=N]\n"
       "          [--dataset=NAME[:SCALE]]...\n"
       "datasets: movielens, yelp, hotel (synthetic; SCALE defaults to "
-      "0.05)\n",
+      "0.05)\n"
+      "--journal-dir enables crash-safe sessions: mutations are journaled\n"
+      "before they are acked and replayed on the next start\n",
       argv0);
   return 2;
 }
+
+#if defined(SUBDEX_FAULT_INJECTION)
+/// Arms fault points from SUBDEX_FAULT_SPEC so the crash harness can
+/// reach into an injection build without a test driver. Comma-separated:
+///   name:delay:MS   delay-only (widens the kill window mid-append)
+///   name:fail:N     fail every hit after skipping the first N
+/// Only compiled with -DSUBDEX_FAULT_INJECTION=ON; release binaries have
+/// neither the hook nor the points.
+bool ArmFaultsFromEnv() {
+  const char* spec_env = std::getenv("SUBDEX_FAULT_SPEC");
+  if (spec_env == nullptr || *spec_env == '\0') return true;
+  std::string text = spec_env;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string entry = text.substr(start, comma - start);
+    start = comma + 1;
+    if (entry.empty()) continue;
+    size_t c1 = entry.find(':');
+    size_t c2 = c1 == std::string::npos ? std::string::npos
+                                        : entry.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) return false;
+    const std::string name = entry.substr(0, c1);
+    const std::string kind = entry.substr(c1 + 1, c2 - c1 - 1);
+    char* end = nullptr;
+    const double amount = std::strtod(entry.c_str() + c2 + 1, &end);
+    if (end == entry.c_str() + c2 + 1 || *end != '\0' || amount < 0) {
+      return false;
+    }
+    FaultInjector::ArmSpec spec;
+    if (kind == "delay") {
+      spec.delay_ms = amount;
+      spec.fail = false;
+    } else if (kind == "fail") {
+      spec.after_hits = static_cast<size_t>(amount);
+      spec.fail = true;
+    } else {
+      return false;
+    }
+    FaultInjector::Instance().Arm(name, spec);
+    std::fprintf(stderr, "subdexd: armed fault point %s (%s %.0f)\n",
+                 name.c_str(), kind.c_str(), amount);
+  }
+  return true;
+}
+#endif  // SUBDEX_FAULT_INJECTION
 
 }  // namespace
 
@@ -113,6 +166,14 @@ int main(int argc, char** argv) {
       options.sessions.max_sessions = static_cast<size_t>(number);
     } else if (key == "--seed" && is_number && number >= 0) {
       seed = static_cast<uint64_t>(number);
+    } else if (key == "--journal-dir" && !value.empty()) {
+      options.journal.dir = value;
+    } else if (key == "--journal-fsync") {
+      if (!ParseJournalFsync(value, &options.journal.fsync)) {
+        return Usage(argv[0]);
+      }
+    } else if (key == "--journal-segment-bytes" && is_number && number > 0) {
+      options.journal.segment_bytes = static_cast<size_t>(number);
     } else if (key == "--dataset") {
       DatasetFlag flag;
       if (!ParseDatasetFlag(value, &flag)) return Usage(argv[0]);
@@ -122,6 +183,13 @@ int main(int argc, char** argv) {
     }
   }
   if (datasets.empty()) datasets.push_back({"movielens", 0.05});
+
+#if defined(SUBDEX_FAULT_INJECTION)
+  if (!ArmFaultsFromEnv()) {
+    std::fprintf(stderr, "subdexd: malformed SUBDEX_FAULT_SPEC\n");
+    return 2;
+  }
+#endif
 
   SubdexServer server(options);
   for (const DatasetFlag& flag : datasets) {
@@ -153,6 +221,14 @@ int main(int argc, char** argv) {
   if (!status.ok()) {
     std::fprintf(stderr, "subdexd: %s\n", status.message().c_str());
     return 1;
+  }
+  if (options.journal.enabled()) {
+    const SubdexServer::RecoveryReport& report = server.recovery();
+    std::fprintf(stderr,
+                 "subdexd: journal recovery: %zu recovered, %zu divergent, "
+                 "%zu torn tail(s)\n",
+                 report.sessions_recovered, report.sessions_divergent,
+                 report.torn_tails);
   }
   std::printf("subdexd listening on http://%s:%u\n",
               options.http.host.c_str(), server.port());

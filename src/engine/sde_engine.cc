@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "engine/session_log.h"
+#include "engine/step_digest.h"
 
 namespace subdex {
 
@@ -186,6 +187,7 @@ StepResult SdeEngine::ExecuteStep(const GroupSelection& selection,
     result.trace.spans.push_back(
         {StepPhase::kMaterialize, 0.0, 0.0, /*completed=*/false});
     result.elapsed_ms = MsBetween(start, Clock::now());
+    if (!result.cancelled) result.digest = ComputeStepDigest(*db_, result);
     finalize();
     log_step();
     return result;
@@ -318,6 +320,7 @@ StepResult SdeEngine::ExecuteStep(const GroupSelection& selection,
   }
 
   result.elapsed_ms = MsBetween(start, Clock::now());
+  if (!result.cancelled) result.digest = ComputeStepDigest(*db_, result);
   finalize();
   log_step();
   return result;

@@ -51,6 +51,12 @@ struct StepResult {
   /// The earliest pipeline phase the budget interrupted (kNone when the
   /// step ran to completion). Later phases were skipped or approximated.
   StepPhase cut_phase = StepPhase::kNone;
+  /// Order-sensitive hash of the user-visible result (selection, maps,
+  /// recommendations; engine/step_digest.h defines the coverage). The
+  /// session journal persists it so replay recovery can verify that
+  /// re-executing the step reproduced what the user was shown. 0 for
+  /// cancelled steps (nothing was shown or committed).
+  uint64_t digest = 0;
 };
 
 /// Per-step execution controls. The default-constructed options reproduce

@@ -1,0 +1,79 @@
+#include "engine/step_digest.h"
+
+#include <cstring>
+#include <string_view>
+
+#include "storage/query_parser.h"
+
+namespace subdex {
+
+namespace {
+
+/// FNV-1a, fed length-prefixed fields so adjacent strings can't collide
+/// by shifting bytes across a boundary ("ab"+"c" vs "a"+"bc").
+class Fnv64 {
+ public:
+  void Bytes(const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 1099511628211ULL;
+    }
+  }
+  void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
+  void F64(double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Str(std::string_view s) {
+    U64(s.size());
+    Bytes(s.data(), s.size());
+  }
+  SUBDEX_NODISCARD uint64_t hash() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 14695981039346656037ULL;
+};
+
+void HashSelection(Fnv64* h, const SubjectiveDatabase& db,
+                   const GroupSelection& selection) {
+  h->Str(PredicateToQuery(db.table(Side::kReviewer),
+                          selection.reviewer_pred));
+  h->Str(PredicateToQuery(db.table(Side::kItem), selection.item_pred));
+}
+
+}  // namespace
+
+uint64_t ComputeStepDigest(const SubjectiveDatabase& db,
+                           const StepResult& result) {
+  Fnv64 h;
+  HashSelection(&h, db, result.selection);
+  h.U64(result.group_size);
+  h.U64(result.maps.size());
+  for (const ScoredRatingMap& map : result.maps) {
+    const RatingMapKey& key = map.map.key();
+    h.Str(SideName(key.side));
+    h.Str(db.table(key.side).schema().attribute(key.attribute).name);
+    h.Str(db.dimension_name(key.dimension));
+    h.F64(map.utility);
+    h.F64(map.dw_utility);
+    h.U64(map.map.full_group_size());
+    h.U64(map.map.subgroups().size());
+    for (const Subgroup& sg : map.map.subgroups()) {
+      h.U64(sg.value);
+      h.U64(sg.count());
+      h.F64(sg.average());
+    }
+  }
+  h.U64(result.recommendations.size());
+  for (const Recommendation& reco : result.recommendations) {
+    h.Str(OperationKindName(reco.operation.kind));
+    HashSelection(&h, db, reco.operation.target);
+    h.F64(reco.utility);
+    h.U64(reco.group_size);
+  }
+  return h.hash();
+}
+
+}  // namespace subdex

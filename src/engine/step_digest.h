@@ -1,0 +1,28 @@
+#ifndef SUBDEX_ENGINE_STEP_DIGEST_H_
+#define SUBDEX_ENGINE_STEP_DIGEST_H_
+
+#include <cstdint>
+
+#include "engine/sde_engine.h"
+
+namespace subdex {
+
+/// Order-sensitive 64-bit digest (FNV-1a) of everything a step showed the
+/// user: the selection's canonical queries, the group size, the displayed
+/// maps (keys, scores, subgroups) and the recommendations. Deliberately
+/// excludes timings, traces and the degraded/cut markers — the digest must
+/// be identical when the same committed step is re-executed during journal
+/// replay (server/session_journal.h), and wall-clock fields never are.
+///
+/// Two steps with equal digests displayed the same result; replay recovery
+/// compares the journaled digest against the re-executed step's and flags
+/// the session as divergent on mismatch instead of serving wrong state.
+/// Doubles are hashed by bit pattern: replay runs the same binary on the
+/// same data, where the engine's fixed reduction order makes scores
+/// bit-identical.
+SUBDEX_NODISCARD uint64_t ComputeStepDigest(const SubjectiveDatabase& db,
+                                            const StepResult& result);
+
+}  // namespace subdex
+
+#endif  // SUBDEX_ENGINE_STEP_DIGEST_H_

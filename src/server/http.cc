@@ -107,10 +107,35 @@ bool ReadRequest(int fd, const HttpServer::Options& options,
   std::string buffer;
   size_t header_end = std::string::npos;
   char chunk[4096];
+  // Total read budget: each recv is individually bounded by the socket
+  // timeout, but a trickling peer (a byte per second) would pass every
+  // per-recv check forever. Clamp the remaining budget onto SO_RCVTIMEO
+  // before each recv so the last one cannot overshoot the deadline.
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point deadline =
+      Clock::now() +
+      std::chrono::milliseconds(options.request_read_deadline_ms);
+  auto recv_some = [fd, &options, deadline](char* buf, size_t cap) {
+    for (;;) {
+      const int64_t remaining_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - Clock::now())
+              .count();
+      if (remaining_ms <= 0) {
+        errno = EAGAIN;  // deadline spent: report as a timeout
+        return static_cast<ssize_t>(-1);
+      }
+      if (remaining_ms < options.socket_timeout_ms) {
+        SetSocketTimeouts(fd, static_cast<int>(remaining_ms));
+      }
+      ssize_t n = ::recv(fd, buf, cap, 0);
+      if (n < 0 && errno == EINTR) continue;
+      return n;
+    }
+  };
   while (header_end == std::string::npos) {
-    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    ssize_t n = recv_some(chunk, sizeof(chunk));
     if (n < 0) {
-      if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) *error_status = 408;
       return false;
     }
@@ -175,8 +200,11 @@ bool ReadRequest(int fd, const HttpServer::Options& options,
 
   request->body = buffer.substr(header_end + 4);
   while (request->body.size() < content_length) {
-    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0 && errno == EINTR) continue;
+    ssize_t n = recv_some(chunk, sizeof(chunk));
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      *error_status = 408;  // deadline spent mid-body
+      return false;
+    }
     if (n <= 0) {
       *error_status = 400;  // promised body never arrived
       return false;
@@ -226,6 +254,7 @@ const char* HttpStatusReason(int status) {
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 408: return "Request Timeout";
+    case 410: return "Gone";
     case 413: return "Payload Too Large";
     case 429: return "Too Many Requests";
     case 431: return "Request Header Fields Too Large";
@@ -308,7 +337,12 @@ void HttpServer::Stop() {
     leftover.swap(queue_);
   }
   for (int fd : leftover) {
-    WriteResponse(fd, ErrorResponse(503, "server shutting down"));
+    // Like the 429 shed path, the shutdown 503 advertises when to retry —
+    // restarts are quick, and clients distinguish "come back" from "gone".
+    HttpResponse response = ErrorResponse(503, "server shutting down");
+    response.extra_headers.emplace_back(
+        "Retry-After", std::to_string(options_.retry_after_seconds));
+    WriteResponse(fd, response);
     ::close(fd);
   }
   HttpMetrics::Get().queue_depth.Set(0);

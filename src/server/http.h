@@ -79,6 +79,11 @@ class HttpServer {
     /// Socket receive/send timeout: a stalled peer frees its worker after
     /// at most this long.
     int socket_timeout_ms = 5000;
+    /// Total wall-clock budget for reading one request (headers + body),
+    /// answered with 408 when exceeded. The per-recv timeout above only
+    /// bounds a fully stalled peer; a client trickling one byte per
+    /// second would hold a worker indefinitely without this cap.
+    int request_read_deadline_ms = 10000;
     /// Cadence of the disconnect watcher's POLLRDHUP sweep.
     int watch_interval_ms = 10;
   };

@@ -1,9 +1,11 @@
 #include "server/server.h"
 
 #include <cmath>
+#include <filesystem>
 #include <utility>
 #include <vector>
 
+#include "engine/session_log.h"
 #include "server/json.h"
 #include "storage/query_parser.h"
 #include "util/metrics.h"
@@ -14,12 +16,20 @@ namespace {
 
 struct ServerMetrics {
   Counter& steps;
+  Counter& recovered;
+  Counter& divergent;
 
   static ServerMetrics& Get() {
     static ServerMetrics m{
         MetricsRegistry::Global().GetCounter(
             "subdex_server_steps_total",
             "Exploration steps executed over the HTTP API"),
+        MetricsRegistry::Global().GetCounter(
+            "subdex_sessions_recovered_total",
+            "Sessions rebuilt from their journal at startup"),
+        MetricsRegistry::Global().GetCounter(
+            "subdex_sessions_divergent_total",
+            "Sessions whose journal failed replay verification (410)"),
     };
     return m;
   }
@@ -34,6 +44,17 @@ HttpResponse ErrorResponse(int status, const std::string& message) {
 HttpResponse CapacityResponse(const std::string& message,
                               int retry_after_seconds) {
   HttpResponse response = ErrorResponse(429, message);
+  response.extra_headers.emplace_back("Retry-After",
+                                      std::to_string(retry_after_seconds));
+  return response;
+}
+
+/// 503 for durability failures (journal write failed, session read-only):
+/// the state is intact in memory, the operator can free disk and restart,
+/// so the condition is advertised as retryable.
+HttpResponse UnavailableResponse(const std::string& message,
+                                 int retry_after_seconds) {
+  HttpResponse response = ErrorResponse(503, message);
   response.extra_headers.emplace_back("Retry-After",
                                       std::to_string(retry_after_seconds));
   return response;
@@ -229,6 +250,10 @@ Status SubdexServer::Start() {
     return Status::FailedPrecondition(
         "no datasets registered; call RegisterDataset first");
   }
+  if (options_.journal.enabled()) {
+    Status recovered = RecoverSessions();
+    if (!recovered.ok()) return recovered;
+  }
   sessions_.Start();
   Status status = http_.Start();
   if (!status.ok()) {
@@ -270,8 +295,18 @@ HttpResponse SubdexServer::Handle(const HttpRequest& request,
     std::string action =
         slash == std::string::npos ? "" : rest.substr(slash + 1);
     if (id.empty()) return ErrorResponse(404, "missing session id");
+    if (auto divergent = divergent_.find(id); divergent != divergent_.end()) {
+      // Crash recovery could not prove this session's replayed state
+      // matches what its client saw; refusing beats serving a guess.
+      return ErrorResponse(410, "session '" + id +
+                                    "' failed crash recovery (" +
+                                    divergent->second + ") and is gone");
+    }
     if (action.empty()) {
-      if (request.method != "DELETE") return ErrorResponse(405, "use DELETE");
+      if (request.method == "GET") return HandleGetSession(id);
+      if (request.method != "DELETE") {
+        return ErrorResponse(405, "use GET or DELETE");
+      }
       return HandleDelete(id);
     }
     if (action == "step") {
@@ -317,12 +352,49 @@ HttpResponse SubdexServer::HandleCreateSession(const HttpRequest& request) {
     if (!status.ok()) return ErrorResponse(400, status.message());
   }
 
+  SessionManager::SessionSetup setup;
+  if (options_.journal.enabled()) {
+    setup = [this, &dataset, &config](ServerSession& session) -> Status {
+      Result<std::unique_ptr<SessionJournal>> journal =
+          SessionJournal::Start(options_.journal, session.id);
+      if (!journal.ok()) return journal.status();
+      session.journal = std::move(journal).value();
+      // The create record carries everything replay needs to rebuild an
+      // identical engine: dataset, resolved TTL, resolved config.
+      Status created = session.journal->Append(MakeCreateRecord(
+          dataset, static_cast<double>(session.ttl.count()), config));
+      if (!created.ok()) {
+        // Discard justified: the create is failing anyway; a leftover
+        // empty segment is cleaned up by the next boot's scan.
+        (void)session.journal->EraseFiles();
+        session.journal.reset();
+        return created;
+      }
+      // Human-readable mirror next to the journal; best-effort (its loss
+      // never fails a session — the journal is the source of truth).
+      session.mirror = std::make_unique<SessionLog>();
+      Status sink = session.mirror->OpenSink(
+          session.db.get(),
+          SessionJournal::MirrorPath(options_.journal, session.id));
+      if (!sink.ok()) session.mirror.reset();
+      if (session.mirror != nullptr) {
+        session.engine->AttachSessionLog(session.mirror.get());
+      }
+      return Status::Ok();
+    };
+  }
+
   Result<std::shared_ptr<ServerSession>> session =
-      sessions_.Create(dataset, it->second, config, ttl_ms);
+      sessions_.Create(dataset, it->second, config, ttl_ms, setup);
   if (!session.ok()) {
     if (session.status().code() == StatusCode::kFailedPrecondition) {
       return CapacityResponse(session.status().message(),
                               options_.http.retry_after_seconds);
+    }
+    if (session.status().code() == StatusCode::kIoError) {
+      return UnavailableResponse(
+          "cannot persist session journal: " + session.status().message(),
+          options_.http.retry_after_seconds);
     }
     return ErrorResponse(400, session.status().message());
   }
@@ -349,7 +421,16 @@ HttpResponse SubdexServer::HandleStep(const std::string& id,
   if (!lease) {
     return ErrorResponse(404, "unknown or expired session '" + id + "'");
   }
+  if (lease->read_only.load(std::memory_order_acquire)) {
+    return UnavailableResponse(
+        "session '" + id + "' is read-only: its journal failed",
+        options_.http.retry_after_seconds);
+  }
   const SubjectiveDatabase& db = *lease->db;
+
+  // Mutations serialize per session: journal order must equal
+  // engine-commit order or replay could not reproduce the digest chain.
+  MutexLock order(lease->order_mu);
 
   GroupSelection selection;
   if (const JsonValue* reco = body.Find("recommendation"); reco != nullptr) {
@@ -419,11 +500,33 @@ HttpResponse SubdexServer::HandleStep(const std::string& id,
   ServerMetrics::Get().steps.Increment();
   lease->steps_executed.fetch_add(1, std::memory_order_relaxed);
 
+  if (!result.cancelled && lease->journal != nullptr) {
+    Status journaled = lease->journal->Append(MakeStepRecord(
+        PredicateToQuery(db.table(Side::kReviewer),
+                         result.selection.reviewer_pred),
+        PredicateToQuery(db.table(Side::kItem), result.selection.item_pred),
+        options.with_recommendations, result.degraded, result.digest));
+    if (!journaled.ok()) {
+      // The step ran but its durability record did not land. Answer 503 —
+      // not-committed — so the client never treats unjournaled state as
+      // durable, and latch the session read-only: one torn append means
+      // anything written after it would sit behind a tear the reader must
+      // treat as corruption.
+      lease->read_only.store(true, std::memory_order_release);
+      return UnavailableResponse("step executed but could not be journaled (" +
+                                     journaled.message() +
+                                     "); session is now read-only",
+                                 options_.http.retry_after_seconds);
+    }
+  }
+
   JsonValue out = RenderStepResult(id, db, result);
   if (!result.cancelled) {
+    out.Set("digest", JsonValue::Str(DigestToHex(result.digest)));
     // A cancelled step produced nothing the client saw; keep the previous
     // step so its recommendation indexes stay valid.
     MutexLock lock(lease->mu);
+    lease->digests.push_back(result.digest);
     lease->last_step = std::move(result);
     lease->has_last_step = true;
   }
@@ -435,11 +538,30 @@ HttpResponse SubdexServer::HandleReset(const std::string& id) {
   if (!lease) {
     return ErrorResponse(404, "unknown or expired session '" + id + "'");
   }
+  if (lease->read_only.load(std::memory_order_acquire)) {
+    return UnavailableResponse(
+        "session '" + id + "' is read-only: its journal failed",
+        options_.http.retry_after_seconds);
+  }
+  MutexLock order(lease->order_mu);
+  if (lease->journal != nullptr) {
+    // Journal-then-apply: ResetHistory cannot fail, so an acked reset is
+    // always both durable and applied.
+    Status journaled = lease->journal->Append(MakeResetRecord());
+    if (!journaled.ok()) {
+      lease->read_only.store(true, std::memory_order_release);
+      return UnavailableResponse(
+          "reset could not be journaled (" + journaled.message() +
+              "); session is now read-only",
+          options_.http.retry_after_seconds);
+    }
+  }
   lease->engine->ResetHistory();
   {
     MutexLock lock(lease->mu);
     lease->has_last_step = false;
     lease->last_step = StepResult();
+    lease->digests.clear();
   }
   JsonValue out = JsonValue::Object();
   out.Set("session_id", JsonValue::Str(id));
@@ -447,10 +569,57 @@ HttpResponse SubdexServer::HandleReset(const std::string& id) {
   return HttpResponse::Json(200, out.Dump());
 }
 
-HttpResponse SubdexServer::HandleDelete(const std::string& id) {
-  if (!sessions_.Remove(id)) {
+HttpResponse SubdexServer::HandleGetSession(const std::string& id) {
+  SessionLease lease = sessions_.Acquire(id);
+  if (!lease) {
     return ErrorResponse(404, "unknown or expired session '" + id + "'");
   }
+  JsonValue out = JsonValue::Object();
+  out.Set("session_id", JsonValue::Str(id));
+  out.Set("dataset", JsonValue::Str(lease->dataset));
+  out.Set("ttl_ms",
+          JsonValue::Number(static_cast<double>(lease->ttl.count())));
+  out.Set("steps_executed",
+          JsonValue::Number(static_cast<double>(
+              lease->steps_executed.load(std::memory_order_relaxed))));
+  out.Set("journaled", JsonValue::Bool(lease->journal != nullptr));
+  out.Set("read_only", JsonValue::Bool(
+                           lease->read_only.load(std::memory_order_acquire)));
+  out.Set("recovered", JsonValue::Bool(lease->recovered));
+  JsonValue digests = JsonValue::Array();
+  {
+    MutexLock lock(lease->mu);
+    for (uint64_t digest : lease->digests) {
+      digests.Append(JsonValue::Str(DigestToHex(digest)));
+    }
+  }
+  out.Set("digests", std::move(digests));
+  return HttpResponse::Json(200, out.Dump());
+}
+
+HttpResponse SubdexServer::HandleDelete(const std::string& id) {
+  SessionLease lease = sessions_.Acquire(id);
+  if (!lease) {
+    return ErrorResponse(404, "unknown or expired session '" + id + "'");
+  }
+  {
+    // Wait out any in-flight mutation so the tombstone lands last.
+    MutexLock order(lease->order_mu);
+    if (lease->journal != nullptr) {
+      // Best-effort: the files are unlinked below anyway. The tombstone
+      // only matters if the process dies between Remove and the unlink —
+      // then the next boot finishes the erase instead of resurrecting.
+      Status tombstone = lease->journal->Append(MakeDeleteRecord());
+      // Discard justified: a failed tombstone degrades crash-DELETE
+      // atomicity to at-least-once erase, which EraseFiles covers.
+      (void)tombstone;
+    }
+  }
+  if (!sessions_.Remove(id)) {
+    // A concurrent DELETE won the race; it owns the cleanup.
+    return ErrorResponse(404, "unknown or expired session '" + id + "'");
+  }
+  lease->DiscardDurability();
   JsonValue out = JsonValue::Object();
   out.Set("session_id", JsonValue::Str(id));
   out.Set("deleted", JsonValue::Bool(true));
@@ -474,7 +643,199 @@ HttpResponse SubdexServer::HandleHealthz() {
     names.Append(JsonValue::Str(name));
   }
   out.Set("datasets", std::move(names));
+  if (!divergent_.empty()) {
+    out.Set("divergent_sessions",
+            JsonValue::Number(static_cast<double>(divergent_.size())));
+  }
   return HttpResponse::Json(200, out.Dump());
+}
+
+Status SubdexServer::RecoverSessions() {
+  std::error_code ec;
+  std::filesystem::create_directories(options_.journal.dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create journal dir '" +
+                           options_.journal.dir + "': " + ec.message());
+  }
+  Result<std::vector<SessionJournalReplay>> scanned =
+      ScanJournalDir(options_.journal);
+  if (!scanned.ok()) return scanned.status();
+  for (SessionJournalReplay& replay : scanned.value()) {
+    if (replay.deleted) {
+      // A crash between the DELETE tombstone and the unlink: finish it.
+      // Discard justified: a failed unlink just retries next boot.
+      (void)SessionJournal::Erase(options_.journal, replay.session_id);
+      continue;
+    }
+    RecoverOne(std::move(replay));
+  }
+  return Status::Ok();
+}
+
+void SubdexServer::MarkDivergent(const std::string& id,
+                                 const std::string& reason) {
+  // Discard justified: the session may or may not have been restored by
+  // the time divergence is detected; either way it must not be served.
+  (void)sessions_.Remove(id);
+  divergent_.emplace(id, reason);
+  recovery_.sessions_divergent++;
+  ServerMetrics::Get().divergent.Increment();
+}
+
+void SubdexServer::RecoverOne(SessionJournalReplay replay) {
+  const std::string& id = replay.session_id;
+  if (replay.torn_tail) recovery_.torn_tails++;
+  if (!replay.status.ok()) {
+    return MarkDivergent(id, replay.status.message());
+  }
+  if (replay.records.empty()) {
+    // Crash before the create record was acked: nothing durable existed,
+    // so there is no session to resurrect — just drop the empty shell.
+    // Discard justified: a failed unlink retries next boot.
+    (void)SessionJournal::Erase(options_.journal, id);
+    return;
+  }
+
+  const JsonValue& create = replay.records.front();
+  const JsonValue* type = create.Find("type");
+  if (type == nullptr || !type->is_string() || type->str() != "create") {
+    return MarkDivergent(id, "first journal record is not a create");
+  }
+  const JsonValue* dataset = create.Find("dataset");
+  if (dataset == nullptr || !dataset->is_string()) {
+    return MarkDivergent(id, "create record has no dataset");
+  }
+  auto it = datasets_.find(dataset->str());
+  if (it == datasets_.end()) {
+    return MarkDivergent(id, "dataset '" + dataset->str() +
+                                 "' is no longer registered");
+  }
+  double ttl_ms = 0;
+  if (const JsonValue* v = create.Find("ttl_ms");
+      v != nullptr && v->is_number()) {
+    ttl_ms = v->number();
+  }
+  EngineConfig config = options_.engine;
+  if (const JsonValue* knobs = create.Find("config");
+      knobs != nullptr && knobs->is_object()) {
+    Status applied = ApplyConfigOverrides(
+        *knobs, options_.max_threads_per_session, &config);
+    if (!applied.ok()) {
+      return MarkDivergent(id, "journaled config rejected: " +
+                                   applied.message());
+    }
+  }
+
+  Result<std::shared_ptr<ServerSession>> restored =
+      sessions_.Restore(id, dataset->str(), it->second, config, ttl_ms);
+  if (!restored.ok()) return MarkDivergent(id, restored.status().message());
+  std::shared_ptr<ServerSession> session = std::move(restored).value();
+
+  // Attach the mirror before replay so replayed steps regenerate the
+  // human-readable log from scratch (OpenSink truncates). Best-effort,
+  // like at create time.
+  session->mirror = std::make_unique<SessionLog>();
+  Status sink = session->mirror->OpenSink(
+      session->db.get(), SessionJournal::MirrorPath(options_.journal, id));
+  if (!sink.ok()) session->mirror.reset();
+  if (session->mirror != nullptr) {
+    session->engine->AttachSessionLog(session->mirror.get());
+  }
+
+  for (size_t i = 1; i < replay.records.size(); ++i) {
+    const JsonValue& record = replay.records[i];
+    // The scan validated every record has a string "type".
+    const std::string& kind = record.Find("type")->str();
+    if (kind == "reset") {
+      session->engine->ResetHistory();
+      MutexLock lock(session->mu);
+      session->has_last_step = false;
+      session->last_step = StepResult();
+      session->digests.clear();
+      continue;
+    }
+    if (kind != "step") {
+      return MarkDivergent(id, "unexpected '" + kind + "' record at index " +
+                                   std::to_string(i));
+    }
+    Status stepped = ReplayStep(*session, record);
+    if (!stepped.ok()) return MarkDivergent(id, stepped.message());
+  }
+
+  // Continue the journal where it left off (Resume truncates any torn
+  // tail). A session that replayed fine but cannot append again is still
+  // worth serving — read-only.
+  Result<std::unique_ptr<SessionJournal>> journal =
+      SessionJournal::Resume(options_.journal, replay);
+  if (journal.ok()) {
+    session->journal = std::move(journal).value();
+  } else {
+    session->read_only.store(true, std::memory_order_release);
+  }
+  recovery_.sessions_recovered++;
+  ServerMetrics::Get().recovered.Increment();
+}
+
+Status SubdexServer::ReplayStep(ServerSession& session,
+                                const JsonValue& record) {
+  const SubjectiveDatabase& db = *session.db;
+  GroupSelection selection;
+  for (const auto& [key, side] :
+       {std::pair<const char*, Side>{"reviewers", Side::kReviewer},
+        std::pair<const char*, Side>{"items", Side::kItem}}) {
+    const JsonValue* v = record.Find(key);
+    if (v == nullptr || !v->is_string()) {
+      return Status::IoError(std::string("step record has no '") + key +
+                             "' query");
+    }
+    if (v->str().empty()) continue;
+    Result<Predicate> pred = ParsePredicateReadOnly(db.table(side), v->str());
+    if (!pred.ok()) {
+      return Status::IoError(std::string("journaled '") + key +
+                             "' query no longer parses: " +
+                             pred.status().message());
+    }
+    (side == Side::kReviewer ? selection.reviewer_pred
+                             : selection.item_pred) = std::move(pred).value();
+  }
+
+  uint64_t expected = 0;
+  const JsonValue* digest = record.Find("digest");
+  if (digest == nullptr || !digest->is_string() ||
+      !HexToDigest(digest->str(), &expected)) {
+    return Status::IoError("step record has no valid digest");
+  }
+  bool was_degraded = false;
+  if (const JsonValue* v = record.Find("degraded");
+      v != nullptr && v->is_bool()) {
+    was_degraded = v->bool_value();
+  }
+
+  StepOptions options;
+  if (const JsonValue* v = record.Find("with_recommendations");
+      v != nullptr && v->is_bool()) {
+    options.with_recommendations = v->bool_value();
+  }
+  // No deadline and no cancellation token: replay always runs the step to
+  // completion, which is exactly why a step that degraded live (deadline
+  // cut) is exempt from digest verification below.
+  StepResult result = session.engine->ExecuteStep(selection, options);
+  if (!was_degraded && result.digest != expected) {
+    return Status::IoError("digest mismatch: journal has " +
+                           DigestToHex(expected) + ", replay produced " +
+                           DigestToHex(result.digest));
+  }
+
+  {
+    MutexLock lock(session.mu);
+    // The chain keeps the *journaled* digest — the one the client was
+    // acked with — even for degraded steps where replay ran further.
+    session.digests.push_back(expected);
+    session.last_step = std::move(result);
+    session.has_last_step = true;
+  }
+  session.steps_executed.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
 }
 
 }  // namespace subdex

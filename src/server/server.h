@@ -7,6 +7,7 @@
 
 #include "engine/config.h"
 #include "server/http.h"
+#include "server/session_journal.h"
 #include "server/session_manager.h"
 #include "subjective/subjective_db.h"
 #include "util/status.h"
@@ -27,6 +28,8 @@ namespace subdex {
 ///                                        "deadline_ms"?: number,
 ///                                        "with_recommendations"?: bool}
 ///   POST   /sessions/{id}/reset   forget the session's exploration history
+///   GET    /sessions/{id}         session state summary (step digests,
+///                                 read-only / recovered flags)
 ///   DELETE /sessions/{id}         end a session
 ///   GET    /metrics               Prometheus text exposition
 ///   GET    /healthz               liveness + session/dataset summary
@@ -37,6 +40,13 @@ namespace subdex {
 /// picks a target from the session's previous step instead of spelling out
 /// queries. Errors come back as {"error": message}; capacity exhaustion
 /// (session cap, request queue) answers 429 with a Retry-After header.
+///
+/// Durability (DESIGN.md §13): with `Options::journal.dir` set, every
+/// session mutation is journaled before it is acknowledged, Start()
+/// replays the journals to rebuild sessions (verifying per-step digests;
+/// sessions that fail verification answer 410 Gone instead of serving
+/// wrong state), and a session whose journal writes start failing turns
+/// read-only — mutations answer 503 + Retry-After, reads keep working.
 class SubdexServer {
  public:
   struct Options {
@@ -49,8 +59,18 @@ class SubdexServer {
     EngineConfig engine;
     /// Hard cap a request's config.num_threads may ask for.
     size_t max_threads_per_session = 4;
+    /// Session durability; disabled (empty dir) by default.
+    JournalConfig journal;
 
     Options() { engine.num_threads = 1; }
+  };
+
+  /// What Start()'s crash recovery found (tests and operators read this;
+  /// the same numbers feed subdex_sessions_{recovered,divergent}_total).
+  struct RecoveryReport {
+    size_t sessions_recovered = 0;
+    size_t sessions_divergent = 0;
+    size_t torn_tails = 0;
   };
 
   explicit SubdexServer(Options options);
@@ -67,8 +87,16 @@ class SubdexServer {
       const std::string& name, std::shared_ptr<const SubjectiveDatabase> db);
 
   /// Starts the session reaper and the HTTP front end. Requires at least
-  /// one registered dataset.
+  /// one registered dataset. With journaling enabled, replays every
+  /// session journal found in the journal dir first, so recovered
+  /// sessions are serveable before the first request lands.
   SUBDEX_MUST_USE_RESULT Status Start();
+
+  /// Crash-recovery outcome of the last Start(); zeros when journaling is
+  /// off or nothing was on disk.
+  SUBDEX_NODISCARD const RecoveryReport& recovery() const {
+    return recovery_;
+  }
 
   /// Stops the HTTP server (in-flight requests finish), then the reaper.
   void Stop();
@@ -94,9 +122,18 @@ class SubdexServer {
   HttpResponse HandleStep(const std::string& id, const HttpRequest& request,
                           const CancellationToken& disconnect);
   HttpResponse HandleReset(const std::string& id);
+  HttpResponse HandleGetSession(const std::string& id);
   HttpResponse HandleDelete(const std::string& id);
   HttpResponse HandleMetrics();
   HttpResponse HandleHealthz();
+
+  /// Startup journal replay: one pass over the journal dir, rebuilding
+  /// every recoverable session and flagging the rest divergent.
+  SUBDEX_MUST_USE_RESULT Status RecoverSessions();
+  void RecoverOne(SessionJournalReplay replay);
+  SUBDEX_MUST_USE_RESULT Status ReplayStep(ServerSession& session,
+                                           const JsonValue& record);
+  void MarkDivergent(const std::string& id, const std::string& reason);
 
   Options options_;
   // Insertion-ordered (std::map) so /healthz lists datasets
@@ -104,6 +141,13 @@ class SubdexServer {
   std::map<std::string, std::shared_ptr<const SubjectiveDatabase>> datasets_;
   std::string default_dataset_;
   bool started_ = false;
+
+  // Sessions whose journal failed verification during recovery, with the
+  // reason; immutable after Start(). Their ids answer 410 Gone — serving
+  // a state we cannot prove matches what the user saw would be worse
+  // than refusing.
+  std::map<std::string, std::string> divergent_;
+  RecoveryReport recovery_;
 
   SessionManager sessions_;
   HttpServer http_;

@@ -55,6 +55,14 @@ std::string HexSuffix(uint64_t v) {
 
 }  // namespace
 
+void ServerSession::DiscardDurability() {
+  if (journal == nullptr) return;
+  // Discard justified: the session is already gone; a failed unlink only
+  // means the next boot replays a deleted session's journal and finishes
+  // the erase then.
+  (void)journal->EraseFiles();
+}
+
 int64_t ServerSession::NowMs() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
@@ -87,9 +95,23 @@ void SessionManager::Stop() {
   reaper_running_ = false;
 }
 
+namespace {
+
+std::chrono::milliseconds ClampTtl(double ttl_ms,
+                                   const SessionManager::Options& options) {
+  std::chrono::milliseconds ttl =
+      ttl_ms <= 0
+          ? options.default_ttl
+          : std::chrono::milliseconds(static_cast<int64_t>(ttl_ms));
+  return std::max(std::chrono::milliseconds(1),
+                  std::min(ttl, options.max_ttl));
+}
+
+}  // namespace
+
 Result<std::shared_ptr<ServerSession>> SessionManager::Create(
     const std::string& dataset, std::shared_ptr<const SubjectiveDatabase> db,
-    const EngineConfig& config, double ttl_ms) {
+    const EngineConfig& config, double ttl_ms, const SessionSetup& setup) {
   if (db == nullptr || !db->finalized()) {
     return Status::InvalidArgument("dataset is not finalized");
   }
@@ -103,22 +125,21 @@ Result<std::shared_ptr<ServerSession>> SessionManager::Create(
         std::to_string(options_.max_sessions) + "); retry later");
   }
 
-  std::chrono::milliseconds ttl =
-      ttl_ms <= 0
-          ? options_.default_ttl
-          : std::chrono::milliseconds(static_cast<int64_t>(ttl_ms));
-  ttl = std::max(std::chrono::milliseconds(1),
-                 std::min(ttl, options_.max_ttl));
-
   uint64_t serial = next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   auto session = std::make_shared<ServerSession>();
   session->id = "s" + std::to_string(serial) + "-" + HexSuffix(MixId(serial));
   session->dataset = dataset;
   session->db = std::move(db);
   session->engine = std::make_unique<SdeEngine>(session->db.get(), config);
-  session->ttl = ttl;
+  session->ttl = ClampTtl(ttl_ms, options_);
   session->last_used_ms.store(ServerSession::NowMs(),
                               std::memory_order_relaxed);
+  if (setup != nullptr) {
+    // Attachments happen before publication: no request thread can see a
+    // session whose journal pointer is still being written.
+    Status status = setup(*session);
+    if (!status.ok()) return status;
+  }
 
   Shard& shard = shards_[ShardIndexOf(session->id)];
   {
@@ -127,6 +148,63 @@ Result<std::shared_ptr<ServerSession>> SessionManager::Create(
   }
   size_t active = active_.fetch_add(1, std::memory_order_relaxed) + 1;
   SessionMetrics::Get().created.Increment();
+  SessionMetrics::Get().active.Set(static_cast<int64_t>(active));
+  return session;
+}
+
+Result<std::shared_ptr<ServerSession>> SessionManager::Restore(
+    const std::string& id, const std::string& dataset,
+    std::shared_ptr<const SubjectiveDatabase> db, const EngineConfig& config,
+    double ttl_ms) {
+  if (db == nullptr || !db->finalized()) {
+    return Status::InvalidArgument("dataset is not finalized");
+  }
+  if (active_.load(std::memory_order_relaxed) >= options_.max_sessions) {
+    return Status::FailedPrecondition(
+        "session capacity reached while recovering '" + id + "'");
+  }
+  // Ids are "s<serial>-<hex>"; push the counter past the recovered serial
+  // so post-recovery creates never mint a colliding id. fetch-max via CAS
+  // (recovery is single-threaded, but the counter itself is shared).
+  if (id.size() > 1 && id[0] == 's') {
+    uint64_t serial = 0;
+    bool numeric = false;
+    for (size_t i = 1; i < id.size() && id[i] != '-'; ++i) {
+      if (id[i] < '0' || id[i] > '9') {
+        numeric = false;
+        break;
+      }
+      serial = serial * 10 + static_cast<uint64_t>(id[i] - '0');
+      numeric = true;
+    }
+    if (numeric) {
+      uint64_t current = next_id_.load(std::memory_order_relaxed);
+      while (current < serial &&
+             !next_id_.compare_exchange_weak(current, serial,
+                                             std::memory_order_relaxed)) {
+      }
+    }
+  }
+
+  auto session = std::make_shared<ServerSession>();
+  session->id = id;
+  session->dataset = dataset;
+  session->db = std::move(db);
+  session->engine = std::make_unique<SdeEngine>(session->db.get(), config);
+  session->ttl = ClampTtl(ttl_ms, options_);
+  session->recovered = true;
+  session->last_used_ms.store(ServerSession::NowMs(),
+                              std::memory_order_relaxed);
+
+  Shard& shard = shards_[ShardIndexOf(session->id)];
+  {
+    MutexLock lock(shard.mu);
+    if (!shard.sessions.emplace(session->id, session).second) {
+      return Status::InvalidArgument("session '" + id +
+                                     "' already exists; duplicate journal?");
+    }
+  }
+  size_t active = active_.fetch_add(1, std::memory_order_relaxed) + 1;
   SessionMetrics::Get().active.Set(static_cast<int64_t>(active));
   return session;
 }
@@ -160,6 +238,8 @@ SessionLease SessionManager::Acquire(const std::string& id) {
     size_t active = active_.fetch_sub(1, std::memory_order_relaxed) - 1;
     SessionMetrics::Get().reaped.Increment();
     SessionMetrics::Get().active.Set(static_cast<int64_t>(active));
+    // Outside the shard lock: unlinking journal files is disk I/O.
+    session->DiscardDurability();
     return SessionLease();
   }
   return SessionLease(std::move(session));
@@ -195,6 +275,9 @@ size_t SessionManager::ReapExpired() {
           ++it;
         }
       }
+    }
+    for (const std::shared_ptr<ServerSession>& victim : victims) {
+      victim->DiscardDurability();
     }
     reaped += victims.size();
   }

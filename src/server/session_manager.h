@@ -6,13 +6,17 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "engine/sde_engine.h"
+#include "engine/session_log.h"
+#include "server/session_journal.h"
 #include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -33,6 +37,12 @@ struct ServerSession {
   std::string id;
   std::string dataset;
   std::shared_ptr<const SubjectiveDatabase> db;
+  /// Durability attachments (null when the server runs without
+  /// --journal-dir): the write-ahead journal and the human-readable
+  /// SessionLog mirror. Declared before `engine`, which holds a raw
+  /// pointer to the mirror, so destruction order stays safe.
+  std::unique_ptr<SessionJournal> journal;
+  std::unique_ptr<SessionLog> mirror;
   std::unique_ptr<SdeEngine> engine;
   std::chrono::milliseconds ttl{0};
 
@@ -44,11 +54,35 @@ struct ServerSession {
   std::atomic<int> in_flight{0};
   std::atomic<uint64_t> steps_executed{0};
 
+  /// Latched when a journal write fails (or a recovered journal cannot
+  /// resume appending): durability is gone, so mutating requests answer
+  /// 503 + Retry-After until the session is deleted or the server
+  /// restarts against a healthy disk.
+  std::atomic<bool> read_only{false};
+  /// True when this session was rebuilt from its journal at startup.
+  bool recovered = false;
+
+  /// Serializes mutations (step/reset) on one session. The journal is a
+  /// totally ordered record log: journal order must equal engine-commit
+  /// order or replay would re-execute steps in an order that cannot
+  /// reproduce the digest chain. Held across ExecuteStep + append;
+  /// ranked above the shard lock, below everything the step acquires.
+  Mutex order_mu{"session.order", lock_rank::kSessionOrder};
+
   Mutex mu{"session.last_step", lock_rank::kSessionLastStep};
-  /// The most recent step (guarded: concurrent steps on one session are
-  /// legal, last writer wins).
+  /// The most recent step; mutations serialize on order_mu, so readers
+  /// under mu see the last committed one.
   StepResult last_step SUBDEX_GUARDED_BY(mu);
   bool has_last_step SUBDEX_GUARDED_BY(mu) = false;
+  /// Digest of every committed step since the last reset — the chain GET
+  /// /sessions/{id} reports and crash recovery verifies against.
+  std::vector<uint64_t> digests SUBDEX_GUARDED_BY(mu);
+
+  /// Unlinks the session's on-disk artifacts (journal segments and the
+  /// mirror); no-op without a journal. Called when the session ends for
+  /// good (explicit DELETE, TTL expiry) — an ended session must not
+  /// resurrect on the next boot.
+  void DiscardDurability();
 
   /// Steady-clock "now" in the unit last_used_ms uses.
   static int64_t NowMs();
@@ -130,10 +164,24 @@ class SessionManager {
   /// then the manager goes down with the process).
   void Stop();
 
+  /// Pre-publication hook: runs on the fully built session *before* it
+  /// becomes visible to Acquire, so attachments (journal, mirror) are in
+  /// place without a race window. A non-OK return aborts the create.
+  using SessionSetup = std::function<Status(ServerSession&)>;
+
   /// Creates a session over `db` with its own engine. `ttl_ms` <= 0 picks
   /// the default TTL; larger values clamp to max_ttl.
   SUBDEX_MUST_USE_RESULT Result<std::shared_ptr<ServerSession>> Create(
       const std::string& dataset,
+      std::shared_ptr<const SubjectiveDatabase> db, const EngineConfig& config,
+      double ttl_ms, const SessionSetup& setup = nullptr);
+
+  /// Re-inserts a session under its journaled id during crash recovery
+  /// (before the HTTP front end starts serving). Advances the id counter
+  /// past the recovered serial so new sessions never collide with
+  /// recovered ones; fails on a duplicate id or an exhausted session cap.
+  SUBDEX_MUST_USE_RESULT Result<std::shared_ptr<ServerSession>> Restore(
+      const std::string& id, const std::string& dataset,
       std::shared_ptr<const SubjectiveDatabase> db, const EngineConfig& config,
       double ttl_ms);
 

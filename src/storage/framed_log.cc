@@ -1,0 +1,235 @@
+#include "storage/framed_log.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/crc32c.h"
+
+namespace subdex {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'B', 'D', 'X', 'L', 'O', 'G', '1'};
+constexpr size_t kMagicBytes = sizeof(kMagic);
+static_assert(kMagicBytes == kFramedLogHeaderBytes,
+              "header constant out of sync with the magic");
+constexpr size_t kFrameHeaderBytes = 8;  // u32 len + u32 crc
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::IoError(op + " '" + path + "': " + std::strerror(errno));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+uint32_t GetU32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+Status WriteAll(int fd, std::string_view data, const std::string& path) {
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+FramedLogWriter::~FramedLogWriter() { Close(); }
+
+FramedLogWriter::FramedLogWriter(FramedLogWriter&& other) noexcept
+    : fd_(other.fd_), size_(other.size_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+  other.size_ = 0;
+}
+
+FramedLogWriter& FramedLogWriter::operator=(
+    FramedLogWriter&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    size_ = other.size_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void FramedLogWriter::Close() {
+  if (fd_ >= 0) {
+    // Discard justified: Close is the non-reporting path (destructor,
+    // move-assign); callers that need durability call Sync() first.
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<FramedLogWriter> FramedLogWriter::Create(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return Errno("create", path);
+  FramedLogWriter writer;
+  writer.fd_ = fd;
+  writer.path_ = path;
+  Status status =
+      WriteAll(fd, std::string_view(kMagic, kMagicBytes), path);
+  if (!status.ok()) {
+    writer.Close();
+    // A header-less file would read as corrupt, not empty; remove it so
+    // the failed create leaves no trace.
+    // Discard justified: best-effort cleanup after the reported failure.
+    (void)::unlink(path.c_str());
+    return status;
+  }
+  writer.size_ = kMagicBytes;
+  return writer;
+}
+
+Result<FramedLogWriter> FramedLogWriter::OpenForAppend(
+    const std::string& path, uint64_t valid_bytes) {
+  if (valid_bytes < kMagicBytes) {
+    return Status::InvalidArgument(
+        "valid_bytes shorter than the segment header: '" + path + "'");
+  }
+  int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) return Errno("open", path);
+  FramedLogWriter writer;
+  writer.fd_ = fd;
+  writer.path_ = path;
+  // Drop the torn tail (if any) before the first new append: the reader
+  // tolerates one torn tail only at the very end of the newest segment.
+  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0) {
+    Status status = Errno("truncate", path);
+    writer.Close();
+    return status;
+  }
+  if (::lseek(fd, static_cast<off_t>(valid_bytes), SEEK_SET) < 0) {
+    Status status = Errno("seek", path);
+    writer.Close();
+    return status;
+  }
+  writer.size_ = valid_bytes;
+  return writer;
+}
+
+Status FramedLogWriter::Append(std::string_view payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("framed log is closed");
+  if (payload.size() > kFramedLogMaxRecordBytes) {
+    return Status::InvalidArgument(
+        "record of " + std::to_string(payload.size()) +
+        " bytes exceeds the framed-log cap");
+  }
+  // One buffer, one write: the common case lands the whole frame in a
+  // single syscall, so a crash tears at most the final record.
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, Crc32c(payload));
+  frame.append(payload);
+  Status status = WriteAll(fd_, frame, path_);
+  if (!status.ok()) return status;
+  size_ += frame.size();
+  return Status::Ok();
+}
+
+Status FramedLogWriter::Sync() {
+  if (fd_ < 0) return Status::FailedPrecondition("framed log is closed");
+  if (::fdatasync(fd_) != 0) return Errno("fdatasync", path_);
+  return Status::Ok();
+}
+
+FramedLogContents ReadFramedLog(const std::string& path) {
+  FramedLogContents out;
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    out.status = Errno("open", path);
+    return out;
+  }
+  std::string data;
+  char chunk[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      out.status = Errno("read", path);
+      // Discard justified: the read error is already being reported.
+      (void)::close(fd);
+      return out;
+    }
+    if (n == 0) break;
+    data.append(chunk, static_cast<size_t>(n));
+  }
+  // Discard justified: read-only descriptor; close cannot lose data.
+  (void)::close(fd);
+
+  if (data.size() < kMagicBytes ||
+      std::memcmp(data.data(), kMagic, kMagicBytes) != 0) {
+    out.status =
+        Status::IoError("bad framed-log magic (not a segment): '" + path +
+                        "'");
+    return out;
+  }
+
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data.data());
+  size_t pos = kMagicBytes;
+  out.valid_bytes = pos;
+  while (pos < data.size()) {
+    // Torn-tail rules: a partial header, a payload running past EOF, or a
+    // checksum mismatch on the *last* record are the signatures of a
+    // crash mid-append — drop them and report the good prefix. The same
+    // defects mid-file (valid data after the bad record) cannot be a torn
+    // append and mean real corruption.
+    if (data.size() - pos < kFrameHeaderBytes) {
+      out.torn_tail = true;
+      return out;
+    }
+    uint32_t len = GetU32(bytes + pos);
+    uint32_t crc = GetU32(bytes + pos + 4);
+    if (len > kFramedLogMaxRecordBytes) {
+      // An absurd length prefix is indistinguishable from garbage; treat
+      // it as a torn tail only when nothing follows that could have been
+      // meant as data (i.e. it *is* the tail).
+      out.torn_tail = true;
+      return out;
+    }
+    if (data.size() - pos - kFrameHeaderBytes < len) {
+      out.torn_tail = true;
+      return out;
+    }
+    std::string_view payload(data.data() + pos + kFrameHeaderBytes, len);
+    if (Crc32c(payload) != crc) {
+      if (pos + kFrameHeaderBytes + len == data.size()) {
+        out.torn_tail = true;  // checksum-torn final record
+        return out;
+      }
+      out.status = Status::IoError(
+          "framed-log corruption at byte " + std::to_string(pos) +
+          " of '" + path + "' (bad record followed by more data)");
+      return out;
+    }
+    out.records.emplace_back(payload);
+    pos += kFrameHeaderBytes + len;
+    out.valid_bytes = pos;
+  }
+  return out;
+}
+
+}  // namespace subdex

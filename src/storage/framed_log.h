@@ -1,0 +1,102 @@
+#ifndef SUBDEX_STORAGE_FRAMED_LOG_H_
+#define SUBDEX_STORAGE_FRAMED_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace subdex {
+
+/// An append-only log of CRC32C-framed, length-prefixed records in one
+/// file (a "segment"). This is the on-disk substrate of the session
+/// journal (server/session_journal.h); the framing is generic so other
+/// durable logs can reuse it.
+///
+/// Segment layout (all integers little-endian):
+///
+///   [8-byte magic "SBDXLOG1"]
+///   repeated:  [u32 payload_len] [u32 crc32c(payload)] [payload bytes]
+///
+/// The reader is torn-tail tolerant (DESIGN.md §13): a crash mid-append
+/// leaves a partial header, a short payload, or a checksum-mismatched
+/// final record — all three are reported as a torn tail to truncate, not
+/// as corruption. A bad record *followed by valid bytes* cannot be a torn
+/// append and is reported as corruption instead.
+
+/// Upper bound on one record's payload; a length prefix above it is
+/// treated as corruption (a torn header can otherwise masquerade as a
+/// multi-gigabyte record and stall recovery on a read that never ends).
+inline constexpr uint32_t kFramedLogMaxRecordBytes = 64u << 20;
+
+/// Size of the segment header (the magic); a fresh segment's size(). A
+/// segment holds records iff its size exceeds this.
+inline constexpr uint64_t kFramedLogHeaderBytes = 8;
+
+/// Appends framed records to one segment file through a raw POSIX fd —
+/// no stdio buffering, so Sync() (fdatasync) really bounds data loss.
+/// Not internally synchronized; the owning journal serializes access.
+class FramedLogWriter {
+ public:
+  FramedLogWriter() = default;
+  ~FramedLogWriter();
+
+  FramedLogWriter(FramedLogWriter&& other) noexcept;
+  FramedLogWriter& operator=(FramedLogWriter&& other) noexcept;
+  FramedLogWriter(const FramedLogWriter&) = delete;
+  FramedLogWriter& operator=(const FramedLogWriter&) = delete;
+
+  /// Creates a fresh segment (O_EXCL: a name collision is a bug, not a
+  /// file to clobber) and writes the magic header.
+  SUBDEX_MUST_USE_RESULT static Result<FramedLogWriter> Create(
+      const std::string& path);
+
+  /// Re-opens an existing segment for appending, first truncating it to
+  /// `valid_bytes` — the good-prefix length ReadFramedLog reported — so a
+  /// torn tail is physically dropped before new records land after it.
+  SUBDEX_MUST_USE_RESULT static Result<FramedLogWriter> OpenForAppend(
+      const std::string& path, uint64_t valid_bytes);
+
+  /// Appends one framed record. On failure (ENOSPC, EIO, ...) the segment
+  /// may hold a torn record; the caller decides whether to keep writing
+  /// (the reader tolerates exactly one torn tail, so it must not).
+  SUBDEX_MUST_USE_RESULT Status Append(std::string_view payload);
+
+  /// fdatasync: makes every appended record crash-durable.
+  SUBDEX_MUST_USE_RESULT Status Sync();
+
+  /// Bytes written to this segment (header included).
+  SUBDEX_NODISCARD uint64_t size() const { return size_; }
+  SUBDEX_NODISCARD bool is_open() const { return fd_ >= 0; }
+  SUBDEX_NODISCARD const std::string& path() const { return path_; }
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint64_t size_ = 0;
+  std::string path_;
+};
+
+/// Everything ReadFramedLog recovered from one segment.
+struct FramedLogContents {
+  std::vector<std::string> records;
+  /// True when trailing bytes after the last whole record were dropped (a
+  /// crash mid-append); `valid_bytes` is where the good prefix ends, and
+  /// is what OpenForAppend must truncate to before resuming.
+  bool torn_tail = false;
+  uint64_t valid_bytes = 0;
+  /// Non-OK on an unreadable file, bad magic, or mid-file corruption (a
+  /// bad record with valid data after it). A torn tail is NOT an error;
+  /// `records` holds the good prefix either way.
+  Status status = Status::Ok();
+};
+
+/// Reads a whole segment, applying the torn-tail rules above.
+SUBDEX_NODISCARD FramedLogContents ReadFramedLog(const std::string& path);
+
+}  // namespace subdex
+
+#endif  // SUBDEX_STORAGE_FRAMED_LOG_H_

@@ -1,0 +1,29 @@
+#ifndef SUBDEX_UTIL_CRC32C_H_
+#define SUBDEX_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace subdex {
+
+/// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78) — the checksum
+/// framing the session journal's records (storage/framed_log.h). Chosen
+/// over CRC-32 (IEEE) for its better error-detection properties on short
+/// records; matches RFC 3720 / iSCSI, so the test vectors are standard.
+///
+/// `Crc32cExtend` continues a running checksum: Crc32cExtend(Crc32c(a), b)
+/// == Crc32c(a + b), letting callers checksum scattered buffers without
+/// concatenating them.
+SUBDEX_NODISCARD uint32_t Crc32cExtend(uint32_t crc, const void* data,
+                                       size_t n);
+
+SUBDEX_NODISCARD inline uint32_t Crc32c(std::string_view data) {
+  return Crc32cExtend(0, data.data(), data.size());
+}
+
+}  // namespace subdex
+
+#endif  // SUBDEX_UTIL_CRC32C_H_

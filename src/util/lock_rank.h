@@ -24,7 +24,9 @@ inline constexpr int kSessionReaper = 10;   // SessionManager::reaper_mu_
 inline constexpr int kHttpQueue = 20;       // HttpServer::mu_
 inline constexpr int kHttpWatch = 22;       // HttpServer::watch_mu_
 inline constexpr int kSessionShard = 30;    // SessionManager::Shard::mu
+inline constexpr int kSessionOrder = 33;    // ServerSession::order_mu
 inline constexpr int kSessionLastStep = 35; // ServerSession::mu
+inline constexpr int kSessionJournal = 37;  // SessionJournal::mu_
 
 // -- Engine (held across a step's history-dependent phases, which fan out
 //    into the cache and the pool below).

@@ -14,6 +14,8 @@
 
 #include "engine/sde_engine.h"
 #include "engine/session_log.h"
+#include "server/server.h"
+#include "server/session_journal.h"
 #include "subjective/db_io.h"
 #include "tests/test_support.h"
 #include "util/fault_point.h"
@@ -37,8 +39,8 @@ EngineConfig SmallConfig() {
 
 // Drives every fault point at least once so RegisteredPoints() is the
 // complete catalog: an engine step with recommendations (thread pool,
-// group cache), a save/load round trip (db_io), and a logged step
-// (session log).
+// group cache), a save/load round trip (db_io), a logged step (session
+// log), and a journaled session (append, fsync, rotation).
 void DiscoverAllFaultPoints() {
   FaultInjector::Instance().Reset();
   auto db = MakeRandomDb(40, 15, 600, 2, 23);
@@ -54,6 +56,23 @@ void DiscoverAllFaultPoints() {
   auto loaded = LoadDatabase(dir);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   std::filesystem::remove_all(dir);
+
+  JournalConfig journal;
+  journal.dir = (std::filesystem::temp_directory_path() /
+                 "subdex_fault_discovery_journal")
+                    .string();
+  journal.fsync = JournalFsync::kEveryRecord;  // hits journal.fsync
+  journal.segment_bytes = 1;  // second append must rotate
+  std::filesystem::remove_all(journal.dir);
+  ASSERT_TRUE(std::filesystem::create_directories(journal.dir));
+  auto started = SessionJournal::Start(journal, "discovery");
+  ASSERT_TRUE(started.ok()) << started.status().message();
+  std::unique_ptr<SessionJournal> session_journal =
+      std::move(started).value();
+  ASSERT_TRUE(session_journal->Append(MakeResetRecord()).ok());
+  ASSERT_TRUE(session_journal->Append(MakeResetRecord()).ok());
+  ASSERT_TRUE(session_journal->EraseFiles().ok());
+  std::filesystem::remove_all(journal.dir);
 }
 
 TEST(FaultInjectionTest, CatalogContainsEveryDeclaredPoint) {
@@ -61,7 +80,8 @@ TEST(FaultInjectionTest, CatalogContainsEveryDeclaredPoint) {
   std::vector<std::string> points = FaultInjector::Instance().RegisteredPoints();
   for (const char* expected :
        {"thread_pool.chunk", "group_cache.load", "session_log.append",
-        "db_io.parse_manifest", "db_io.load_ratings", "db_io.save"}) {
+        "db_io.parse_manifest", "db_io.load_ratings", "db_io.save",
+        "journal.append", "journal.fsync", "journal.rotate"}) {
     EXPECT_NE(std::find(points.begin(), points.end(), expected), points.end())
         << "fault point never hit during discovery: " << expected;
   }
@@ -194,6 +214,73 @@ TEST(FaultInjectionTest, InjectedDelayForcesDeadlineDegradation) {
   EXPECT_FALSE(result.cancelled);
   // Displayed best-effort maps are committed, as for any degraded step.
   EXPECT_EQ(engine.seen().total(), result.maps.size());
+  FaultInjector::Instance().Reset();
+}
+
+// Each journal fault point, fired through the server's routing core,
+// must degrade exactly one session to read-only (503 + Retry-After on
+// mutations) while reads, other routes, and DELETE keep working — and
+// must never take the process down.
+TEST(FaultInjectionTest, JournalFaultsLatchReadOnlyAndNeverKillTheServer) {
+  for (const char* point :
+       {"journal.append", "journal.fsync", "journal.rotate"}) {
+    SCOPED_TRACE(std::string("armed point: ") + point);
+    FaultInjector::Instance().Reset();
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         (std::string("subdex_journal_fault_") + point))
+            .string();
+    std::filesystem::remove_all(dir);
+
+    SubdexServer::Options options;
+    options.engine.min_group_size = 1;
+    options.journal.dir = dir;
+    // every_record puts fsync on the step path; segment_bytes=1 puts
+    // rotation there too (every post-create append overflows).
+    options.journal.fsync = JournalFsync::kEveryRecord;
+    options.journal.segment_bytes = 1;
+    SubdexServer server(options);
+    ASSERT_TRUE(
+        server.RegisterDataset("tiny", MakeTinyRestaurantDb()).ok());
+    ASSERT_TRUE(server.Start().ok());
+    CancellationToken token;
+    auto call = [&](const std::string& method, const std::string& target) {
+      HttpRequest request;
+      request.method = method;
+      request.target = target;
+      request.body = "{}";
+      return server.Handle(request, token);
+    };
+
+    HttpResponse created = call("POST", "/sessions");
+    ASSERT_EQ(created.status, 201) << created.body;
+    auto body = JsonValue::Parse(created.body);
+    ASSERT_TRUE(body.ok());
+    const std::string id = body.value().Find("session_id")->str();
+
+    FaultInjector::Instance().Arm(point, {});
+    HttpResponse failed = call("POST", "/sessions/" + id + "/step");
+    EXPECT_EQ(failed.status, 503) << failed.body;
+    bool has_retry_after = false;
+    for (const auto& [name, value] : failed.extra_headers) {
+      if (name == "Retry-After" && !value.empty()) has_retry_after = true;
+    }
+    EXPECT_TRUE(has_retry_after);
+    EXPECT_GE(FaultInjector::Instance().FireCount(point), 1u);
+
+    // Disarming does not unlatch: the journal may hold a torn record, so
+    // the session stays read-only while everything else keeps serving.
+    FaultInjector::Instance().Disarm(point);
+    EXPECT_EQ(call("POST", "/sessions/" + id + "/step").status, 503);
+    EXPECT_EQ(call("GET", "/sessions/" + id).status, 200);
+    EXPECT_EQ(call("GET", "/healthz").status, 200);
+    HttpResponse fresh = call("POST", "/sessions");
+    EXPECT_EQ(fresh.status, 201) << fresh.body;
+    EXPECT_EQ(call("DELETE", "/sessions/" + id).status, 200);
+
+    server.Stop();
+    std::filesystem::remove_all(dir);
+  }
   FaultInjector::Instance().Reset();
 }
 

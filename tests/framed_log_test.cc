@@ -1,0 +1,259 @@
+// Tests for the CRC32C-framed segment substrate of the session journal:
+// checksum vectors, write/read round-trips, and — the part that earns its
+// keep — the torn-tail taxonomy: every prefix of a crash mid-append must
+// read back as "good records + torn tail", while damage that cannot be a
+// torn append must read back as corruption.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/framed_log.h"
+#include "util/check.h"
+#include "util/crc32c.h"
+
+namespace subdex {
+namespace {
+
+std::string TempPath(const std::string& tag) {
+  return ::testing::TempDir() + "framed_log_" + tag + "_" +
+         std::to_string(::getpid()) + ".sjl";
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SUBDEX_CHECK_MSG(in.good(), "cannot read back test file");
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  SUBDEX_CHECK_MSG(out.good(), "cannot write test file");
+}
+
+// ---------------------------------------------------------------------------
+// CRC32C
+
+TEST(Crc32cTest, Rfc3720Vectors) {
+  // iSCSI (RFC 3720 §B.4) test vectors for the Castagnoli polynomial.
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros), 0x8a9136aau);
+  const std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones), 0x62a8ab43u);
+  std::string ascending(32, '\0');
+  for (size_t i = 0; i < ascending.size(); ++i) {
+    ascending[i] = static_cast<char>(i);
+  }
+  EXPECT_EQ(Crc32c(ascending), 0x46dd794eu);
+}
+
+TEST(Crc32cTest, ExtendComposesLikeOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t piecewise = Crc32cExtend(0, data.data(), split);
+    piecewise =
+        Crc32cExtend(piecewise, data.data() + split, data.size() - split);
+    EXPECT_EQ(piecewise, Crc32c(data)) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlips) {
+  std::string data = "framed log payload";
+  const uint32_t good = Crc32c(data);
+  for (size_t bit = 0; bit < data.size() * 8; ++bit) {
+    data[bit / 8] = static_cast<char>(data[bit / 8] ^ (1 << (bit % 8)));
+    EXPECT_NE(Crc32c(data), good) << "bit " << bit;
+    data[bit / 8] = static_cast<char>(data[bit / 8] ^ (1 << (bit % 8)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Round-trips
+
+TEST(FramedLogTest, WriteReadRoundTrip) {
+  const std::string path = TempPath("roundtrip");
+  std::remove(path.c_str());
+  std::vector<std::string> payloads = {
+      "",                                  // empty record is legal
+      "{\"type\":\"create\"}",             //
+      std::string(100 * 1024, 'x'),        // larger than one write buffer
+      std::string("\x00\xff\n\r\0x", 6),   // binary-safe
+  };
+  {
+    Result<FramedLogWriter> writer = FramedLogWriter::Create(path);
+    ASSERT_TRUE(writer.ok()) << writer.status().message();
+    FramedLogWriter log = std::move(writer).value();
+    for (const std::string& payload : payloads) {
+      ASSERT_TRUE(log.Append(payload).ok());
+    }
+    ASSERT_TRUE(log.Sync().ok());
+  }
+  FramedLogContents contents = ReadFramedLog(path);
+  ASSERT_TRUE(contents.status.ok()) << contents.status.message();
+  EXPECT_FALSE(contents.torn_tail);
+  ASSERT_EQ(contents.records.size(), payloads.size());
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ(contents.records[i], payloads[i]) << "record " << i;
+  }
+  EXPECT_EQ(contents.valid_bytes, ReadFileBytes(path).size());
+  std::remove(path.c_str());
+}
+
+TEST(FramedLogTest, CreateRefusesToClobberAndAppendContinues) {
+  const std::string path = TempPath("reopen");
+  std::remove(path.c_str());
+  {
+    Result<FramedLogWriter> writer = FramedLogWriter::Create(path);
+    ASSERT_TRUE(writer.ok());
+    FramedLogWriter log = std::move(writer).value();
+    ASSERT_TRUE(log.Append("one").ok());
+  }
+  // O_EXCL: the same segment name must never be silently overwritten.
+  EXPECT_FALSE(FramedLogWriter::Create(path).ok());
+
+  FramedLogContents first = ReadFramedLog(path);
+  ASSERT_TRUE(first.status.ok());
+  Result<FramedLogWriter> reopened =
+      FramedLogWriter::OpenForAppend(path, first.valid_bytes);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  FramedLogWriter log = std::move(reopened).value();
+  ASSERT_TRUE(log.Append("two").ok());
+  log.Close();
+
+  FramedLogContents contents = ReadFramedLog(path);
+  ASSERT_TRUE(contents.status.ok());
+  ASSERT_EQ(contents.records.size(), 2u);
+  EXPECT_EQ(contents.records[0], "one");
+  EXPECT_EQ(contents.records[1], "two");
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Torn tails vs corruption
+
+/// Builds a healthy two-record segment and returns its bytes.
+std::string HealthySegment(const std::string& path) {
+  std::remove(path.c_str());
+  Result<FramedLogWriter> writer = FramedLogWriter::Create(path);
+  SUBDEX_CHECK_MSG(writer.ok(), "create failed");
+  FramedLogWriter log = std::move(writer).value();
+  SUBDEX_CHECK_OK(log.Append("first record"));
+  SUBDEX_CHECK_OK(log.Append("second record"));
+  log.Close();
+  return ReadFileBytes(path);
+}
+
+TEST(FramedLogTest, EveryCrashPrefixIsGoodRecordsPlusTornTail) {
+  const std::string path = TempPath("prefix");
+  const std::string bytes = HealthySegment(path);
+  // A crash mid-append leaves some prefix of the file. Every prefix from
+  // the bare magic to one-byte-short-of-complete must recover the whole
+  // records before the tear and flag (only) the tear.
+  for (size_t len = 8; len < bytes.size(); ++len) {
+    WriteFileBytes(path, bytes.substr(0, len));
+    FramedLogContents contents = ReadFramedLog(path);
+    ASSERT_TRUE(contents.status.ok())
+        << "prefix " << len << ": " << contents.status.message();
+    // "first record" frames as 8 header + 12 payload after the magic, so
+    // prefixes of at least 28 bytes hold it whole.
+    const size_t whole = len >= 8 + 8 + 12 ? 1u : 0u;
+    ASSERT_EQ(contents.records.size(), whole) << "prefix " << len;
+    if (!contents.records.empty()) {
+      EXPECT_EQ(contents.records[0], "first record");
+    }
+    if (len == contents.valid_bytes) {
+      EXPECT_FALSE(contents.torn_tail) << "prefix " << len;
+    } else {
+      EXPECT_TRUE(contents.torn_tail) << "prefix " << len;
+      EXPECT_LT(contents.valid_bytes, len);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FramedLogTest, CorruptFinalRecordIsATornTailButMidFileIsCorruption) {
+  const std::string path = TempPath("midfile");
+  std::string bytes = HealthySegment(path);
+  // Flip a byte inside the *last* record's payload: indistinguishable
+  // from a torn append, so it must truncate, not fail.
+  std::string tail_flip = bytes;
+  tail_flip[bytes.size() - 3] =
+      static_cast<char>(tail_flip[bytes.size() - 3] ^ 0x1);
+  WriteFileBytes(path, tail_flip);
+  FramedLogContents tail = ReadFramedLog(path);
+  ASSERT_TRUE(tail.status.ok()) << tail.status.message();
+  EXPECT_TRUE(tail.torn_tail);
+  ASSERT_EQ(tail.records.size(), 1u);
+  EXPECT_EQ(tail.records[0], "first record");
+
+  // Flip a payload byte inside the *first* record: a CRC-bad record
+  // followed by valid data cannot be a torn append — silent truncation
+  // would drop the second (acknowledged!) record, so this must be
+  // corruption. (A *length*-field flip is different: it swallows the rest
+  // of the file as one incomplete record, which is indistinguishable from
+  // a torn append and correctly reads as a tear.)
+  std::string mid_flip = bytes;
+  mid_flip[20] = static_cast<char>(mid_flip[20] ^ 0x1);
+  WriteFileBytes(path, mid_flip);
+  EXPECT_FALSE(ReadFramedLog(path).status.ok());
+  std::remove(path.c_str());
+}
+
+TEST(FramedLogTest, BadMagicAndOversizedLengthAreRejected) {
+  const std::string path = TempPath("magic");
+  std::string bytes = HealthySegment(path);
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  WriteFileBytes(path, bad_magic);
+  EXPECT_FALSE(ReadFramedLog(path).status.ok());
+
+  // A garbage length prefix above the cap in the *tail* position: treated
+  // as a torn header (trailing garbage), not a 4 GiB read.
+  std::string oversized = bytes;
+  oversized += std::string("\xff\xff\xff\xff\0\0\0\0", 8);
+  WriteFileBytes(path, oversized);
+  FramedLogContents contents = ReadFramedLog(path);
+  ASSERT_TRUE(contents.status.ok()) << contents.status.message();
+  EXPECT_TRUE(contents.torn_tail);
+  EXPECT_EQ(contents.records.size(), 2u);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(ReadFramedLog(path).status.ok()) << "missing file";
+}
+
+TEST(FramedLogTest, TruncateOnOpenPhysicallyDropsTheTornTail) {
+  const std::string path = TempPath("truncate");
+  const std::string bytes = HealthySegment(path);
+  // Tear the second record, resume, append. The reader tolerates only one
+  // tear, so OpenForAppend must remove the old one before the new record
+  // lands — otherwise the file would hold good bytes after a tear, which
+  // reads as corruption.
+  WriteFileBytes(path, bytes.substr(0, bytes.size() - 5));
+  FramedLogContents torn = ReadFramedLog(path);
+  ASSERT_TRUE(torn.status.ok());
+  ASSERT_TRUE(torn.torn_tail);
+  Result<FramedLogWriter> resumed =
+      FramedLogWriter::OpenForAppend(path, torn.valid_bytes);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().message();
+  FramedLogWriter log = std::move(resumed).value();
+  ASSERT_TRUE(log.Append("replacement").ok());
+  log.Close();
+
+  FramedLogContents contents = ReadFramedLog(path);
+  ASSERT_TRUE(contents.status.ok()) << contents.status.message();
+  EXPECT_FALSE(contents.torn_tail);
+  ASSERT_EQ(contents.records.size(), 2u);
+  EXPECT_EQ(contents.records[0], "first record");
+  EXPECT_EQ(contents.records[1], "replacement");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace subdex

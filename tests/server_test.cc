@@ -5,6 +5,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -450,6 +451,91 @@ TEST(HttpServerTest, QueueFullShedsImmediately) {
   EXPECT_EQ(first_response.status, 200);
   EXPECT_EQ(second_response.status, 200);
   server.Stop();
+}
+
+TEST(HttpServerTest, TricklingClientIsCutOffWith408) {
+  HttpServer::Options options;
+  options.num_workers = 1;
+  // The per-recv timeout alone never fires below (a byte lands every
+  // ~50 ms); only the total read deadline can end this connection.
+  options.socket_timeout_ms = 1000;
+  options.request_read_deadline_ms = 250;
+  HttpServer server(options,
+                    [](const HttpRequest&, const CancellationToken&) {
+                      return HttpResponse::Json(200, "{}");
+                    });
+  ASSERT_TRUE(server.Start().ok());
+
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)),
+            0);
+
+  // Trickle a header that never completes, one byte per 50 ms, while
+  // watching for the server's answer.
+  std::string text;
+  char buf[1024];
+  for (int i = 0; i < 100 && text.empty(); ++i) {
+    // Discard justified: the server may cut us off mid-trickle; the recv
+    // below is the observable outcome.
+    (void)send(fd, "a", 1, MSG_NOSIGNAL);
+    pollfd p{fd, POLLIN, 0};
+    if (poll(&p, 1, 50) > 0 && (p.revents & POLLIN) != 0) {
+      ssize_t n = recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      text.append(buf, static_cast<size_t>(n));
+    }
+  }
+  for (;;) {
+    ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    text.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  EXPECT_NE(text.find("408 Request Timeout"), std::string::npos) << text;
+  server.Stop();
+}
+
+TEST(HttpServerTest, ShutdownAnswersQueuedConnectionsWith503RetryAfter) {
+  std::atomic<int> entered{0};
+  std::atomic<bool> release{false};
+  HttpServer::Options options;
+  options.num_workers = 1;
+  options.queue_capacity = 4;
+  HttpServer server(options, [&](const HttpRequest&,
+                                 const CancellationToken&) {
+    entered.fetch_add(1);
+    while (!release.load()) std::this_thread::sleep_for(milliseconds(1));
+    return HttpResponse::Json(200, "{}");
+  });
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+
+  // One request pins the only worker; a second waits in the queue.
+  RawResponse busy_response, queued_response;
+  std::thread busy([&] { busy_response = Fetch(port, "GET", "/a"); });
+  while (entered.load() == 0) std::this_thread::sleep_for(milliseconds(1));
+  std::thread queued([&] { queued_response = Fetch(port, "GET", "/b"); });
+  std::this_thread::sleep_for(milliseconds(200));
+
+  // Stop drains the queue with 503s; a client that got as far as the
+  // queue deserves to know when to come back, same as the 429 shed path.
+  std::thread stopper([&] { server.Stop(); });
+  std::this_thread::sleep_for(milliseconds(100));
+  release.store(true);
+  busy.join();
+  queued.join();
+  stopper.join();
+
+  EXPECT_EQ(busy_response.status, 200) << busy_response.head;
+  EXPECT_EQ(queued_response.status, 503) << queued_response.head;
+  EXPECT_NE(queued_response.head.find("Retry-After:"), std::string::npos)
+      << queued_response.head;
 }
 
 TEST(HttpServerTest, ClientDisconnectTripsCancellationToken) {

@@ -5,6 +5,7 @@
 #include "engine/exploration_session.h"
 #include "engine/personalized.h"
 #include "engine/session_log.h"
+#include "storage/query_parser.h"
 #include "tests/test_support.h"
 
 namespace subdex {
@@ -153,6 +154,86 @@ TEST(SessionLogTest, DeserializeRejectsGarbage) {
   auto empty = SessionLog::Deserialize(db.get(), "");
   ASSERT_TRUE(empty.ok());
   EXPECT_TRUE(empty.value().empty());
+}
+
+// Property: the text format is a faithful carrier for any selection the
+// query grammar can express — including values that force quoting. The
+// journal's crash recovery replays selections through this same
+// query-string round-trip (PredicateToQuery -> parse), so a value that
+// breaks it would silently diverge a recovered session.
+TEST(SessionLogProperty, AdversarialSelectionsSurviveTextRoundTrip) {
+  // One categorical attribute per side, stocked with hostile values: both
+  // quote kinds (never together: the grammar cannot carry a value holding
+  // both), whitespace, grammar metacharacters, UTF-8, lookalikes of the
+  // serializer's own "-" empty-query marker.
+  const std::vector<std::string> notes = {
+      "it's",          "say \"hi\"", "two words",   "tab\tchar",
+      "\xd0\xba\xd0\xbe\xd1\x84\xd0\xb5",  // UTF-8 "кофе"
+      "a = b AND c",   "-",          " leading",    "trailing ",
+      "(paren)",       "$bare-word_ok.1",
+  };
+  Schema reviewer_schema({{"note", AttributeType::kCategorical}});
+  Schema item_schema({{"tag", AttributeType::kCategorical}});
+  auto db = std::make_unique<SubjectiveDatabase>(
+      reviewer_schema, item_schema, std::vector<std::string>{"overall"}, 5);
+  for (const std::string& note : notes) {
+    Status appended = db->reviewers().AppendRow({note});
+    ASSERT_TRUE(appended.ok()) << note;
+    appended = db->items().AppendRow({std::string("tag_") + note});
+    ASSERT_TRUE(appended.ok()) << note;
+  }
+  for (RowId row = 0; row < static_cast<RowId>(notes.size()); ++row) {
+    ASSERT_TRUE(db->AddRating(row, row, {3.0}).ok());
+  }
+  db->FinalizeIndexes();
+
+  // Every (reviewer value, item value) pairing, plus the empty query on
+  // each side in turn (serialized as "-", which must not collide with the
+  // literal "-" value above).
+  SessionLog log;
+  std::vector<GroupSelection> expected;
+  for (size_t r = 0; r < notes.size(); ++r) {
+    for (size_t i = 0; i < notes.size(); ++i) {
+      GroupSelection selection;
+      if (r + 1 < notes.size()) {
+        auto pred = ParsePredicateReadOnly(db->table(Side::kReviewer),
+                                           "note = '" + notes[r] + "'");
+        if (!pred.ok()) {  // values holding ' use double quotes instead
+          pred = ParsePredicateReadOnly(db->table(Side::kReviewer),
+                                        "note = \"" + notes[r] + "\"");
+        }
+        ASSERT_TRUE(pred.ok()) << notes[r] << ": " << pred.status().message();
+        selection.reviewer_pred = std::move(pred).value();
+      }
+      if (i + 1 < notes.size()) {
+        std::string value = "tag_" + notes[i];
+        auto pred = ParsePredicateReadOnly(db->table(Side::kItem),
+                                           "tag = '" + value + "'");
+        if (!pred.ok()) {
+          pred = ParsePredicateReadOnly(db->table(Side::kItem),
+                                        "tag = \"" + value + "\"");
+        }
+        ASSERT_TRUE(pred.ok()) << value << ": " << pred.status().message();
+        selection.item_pred = std::move(pred).value();
+      }
+      StepResult step;
+      step.selection = selection;
+      step.group_size = r * notes.size() + i;
+      ASSERT_TRUE(log.Append(step).ok());
+      expected.push_back(std::move(selection));
+    }
+  }
+
+  std::string text = log.Serialize(*db);
+  auto restored = SessionLog::Deserialize(db.get(), text);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored.value().size(), expected.size());
+  const std::vector<LoggedStep> steps = restored.value().steps();
+  for (size_t s = 0; s < expected.size(); ++s) {
+    EXPECT_EQ(steps[s].selection, expected[s])
+        << "step " << s << " selection did not survive the round-trip";
+    EXPECT_EQ(steps[s].group_size, s);
+  }
 }
 
 // ------------------------------------------- OperationPreferenceModel ----
