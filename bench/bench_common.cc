@@ -2,8 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "engine/exploration_session.h"
+#include "util/stats.h"
 #include "util/string_util.h"
 
 namespace subdex::bench {
@@ -93,6 +95,37 @@ StepCost MeasureSteps(const SubjectiveDatabase& db, EngineConfig config,
   cost.avg_ms /= static_cast<double>(n);
   cost.avg_record_updates /= static_cast<double>(n);
   return cost;
+}
+
+StepCost MeasureSteps(const SubjectiveDatabase& db, EngineConfig config,
+                      size_t steps, size_t repeats) {
+  if (repeats < 1) repeats = 1;
+  // One pass collects both fields, so the medians come from the same runs
+  // (MedianOfRuns would re-run the workload once per field).
+  std::vector<double> ms, updates;
+  ms.reserve(repeats);
+  updates.reserve(repeats);
+  for (size_t i = 0; i < repeats; ++i) {
+    StepCost one = MeasureSteps(db, config, steps);
+    ms.push_back(one.avg_ms);
+    updates.push_back(one.avg_record_updates);
+  }
+  StepCost cost;
+  cost.avg_ms = Median(std::move(ms));
+  cost.avg_record_updates = Median(std::move(updates));
+  return cost;
+}
+
+size_t RepeatCount(int argc, char** argv) {
+  const char* spec = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--repeat=", 9) == 0) spec = argv[i] + 9;
+  }
+  if (spec == nullptr) spec = std::getenv("SUBDEX_REPEAT");
+  if (spec == nullptr) return 1;
+  int out = 1;
+  if (!ParseInt(spec, &out) || out < 1) return 1;
+  return static_cast<size_t>(out);
 }
 
 void PrintBanner(const std::string& title, const std::string& paper_ref) {

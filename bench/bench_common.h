@@ -81,6 +81,18 @@ struct StepCost {
 StepCost MeasureSteps(const SubjectiveDatabase& db, EngineConfig config,
                       size_t steps);
 
+/// Median-of-`repeats` MeasureSteps: every run uses a fresh session, each
+/// StepCost field is the median across runs (util MedianOfRuns), so one
+/// noisy run — page faults, frequency scaling — cannot become the
+/// reported number. repeats < 1 is treated as 1.
+StepCost MeasureSteps(const SubjectiveDatabase& db, EngineConfig config,
+                      size_t steps, size_t repeats);
+
+/// Benchmark repeat count: `--repeat=N` on the command line wins, then the
+/// SUBDEX_REPEAT environment variable, default 1. Invalid or non-positive
+/// values fall back to 1 (a benchmark should run, not argue).
+size_t RepeatCount(int argc, char** argv);
+
 }  // namespace subdex::bench
 
 #endif  // SUBDEX_BENCH_BENCH_COMMON_H_

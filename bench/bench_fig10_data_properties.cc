@@ -33,9 +33,10 @@ void PrintHeaderRow() {
   std::printf(" %14s %18s\n", "avg step ms", "avg updates/step");
 }
 
-void MeasureAllVariants(const SubjectiveDatabase& db, size_t steps) {
+void MeasureAllVariants(const SubjectiveDatabase& db, size_t steps,
+                        size_t repeats) {
   for (const AlgorithmVariant& v : ScalabilityVariants()) {
-    StepCost cost = MeasureSteps(db, ScalabilityConfig(v), steps);
+    StepCost cost = MeasureSteps(db, ScalabilityConfig(v), steps, repeats);
     std::printf("%-16s %14.1f %18.0f\n", v.name, cost.avg_ms,
                 cost.avg_record_updates);
   }
@@ -43,14 +44,16 @@ void MeasureAllVariants(const SubjectiveDatabase& db, size_t steps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   PrintBanner("Running times vs. data properties", "Figure 10 (a, b, c)");
   double scale = EnvDouble("SUBDEX_SCALE", 0.2);
   size_t steps = static_cast<size_t>(EnvInt("SUBDEX_STEPS", 3));
+  size_t repeats = RepeatCount(argc, argv);
   BenchDataset yelp = MakeYelp(scale, 81);
-  std::printf("%s: %zu records, %zu reviewers; %zu-step FA paths\n",
+  std::printf("%s: %zu records, %zu reviewers; %zu-step FA paths; "
+              "median of %zu run(s)\n",
               yelp.name.c_str(), yelp.db->num_records(),
-              yelp.db->num_reviewers(), steps);
+              yelp.db->num_reviewers(), steps, repeats);
 
   std::printf("\n--- (a) database size (reviewer sampling) ---\n");
   for (double fraction : {0.2, 0.4, 0.6, 0.8, 1.0}) {
@@ -58,7 +61,7 @@ int main() {
     std::printf("\nfraction %.1f (%zu records):\n", fraction,
                 sampled->num_records());
     PrintHeaderRow();
-    MeasureAllVariants(*sampled, steps);
+    MeasureAllVariants(*sampled, steps, repeats);
   }
 
   std::printf("\n--- (b) number of attributes ---\n");
@@ -66,7 +69,7 @@ int main() {
     auto dropped = DropAttributes(*yelp.db, keep, 813);
     std::printf("\n%zu attributes:\n", keep);
     PrintHeaderRow();
-    MeasureAllVariants(*dropped, steps);
+    MeasureAllVariants(*dropped, steps, repeats);
   }
 
   std::printf("\n--- (c) number of attribute-values ---\n");
@@ -79,7 +82,7 @@ int main() {
     for (const AlgorithmVariant& v : ScalabilityVariants()) {
       EngineConfig config = ScalabilityConfig(v);
       config.operations.max_candidates = 400;
-      StepCost cost = MeasureSteps(*limited, config, steps);
+      StepCost cost = MeasureSteps(*limited, config, steps, repeats);
       std::printf("%-16s %14.1f %18.0f\n", v.name, cost.avg_ms,
                   cost.avg_record_updates);
     }

@@ -25,7 +25,7 @@ EngineConfig ScalabilityConfig(const AlgorithmVariant& variant) {
 }
 
 void Sweep(const SubjectiveDatabase& db, const char* param, size_t steps,
-           const std::vector<size_t>& values,
+           size_t repeats, const std::vector<size_t>& values,
            void (*apply)(EngineConfig*, size_t)) {
   std::printf("\n--- running time vs. %s ---\n", param);
   for (size_t value : values) {
@@ -35,7 +35,7 @@ void Sweep(const SubjectiveDatabase& db, const char* param, size_t steps,
     for (const AlgorithmVariant& v : ScalabilityVariants()) {
       EngineConfig config = ScalabilityConfig(v);
       apply(&config, value);
-      StepCost cost = MeasureSteps(db, config, steps);
+      StepCost cost = MeasureSteps(db, config, steps, repeats);
       std::printf("%-16s %14.1f %18.0f\n", v.name, cost.avg_ms,
                   cost.avg_record_updates);
     }
@@ -44,24 +44,27 @@ void Sweep(const SubjectiveDatabase& db, const char* param, size_t steps,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   PrintBanner("Running times vs. system parameters", "Figure 11 (a, b, c)");
   double scale = EnvDouble("SUBDEX_SCALE", 0.2);
   size_t steps = static_cast<size_t>(EnvInt("SUBDEX_STEPS", 3));
+  size_t repeats = RepeatCount(argc, argv);
   BenchDataset yelp = MakeYelp(scale, 91);
-  std::printf("%s: %zu records; %zu-step FA paths; defaults k=3 o=3 l=3\n",
-              yelp.name.c_str(), yelp.db->num_records(), steps);
+  std::printf("%s: %zu records; %zu-step FA paths; defaults k=3 o=3 l=3; "
+              "median of %zu run(s)\n",
+              yelp.name.c_str(), yelp.db->num_records(), steps, repeats);
 
-  Sweep(*yelp.db, "k (# rating maps)", steps, {1, 2, 3, 4, 5},
+  Sweep(*yelp.db, "k (# rating maps)", steps, repeats, {1, 2, 3, 4, 5},
         [](EngineConfig* c, size_t v) { c->k = v; });
   // For the o sweep the builder gets the paper's o-proportional evaluation
   // budget (top-o operations per displayed map => ~k*o evaluations).
-  Sweep(*yelp.db, "o (# recommendations)", steps, {1, 2, 3, 4, 5},
+  Sweep(*yelp.db, "o (# recommendations)", steps, repeats, {1, 2, 3, 4, 5},
         [](EngineConfig* c, size_t v) {
           c->o = v;
           c->max_operation_evaluations = c->k * v * 4;
         });
-  Sweep(*yelp.db, "l (pruning-diversity factor)", steps, {1, 2, 3, 4, 5},
+  Sweep(*yelp.db, "l (pruning-diversity factor)", steps, repeats,
+        {1, 2, 3, 4, 5},
         [](EngineConfig* c, size_t v) { c->l = v; });
 
   std::printf(

@@ -1,0 +1,423 @@
+// subdex-loadgen: IDEBench-style load harness for the exploration engine
+// and subdexd. Replays N concurrent simulated-user sessions — seeded
+// SimulatedUser policies choose which recommendation to follow and how
+// long to "think" between steps — against (a) the in-process SdeEngine
+// and (b) a live subdexd over HTTP/JSON, sweeping concurrency x dataset
+// scale. Per-step wall latency lands in an HDR-style histogram; the run
+// emits a schema-versioned BENCH_load_trajectory.json whose points carry
+// p50/p95/p99/max, achieved step rate, degraded/cancelled fractions,
+// 429/503 shed counts and the RatingGroupCache hit rate (scraped from
+// GET /metrics in server mode, MetricsRegistry in-process).
+//
+//   subdex-loadgen [--mode=both|engine|server] [--dataset=movielens|yelp|
+//     hotel] [--scales=0.05,0.1] [--concurrency=1,8,32] [--steps=4]
+//     [--think-ms=0] [--deadline-ms=0] [--open --arrivals=8 --window=5]
+//     [--seed=42] [--repeat=1] [--workers=8] [--queue=64]
+//     [--connect=HOST:PORT] [--notes=...] [--out=FILE]
+//   subdex-loadgen --validate=FILE [--smoke]
+//
+// --validate re-parses and sanity-checks an existing report (CI's schema
+// gate); --smoke additionally pins the invariants the seeded smoke run
+// must satisfy (every point accepted steps; nothing cancelled at closed-
+// loop concurrency 1).
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "loadgen/driver.h"
+#include "loadgen/report.h"
+#include "server/server.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+
+using namespace subdex;
+using namespace subdex::bench;
+using namespace subdex::loadgen;
+
+namespace {
+
+struct Cli {
+  bool run_engine = true;
+  bool run_server = true;
+  std::string dataset = "movielens";
+  std::vector<double> scales = {0.05, 0.1};
+  std::vector<size_t> concurrency = {1, 8};
+  size_t steps = 4;
+  double think_ms = 0.0;
+  double deadline_ms = 0.0;
+  bool open_loop = false;
+  double arrivals_per_s = 8.0;
+  double window_s = 5.0;
+  uint64_t seed = 42;
+  size_t repeats = 1;
+  size_t workers = 8;
+  size_t queue = 64;
+  std::string connect;  // HOST:PORT of an external subdexd
+  std::string notes;
+  std::string out = "BENCH_load_trajectory.json";
+  std::string validate;
+  bool smoke = false;
+};
+
+bool FlagValue(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+bool ParseCli(int argc, char** argv, Cli* cli) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    std::string value;
+    int parsed_int = 0;
+    double parsed_double = 0.0;
+    if (FlagValue(arg, "--mode", &value)) {
+      cli->run_engine = value == "engine" || value == "both";
+      cli->run_server = value == "server" || value == "both";
+      if (!cli->run_engine && !cli->run_server) {
+        std::fprintf(stderr, "unknown --mode=%s\n", value.c_str());
+        return false;
+      }
+    } else if (FlagValue(arg, "--dataset", &value)) {
+      if (value != "movielens" && value != "yelp" && value != "hotel") {
+        std::fprintf(stderr, "unknown --dataset=%s\n", value.c_str());
+        return false;
+      }
+      cli->dataset = value;
+    } else if (FlagValue(arg, "--scales", &value)) {
+      cli->scales.clear();
+      for (const std::string& field : Split(value, ',')) {
+        if (!ParseDouble(field, &parsed_double) || parsed_double <= 0.0) {
+          std::fprintf(stderr, "bad scale '%s'\n", field.c_str());
+          return false;
+        }
+        cli->scales.push_back(parsed_double);
+      }
+    } else if (FlagValue(arg, "--concurrency", &value)) {
+      cli->concurrency.clear();
+      for (const std::string& field : Split(value, ',')) {
+        if (!ParseInt(field, &parsed_int) || parsed_int < 1) {
+          std::fprintf(stderr, "bad concurrency '%s'\n", field.c_str());
+          return false;
+        }
+        cli->concurrency.push_back(static_cast<size_t>(parsed_int));
+      }
+    } else if (FlagValue(arg, "--steps", &value)) {
+      if (!ParseInt(value, &parsed_int) || parsed_int < 1) return false;
+      cli->steps = static_cast<size_t>(parsed_int);
+    } else if (FlagValue(arg, "--think-ms", &value)) {
+      if (!ParseDouble(value, &cli->think_ms)) return false;
+    } else if (FlagValue(arg, "--deadline-ms", &value)) {
+      if (!ParseDouble(value, &cli->deadline_ms)) return false;
+    } else if (std::strcmp(arg, "--open") == 0) {
+      cli->open_loop = true;
+    } else if (FlagValue(arg, "--arrivals", &value)) {
+      if (!ParseDouble(value, &cli->arrivals_per_s)) return false;
+    } else if (FlagValue(arg, "--window", &value)) {
+      if (!ParseDouble(value, &cli->window_s)) return false;
+    } else if (FlagValue(arg, "--seed", &value)) {
+      if (!ParseInt(value, &parsed_int) || parsed_int < 0) return false;
+      cli->seed = static_cast<uint64_t>(parsed_int);
+    } else if (FlagValue(arg, "--repeat", &value)) {
+      // RepeatCount (bench_common) also honors this flag; parsed here only
+      // to validate early.
+      if (!ParseInt(value, &parsed_int) || parsed_int < 1) return false;
+    } else if (FlagValue(arg, "--workers", &value)) {
+      if (!ParseInt(value, &parsed_int) || parsed_int < 1) return false;
+      cli->workers = static_cast<size_t>(parsed_int);
+    } else if (FlagValue(arg, "--queue", &value)) {
+      if (!ParseInt(value, &parsed_int) || parsed_int < 1) return false;
+      cli->queue = static_cast<size_t>(parsed_int);
+    } else if (FlagValue(arg, "--connect", &value)) {
+      cli->connect = value;
+    } else if (FlagValue(arg, "--notes", &value)) {
+      cli->notes = value;
+    } else if (FlagValue(arg, "--out", &value)) {
+      cli->out = value;
+    } else if (FlagValue(arg, "--validate", &value)) {
+      cli->validate = value;
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      cli->smoke = true;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg);
+      return false;
+    }
+  }
+  cli->repeats = RepeatCount(argc, argv);
+  return true;
+}
+
+BenchDataset MakeScaled(const std::string& kind, double scale,
+                        uint64_t seed) {
+  if (kind == "yelp") return MakeYelp(scale, seed);
+  if (kind == "hotel") return MakeHotel(scale, seed);
+  return MakeMovielens(scale, seed);
+}
+
+/// Session-engine template: the serving configuration (one thread per
+/// session — concurrency comes from many sessions) with the benchmark
+/// candidate budget, so a step is the same work subdexd does per request.
+EngineConfig SessionEngineConfig() {
+  EngineConfig config = QualityConfig();
+  config.num_threads = 1;
+  config.operations.max_candidates = 80;
+  return config;
+}
+
+double MedianOf(std::vector<double> xs) { return Median(std::move(xs)); }
+
+uint64_t MedianU64(const std::vector<uint64_t>& xs) {
+  std::vector<double> d(xs.begin(), xs.end());
+  return static_cast<uint64_t>(Median(std::move(d)));
+}
+
+/// Field-wise median across repeat runs of one cell. Identity fields come
+/// from the first point (identical across repeats by construction).
+TrajectoryPoint Medianize(const std::vector<TrajectoryPoint>& runs) {
+  TrajectoryPoint out = runs.front();
+  out.repeats = runs.size();
+  if (runs.size() == 1) return out;
+  std::vector<double> wall, degraded, cancelled, p50, p95, p99, max, mean,
+      rate;
+  std::vector<uint64_t> started, completed, attempted, ok, failed, s429, s503,
+      terr, dropped, hits, misses;
+  for (const TrajectoryPoint& r : runs) {
+    wall.push_back(r.wall_s);
+    degraded.push_back(r.degraded_fraction);
+    cancelled.push_back(r.cancelled_fraction);
+    p50.push_back(r.latency_ms.p50);
+    p95.push_back(r.latency_ms.p95);
+    p99.push_back(r.latency_ms.p99);
+    max.push_back(r.latency_ms.max);
+    mean.push_back(r.latency_ms.mean);
+    rate.push_back(r.steps_per_s);
+    started.push_back(r.sessions_started);
+    completed.push_back(r.sessions_completed);
+    attempted.push_back(r.steps_attempted);
+    ok.push_back(r.steps_ok);
+    failed.push_back(r.steps_failed);
+    s429.push_back(r.shed_429);
+    s503.push_back(r.shed_503);
+    terr.push_back(r.transport_errors);
+    dropped.push_back(r.arrivals_dropped);
+    hits.push_back(r.cache.hits);
+    misses.push_back(r.cache.misses);
+  }
+  out.wall_s = MedianOf(std::move(wall));
+  out.degraded_fraction = MedianOf(std::move(degraded));
+  out.cancelled_fraction = MedianOf(std::move(cancelled));
+  out.latency_ms.p50 = MedianOf(std::move(p50));
+  out.latency_ms.p95 = MedianOf(std::move(p95));
+  out.latency_ms.p99 = MedianOf(std::move(p99));
+  out.latency_ms.max = MedianOf(std::move(max));
+  out.latency_ms.mean = MedianOf(std::move(mean));
+  out.steps_per_s = MedianOf(std::move(rate));
+  out.sessions_started = MedianU64(started);
+  out.sessions_completed = MedianU64(completed);
+  out.steps_attempted = MedianU64(attempted);
+  out.steps_ok = MedianU64(ok);
+  out.steps_failed = MedianU64(failed);
+  out.shed_429 = MedianU64(s429);
+  out.shed_503 = MedianU64(s503);
+  out.transport_errors = MedianU64(terr);
+  out.arrivals_dropped = MedianU64(dropped);
+  out.cache.hits = MedianU64(hits);
+  out.cache.misses = MedianU64(misses);
+  return out;
+}
+
+WorkloadSpec SpecFor(const Cli& cli, size_t concurrency) {
+  WorkloadSpec spec;
+  spec.mode = cli.open_loop ? LoopMode::kOpen : LoopMode::kClosed;
+  spec.sessions = concurrency;
+  spec.steps_per_session = cli.steps;
+  spec.think_time_mean_ms = cli.think_ms;
+  spec.arrivals_per_s = cli.arrivals_per_s;
+  spec.arrival_window_s = cli.window_s;
+  spec.step_deadline_ms = cli.deadline_ms;
+  spec.seed = cli.seed;
+  return spec;
+}
+
+/// Runs one sweep cell (repeats included) and returns the medianized point.
+TrajectoryPoint RunCell(LoadTarget& target, const Cli& cli,
+                        const std::string& dataset_name, uint64_t scale,
+                        size_t concurrency) {
+  std::vector<TrajectoryPoint> runs;
+  for (size_t r = 0; r < cli.repeats; ++r) {
+    TrajectoryPoint point;
+    point.target = target.name();
+    point.dataset = dataset_name;
+    point.scale = scale;
+    point.loop = cli.open_loop ? "open" : "closed";
+    point.concurrency = concurrency;
+    point.steps_per_session = cli.steps;
+    point.think_time_mean_ms = cli.think_ms;
+    point.step_deadline_ms = cli.deadline_ms;
+    LoadRunResult run = RunWorkload(target, SpecFor(cli, concurrency));
+    SetMeasurements(&point, run);
+    runs.push_back(std::move(point));
+  }
+  TrajectoryPoint point = Medianize(runs);
+  std::printf("%-7s %-22s conc %3zu: p50 %8.2f p95 %8.2f p99 %8.2f max "
+              "%8.2f ms | %7.1f steps/s | ok %llu/%llu shed %llu/%llu "
+              "degraded %.3f cache %.2f\n",
+              point.target.c_str(), dataset_name.c_str(), concurrency,
+              point.latency_ms.p50, point.latency_ms.p95, point.latency_ms.p99,
+              point.latency_ms.max, point.steps_per_s,
+              static_cast<unsigned long long>(point.steps_ok),
+              static_cast<unsigned long long>(point.steps_attempted),
+              static_cast<unsigned long long>(point.shed_429),
+              static_cast<unsigned long long>(point.shed_503),
+              point.degraded_fraction, point.cache.hit_rate());
+  return point;
+}
+
+int ValidateMode(const Cli& cli) {
+  Result<TrajectoryReport> report = ReadReportFile(cli.validate);
+  if (!report.ok()) {
+    std::fprintf(stderr, "FAIL %s: %s\n", cli.validate.c_str(),
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  Status valid = ValidateReport(report.value(), cli.smoke);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "FAIL %s: %s\n", cli.validate.c_str(),
+                 valid.ToString().c_str());
+    return 1;
+  }
+  std::printf("OK %s: %zu point(s), seed %llu%s\n", cli.validate.c_str(),
+              report.value().points.size(),
+              static_cast<unsigned long long>(report.value().seed),
+              cli.smoke ? " (smoke invariants hold)" : "");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  if (!ParseCli(argc, argv, &cli)) return 2;
+  if (!cli.validate.empty()) return ValidateMode(cli);
+
+  PrintBanner("Load trajectory: latency under concurrent exploration",
+              "IDEBench-style serving benchmark (DESIGN.md section 14)");
+  std::printf("seed %llu, %zu repeat(s), %s loop, %zu step(s)/session, "
+              "think %.0f ms, deadline %.0f ms\n",
+              static_cast<unsigned long long>(cli.seed), cli.repeats,
+              cli.open_loop ? "open" : "closed", cli.steps, cli.think_ms,
+              cli.deadline_ms);
+
+  // Datasets: one per scale, generated deterministically (the dataset seed
+  // is fixed so --seed varies the workload, never the data).
+  struct ScaledDataset {
+    double scale_factor;
+    std::shared_ptr<const SubjectiveDatabase> db;
+    std::string name;
+    uint64_t ratings;
+  };
+  std::vector<ScaledDataset> datasets;
+  for (double scale : cli.scales) {
+    BenchDataset made = MakeScaled(cli.dataset, scale, 4242);
+    ScaledDataset entry;
+    entry.scale_factor = scale;
+    entry.name = made.name;
+    entry.ratings = made.db->num_records();
+    entry.db = std::shared_ptr<const SubjectiveDatabase>(std::move(made.db));
+    std::printf("dataset %s: %llu ratings\n", entry.name.c_str(),
+                static_cast<unsigned long long>(entry.ratings));
+    datasets.push_back(std::move(entry));
+  }
+
+  TrajectoryReport report;
+  report.seed = cli.seed;
+  report.notes = cli.notes;
+
+  if (cli.run_engine) {
+    for (const ScaledDataset& dataset : datasets) {
+      EngineLoadTarget target(dataset.db.get(), SessionEngineConfig(),
+                              cli.deadline_ms, /*with_recommendations=*/true);
+      for (size_t concurrency : cli.concurrency) {
+        report.points.push_back(
+            RunCell(target, cli, dataset.name, dataset.ratings, concurrency));
+      }
+    }
+  }
+
+  if (cli.run_server) {
+    if (!cli.connect.empty()) {
+      // External daemon: drive its default dataset (scale unknown: 0).
+      const std::vector<std::string> parts = Split(cli.connect, ':');
+      int port = 0;
+      if (parts.size() != 2 || !ParseInt(parts[1], &port) || port <= 0 ||
+          port > 65535) {
+        std::fprintf(stderr, "bad --connect=%s (want HOST:PORT)\n",
+                     cli.connect.c_str());
+        return 2;
+      }
+      HttpClientOptions client;
+      client.host = parts[0];
+      client.port = static_cast<uint16_t>(port);
+      HttpLoadTarget target(client, "", cli.deadline_ms, true);
+      for (size_t concurrency : cli.concurrency) {
+        report.points.push_back(
+            RunCell(target, cli, "external", 0, concurrency));
+      }
+    } else {
+      // A live subdexd in-process: real sockets, real workers, every scale
+      // registered as its own dataset.
+      SubdexServer::Options options;
+      options.http.num_workers = cli.workers;
+      options.http.queue_capacity = cli.queue;
+      options.sessions.max_sessions = 1024;
+      options.engine = SessionEngineConfig();
+      SubdexServer server(std::move(options));
+      for (const ScaledDataset& dataset : datasets) {
+        Status registered = server.RegisterDataset(dataset.name, dataset.db);
+        if (!registered.ok()) {
+          std::fprintf(stderr, "RegisterDataset: %s\n",
+                       registered.ToString().c_str());
+          return 1;
+        }
+      }
+      Status started = server.Start();
+      if (!started.ok()) {
+        std::fprintf(stderr, "server start: %s\n",
+                     started.ToString().c_str());
+        return 1;
+      }
+      std::printf("subdexd live on 127.0.0.1:%u (%zu workers, queue %zu)\n",
+                  server.port(), cli.workers, cli.queue);
+      HttpClientOptions client;
+      client.port = server.port();
+      for (const ScaledDataset& dataset : datasets) {
+        HttpLoadTarget target(client, dataset.name, cli.deadline_ms, true);
+        for (size_t concurrency : cli.concurrency) {
+          report.points.push_back(RunCell(target, cli, dataset.name,
+                                          dataset.ratings, concurrency));
+        }
+      }
+      server.Stop();
+    }
+  }
+
+  Status valid = ValidateReport(report, /*smoke=*/false);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "generated report fails validation: %s\n",
+                 valid.ToString().c_str());
+    return 1;
+  }
+  Status written = WriteReportFile(cli.out, report);
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu points)\n", cli.out.c_str(),
+              report.points.size());
+  return 0;
+}

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Load-harness smoke test (~15 s): proves the measuring instrument itself
+# works before anyone trusts a BENCH_load_trajectory.json it produced.
+#
+#   1. In-process sweep — subdex-loadgen drives both targets (engine
+#      sessions and an in-process subdexd over real sockets) through a
+#      2-concurrency closed-loop cell at a tiny dataset scale.
+#   2. Live-daemon run — boots the real subdexd binary on an ephemeral
+#      port and drives 32 concurrent sessions against it over HTTP.
+#
+# Every report must pass `subdex-loadgen --validate=FILE --smoke`: strict
+# schema parse plus the smoke invariants (every point accepted steps;
+# closed-loop concurrency-1 cancelled nothing). The seed is fixed and
+# logged so a failing run can be replayed bit-for-bit.
+#
+# Usage: ci/bench_smoke.sh
+#   SUBDEX_BENCH_BUILD_DIR  reuse an existing build tree (ci/check.sh
+#                           passes its stage-4 tree); default build-bench.
+#   SUBDEX_BENCH_SEED       override the workload seed (default 42).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${SUBDEX_BENCH_BUILD_DIR:-$ROOT/build-bench}"
+SEED="${SUBDEX_BENCH_SEED:-42}"
+JOBS="$(nproc)"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$BUILD" -j"$JOBS" --target subdex-loadgen subdexd
+LOADGEN="$BUILD/bench/subdex-loadgen"
+DAEMON="$BUILD/examples/subdexd"
+for bin in "$LOADGEN" "$DAEMON"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "ERROR: expected binary is missing: $bin" >&2
+    exit 1
+  fi
+done
+
+WORK="$(mktemp -d)"
+DAEMON_PID=""
+cleanup() {
+  if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -9 "$DAEMON_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "bench_smoke: FAIL: $*" >&2
+  exit 1
+}
+
+echo "bench_smoke: seed=$SEED (replay any failure with this seed)"
+
+echo "bench_smoke: [1/2] in-process sweep (engine + in-process server)"
+"$LOADGEN" --mode=both --dataset=movielens --scales=0.02 \
+  --concurrency=1,4 --steps=3 --seed="$SEED" \
+  --out="$WORK/inprocess.json" || fail "in-process sweep exited non-zero"
+"$LOADGEN" --validate="$WORK/inprocess.json" --smoke ||
+  fail "in-process report failed smoke validation"
+
+echo "bench_smoke: [2/2] 32 concurrent sessions against live subdexd"
+"$DAEMON" --port=0 --dataset=movielens:0.02 --workers=8 --queue=128 \
+  --ttl-ms=60000 >"$WORK/out" 2>"$WORK/err" &
+DAEMON_PID=$!
+for _ in $(seq 1 150); do
+  grep -q "listening on" "$WORK/out" 2>/dev/null && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died during startup"
+  sleep 0.2
+done
+grep -q "listening on" "$WORK/out" || fail "daemon never became ready"
+PORT="$(sed -n 's#.*http://[^:]*:\([0-9][0-9]*\).*#\1#p' "$WORK/out")"
+[[ -n "$PORT" ]] || fail "could not parse port from readiness line"
+echo "bench_smoke: daemon ready on port $PORT"
+
+# --scales only feeds the engine target's local datasets, unused when
+# connecting out; the small value skips pointless dataset generation.
+"$LOADGEN" --mode=server --connect="127.0.0.1:$PORT" --scales=0.02 \
+  --concurrency=32 --steps=3 --seed="$SEED" \
+  --out="$WORK/daemon.json" || fail "live-daemon run exited non-zero"
+"$LOADGEN" --validate="$WORK/daemon.json" --smoke ||
+  fail "live-daemon report failed smoke validation"
+
+kill -TERM "$DAEMON_PID"
+EXIT_CODE=0
+wait "$DAEMON_PID" || EXIT_CODE=$?
+DAEMON_PID=""
+[[ "$EXIT_CODE" == "0" ]] || fail "daemon SIGTERM exit code was $EXIT_CODE"
+
+echo "bench_smoke: OK"

@@ -53,6 +53,11 @@
 #                                   every restart must recover sessions
 #                                   with acked digests intact, zero
 #                                   divergence, and torn tails truncated
+#  13. load-harness smoke         — ci/bench_smoke.sh: subdex-loadgen
+#                                   sweeps both targets in-process, then
+#                                   drives 32 concurrent sessions against
+#                                   a live subdexd; every report must pass
+#                                   --validate --smoke (seed logged)
 #
 # Clang-only gates degrade to a loud SKIP instead of failing when the
 # toolchain is GCC-only, so the script is green on any supported image
@@ -66,16 +71,16 @@ BUILD="${SUBDEX_CHECK_BUILD_DIR:-build-check}"
 FUZZ_RUNS="${SUBDEX_FUZZ_RUNS:-20000}"
 JOBS="$(nproc)"
 
-echo "==> [1/12] lint"
+echo "==> [1/13] lint"
 ci/lint.sh
 
-echo "==> [2/12] concurrency lint pack"
+echo "==> [2/13] concurrency lint pack"
 ci/concurrency_lint.sh
 
-echo "==> [3/12] static analysis"
+echo "==> [3/13] static analysis"
 ci/analyze.sh
 
-echo "==> [4/12] -Werror build + tests"
+echo "==> [4/13] -Werror build + tests"
 TIDY=OFF
 if command -v clang-tidy >/dev/null 2>&1; then
   TIDY=ON
@@ -93,7 +98,7 @@ cmake -B "$BUILD" -S "$ROOT" \
 cmake --build "$BUILD" -j"$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j"$JOBS"
 
-echo "==> [5/12] clang thread-safety analysis"
+echo "==> [5/13] clang thread-safety analysis"
 if command -v clang++ >/dev/null 2>&1; then
   TS_BUILD="$BUILD-threadsafety"
   cmake -B "$TS_BUILD" -S "$ROOT" \
@@ -106,7 +111,7 @@ else
   echo "SKIP: clang++ not installed; thread-safety annotations not checked"
 fi
 
-echo "==> [6/12] deadlock-detector-armed suite"
+echo "==> [6/13] deadlock-detector-armed suite"
 # Every subdex::Mutex acquisition runs the util/lock_graph.h hooks; the
 # full test suite (including the 64-session server storm) must stay
 # silent: zero rank inversions, zero same-name nestings, zero cycles.
@@ -119,7 +124,7 @@ cmake -B "$DETECTOR_BUILD" -S "$ROOT" \
 cmake --build "$DETECTOR_BUILD" -j"$JOBS"
 ctest --test-dir "$DETECTOR_BUILD" --output-on-failure -j"$JOBS"
 
-echo "==> [7/12] fuzz smoke ($FUZZ_RUNS runs per harness)"
+echo "==> [7/13] fuzz smoke ($FUZZ_RUNS runs per harness)"
 for harness in fuzz_query_parser fuzz_csv_loader fuzz_db_io; do
   corpus="$ROOT/fuzz/corpus/${harness#fuzz_}"
   bin="$BUILD/fuzz/$harness"
@@ -133,7 +138,7 @@ for harness in fuzz_query_parser fuzz_csv_loader fuzz_db_io; do
   "$bin" --runs="$FUZZ_RUNS" --seed=1 "$corpus"
 done
 
-echo "==> [8/12] fault injection under ASan"
+echo "==> [8/13] fault injection under ASan"
 FAULT_BUILD="$BUILD-fault"
 cmake -B "$FAULT_BUILD" -S "$ROOT" \
   -DSUBDEX_FAULT_INJECTION=ON \
@@ -151,16 +156,19 @@ for t in fault_injection_test engine_robustness_test; do
   "$bin"
 done
 
-echo "==> [9/12] UBSan matrix (full suite + corpus replay)"
+echo "==> [9/13] UBSan matrix (full suite + corpus replay)"
 ci/sanitize.sh undefined
 
-echo "==> [10/12] coverage gate"
+echo "==> [10/13] coverage gate"
 SUBDEX_COVERAGE_BUILD_DIR="$BUILD-coverage" ci/coverage.sh
 
-echo "==> [11/12] serving smoke (subdexd end-to-end)"
+echo "==> [11/13] serving smoke (subdexd end-to-end)"
 SUBDEX_SMOKE_BUILD_DIR="$BUILD" ci/serve_smoke.sh
 
-echo "==> [12/12] crash-safety smoke (kill-loop journal recovery)"
+echo "==> [12/13] crash-safety smoke (kill-loop journal recovery)"
 SUBDEX_CRASH_BUILD_DIR="$BUILD-crash" ci/crash_smoke.sh
+
+echo "==> [13/13] load-harness smoke (subdex-loadgen vs live subdexd)"
+SUBDEX_BENCH_BUILD_DIR="$BUILD" ci/bench_smoke.sh
 
 echo "check: OK"

@@ -8,8 +8,11 @@
 #              stress): concurrent ParallelFor batches, nested batches,
 #              single-flight group-cache materialization, the subdexd
 #              session storm (64 concurrent HTTP sessions over sharded
-#              session state), and the SessionManager churn /
-#              Stop-mid-flight stress. Runs with TSan's native deadlock
+#              session state), the SessionManager churn /
+#              Stop-mid-flight stress, the loadgen driver (shared
+#              LatencyRecorder + concurrent session workers against a live
+#              server), and the same-seed concurrent-subject determinism
+#              pair. Runs with TSan's native deadlock
 #              detection armed (detect_deadlocks=1, second_deadlock_stack=1)
 #              so runtime lock-order inversions are caught here — the
 #              second, independent path next to the util/lock_graph.h
@@ -48,7 +51,7 @@ fi
 
 TEST_BINS=(util_test engine_test group_cache_test engine_robustness_test
            server_test server_stress_test framed_log_test
-           session_journal_test)
+           session_journal_test loadgen_test study_determinism_test)
 FUZZ_BINS=(fuzz_query_parser fuzz_csv_loader fuzz_db_io)
 
 # A renamed or never-built binary must fail the gate loudly, not be skipped.

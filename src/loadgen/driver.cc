@@ -1,0 +1,472 @@
+#include "loadgen/driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <thread>
+#include <utility>
+
+#include "server/json.h"
+#include "study/simulated_user.h"
+#include "util/string_util.h"
+
+namespace subdex::loadgen {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - since)
+      .count();
+}
+
+void SleepMs(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+/// In-process session: one single-threaded SdeEngine, like one subdexd
+/// session. Keeps the previous step's recommendation targets so a
+/// follow-by-index action resolves exactly as the wire protocol does.
+class EngineSessionClient : public SessionClient {
+ public:
+  EngineSessionClient(const SubjectiveDatabase* db, EngineConfig config,
+                      double step_deadline_ms, bool with_recommendations)
+      : db_(db),
+        config_(std::move(config)),
+        step_deadline_ms_(step_deadline_ms),
+        with_recommendations_(with_recommendations) {}
+
+  StepOutcome Create() override {
+    engine_ = std::make_unique<SdeEngine>(db_, config_);
+    StepOutcome outcome;
+    outcome.http_status = 200;
+    return outcome;
+  }
+
+  StepOutcome Step(const StepAction& action) override {
+    GroupSelection selection;  // root: whole database
+    if (!action.restart && action.recommendation < targets_.size()) {
+      selection = targets_[action.recommendation];
+    }
+    StepOptions options;
+    options.with_recommendations = with_recommendations_;
+    if (step_deadline_ms_ > 0.0) {
+      options.deadline = Deadline::FromNowMs(step_deadline_ms_);
+    }
+    StepResult result = engine_->ExecuteStep(selection, options);
+    targets_.clear();
+    for (const Recommendation& reco : result.recommendations) {
+      targets_.push_back(reco.operation.target);
+    }
+    StepOutcome outcome;
+    outcome.http_status = 200;
+    outcome.degraded = result.degraded;
+    outcome.cancelled = result.cancelled;
+    outcome.num_recommendations = result.recommendations.size();
+    return outcome;
+  }
+
+  void Close() override { engine_.reset(); }
+
+ private:
+  const SubjectiveDatabase* db_;
+  EngineConfig config_;
+  double step_deadline_ms_;
+  bool with_recommendations_;
+  std::unique_ptr<SdeEngine> engine_;
+  std::vector<GroupSelection> targets_;
+};
+
+/// Wire session against a live subdexd. The client never materializes
+/// operation targets: it follows recommendations by index, exactly what
+/// the protocol's {"recommendation": i} is for.
+class HttpSessionClient : public SessionClient {
+ public:
+  HttpSessionClient(HttpClientOptions client, std::string dataset,
+                    double step_deadline_ms, bool with_recommendations,
+                    double session_ttl_ms)
+      : client_(std::move(client)),
+        dataset_(std::move(dataset)),
+        step_deadline_ms_(step_deadline_ms),
+        with_recommendations_(with_recommendations),
+        session_ttl_ms_(session_ttl_ms) {}
+
+  StepOutcome Create() override {
+    JsonValue body = JsonValue::Object();
+    if (!dataset_.empty()) body.Set("dataset", JsonValue::Str(dataset_));
+    if (session_ttl_ms_ > 0.0) {
+      body.Set("ttl_ms", JsonValue::Number(session_ttl_ms_));
+    }
+    Result<HttpClientResponse> response =
+        HttpFetch(client_, "POST", "/sessions", body.Dump());
+    StepOutcome outcome;
+    if (!response.ok()) {
+      outcome.transport_error = true;
+      return outcome;
+    }
+    outcome.http_status = response.value().status;
+    if (outcome.http_status / 100 == 2) {  // POST /sessions answers 201
+      Result<JsonValue> doc = JsonValue::Parse(response.value().body);
+      if (doc.ok()) {
+        if (const JsonValue* id = doc.value().Find("session_id");
+            id != nullptr && id->is_string()) {
+          id_ = id->str();
+        }
+      }
+      if (id_.empty()) {
+        // A 200 without a session id is a broken server, not a shed.
+        outcome.transport_error = true;
+        outcome.http_status = 0;
+      }
+    }
+    return outcome;
+  }
+
+  StepOutcome Step(const StepAction& action) override {
+    JsonValue body = JsonValue::Object();
+    if (!action.restart) {
+      body.Set("recommendation",
+               JsonValue::Number(static_cast<double>(action.recommendation)));
+    }
+    if (step_deadline_ms_ > 0.0) {
+      body.Set("deadline_ms", JsonValue::Number(step_deadline_ms_));
+    }
+    if (!with_recommendations_) {
+      body.Set("with_recommendations", JsonValue::Bool(false));
+    }
+    Result<HttpClientResponse> response =
+        HttpFetch(client_, "POST", "/sessions/" + id_ + "/step", body.Dump());
+    StepOutcome outcome;
+    if (!response.ok()) {
+      outcome.transport_error = true;
+      return outcome;
+    }
+    outcome.http_status = response.value().status;
+    if (outcome.http_status != 200) return outcome;
+    Result<JsonValue> doc = JsonValue::Parse(response.value().body);
+    if (!doc.ok()) {
+      outcome.transport_error = true;
+      outcome.http_status = 0;
+      return outcome;
+    }
+    if (const JsonValue* v = doc.value().Find("degraded");
+        v != nullptr && v->is_bool()) {
+      outcome.degraded = v->bool_value();
+    }
+    if (const JsonValue* v = doc.value().Find("cancelled");
+        v != nullptr && v->is_bool()) {
+      outcome.cancelled = v->bool_value();
+    }
+    if (const JsonValue* v = doc.value().Find("recommendations");
+        v != nullptr && v->is_array()) {
+      outcome.num_recommendations = v->items().size();
+    }
+    return outcome;
+  }
+
+  void Close() override {
+    if (id_.empty()) return;
+    // Discard justified: teardown is best-effort — the server's TTL reaper
+    // collects sessions a dying client leaves behind, and a run's numbers
+    // are already recorded by the time Close runs.
+    (void)HttpFetch(client_, "DELETE", "/sessions/" + id_);
+  }
+
+ private:
+  HttpClientOptions client_;
+  std::string dataset_;
+  double step_deadline_ms_;
+  bool with_recommendations_;
+  double session_ttl_ms_;
+  std::string id_;
+};
+
+/// Pulls one counter out of a Prometheus text exposition ("name value"
+/// sample lines; subdexd's counters carry no labels). 0 when absent.
+uint64_t ScrapePrometheusCounter(const std::string& text,
+                                 const std::string& name) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string_view line(text.data() + pos, end - pos);
+    if (line.size() > name.size() + 1 && line.substr(0, name.size()) == name &&
+        line[name.size()] == ' ') {
+      double value = 0.0;
+      if (ParseDouble(line.substr(name.size() + 1), &value) && value >= 0.0) {
+        return static_cast<uint64_t>(value);
+      }
+    }
+    pos = end + 1;
+  }
+  return 0;
+}
+
+uint64_t SnapshotCounter(const MetricsSnapshot& snapshot,
+                         const std::string& name) {
+  for (const MetricsSnapshot::CounterSample& c : snapshot.counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+/// Result fields every worker updates concurrently; folded into the
+/// LoadRunResult once the workers have joined.
+struct SharedTallies {
+  std::atomic<uint64_t> sessions_started{0};
+  std::atomic<uint64_t> sessions_completed{0};
+  std::atomic<uint64_t> steps_attempted{0};
+  std::atomic<uint64_t> steps_ok{0};
+  std::atomic<uint64_t> steps_degraded{0};
+  std::atomic<uint64_t> steps_cancelled{0};
+  std::atomic<uint64_t> steps_failed{0};
+  std::atomic<uint64_t> shed_429{0};
+  std::atomic<uint64_t> shed_503{0};
+  std::atomic<uint64_t> transport_errors{0};
+  /// Heap-held so RunWorkload can hand the recorder to the result without
+  /// copying it (the recorder is an immovable bundle of atomics).
+  std::unique_ptr<LatencyRecorder> latency = std::make_unique<LatencyRecorder>();
+};
+
+/// One logical request with the spec's shed/transport retry budget.
+/// Returns the final accepted (or given-up) outcome; `elapsed_ms` is the
+/// wall time of the accepted attempt only — retries of a refused request
+/// are new requests, not one long request.
+StepOutcome AttemptWithRetries(const WorkloadSpec& spec, SharedTallies& tally,
+                               const std::function<StepOutcome()>& attempt,
+                               double* elapsed_ms) {
+  StepOutcome outcome;
+  for (size_t tries = 0;; ++tries) {
+    const Clock::time_point start = Clock::now();
+    outcome = attempt();
+    *elapsed_ms = ElapsedMs(start);
+    if (outcome.transport_error) {
+      tally.transport_errors.fetch_add(1, std::memory_order_relaxed);
+    } else if (outcome.http_status == 429) {
+      tally.shed_429.fetch_add(1, std::memory_order_relaxed);
+    } else if (outcome.http_status == 503) {
+      tally.shed_503.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      return outcome;  // accepted, or an error retrying cannot fix
+    }
+    if (tries >= spec.max_step_retries) return outcome;
+    // Linear backoff, capped: enough to drain a momentary burst without
+    // turning the retry loop into its own think time.
+    SleepMs(std::min(2.0 * static_cast<double>(tries + 1), 20.0));
+  }
+}
+
+/// Runs one complete simulated-user session against the target.
+void RunSession(LoadTarget& target, const WorkloadSpec& spec,
+                size_t session_index, SharedTallies& tally,
+                std::string* script) {
+  UserProfile profile;
+  profile.high_cs_expertise = spec.high_cs_expertise;
+  // Distinct, reproducible per-session stream; the odd multiplier keeps
+  // neighboring sessions' seeds far apart in the PCG state space.
+  profile.seed = spec.seed * 1000003 + session_index;
+  SimulatedUser user(profile);
+
+  std::unique_ptr<SessionClient> client = target.NewSession();
+  double create_ms = 0.0;
+  StepOutcome created = AttemptWithRetries(
+      spec, tally, [&] { return client->Create(); }, &create_ms);
+  if (created.transport_error || created.http_status / 100 != 2) return;
+  tally.sessions_started.fetch_add(1, std::memory_order_relaxed);
+
+  size_t num_recommendations = 0;
+  bool aborted = false;
+  for (size_t step = 0; step < spec.steps_per_session; ++step) {
+    StepAction action;
+    if (step > 0) {
+      std::optional<size_t> follow =
+          user.ChooseRecommendationIndex(num_recommendations);
+      if (follow.has_value()) {
+        action.restart = false;
+        action.recommendation = *follow;
+      }
+    }
+    const double think_ms = user.NextThinkTimeMs(spec.think_time_mean_ms);
+    if (script != nullptr) {
+      char entry[64];
+      std::snprintf(entry, sizeof(entry), "%s%zu t%.3f|",
+                    action.restart ? "a" : "r",
+                    action.restart ? step : action.recommendation, think_ms);
+      script->append(entry);
+    }
+    if (step > 0) SleepMs(think_ms);
+
+    tally.steps_attempted.fetch_add(1, std::memory_order_relaxed);
+    double elapsed = 0.0;
+    StepOutcome outcome = AttemptWithRetries(
+        spec, tally, [&] { return client->Step(action); }, &elapsed);
+    if (outcome.transport_error || outcome.http_status != 200) {
+      tally.steps_failed.fetch_add(1, std::memory_order_relaxed);
+      aborted = true;
+      break;  // the session's trajectory is broken; stop stepping it
+    }
+    tally.steps_ok.fetch_add(1, std::memory_order_relaxed);
+    tally.latency->Observe(elapsed);
+    if (outcome.degraded) {
+      tally.steps_degraded.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (outcome.cancelled) {
+      tally.steps_cancelled.fetch_add(1, std::memory_order_relaxed);
+    }
+    num_recommendations = outcome.num_recommendations;
+  }
+  if (!aborted) {
+    tally.sessions_completed.fetch_add(1, std::memory_order_relaxed);
+  }
+  client->Close();
+}
+
+}  // namespace
+
+EngineLoadTarget::EngineLoadTarget(const SubjectiveDatabase* db,
+                                   EngineConfig config, double step_deadline_ms,
+                                   bool with_recommendations)
+    : db_(db),
+      config_(std::move(config)),
+      step_deadline_ms_(step_deadline_ms),
+      with_recommendations_(with_recommendations) {}
+
+std::unique_ptr<SessionClient> EngineLoadTarget::NewSession() {
+  return std::make_unique<EngineSessionClient>(
+      db_, config_, step_deadline_ms_, with_recommendations_);
+}
+
+TargetCounters EngineLoadTarget::Scrape() {
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  TargetCounters out;
+  out.cache_hits = SnapshotCounter(snapshot, "subdex_group_cache_hits_total");
+  out.cache_misses =
+      SnapshotCounter(snapshot, "subdex_group_cache_misses_total");
+  out.engine_steps_total =
+      SnapshotCounter(snapshot, "subdex_engine_steps_total");
+  return out;
+}
+
+HttpLoadTarget::HttpLoadTarget(HttpClientOptions client, std::string dataset,
+                               double step_deadline_ms,
+                               bool with_recommendations,
+                               double session_ttl_ms)
+    : client_(std::move(client)),
+      dataset_(std::move(dataset)),
+      step_deadline_ms_(step_deadline_ms),
+      with_recommendations_(with_recommendations),
+      session_ttl_ms_(session_ttl_ms) {}
+
+std::unique_ptr<SessionClient> HttpLoadTarget::NewSession() {
+  return std::make_unique<HttpSessionClient>(
+      client_, dataset_, step_deadline_ms_, with_recommendations_,
+      session_ttl_ms_);
+}
+
+TargetCounters HttpLoadTarget::Scrape() {
+  TargetCounters out;
+  Result<HttpClientResponse> response =
+      HttpFetch(client_, "GET", "/metrics");
+  if (!response.ok() || response.value().status != 200) return out;
+  const std::string& text = response.value().body;
+  out.cache_hits =
+      ScrapePrometheusCounter(text, "subdex_group_cache_hits_total");
+  out.cache_misses =
+      ScrapePrometheusCounter(text, "subdex_group_cache_misses_total");
+  out.server_shed_total =
+      ScrapePrometheusCounter(text, "subdex_server_shed_total");
+  out.engine_steps_total =
+      ScrapePrometheusCounter(text, "subdex_engine_steps_total");
+  return out;
+}
+
+LoadRunResult RunWorkload(LoadTarget& target, const WorkloadSpec& spec) {
+  SharedTallies tally;
+  LoadRunResult result;
+  std::atomic<uint64_t> arrivals_dropped{0};
+  const TargetCounters before = target.Scrape();
+  const Clock::time_point start = Clock::now();
+
+  if (spec.mode == LoopMode::kClosed) {
+    const bool record = spec.record_actions;
+    std::vector<std::string> scripts(record ? spec.sessions : 0);
+    std::vector<std::thread> workers;
+    workers.reserve(spec.sessions);
+    for (size_t i = 0; i < spec.sessions; ++i) {
+      std::string* script = record ? &scripts[i] : nullptr;
+      workers.emplace_back([&target, &spec, &tally, i, script] {
+        RunSession(target, spec, i, tally, script);
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    result.session_scripts = std::move(scripts);
+  } else {
+    // Open loop: Poisson arrivals claim bounded worker slots; an arrival
+    // finding none free is dropped and counted, never queued (queueing
+    // client-side is exactly the coordinated omission this mode exists to
+    // avoid).
+    Rng arrivals(spec.seed ^ 0x9e3779b97f4a7c15ULL);
+    std::atomic<size_t> active{0};
+    std::vector<std::thread> workers;
+    const double window_ms = spec.arrival_window_s * 1000.0;
+    const double mean_gap_ms =
+        spec.arrivals_per_s > 0.0 ? 1000.0 / spec.arrivals_per_s : window_ms;
+    size_t session_index = 0;
+    double at_ms = 0.0;
+    for (;;) {
+      at_ms += -mean_gap_ms * std::log1p(-arrivals.UniformDouble());
+      if (at_ms > window_ms) break;
+      SleepMs(at_ms - ElapsedMs(start));
+      size_t occupancy = active.load(std::memory_order_relaxed);
+      bool claimed = false;
+      while (occupancy < spec.sessions) {
+        if (active.compare_exchange_weak(occupancy, occupancy + 1,
+                                         std::memory_order_relaxed)) {
+          claimed = true;
+          break;
+        }
+      }
+      if (!claimed) {
+        arrivals_dropped.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      const size_t index = session_index++;
+      workers.emplace_back([&target, &spec, &tally, &active, index] {
+        RunSession(target, spec, index, tally, nullptr);
+        active.fetch_sub(1, std::memory_order_relaxed);
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+
+  result.wall_s = ElapsedMs(start) / 1000.0;
+  const TargetCounters after = target.Scrape();
+  result.counters.cache_hits = after.cache_hits - before.cache_hits;
+  result.counters.cache_misses = after.cache_misses - before.cache_misses;
+  result.counters.server_shed_total =
+      after.server_shed_total - before.server_shed_total;
+  result.counters.engine_steps_total =
+      after.engine_steps_total - before.engine_steps_total;
+
+  result.sessions_started = tally.sessions_started.load();
+  result.sessions_completed = tally.sessions_completed.load();
+  result.steps_attempted = tally.steps_attempted.load();
+  result.steps_ok = tally.steps_ok.load();
+  result.steps_degraded = tally.steps_degraded.load();
+  result.steps_cancelled = tally.steps_cancelled.load();
+  result.steps_failed = tally.steps_failed.load();
+  result.shed_429 = tally.shed_429.load();
+  result.shed_503 = tally.shed_503.load();
+  result.transport_errors = tally.transport_errors.load();
+  result.arrivals_dropped = arrivals_dropped.load();
+
+  result.latency = std::move(tally.latency);
+  return result;
+}
+
+}  // namespace subdex::loadgen

@@ -1,0 +1,155 @@
+#ifndef SUBDEX_LOADGEN_DRIVER_H_
+#define SUBDEX_LOADGEN_DRIVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/config.h"
+#include "engine/sde_engine.h"
+#include "loadgen/latency_recorder.h"
+#include "loadgen/workload.h"
+#include "server/http_client.h"
+#include "subjective/subjective_db.h"
+#include "util/status.h"
+
+namespace subdex::loadgen {
+
+/// What the simulated user asked the target to do for one step.
+struct StepAction {
+  /// Step at the whole database (the root selection) — the first step of
+  /// every session, and the fallback when the subject leaves the ranked
+  /// path or no recommendations were offered.
+  bool restart = true;
+  /// Recommendation index followed when !restart (an index into the
+  /// previous step's recommendation list, like the wire protocol's
+  /// {"recommendation": i}).
+  size_t recommendation = 0;
+};
+
+/// One step as the client saw it. HTTP-level failures are data here, not
+/// errors: a 429 under load is precisely what the driver measures.
+struct StepOutcome {
+  /// Transport failed (connect/send/recv) — no status code exists.
+  bool transport_error = false;
+  /// HTTP status; in-process targets report 200 for every executed step.
+  int http_status = 0;
+  bool degraded = false;
+  bool cancelled = false;
+  size_t num_recommendations = 0;
+};
+
+/// One exploration session against a target. Implementations are used by
+/// exactly one worker thread at a time.
+class SessionClient {
+ public:
+  virtual ~SessionClient() = default;
+  /// Creates the session; status-coded like Step (429 = session cap).
+  SUBDEX_NODISCARD virtual StepOutcome Create() = 0;
+  SUBDEX_NODISCARD virtual StepOutcome Step(const StepAction& action) = 0;
+  /// Best-effort teardown (DELETE /sessions/{id} on the wire).
+  virtual void Close() = 0;
+};
+
+/// Target-side counters scraped around a run; the report carries deltas.
+struct TargetCounters {
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  /// Connections shed by the acceptor before reaching a worker (the
+  /// server-side view; client-visible 429s are counted separately).
+  uint64_t server_shed_total = 0;
+  uint64_t engine_steps_total = 0;
+};
+
+/// A system under test: hands out sessions and exposes its metrics.
+class LoadTarget {
+ public:
+  virtual ~LoadTarget() = default;
+  SUBDEX_NODISCARD virtual std::unique_ptr<SessionClient> NewSession() = 0;
+  SUBDEX_NODISCARD virtual TargetCounters Scrape() = 0;
+  SUBDEX_NODISCARD virtual const char* name() const = 0;
+};
+
+/// In-process target: one single-threaded SdeEngine per session over a
+/// shared read-only database — the same session model subdexd runs, minus
+/// the wire. The loadgen baseline for isolating HTTP/JSON overhead.
+class EngineLoadTarget : public LoadTarget {
+ public:
+  EngineLoadTarget(const SubjectiveDatabase* db, EngineConfig config,
+                   double step_deadline_ms, bool with_recommendations);
+
+  SUBDEX_NODISCARD std::unique_ptr<SessionClient> NewSession() override;
+  SUBDEX_NODISCARD TargetCounters Scrape() override;
+  SUBDEX_NODISCARD const char* name() const override { return "engine"; }
+
+ private:
+  const SubjectiveDatabase* db_;
+  EngineConfig config_;
+  double step_deadline_ms_;
+  bool with_recommendations_;
+};
+
+/// A live subdexd over HTTP/JSON (in-process SubdexServer or an external
+/// daemon — the client cannot tell). Scrape parses GET /metrics.
+class HttpLoadTarget : public LoadTarget {
+ public:
+  /// `dataset` selects the dataset at session creation ("" = the server's
+  /// default); `session_ttl_ms` guards against leaking sessions when a
+  /// worker dies mid-run.
+  HttpLoadTarget(HttpClientOptions client, std::string dataset,
+                 double step_deadline_ms, bool with_recommendations,
+                 double session_ttl_ms = 600000.0);
+
+  SUBDEX_NODISCARD std::unique_ptr<SessionClient> NewSession() override;
+  SUBDEX_NODISCARD TargetCounters Scrape() override;
+  SUBDEX_NODISCARD const char* name() const override { return "server"; }
+
+ private:
+  HttpClientOptions client_;
+  std::string dataset_;
+  double step_deadline_ms_;
+  bool with_recommendations_;
+  double session_ttl_ms_;
+};
+
+/// Everything one workload run produced. Latency is recorded only for
+/// accepted (HTTP 200) steps; sheds and failures are counted instead —
+/// mixing refusals into the latency distribution would make an
+/// aggressively-shedding server look fast.
+struct LoadRunResult {
+  double wall_s = 0.0;
+  uint64_t sessions_started = 0;
+  uint64_t sessions_completed = 0;
+  uint64_t steps_attempted = 0;
+  uint64_t steps_ok = 0;
+  uint64_t steps_degraded = 0;
+  uint64_t steps_cancelled = 0;
+  /// Steps given up after max_step_retries sheds or a non-200/shed answer.
+  uint64_t steps_failed = 0;
+  uint64_t shed_429 = 0;
+  uint64_t shed_503 = 0;
+  uint64_t transport_errors = 0;
+  /// Open loop only: arrivals dropped because every worker slot was busy.
+  uint64_t arrivals_dropped = 0;
+  std::unique_ptr<LatencyRecorder> latency;
+  /// Target counter movement across the run (after minus before).
+  TargetCounters counters;
+  /// Per-session "a5 t12.3|r0 t0.8|..." scripts when
+  /// WorkloadSpec::record_actions (closed loop): action (r<idx> follow
+  /// recommendation, a root restart) and drawn think time per step.
+  std::vector<std::string> session_scripts;
+
+  SUBDEX_NODISCARD double steps_per_s() const {
+    return wall_s > 0 ? static_cast<double>(steps_ok) / wall_s : 0.0;
+  }
+};
+
+/// Runs one workload cell against a target: spins the session workers
+/// (closed) or the arrival process (open), joins them, and returns the
+/// merged result with scraped counter deltas.
+SUBDEX_NODISCARD LoadRunResult RunWorkload(LoadTarget& target,
+                                           const WorkloadSpec& spec);
+
+}  // namespace subdex::loadgen
+
+#endif  // SUBDEX_LOADGEN_DRIVER_H_

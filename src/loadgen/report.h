@@ -1,0 +1,114 @@
+#ifndef SUBDEX_LOADGEN_REPORT_H_
+#define SUBDEX_LOADGEN_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "loadgen/driver.h"
+#include "util/status.h"
+
+namespace subdex::loadgen {
+
+/// The BENCH_load_trajectory.json wire format. Schema-versioned so CI and
+/// downstream tooling can reject a report they do not understand instead
+/// of misreading it; bump kReportSchemaVersion on any incompatible change.
+inline constexpr char kReportSchema[] = "subdex-load-trajectory";
+inline constexpr int kReportSchemaVersion = 1;
+inline constexpr char kReportTool[] = "subdex-loadgen";
+
+/// Latency distribution summary of one trajectory point, milliseconds.
+/// Quantiles are HistogramQuantile interpolations over the recorder's
+/// geometric buckets; `max` is the exact observed maximum. All zero when
+/// the point accepted no steps.
+struct LatencySummary {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+/// RatingGroupCache movement across one run (target-side counter deltas).
+struct CacheSummary {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+
+  SUBDEX_NODISCARD double hit_rate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// One cell of the sweep: a (target, dataset scale, loop mode, concurrency)
+/// combination and everything measured there.
+struct TrajectoryPoint {
+  // Identity — what was driven.
+  std::string target;   ///< "engine" | "server"
+  std::string dataset;  ///< dataset name as registered / loaded
+  uint64_t scale = 0;   ///< dataset size (ratings)
+  std::string loop;     ///< "closed" | "open"
+  uint64_t concurrency = 0;
+  uint64_t steps_per_session = 0;
+  double think_time_mean_ms = 0.0;
+  double step_deadline_ms = 0.0;
+  uint64_t repeats = 1;  ///< runs medianized into this point
+
+  // Measurements (each scalar the median across `repeats` runs).
+  double wall_s = 0.0;
+  uint64_t sessions_started = 0;
+  uint64_t sessions_completed = 0;
+  uint64_t steps_attempted = 0;
+  uint64_t steps_ok = 0;
+  uint64_t steps_failed = 0;
+  double degraded_fraction = 0.0;
+  double cancelled_fraction = 0.0;
+  LatencySummary latency_ms;
+  double steps_per_s = 0.0;
+  uint64_t shed_429 = 0;
+  uint64_t shed_503 = 0;
+  uint64_t transport_errors = 0;
+  uint64_t arrivals_dropped = 0;
+  CacheSummary cache;
+};
+
+/// A full sweep: the file BENCH_load_trajectory.json round-trips through
+/// ReportToJson / ParseReport.
+struct TrajectoryReport {
+  uint64_t seed = 0;
+  std::string notes;
+  std::vector<TrajectoryPoint> points;
+};
+
+/// Copies a run's measurements into a point (identity fields untouched).
+/// Empty-latency quantiles (NaN) land as 0 so the report stays valid JSON.
+void SetMeasurements(TrajectoryPoint* point, const LoadRunResult& run);
+
+/// Serializes with schema/schema_version/tool header. Deterministic key
+/// order (golden-testable).
+SUBDEX_NODISCARD std::string ReportToJson(const TrajectoryReport& report);
+
+/// Strict parse: the schema header must match exactly and every point
+/// must carry every required field with the right JSON kind. Unknown
+/// extra keys are tolerated (forward compatibility).
+SUBDEX_MUST_USE_RESULT Result<TrajectoryReport> ParseReport(
+    std::string_view text);
+
+/// Structural sanity: >= 1 point; per point, known target/loop values,
+/// concurrency >= 1, counts consistent (steps_ok + steps_failed <=
+/// attempted), fractions in [0, 1], finite non-negative latencies with
+/// p50 <= p95 <= p99, and p99 > 0 whenever steps succeeded. With `smoke`,
+/// additionally requires the invariants the CI smoke run pins: every
+/// point accepted at least one step, and closed-loop concurrency-1 points
+/// cancelled nothing.
+SUBDEX_MUST_USE_RESULT Status ValidateReport(const TrajectoryReport& report,
+                                             bool smoke = false);
+
+SUBDEX_MUST_USE_RESULT Status WriteReportFile(const std::string& path,
+                                              const TrajectoryReport& report);
+SUBDEX_MUST_USE_RESULT Result<TrajectoryReport> ReadReportFile(
+    const std::string& path);
+
+}  // namespace subdex::loadgen
+
+#endif  // SUBDEX_LOADGEN_REPORT_H_

@@ -1,0 +1,59 @@
+#ifndef SUBDEX_LOADGEN_WORKLOAD_H_
+#define SUBDEX_LOADGEN_WORKLOAD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace subdex::loadgen {
+
+/// How the driver paces sessions — the two standard modes of load
+/// generation for interactive systems (IDEBench runs both).
+enum class LoopMode {
+  /// `sessions` concurrent workers, each running one full simulated-user
+  /// session: step, think, step, ... Measures the system at a fixed
+  /// multiprogramming level; throughput adapts to latency.
+  kClosed,
+  /// Sessions arrive by a Poisson process at `arrivals_per_s` for
+  /// `arrival_window_s` seconds, each claiming one of `sessions` worker
+  /// slots. An arrival that finds every slot busy is DROPPED and counted
+  /// (`arrivals_dropped`) instead of queued — queueing client-side would
+  /// hide server slowness inside coordinated omission; a dropped arrival
+  /// is load the system demonstrably failed to absorb.
+  kOpen,
+};
+
+/// One load-generation cell: everything that defines a trajectory point
+/// except the target (engine vs. live subdexd) and the dataset.
+struct WorkloadSpec {
+  LoopMode mode = LoopMode::kClosed;
+  /// Concurrent sessions (closed) / concurrent worker slots (open).
+  size_t sessions = 8;
+  size_t steps_per_session = 5;
+  /// Mean of the exponential per-step think time
+  /// (SimulatedUser::NextThinkTimeMs); 0 = saturation, no thinking.
+  double think_time_mean_ms = 0.0;
+  /// Open loop only: session arrival rate and arrival window.
+  double arrivals_per_s = 4.0;
+  double arrival_window_s = 5.0;
+  /// Per-step deadline riding StepOptions / the wire `deadline_ms`;
+  /// 0 = unbounded (steps degrade only under overload-independent causes).
+  double step_deadline_ms = 0.0;
+  bool with_recommendations = true;
+  /// Simulated-subject trait (UserProfile::high_cs_expertise): experts
+  /// follow the ranked path more often, which concentrates load on
+  /// recommendation targets (cache-friendlier).
+  bool high_cs_expertise = true;
+  /// Root seed; session i derives its subject seed from (seed, i), so a
+  /// run is reproducible step-for-step and think-for-think.
+  uint64_t seed = 1;
+  /// Bounded retries for one step answered 429/503 before the step counts
+  /// as failed. Every shed is counted whether or not the retry lands.
+  size_t max_step_retries = 8;
+  /// Record each session's action/think-time script (determinism tests;
+  /// closed loop only — open-loop arrival interleaving is timing-driven).
+  bool record_actions = false;
+};
+
+}  // namespace subdex::loadgen
+
+#endif  // SUBDEX_LOADGEN_WORKLOAD_H_

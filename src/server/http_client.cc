@@ -1,0 +1,142 @@
+#include "server/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace subdex {
+
+namespace {
+
+/// RAII socket: every early return below must close the fd.
+class OwnedFd {
+ public:
+  explicit OwnedFd(int fd) : fd_(fd) {}
+  ~OwnedFd() {
+    if (fd_ >= 0) close(fd_);
+  }
+  OwnedFd(const OwnedFd&) = delete;
+  OwnedFd& operator=(const OwnedFd&) = delete;
+  int get() const { return fd_; }
+
+ private:
+  int fd_;
+};
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+const std::string* HttpClientResponse::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+Result<HttpClientResponse> HttpFetch(const HttpClientOptions& options,
+                                     const std::string& method,
+                                     const std::string& target,
+                                     const std::string& body,
+                                     const std::string& content_type) {
+  OwnedFd fd(socket(AF_INET, SOCK_STREAM, 0));
+  if (fd.get() < 0) return ErrnoStatus("socket");
+
+  timeval timeout = {};
+  timeout.tv_sec = options.timeout_ms / 1000;
+  timeout.tv_usec = (options.timeout_ms % 1000) * 1000;
+  // Discard justified: setting a socket timeout can only fail on a bad fd
+  // or bad option, both impossible here; a missing timeout degrades to
+  // blocking reads, which the caller's own deadline still bounds.
+  (void)setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                   sizeof(timeout));
+  (void)setsockopt(fd.get(), SOL_SOCKET, SO_SNDTIMEO, &timeout,
+                   sizeof(timeout));
+
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("http client: host must be an IPv4 "
+                                   "literal, got '" +
+                                   options.host + "'");
+  }
+  if (connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+              sizeof(addr)) != 0) {
+    return ErrnoStatus("connect " + options.host + ":" +
+                       std::to_string(options.port));
+  }
+
+  std::string request = method + " " + target + " HTTP/1.1\r\nHost: " +
+                        options.host + "\r\nConnection: close\r\n";
+  if (!body.empty()) {
+    request += "Content-Type: " + content_type + "\r\n";
+  }
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  request += body;
+
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = send(fd.get(), request.data() + sent, request.size() - sent,
+                     MSG_NOSIGNAL);
+    if (n <= 0) return ErrnoStatus("send");
+    sent += static_cast<size_t>(n);
+  }
+
+  std::string text;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = recv(fd.get(), buf, sizeof(buf), 0);
+    if (n == 0) break;
+    if (n < 0) {
+      // A server that sheds (429/503) answers and closes without draining
+      // the request, so the close carries RST and this recv fails even
+      // though the full response already arrived. Treat an error after
+      // data as end-of-stream — the parse below still rejects a response
+      // the RST actually truncated mid-head.
+      if (!text.empty()) break;
+      return ErrnoStatus("recv");
+    }
+    text.append(buf, static_cast<size_t>(n));
+  }
+
+  // Parse "HTTP/1.1 NNN reason\r\n" + headers + "\r\n\r\n" + body.
+  if (text.rfind("HTTP/1.1 ", 0) != 0 || text.size() < 12) {
+    return Status::IoError("http client: malformed status line");
+  }
+  HttpClientResponse out;
+  int parsed_status = 0;
+  if (!ParseInt(text.substr(9, 3), &parsed_status)) {
+    return Status::IoError("http client: unparseable status code");
+  }
+  out.status = parsed_status;
+  const size_t head_end = text.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    return Status::IoError("http client: truncated response head");
+  }
+  size_t line_start = text.find("\r\n") + 2;
+  while (line_start < head_end) {
+    size_t line_end = text.find("\r\n", line_start);
+    const std::string_view line(text.data() + line_start,
+                                line_end - line_start);
+    const size_t colon = line.find(':');
+    if (colon != std::string_view::npos) {
+      out.headers.emplace_back(ToLower(Trim(line.substr(0, colon))),
+                               std::string(Trim(line.substr(colon + 1))));
+    }
+    line_start = line_end + 2;
+  }
+  out.body = text.substr(head_end + 4);
+  return out;
+}
+
+}  // namespace subdex

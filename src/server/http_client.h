@@ -1,0 +1,55 @@
+#ifndef SUBDEX_SERVER_HTTP_CLIENT_H_
+#define SUBDEX_SERVER_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace subdex {
+
+/// A minimal blocking HTTP/1.1 client, sized for subdexd's wire protocol:
+/// one short JSON request per connection, read to close (the server
+/// answers `Connection: close`). This is the one HTTP client in the tree —
+/// the load driver (src/loadgen/), the server tests, and ad-hoc tools all
+/// go through it, so protocol quirks get fixed once.
+///
+/// Scope limits, on purpose: no keep-alive, no chunked encoding, no TLS,
+/// IPv4 numeric hosts only ("127.0.0.1"-style — subdexd binds loopback by
+/// default and the driver targets machines it also launched). A transport
+/// failure (connect refused, timeout, truncated response) is a non-OK
+/// Status; an HTTP error (429, 503, ...) is an OK Result carrying the
+/// status code — callers under load must see sheds as data, not as
+/// exceptions.
+struct HttpClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Per-socket-operation send/recv timeout; also the connect timeout.
+  int timeout_ms = 30000;
+};
+
+struct HttpClientResponse {
+  int status = 0;
+  /// Header names lower-cased at parse time (HTTP headers are
+  /// case-insensitive), in wire order.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Header value by lower-case name; nullptr when absent.
+  SUBDEX_NODISCARD const std::string* Header(std::string_view name) const;
+};
+
+/// One request over a fresh connection: connect, send, read until the
+/// server closes, parse. `body` is sent with a Content-Length header (and
+/// `content_type` when the body is non-empty).
+SUBDEX_MUST_USE_RESULT Result<HttpClientResponse> HttpFetch(
+    const HttpClientOptions& options, const std::string& method,
+    const std::string& target, const std::string& body = "",
+    const std::string& content_type = "application/json");
+
+}  // namespace subdex
+
+#endif  // SUBDEX_SERVER_HTTP_CLIENT_H_

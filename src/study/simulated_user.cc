@@ -119,4 +119,25 @@ std::optional<GroupSelection> SimulatedUser::ChooseOwnOperation(
   return ops[rng_.UniformU32(static_cast<uint32_t>(ops.size()))].target;
 }
 
+std::optional<size_t> SimulatedUser::ChooseRecommendationIndex(
+    size_t num_recommendations) {
+  if (num_recommendations == 0) return std::nullopt;
+  // The same trust split as ChooseRecommendation: mostly the top pick,
+  // sometimes a lower-ranked one, occasionally her own way.
+  double p_top = profile_.high_cs_expertise ? 0.75 : 0.65;
+  double p_any = profile_.high_cs_expertise ? 0.95 : 0.90;
+  double roll = rng_.UniformDouble();
+  if (roll < p_top) return 0;
+  if (roll < p_any) {
+    return rng_.UniformU32(static_cast<uint32_t>(num_recommendations));
+  }
+  return std::nullopt;
+}
+
+double SimulatedUser::NextThinkTimeMs(double mean_ms) {
+  if (!(mean_ms > 0.0)) return 0.0;
+  // Inverse-CDF exponential; log1p keeps u ~ 1 accurate and u = 0 finite.
+  return -mean_ms * std::log1p(-rng_.UniformDouble());
+}
+
 }  // namespace subdex

@@ -65,6 +65,25 @@ class SimulatedUser {
       const SubjectiveDatabase& db, const StepResult& step,
       bool purposeful = false);
 
+  /// Wire-level variant of ChooseRecommendation for load drivers: the
+  /// subject's trust in the ranking (same p_top / p_any probabilities)
+  /// when only the COUNT of offered recommendations is visible — an HTTP
+  /// client follows a recommendation by index and never sees the
+  /// operation targets, so the visited-dedup of the full policy does not
+  /// apply. nullopt means the subject abandons the ranked path (in a
+  /// load session: restarts from the whole database).
+  std::optional<size_t> ChooseRecommendationIndex(size_t num_recommendations);
+
+  /// Think time before the subject's next operation, in milliseconds:
+  /// exponentially distributed with the given mean. Interactive-
+  /// exploration benchmarks (IDEBench) require think time between
+  /// interactions — a user studies the displayed maps before acting, so
+  /// back-to-back stepping mismeasures an interactive system. Drawn from
+  /// the subject's seeded Rng: the whole think-time sequence is
+  /// reproducible. A non-positive mean returns 0 (closed-loop saturation
+  /// mode).
+  double NextThinkTimeMs(double mean_ms);
+
   Rng* rng() { return &rng_; }
 
  private:

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <thread>
@@ -85,6 +86,46 @@ std::string FormatBound(double bound) {
 }
 
 }  // namespace
+
+double HistogramQuantile(const std::vector<double>& bounds,
+                         const std::vector<uint64_t>& buckets, double q) {
+  if (bounds.empty() || buckets.empty()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+
+  const size_t overflow = buckets.size() - 1;
+  double cumulative_before = 0.0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets[i]);
+    if (in_bucket == 0.0 || cumulative_before + in_bucket < rank) {
+      cumulative_before += in_bucket;
+      continue;
+    }
+    // The rank lands in bucket i. The overflow bucket has no finite upper
+    // edge to interpolate toward; the best unbiased answer the fixed
+    // buckets allow is the last finite bound.
+    if (i >= overflow || i >= bounds.size()) return bounds.back();
+    const double upper = bounds[i];
+    double lower;
+    if (i > 0) {
+      lower = bounds[i - 1];
+    } else if (upper > 0) {
+      lower = 0.0;  // latency-style data: the first bucket starts at 0
+    } else {
+      return upper;  // no defensible lower edge; don't invent one
+    }
+    const double fraction = (rank - cumulative_before) / in_bucket;
+    return lower + (upper - lower) * fraction;
+  }
+  // rank == total with trailing empty buckets: the last occupied bucket
+  // already returned above; reaching here means floating-point slack.
+  return bounds.back();
+}
 
 #if SUBDEX_METRICS_ENABLED
 

@@ -111,6 +111,26 @@ class Gauge {
 #endif
 };
 
+/// Interpolated quantile extraction over fixed-bucket histogram data — the
+/// one implementation shared by loadgen's latency recorder, the benches,
+/// and consumers of the /metrics JSON export (Prometheus's
+/// histogram_quantile() semantics, so a scrape and an in-process snapshot
+/// agree). `bounds` are the inclusive upper bounds, `buckets` the
+/// NON-cumulative per-bucket counts with one extra trailing +Inf entry
+/// (the layout of Histogram::BucketCounts / HistogramSample::buckets).
+///
+/// Semantics, pinned by tests/metrics_test.cc:
+///   - q is clamped to [0, 1]; the target rank is q * total_count.
+///   - The quantile is linearly interpolated inside the bucket the rank
+///     lands in; the first bucket's lower edge is 0 when bounds[0] > 0
+///     (latency-style data), otherwise no interpolation is attempted and
+///     bounds[0] itself is returned.
+///   - A rank in the +Inf overflow bucket returns the last finite bound
+///     (the histogram cannot resolve beyond it).
+///   - An empty histogram (or empty `bounds`) returns NaN.
+double HistogramQuantile(const std::vector<double>& bounds,
+                         const std::vector<uint64_t>& buckets, double q);
+
 /// Fixed-bucket distribution. `bounds` are inclusive upper bounds in
 /// strictly increasing order; an implicit +Inf bucket catches the rest
 /// (Prometheus histogram semantics: each exported bucket is cumulative).
@@ -127,6 +147,11 @@ class Histogram {
   void Observe(double value) noexcept;
   SUBDEX_NODISCARD uint64_t TotalCount() const noexcept {
     return count_.load(std::memory_order_relaxed);
+  }
+  /// Interpolated quantile of the observed distribution; see
+  /// HistogramQuantile for the exact semantics. NaN when empty.
+  SUBDEX_NODISCARD double ValueAtQuantile(double q) const {
+    return HistogramQuantile(bounds_, BucketCounts(), q);
   }
   SUBDEX_NODISCARD
   double Sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
@@ -145,6 +170,9 @@ class Histogram {
   SUBDEX_NODISCARD double Sum() const noexcept { return 0.0; }
   SUBDEX_NODISCARD std::vector<uint64_t> BucketCounts() const {
     return std::vector<uint64_t>(bounds_.size() + 1, 0);
+  }
+  SUBDEX_NODISCARD double ValueAtQuantile(double q) const {
+    return HistogramQuantile(bounds_, BucketCounts(), q);
   }
   void Reset() noexcept {}
 #endif
@@ -176,6 +204,13 @@ struct MetricsSnapshot {
     std::vector<uint64_t> buckets;
     uint64_t count = 0;
     double sum = 0.0;
+
+    /// Interpolated quantile of the sampled distribution (see
+    /// HistogramQuantile); how /metrics consumers and the load reports
+    /// derive p50/p95/p99 from one scrape. NaN when the sample is empty.
+    SUBDEX_NODISCARD double ValueAtQuantile(double q) const {
+      return HistogramQuantile(bounds, buckets, q);
+    }
   };
 
   std::vector<CounterSample> counters;

@@ -1,6 +1,7 @@
 #include "util/stats.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "util/check.h"
@@ -57,6 +58,21 @@ double Median(std::vector<double> xs) {
   size_t n = xs.size();
   if (n % 2 == 1) return xs[n / 2];
   return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double WallTimeMs(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+double MedianOfRuns(size_t repeats, const std::function<double()>& sample) {
+  if (repeats == 0) repeats = 1;
+  std::vector<double> values;
+  values.reserve(repeats);
+  for (size_t i = 0; i < repeats; ++i) values.push_back(sample());
+  return Median(std::move(values));
 }
 
 double HoeffdingSerflingEpsilon(size_t sampled, size_t total, double delta) {

@@ -2,6 +2,7 @@
 #define SUBDEX_UTIL_STATS_H_
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 #include "util/status.h"
 
@@ -41,6 +42,17 @@ double StdDev(const std::vector<double>& xs);
 
 /// Median (averages the two middle values for even sizes); 0 for empty.
 double Median(std::vector<double> xs);
+
+/// Wall-clock duration of one `fn()` call in milliseconds (steady clock).
+double WallTimeMs(const std::function<void()>& fn);
+
+/// Runs `sample` max(repeats, 1) times and returns the median of the
+/// returned values. The benches report median-of-N wall times through this
+/// (one-sample timing is noise: a single page-fault- or frequency-scaling-
+/// hit run would otherwise become a trajectory point); the repeat test in
+/// tests/util_test.cc pins that an outlier run does not leak into the
+/// reported value.
+double MedianOfRuns(size_t repeats, const std::function<double()>& sample);
 
 /// Hoeffding-Serfling deviation bound for the running mean of a [0,1]-valued
 /// statistic computed from `sampled` draws without replacement out of a

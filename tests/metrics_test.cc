@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 #include <string>
@@ -126,6 +127,89 @@ TEST(HistogramTest, DefaultBucketLayoutsAreStrictlyIncreasing) {
     }
   }
 }
+
+// ----------------------------------------- Quantile interpolation -------
+// HistogramQuantile is a free function over (bounds, buckets), compiled in
+// every build (metrics ON or OFF): the loadgen latency recorder and the
+// /metrics consumers share it, so its semantics are pinned here exactly.
+
+TEST(HistogramQuantileTest, EmptyDistributionIsNaN) {
+  EXPECT_TRUE(std::isnan(HistogramQuantile({1.0, 2.0}, {0, 0, 0}, 0.5)));
+  EXPECT_TRUE(std::isnan(HistogramQuantile({}, {}, 0.5)));
+  EXPECT_TRUE(std::isnan(HistogramQuantile({1.0}, {}, 0.5)));
+}
+
+TEST(HistogramQuantileTest, FirstBucketInterpolatesFromZero) {
+  // Prometheus semantics: when bounds[0] > 0, the first bucket's lower
+  // edge is 0, so a distribution entirely in bucket le=1 interpolates
+  // inside [0, 1].
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, {2, 0, 0, 0}, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, {4, 0, 0, 0}, 0.25), 0.25);
+}
+
+TEST(HistogramQuantileTest, InterpolatesLinearlyInsideABucket) {
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  // One observation <= 1, one in (1, 2]: rank 1.5 of 2 lands halfway into
+  // the second bucket.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, {1, 1, 0, 0}, 0.75), 1.5);
+  // Bucket boundaries: the quantile exactly exhausting a bucket returns
+  // its upper bound.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, {1, 1, 0, 0}, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, {1, 1, 0, 0}, 1.0), 2.0);
+}
+
+TEST(HistogramQuantileTest, SkipsEmptyBucketsAndStaysMonotone) {
+  const std::vector<double> bounds = {1.0, 2.0, 4.0, 8.0};
+  const std::vector<uint64_t> buckets = {3, 0, 1, 0, 0};
+  double previous = 0.0;
+  for (double q : {0.0, 0.1, 0.5, 0.74, 0.76, 0.9, 1.0}) {
+    double value = HistogramQuantile(bounds, buckets, q);
+    EXPECT_GE(value, previous) << "q=" << q;
+    previous = value;
+  }
+  // The last observation sits in (2, 4]; anything above rank 3 of 4
+  // interpolates there, never in the empty (1, 2] bucket.
+  EXPECT_GT(HistogramQuantile(bounds, buckets, 0.9), 2.0);
+}
+
+TEST(HistogramQuantileTest, OverflowBucketReportsLastFiniteBound) {
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  // Everything beyond the ladder: the histogram cannot resolve the tail,
+  // so the honest answer is the largest finite bound (Prometheus's
+  // histogram_quantile does the same).
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, {0, 0, 0, 7}, 0.99), 4.0);
+  // Mixed: the overflow tail pulls high quantiles to the last bound.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, {1, 0, 0, 1}, 1.0), 4.0);
+}
+
+TEST(HistogramQuantileTest, QuantileIsClampedToUnitInterval) {
+  const std::vector<double> bounds = {1.0, 2.0};
+  const std::vector<uint64_t> buckets = {1, 1, 0};
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, buckets, -1.0),
+                   HistogramQuantile(bounds, buckets, 0.0));
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, buckets, 2.0),
+                   HistogramQuantile(bounds, buckets, 1.0));
+}
+
+#if SUBDEX_METRICS_ENABLED
+
+TEST(HistogramQuantileTest, HistogramAndSnapshotAgreeWithFreeFunction) {
+  Histogram h(std::vector<double>{1.0, 2.0, 4.0});
+  h.Observe(0.5);
+  h.Observe(1.5);
+  h.Observe(3.0);
+  h.Observe(9.0);
+  const double direct = h.ValueAtQuantile(0.5);
+  EXPECT_DOUBLE_EQ(direct,
+                   HistogramQuantile(h.bounds(), h.BucketCounts(), 0.5));
+  MetricsSnapshot::HistogramSample sample;
+  sample.bounds = h.bounds();
+  sample.buckets = h.BucketCounts();
+  EXPECT_DOUBLE_EQ(sample.ValueAtQuantile(0.5), direct);
+}
+
+#endif  // SUBDEX_METRICS_ENABLED
 
 // ----------------------------------------------------------- Registry ---
 

@@ -19,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include "server/http.h"
+#include "server/http_client.h"
 #include "server/json.h"
 #include "server/server.h"
 #include "tests/test_support.h"
@@ -410,11 +411,25 @@ RawResponse SendRaw(uint16_t port, const std::string& payload) {
   return out;
 }
 
+/// Structured requests ride the shared HTTP client
+/// (src/server/http_client.h) — the same code path subdex-loadgen drives —
+/// while SendRaw stays for the raw-protocol cases (malformed request
+/// lines, trickled bytes). The client lower-cases header names, so `head`
+/// matchers look for "retry-after:".
 RawResponse Fetch(uint16_t port, const std::string& method,
                   const std::string& target, const std::string& body = "") {
-  return SendRaw(port, method + " " + target +
-                           " HTTP/1.1\r\nHost: test\r\nContent-Length: " +
-                           std::to_string(body.size()) + "\r\n\r\n" + body);
+  HttpClientOptions options;
+  options.port = port;
+  RawResponse out;
+  Result<HttpClientResponse> response = HttpFetch(options, method, target,
+                                                  body);
+  if (!response.ok()) return out;  // status 0 = transport failure
+  out.status = response.value().status;
+  out.body = response.value().body;
+  for (const auto& [name, value] : response.value().headers) {
+    out.head += name + ": " + value + "\r\n";
+  }
+  return out;
 }
 
 TEST(HttpServerTest, QueueFullShedsImmediately) {
@@ -443,7 +458,7 @@ TEST(HttpServerTest, QueueFullShedsImmediately) {
 
   RawResponse shed = Fetch(port, "GET", "/c");
   EXPECT_EQ(shed.status, 429) << shed.head;
-  EXPECT_NE(shed.head.find("Retry-After:"), std::string::npos);
+  EXPECT_NE(shed.head.find("retry-after:"), std::string::npos);
 
   release.store(true);
   first.join();
@@ -534,7 +549,7 @@ TEST(HttpServerTest, ShutdownAnswersQueuedConnectionsWith503RetryAfter) {
 
   EXPECT_EQ(busy_response.status, 200) << busy_response.head;
   EXPECT_EQ(queued_response.status, 503) << queued_response.head;
-  EXPECT_NE(queued_response.head.find("Retry-After:"), std::string::npos)
+  EXPECT_NE(queued_response.head.find("retry-after:"), std::string::npos)
       << queued_response.head;
 }
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <numeric>
@@ -168,6 +169,46 @@ TEST(StatsTest, MedianOddEvenEmpty) {
   EXPECT_EQ(Median({}), 0.0);
   EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
   EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(StatsTest, MedianOfRunsRunsSampleExactlyRepeatsTimes) {
+  int calls = 0;
+  double median = MedianOfRuns(5, [&] {
+    ++calls;
+    return static_cast<double>(calls);  // samples 1..5
+  });
+  EXPECT_EQ(calls, 5);
+  EXPECT_DOUBLE_EQ(median, 3.0);
+  calls = 0;
+  EXPECT_DOUBLE_EQ(MedianOfRuns(0, [&] {
+                     ++calls;
+                     return 7.0;
+                   }),
+                   7.0);  // repeats < 1 still runs once
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(StatsTest, MedianOfRunsSuppressesAnOutlierRun) {
+  // The point of median-of-N benchmarking: one run hit by an injected
+  // stall (here a sleep standing in for a page-fault burst) must not leak
+  // into the reported value.
+  int call = 0;
+  double median = MedianOfRuns(3, [&] {
+    ++call;
+    return WallTimeMs([&] {
+      if (call == 2) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    });
+  });
+  EXPECT_LT(median, 40.0);  // the 50 ms outlier was discarded
+}
+
+TEST(StatsTest, WallTimeMsMeasuresElapsedTime) {
+  double ms = WallTimeMs(
+      [] { std::this_thread::sleep_for(std::chrono::milliseconds(10)); });
+  EXPECT_GE(ms, 9.0);  // sleep_for may round; never returns early by much
+  EXPECT_GE(WallTimeMs([] {}), 0.0);
 }
 
 // ------------------------------------------------- Hoeffding-Serfling ----
