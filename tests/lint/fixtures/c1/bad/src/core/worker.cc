@@ -1,0 +1,18 @@
+// Seeded violation: a raw std::mutex and a raw cv wait.
+#include <mutex>
+
+namespace subdex {
+
+struct Worker {
+  std::mutex mu_;
+};
+
+void Park(Worker& w) {
+  (void)w;  // placeholder body; the declarations above are the violation
+}
+
+void WaitForDone(Worker& w) {
+  w.cv_.wait(w.lk_);
+}
+
+}  // namespace subdex

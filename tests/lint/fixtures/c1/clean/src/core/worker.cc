@@ -1,0 +1,15 @@
+#include "util/mutex.h"
+
+namespace subdex {
+
+struct Worker {
+  Mutex mu_{"worker.state", lock_rank::kWorker};
+  bool done_ = false;
+};
+
+void WaitForDone(Worker& w, std::condition_variable& cv) {
+  MutexLock lock(w.mu_);
+  while (!w.done_) lock.WaitOnce(cv);
+}
+
+}  // namespace subdex

@@ -1,0 +1,14 @@
+#ifndef FIXTURE_STATE_H_
+#define FIXTURE_STATE_H_
+
+#include "util/mutex.h"
+
+namespace subdex {
+
+struct State {
+  Mutex mu_{"state.main", lock_rank::kState};
+};
+
+}  // namespace subdex
+
+#endif

@@ -1,0 +1,10 @@
+#include "util/mutex.h"
+
+namespace subdex {
+
+void Answer(Mutex& mu, int fd) {
+  MutexLock lock(mu);
+  ::send(fd, "ok", 2, 0);
+}
+
+}  // namespace subdex

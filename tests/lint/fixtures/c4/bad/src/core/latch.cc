@@ -1,0 +1,10 @@
+#include "util/mutex.h"
+
+namespace subdex {
+
+void Await(Mutex& mu, std::condition_variable& cv) {
+  MutexLock lock(mu);
+  lock.WaitOnce(cv);
+}
+
+}  // namespace subdex

@@ -1,0 +1,10 @@
+#include "util/mutex.h"
+
+namespace subdex {
+
+void Await(Mutex& mu, std::condition_variable& cv, bool& done) {
+  MutexLock lock(mu);
+  while (!done) lock.WaitOnce(cv);
+}
+
+}  // namespace subdex

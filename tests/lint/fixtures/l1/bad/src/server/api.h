@@ -1,0 +1,6 @@
+#ifndef FIXTURE_API_H_
+#define FIXTURE_API_H_
+namespace subdex {
+void Api();
+}  // namespace subdex
+#endif

@@ -1,0 +1,7 @@
+// Seeded violation: util is the leaf layer; including server/ inverts
+// the declared DAG.
+#include "server/api.h"
+
+namespace subdex {
+void Helper() {}
+}  // namespace subdex

@@ -1,0 +1,5 @@
+#include "util/helper.h"
+
+namespace subdex {
+void Api() { Helper(); }
+}  // namespace subdex

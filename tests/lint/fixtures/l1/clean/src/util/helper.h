@@ -1,0 +1,6 @@
+#ifndef FIXTURE_HELPER_H_
+#define FIXTURE_HELPER_H_
+namespace subdex {
+void Helper();
+}  // namespace subdex
+#endif

@@ -1,0 +1,21 @@
+#include "util/thread_pool.h"
+
+namespace subdex {
+
+// Seeded violation: blocks in ParallelFor with no budget in sight.
+void SweepAll(ThreadPool& pool, size_t n) {
+  pool.ParallelFor(0, n, [](size_t) {});
+}
+
+// Budgeted blocker: fine itself, and callers must stay budgeted too.
+void SweepSome(ThreadPool& pool, size_t n, StopToken stop) {
+  if (stop.ShouldStop()) return;
+  pool.ParallelFor(0, n, [](size_t) {});
+}
+
+// Seeded violation: one hop from a budgeted blocker, budget dropped.
+void SweepAgain(ThreadPool& pool) {
+  SweepSome(pool, 8, {});
+}
+
+}  // namespace subdex

@@ -1,0 +1,14 @@
+#include "util/thread_pool.h"
+
+namespace subdex {
+
+void SweepSome(ThreadPool& pool, size_t n, StopToken stop) {
+  if (stop.ShouldStop()) return;
+  pool.ParallelFor(0, n, [](size_t) {});
+}
+
+void SweepAgain(ThreadPool& pool, StopToken stop) {
+  SweepSome(pool, 8, stop);
+}
+
+}  // namespace subdex

@@ -1,0 +1,10 @@
+#include "server/json.h"
+
+namespace subdex {
+
+// Seeded violation: attacker-controlled count straight into resize().
+void Apply(const JsonValue& body, std::vector<int>* out) {
+  out->resize(body.number());
+}
+
+}  // namespace subdex

@@ -1,0 +1,13 @@
+#include "server/json_wire.h"
+
+namespace subdex {
+
+void Apply(const JsonValue& body, std::vector<int>* out, size_t cap) {
+  // lint: wire-checked(clamped to cap right here, not used raw)
+  const double n = body.number();
+  if (n >= 0 && n <= static_cast<double>(cap)) {
+    out->resize(static_cast<size_t>(n));
+  }
+}
+
+}  // namespace subdex

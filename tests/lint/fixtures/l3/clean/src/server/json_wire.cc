@@ -1,0 +1,8 @@
+#include "server/json_wire.h"
+
+namespace subdex {
+
+// The funnel itself may touch the raw accessor.
+double Raw(const JsonValue& v) { return v.number(); }
+
+}  // namespace subdex

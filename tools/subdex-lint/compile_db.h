@@ -1,0 +1,22 @@
+#ifndef SUBDEX_TOOLS_SUBDEX_LINT_COMPILE_DB_H_
+#define SUBDEX_TOOLS_SUBDEX_LINT_COMPILE_DB_H_
+
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace subdex_lint {
+
+// Extracts the "file" entries from a CMake-emitted compile_commands.json.
+// Deliberately not a general JSON parser: the database is machine-written
+// with a fixed shape, and the only fact the lint needs is *which
+// translation units the real build compiles* — that makes the exported
+// database the single source of truth for the TU list (headers are
+// discovered by directory walk; they never appear in the database).
+// Returns absolute paths as written by CMake. On malformed input the
+// result is simply the entries that could be read.
+std::set<std::string> ReadCompileDbFiles(std::string_view json_text);
+
+}  // namespace subdex_lint
+
+#endif  // SUBDEX_TOOLS_SUBDEX_LINT_COMPILE_DB_H_

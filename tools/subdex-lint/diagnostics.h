@@ -1,0 +1,65 @@
+#ifndef SUBDEX_TOOLS_SUBDEX_LINT_DIAGNOSTICS_H_
+#define SUBDEX_TOOLS_SUBDEX_LINT_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+namespace subdex_lint {
+
+struct Diagnostic {
+  std::string file;  // project-relative path
+  int line = 0;
+  std::string rule;     // "C1".."C4", "L1".."L4"
+  std::string message;  // what is wrong at this site
+};
+
+// One rule of the check catalog. `rationale` is the one-line "why this
+// rule exists" printed with every diagnostic (DESIGN.md §15 holds the
+// long form).
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+  const char* rationale;
+};
+
+inline const std::vector<RuleInfo>& RuleCatalog() {
+  static const std::vector<RuleInfo> kRules = {
+      {"C1", "no raw std synchronization primitives or raw cv waits",
+       "subdex::Mutex/MutexLock carry the thread-safety annotations and "
+       "deadlock-detector hooks; a raw std primitive bypasses both"},
+      {"C2", "every subdex::Mutex is named at construction",
+       "an unnamed Mutex is invisible in detector reports and unplaceable "
+       "in the lock-rank hierarchy"},
+      {"C3", "no blocking syscall inside a MutexLock scope in src/server/",
+       "a peer that stalls the syscall would hold the lock for the whole "
+       "stall, freezing every other session on that shard"},
+      {"C4", "every cv wait loops on its predicate",
+       "spurious wakeups make an unlooped WaitOnce a race; the wait must "
+       "re-check its predicate in a loop"},
+      {"L1", "subsystem includes follow the declared DAG in ci/layers.txt",
+       "the persistent-index and streaming-ingestion work depends on "
+       "engine/storage layering staying acyclic and explicit"},
+      {"L2", "blocking engine/server code accepts a Deadline/StopToken",
+       "a function that can block without a budget silently breaks the "
+       "anytime contract every interactive step depends on"},
+      {"L3", "wire numbers flow through the json_wire bounds-checked funnel",
+       "an untrusted JSON number used directly as a size/index/count is a "
+       "remote allocation or OOB primitive"},
+      {"L4", "discards are justified; metric names are literal and "
+       "subdex_<subsystem>_<name>",
+       "a bare (void) discard swallows a [[nodiscard]] error, and a "
+       "non-conforming metric name breaks dashboard grouping"},
+  };
+  return kRules;
+}
+
+inline const RuleInfo* FindRule(const std::string& id) {
+  for (const RuleInfo& r : RuleCatalog()) {
+    if (id == r.id) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace subdex_lint
+
+#endif  // SUBDEX_TOOLS_SUBDEX_LINT_DIAGNOSTICS_H_

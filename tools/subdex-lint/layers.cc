@@ -1,0 +1,149 @@
+#include "tools/subdex-lint/layers.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace subdex_lint {
+
+namespace {
+
+bool ValidName(std::string_view name) {
+  if (name.empty()) return false;
+  return std::all_of(name.begin(), name.end(), [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+  });
+}
+
+std::vector<std::string> SplitWords(std::string_view text) {
+  std::vector<std::string> words;
+  std::istringstream in{std::string(text)};
+  std::string word;
+  while (in >> word) words.push_back(word);
+  return words;
+}
+
+}  // namespace
+
+bool ParseLayersFile(std::string_view text, LayerGraph* out,
+                     std::string* error) {
+  LayerGraph graph;
+  int line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    const size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string_view::npos) continue;  // blank / comment-only
+    line = line.substr(first);
+
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      *error = "layers.txt:" + std::to_string(line_no) +
+               ": expected '<subsystem>: <deps...>'";
+      return false;
+    }
+    std::string name{line.substr(0, colon)};
+    while (!name.empty() && (name.back() == ' ' || name.back() == '\t')) {
+      name.pop_back();
+    }
+    if (!ValidName(name)) {
+      *error = "layers.txt:" + std::to_string(line_no) +
+               ": invalid subsystem name '" + name + "'";
+      return false;
+    }
+    if (graph.Declared(name)) {
+      *error = "layers.txt:" + std::to_string(line_no) +
+               ": duplicate subsystem '" + name + "'";
+      return false;
+    }
+    std::set<std::string> deps;
+    for (const std::string& dep : SplitWords(line.substr(colon + 1))) {
+      if (!ValidName(dep)) {
+        *error = "layers.txt:" + std::to_string(line_no) +
+                 ": invalid dependency name '" + dep + "'";
+        return false;
+      }
+      if (dep == name) {
+        *error = "layers.txt:" + std::to_string(line_no) + ": '" + name +
+                 "' lists itself as a dependency";
+        return false;
+      }
+      deps.insert(dep);
+    }
+    graph.subsystems.push_back(name);
+    graph.allowed.emplace(std::move(name), std::move(deps));
+  }
+  *out = std::move(graph);
+  return true;
+}
+
+bool ValidateDeclaredDeps(const LayerGraph& graph, std::string* error) {
+  for (const std::string& sub : graph.subsystems) {
+    for (const std::string& dep : graph.allowed.at(sub)) {
+      if (!graph.Declared(dep)) {
+        *error = "layers.txt: subsystem '" + sub +
+                 "' depends on undeclared subsystem '" + dep + "'";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> FindCycle(const LayerGraph& graph) {
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<std::string, Color> color;
+  for (const std::string& s : graph.subsystems) color[s] = Color::kWhite;
+
+  // Iterative DFS keeping the gray path, so the cycle can be read off it.
+  struct Frame {
+    std::string node;
+    std::vector<std::string> deps;  // sorted (std::set order): deterministic
+    size_t next = 0;
+  };
+  for (const std::string& root : graph.subsystems) {
+    if (color[root] != Color::kWhite) continue;
+    std::vector<Frame> stack;
+    auto push = [&](const std::string& node) {
+      color[node] = Color::kGray;
+      Frame f;
+      f.node = node;
+      const auto& deps = graph.allowed.at(node);
+      f.deps.assign(deps.begin(), deps.end());
+      stack.push_back(std::move(f));
+    };
+    push(root);
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      if (top.next >= top.deps.size()) {
+        color[top.node] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const std::string dep = top.deps[top.next++];
+      auto it = color.find(dep);
+      if (it == color.end()) continue;  // undeclared dep: reported elsewhere
+      if (it->second == Color::kGray) {
+        // Back edge: the cycle is the gray path from `dep` to here, closed.
+        std::vector<std::string> cycle;
+        size_t start = 0;
+        while (start < stack.size() && stack[start].node != dep) ++start;
+        for (size_t i = start; i < stack.size(); ++i) {
+          cycle.push_back(stack[i].node);
+        }
+        cycle.push_back(dep);
+        return cycle;
+      }
+      if (it->second == Color::kWhite) push(dep);
+    }
+  }
+  return {};
+}
+
+}  // namespace subdex_lint

@@ -1,0 +1,55 @@
+#ifndef SUBDEX_TOOLS_SUBDEX_LINT_LAYERS_H_
+#define SUBDEX_TOOLS_SUBDEX_LINT_LAYERS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace subdex_lint {
+
+// The declared subsystem DAG from ci/layers.txt (rule L1). Each line
+//
+//   <subsystem>: <dep> <dep> ...        # comment
+//
+// names one directory under src/ and the exact set of sibling subsystems
+// its files may #include. The list is explicit, not transitive: `server`
+// may include `util` only because its line says so, not because
+// `engine` does. `#` starts a comment; blank lines are ignored.
+struct LayerGraph {
+  // Declaration order, preserved so diagnostics and dumps are stable.
+  std::vector<std::string> subsystems;
+  // subsystem -> allowed direct dependencies. Every declared subsystem
+  // has an entry (possibly empty).
+  std::map<std::string, std::set<std::string>> allowed;
+
+  bool Declared(std::string_view name) const {
+    return allowed.find(std::string(name)) != allowed.end();
+  }
+  bool EdgeAllowed(std::string_view from, std::string_view to) const {
+    auto it = allowed.find(std::string(from));
+    return it != allowed.end() &&
+           it->second.find(std::string(to)) != it->second.end();
+  }
+};
+
+// Parses the layers file. On failure returns false and sets *error to a
+// message carrying the 1-based line number. Rejects: a line without ':',
+// an empty subsystem name, a duplicate subsystem line, names with
+// characters outside [a-z0-9_], and a subsystem listing itself as a dep.
+bool ParseLayersFile(std::string_view text, LayerGraph* out,
+                     std::string* error);
+
+// Every listed dependency must itself be declared as a subsystem.
+// Returns false and names the offender otherwise.
+bool ValidateDeclaredDeps(const LayerGraph& graph, std::string* error);
+
+// Cycle detection over the declared edges (iterative three-color DFS in
+// declaration order, so the reported cycle is deterministic). Returns the
+// cycle as [a, b, ..., a]; empty when the graph is acyclic.
+std::vector<std::string> FindCycle(const LayerGraph& graph);
+
+}  // namespace subdex_lint
+
+#endif  // SUBDEX_TOOLS_SUBDEX_LINT_LAYERS_H_
