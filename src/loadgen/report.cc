@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "server/json.h"
+#include "server/json_wire.h"
 
 namespace subdex::loadgen {
 
@@ -80,7 +81,12 @@ bool ReadDouble(const JsonValue& obj, std::string_view key, double* out,
                 std::string* missing) {
   const JsonValue* v = Require(obj, key, JsonValue::Kind::kNumber, missing);
   if (v == nullptr) return false;
-  *out = v->number();
+  Result<double> number = WireNumber(*v, key);
+  if (!number.ok()) {
+    if (missing->empty()) *missing = std::string(key);
+    return false;
+  }
+  *out = number.value();
   return true;
 }
 
@@ -210,8 +216,14 @@ Result<TrajectoryReport> ParseReport(std::string_view text) {
         "'");
   }
   const JsonValue* version = root.Find("schema_version");
-  if (version == nullptr || !version->is_number() ||
-      version->number() != kReportSchemaVersion) {
+  double version_number = -1;
+  if (version != nullptr) {
+    if (Result<double> number = WireNumber(*version, "schema_version");
+        number.ok()) {
+      version_number = number.value();
+    }
+  }
+  if (version_number != kReportSchemaVersion) {
     return Status::InvalidArgument(
         "trajectory report: unsupported schema_version (want " +
         std::to_string(kReportSchemaVersion) + ")");

@@ -1,0 +1,58 @@
+#ifndef SUBDEX_SERVER_JSON_WIRE_H_
+#define SUBDEX_SERVER_JSON_WIRE_H_
+
+/// Bounds-checked readers for numbers arriving over the wire.
+///
+/// A JSON number in a request body is attacker-controlled: used raw as a
+/// size, index, or allocation count it is a remote allocation / OOB
+/// primitive (a `"k": 1e300` must die at the parse boundary, not inside a
+/// resize). This header is the funnel those values must flow through —
+/// subdex-lint rule L3 bans `JsonValue::number()` everywhere else in
+/// src/server/ and src/loadgen/, so every raw read outside these
+/// functions is a lint failure, not a review judgement call.
+///
+/// All readers reject non-numbers, NaN/infinity, and out-of-range values
+/// with an InvalidArgument whose message names the offending field; the
+/// keyed `Wire*Field` forms treat an absent key as "keep the default" and
+/// leave `*out` untouched.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "server/json.h"
+#include "util/status.h"
+
+namespace subdex {
+
+/// Largest count the wire may name. Well under 2^53 (every integer below
+/// it is exact in a double) and far above any legitimate knob, so the cap
+/// rejects only garbage, never a real workload.
+inline constexpr double kWireMaxCount = 1e15;
+
+/// A finite number. `what` names the field for the error message.
+SUBDEX_NODISCARD Result<double> WireNumber(const JsonValue& value,
+                                           std::string_view what);
+
+/// A non-negative integer usable as a container index or element count:
+/// finite, integral, in [0, kWireMaxCount].
+SUBDEX_NODISCARD Result<size_t> WireIndex(const JsonValue& value,
+                                          std::string_view what);
+
+/// A count knob: optional `key` on `obj`; absent leaves `*out` untouched,
+/// present must satisfy the WireIndex contract.
+SUBDEX_NODISCARD Status WireCountField(const JsonValue& obj,
+                                       std::string_view key, size_t* out);
+
+/// A millisecond duration: optional `key` on `obj`; absent leaves `*out`
+/// untouched, present must be finite and >= 0 — or > 0 under kPositive
+/// (deadlines: a zero deadline is always already expired, so it is a
+/// caller bug, not a short budget).
+enum class WireSign { kNonNegative, kPositive };
+SUBDEX_NODISCARD Status WireMsField(const JsonValue& obj,
+                                    std::string_view key, double* out,
+                                    WireSign sign = WireSign::kNonNegative);
+
+}  // namespace subdex
+
+#endif  // SUBDEX_SERVER_JSON_WIRE_H_

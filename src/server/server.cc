@@ -7,6 +7,7 @@
 
 #include "engine/session_log.h"
 #include "server/json.h"
+#include "server/json_wire.h"
 #include "storage/query_parser.h"
 #include "util/metrics.h"
 
@@ -72,20 +73,6 @@ Result<JsonValue> ParseBodyObject(const HttpRequest& request) {
   return parsed;
 }
 
-/// Reads an optional non-negative integral number field, writing it into
-/// `out` (left untouched when the field is absent).
-Status ReadCount(const JsonValue& body, const char* key, size_t* out) {
-  const JsonValue* v = body.Find(key);
-  if (v == nullptr) return Status::Ok();
-  double d = v->number();
-  if (!v->is_number() || !(d >= 0) || d != std::floor(d) || d > 1e15) {
-    return Status::InvalidArgument(std::string("'") + key +
-                                   "' must be a non-negative integer");
-  }
-  *out = static_cast<size_t>(d);
-  return Status::Ok();
-}
-
 /// Applies the request's "config" object onto the per-session engine
 /// template. Only a safe allowlist of knobs is exposed — pruning schemes,
 /// distance kinds and the like stay server-side; unknown keys are an error
@@ -111,7 +98,7 @@ Status ApplyConfigOverrides(const JsonValue& config, size_t max_threads,
     bool known = false;
     for (const auto& [name, target] : knobs) {
       // Discard justified: key-set validation only; `target` is written in
-      // the ReadCount loop below.
+      // the WireCountField loop below.
       (void)target;
       if (key == name) known = true;
     }
@@ -120,7 +107,7 @@ Status ApplyConfigOverrides(const JsonValue& config, size_t max_threads,
     }
   }
   for (const auto& [name, target] : knobs) {
-    Status status = ReadCount(config, name, target);
+    Status status = WireCountField(config, name, target);
     if (!status.ok()) return status;
   }
   engine->seed = seed;
@@ -337,11 +324,9 @@ HttpResponse SubdexServer::HandleCreateSession(const HttpRequest& request) {
   }
 
   double ttl_ms = 0;
-  if (const JsonValue* v = body.value().Find("ttl_ms"); v != nullptr) {
-    if (!v->is_number() || !(v->number() >= 0)) {
-      return ErrorResponse(400, "'ttl_ms' must be a non-negative number");
-    }
-    ttl_ms = v->number();
+  if (Status status = WireMsField(body.value(), "ttl_ms", &ttl_ms);
+      !status.ok()) {
+    return ErrorResponse(400, status.message());
   }
 
   EngineConfig config = options_.engine;
@@ -438,17 +423,16 @@ HttpResponse SubdexServer::HandleStep(const std::string& id,
       return ErrorResponse(
           400, "'recommendation' and explicit queries are mutually exclusive");
     }
-    double d = reco->number();
-    if (!reco->is_number() || !(d >= 0) || d != std::floor(d)) {
-      return ErrorResponse(400,
-                           "'recommendation' must be a non-negative index");
+    Result<size_t> reco_index = WireIndex(*reco, "recommendation");
+    if (!reco_index.ok()) {
+      return ErrorResponse(400, reco_index.status().message());
     }
     MutexLock lock(lease->mu);
     if (!lease->has_last_step) {
       return ErrorResponse(
           400, "no previous step to take a recommendation from");
     }
-    size_t index = static_cast<size_t>(d);
+    size_t index = reco_index.value();
     if (index >= lease->last_step.recommendations.size()) {
       return ErrorResponse(
           400, "recommendation index " + std::to_string(index) +
@@ -489,12 +473,13 @@ HttpResponse SubdexServer::HandleStep(const std::string& id,
     }
     options.with_recommendations = v->bool_value();
   }
-  if (const JsonValue* v = body.Find("deadline_ms"); v != nullptr) {
-    if (!v->is_number() || !(v->number() > 0)) {
-      return ErrorResponse(400, "'deadline_ms' must be a positive number");
-    }
-    options.deadline = Deadline::FromNowMs(v->number());
+  double deadline_ms = 0;
+  if (Status status = WireMsField(body, "deadline_ms", &deadline_ms,
+                                  WireSign::kPositive);
+      !status.ok()) {
+    return ErrorResponse(400, status.message());
   }
+  if (deadline_ms > 0) options.deadline = Deadline::FromNowMs(deadline_ms);
 
   StepResult result = lease->engine->ExecuteStep(selection, options);
   ServerMetrics::Get().steps.Increment();
@@ -711,10 +696,10 @@ void SubdexServer::RecoverOne(SessionJournalReplay replay) {
                                  "' is no longer registered");
   }
   double ttl_ms = 0;
-  if (const JsonValue* v = create.Find("ttl_ms");
-      v != nullptr && v->is_number()) {
-    ttl_ms = v->number();
-  }
+  // Discard justified: journal replay is lenient about fields the create
+  // handler would have rejected — a malformed ttl_ms in an old journal
+  // keeps the default instead of failing recovery of the whole session.
+  (void)WireMsField(create, "ttl_ms", &ttl_ms);
   EngineConfig config = options_.engine;
   if (const JsonValue* knobs = create.Find("config");
       knobs != nullptr && knobs->is_object()) {

@@ -1,0 +1,101 @@
+// The wire-number funnel (src/server/json_wire.h): every number a client
+// can put on the wire must die at these functions or arrive bounded.
+// subdex-lint rule L3 guarantees server code cannot bypass the funnel;
+// this test pins what the funnel itself accepts and rejects.
+
+#include "server/json_wire.h"
+
+#include <cmath>
+#include <limits>
+
+#include "gtest/gtest.h"
+#include "server/json.h"
+
+namespace subdex {
+namespace {
+
+JsonValue Obj(const char* key, JsonValue v) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set(key, std::move(v));
+  return obj;
+}
+
+TEST(WireNumber, AcceptsFiniteRejectsNonNumbersAndNonFinite) {
+  EXPECT_EQ(WireNumber(JsonValue::Number(2.5), "x").value(), 2.5);
+  EXPECT_EQ(WireNumber(JsonValue::Number(-7), "x").value(), -7.0);
+  EXPECT_FALSE(WireNumber(JsonValue::Str("2.5"), "x").ok());
+  EXPECT_FALSE(WireNumber(JsonValue::Bool(true), "x").ok());
+  EXPECT_FALSE(
+      WireNumber(JsonValue::Number(std::numeric_limits<double>::infinity()),
+                 "x")
+          .ok());
+  EXPECT_FALSE(
+      WireNumber(JsonValue::Number(std::nan("")), "x").ok());
+}
+
+TEST(WireNumber, ErrorNamesTheField) {
+  const Result<double> r = WireNumber(JsonValue::Str("no"), "ttl_ms");
+  EXPECT_NE(r.status().message().find("ttl_ms"), std::string::npos);
+}
+
+TEST(WireIndex, AcceptsSmallIntegersOnly) {
+  EXPECT_EQ(WireIndex(JsonValue::Number(0), "i").value(), 0u);
+  EXPECT_EQ(WireIndex(JsonValue::Number(41), "i").value(), 41u);
+  EXPECT_FALSE(WireIndex(JsonValue::Number(-1), "i").ok());
+  EXPECT_FALSE(WireIndex(JsonValue::Number(1.5), "i").ok());
+  // The remote-allocation primitive: a huge count must be rejected, not
+  // handed to a resize.
+  EXPECT_FALSE(WireIndex(JsonValue::Number(1e300), "i").ok());
+  EXPECT_FALSE(WireIndex(JsonValue::Number(kWireMaxCount * 2), "i").ok());
+  EXPECT_EQ(WireIndex(JsonValue::Number(kWireMaxCount), "i").value(),
+            static_cast<size_t>(kWireMaxCount));
+}
+
+TEST(WireCountField, AbsentKeyLeavesDefaultUntouched) {
+  size_t out = 99;
+  EXPECT_TRUE(WireCountField(JsonValue::Object(), "k", &out).ok());
+  EXPECT_EQ(out, 99u);
+}
+
+TEST(WireCountField, PresentKeyMustBeAValidIndex) {
+  size_t out = 0;
+  EXPECT_TRUE(WireCountField(Obj("k", JsonValue::Number(7)), "k", &out).ok());
+  EXPECT_EQ(out, 7u);
+  out = 99;
+  EXPECT_FALSE(
+      WireCountField(Obj("k", JsonValue::Number(-3)), "k", &out).ok());
+  EXPECT_EQ(out, 99u) << "a rejected field must not half-write the output";
+  EXPECT_FALSE(
+      WireCountField(Obj("k", JsonValue::Str("7")), "k", &out).ok());
+}
+
+TEST(WireMsField, NonNegativeByDefaultPositiveOnRequest) {
+  double out = -1;
+  EXPECT_TRUE(WireMsField(Obj("t", JsonValue::Number(0)), "t", &out).ok());
+  EXPECT_EQ(out, 0.0);
+  EXPECT_FALSE(
+      WireMsField(Obj("t", JsonValue::Number(-5)), "t", &out).ok());
+  EXPECT_FALSE(WireMsField(Obj("t", JsonValue::Number(0)), "t", &out,
+                           WireSign::kPositive)
+                   .ok());
+  EXPECT_TRUE(WireMsField(Obj("t", JsonValue::Number(0.5)), "t", &out,
+                          WireSign::kPositive)
+                  .ok());
+  EXPECT_EQ(out, 0.5);
+}
+
+TEST(WireMsField, AbsentLeavesDefaultAndNonFiniteRejected) {
+  double out = 42;
+  EXPECT_TRUE(WireMsField(JsonValue::Object(), "t", &out).ok());
+  EXPECT_EQ(out, 42.0);
+  EXPECT_FALSE(
+      WireMsField(
+          Obj("t",
+              JsonValue::Number(std::numeric_limits<double>::infinity())),
+          "t", &out)
+          .ok());
+  EXPECT_EQ(out, 42.0);
+}
+
+}  // namespace
+}  // namespace subdex
