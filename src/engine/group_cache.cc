@@ -102,6 +102,10 @@ RatingGroup RatingGroupCache::Get(const GroupSelection& selection) {
   }
 
   if (!leader) {
+    // The leader completes the flight even on failure, so this wait is
+    // bounded by the leader's scan; a deadline here would only duplicate
+    // the scan the coalescing exists to avoid.
+    // lint: unbounded(wait ends when the leader's scan does, failure included)
     MutexLock lock(flight->mu);
     while (!flight->done) lock.WaitOnce(flight->cv);
     // The leader failed: its error is ours too — the whole point of

@@ -58,6 +58,9 @@ struct HttpMetrics {
   }
 };
 
+// Every accepted fd gets SO_SNDTIMEO in SetSocketTimeouts, so a stalled
+// peer times the send out — it cannot hang the worker.
+// lint: unbounded(send is bounded by the socket SO_SNDTIMEO)
 bool SendAll(int fd, std::string_view data) {
   size_t sent = 0;
   while (sent < data.size()) {
@@ -101,6 +104,9 @@ void SetSocketTimeouts(int fd, int timeout_ms) {
 /// Reads and parses one request off `fd`. Returns true on success; on
 /// failure `*error_status` is the 4xx to answer with, or 0 when the
 /// connection should close silently (peer vanished before sending one).
+// The body derives a wall-clock deadline from request_read_deadline_ms
+// and clamps SO_RCVTIMEO before every recv, so the read budget is capped.
+// lint: unbounded(bounded by options.request_read_deadline_ms)
 bool ReadRequest(int fd, const HttpServer::Options& options,
                  HttpRequest* request, int* error_status) {
   *error_status = 0;
@@ -353,6 +359,9 @@ void HttpServer::Stop() {
   }
 }
 
+// Lifecycle loop: every round is one 50ms poll followed by a stopping_
+// re-check, and accept4 only runs on a POLLIN-ready listener.
+// lint: unbounded(50ms poll rounds with a stopping_ re-check each round)
 void HttpServer::AcceptLoop() {
   for (;;) {
     {
@@ -393,6 +402,9 @@ void HttpServer::AcceptLoop() {
   }
 }
 
+// Workers park until work arrives by design; Stop sets stopping_ under
+// mu_ and broadcasts queue_cv_, so shutdown always wakes them.
+// lint: unbounded(parked until work or shutdown; Stop broadcasts the cv)
 void HttpServer::WorkerLoop() {
   for (;;) {
     int fd = -1;
@@ -465,6 +477,7 @@ void HttpServer::WatchLoop() {
     // Non-blocking sweep (timeout 0) under the lock: watches_ cannot
     // change between building fds and reading revents.
     // lock-lint: nonblocking — poll with timeout 0 returns immediately.
+    // lint: unbounded(poll with timeout 0 never blocks)
     if (::poll(fds.data(), fds.size(), 0) <= 0) continue;
     for (size_t i = 0; i < fds.size(); ++i) {
       if (fds[i].revents & (POLLRDHUP | POLLHUP | POLLERR)) {
