@@ -79,6 +79,55 @@ check_stale_suppressions() {
   done < <(active_suppressions)
 }
 
+# --- compile-database reuse -------------------------------------------------
+
+# The main configure exports compile_commands.json (top-level
+# CMakeLists.txt sets CMAKE_EXPORT_COMPILE_COMMANDS), so when a build
+# tree already exists the analyzers below reuse its database instead of
+# re-configuring a scratch build and guessing flags: the TU list and the
+# include/define/std flags are exactly what the real build compiled.
+main_compile_db() {
+  local d
+  for d in "$ROOT/build" "${SUBDEX_CHECK_BUILD_DIR:-$ROOT/build-check}"; do
+    if [[ -f "$d/compile_commands.json" ]]; then
+      echo "$d/compile_commands.json"
+      return 0
+    fi
+  done
+  return 1
+}
+
+# Prints one `file<TAB>flags` line per src/ TU in the database, keeping
+# the flags an analyzer re-run needs (-I, -D, -std, -include).
+db_tus() {
+  python3 - "$1" <<'PY'
+import json, shlex, sys
+
+for entry in json.load(open(sys.argv[1])):
+    path = entry["file"]
+    if "/src/" not in path or not path.endswith(".cc"):
+        continue
+    args = entry.get("arguments") or shlex.split(entry.get("command", ""))
+    keep = []
+    take_next = False
+    for arg in args:
+        if take_next:
+            keep.append(arg)
+            take_next = False
+        elif arg == "-DNDEBUG":
+            # Analyze with invariants armed: NDEBUG compiles the
+            # SUBDEX_CHECK guards out, and the analyzer needs the aborts
+            # to prune the impossible paths they exclude.
+            continue
+        elif arg.startswith(("-I", "-D", "-std=")):
+            keep.append(arg)
+        elif arg in ("-include", "-isystem"):
+            keep.append(arg)
+            take_next = True
+    print(path + "\t" + " ".join(keep))
+PY
+}
+
 # --- analyzer tiers ---------------------------------------------------------
 
 run_scan_build() {
@@ -94,33 +143,61 @@ run_scan_build() {
 }
 
 run_clang_analyze() {
-  local build="$ROOT/build-analyze"
-  echo "analyze: clang++ --analyze ($CLANG_CHECKERS)"
-  cmake -B "$build" -S "$ROOT" -DCMAKE_BUILD_TYPE=Debug \
-    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-  local findings
-  findings="$(
-    find src -name '*.cc' | while IFS= read -r tu; do
-      clang++ --analyze \
-        -Xclang -analyzer-checker="$CLANG_CHECKERS" \
-        -Xclang -analyzer-output=text \
-        -std=c++20 -I"$ROOT/src" "$tu" 2>&1 | grep 'warning:' || true
-    done
-  )"
+  local db findings
+  if db="$(main_compile_db)"; then
+    echo "analyze: clang++ --analyze ($CLANG_CHECKERS; flags from $db)"
+    findings="$(
+      db_tus "$db" | while IFS=$'\t' read -r tu flags; do
+        # shellcheck disable=SC2086 — flags are word-split on purpose
+        clang++ --analyze \
+          -Xclang -analyzer-checker="$CLANG_CHECKERS" \
+          -Xclang -analyzer-output=text \
+          $flags "$tu" 2>&1 | grep 'warning:' || true
+      done
+    )"
+  else
+    # No main build tree yet: scratch-configure one to get a database.
+    local build="$ROOT/build-analyze"
+    echo "analyze: clang++ --analyze ($CLANG_CHECKERS; scratch configure)"
+    cmake -B "$build" -S "$ROOT" -DCMAKE_BUILD_TYPE=Debug >/dev/null
+    findings="$(
+      db_tus "$build/compile_commands.json" \
+        | while IFS=$'\t' read -r tu flags; do
+        # shellcheck disable=SC2086
+        clang++ --analyze \
+          -Xclang -analyzer-checker="$CLANG_CHECKERS" \
+          -Xclang -analyzer-output=text \
+          $flags "$tu" 2>&1 | grep 'warning:' || true
+      done
+    )"
+  fi
   report "$findings"
 }
 
 run_gcc_analyzer() {
-  echo "analyze: g++ -fanalyzer over $(find src -name '*.cc' | wc -l) TUs"
-  local tmp
+  local tmp db
   tmp="$(mktemp -d)"
   trap 'rm -rf "$tmp"' RETURN
   # NOTE: the analyzer runs on GIMPLE, so the TU must be fully compiled —
   # -fsyntax-only stops before the analyzer pass and reports nothing.
-  find src -name '*.cc' | xargs -P "$JOBS" -I{} sh -c '
-    g++ -std=c++20 -I"$1/src" -fanalyzer -c "$2" -o /dev/null \
-      > "$3/$(echo "$2" | tr / _).log" 2>&1 || true
-  ' sh "$ROOT" {} "$tmp"
+  if db="$(main_compile_db)"; then
+    echo "analyze: g++ -fanalyzer over compile-db TUs (flags from $db)"
+    local i=0 tu flags
+    while IFS=$'\t' read -r tu flags; do
+      # shellcheck disable=SC2086 — flags are word-split on purpose
+      g++ -fanalyzer $flags -c "$tu" -o /dev/null \
+        > "$tmp/$(echo "$tu" | tr / _).log" 2>&1 &
+      i=$((i + 1))
+      if (( i % JOBS == 0 )); then wait; fi
+    done < <(db_tus "$db")
+    wait
+  else
+    echo "analyze: g++ -fanalyzer over $(find src -name '*.cc' | wc -l) TUs"
+    find src -name '*.cc' | xargs -P "$JOBS" -I{} sh -c '
+      g++ -std=c++20 -I"$1/src" -fanalyzer -c "$2" -o /dev/null \
+        > "$3/$(echo "$2" | tr / _).log" 2>&1 || true
+    ' sh "$ROOT" {} "$tmp"
+  fi
   local findings
   findings="$(cat "$tmp"/*.log | grep -E 'warning:.*\[-Wanalyzer|error:' || true)"
   report "$findings"

@@ -11,49 +11,58 @@
 #                                   blocking syscalls under a lock in
 #                                   src/server/, unlooped cv waits; ends
 #                                   with a seeded-violation self-test
-#   3. ci/analyze.sh              — whole-program static analysis (Clang
+#   3. ci/subdex_lint.sh          — the project analyzer (tools/subdex-lint,
+#                                   DESIGN.md §15): C1–C4 consolidated at
+#                                   token level plus L1 subsystem layering
+#                                   vs ci/layers.txt, L2 deadline/stop
+#                                   propagation, L3 wire-number funneling,
+#                                   L4 discard/metric-name shape; fixture
+#                                   negative probes and the inverted-edge
+#                                   layers self-test run first, the AST
+#                                   engine (clang libTooling) when built
+#   4. ci/analyze.sh              — whole-program static analysis (Clang
 #                                   Static Analyzer when installed, GCC
 #                                   -fanalyzer otherwise) with an
 #                                   empty-or-justified suppression file
-#   4. -Werror build + tests      — SUBDEX_WERROR=ON, SUBDEX_FUZZ=ON, plus
+#   5. -Werror build + tests      — SUBDEX_WERROR=ON, SUBDEX_FUZZ=ON, plus
 #                                   SUBDEX_TIDY=ON when clang-tidy exists;
 #                                   also proves the [[nodiscard]] contract
 #                                   via the configure-time negative
 #                                   compile probe in tests/CMakeLists.txt
-#   5. clang thread-safety gate   — rebuild with clang++ -Wthread-safety
+#   6. clang thread-safety gate   — rebuild with clang++ -Wthread-safety
 #                                   (the annotations are no-ops under GCC),
 #                                   when clang++ exists
-#   6. deadlock-detector suite    — SUBDEX_DEADLOCK_DETECTOR=ON build: the
+#   7. deadlock-detector suite    — SUBDEX_DEADLOCK_DETECTOR=ON build: the
 #                                   full ctest suite with every Mutex
 #                                   acquisition routed through the
 #                                   util/lock_graph.h lock-order detector;
 #                                   any rank inversion, same-name nesting,
 #                                   or acquired-after cycle aborts a test
-#   7. fuzz smoke                 — corpus replay plus a bounded mutation
+#   8. fuzz smoke                 — corpus replay plus a bounded mutation
 #                                   run per harness (SUBDEX_FUZZ_RUNS,
 #                                   default 20000)
-#   8. fault injection under ASan — SUBDEX_FAULT_INJECTION=ON build; the
+#   9. fault injection under ASan — SUBDEX_FAULT_INJECTION=ON build; the
 #                                   fault-sweep test arms every registered
 #                                   fault point in turn and asserts the
 #                                   engine's invariants survive
-#   9. UBSan matrix               — ci/sanitize.sh undefined: the full
+#  10. UBSan matrix               — ci/sanitize.sh undefined: the full
 #                                   ctest suite and the fuzz-corpus replay
 #                                   with every UB class fatal
-#  10. coverage gate              — ci/coverage.sh: instrumented build,
+#  11. coverage gate              — ci/coverage.sh: instrumented build,
 #                                   gcov line coverage of src/core +
 #                                   src/pruning against a floor
-#  11. serving smoke              — ci/serve_smoke.sh: boots subdexd on a
+#  12. serving smoke              — ci/serve_smoke.sh: boots subdexd on a
 #                                   synthetic MovieLens dataset, drives a
 #                                   scripted 3-step session over HTTP,
 #                                   scrapes /metrics and /healthz, and
 #                                   asserts a clean SIGTERM shutdown
-#  12. crash-safety smoke         — ci/crash_smoke.sh: kill-loop chaos
+#  13. crash-safety smoke         — ci/crash_smoke.sh: kill-loop chaos
 #                                   harness; subdexd with --journal-dir is
 #                                   SIGKILLed at randomized moments and
 #                                   every restart must recover sessions
 #                                   with acked digests intact, zero
 #                                   divergence, and torn tails truncated
-#  13. load-harness smoke         — ci/bench_smoke.sh: subdex-loadgen
+#  14. load-harness smoke         — ci/bench_smoke.sh: subdex-loadgen
 #                                   sweeps both targets in-process, then
 #                                   drives 32 concurrent sessions against
 #                                   a live subdexd; every report must pass
@@ -71,16 +80,19 @@ BUILD="${SUBDEX_CHECK_BUILD_DIR:-build-check}"
 FUZZ_RUNS="${SUBDEX_FUZZ_RUNS:-20000}"
 JOBS="$(nproc)"
 
-echo "==> [1/13] lint"
+echo "==> [1/14] lint"
 ci/lint.sh
 
-echo "==> [2/13] concurrency lint pack"
+echo "==> [2/14] concurrency lint pack"
 ci/concurrency_lint.sh
 
-echo "==> [3/13] static analysis"
+echo "==> [3/14] subdex-lint (project analyzer)"
+ci/subdex_lint.sh
+
+echo "==> [4/14] static analysis"
 ci/analyze.sh
 
-echo "==> [4/13] -Werror build + tests"
+echo "==> [5/14] -Werror build + tests"
 TIDY=OFF
 if command -v clang-tidy >/dev/null 2>&1; then
   TIDY=ON
@@ -98,7 +110,7 @@ cmake -B "$BUILD" -S "$ROOT" \
 cmake --build "$BUILD" -j"$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j"$JOBS"
 
-echo "==> [5/13] clang thread-safety analysis"
+echo "==> [6/14] clang thread-safety analysis"
 if command -v clang++ >/dev/null 2>&1; then
   TS_BUILD="$BUILD-threadsafety"
   cmake -B "$TS_BUILD" -S "$ROOT" \
@@ -111,11 +123,11 @@ else
   echo "SKIP: clang++ not installed; thread-safety annotations not checked"
 fi
 
-echo "==> [6/13] deadlock-detector-armed suite"
+echo "==> [7/14] deadlock-detector-armed suite"
 # Every subdex::Mutex acquisition runs the util/lock_graph.h hooks; the
 # full test suite (including the 64-session server storm) must stay
 # silent: zero rank inversions, zero same-name nestings, zero cycles.
-# SUBDEX_FORCE_DCHECK arms the invariant layer alongside, as in stage 4.
+# SUBDEX_FORCE_DCHECK arms the invariant layer alongside, as in stage 5.
 DETECTOR_BUILD="$BUILD-detector"
 cmake -B "$DETECTOR_BUILD" -S "$ROOT" \
   -DSUBDEX_DEADLOCK_DETECTOR=ON \
@@ -124,7 +136,7 @@ cmake -B "$DETECTOR_BUILD" -S "$ROOT" \
 cmake --build "$DETECTOR_BUILD" -j"$JOBS"
 ctest --test-dir "$DETECTOR_BUILD" --output-on-failure -j"$JOBS"
 
-echo "==> [7/13] fuzz smoke ($FUZZ_RUNS runs per harness)"
+echo "==> [8/14] fuzz smoke ($FUZZ_RUNS runs per harness)"
 for harness in fuzz_query_parser fuzz_csv_loader fuzz_db_io; do
   corpus="$ROOT/fuzz/corpus/${harness#fuzz_}"
   bin="$BUILD/fuzz/$harness"
@@ -138,7 +150,7 @@ for harness in fuzz_query_parser fuzz_csv_loader fuzz_db_io; do
   "$bin" --runs="$FUZZ_RUNS" --seed=1 "$corpus"
 done
 
-echo "==> [8/13] fault injection under ASan"
+echo "==> [9/14] fault injection under ASan"
 FAULT_BUILD="$BUILD-fault"
 cmake -B "$FAULT_BUILD" -S "$ROOT" \
   -DSUBDEX_FAULT_INJECTION=ON \
@@ -156,19 +168,19 @@ for t in fault_injection_test engine_robustness_test; do
   "$bin"
 done
 
-echo "==> [9/13] UBSan matrix (full suite + corpus replay)"
+echo "==> [10/14] UBSan matrix (full suite + corpus replay)"
 ci/sanitize.sh undefined
 
-echo "==> [10/13] coverage gate"
+echo "==> [11/14] coverage gate"
 SUBDEX_COVERAGE_BUILD_DIR="$BUILD-coverage" ci/coverage.sh
 
-echo "==> [11/13] serving smoke (subdexd end-to-end)"
+echo "==> [12/14] serving smoke (subdexd end-to-end)"
 SUBDEX_SMOKE_BUILD_DIR="$BUILD" ci/serve_smoke.sh
 
-echo "==> [12/13] crash-safety smoke (kill-loop journal recovery)"
+echo "==> [13/14] crash-safety smoke (kill-loop journal recovery)"
 SUBDEX_CRASH_BUILD_DIR="$BUILD-crash" ci/crash_smoke.sh
 
-echo "==> [13/13] load-harness smoke (subdex-loadgen vs live subdexd)"
+echo "==> [14/14] load-harness smoke (subdex-loadgen vs live subdexd)"
 SUBDEX_BENCH_BUILD_DIR="$BUILD" ci/bench_smoke.sh
 
 echo "check: OK"

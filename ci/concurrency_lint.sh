@@ -38,6 +38,9 @@ set -uo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
+# Shared patterns (raw std primitives / raw waits) + their self-probe.
+. ci/lint_lib.sh
+
 fail=0
 
 # ---------------------------------------------------------------------------
@@ -48,7 +51,7 @@ check_raw_primitives() {
   while IFS= read -r f; do
     if [[ -n "$allow" && "${f#"$dir"/}" == "$allow" ]]; then continue; fi
     hits=$(sed 's@//.*@@' "$f" \
-           | grep -nE 'std::(mutex|timed_mutex|recursive_mutex|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|condition_variable_any)\b|[.>]wait(_for|_until)?[[:space:]]*\(' \
+           | grep -nE "$SUBDEX_RAW_PRIMITIVE_RE|$SUBDEX_RAW_WAIT_RE" \
            || true)
     if [[ -n "$hits" ]]; then
       echo "concurrency-lint C1: raw std primitive or raw cv wait in $f" \

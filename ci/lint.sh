@@ -29,6 +29,9 @@ set -uo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
+# Shared patterns (raw std primitives / raw waits) + their self-probe.
+. ci/lint_lib.sh
+
 fail=0
 
 # Rule 1: raw allocation expressions. Anchor on the contexts where an
@@ -132,7 +135,9 @@ if ! find "$hygiene_dir" -name '*.cc' -print0 \
   fail=1
 fi
 
-# Rule 8: raw std synchronization primitives. Only src/util/mutex.h may
+# Rule 8: raw std synchronization primitives (the shared
+# SUBDEX_RAW_PRIMITIVE_RE from ci/lint_lib.sh — ci/concurrency_lint.sh C1
+# enforces the same pattern plus raw waits). Only src/util/mutex.h may
 # name them; everything else goes through subdex::Mutex / MutexLock so the
 # annotations and detector hooks can't be bypassed. Comments are stripped
 # first (thread_annotations.h and lock_graph.h discuss std::mutex in
@@ -140,7 +145,7 @@ fi
 while IFS= read -r src_file; do
   [[ "$src_file" == "src/util/mutex.h" ]] && continue
   hits=$(sed 's@//.*@@' "$src_file" \
-         | grep -nE 'std::(mutex|timed_mutex|recursive_mutex|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|condition_variable_any)\b' \
+         | grep -nE "$SUBDEX_RAW_PRIMITIVE_RE" \
          || true)
   if [[ -n "$hits" ]]; then
     echo "lint: raw std synchronization primitive outside src/util/mutex.h" \

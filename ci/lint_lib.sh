@@ -1,0 +1,37 @@
+# Shared lint definitions, sourced by ci/lint.sh (rule 8) and
+# ci/concurrency_lint.sh (C1). The raw-std-primitive pattern used to live
+# in both scripts as two hand-synced copies; this file is the single
+# source of truth, so widening the banned set (or fixing an escape) is a
+# one-line diff that both gates pick up together. tools/subdex-lint
+# re-checks the same set at token level (rule C1) and the fixture suite
+# in tests/lint/ pins it there.
+#
+# Not executable on purpose: `.` (source) it.
+
+# Raw std synchronization primitives. Only src/util/mutex.h may name
+# them; everywhere else goes through subdex::Mutex / MutexLock so the
+# thread-safety annotations and deadlock-detector hooks cannot be
+# bypassed. Bare std::condition_variable is deliberately absent:
+# MutexLock::WaitOnce bridges to it, so cv members are sanctioned — only
+# raw wait calls on one are banned (the pattern below).
+SUBDEX_RAW_PRIMITIVE_RE='std::(mutex|timed_mutex|recursive_mutex|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|condition_variable_any)\b'
+
+# Raw condition-variable waits: .wait / .wait_for / .wait_until calls,
+# which bypass MutexLock::WaitOnce / WaitOnceFor.
+SUBDEX_RAW_WAIT_RE='[.>]wait(_for|_until)?[[:space:]]*\('
+
+# Probe the patterns at source time: an empty or mangled variable would
+# turn both gates into silent yeses (or match-everything noise), so a
+# sourcing script dies here instead.
+if ! printf 'std::mutex m;\n' | grep -qE "$SUBDEX_RAW_PRIMITIVE_RE"; then
+  echo "lint_lib SELF-TEST BROKEN: primitive pattern missed std::mutex" >&2
+  exit 1
+fi
+if printf 'subdex::Mutex m{"x"};\n' | grep -qE "$SUBDEX_RAW_PRIMITIVE_RE"; then
+  echo "lint_lib SELF-TEST BROKEN: primitive pattern flags subdex::Mutex" >&2
+  exit 1
+fi
+if ! printf 'cv_.wait(lk);\n' | grep -qE "$SUBDEX_RAW_WAIT_RE"; then
+  echo "lint_lib SELF-TEST BROKEN: wait pattern missed cv_.wait(" >&2
+  exit 1
+fi

@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# subdex-lint gate (DESIGN.md §15): the project-specific analyzer in
+# tools/subdex-lint/, consolidating the C1–C4 concurrency-shape rules and
+# adding the checks text rules cannot express — L1 subsystem layering
+# over the real include graph against ci/layers.txt, L2 deadline/stop
+# propagation into blocking calls, L3 wire-number funneling through
+# src/server/json_wire.h, L4 token-accurate discard-justification and
+# metric-name shape.
+#
+# Order of operations, each a hard failure:
+#   1. build the portable engine once, cached in build-lint/ keyed on a
+#      hash of the tool sources + compiler version (a stale binary can
+#      never lint a newer rule set)
+#   2. ci/layers.txt must validate (parse, declared deps, acyclic), and a
+#      temporary copy with an artificially inverted edge (util -> server)
+#      must FAIL — the cycle detector proves it can see an inversion
+#      before we trust it on the real graph
+#   3. the seeded-violation fixture suite (tests/lint/): every rule's bad
+#      tree fails with the expected rule id and count, every clean twin
+#      passes — the negative-probe policy of ci/lint.sh applied here
+#   4. the full src/ tree must come back clean, using the main build's
+#      compile_commands.json as the TU source of truth when one exists
+#   5. the AST engine (subdex-lint-ast, clang libTooling) re-runs the
+#      catalog on the real AST when the clang dev libraries are
+#      installed; on GCC-only images it SKIPs loudly and the portable
+#      engine remains authoritative — the same degrade policy as every
+#      clang-only gate in ci/check.sh
+#
+# The text rules in ci/lint.sh and ci/concurrency_lint.sh stay in force
+# as the everywhere-fallback: they run on images where even building the
+# tool is unwanted, and double-cover the C rules here.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+BUILD_DIR="${SUBDEX_LINT_BUILD_DIR:-build-lint}"
+CXX="${CXX:-g++}"
+mkdir -p "$BUILD_DIR"
+
+# --- 1. build (cached) ----------------------------------------------------
+key="$( { cat tools/subdex-lint/*.h tools/subdex-lint/*.cc; "$CXX" --version; } \
+        | sha256sum | cut -c1-16)"
+bin="$BUILD_DIR/subdex-lint-$key"
+if [[ ! -x "$bin" ]]; then
+  echo "--- building subdex-lint (cache key $key)"
+  "$CXX" -std=c++20 -O1 -Wall -Wextra -I. \
+    tools/subdex-lint/lexer.cc \
+    tools/subdex-lint/layers.cc \
+    tools/subdex-lint/checks.cc \
+    tools/subdex-lint/compile_db.cc \
+    tools/subdex-lint/main.cc \
+    -o "$bin.tmp"
+  mv "$bin.tmp" "$bin"
+  # One binary per source hash; drop superseded ones so the cache dir
+  # stays a cache, not a museum.
+  find "$BUILD_DIR" -maxdepth 1 -name 'subdex-lint-*' ! -name "subdex-lint-$key" -delete
+else
+  echo "--- subdex-lint cached (key $key)"
+fi
+
+# --- 2. layers graph + inverted-edge self-test ---------------------------
+echo "--- layers: validate ci/layers.txt"
+"$bin" --validate-layers ci/layers.txt
+
+inverted="$(mktemp)"
+trap 'rm -f "$inverted"' EXIT
+sed 's/^util:[[:space:]]*$/util: server/' ci/layers.txt > "$inverted"
+if ! grep -q '^util: server$' "$inverted"; then
+  echo "ERROR: self-test could not seed the inverted edge (ci/layers.txt format drifted?)" >&2
+  exit 1
+fi
+if "$bin" --validate-layers "$inverted" >/dev/null 2>&1; then
+  echo "ERROR: layers self-test failed — an inverted util -> server edge validated cleanly" >&2
+  exit 1
+fi
+echo "--- layers: inverted-edge self-test tripped as expected"
+
+# --- 3. fixture negative probes ------------------------------------------
+echo "--- fixtures: seeded-violation suite (tests/lint/)"
+bash tests/lint/run_fixtures.sh "$bin"
+
+# --- 4. the real tree -----------------------------------------------------
+db=""
+for d in build "${SUBDEX_CHECK_BUILD_DIR:-build-check}"; do
+  if [[ -f "$d/compile_commands.json" ]]; then
+    db="$d/compile_commands.json"
+    break
+  fi
+done
+if [[ -n "$db" ]]; then
+  echo "--- tree: full run (compile db: $db)"
+  "$bin" --root . --layers ci/layers.txt --compile-commands "$db"
+else
+  echo "--- tree: full run (no compile_commands.json yet; walking src/)"
+  "$bin" --root . --layers ci/layers.txt
+fi
+
+# --- 5. AST engine (clang libTooling), when available ---------------------
+ast=""
+for d in build "${SUBDEX_CHECK_BUILD_DIR:-build-check}"; do
+  if [[ -x "$d/tools/subdex-lint/ast/subdex-lint-ast" ]]; then
+    ast="$d/tools/subdex-lint/ast/subdex-lint-ast"
+    break
+  fi
+done
+if [[ -n "$ast" && -n "$db" ]]; then
+  echo "--- AST engine: $ast"
+  # shellcheck disable=SC2046 — the file list is newline-free by build rule
+  "$ast" -p "$(dirname "$db")" --layers=ci/layers.txt --project-root=. \
+    $(find src -name '*.cc' | sort)
+else
+  echo "SKIP: clang development libraries not installed; AST engine not" \
+       "built (portable subdex-lint engine above is authoritative)"
+fi
+
+echo "subdex-lint gate: OK"
